@@ -1,0 +1,206 @@
+//! SOAP-style request and response envelopes.
+//!
+//! Execute-node daemons in CondorJ2 talk to the application server through web
+//! services carried over SOAP (the prototype used gSOAP on the startd side).
+//! The reproduction models a message as an operation name plus named, typed
+//! parameters; the envelope size feeds the cost model's marshalling charge.
+
+use relstore::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A web-service request: an operation name and named parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoapRequest {
+    /// The invoked operation, e.g. `"heartbeat"` or `"submitJob"`.
+    pub operation: String,
+    /// Named parameters.
+    pub params: BTreeMap<String, Value>,
+}
+
+impl SoapRequest {
+    /// Creates a request with no parameters.
+    pub fn new(operation: impl Into<String>) -> Self {
+        SoapRequest {
+            operation: operation.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style parameter addition.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    /// Returns a parameter by name, or NULL when absent.
+    pub fn param(&self, name: &str) -> Value {
+        self.params.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Returns an integer parameter or an error message string.
+    pub fn int_param(&self, name: &str) -> Result<i64, String> {
+        self.params
+            .get(name)
+            .ok_or_else(|| format!("missing parameter {name}"))?
+            .as_int()
+            .map_err(|e| e.to_string())
+    }
+
+    /// Returns a text parameter or an error message string.
+    pub fn text_param(&self, name: &str) -> Result<String, String> {
+        Ok(self
+            .params
+            .get(name)
+            .ok_or_else(|| format!("missing parameter {name}"))?
+            .as_text()
+            .map_err(|e| e.to_string())?
+            .to_string())
+    }
+
+    /// Approximate size of the SOAP envelope in bytes, for cost accounting.
+    pub fn approx_size(&self) -> usize {
+        128 + self.operation.len()
+            + self
+                .params
+                .iter()
+                .map(|(k, v)| k.len() + v.approx_size() + 16)
+                .sum::<usize>()
+    }
+}
+
+/// The status portion of a web-service response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoapStatus {
+    /// The operation completed; the paper's startd expects a plain `OK`.
+    Ok,
+    /// The operation completed and carries match information for the caller
+    /// (the `MATCHINFO` reply of Table 2, step 8).
+    MatchInfo,
+    /// The operation failed; the body carries a message.
+    Fault,
+}
+
+/// A web-service response: a status plus named result fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoapResponse {
+    /// Response status.
+    pub status: SoapStatus,
+    /// Named result fields.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl SoapResponse {
+    /// A plain `OK` response.
+    pub fn ok() -> Self {
+        SoapResponse {
+            status: SoapStatus::Ok,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// A `MATCHINFO` response.
+    pub fn match_info() -> Self {
+        SoapResponse {
+            status: SoapStatus::MatchInfo,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// A fault response with a message.
+    pub fn fault(message: impl Into<String>) -> Self {
+        let mut fields = BTreeMap::new();
+        fields.insert("message".to_string(), Value::Text(message.into()));
+        SoapResponse {
+            status: SoapStatus::Fault,
+            fields,
+        }
+    }
+
+    /// Builder-style result-field addition.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.insert(name.into(), value.into());
+        self
+    }
+
+    /// Returns a result field by name, or NULL when absent.
+    pub fn field(&self, name: &str) -> Value {
+        self.fields.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// True when the response is not a fault.
+    pub fn is_success(&self) -> bool {
+        self.status != SoapStatus::Fault
+    }
+
+    /// The fault message, if this is a fault.
+    pub fn fault_message(&self) -> Option<String> {
+        if self.status == SoapStatus::Fault {
+            self.fields.get("message").and_then(|v| v.as_text().ok()).map(str::to_string)
+        } else {
+            None
+        }
+    }
+
+    /// Approximate size of the response envelope in bytes.
+    pub fn approx_size(&self) -> usize {
+        96 + self
+            .fields
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size() + 16)
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for SoapResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.status {
+            SoapStatus::Ok => write!(f, "OK"),
+            SoapStatus::MatchInfo => write!(f, "MATCHINFO"),
+            SoapStatus::Fault => write!(
+                f,
+                "FAULT: {}",
+                self.fault_message().unwrap_or_else(|| "unknown".into())
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_and_accessors() {
+        let req = SoapRequest::new("heartbeat")
+            .with("vm", 12i64)
+            .with("state", "idle");
+        assert_eq!(req.int_param("vm").unwrap(), 12);
+        assert_eq!(req.text_param("state").unwrap(), "idle");
+        assert_eq!(req.param("missing"), Value::Null);
+        assert!(req.int_param("missing").is_err());
+        assert!(req.int_param("state").is_err());
+        assert!(req.approx_size() > 128);
+    }
+
+    #[test]
+    fn response_statuses() {
+        assert!(SoapResponse::ok().is_success());
+        assert!(SoapResponse::match_info().is_success());
+        let fault = SoapResponse::fault("no such job");
+        assert!(!fault.is_success());
+        assert_eq!(fault.fault_message().as_deref(), Some("no such job"));
+        assert_eq!(SoapResponse::ok().fault_message(), None);
+        assert_eq!(fault.to_string(), "FAULT: no such job");
+        assert_eq!(SoapResponse::match_info().to_string(), "MATCHINFO");
+    }
+
+    #[test]
+    fn response_fields() {
+        let resp = SoapResponse::match_info().with("job_id", 42i64);
+        assert_eq!(resp.field("job_id"), Value::Int(42));
+        assert_eq!(resp.field("other"), Value::Null);
+        assert!(resp.approx_size() > 96);
+    }
+}

@@ -1,0 +1,215 @@
+//! Service endpoints and the two-layer service architecture.
+//!
+//! CondorJ2's application tier is layered: a persistence layer of fine-grained
+//! entity-bean operations is wrapped by an application-logic layer that
+//! exposes coarse-grained, client-appropriate services ("the granularity of
+//! service desired by a client is generally coarser than the granularity of
+//! service required to maximize architectural efficiency"). The registry keeps
+//! that distinction explicit: endpoints are registered as fine- or
+//! coarse-grained, and only coarse-grained endpoints are reachable from the
+//! external web-service interface.
+
+use crate::message::{SoapRequest, SoapResponse};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which architectural layer a service endpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Fine-grained persistence-layer operation (entity-bean method). Only
+    /// callable from inside the application-logic layer.
+    FineGrained,
+    /// Coarse-grained application-logic operation exposed to clients through
+    /// the web-service interface and the pool web site.
+    CoarseGrained,
+}
+
+/// The handler signature: a service receives mutable access to the
+/// application state (the CondorJ2 CAS state, in the core crate) and the
+/// request, and produces a response.
+pub type Handler<C> = Box<dyn Fn(&mut C, &SoapRequest) -> SoapResponse + Send + Sync>;
+
+/// One registered endpoint.
+pub struct ServiceEndpoint<C> {
+    /// Endpoint name (the SOAP operation).
+    pub name: String,
+    /// Which layer the endpoint belongs to.
+    pub kind: ServiceKind,
+    /// Short human-readable description (shown by the admin interface).
+    pub description: String,
+    handler: Handler<C>,
+}
+
+impl<C> fmt::Debug for ServiceEndpoint<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceEndpoint")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// The registry of service endpoints for an application.
+#[derive(Debug, Default)]
+pub struct ServiceRegistry<C> {
+    endpoints: BTreeMap<String, ServiceEndpoint<C>>,
+}
+
+impl<C> ServiceRegistry<C> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry {
+            endpoints: BTreeMap::new(),
+        }
+    }
+
+    /// Registers an endpoint. Re-registering a name replaces the endpoint.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: ServiceKind,
+        description: impl Into<String>,
+        handler: impl Fn(&mut C, &SoapRequest) -> SoapResponse + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.endpoints.insert(
+            name.clone(),
+            ServiceEndpoint {
+                name,
+                kind,
+                description: description.into(),
+                handler: Box::new(handler),
+            },
+        );
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Names of all endpoints of a given kind.
+    pub fn names_of_kind(&self, kind: ServiceKind) -> Vec<String> {
+        self.endpoints
+            .values()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Looks up an endpoint by name.
+    pub fn get(&self, name: &str) -> Option<&ServiceEndpoint<C>> {
+        self.endpoints.get(name)
+    }
+
+    /// Dispatches a request arriving from an *external* client (web client or
+    /// execute-machine daemon). Fine-grained endpoints are not reachable this
+    /// way — the request faults, enforcing the layering rule.
+    pub fn dispatch_external(&self, state: &mut C, request: &SoapRequest) -> SoapResponse {
+        match self.endpoints.get(&request.operation) {
+            None => SoapResponse::fault(format!("unknown operation {}", request.operation)),
+            Some(ep) if ep.kind == ServiceKind::FineGrained => SoapResponse::fault(format!(
+                "operation {} is internal to the persistence layer",
+                request.operation
+            )),
+            Some(ep) => (ep.handler)(state, request),
+        }
+    }
+
+    /// Dispatches a call made from *inside* the application-logic layer; both
+    /// fine- and coarse-grained endpoints are reachable.
+    pub fn dispatch_internal(&self, state: &mut C, request: &SoapRequest) -> SoapResponse {
+        match self.endpoints.get(&request.operation) {
+            None => SoapResponse::fault(format!("unknown operation {}", request.operation)),
+            Some(ep) => (ep.handler)(state, request),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Value;
+
+    #[derive(Default)]
+    struct Counter {
+        calls: u64,
+    }
+
+    fn registry() -> ServiceRegistry<Counter> {
+        let mut reg = ServiceRegistry::new();
+        reg.register(
+            "submitJob",
+            ServiceKind::CoarseGrained,
+            "Submit a job to the pool",
+            |state: &mut Counter, req| {
+                state.calls += 1;
+                SoapResponse::ok().with("echo", req.param("cmd"))
+            },
+        );
+        reg.register(
+            "jobBean.setState",
+            ServiceKind::FineGrained,
+            "Entity-bean state transition",
+            |state: &mut Counter, _req| {
+                state.calls += 1;
+                SoapResponse::ok()
+            },
+        );
+        reg
+    }
+
+    #[test]
+    fn external_dispatch_reaches_coarse_grained_only() {
+        let reg = registry();
+        let mut state = Counter::default();
+        let resp = reg.dispatch_external(
+            &mut state,
+            &SoapRequest::new("submitJob").with("cmd", "run.sh"),
+        );
+        assert!(resp.is_success());
+        assert_eq!(resp.field("echo"), Value::Text("run.sh".into()));
+        assert_eq!(state.calls, 1);
+
+        let resp = reg.dispatch_external(&mut state, &SoapRequest::new("jobBean.setState"));
+        assert!(!resp.is_success());
+        assert_eq!(state.calls, 1, "fine-grained handler must not run externally");
+
+        let resp = reg.dispatch_external(&mut state, &SoapRequest::new("noSuchOp"));
+        assert!(!resp.is_success());
+    }
+
+    #[test]
+    fn internal_dispatch_reaches_everything() {
+        let reg = registry();
+        let mut state = Counter::default();
+        assert!(reg
+            .dispatch_internal(&mut state, &SoapRequest::new("jobBean.setState"))
+            .is_success());
+        assert!(reg
+            .dispatch_internal(&mut state, &SoapRequest::new("submitJob"))
+            .is_success());
+        assert_eq!(state.calls, 2);
+    }
+
+    #[test]
+    fn registry_introspection() {
+        let reg = registry();
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.names_of_kind(ServiceKind::CoarseGrained), vec!["submitJob"]);
+        assert_eq!(
+            reg.names_of_kind(ServiceKind::FineGrained),
+            vec!["jobBean.setState"]
+        );
+        assert!(reg.get("submitJob").is_some());
+        assert!(reg.get("absent").is_none());
+        assert_eq!(ServiceRegistry::<Counter>::new().len(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Table 1 / Table 2 bench: end-to-end cost of shepherding one job through
+//! each system, including the data-flow trace capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{condor_dataflow_trace, condorj2_dataflow_trace};
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_tables");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("table1_condor_single_job", |b| b.iter(|| condor_dataflow_trace(1)));
+    group.bench_function("table2_condorj2_single_job", |b| b.iter(|| condorj2_dataflow_trace(1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

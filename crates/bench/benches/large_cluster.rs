@@ -1,0 +1,22 @@
+//! Figure 10 / Section 5.3.2 bench: large-cluster behaviour of both systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{condor_large_cluster, large_cluster_experiment, Scale};
+
+fn bench_large_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_cluster");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig10_condorj2_quick", |b| {
+        b.iter(|| large_cluster_experiment(Scale::Quick, 1))
+    });
+    group.bench_function("sec532_condor_crash_quick", |b| {
+        b.iter(|| condor_large_cluster(Scale::Quick, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_cluster);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 11/12/15/16 bench: the mixed workload on CondorJ2 and on Condor
+//! with and without the per-schedd running-job limit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{condor_mixed_workload, condorj2_mixed_workload, Scale};
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_workload");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig11_12_condorj2_quick", |b| {
+        b.iter(|| condorj2_mixed_workload(Scale::Quick, 1))
+    });
+    group.bench_function("fig15_condor_unlimited_quick", |b| {
+        b.iter(|| condor_mixed_workload(Scale::Quick, false, 1))
+    });
+    group.bench_function("fig16_condor_limited_quick", |b| {
+        b.iter(|| condor_mixed_workload(Scale::Quick, true, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

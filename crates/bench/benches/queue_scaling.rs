@@ -1,0 +1,20 @@
+//! Figure 13/14 bench: Condor scheduling rate and schedd CPU versus job-queue
+//! length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{queue_length_experiment, Scale};
+
+fn bench_queue_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_14");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("condor_queue_length_sweep_quick", |b| {
+        b.iter(|| queue_length_experiment(Scale::Quick, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_scaling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the storage/query engine operations on the critical
+//! path of every CAS service call (the "HTTP-to-SQL transformation" cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::Database;
+use std::hint::black_box;
+
+fn setup_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT NOT NULL, state TEXT, runtime_ms INT)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX ON jobs (state)").unwrap();
+    for i in 0..rows {
+        db.execute(&format!(
+            "INSERT INTO jobs VALUES ({i}, 'user{}', 'idle', 60000)",
+            i % 50
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn bench_relstore(c: &mut Criterion) {
+    let db = setup_db(5_000);
+    c.bench_function("pk_point_select", |b| {
+        b.iter(|| db.query(black_box("SELECT * FROM jobs WHERE job_id = 2500")).unwrap())
+    });
+    c.bench_function("indexed_select_with_filter", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT job_id FROM jobs WHERE state = 'idle' AND runtime_ms > 1000 ORDER BY job_id LIMIT 10",
+            ))
+            .unwrap()
+        })
+    });
+    c.bench_function("aggregate_group_by", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT owner, COUNT(*), AVG(runtime_ms) FROM jobs GROUP BY owner",
+            ))
+            .unwrap()
+        })
+    });
+    c.bench_function("single_row_update", |b| {
+        b.iter(|| {
+            db.execute(black_box("UPDATE jobs SET state = 'running' WHERE job_id = 123")).unwrap()
+        })
+    });
+    c.bench_function("insert_delete_round_trip", |b| {
+        b.iter(|| {
+            db.execute(black_box(
+                "INSERT INTO jobs VALUES (9999999, 'bench', 'idle', 1000)",
+            ))
+            .unwrap();
+            db.execute(black_box("DELETE FROM jobs WHERE job_id = 9999999")).unwrap();
+        })
+    });
+    c.bench_function("sql_parse_only", |b| {
+        b.iter(|| {
+            relstore::sql::parse(black_box(
+                "SELECT jobs.job_id, machines.name FROM jobs JOIN matches ON jobs.job_id = matches.job_id \
+                 JOIN machines ON matches.machine_id = machines.machine_id WHERE jobs.state = 'idle' LIMIT 5",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_relstore);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 7/8/9 bench: the CondorJ2 scheduling-throughput experiment family
+//! at quick scale (the full-scale series is produced by the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{throughput_experiment, Scale};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_8_9");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("condorj2_throughput_sweep_quick", |b| {
+        b.iter(|| throughput_experiment(Scale::Quick, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [--paper] [fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|
+//!          table1|table2|large-condor|codebase|all]...
+//! ```
+//!
+//! By default every experiment runs at a reduced ("quick") scale; pass
+//! `--paper` to use the cluster sizes and durations reported in the paper
+//! (the 10,000-VM Figure 10 run takes several minutes of wall-clock time).
+
+use workloads::{
+    codebase_size, condor_dataflow_trace, condor_large_cluster, condor_mixed_workload,
+    condorj2_dataflow_trace, condorj2_mixed_workload, large_cluster_experiment,
+    queue_length_experiment, throughput_experiment, Scale,
+};
+
+const SEED: u64 = 20070107; // CIDR 2007
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let mut targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let wants = |name: &str| targets.iter().any(|t| t == name || t == "all");
+
+    println!(
+        "CondorJ2 reproduction — regenerating paper figures at {scale:?} scale\n"
+    );
+
+    if wants("table1") {
+        println!(
+            "{}",
+            condor_dataflow_trace(SEED)
+                .to_table("Table 1 / Figure 5: data flow of one job through Condor")
+        );
+    }
+    if wants("table2") {
+        println!(
+            "{}",
+            condorj2_dataflow_trace(SEED)
+                .to_table("Table 2 / Figure 6: data flow of one job through CondorJ2")
+        );
+    }
+    if wants("codebase") {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        let (per_crate, total) = codebase_size(root);
+        println!("Section 4.2.3.1: code-base size of this reproduction");
+        for (name, lines) in &per_crate {
+            println!("  {name:<14} {lines:>8} lines");
+        }
+        println!("  {:<14} {total:>8} lines\n", "total");
+    }
+    if wants("fig7") || wants("fig8") || wants("fig9") {
+        println!("{}", throughput_experiment(scale, SEED).render());
+    }
+    if wants("fig10") {
+        println!("{}", large_cluster_experiment(scale, SEED).render());
+    }
+    if wants("fig11") || wants("fig12") {
+        println!("{}", condorj2_mixed_workload(scale, SEED).render());
+    }
+    if wants("fig13") || wants("fig14") {
+        println!("{}", queue_length_experiment(scale, SEED).render());
+    }
+    if wants("large-condor") {
+        println!("{}", condor_large_cluster(scale, SEED).render());
+    }
+    if wants("fig15") {
+        println!("{}", condor_mixed_workload(scale, false, SEED).render());
+    }
+    if wants("fig16") {
+        println!("{}", condor_mixed_workload(scale, true, SEED).render());
+    }
+    println!("done.");
+}

@@ -1,0 +1,2 @@
+//! Benchmark support crate: see the `figures` binary and the Criterion
+//! benches under `benches/`, one per table/figure of the paper.

@@ -1,0 +1,300 @@
+//! CPU accounting for simulated server machines.
+//!
+//! The paper reports server load as the four `/proc`-style categories: IO
+//! (cycles waiting for the disk), System (kernel mode), User (computation) and
+//! Idle (spare capacity). [`CpuAccountant`] reproduces that accounting:
+//! simulated work is *charged* to a category at a point in simulated time and
+//! utilisation is reported per fixed-size bucket (the paper samples once a
+//! minute) with optional rolling averages (Figure 10 uses five-minute rolling
+//! averages).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The CPU cycle categories reported by the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuCategory {
+    /// Cycles spent doing actual computation.
+    User,
+    /// Cycles spent executing in kernel mode.
+    System,
+    /// Cycles spent waiting for the disk.
+    Io,
+}
+
+/// Utilisation of one sampling interval, as percentages that sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuSample {
+    /// Start of the interval.
+    pub time: SimTime,
+    /// Percentage of capacity spent in user mode.
+    pub user: f64,
+    /// Percentage of capacity spent in system mode.
+    pub system: f64,
+    /// Percentage of capacity spent waiting on IO.
+    pub io: f64,
+    /// Percentage of capacity left idle.
+    pub idle: f64,
+}
+
+impl CpuSample {
+    /// Total busy percentage (user + system + io).
+    pub fn busy(&self) -> f64 {
+        self.user + self.system + self.io
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    user_ms: f64,
+    system_ms: f64,
+    io_ms: f64,
+}
+
+impl Bucket {
+    fn total(&self) -> f64 {
+        self.user_ms + self.system_ms + self.io_ms
+    }
+    fn get_mut(&mut self, cat: CpuCategory) -> &mut f64 {
+        match cat {
+            CpuCategory::User => &mut self.user_ms,
+            CpuCategory::System => &mut self.system_ms,
+            CpuCategory::Io => &mut self.io_ms,
+        }
+    }
+}
+
+/// Tracks CPU work charged against a simulated machine with a fixed number of
+/// cores, bucketed into fixed sampling intervals.
+///
+/// Work that would exceed a bucket's capacity spills into subsequent buckets,
+/// which is how a saturated single-threaded schedd shows up as a flat 100 %
+/// line while its backlog grows (Figure 14).
+#[derive(Debug, Clone)]
+pub struct CpuAccountant {
+    cores: f64,
+    bucket: SimDuration,
+    buckets: Vec<Bucket>,
+}
+
+impl CpuAccountant {
+    /// Creates an accountant for a machine with `cores` cores, sampling
+    /// utilisation over intervals of length `bucket`.
+    pub fn new(cores: u32, bucket: SimDuration) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        assert!(bucket.as_millis() > 0, "sampling bucket must be non-empty");
+        CpuAccountant {
+            cores: cores as f64,
+            bucket,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Number of cores of the simulated machine.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// The sampling interval.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    fn bucket_capacity_ms(&self) -> f64 {
+        self.bucket.as_millis() as f64 * self.cores
+    }
+
+    fn ensure_bucket(&mut self, index: usize) {
+        if self.buckets.len() <= index {
+            self.buckets.resize(index + 1, Bucket::default());
+        }
+    }
+
+    /// Charges `amount` of CPU time of `category` starting at `time`.
+    /// Work beyond the containing interval's remaining capacity spills into
+    /// later intervals (the machine is saturated).
+    pub fn charge(&mut self, time: SimTime, category: CpuCategory, amount: SimDuration) {
+        let mut remaining = amount.as_millis() as f64;
+        if remaining <= 0.0 {
+            return;
+        }
+        let capacity = self.bucket_capacity_ms();
+        let mut index = (time.0 / self.bucket.as_millis()) as usize;
+        while remaining > 0.0 {
+            self.ensure_bucket(index);
+            let used = self.buckets[index].total();
+            let free = (capacity - used).max(0.0);
+            let take = remaining.min(free.max(0.0));
+            if take > 0.0 {
+                *self.buckets[index].get_mut(category) += take;
+                remaining -= take;
+            }
+            if remaining > 0.0 {
+                index += 1;
+                // Guard against pathological unbounded spill.
+                if index > self.buckets.len() + 1_000_000 {
+                    *self.buckets.last_mut().unwrap().get_mut(category) += remaining;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total CPU milliseconds charged to each category so far.
+    pub fn totals(&self) -> (f64, f64, f64) {
+        let mut t = (0.0, 0.0, 0.0);
+        for b in &self.buckets {
+            t.0 += b.user_ms;
+            t.1 += b.system_ms;
+            t.2 += b.io_ms;
+        }
+        t
+    }
+
+    /// Per-interval utilisation samples, one per bucket from time zero to the
+    /// latest charged interval.
+    pub fn samples(&self) -> Vec<CpuSample> {
+        let capacity = self.bucket_capacity_ms();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let user = 100.0 * b.user_ms / capacity;
+                let system = 100.0 * b.system_ms / capacity;
+                let io = 100.0 * b.io_ms / capacity;
+                CpuSample {
+                    time: SimTime(i as u64 * self.bucket.as_millis()),
+                    user,
+                    system,
+                    io,
+                    idle: (100.0 - user - system - io).max(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Rolling average of the per-interval samples over `window` intervals
+    /// (the paper's Figure 10 plots five-minute rolling averages of one-minute
+    /// samples).
+    pub fn rolling_samples(&self, window: usize) -> Vec<CpuSample> {
+        let samples = self.samples();
+        if window <= 1 || samples.is_empty() {
+            return samples;
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        for i in 0..samples.len() {
+            let lo = i.saturating_sub(window - 1);
+            let slice = &samples[lo..=i];
+            let n = slice.len() as f64;
+            let user = slice.iter().map(|s| s.user).sum::<f64>() / n;
+            let system = slice.iter().map(|s| s.system).sum::<f64>() / n;
+            let io = slice.iter().map(|s| s.io).sum::<f64>() / n;
+            out.push(CpuSample {
+                time: samples[i].time,
+                user,
+                system,
+                io,
+                idle: (100.0 - user - system - io).max(0.0),
+            });
+        }
+        out
+    }
+
+    /// Mean utilisation over the interval `[from, to)`, as one sample.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> CpuSample {
+        let samples = self.samples();
+        let selected: Vec<&CpuSample> = samples
+            .iter()
+            .filter(|s| s.time >= from && s.time < to)
+            .collect();
+        if selected.is_empty() {
+            return CpuSample {
+                time: from,
+                idle: 100.0,
+                ..Default::default()
+            };
+        }
+        let n = selected.len() as f64;
+        let user = selected.iter().map(|s| s.user).sum::<f64>() / n;
+        let system = selected.iter().map(|s| s.system).sum::<f64>() / n;
+        let io = selected.iter().map(|s| s.io).sum::<f64>() / n;
+        CpuSample {
+            time: from,
+            user,
+            system,
+            io,
+            idle: (100.0 - user - system - io).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct() -> CpuAccountant {
+        CpuAccountant::new(4, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn charges_land_in_the_right_bucket() {
+        let mut a = acct();
+        a.charge(SimTime::from_secs(30), CpuCategory::User, SimDuration::from_secs(24));
+        a.charge(SimTime::from_secs(90), CpuCategory::Io, SimDuration::from_secs(12));
+        let samples = a.samples();
+        assert_eq!(samples.len(), 2);
+        // 24 s of user work against 240 s of capacity = 10 %.
+        assert!((samples[0].user - 10.0).abs() < 1e-9);
+        assert!((samples[0].idle - 90.0).abs() < 1e-9);
+        assert!((samples[1].io - 5.0).abs() < 1e-9);
+        assert!((samples[1].busy() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_spills_into_later_buckets() {
+        let mut a = CpuAccountant::new(1, SimDuration::from_secs(60));
+        // 90 seconds of work charged at t=0 on a 1-core machine: the first
+        // minute saturates and the remainder lands in the second minute.
+        a.charge(SimTime::ZERO, CpuCategory::User, SimDuration::from_secs(90));
+        let samples = a.samples();
+        assert_eq!(samples.len(), 2);
+        assert!((samples[0].user - 100.0).abs() < 1e-9);
+        assert!((samples[0].idle - 0.0).abs() < 1e-9);
+        assert!((samples[1].user - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut a = acct();
+        a.charge(SimTime::ZERO, CpuCategory::User, SimDuration::from_millis(100));
+        a.charge(SimTime::ZERO, CpuCategory::System, SimDuration::from_millis(50));
+        a.charge(SimTime::ZERO, CpuCategory::Io, SimDuration::from_millis(25));
+        let (u, s, i) = a.totals();
+        assert_eq!((u, s, i), (100.0, 50.0, 25.0));
+    }
+
+    #[test]
+    fn rolling_average_smooths() {
+        let mut a = CpuAccountant::new(1, SimDuration::from_secs(60));
+        a.charge(SimTime::from_secs(0), CpuCategory::User, SimDuration::from_secs(60));
+        a.charge(SimTime::from_secs(60), CpuCategory::User, SimDuration::ZERO);
+        a.charge(SimTime::from_secs(120), CpuCategory::User, SimDuration::from_secs(30));
+        let rolled = a.rolling_samples(3);
+        assert_eq!(rolled.len(), 3);
+        // Final sample averages 100 %, 0 %, 50 %.
+        assert!((rolled[2].user - 50.0).abs() < 1e-9);
+        // Window of 1 is a no-op.
+        assert_eq!(a.rolling_samples(1).len(), 3);
+    }
+
+    #[test]
+    fn mean_between_selects_interval() {
+        let mut a = acct();
+        a.charge(SimTime::from_secs(0), CpuCategory::User, SimDuration::from_secs(24));
+        a.charge(SimTime::from_secs(60), CpuCategory::User, SimDuration::from_secs(48));
+        let m = a.mean_between(SimTime::from_secs(0), SimTime::from_secs(120));
+        assert!((m.user - 15.0).abs() < 1e-9);
+        let empty = a.mean_between(SimTime::from_secs(600), SimTime::from_secs(660));
+        assert!((empty.idle - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! Execute-node failure model and drop tracking.
+//!
+//! The paper observes (Figures 7 and 8) that for very short jobs the execute
+//! nodes, not the server, limit throughput: "setting up and tearing down the
+//! environment for running jobs at the rate of four jobs every six seconds is
+//! not sustainable for our test-bed nodes", producing "timeout" errors and
+//! dropped jobs. This module models that: a job start whose computed setup
+//! overhead exceeds the node's timeout is *dropped*, and the tracker records
+//! which virtual and physical nodes ever dropped a job (the two bar series of
+//! Figure 8).
+
+use crate::machine::{Cluster, NodeCosts, PhysId, VmId};
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Outcome of attempting to start (or finish) a job on a virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// The job environment was set up successfully after the given overhead.
+    Started {
+        /// Time spent setting up before the job's own runtime begins.
+        setup: SimDuration,
+    },
+    /// The node timed out setting up the job; the job was dropped.
+    Dropped {
+        /// Time wasted before the node gave up.
+        wasted: SimDuration,
+    },
+}
+
+impl StartOutcome {
+    /// True when the job was dropped.
+    pub fn is_dropped(&self) -> bool {
+        matches!(self, StartOutcome::Dropped { .. })
+    }
+}
+
+/// Configuration of the node failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Per-job overhead parameters.
+    pub costs: NodeCosts,
+    /// Setup longer than this times out and drops the job.
+    pub setup_timeout: SimDuration,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            costs: NodeCosts::default(),
+            setup_timeout: SimDuration::from_secs(8),
+        }
+    }
+}
+
+/// Tracks node overhead activity and job drops across a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    model: FailureModel,
+    /// Number of VMs per physical machine currently in setup/teardown.
+    overheads_in_progress: HashMap<PhysId, u32>,
+    dropped_vms: BTreeSet<VmId>,
+    dropped_phys: BTreeSet<PhysId>,
+    total_drops: u64,
+    total_starts: u64,
+}
+
+impl NodeHealth {
+    /// Creates a tracker with the given failure model.
+    pub fn new(model: FailureModel) -> Self {
+        NodeHealth {
+            model,
+            overheads_in_progress: HashMap::new(),
+            dropped_vms: BTreeSet::new(),
+            dropped_phys: BTreeSet::new(),
+            total_drops: 0,
+            total_starts: 0,
+        }
+    }
+
+    /// The configured failure model.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// Attempts to start a job on `vm`. Marks the start of setup overhead on
+    /// the hosting physical machine; the caller must call
+    /// [`NodeHealth::finish_overhead`] when the setup (or drop) completes.
+    pub fn try_start_job(&mut self, cluster: &Cluster, vm: VmId, rng: &mut SimRng) -> StartOutcome {
+        let phys = cluster.phys_of(vm);
+        let concurrent = *self.overheads_in_progress.get(&phys.id).unwrap_or(&0);
+        *self.overheads_in_progress.entry(phys.id).or_insert(0) += 1;
+        self.total_starts += 1;
+        let setup = self.model.costs.setup_time(&phys.speed, concurrent, rng);
+        if setup > self.model.setup_timeout {
+            self.total_drops += 1;
+            self.dropped_vms.insert(vm);
+            self.dropped_phys.insert(phys.id);
+            StartOutcome::Dropped {
+                wasted: self.model.setup_timeout,
+            }
+        } else {
+            StartOutcome::Started { setup }
+        }
+    }
+
+    /// Computes the teardown overhead for a job completing on `vm` and marks
+    /// the teardown as in progress (also finished via `finish_overhead`).
+    pub fn teardown(&mut self, cluster: &Cluster, vm: VmId, rng: &mut SimRng) -> SimDuration {
+        let phys = cluster.phys_of(vm);
+        let concurrent = *self.overheads_in_progress.get(&phys.id).unwrap_or(&0);
+        *self.overheads_in_progress.entry(phys.id).or_insert(0) += 1;
+        self.model.costs.teardown_time(&phys.speed, concurrent, rng)
+    }
+
+    /// Marks one setup/teardown on the physical machine hosting `vm` as done.
+    pub fn finish_overhead(&mut self, cluster: &Cluster, vm: VmId) {
+        let phys = cluster.phys_of(vm);
+        if let Some(count) = self.overheads_in_progress.get_mut(&phys.id) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Number of distinct virtual machines that dropped at least one job.
+    pub fn dropped_vm_count(&self) -> usize {
+        self.dropped_vms.len()
+    }
+
+    /// Number of distinct physical machines that dropped at least one job.
+    pub fn dropped_phys_count(&self) -> usize {
+        self.dropped_phys.len()
+    }
+
+    /// Total number of dropped job starts.
+    pub fn total_drops(&self) -> u64 {
+        self.total_drops
+    }
+
+    /// Total number of attempted job starts.
+    pub fn total_starts(&self) -> u64 {
+        self.total_starts
+    }
+
+    /// The set of virtual machines that dropped at least one job.
+    pub fn dropped_vms(&self) -> &BTreeSet<VmId> {
+        &self.dropped_vms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ClusterSpec;
+
+    #[test]
+    fn fast_idle_nodes_do_not_drop() {
+        let cluster = ClusterSpec::uniform_fast(5, 1).build(&mut SimRng::new(1));
+        let mut health = NodeHealth::new(FailureModel::default());
+        let mut rng = SimRng::new(2);
+        for vm in 0..5 {
+            let outcome = health.try_start_job(&cluster, VmId(vm), &mut rng);
+            assert!(!outcome.is_dropped());
+            health.finish_overhead(&cluster, VmId(vm));
+        }
+        assert_eq!(health.total_drops(), 0);
+        assert_eq!(health.dropped_vm_count(), 0);
+        assert_eq!(health.total_starts(), 5);
+    }
+
+    #[test]
+    fn slow_contended_nodes_drop_jobs() {
+        // One slow physical machine with many VMs all starting at once: the
+        // contention multiplier pushes setup past the timeout.
+        let spec = ClusterSpec {
+            physical_machines: 1,
+            vms_per_machine: 16,
+            speed_mix: vec![(1.0, crate::machine::SpeedClass::p3_single())],
+        };
+        let cluster = spec.build(&mut SimRng::new(1));
+        let model = FailureModel {
+            setup_timeout: SimDuration::from_secs(5),
+            ..FailureModel::default()
+        };
+        let mut health = NodeHealth::new(model);
+        let mut rng = SimRng::new(2);
+        let mut dropped = 0;
+        for vm in 0..16 {
+            if health.try_start_job(&cluster, VmId(vm), &mut rng).is_dropped() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "expected at least one drop under heavy contention");
+        assert_eq!(health.total_drops(), dropped);
+        assert_eq!(health.dropped_phys_count(), 1);
+        assert!(health.dropped_vm_count() as u64 <= health.total_drops());
+    }
+
+    #[test]
+    fn finish_overhead_reduces_contention() {
+        let cluster = ClusterSpec::uniform_fast(1, 4).build(&mut SimRng::new(1));
+        let mut health = NodeHealth::new(FailureModel::default());
+        let mut rng = SimRng::new(3);
+        let a = health.try_start_job(&cluster, VmId(0), &mut rng);
+        health.finish_overhead(&cluster, VmId(0));
+        let b = health.try_start_job(&cluster, VmId(1), &mut rng);
+        // Both succeed on fast nodes; the second saw no extra contention.
+        assert!(!a.is_dropped() && !b.is_dropped());
+    }
+
+    #[test]
+    fn teardown_returns_positive_overhead() {
+        let cluster = ClusterSpec::uniform_fast(1, 1).build(&mut SimRng::new(1));
+        let mut health = NodeHealth::new(FailureModel::default());
+        let mut rng = SimRng::new(3);
+        let td = health.teardown(&cluster, VmId(0), &mut rng);
+        assert!(td.as_millis() > 0);
+        health.finish_overhead(&cluster, VmId(0));
+    }
+}

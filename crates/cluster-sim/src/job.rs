@@ -1,0 +1,70 @@
+//! Workload job descriptions shared by both cluster managers.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The description of one job as submitted by a user: how long it runs and who
+/// owns it. Both the Condor baseline and CondorJ2 consume the same job specs
+/// so experiments compare the two systems on identical workloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The job's execution time once started on a reference-speed node.
+    pub runtime: SimDuration,
+    /// The submitting user.
+    pub owner: String,
+}
+
+impl JobSpec {
+    /// Creates a job spec.
+    pub fn new(runtime: SimDuration, owner: impl Into<String>) -> Self {
+        JobSpec {
+            runtime,
+            owner: owner.into(),
+        }
+    }
+
+    /// A batch of `count` identical fixed-length jobs, as used by the
+    /// scheduling-throughput experiments.
+    pub fn fixed_batch(count: usize, runtime: SimDuration, owner: &str) -> Vec<JobSpec> {
+        (0..count).map(|_| JobSpec::new(runtime, owner)).collect()
+    }
+
+    /// The mixed workload of the paper's Section 5.1.3 / 5.2.3 experiments:
+    /// `short_count` one-minute-class jobs plus `long_count` six-minute-class
+    /// jobs (the actual durations are parameters so tests can scale down).
+    pub fn mixed_batch(
+        short_count: usize,
+        short_runtime: SimDuration,
+        long_count: usize,
+        long_runtime: SimDuration,
+        owner: &str,
+    ) -> Vec<JobSpec> {
+        let mut out = JobSpec::fixed_batch(short_count, short_runtime, owner);
+        out.extend(JobSpec::fixed_batch(long_count, long_runtime, owner));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_expected_sizes_and_total_work() {
+        let batch = JobSpec::fixed_batch(10, SimDuration::from_secs(60), "alice");
+        assert_eq!(batch.len(), 10);
+        assert!(batch.iter().all(|j| j.runtime == SimDuration::from_secs(60)));
+
+        let mixed = JobSpec::mixed_batch(
+            960,
+            SimDuration::from_secs(60),
+            240,
+            SimDuration::from_mins(6),
+            "bob",
+        );
+        assert_eq!(mixed.len(), 1200);
+        let total_mins: u64 = mixed.iter().map(|j| j.runtime.as_millis() / 60_000).sum();
+        // The paper's example: 960 one-minute + 240 six-minute jobs = 2,400 minutes.
+        assert_eq!(total_mins, 2400);
+    }
+}

@@ -1,0 +1,320 @@
+//! Physical and virtual execute machines.
+//!
+//! Both Condor and CondorJ2 schedule at the *virtual machine* level: every
+//! physical machine is configured with some number of virtual machines (the
+//! paper's experiments inflate this ratio — 4, 12 or 200 VMs per node — to
+//! simulate clusters far larger than the 50 physical machines available).
+//! Virtual machines here are purely a modelling abstraction, exactly as in the
+//! paper: they do not imply separate OS instances.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysId(pub u32);
+
+/// Identifier of a virtual machine (a schedulable slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+/// A hardware speed class for execute nodes.
+///
+/// `slowdown` scales job setup/teardown overheads: 1.0 is the reference
+/// (a 3 GHz Xeon-class node), larger values are slower nodes. The paper's
+/// test-bed was "a mix of single and dual processor 1 GHz P3 machines", which
+/// is what made very short jobs drop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedClass {
+    /// Human-readable name, e.g. `"p3-1ghz"`.
+    pub name: String,
+    /// Multiplier applied to per-job overheads on nodes of this class.
+    pub slowdown: f64,
+}
+
+impl SpeedClass {
+    /// A fast reference node.
+    pub fn xeon() -> Self {
+        SpeedClass {
+            name: "xeon-3ghz".into(),
+            slowdown: 1.0,
+        }
+    }
+
+    /// A slow single-processor 1 GHz Pentium III node.
+    pub fn p3_single() -> Self {
+        SpeedClass {
+            name: "p3-1ghz-single".into(),
+            slowdown: 3.0,
+        }
+    }
+
+    /// A slow dual-processor 1 GHz Pentium III node.
+    pub fn p3_dual() -> Self {
+        SpeedClass {
+            name: "p3-1ghz-dual".into(),
+            slowdown: 2.2,
+        }
+    }
+}
+
+/// A physical execute machine hosting one or more virtual machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalMachine {
+    /// Identifier.
+    pub id: PhysId,
+    /// Host name, e.g. `"node017"`.
+    pub name: String,
+    /// Hardware speed class.
+    pub speed: SpeedClass,
+    /// Number of virtual machines configured on this node.
+    pub vm_count: u32,
+}
+
+/// A virtual machine: one schedulable slot on a physical machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualMachine {
+    /// Identifier of the slot.
+    pub id: VmId,
+    /// The physical machine hosting the slot.
+    pub phys: PhysId,
+    /// Slot ordinal on the physical machine (1-based, Condor style).
+    pub slot: u32,
+}
+
+/// Description of a cluster to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of physical machines.
+    pub physical_machines: u32,
+    /// Virtual machines configured per physical machine.
+    pub vms_per_machine: u32,
+    /// Mix of speed classes as `(weight, class)`; weights need not sum to 1.
+    pub speed_mix: Vec<(f64, SpeedClass)>,
+}
+
+impl ClusterSpec {
+    /// The paper's test-bed shape: a mix of slow P3 nodes.
+    pub fn paper_testbed(physical_machines: u32, vms_per_machine: u32) -> Self {
+        ClusterSpec {
+            physical_machines,
+            vms_per_machine,
+            speed_mix: vec![
+                (0.5, SpeedClass::p3_single()),
+                (0.4, SpeedClass::p3_dual()),
+                (0.1, SpeedClass::xeon()),
+            ],
+        }
+    }
+
+    /// A uniform cluster of fast nodes (used to show drops disappear on
+    /// "real" hardware, per the paper's discussion of Figure 8).
+    pub fn uniform_fast(physical_machines: u32, vms_per_machine: u32) -> Self {
+        ClusterSpec {
+            physical_machines,
+            vms_per_machine,
+            speed_mix: vec![(1.0, SpeedClass::xeon())],
+        }
+    }
+
+    /// Total virtual machines described by the spec.
+    pub fn total_vms(&self) -> u32 {
+        self.physical_machines * self.vms_per_machine
+    }
+
+    /// Materialises the cluster, assigning speed classes deterministically
+    /// from `rng` according to the configured mix.
+    pub fn build(&self, rng: &mut SimRng) -> Cluster {
+        assert!(!self.speed_mix.is_empty(), "speed mix must not be empty");
+        let total_weight: f64 = self.speed_mix.iter().map(|(w, _)| *w).sum();
+        let mut physical = Vec::with_capacity(self.physical_machines as usize);
+        let mut vms = Vec::with_capacity(self.total_vms() as usize);
+        for p in 0..self.physical_machines {
+            let mut pick = rng.uniform(0.0, total_weight);
+            let mut speed = self.speed_mix[0].1.clone();
+            for (w, class) in &self.speed_mix {
+                if pick <= *w {
+                    speed = class.clone();
+                    break;
+                }
+                pick -= *w;
+            }
+            physical.push(PhysicalMachine {
+                id: PhysId(p),
+                name: format!("node{:03}", p + 1),
+                speed,
+                vm_count: self.vms_per_machine,
+            });
+            for s in 0..self.vms_per_machine {
+                vms.push(VirtualMachine {
+                    id: VmId(p * self.vms_per_machine + s),
+                    phys: PhysId(p),
+                    slot: s + 1,
+                });
+            }
+        }
+        Cluster { physical, vms }
+    }
+}
+
+/// A materialised cluster of physical and virtual machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Physical machines.
+    pub physical: Vec<PhysicalMachine>,
+    /// Virtual machines, ordered by id.
+    pub vms: Vec<VirtualMachine>,
+}
+
+impl Cluster {
+    /// Number of virtual machines.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of physical machines.
+    pub fn phys_count(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// The physical machine hosting `vm`.
+    pub fn phys_of(&self, vm: VmId) -> &PhysicalMachine {
+        let vm = &self.vms[vm.0 as usize];
+        &self.physical[vm.phys.0 as usize]
+    }
+
+    /// The virtual machine with id `vm`.
+    pub fn vm(&self, vm: VmId) -> &VirtualMachine {
+        &self.vms[vm.0 as usize]
+    }
+
+    /// The Condor-style slot name of a virtual machine, e.g. `"vm2@node007"`.
+    pub fn vm_name(&self, vm: VmId) -> String {
+        let v = self.vm(vm);
+        let p = &self.physical[v.phys.0 as usize];
+        format!("vm{}@{}", v.slot, p.name)
+    }
+}
+
+/// Per-job overhead parameters for execute nodes.
+///
+/// Setting up a job (spawning the starter, creating the execution sandbox,
+/// transferring files) and tearing it down costs real time on the node; on
+/// slow nodes under rapid turnover this overhead is what makes six-second jobs
+/// time out and get dropped (Figures 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCosts {
+    /// Base time to set up one job on a reference-speed node.
+    pub setup_base: SimDuration,
+    /// Base time to tear down one job on a reference-speed node.
+    pub teardown_base: SimDuration,
+    /// Additional multiplier per concurrently-overheaded VM on the same
+    /// physical machine (models contention for the node's disk and CPU).
+    pub contention_factor: f64,
+    /// Random jitter applied to every overhead, as a fraction (0.1 = ±10 %).
+    pub jitter: f64,
+}
+
+impl Default for NodeCosts {
+    fn default() -> Self {
+        NodeCosts {
+            setup_base: SimDuration::from_millis(900),
+            teardown_base: SimDuration::from_millis(600),
+            contention_factor: 0.6,
+            jitter: 0.15,
+        }
+    }
+}
+
+impl NodeCosts {
+    /// Computes the setup (or teardown) duration for a job on a node of the
+    /// given speed with `concurrent` other VMs on the same physical machine
+    /// currently in setup/teardown.
+    pub fn overhead(
+        &self,
+        base: SimDuration,
+        speed: &SpeedClass,
+        concurrent: u32,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let contention = 1.0 + self.contention_factor * concurrent as f64;
+        let jitter = 1.0 + rng.uniform(-self.jitter, self.jitter);
+        base.mul_f64(speed.slowdown * contention * jitter.max(0.0))
+    }
+
+    /// Setup duration under the given conditions.
+    pub fn setup_time(&self, speed: &SpeedClass, concurrent: u32, rng: &mut SimRng) -> SimDuration {
+        self.overhead(self.setup_base, speed, concurrent, rng)
+    }
+
+    /// Teardown duration under the given conditions.
+    pub fn teardown_time(
+        &self,
+        speed: &SpeedClass,
+        concurrent: u32,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        self.overhead(self.teardown_base, speed, concurrent, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builds_expected_counts() {
+        let spec = ClusterSpec::paper_testbed(45, 4);
+        assert_eq!(spec.total_vms(), 180);
+        let cluster = spec.build(&mut SimRng::new(7));
+        assert_eq!(cluster.phys_count(), 45);
+        assert_eq!(cluster.vm_count(), 180);
+        // Every VM maps back to a valid physical machine.
+        for vm in &cluster.vms {
+            assert!(vm.phys.0 < 45);
+        }
+    }
+
+    #[test]
+    fn vm_lookup_and_names() {
+        let cluster = ClusterSpec::uniform_fast(2, 3).build(&mut SimRng::new(1));
+        assert_eq!(cluster.vm(VmId(4)).phys, PhysId(1));
+        assert_eq!(cluster.vm(VmId(4)).slot, 2);
+        assert_eq!(cluster.vm_name(VmId(0)), "vm1@node001");
+        assert_eq!(cluster.phys_of(VmId(5)).name, "node002");
+    }
+
+    #[test]
+    fn speed_mix_is_deterministic_for_a_seed() {
+        let spec = ClusterSpec::paper_testbed(20, 2);
+        let a = spec.build(&mut SimRng::new(42));
+        let b = spec.build(&mut SimRng::new(42));
+        assert_eq!(a, b);
+        let c = spec.build(&mut SimRng::new(43));
+        // Different seed, very likely a different assignment of classes.
+        assert_eq!(c.phys_count(), 20);
+    }
+
+    #[test]
+    fn uniform_fast_has_no_slow_nodes() {
+        let cluster = ClusterSpec::uniform_fast(10, 4).build(&mut SimRng::new(3));
+        assert!(cluster.physical.iter().all(|p| p.speed.slowdown == 1.0));
+    }
+
+    #[test]
+    fn overhead_scales_with_speed_and_contention() {
+        let costs = NodeCosts {
+            jitter: 0.0,
+            ..NodeCosts::default()
+        };
+        let mut rng = SimRng::new(1);
+        let fast = costs.setup_time(&SpeedClass::xeon(), 0, &mut rng);
+        let slow = costs.setup_time(&SpeedClass::p3_single(), 0, &mut rng);
+        assert!(slow > fast);
+        let contended = costs.setup_time(&SpeedClass::p3_single(), 3, &mut rng);
+        assert!(contended > slow);
+        let teardown = costs.teardown_time(&SpeedClass::xeon(), 0, &mut rng);
+        assert!(teardown < fast || teardown.as_millis() <= costs.setup_base.as_millis());
+    }
+}

@@ -1,0 +1,286 @@
+//! Time-series and throughput metrics used by the experiments.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A time series of `(time, value)` points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as the column header in reports).
+    pub name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point. Points should be appended in time order.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        self.points.push((time, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The maximum value, or `None` for an empty series.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|(_, v)| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// The mean value, or `None` for an empty series.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|(_, v)| *v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Mean of the values whose timestamps fall in `[from, to)`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Records discrete events (e.g. job completions) and reports event rates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventCounter {
+    /// Counter name.
+    pub name: String,
+    times: Vec<SimTime>,
+}
+
+impl EventCounter {
+    /// Creates an empty named counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        EventCounter {
+            name: name.into(),
+            times: Vec::new(),
+        }
+    }
+
+    /// Records one event at `time`.
+    pub fn record(&mut self, time: SimTime) {
+        self.times.push(time);
+    }
+
+    /// Total number of events recorded.
+    pub fn count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The time of the last event, if any.
+    pub fn last(&self) -> Option<SimTime> {
+        self.times.iter().copied().max()
+    }
+
+    /// Events per second over `[from, to)`; zero when the window is empty.
+    pub fn rate_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let n = self
+            .times
+            .iter()
+            .filter(|t| **t >= from && **t < to)
+            .count();
+        n as f64 / (to - from).as_secs_f64()
+    }
+
+    /// Counts events per fixed bucket from time zero to the latest event,
+    /// returning `(bucket_start, count)` pairs. Used for Figures 12, 15, 16.
+    pub fn per_bucket(&self, bucket: SimDuration) -> Vec<(SimTime, u64)> {
+        let Some(last) = self.last() else {
+            return Vec::new();
+        };
+        let bucket_ms = bucket.as_millis().max(1);
+        let buckets = (last.0 / bucket_ms) as usize + 1;
+        let mut counts = vec![0u64; buckets];
+        for t in &self.times {
+            counts[(t.0 / bucket_ms) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (SimTime(i as u64 * bucket_ms), c))
+            .collect()
+    }
+
+    /// The steady-state event rate: events per second between the `trim`
+    /// fraction and `1 - trim` fraction of the observation span. The paper
+    /// computes average scheduling throughput "excluding the ramp up and ramp
+    /// down time"; this is the same idea.
+    pub fn steady_rate(&self, trim: f64) -> f64 {
+        if self.times.len() < 2 {
+            return 0.0;
+        }
+        let first = self.times.iter().copied().min().unwrap_or(SimTime::ZERO);
+        let last = self.times.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let span = (last - first).as_millis() as f64;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let lo = SimTime(first.0 + (span * trim) as u64);
+        let hi = SimTime(first.0 + (span * (1.0 - trim)) as u64);
+        self.rate_between(lo, hi)
+    }
+}
+
+/// Tracks the number of jobs in progress over time (Figures 11, 15, 16).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InProgressTracker {
+    current: i64,
+    series: Vec<(SimTime, i64)>,
+}
+
+impl InProgressTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        InProgressTracker::default()
+    }
+
+    /// Records a job start at `time`.
+    pub fn start(&mut self, time: SimTime) {
+        self.current += 1;
+        self.series.push((time, self.current));
+    }
+
+    /// Records a job completion at `time`.
+    pub fn finish(&mut self, time: SimTime) {
+        self.current -= 1;
+        self.series.push((time, self.current));
+    }
+
+    /// The number of jobs currently in progress.
+    pub fn current(&self) -> i64 {
+        self.current
+    }
+
+    /// The peak number of jobs in progress.
+    pub fn peak(&self) -> i64 {
+        self.series.iter().map(|(_, v)| *v).max().unwrap_or(0)
+    }
+
+    /// Samples the series at fixed intervals, carrying the last value forward
+    /// (a step function sampled once per bucket, as the paper's plots do).
+    pub fn sampled(&self, bucket: SimDuration, until: SimTime) -> Vec<(SimTime, i64)> {
+        let bucket_ms = bucket.as_millis().max(1);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut last = 0i64;
+        let mut t = 0u64;
+        while t <= until.0 {
+            while idx < self.series.len() && self.series[idx].0 .0 <= t {
+                last = self.series[idx].1;
+                idx += 1;
+            }
+            out.push((SimTime(t), last));
+            t += bucket_ms;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_statistics() {
+        let mut s = TimeSeries::new("cpu");
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        s.push(SimTime::from_secs(0), 10.0);
+        s.push(SimTime::from_secs(60), 30.0);
+        s.push(SimTime::from_secs(120), 20.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max(), Some(30.0));
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(
+            s.mean_between(SimTime::from_secs(30), SimTime::from_secs(130)),
+            Some(25.0)
+        );
+        assert_eq!(
+            s.mean_between(SimTime::from_secs(500), SimTime::from_secs(600)),
+            None
+        );
+    }
+
+    #[test]
+    fn event_counter_rates() {
+        let mut c = EventCounter::new("completions");
+        for i in 0..100 {
+            c.record(SimTime::from_secs(i));
+        }
+        assert_eq!(c.count(), 100);
+        assert_eq!(c.last(), Some(SimTime::from_secs(99)));
+        // One event per second over the middle of the run.
+        let r = c.rate_between(SimTime::from_secs(10), SimTime::from_secs(90));
+        assert!((r - 1.0).abs() < 0.05);
+        let steady = c.steady_rate(0.1);
+        assert!((steady - 1.0).abs() < 0.1);
+        assert_eq!(EventCounter::new("x").steady_rate(0.1), 0.0);
+    }
+
+    #[test]
+    fn per_bucket_counts() {
+        let mut c = EventCounter::new("jobs");
+        c.record(SimTime::from_secs(10));
+        c.record(SimTime::from_secs(20));
+        c.record(SimTime::from_secs(70));
+        let buckets = c.per_bucket(SimDuration::from_secs(60));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 1);
+        assert!(EventCounter::new("y").per_bucket(SimDuration::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn in_progress_tracking_and_sampling() {
+        let mut t = InProgressTracker::new();
+        t.start(SimTime::from_secs(10));
+        t.start(SimTime::from_secs(20));
+        t.finish(SimTime::from_secs(90));
+        assert_eq!(t.current(), 1);
+        assert_eq!(t.peak(), 2);
+        let sampled = t.sampled(SimDuration::from_secs(60), SimTime::from_secs(120));
+        assert_eq!(sampled.len(), 3);
+        assert_eq!(sampled[0].1, 0);
+        assert_eq!(sampled[1].1, 2);
+        assert_eq!(sampled[2].1, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic random number generation for simulations.
+//!
+//! The generator is a small, self-contained xoshiro256** implementation seeded
+//! through SplitMix64. Experiments must be bit-for-bit reproducible across
+//! platforms and library upgrades (the same seed must always produce the same
+//! cluster, the same jitter and therefore the same figures), which is why the
+//! simulator does not rely on an external generator whose stream may change.
+
+/// A seeded random number generator with the few operations the simulator
+/// needs. Every experiment takes an explicit seed so runs are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// The next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// The next value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random index below `len`; `None` when `len == 0`.
+    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some((self.next_u64() % len as u64) as usize)
+        }
+    }
+
+    /// Derives an independent child generator (e.g. one per execute node)
+    /// so adding random draws in one component does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
+            assert_eq!(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let n = rng.uniform_int(10, 20);
+            assert!((10..20).contains(&n));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform_int(7, 7), 7);
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let mut rng = SimRng::new(11);
+        let mut lo_hits = 0;
+        let mut hi_hits = 0;
+        for _ in 0..10_000 {
+            let x = rng.uniform(0.0, 1.0);
+            if x < 0.1 {
+                lo_hits += 1;
+            }
+            if x > 0.9 {
+                hi_hits += 1;
+            }
+        }
+        assert!(lo_hits > 700 && lo_hits < 1300, "low decile {lo_hits}");
+        assert!(hi_hits > 700 && hi_hits < 1300, "high decile {hi_hits}");
+    }
+
+    #[test]
+    fn chance_extremes_and_distribution() {
+        let mut rng = SimRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..1000).filter(|_| rng.chance(0.5)).count();
+        assert!(hits > 400 && hits < 600);
+    }
+
+    #[test]
+    fn pick_index_bounds() {
+        let mut rng = SimRng::new(5);
+        assert_eq!(rng.pick_index(0), None);
+        for _ in 0..100 {
+            assert!(rng.pick_index(4).unwrap() < 4);
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_but_deterministic() {
+        let mut parent_a = SimRng::new(1);
+        let mut parent_b = SimRng::new(1);
+        let mut child_a = parent_a.fork(7);
+        let mut child_b = parent_b.fork(7);
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+        // A different salt produces a different stream.
+        let mut other = SimRng::new(1).fork(8);
+        assert_ne!(child_a.next_u64(), other.next_u64());
+    }
+}

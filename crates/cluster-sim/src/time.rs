@@ -1,0 +1,185 @@
+//! Simulated time.
+//!
+//! All experiments run in virtual time so a "10,000-machine, 8-hour" run
+//! (Figure 10 of the paper) completes in seconds of wall-clock time and is
+//! perfectly reproducible. Time is kept in whole milliseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in milliseconds since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Builds a time from whole minutes.
+    pub fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60_000)
+    }
+
+    /// This time expressed in (truncated) whole seconds.
+    pub fn as_secs(&self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This time expressed in fractional minutes.
+    pub fn as_mins_f64(&self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// Builds a duration from fractional seconds (rounded to milliseconds).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// Builds a duration from whole minutes.
+    pub fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// This duration in fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This duration in whole milliseconds.
+    pub fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Scales the duration by a factor (used by machine speed classes).
+    pub fn mul_f64(&self, factor: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(&self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2000));
+        assert_eq!(SimTime::from_mins(3), SimTime(180_000));
+        assert_eq!(SimTime(2500).as_secs(), 2);
+        assert!((SimTime(2500).as_secs_f64() - 2.5).abs() < 1e-9);
+        assert!((SimTime::from_mins(6).as_mins_f64() - 6.0).abs() < 1e-9);
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration(1500));
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration(0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(12), SimDuration::from_secs(3));
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(8).since(SimTime::from_secs(3)),
+            SimDuration::from_secs(5)
+        );
+        let mut d = SimDuration::from_secs(1);
+        d += SimDuration::from_millis(500);
+        assert_eq!(d, SimDuration(1500));
+        assert_eq!(d.mul_f64(2.0), SimDuration(3000));
+        assert_eq!(d.saturating_sub(SimDuration::from_secs(10)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(2).to_string(), "t+2.000s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+}

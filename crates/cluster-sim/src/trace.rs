@@ -1,0 +1,169 @@
+//! Communication-flow tracing.
+//!
+//! Section 4.2 of the paper walks one job through each system and counts the
+//! distinct entities and communication channels involved: Condor needs ten
+//! channels between seven entities (Table 1 / Figure 5), CondorJ2 needs four
+//! channels between five entities (Table 2 / Figure 6). The [`TraceRecorder`]
+//! captures those step lists from the running implementations so the benches
+//! can regenerate both tables and the channel/entity counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One step in a data-flow trace: a message or action from one entity to
+/// another (or a local action when `from == to`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// 1-based step number.
+    pub step: usize,
+    /// The acting entity (e.g. `"schedd"`, `"CAS"`, `"user"`).
+    pub from: String,
+    /// The entity acted upon or messaged (may equal `from` for local actions).
+    pub to: String,
+    /// Human-readable description, mirroring the paper's table rows.
+    pub description: String,
+}
+
+/// Records the data-flow steps of one job's trip through a cluster manager.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    steps: Vec<TraceStep>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records a step from `from` to `to` with a description.
+    pub fn record(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        description: impl Into<String>,
+    ) {
+        let step = self.steps.len() + 1;
+        self.steps.push(TraceStep {
+            step,
+            from: from.into(),
+            to: to.into(),
+            description: description.into(),
+        });
+    }
+
+    /// The recorded steps in order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The set of distinct entities that appear in the trace.
+    pub fn entities(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        for s in &self.steps {
+            set.insert(s.from.clone());
+            set.insert(s.to.clone());
+        }
+        set
+    }
+
+    /// The set of distinct communication channels (unordered entity pairs,
+    /// excluding local actions where `from == to`).
+    pub fn channels(&self) -> BTreeSet<(String, String)> {
+        let mut set = BTreeSet::new();
+        for s in &self.steps {
+            if s.from == s.to {
+                continue;
+            }
+            let (a, b) = if s.from <= s.to {
+                (s.from.clone(), s.to.clone())
+            } else {
+                (s.to.clone(), s.from.clone())
+            };
+            set.insert((a, b));
+        }
+        set
+    }
+
+    /// Renders the trace as a table in the style of the paper's Tables 1 and 2.
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "{:>4}  {}", "Step", "Description");
+        let _ = writeln!(out, "{:->4}  {:-<60}", "", "");
+        for s in &self.steps {
+            let _ = writeln!(out, "{:>4}  {}", s.step, s.description);
+        }
+        let _ = writeln!(
+            out,
+            "\nDistinct entities: {}   Communication channels: {}",
+            self.entities().len(),
+            self.channels().len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::new();
+        t.record("user", "schedd", "User submits job to schedd");
+        t.record("schedd", "collector", "Schedd sends job queue summary to collector");
+        t.record("collector", "negotiator", "Collector forwards data to negotiator");
+        t.record("schedd", "schedd", "Schedd logs job to disk");
+        t.record("negotiator", "schedd", "Negotiator informs schedd of match");
+        t
+    }
+
+    #[test]
+    fn steps_are_numbered_in_order() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.steps()[0].step, 1);
+        assert_eq!(t.steps()[4].step, 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn entities_and_channels_are_deduplicated() {
+        let t = sample();
+        let entities = t.entities();
+        assert_eq!(entities.len(), 4); // user, schedd, collector, negotiator
+        let channels = t.channels();
+        // user-schedd, schedd-collector, collector-negotiator, negotiator-schedd.
+        assert_eq!(channels.len(), 4);
+        // The local log-to-disk step creates no channel.
+        assert!(!channels.contains(&("schedd".into(), "schedd".into())));
+    }
+
+    #[test]
+    fn channel_pairs_are_unordered() {
+        let mut t = TraceRecorder::new();
+        t.record("a", "b", "forward");
+        t.record("b", "a", "reply");
+        assert_eq!(t.channels().len(), 1);
+    }
+
+    #[test]
+    fn table_rendering_includes_counts() {
+        let table = sample().to_table("Table 1. Condor steps");
+        assert!(table.contains("Table 1"));
+        assert!(table.contains("User submits job"));
+        assert!(table.contains("Distinct entities: 4"));
+        assert!(table.contains("Communication channels: 4"));
+    }
+}

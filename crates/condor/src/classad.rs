@@ -1,0 +1,228 @@
+//! A minimal ClassAd-style attribute/requirement mechanism.
+//!
+//! Condor's matchmaking framework describes jobs and machines as ClassAds —
+//! attribute lists with `Requirements` expressions evaluated against the other
+//! party's ad. The baseline only needs enough of this to make matchmaking
+//! decisions in the negotiator: numeric and string attributes plus simple
+//! comparison requirements.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value in a ClassAd.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdValue {
+    /// Numeric attribute.
+    Number(f64),
+    /// String attribute.
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+impl fmt::Display for AdValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdValue::Number(n) => write!(f, "{n}"),
+            AdValue::Str(s) => write!(f, "\"{s}\""),
+            AdValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A comparison operator inside a requirement clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReqOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+/// One requirement clause: `other.attribute <op> value`. A ClassAd matches a
+/// counterpart only when all clauses hold against the counterpart's ad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// The attribute looked up in the counterpart ad.
+    pub attribute: String,
+    /// Comparison operator.
+    pub op: ReqOp,
+    /// The value compared against.
+    pub value: AdValue,
+}
+
+/// A ClassAd: named attributes plus requirement clauses over the counterpart.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, AdValue>,
+    requirements: Vec<Requirement>,
+}
+
+impl ClassAd {
+    /// Creates an empty ad.
+    pub fn new() -> Self {
+        ClassAd::default()
+    }
+
+    /// Builder-style numeric attribute.
+    pub fn with_number(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.attrs.insert(name.into().to_ascii_lowercase(), AdValue::Number(value));
+        self
+    }
+
+    /// Builder-style string attribute.
+    pub fn with_str(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs
+            .insert(name.into().to_ascii_lowercase(), AdValue::Str(value.into()));
+        self
+    }
+
+    /// Builder-style boolean attribute.
+    pub fn with_bool(mut self, name: impl Into<String>, value: bool) -> Self {
+        self.attrs.insert(name.into().to_ascii_lowercase(), AdValue::Bool(value));
+        self
+    }
+
+    /// Builder-style requirement clause.
+    pub fn require(mut self, attribute: impl Into<String>, op: ReqOp, value: AdValue) -> Self {
+        self.requirements.push(Requirement {
+            attribute: attribute.into().to_ascii_lowercase(),
+            op,
+            value,
+        });
+        self
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, name: &str) -> Option<&AdValue> {
+        self.attrs.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the ad has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Evaluates this ad's requirements against `other`. Missing attributes
+    /// fail the clause (as an undefined ClassAd expression would).
+    pub fn requirements_met_by(&self, other: &ClassAd) -> bool {
+        self.requirements.iter().all(|req| {
+            let Some(actual) = other.get(&req.attribute) else {
+                return false;
+            };
+            match (actual, &req.value) {
+                (AdValue::Number(a), AdValue::Number(b)) => match req.op {
+                    ReqOp::Eq => (a - b).abs() < f64::EPSILON,
+                    ReqOp::Ne => (a - b).abs() >= f64::EPSILON,
+                    ReqOp::Ge => a >= b,
+                    ReqOp::Le => a <= b,
+                    ReqOp::Gt => a > b,
+                    ReqOp::Lt => a < b,
+                },
+                (AdValue::Str(a), AdValue::Str(b)) => match req.op {
+                    ReqOp::Eq => a == b,
+                    ReqOp::Ne => a != b,
+                    _ => false,
+                },
+                (AdValue::Bool(a), AdValue::Bool(b)) => match req.op {
+                    ReqOp::Eq => a == b,
+                    ReqOp::Ne => a != b,
+                    _ => false,
+                },
+                _ => false,
+            }
+        })
+    }
+
+    /// Symmetric match: both ads' requirements hold against each other, the
+    /// test the negotiator applies to a (job, machine) pair.
+    pub fn matches(&self, other: &ClassAd) -> bool {
+        self.requirements_met_by(other) && other.requirements_met_by(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_ad(memory: f64, arch: &str) -> ClassAd {
+        ClassAd::new()
+            .with_number("memory", memory)
+            .with_str("arch", arch)
+            .with_bool("start", true)
+    }
+
+    fn job_ad(min_memory: f64, arch: &str) -> ClassAd {
+        ClassAd::new()
+            .with_number("imagesize", 120.0)
+            .require("memory", ReqOp::Ge, AdValue::Number(min_memory))
+            .require("arch", ReqOp::Eq, AdValue::Str(arch.into()))
+    }
+
+    #[test]
+    fn matching_respects_requirements() {
+        let machine = machine_ad(2048.0, "x86_64");
+        assert!(job_ad(1024.0, "x86_64").matches(&machine));
+        assert!(!job_ad(4096.0, "x86_64").matches(&machine));
+        assert!(!job_ad(1024.0, "ppc").matches(&machine));
+    }
+
+    #[test]
+    fn missing_attributes_fail_requirements() {
+        let bare = ClassAd::new();
+        assert!(!job_ad(1.0, "x86_64").matches(&bare));
+        // An ad with no requirements matches anything that has none either.
+        assert!(bare.matches(&ClassAd::new()));
+    }
+
+    #[test]
+    fn symmetric_matching() {
+        // Machine requires jobs to be small; job requires memory.
+        let machine = machine_ad(2048.0, "x86_64").require(
+            "imagesize",
+            ReqOp::Le,
+            AdValue::Number(512.0),
+        );
+        let small_job = job_ad(1024.0, "x86_64");
+        let big_job = ClassAd::new()
+            .with_number("imagesize", 4096.0)
+            .require("memory", ReqOp::Ge, AdValue::Number(1024.0));
+        assert!(machine.matches(&small_job));
+        assert!(!machine.matches(&big_job));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let ad = machine_ad(1024.0, "x86_64");
+        assert_eq!(ad.len(), 3);
+        assert!(!ad.is_empty());
+        assert_eq!(ad.get("ARCH"), Some(&AdValue::Str("x86_64".into())));
+        assert_eq!(ad.get("missing"), None);
+        assert_eq!(AdValue::Number(3.0).to_string(), "3");
+        assert_eq!(AdValue::Str("a".into()).to_string(), "\"a\"");
+        assert_eq!(AdValue::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn type_mismatches_never_match() {
+        let machine = ClassAd::new().with_str("memory", "lots");
+        let job = ClassAd::new().require("memory", ReqOp::Ge, AdValue::Number(1.0));
+        assert!(!job.requirements_met_by(&machine));
+        let job = ClassAd::new().require("memory", ReqOp::Gt, AdValue::Str("x".into()));
+        assert!(!job.requirements_met_by(&machine));
+    }
+}

@@ -1,0 +1,206 @@
+//! The startd and starter: the execute-machine side of the baseline.
+//!
+//! Each virtual machine (slot) is represented by a startd that advertises its
+//! state to the collector, accepts claims from schedds, and spawns a starter
+//! to set up and monitor each job. Neither daemon keeps any transactional or
+//! recovery state.
+
+use cluster_sim::{SimTime, VmId};
+use serde::{Deserialize, Serialize};
+
+/// The lifecycle of one execute slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Not claimed by any schedd.
+    Unclaimed,
+    /// Claimed by a schedd but not running a job.
+    Claimed {
+        /// The claiming schedd.
+        schedd: usize,
+    },
+    /// A starter is setting up a job's execution environment.
+    SettingUp {
+        /// The claiming schedd.
+        schedd: usize,
+        /// The job being set up.
+        job_id: u64,
+    },
+    /// A job is executing under a starter.
+    Running {
+        /// The claiming schedd.
+        schedd: usize,
+        /// The executing job.
+        job_id: u64,
+    },
+    /// The starter is tearing down after a job finished or was dropped.
+    TearingDown {
+        /// The claiming schedd.
+        schedd: usize,
+    },
+}
+
+/// The startd for one execute slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecNode {
+    /// The slot this startd represents.
+    pub vm: VmId,
+    /// Current lifecycle state.
+    pub state: NodeState,
+    /// Number of starters ever spawned on this slot.
+    pub starters_spawned: u64,
+    /// Number of jobs completed on this slot.
+    pub jobs_completed: u64,
+    /// Time of the last state change.
+    pub last_transition: SimTime,
+}
+
+impl ExecNode {
+    /// Creates an unclaimed node.
+    pub fn new(vm: VmId) -> Self {
+        ExecNode {
+            vm,
+            state: NodeState::Unclaimed,
+            starters_spawned: 0,
+            jobs_completed: 0,
+            last_transition: SimTime::ZERO,
+        }
+    }
+
+    /// The schedd holding the claim on this slot, if any.
+    pub fn claiming_schedd(&self) -> Option<usize> {
+        match self.state {
+            NodeState::Unclaimed => None,
+            NodeState::Claimed { schedd }
+            | NodeState::SettingUp { schedd, .. }
+            | NodeState::Running { schedd, .. }
+            | NodeState::TearingDown { schedd } => Some(schedd),
+        }
+    }
+
+    /// True when the slot can accept a new job start from its claiming schedd.
+    pub fn is_idle_claimed(&self) -> bool {
+        matches!(self.state, NodeState::Claimed { .. })
+    }
+
+    /// True when a job is currently executing.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, NodeState::Running { .. })
+    }
+
+    /// Accepts a claim from a schedd. Only valid for unclaimed slots.
+    pub fn accept_claim(&mut self, now: SimTime, schedd: usize) -> bool {
+        if self.state != NodeState::Unclaimed {
+            return false;
+        }
+        self.state = NodeState::Claimed { schedd };
+        self.last_transition = now;
+        true
+    }
+
+    /// Releases the claim, returning the slot to the pool.
+    pub fn release(&mut self, now: SimTime) {
+        self.state = NodeState::Unclaimed;
+        self.last_transition = now;
+    }
+
+    /// Spawns a starter to begin setting up `job_id`. Only valid when claimed
+    /// and idle; returns `false` otherwise.
+    pub fn begin_setup(&mut self, now: SimTime, job_id: u64) -> bool {
+        let NodeState::Claimed { schedd } = self.state else {
+            return false;
+        };
+        self.state = NodeState::SettingUp { schedd, job_id };
+        self.starters_spawned += 1;
+        self.last_transition = now;
+        true
+    }
+
+    /// Marks setup complete; the job is now executing.
+    pub fn begin_running(&mut self, now: SimTime) -> bool {
+        let NodeState::SettingUp { schedd, job_id } = self.state else {
+            return false;
+        };
+        self.state = NodeState::Running { schedd, job_id };
+        self.last_transition = now;
+        true
+    }
+
+    /// The job finished (or was dropped); the starter tears down.
+    pub fn begin_teardown(&mut self, now: SimTime, completed: bool) -> Option<u64> {
+        let (schedd, job_id) = match self.state {
+            NodeState::Running { schedd, job_id } | NodeState::SettingUp { schedd, job_id } => {
+                (schedd, Some(job_id))
+            }
+            NodeState::Claimed { schedd } => (schedd, None),
+            _ => return None,
+        };
+        if completed {
+            self.jobs_completed += 1;
+        }
+        self.state = NodeState::TearingDown { schedd };
+        self.last_transition = now;
+        job_id
+    }
+
+    /// Teardown finished; the slot is claimed-idle again.
+    pub fn finish_teardown(&mut self, now: SimTime) -> bool {
+        let NodeState::TearingDown { schedd } = self.state else {
+            return false;
+        };
+        self.state = NodeState::Claimed { schedd };
+        self.last_transition = now;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_job_lifecycle() {
+        let mut node = ExecNode::new(VmId(3));
+        assert_eq!(node.claiming_schedd(), None);
+        assert!(node.accept_claim(SimTime::from_secs(1), 0));
+        assert!(node.is_idle_claimed());
+        assert_eq!(node.claiming_schedd(), Some(0));
+
+        assert!(node.begin_setup(SimTime::from_secs(2), 42));
+        assert!(!node.is_idle_claimed());
+        assert!(node.begin_running(SimTime::from_secs(3)));
+        assert!(node.is_running());
+
+        assert_eq!(node.begin_teardown(SimTime::from_secs(63), true), Some(42));
+        assert!(node.finish_teardown(SimTime::from_secs(64)));
+        assert!(node.is_idle_claimed());
+        assert_eq!(node.jobs_completed, 1);
+        assert_eq!(node.starters_spawned, 1);
+
+        node.release(SimTime::from_secs(65));
+        assert_eq!(node.state, NodeState::Unclaimed);
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut node = ExecNode::new(VmId(0));
+        assert!(!node.begin_setup(SimTime::ZERO, 1));
+        assert!(!node.begin_running(SimTime::ZERO));
+        assert!(node.begin_teardown(SimTime::ZERO, true).is_none());
+        assert!(!node.finish_teardown(SimTime::ZERO));
+
+        assert!(node.accept_claim(SimTime::ZERO, 1));
+        assert!(!node.accept_claim(SimTime::ZERO, 2), "double claim rejected");
+        assert!(!node.begin_running(SimTime::ZERO), "cannot run before setup");
+    }
+
+    #[test]
+    fn dropped_setup_tears_down_without_completion() {
+        let mut node = ExecNode::new(VmId(0));
+        node.accept_claim(SimTime::ZERO, 0);
+        node.begin_setup(SimTime::ZERO, 7);
+        // The setup timed out; the job is dropped, not completed.
+        assert_eq!(node.begin_teardown(SimTime::from_secs(8), false), Some(7));
+        assert_eq!(node.jobs_completed, 0);
+        assert!(node.finish_teardown(SimTime::from_secs(9)));
+    }
+}

@@ -1,0 +1,902 @@
+//! The CondorJ2 Application Server (CAS) state and its service layer.
+//!
+//! The CAS is "the only entity in the system with direct access to the
+//! database": every interaction — user submissions, administrator queries,
+//! startd heartbeats — arrives as a web-service call and is turned into SQL.
+//! This module implements the application-logic layer (coarse-grained
+//! services), the persistence operations underneath it, the matchmaking pass,
+//! the historical-information and configuration-management subsystems, and
+//! the data-provenance extension sketched in the paper's future-work section.
+
+use crate::schema;
+use appserver::{sql_literal, EntityDef, EntityManager, ServiceKind, ServiceRegistry, SoapRequest, SoapResponse};
+use relstore::{Database, Error, Result, Value};
+use std::sync::Arc;
+
+/// What a startd reports in a heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatReport {
+    /// The slot is idle and willing to run a job.
+    Idle,
+    /// The slot is executing the given job.
+    Running {
+        /// The executing job.
+        job_id: i64,
+    },
+    /// The job finished successfully.
+    Completed {
+        /// The finished job.
+        job_id: i64,
+    },
+    /// The node failed to run (dropped) the job; it must be rescheduled.
+    Failed {
+        /// The dropped job.
+        job_id: i64,
+    },
+}
+
+/// The CAS reply to a heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatReply {
+    /// Nothing for the node to do.
+    Ok,
+    /// A match exists for this node; the startd should call `acceptMatch`.
+    MatchInfo {
+        /// The matched job.
+        job_id: i64,
+    },
+}
+
+/// Aggregate pool status, as served to users and administrators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStatus {
+    /// Jobs waiting to be matched.
+    pub idle_jobs: i64,
+    /// Jobs currently matched or executing.
+    pub active_jobs: i64,
+    /// Machines currently executing jobs.
+    pub busy_machines: i64,
+    /// Machines registered in the pool.
+    pub total_machines: i64,
+    /// Completed jobs recorded in history.
+    pub completed_jobs: i64,
+}
+
+/// The CAS application state shared by all service handlers.
+pub struct CasState {
+    db: Arc<Database>,
+    entities: EntityManager,
+    /// The current simulated time in milliseconds (set by the event loop
+    /// before each dispatch so handlers can timestamp their writes).
+    pub now_ms: i64,
+    next_job_id: i64,
+    next_match_id: i64,
+    next_run_id: i64,
+    next_history_id: i64,
+    next_machine_event_id: i64,
+    next_provenance_id: i64,
+    /// Matches created by the scheduling pass.
+    pub matches_made: u64,
+    /// Jobs completed (moved to history).
+    pub jobs_completed: u64,
+    /// Jobs returned to the idle state after a node dropped them.
+    pub jobs_requeued: u64,
+}
+
+impl CasState {
+    /// Creates the CAS state over a database, deploying the schema and the
+    /// default configuration policies.
+    pub fn new(db: Arc<Database>) -> Result<Self> {
+        schema::deploy(&db)?;
+        let entities = EntityManager::new(Arc::clone(&db));
+        let state = CasState {
+            db,
+            entities,
+            now_ms: 0,
+            next_job_id: 0,
+            next_match_id: 0,
+            next_run_id: 0,
+            next_history_id: 0,
+            next_machine_event_id: 0,
+            next_provenance_id: 0,
+            matches_made: 0,
+            jobs_completed: 0,
+            jobs_requeued: 0,
+        };
+        state.set_config_if_absent("heartbeat_interval_secs", "60")?;
+        state.set_config_if_absent("scheduler", "fifo")?;
+        state.set_config_if_absent("max_requeues", "5")?;
+        Ok(state)
+    }
+
+    /// The underlying database (used by reports and tests).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The container-managed persistence manager for the CondorJ2 entities.
+    pub fn entities(&self) -> &EntityManager {
+        &self.entities
+    }
+
+    /// The entity definition of the jobs table.
+    pub fn job_entity() -> EntityDef {
+        EntityDef::new("jobs", "job_id")
+    }
+
+    /// The entity definition of the machines table.
+    pub fn machine_entity() -> EntityDef {
+        EntityDef::new("machines", "machine_id")
+    }
+
+    // --- users, submission ----------------------------------------------------
+
+    /// Ensures a user row exists (users are created implicitly on first use).
+    fn ensure_user(&self, name: &str) -> Result<()> {
+        let existing = self.db.query(&format!(
+            "SELECT name FROM users WHERE name = {}",
+            sql_literal(&Value::Text(name.to_string()))
+        ))?;
+        if existing.is_empty() {
+            self.db.execute(&format!(
+                "INSERT INTO users (name, priority, created) VALUES ({}, 0.5, {})",
+                sql_literal(&Value::Text(name.to_string())),
+                self.now_ms
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// Submits one job, inserting a job tuple. Returns the new job id.
+    pub fn submit_job(&mut self, owner: &str, runtime_ms: i64) -> Result<i64> {
+        self.ensure_user(owner)?;
+        self.next_job_id += 1;
+        let id = self.next_job_id;
+        self.db.execute(&format!(
+            "INSERT INTO jobs (job_id, owner, state, runtime_ms, submitted, updated, requeues) \
+             VALUES ({id}, {}, 'idle', {runtime_ms}, {now}, {now}, 0)",
+            sql_literal(&Value::Text(owner.to_string())),
+            now = self.now_ms
+        ))?;
+        Ok(id)
+    }
+
+    // --- machines ---------------------------------------------------------------
+
+    /// Registers (or re-registers after a reboot) an execute slot. Reboots
+    /// also record the slow-changing attributes into `machine_history`, the
+    /// extra work the paper blames for the start-of-run spike in Figure 10.
+    pub fn register_machine(
+        &mut self,
+        machine_id: i64,
+        name: &str,
+        speed: f64,
+        phys_id: i64,
+        memory_mb: i64,
+    ) -> Result<()> {
+        let existing = self.db.query(&format!(
+            "SELECT machine_id FROM machines WHERE machine_id = {machine_id}"
+        ))?;
+        if existing.is_empty() {
+            self.db.execute(&format!(
+                "INSERT INTO machines (machine_id, name, state, speed, phys_id, last_heartbeat) \
+                 VALUES ({machine_id}, {}, 'idle', {speed}, {phys_id}, {})",
+                sql_literal(&Value::Text(name.to_string())),
+                self.now_ms
+            ))?;
+        } else {
+            self.db.execute(&format!(
+                "UPDATE machines SET state = 'idle', last_heartbeat = {} WHERE machine_id = {machine_id}",
+                self.now_ms
+            ))?;
+        }
+        self.next_machine_event_id += 1;
+        self.db.execute(&format!(
+            "INSERT INTO machine_history (event_id, machine_id, rebooted, os, arch, memory_mb) \
+             VALUES ({}, {machine_id}, {}, 'linux-2.6', 'x86', {memory_mb})",
+            self.next_machine_event_id, self.now_ms
+        ))?;
+        Ok(())
+    }
+
+    /// Handles a startd heartbeat.
+    pub fn heartbeat(&mut self, machine_id: i64, report: HeartbeatReport) -> Result<HeartbeatReply> {
+        self.db.execute(&format!(
+            "UPDATE machines SET last_heartbeat = {} WHERE machine_id = {machine_id}",
+            self.now_ms
+        ))?;
+        match report {
+            HeartbeatReport::Idle => {
+                let matched = self.db.query(&format!(
+                    "SELECT job_id FROM matches WHERE machine_id = {machine_id} ORDER BY match_id LIMIT 1"
+                ))?;
+                match matched.first_value("job_id") {
+                    Some(v) => Ok(HeartbeatReply::MatchInfo { job_id: v.as_int()? }),
+                    None => Ok(HeartbeatReply::Ok),
+                }
+            }
+            HeartbeatReport::Running { job_id } => {
+                self.db.execute(&format!(
+                    "UPDATE jobs SET updated = {} WHERE job_id = {job_id}",
+                    self.now_ms
+                ))?;
+                Ok(HeartbeatReply::Ok)
+            }
+            HeartbeatReport::Completed { job_id } => {
+                self.complete_job(machine_id, job_id)?;
+                Ok(HeartbeatReply::Ok)
+            }
+            HeartbeatReport::Failed { job_id } => {
+                self.requeue_job(machine_id, job_id)?;
+                Ok(HeartbeatReply::Ok)
+            }
+        }
+    }
+
+    /// The startd accepts a previously reported match: the match tuple becomes
+    /// a run tuple and the job and machine move to the running state.
+    pub fn accept_match(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
+        let matched = self.db.query(&format!(
+            "SELECT match_id FROM matches WHERE job_id = {job_id} AND machine_id = {machine_id}"
+        ))?;
+        if matched.is_empty() {
+            return Err(Error::not_found(format!(
+                "match of job {job_id} on machine {machine_id}"
+            )));
+        }
+        self.db
+            .execute(&format!("DELETE FROM matches WHERE job_id = {job_id}"))?;
+        self.next_run_id += 1;
+        self.db.execute(&format!(
+            "INSERT INTO runs (run_id, job_id, machine_id, started) VALUES ({}, {job_id}, {machine_id}, {})",
+            self.next_run_id, self.now_ms
+        ))?;
+        self.db.execute(&format!(
+            "UPDATE jobs SET state = 'running', updated = {} WHERE job_id = {job_id}",
+            self.now_ms
+        ))?;
+        self.db.execute(&format!(
+            "UPDATE machines SET state = 'running' WHERE machine_id = {machine_id}"
+        ))?;
+        Ok(())
+    }
+
+    fn complete_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
+        let job = self.db.query(&format!(
+            "SELECT owner, runtime_ms, submitted, requeues FROM jobs WHERE job_id = {job_id}"
+        ))?;
+        if job.is_empty() {
+            return Err(Error::not_found(format!("job {job_id}")));
+        }
+        self.next_history_id += 1;
+        let owner = job.first_value("owner").cloned().unwrap_or(Value::Null);
+        let runtime = job.first_value("runtime_ms").cloned().unwrap_or(Value::Null);
+        let submitted = job.first_value("submitted").cloned().unwrap_or(Value::Null);
+        let requeues = job.first_value("requeues").cloned().unwrap_or(Value::Int(0));
+        self.db.execute(&format!(
+            "INSERT INTO job_history (history_id, job_id, owner, runtime_ms, submitted, completed, machine_id, requeues) \
+             VALUES ({}, {job_id}, {}, {}, {}, {}, {machine_id}, {})",
+            self.next_history_id,
+            sql_literal(&owner),
+            sql_literal(&runtime),
+            sql_literal(&submitted),
+            self.now_ms,
+            sql_literal(&requeues),
+        ))?;
+        self.db
+            .execute(&format!("DELETE FROM runs WHERE job_id = {job_id}"))?;
+        self.db
+            .execute(&format!("DELETE FROM jobs WHERE job_id = {job_id}"))?;
+        self.db.execute(&format!(
+            "UPDATE machines SET state = 'idle' WHERE machine_id = {machine_id}"
+        ))?;
+        self.jobs_completed += 1;
+        Ok(())
+    }
+
+    fn requeue_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
+        self.db
+            .execute(&format!("DELETE FROM runs WHERE job_id = {job_id}"))?;
+        self.db
+            .execute(&format!("DELETE FROM matches WHERE job_id = {job_id}"))?;
+        self.db.execute(&format!(
+            "UPDATE jobs SET state = 'idle', requeues = requeues + 1, updated = {} WHERE job_id = {job_id}",
+            self.now_ms
+        ))?;
+        self.db.execute(&format!(
+            "UPDATE machines SET state = 'idle' WHERE machine_id = {machine_id}"
+        ))?;
+        self.jobs_requeued += 1;
+        Ok(())
+    }
+
+    // --- matchmaking -------------------------------------------------------------
+
+    /// Runs one matchmaking pass: pairs idle machines with idle jobs inside a
+    /// single transaction, creating match tuples that idle startds pick up on
+    /// their next heartbeat. Returns the number of matches created.
+    pub fn run_scheduler(&mut self) -> Result<usize> {
+        self.run_scheduler_limited(usize::MAX)
+    }
+
+    /// As [`CasState::run_scheduler`], bounded to at most `limit` matches.
+    pub fn run_scheduler_limited(&mut self, limit: usize) -> Result<usize> {
+        let idle_machines = self.db.query(
+            "SELECT machine_id FROM machines WHERE state = 'idle' ORDER BY machine_id",
+        )?;
+        if idle_machines.is_empty() {
+            return Ok(0);
+        }
+        let idle_jobs = self
+            .db
+            .query("SELECT job_id FROM jobs WHERE state = 'idle' ORDER BY job_id")?;
+        if idle_jobs.is_empty() {
+            return Ok(0);
+        }
+        let pairs: Vec<(i64, i64)> = idle_machines
+            .rows
+            .iter()
+            .zip(idle_jobs.rows.iter())
+            .take(limit)
+            .map(|(m, j)| (m.get(0).as_int().unwrap_or(0), j.get(0).as_int().unwrap_or(0)))
+            .collect();
+
+        let txn = self.db.begin();
+        let mut made = 0usize;
+        for (machine_id, job_id) in &pairs {
+            self.next_match_id += 1;
+            let result = (|| -> Result<()> {
+                self.db.execute_in(
+                    txn,
+                    &format!(
+                        "INSERT INTO matches (match_id, job_id, machine_id, created) \
+                         VALUES ({}, {job_id}, {machine_id}, {})",
+                        self.next_match_id, self.now_ms
+                    ),
+                )?;
+                self.db.execute_in(
+                    txn,
+                    &format!("UPDATE jobs SET state = 'matched' WHERE job_id = {job_id}"),
+                )?;
+                self.db.execute_in(
+                    txn,
+                    &format!(
+                        "UPDATE machines SET state = 'matched' WHERE machine_id = {machine_id}"
+                    ),
+                )?;
+                Ok(())
+            })();
+            match result {
+                Ok(()) => made += 1,
+                Err(e) => {
+                    self.db.rollback(txn)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.db.commit(txn)?;
+        self.matches_made += made as u64;
+        Ok(made)
+    }
+
+    // --- queries, configuration, history, provenance ------------------------------
+
+    /// Aggregate pool status (the pool web site's front page).
+    pub fn pool_status(&self) -> Result<PoolStatus> {
+        let idle_jobs = self
+            .db
+            .query("SELECT COUNT(*) FROM jobs WHERE state = 'idle'")?
+            .scalar_int()
+            .unwrap_or(0);
+        let total_jobs = self.db.table_len("jobs")? as i64;
+        let busy = self
+            .db
+            .query("SELECT COUNT(*) FROM machines WHERE state = 'running'")?
+            .scalar_int()
+            .unwrap_or(0);
+        let total_machines = self.db.table_len("machines")? as i64;
+        let completed = self.db.table_len("job_history")? as i64;
+        Ok(PoolStatus {
+            idle_jobs,
+            active_jobs: total_jobs - idle_jobs,
+            busy_machines: busy,
+            total_machines,
+            completed_jobs: completed,
+        })
+    }
+
+    /// Per-owner usage report from the history table (an example of the
+    /// "expressive query language over the operational data" the paper touts).
+    pub fn usage_by_owner(&self) -> Result<Vec<(String, i64, f64)>> {
+        let r = self.db.query(
+            "SELECT owner, COUNT(*) AS jobs, SUM(runtime_ms) AS total_ms \
+             FROM job_history GROUP BY owner ORDER BY owner",
+        )?;
+        Ok(r.rows
+            .iter()
+            .map(|row| {
+                (
+                    row.get(0).as_text().unwrap_or("").to_string(),
+                    row.get(1).as_int().unwrap_or(0),
+                    row.get(2).as_double().unwrap_or(0.0) / 60_000.0,
+                )
+            })
+            .collect())
+    }
+
+    /// Reads a configuration policy value.
+    pub fn get_config(&self, name: &str) -> Result<Option<String>> {
+        let r = self.db.query(&format!(
+            "SELECT value FROM config WHERE name = {}",
+            sql_literal(&Value::Text(name.to_string()))
+        ))?;
+        Ok(r.first_value("value")
+            .and_then(|v| v.as_text().ok())
+            .map(str::to_string))
+    }
+
+    /// Writes a configuration policy value.
+    pub fn set_config(&self, name: &str, value: &str) -> Result<()> {
+        let name_lit = sql_literal(&Value::Text(name.to_string()));
+        let value_lit = sql_literal(&Value::Text(value.to_string()));
+        let updated = self.db.execute(&format!(
+            "UPDATE config SET value = {value_lit}, updated = {} WHERE name = {name_lit}",
+            self.now_ms
+        ))?;
+        if updated.affected() == 0 {
+            self.db.execute(&format!(
+                "INSERT INTO config (name, value, updated) VALUES ({name_lit}, {value_lit}, {})",
+                self.now_ms
+            ))?;
+        }
+        Ok(())
+    }
+
+    fn set_config_if_absent(&self, name: &str, value: &str) -> Result<()> {
+        if self.get_config(name)?.is_none() {
+            self.set_config(name, value)?;
+        }
+        Ok(())
+    }
+
+    /// Records data provenance for a job (future-work extension): which
+    /// executable and input produced which output data set.
+    pub fn record_provenance(
+        &mut self,
+        job_id: i64,
+        executable: &str,
+        input_dataset: &str,
+        output_dataset: &str,
+    ) -> Result<i64> {
+        self.next_provenance_id += 1;
+        self.db.execute(&format!(
+            "INSERT INTO provenance (record_id, job_id, executable, input_dataset, output_dataset, recorded) \
+             VALUES ({}, {job_id}, {}, {}, {}, {})",
+            self.next_provenance_id,
+            sql_literal(&Value::Text(executable.to_string())),
+            sql_literal(&Value::Text(input_dataset.to_string())),
+            sql_literal(&Value::Text(output_dataset.to_string())),
+            self.now_ms
+        ))?;
+        Ok(self.next_provenance_id)
+    }
+
+    /// Answers the paper's provenance question: "what executable and input
+    /// data generated this particular output data set?"
+    pub fn provenance_of(&self, output_dataset: &str) -> Result<Vec<(i64, String, String)>> {
+        let r = self.db.query(&format!(
+            "SELECT job_id, executable, input_dataset FROM provenance WHERE output_dataset = {} ORDER BY record_id",
+            sql_literal(&Value::Text(output_dataset.to_string()))
+        ))?;
+        Ok(r.rows
+            .iter()
+            .map(|row| {
+                (
+                    row.get(0).as_int().unwrap_or(0),
+                    row.get(1).as_text().unwrap_or("").to_string(),
+                    row.get(2).as_text().unwrap_or("").to_string(),
+                )
+            })
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for CasState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CasState")
+            .field("matches_made", &self.matches_made)
+            .field("jobs_completed", &self.jobs_completed)
+            .field("jobs_requeued", &self.jobs_requeued)
+            .finish()
+    }
+}
+
+/// Registers the CAS web-service endpoints on a service registry.
+///
+/// The coarse-grained endpoints are the external interface used by execute
+/// machines, users and web clients; a few fine-grained persistence-layer
+/// operations are also registered to demonstrate the layering rule (they are
+/// rejected when invoked externally).
+pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
+    registry.register(
+        "submitJob",
+        ServiceKind::CoarseGrained,
+        "Submit a job to the pool (owner, runtime_ms, count)",
+        |state: &mut CasState, req: &SoapRequest| {
+            let owner = req.text_param("owner").unwrap_or_else(|_| "anonymous".into());
+            let runtime = req.int_param("runtime_ms").unwrap_or(60_000);
+            let count = req.int_param("count").unwrap_or(1).max(1);
+            let mut first = 0;
+            for i in 0..count {
+                match state.submit_job(&owner, runtime) {
+                    Ok(id) => {
+                        if i == 0 {
+                            first = id;
+                        }
+                    }
+                    Err(e) => return SoapResponse::fault(e.to_string()),
+                }
+            }
+            SoapResponse::ok().with("first_job_id", first).with("count", count)
+        },
+    );
+    registry.register(
+        "registerMachine",
+        ServiceKind::CoarseGrained,
+        "Register an execute slot (machine_id, name, speed, phys_id, memory_mb)",
+        |state: &mut CasState, req: &SoapRequest| {
+            let id = match req.int_param("machine_id") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            let name = req.text_param("name").unwrap_or_else(|_| format!("vm{id}"));
+            let speed = req.param("speed").as_double().unwrap_or(1.0);
+            let phys = req.int_param("phys_id").unwrap_or(0);
+            let mem = req.int_param("memory_mb").unwrap_or(2048);
+            match state.register_machine(id, &name, speed, phys, mem) {
+                Ok(()) => SoapResponse::ok(),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "heartbeat",
+        ServiceKind::CoarseGrained,
+        "Periodic startd heartbeat (machine_id, status, job_id)",
+        |state: &mut CasState, req: &SoapRequest| {
+            let id = match req.int_param("machine_id") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            let status = req.text_param("status").unwrap_or_else(|_| "idle".into());
+            let job_id = req.int_param("job_id").unwrap_or(0);
+            let report = match status.as_str() {
+                "idle" => HeartbeatReport::Idle,
+                "running" => HeartbeatReport::Running { job_id },
+                "completed" => HeartbeatReport::Completed { job_id },
+                "failed" => HeartbeatReport::Failed { job_id },
+                other => return SoapResponse::fault(format!("unknown status {other}")),
+            };
+            match state.heartbeat(id, report) {
+                Ok(HeartbeatReply::Ok) => SoapResponse::ok(),
+                Ok(HeartbeatReply::MatchInfo { job_id }) => {
+                    SoapResponse::match_info().with("job_id", job_id)
+                }
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "acceptMatch",
+        ServiceKind::CoarseGrained,
+        "Startd accepts a match (machine_id, job_id)",
+        |state: &mut CasState, req: &SoapRequest| {
+            let machine = match req.int_param("machine_id") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            let job = match req.int_param("job_id") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            match state.accept_match(machine, job) {
+                Ok(()) => SoapResponse::ok(),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "queryPool",
+        ServiceKind::CoarseGrained,
+        "Pool status summary for users and administrators",
+        |state: &mut CasState, _req: &SoapRequest| match state.pool_status() {
+            Ok(s) => SoapResponse::ok()
+                .with("idle_jobs", s.idle_jobs)
+                .with("active_jobs", s.active_jobs)
+                .with("busy_machines", s.busy_machines)
+                .with("total_machines", s.total_machines)
+                .with("completed_jobs", s.completed_jobs),
+            Err(e) => SoapResponse::fault(e.to_string()),
+        },
+    );
+    registry.register(
+        "getConfig",
+        ServiceKind::CoarseGrained,
+        "Read a configuration policy",
+        |state: &mut CasState, req: &SoapRequest| {
+            let name = match req.text_param("name") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            match state.get_config(&name) {
+                Ok(Some(v)) => SoapResponse::ok().with("value", v),
+                Ok(None) => SoapResponse::fault(format!("no such configuration entry {name}")),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "setConfig",
+        ServiceKind::CoarseGrained,
+        "Write a configuration policy",
+        |state: &mut CasState, req: &SoapRequest| {
+            let name = match req.text_param("name") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            let value = match req.text_param("value") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            match state.set_config(&name, &value) {
+                Ok(()) => SoapResponse::ok(),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "recordProvenance",
+        ServiceKind::CoarseGrained,
+        "Record which executable and inputs produced an output data set",
+        |state: &mut CasState, req: &SoapRequest| {
+            let job_id = req.int_param("job_id").unwrap_or(0);
+            let exe = req.text_param("executable").unwrap_or_default();
+            let input = req.text_param("input").unwrap_or_default();
+            let output = match req.text_param("output") {
+                Ok(v) => v,
+                Err(e) => return SoapResponse::fault(e),
+            };
+            match state.record_provenance(job_id, &exe, &input, &output) {
+                Ok(id) => SoapResponse::ok().with("record_id", id),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    // Fine-grained persistence-layer operations: internal only.
+    registry.register(
+        "jobBean.setState",
+        ServiceKind::FineGrained,
+        "Entity-bean operation: force a job state transition",
+        |state: &mut CasState, req: &SoapRequest| {
+            let job_id = req.int_param("job_id").unwrap_or(0);
+            let new_state = req.text_param("state").unwrap_or_else(|_| "idle".into());
+            match state.database().execute(&format!(
+                "UPDATE jobs SET state = {} WHERE job_id = {job_id}",
+                sql_literal(&Value::Text(new_state))
+            )) {
+                Ok(r) => SoapResponse::ok().with("affected", r.affected() as i64),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+    registry.register(
+        "machineBean.touch",
+        ServiceKind::FineGrained,
+        "Entity-bean operation: refresh a machine's heartbeat timestamp",
+        |state: &mut CasState, req: &SoapRequest| {
+            let id = req.int_param("machine_id").unwrap_or(0);
+            let now = state.now_ms;
+            match state.database().execute(&format!(
+                "UPDATE machines SET last_heartbeat = {now} WHERE machine_id = {id}"
+            )) {
+                Ok(_) => SoapResponse::ok(),
+                Err(e) => SoapResponse::fault(e.to_string()),
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cas() -> CasState {
+        CasState::new(Arc::new(Database::new())).unwrap()
+    }
+
+    #[test]
+    fn submit_heartbeat_match_accept_complete_lifecycle() {
+        let mut cas = cas();
+        cas.register_machine(1, "vm1@node001", 1.0, 0, 2048).unwrap();
+        let job = cas.submit_job("alice", 60_000).unwrap();
+
+        // Before the scheduler runs, an idle heartbeat has nothing to offer.
+        assert_eq!(cas.heartbeat(1, HeartbeatReport::Idle).unwrap(), HeartbeatReply::Ok);
+
+        assert_eq!(cas.run_scheduler().unwrap(), 1);
+        assert_eq!(
+            cas.heartbeat(1, HeartbeatReport::Idle).unwrap(),
+            HeartbeatReply::MatchInfo { job_id: job }
+        );
+        cas.accept_match(1, job).unwrap();
+        assert_eq!(cas.database().table_len("runs").unwrap(), 1);
+        assert_eq!(cas.database().table_len("matches").unwrap(), 0);
+
+        cas.heartbeat(1, HeartbeatReport::Running { job_id: job }).unwrap();
+        cas.heartbeat(1, HeartbeatReport::Completed { job_id: job }).unwrap();
+        assert_eq!(cas.database().table_len("jobs").unwrap(), 0);
+        assert_eq!(cas.database().table_len("runs").unwrap(), 0);
+        assert_eq!(cas.database().table_len("job_history").unwrap(), 1);
+        assert_eq!(cas.jobs_completed, 1);
+
+        let status = cas.pool_status().unwrap();
+        assert_eq!(status.completed_jobs, 1);
+        assert_eq!(status.idle_jobs, 0);
+        assert_eq!(status.total_machines, 1);
+    }
+
+    #[test]
+    fn failed_jobs_are_requeued_and_rescheduled() {
+        let mut cas = cas();
+        cas.register_machine(1, "vm1", 1.0, 0, 1024).unwrap();
+        let job = cas.submit_job("bob", 6_000).unwrap();
+        cas.run_scheduler().unwrap();
+        cas.accept_match(1, job).unwrap();
+        cas.heartbeat(1, HeartbeatReport::Failed { job_id: job }).unwrap();
+        assert_eq!(cas.jobs_requeued, 1);
+        let r = cas
+            .database()
+            .query(&format!("SELECT state, requeues FROM jobs WHERE job_id = {job}"))
+            .unwrap();
+        assert_eq!(r.first_value("state").unwrap(), &Value::Text("idle".into()));
+        assert_eq!(r.first_value("requeues").unwrap(), &Value::Int(1));
+        // The machine is idle again and can be rematched.
+        assert_eq!(cas.run_scheduler().unwrap(), 1);
+    }
+
+    #[test]
+    fn scheduler_is_bounded_by_idle_machines_and_jobs() {
+        let mut cas = cas();
+        for m in 1..=3 {
+            cas.register_machine(m, &format!("vm{m}"), 1.0, 0, 1024).unwrap();
+        }
+        for _ in 0..5 {
+            cas.submit_job("carol", 60_000).unwrap();
+        }
+        assert_eq!(cas.run_scheduler().unwrap(), 3, "only three idle machines");
+        assert_eq!(cas.run_scheduler().unwrap(), 0, "no idle machines remain");
+        assert_eq!(cas.database().table_len("matches").unwrap(), 3);
+        assert_eq!(cas.matches_made, 3);
+
+        let mut cas2 = CasState::new(Arc::new(Database::new())).unwrap();
+        for m in 1..=4 {
+            cas2.register_machine(m, &format!("vm{m}"), 1.0, 0, 1024).unwrap();
+        }
+        cas2.submit_job("dana", 1000).unwrap();
+        assert_eq!(cas2.run_scheduler_limited(10).unwrap(), 1, "only one idle job");
+    }
+
+    #[test]
+    fn accept_match_requires_an_existing_match() {
+        let mut cas = cas();
+        cas.register_machine(1, "vm1", 1.0, 0, 1024).unwrap();
+        let job = cas.submit_job("erin", 1000).unwrap();
+        assert!(cas.accept_match(1, job).is_err());
+    }
+
+    #[test]
+    fn configuration_management_round_trip() {
+        let cas = cas();
+        assert_eq!(cas.get_config("scheduler").unwrap().as_deref(), Some("fifo"));
+        cas.set_config("scheduler", "priority").unwrap();
+        assert_eq!(cas.get_config("scheduler").unwrap().as_deref(), Some("priority"));
+        assert_eq!(cas.get_config("nonexistent").unwrap(), None);
+        cas.set_config("new_key", "new_value").unwrap();
+        assert_eq!(cas.get_config("new_key").unwrap().as_deref(), Some("new_value"));
+    }
+
+    #[test]
+    fn history_usage_report_groups_by_owner() {
+        let mut cas = cas();
+        cas.register_machine(1, "vm1", 1.0, 0, 1024).unwrap();
+        for (owner, runtime) in [("alice", 60_000), ("alice", 120_000), ("bob", 30_000)] {
+            let job = cas.submit_job(owner, runtime).unwrap();
+            cas.run_scheduler().unwrap();
+            cas.accept_match(1, job).unwrap();
+            cas.heartbeat(1, HeartbeatReport::Completed { job_id: job }).unwrap();
+        }
+        let usage = cas.usage_by_owner().unwrap();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].0, "alice");
+        assert_eq!(usage[0].1, 2);
+        assert!((usage[0].2 - 3.0).abs() < 1e-9, "alice used 3 machine-minutes");
+        assert_eq!(usage[1].0, "bob");
+    }
+
+    #[test]
+    fn provenance_answers_the_papers_question() {
+        let mut cas = cas();
+        let job = cas.submit_job("sci", 60_000).unwrap();
+        cas.record_provenance(job, "simulate-v2.1", "raw-2006-11.dat", "results-2006-11.out")
+            .unwrap();
+        cas.record_provenance(job, "simulate-v2.1", "raw-2006-12.dat", "results-2006-12.out")
+            .unwrap();
+        let lineage = cas.provenance_of("results-2006-11.out").unwrap();
+        assert_eq!(lineage.len(), 1);
+        assert_eq!(lineage[0].1, "simulate-v2.1");
+        assert_eq!(lineage[0].2, "raw-2006-11.dat");
+        assert!(cas.provenance_of("unknown.out").unwrap().is_empty());
+    }
+
+    #[test]
+    fn machine_reboots_accumulate_history() {
+        let mut cas = cas();
+        cas.register_machine(1, "vm1", 1.0, 0, 2048).unwrap();
+        cas.register_machine(1, "vm1", 1.0, 0, 2048).unwrap();
+        assert_eq!(cas.database().table_len("machines").unwrap(), 1);
+        assert_eq!(cas.database().table_len("machine_history").unwrap(), 2);
+    }
+
+    #[test]
+    fn services_registry_dispatches_external_operations() {
+        use appserver::SoapStatus;
+        let mut registry = ServiceRegistry::new();
+        register_services(&mut registry);
+        let mut state = cas();
+
+        let resp = registry.dispatch_external(
+            &mut state,
+            &SoapRequest::new("registerMachine").with("machine_id", 5i64).with("name", "vm5"),
+        );
+        assert!(resp.is_success());
+        let resp = registry.dispatch_external(
+            &mut state,
+            &SoapRequest::new("submitJob")
+                .with("owner", "alice")
+                .with("runtime_ms", 60_000i64)
+                .with("count", 3i64),
+        );
+        assert!(resp.is_success());
+        assert_eq!(resp.field("count"), Value::Int(3));
+
+        state.run_scheduler().unwrap();
+        let resp = registry.dispatch_external(
+            &mut state,
+            &SoapRequest::new("heartbeat").with("machine_id", 5i64).with("status", "idle"),
+        );
+        assert_eq!(resp.status, SoapStatus::MatchInfo);
+        let job_id = resp.field("job_id").as_int().unwrap();
+        let resp = registry.dispatch_external(
+            &mut state,
+            &SoapRequest::new("acceptMatch").with("machine_id", 5i64).with("job_id", job_id),
+        );
+        assert!(resp.is_success());
+
+        // The fine-grained bean operation is rejected externally.
+        let resp = registry.dispatch_external(
+            &mut state,
+            &SoapRequest::new("jobBean.setState").with("job_id", job_id).with("state", "held"),
+        );
+        assert!(!resp.is_success());
+        // But reachable from inside the application-logic layer.
+        let resp = registry.dispatch_internal(
+            &mut state,
+            &SoapRequest::new("jobBean.setState").with("job_id", job_id).with("state", "held"),
+        );
+        assert!(resp.is_success());
+
+        let resp = registry.dispatch_external(&mut state, &SoapRequest::new("queryPool"));
+        assert!(resp.is_success());
+        assert_eq!(resp.field("total_machines"), Value::Int(1));
+    }
+}

@@ -1,0 +1,172 @@
+//! The CondorJ2 relational schema.
+//!
+//! All operational state of the pool lives in these tables; every service call
+//! the CAS handles becomes SQL against them. The schema mirrors the persistent
+//! objects the paper lists for the persistence layer: users, jobs, machines,
+//! matches, runs, configuration policies, plus the operational/historical
+//! split called out in the code-base discussion (configuration management and
+//! historical machine information are sizeable subsystems of the prototype).
+
+/// DDL for every CondorJ2 table, executed at CAS startup.
+pub const DDL: &[&str] = &[
+    "CREATE TABLE users (
+        name TEXT PRIMARY KEY,
+        priority DOUBLE,
+        created TIMESTAMP
+    )",
+    "CREATE TABLE jobs (
+        job_id INT PRIMARY KEY,
+        owner TEXT NOT NULL,
+        state TEXT NOT NULL,
+        runtime_ms INT,
+        submitted TIMESTAMP,
+        updated TIMESTAMP,
+        requeues INT
+    )",
+    "CREATE INDEX ON jobs (state)",
+    "CREATE INDEX ON jobs (owner)",
+    "CREATE TABLE machines (
+        machine_id INT PRIMARY KEY,
+        name TEXT NOT NULL,
+        state TEXT NOT NULL,
+        speed DOUBLE,
+        phys_id INT,
+        last_heartbeat TIMESTAMP
+    )",
+    "CREATE INDEX ON machines (state)",
+    "CREATE TABLE matches (
+        match_id INT PRIMARY KEY,
+        job_id INT NOT NULL,
+        machine_id INT NOT NULL,
+        created TIMESTAMP
+    )",
+    "CREATE INDEX ON matches (machine_id)",
+    "CREATE INDEX ON matches (job_id)",
+    "CREATE TABLE runs (
+        run_id INT PRIMARY KEY,
+        job_id INT NOT NULL,
+        machine_id INT NOT NULL,
+        started TIMESTAMP
+    )",
+    "CREATE INDEX ON runs (machine_id)",
+    "CREATE INDEX ON runs (job_id)",
+    "CREATE TABLE job_history (
+        history_id INT PRIMARY KEY,
+        job_id INT NOT NULL,
+        owner TEXT,
+        runtime_ms INT,
+        submitted TIMESTAMP,
+        completed TIMESTAMP,
+        machine_id INT,
+        requeues INT
+    )",
+    "CREATE INDEX ON job_history (owner)",
+    "CREATE TABLE machine_history (
+        event_id INT PRIMARY KEY,
+        machine_id INT NOT NULL,
+        rebooted TIMESTAMP,
+        os TEXT,
+        arch TEXT,
+        memory_mb INT
+    )",
+    "CREATE INDEX ON machine_history (machine_id)",
+    "CREATE TABLE config (
+        name TEXT PRIMARY KEY,
+        value TEXT,
+        updated TIMESTAMP
+    )",
+    "CREATE TABLE provenance (
+        record_id INT PRIMARY KEY,
+        job_id INT NOT NULL,
+        executable TEXT,
+        input_dataset TEXT,
+        output_dataset TEXT,
+        recorded TIMESTAMP
+    )",
+    "CREATE INDEX ON provenance (output_dataset)",
+];
+
+/// Names of every table created by [`DDL`], in creation order.
+pub const TABLES: &[&str] = &[
+    "users",
+    "jobs",
+    "machines",
+    "matches",
+    "runs",
+    "job_history",
+    "machine_history",
+    "config",
+    "provenance",
+];
+
+/// Deploys the schema into a database (idempotent: existing tables are kept).
+pub fn deploy(db: &relstore::Database) -> relstore::Result<()> {
+    let existing = db.table_names();
+    for ddl in DDL {
+        // Skip statements whose target table already exists.
+        let target = ddl
+            .split_whitespace()
+            .skip_while(|w| !w.eq_ignore_ascii_case("TABLE") && !w.eq_ignore_ascii_case("ON"))
+            .nth(1)
+            .unwrap_or("")
+            .trim_start_matches('(')
+            .to_ascii_lowercase();
+        let is_create_table = ddl.trim_start().to_ascii_uppercase().starts_with("CREATE TABLE");
+        if is_create_table && existing.contains(&target) {
+            continue;
+        }
+        if !is_create_table && existing.contains(&target) {
+            // Index on a pre-existing table: assume it was created with it.
+            continue;
+        }
+        db.execute(ddl)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Database;
+
+    #[test]
+    fn schema_deploys_all_tables() {
+        let db = Database::new();
+        deploy(&db).unwrap();
+        let names = db.table_names();
+        for table in TABLES {
+            assert!(names.contains(&table.to_string()), "missing table {table}");
+        }
+        // Core tables start empty.
+        assert_eq!(db.table_len("jobs").unwrap(), 0);
+        assert_eq!(db.table_len("machines").unwrap(), 0);
+    }
+
+    #[test]
+    fn deploy_is_idempotent() {
+        let db = Database::new();
+        deploy(&db).unwrap();
+        db.execute("INSERT INTO jobs (job_id, owner, state) VALUES (1, 'alice', 'idle')")
+            .unwrap();
+        deploy(&db).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 1, "redeploy must not drop data");
+    }
+
+    #[test]
+    fn schema_supports_the_matchmaking_join() {
+        let db = Database::new();
+        deploy(&db).unwrap();
+        db.execute("INSERT INTO jobs (job_id, owner, state) VALUES (1, 'a', 'matched')").unwrap();
+        db.execute("INSERT INTO machines (machine_id, name, state) VALUES (7, 'vm1@n', 'matched')")
+            .unwrap();
+        db.execute("INSERT INTO matches (match_id, job_id, machine_id) VALUES (1, 1, 7)").unwrap();
+        let r = db
+            .query(
+                "SELECT jobs.job_id, machines.name FROM jobs \
+                 JOIN matches ON jobs.job_id = matches.job_id \
+                 JOIN machines ON matches.machine_id = machines.machine_id",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

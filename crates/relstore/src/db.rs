@@ -1,0 +1,787 @@
+//! The [`Database`] facade: catalog, statement execution, transactions,
+//! write-ahead logging, checkpointing and recovery.
+
+use crate::error::{Error, Result};
+use crate::exec::{execute_select, matching_row_ids, QueryResult};
+use crate::predicate::Expr;
+use crate::schema::{IndexDef, Schema};
+use crate::sql::ast::{DeleteStmt, InsertStmt, Statement, UpdateStmt};
+use crate::sql::parser::parse;
+use crate::stats::OpStats;
+use crate::table::Table;
+use crate::tuple::Row;
+use crate::txn::{LockManager, LockMode, TxnManager, UndoRecord};
+use crate::value::Value;
+use crate::wal::{LogRecord, TableSnapshot, TxnId, Wal};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// A SELECT produced rows.
+    Query(QueryResult),
+    /// A DML statement affected this many rows.
+    Affected(usize),
+    /// A DDL or transaction-control statement completed.
+    Ack,
+}
+
+impl ExecResult {
+    /// The query result, if this was a SELECT.
+    pub fn query(self) -> Result<QueryResult> {
+        match self {
+            ExecResult::Query(q) => Ok(q),
+            other => Err(Error::type_err(format!("expected query result, got {other:?}"))),
+        }
+    }
+
+    /// The affected-row count, if this was a DML statement.
+    pub fn affected(&self) -> usize {
+        match self {
+            ExecResult::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    catalog: BTreeMap<String, Table>,
+    wal: Wal,
+    locks: LockManager,
+    txns: TxnManager,
+    stats: OpStats,
+}
+
+/// An embedded relational database.
+///
+/// The database is the DB2 stand-in of the reproduction: the CondorJ2
+/// application server holds exactly one `Database` and turns every incoming
+/// message into statements against it. All methods are safe to call from
+/// multiple threads; internally a single mutex serialises statement execution
+/// (the simulated deployment models concurrency through the cost model rather
+/// than through parallel execution).
+#[derive(Debug, Default)]
+pub struct Database {
+    inner: Mutex<Inner>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Reconstructs a database from a write-ahead log, as after a crash.
+    pub fn recover_from(wal: Wal) -> Result<Self> {
+        let catalog = wal.recover()?;
+        let db = Database::new();
+        {
+            let mut inner = db.inner.lock();
+            inner.catalog = catalog;
+            inner.wal = wal;
+        }
+        Ok(db)
+    }
+
+    /// Returns a copy of the current write-ahead log (what a crash would find
+    /// on disk). Used by recovery tests and failure-injection experiments.
+    pub fn snapshot_wal(&self) -> Wal {
+        self.inner.lock().wal.clone()
+    }
+
+    /// Cumulative operation statistics.
+    pub fn stats(&self) -> OpStats {
+        self.inner.lock().stats
+    }
+
+    /// Names of all tables in the catalog.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.lock().catalog.keys().cloned().collect()
+    }
+
+    /// Number of rows in `table`, or an error if it does not exist.
+    pub fn table_len(&self, table: &str) -> Result<usize> {
+        let inner = self.inner.lock();
+        inner
+            .catalog
+            .get(&table.to_ascii_lowercase())
+            .map(Table::len)
+            .ok_or_else(|| Error::not_found(format!("table {table}")))
+    }
+
+    /// Approximate resident size of all tables, in bytes.
+    pub fn approx_size(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.catalog.values().map(Table::approx_size).sum()
+    }
+
+    /// Number of records currently retained in the write-ahead log.
+    pub fn wal_len(&self) -> usize {
+        self.inner.lock().wal.len()
+    }
+
+    /// Number of transactions committed so far.
+    pub fn committed_txns(&self) -> u64 {
+        self.inner.lock().txns.committed_count()
+    }
+
+    // --- transaction control -------------------------------------------------
+
+    /// Begins an explicit transaction.
+    pub fn begin(&self) -> TxnId {
+        let mut inner = self.inner.lock();
+        let txn = inner.txns.begin();
+        inner.wal.append(LogRecord::Begin { txn }, &mut OpStats::default());
+        txn
+    }
+
+    /// Commits an explicit transaction and releases its locks.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.txns.finish_commit(txn)?;
+        let mut stats = std::mem::take(&mut inner.stats);
+        inner.wal.append(LogRecord::Commit { txn }, &mut stats);
+        stats.commits += 1;
+        inner.stats = stats;
+        inner.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Rolls back an explicit transaction, undoing its changes.
+    pub fn rollback(&self, txn: TxnId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let state = inner.txns.finish_abort(txn)?;
+        // Undo in reverse order.
+        for undo in state.undo.iter().rev() {
+            match undo {
+                UndoRecord::Insert { table, row_id } => {
+                    if let Some(t) = inner.catalog.get_mut(table) {
+                        let mut scratch = OpStats::default();
+                        let _ = t.delete(*row_id, &mut scratch);
+                    }
+                }
+                UndoRecord::Delete {
+                    table,
+                    row_id,
+                    before,
+                }
+                | UndoRecord::Update {
+                    table,
+                    row_id,
+                    before,
+                } => {
+                    if let Some(t) = inner.catalog.get_mut(table) {
+                        t.restore(*row_id, before.clone())?;
+                    }
+                }
+                UndoRecord::CreateTable { table } => {
+                    inner.catalog.remove(table);
+                }
+            }
+        }
+        let mut stats = std::mem::take(&mut inner.stats);
+        inner.wal.append(LogRecord::Abort { txn }, &mut stats);
+        stats.aborts += 1;
+        inner.stats = stats;
+        inner.locks.release_all(txn);
+        Ok(())
+    }
+
+    // --- statement execution -------------------------------------------------
+
+    /// Parses and executes one statement in autocommit mode.
+    pub fn execute(&self, sql: &str) -> Result<ExecResult> {
+        let stmt = {
+            let mut inner = self.inner.lock();
+            inner.stats.statements_parsed += 1;
+            drop(inner);
+            parse(sql)?
+        };
+        self.execute_stmt(&stmt)
+    }
+
+    /// Parses and executes one statement inside an explicit transaction.
+    pub fn execute_in(&self, txn: TxnId, sql: &str) -> Result<ExecResult> {
+        let stmt = {
+            let mut inner = self.inner.lock();
+            inner.stats.statements_parsed += 1;
+            drop(inner);
+            parse(sql)?
+        };
+        self.execute_stmt_in(txn, &stmt)
+    }
+
+    /// Executes an already-parsed statement in autocommit mode.
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecResult> {
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
+                "use begin()/commit()/rollback() or a Session for transaction control",
+            )),
+            _ => {
+                let txn = self.begin();
+                match self.execute_stmt_in(txn, stmt) {
+                    Ok(result) => {
+                        self.commit(txn)?;
+                        Ok(result)
+                    }
+                    Err(e) => {
+                        // Roll back best-effort; surface the original error.
+                        let _ = self.rollback(txn);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes an already-parsed statement inside an explicit transaction.
+    pub fn execute_stmt_in(&self, txn: TxnId, stmt: &Statement) -> Result<ExecResult> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        inner.txns.get_active(txn)?;
+        inner.stats.statements_executed += 1;
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
+                "nested transaction control is not supported",
+            )),
+            Statement::CreateTable(schema) => {
+                let name = schema.name.clone();
+                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                if inner.catalog.contains_key(&name) {
+                    return Err(Error::AlreadyExists(format!("table {name}")));
+                }
+                let table = Table::new(schema.clone())?;
+                inner.catalog.insert(name.clone(), table);
+                inner.wal.append(
+                    LogRecord::CreateTable {
+                        txn,
+                        schema: schema.clone(),
+                    },
+                    &mut inner.stats,
+                );
+                inner
+                    .txns
+                    .push_undo(txn, UndoRecord::CreateTable { table: name })?;
+                Ok(ExecResult::Ack)
+            }
+            Statement::CreateIndex {
+                table,
+                column,
+                unique,
+            } => {
+                let name = table.to_ascii_lowercase();
+                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                let old = inner
+                    .catalog
+                    .get(&name)
+                    .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+                let mut schema = old.schema.clone();
+                let prefix = if *unique { "uidx" } else { "idx" };
+                let idx_name = format!("{prefix}_{name}_{column}");
+                if schema.indexes.iter().any(|i| i.name == idx_name) {
+                    return Err(Error::AlreadyExists(format!("index {idx_name}")));
+                }
+                schema.indexes.push(IndexDef {
+                    name: idx_name,
+                    column: column.to_ascii_lowercase(),
+                    unique: *unique,
+                });
+                // Rebuild the table with the new index over the existing rows.
+                let mut rebuilt = Table::new(schema)?;
+                let mut scratch = OpStats::default();
+                for stored in old.scan(&mut scratch) {
+                    rebuilt.insert_with_id(stored.id, stored.row, &mut scratch)?;
+                }
+                inner.stats.index_maintenance += rebuilt.len() as u64;
+                inner.catalog.insert(name, rebuilt);
+                Ok(ExecResult::Ack)
+            }
+            Statement::DropTable(table) => {
+                let name = table.to_ascii_lowercase();
+                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                inner
+                    .catalog
+                    .remove(&name)
+                    .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+                inner.wal.append(
+                    LogRecord::DropTable {
+                        txn,
+                        table: name,
+                    },
+                    &mut inner.stats,
+                );
+                Ok(ExecResult::Ack)
+            }
+            Statement::Select(sel) => {
+                inner
+                    .locks
+                    .acquire(txn, &sel.table.to_ascii_lowercase(), LockMode::Shared)?;
+                for join in &sel.joins {
+                    inner
+                        .locks
+                        .acquire(txn, &join.table.to_ascii_lowercase(), LockMode::Shared)?;
+                }
+                let result = execute_select(&inner.catalog, sel, &mut inner.stats)?;
+                Ok(ExecResult::Query(result))
+            }
+            Statement::Insert(ins) => Self::run_insert(inner, txn, ins),
+            Statement::Update(upd) => Self::run_update(inner, txn, upd),
+            Statement::Delete(del) => Self::run_delete(inner, txn, del),
+        }
+    }
+
+    /// Convenience wrapper: executes a SELECT and returns its rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?.query()
+    }
+
+    /// Convenience wrapper: runs `SELECT COUNT(*) FROM table [WHERE ...]`
+    /// expressed programmatically and returns the count.
+    pub fn count(&self, table: &str, filter: Option<&Expr>) -> Result<i64> {
+        let inner = self.inner.lock();
+        let t = inner
+            .catalog
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+        match filter {
+            None => Ok(t.len() as i64),
+            Some(f) => {
+                let mut stats = OpStats::default();
+                Ok(matching_row_ids(t, Some(f), &mut stats)?.len() as i64)
+            }
+        }
+    }
+
+    fn run_insert(inner: &mut Inner, txn: TxnId, ins: &InsertStmt) -> Result<ExecResult> {
+        let name = ins.table.to_ascii_lowercase();
+        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = inner
+            .catalog
+            .get_mut(&name)
+            .ok_or_else(|| Error::not_found(format!("table {}", ins.table)))?;
+        let schema = table.schema.clone();
+        let empty_schema = Schema::new("values", Vec::new());
+        let empty_row = Row::default();
+        let mut inserted = 0usize;
+        for row_exprs in &ins.rows {
+            // Evaluate the literal expressions for this VALUES row.
+            let mut provided = Vec::with_capacity(row_exprs.len());
+            for e in row_exprs {
+                provided.push(e.eval(&empty_schema, &empty_row)?);
+            }
+            // Rearrange into schema order.
+            let values: Vec<Value> = if ins.columns.is_empty() {
+                if provided.len() != schema.arity() {
+                    return Err(Error::type_err(format!(
+                        "table {} expects {} values, got {}",
+                        schema.name,
+                        schema.arity(),
+                        provided.len()
+                    )));
+                }
+                provided
+            } else {
+                if provided.len() != ins.columns.len() {
+                    return Err(Error::type_err(format!(
+                        "INSERT column list has {} entries but {} values were given",
+                        ins.columns.len(),
+                        provided.len()
+                    )));
+                }
+                let mut values = vec![Value::Null; schema.arity()];
+                for (col, value) in ins.columns.iter().zip(provided) {
+                    let idx = schema.column_index(col)?;
+                    values[idx] = value;
+                }
+                values
+            };
+            let row_id = table.insert(values, &mut inner.stats)?;
+            let row = table.get(row_id).cloned().ok_or_else(|| {
+                Error::internal("row missing immediately after insert")
+            })?;
+            inner.wal.append(
+                LogRecord::Insert {
+                    txn,
+                    table: name.clone(),
+                    row_id,
+                    row,
+                },
+                &mut inner.stats,
+            );
+            inner
+                .txns
+                .push_undo(txn, UndoRecord::Insert { table: name.clone(), row_id })?;
+            inserted += 1;
+        }
+        Ok(ExecResult::Affected(inserted))
+    }
+
+    fn run_update(inner: &mut Inner, txn: TxnId, upd: &UpdateStmt) -> Result<ExecResult> {
+        let name = upd.table.to_ascii_lowercase();
+        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = inner
+            .catalog
+            .get_mut(&name)
+            .ok_or_else(|| Error::not_found(format!("table {}", upd.table)))?;
+        let ids = matching_row_ids(table, upd.filter.as_ref(), &mut inner.stats)?;
+        let schema = table.schema.clone();
+        let mut affected = 0usize;
+        for id in ids {
+            let current = table
+                .get(id)
+                .cloned()
+                .ok_or_else(|| Error::internal("matched row vanished during update"))?;
+            let mut assignments = Vec::with_capacity(upd.assignments.len());
+            for (col, expr) in &upd.assignments {
+                let idx = schema.column_index(col)?;
+                let value = expr.eval(&schema, &current)?;
+                assignments.push((idx, value));
+            }
+            let (before, after) = table.update(id, &assignments, &mut inner.stats)?;
+            inner.wal.append(
+                LogRecord::Update {
+                    txn,
+                    table: name.clone(),
+                    row_id: id,
+                    before: before.clone(),
+                    after,
+                },
+                &mut inner.stats,
+            );
+            inner.txns.push_undo(
+                txn,
+                UndoRecord::Update {
+                    table: name.clone(),
+                    row_id: id,
+                    before,
+                },
+            )?;
+            affected += 1;
+        }
+        Ok(ExecResult::Affected(affected))
+    }
+
+    fn run_delete(inner: &mut Inner, txn: TxnId, del: &DeleteStmt) -> Result<ExecResult> {
+        let name = del.table.to_ascii_lowercase();
+        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = inner
+            .catalog
+            .get_mut(&name)
+            .ok_or_else(|| Error::not_found(format!("table {}", del.table)))?;
+        let ids = matching_row_ids(table, del.filter.as_ref(), &mut inner.stats)?;
+        let mut affected = 0usize;
+        for id in ids {
+            let before = table.delete(id, &mut inner.stats)?;
+            inner.wal.append(
+                LogRecord::Delete {
+                    txn,
+                    table: name.clone(),
+                    row_id: id,
+                    before: before.clone(),
+                },
+                &mut inner.stats,
+            );
+            inner.txns.push_undo(
+                txn,
+                UndoRecord::Delete {
+                    table: name.clone(),
+                    row_id: id,
+                    before,
+                },
+            )?;
+            affected += 1;
+        }
+        Ok(ExecResult::Affected(affected))
+    }
+
+    // --- maintenance ----------------------------------------------------------
+
+    /// Takes a checkpoint: snapshots every table into the log and truncates
+    /// the records before it. Returns the number of bytes written.
+    pub fn checkpoint(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut scratch = OpStats::default();
+        let snapshot: Vec<TableSnapshot> = inner
+            .catalog
+            .values()
+            .map(|t| TableSnapshot {
+                schema: t.schema.clone(),
+                rows: t
+                    .scan(&mut scratch)
+                    .into_iter()
+                    .map(|r| (r.id, r.row))
+                    .collect(),
+            })
+            .collect();
+        let before = inner.stats.wal_bytes;
+        inner.wal.checkpoint(snapshot, &mut inner.stats);
+        inner.stats.wal_bytes - before
+    }
+
+    /// Verifies heap/index consistency of every table. Used by tests.
+    pub fn check_consistency(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for table in inner.catalog.values() {
+            table.check_consistency()?;
+        }
+        Ok(())
+    }
+}
+
+/// A lightweight session that tracks an optional open transaction so callers
+/// can drive the database purely through SQL text, including `BEGIN`,
+/// `COMMIT` and `ROLLBACK`.
+#[derive(Debug)]
+pub struct Session<'a> {
+    db: &'a Database,
+    txn: Option<TxnId>,
+}
+
+impl<'a> Session<'a> {
+    /// Creates a session over `db` with no open transaction.
+    pub fn new(db: &'a Database) -> Self {
+        Session { db, txn: None }
+    }
+
+    /// True when an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Executes one SQL statement, honouring transaction-control statements.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::type_err("transaction already open"));
+                }
+                self.txn = Some(self.db.begin());
+                Ok(ExecResult::Ack)
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::type_err("no open transaction"))?;
+                self.db.commit(txn)?;
+                Ok(ExecResult::Ack)
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::type_err("no open transaction"))?;
+                self.db.rollback(txn)?;
+                Ok(ExecResult::Ack)
+            }
+            other => match self.txn {
+                Some(txn) => self.db.execute_stmt_in(txn, &other),
+                None => self.db.execute_stmt(&other),
+            },
+        }
+    }
+}
+
+impl<'a> Drop for Session<'a> {
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            let _ = self.db.rollback(txn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT NOT NULL, state TEXT, runtime DOUBLE)",
+        )
+        .unwrap();
+        db.execute("CREATE INDEX ON jobs (state)").unwrap();
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, state, runtime) VALUES \
+             (1, 'alice', 'idle', 60), (2, 'bob', 'idle', 120), (3, 'alice', 'running', 300)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_crud() {
+        let db = setup();
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+
+        let r = db.query("SELECT owner FROM jobs WHERE state = 'idle' ORDER BY job_id").unwrap();
+        assert_eq!(r.len(), 2);
+
+        let n = db
+            .execute("UPDATE jobs SET state = 'running' WHERE job_id = 1")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1);
+        let r = db.query("SELECT COUNT(*) AS n FROM jobs WHERE state = 'running'").unwrap();
+        assert_eq!(r.scalar_int(), Some(2));
+
+        let n = db.execute("DELETE FROM jobs WHERE owner = 'alice'").unwrap().affected();
+        assert_eq!(n, 2);
+        assert_eq!(db.table_len("jobs").unwrap(), 1);
+        db.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn autocommit_rolls_back_failed_statements() {
+        let db = setup();
+        // Second row violates the primary key; the whole statement must not apply.
+        let err = db.execute("INSERT INTO jobs (job_id, owner) VALUES (10, 'x'), (1, 'y')");
+        assert!(err.is_err());
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+        assert_eq!(db.count("jobs", Some(&Expr::col_eq("job_id", 10))).unwrap(), 0);
+        db.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn explicit_transactions_commit_and_rollback() {
+        let db = setup();
+        let txn = db.begin();
+        db.execute_in(txn, "INSERT INTO jobs (job_id, owner, state) VALUES (4, 'carol', 'idle')")
+            .unwrap();
+        db.execute_in(txn, "UPDATE jobs SET state = 'held' WHERE job_id = 2").unwrap();
+        db.execute_in(txn, "DELETE FROM jobs WHERE job_id = 3").unwrap();
+        db.rollback(txn).unwrap();
+
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+        let r = db.query("SELECT state FROM jobs WHERE job_id = 2").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("idle".into())));
+
+        let txn = db.begin();
+        db.execute_in(txn, "INSERT INTO jobs (job_id, owner, state) VALUES (4, 'carol', 'idle')")
+            .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+        db.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn lock_conflicts_are_reported() {
+        let db = setup();
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.execute_in(t1, "UPDATE jobs SET state = 'held' WHERE job_id = 1").unwrap();
+        let err = db.execute_in(t2, "SELECT * FROM jobs").unwrap_err();
+        assert!(err.is_retryable());
+        db.commit(t1).unwrap();
+        // After the writer commits, the reader can proceed.
+        db.execute_in(t2, "SELECT * FROM jobs").unwrap();
+        db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn recovery_restores_committed_state() {
+        let db = setup();
+        db.execute("UPDATE jobs SET state = 'done' WHERE job_id = 3").unwrap();
+        // An uncommitted transaction at crash time must disappear.
+        let txn = db.begin();
+        db.execute_in(txn, "DELETE FROM jobs").unwrap();
+
+        let wal = db.snapshot_wal();
+        let recovered = Database::recover_from(wal).unwrap();
+        assert_eq!(recovered.table_len("jobs").unwrap(), 3);
+        let r = recovered.query("SELECT state FROM jobs WHERE job_id = 3").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("done".into())));
+        recovered.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_preserves_recovery() {
+        let db = setup();
+        let before = db.wal_len();
+        db.checkpoint();
+        assert!(db.wal_len() < before);
+        db.execute("INSERT INTO jobs (job_id, owner) VALUES (9, 'zoe')").unwrap();
+        let recovered = Database::recover_from(db.snapshot_wal()).unwrap();
+        assert_eq!(recovered.table_len("jobs").unwrap(), 4);
+        assert!(db.stats().checkpoints >= 1);
+    }
+
+    #[test]
+    fn session_drives_transactions_through_sql() {
+        let db = setup();
+        let mut session = Session::new(&db);
+        session.execute("BEGIN").unwrap();
+        assert!(session.in_transaction());
+        session
+            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')")
+            .unwrap();
+        session.execute("ROLLBACK").unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+
+        session.execute("BEGIN").unwrap();
+        session
+            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')")
+            .unwrap();
+        session.execute("COMMIT").unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+
+        assert!(session.execute("COMMIT").is_err());
+        assert!(Session::new(&db).execute("ROLLBACK").is_err());
+    }
+
+    #[test]
+    fn dropped_session_releases_its_transaction() {
+        let db = setup();
+        {
+            let mut session = Session::new(&db);
+            session.execute("BEGIN").unwrap();
+            session
+                .execute("UPDATE jobs SET state = 'held' WHERE job_id = 1")
+                .unwrap();
+            // Dropped without commit.
+        }
+        // The lock must be gone and the change rolled back.
+        let r = db.query("SELECT state FROM jobs WHERE job_id = 1").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("idle".into())));
+    }
+
+    #[test]
+    fn ddl_statements_and_errors() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        assert!(db.execute("CREATE TABLE t (a INT)").is_err());
+        db.execute("DROP TABLE t").unwrap();
+        assert!(db.execute("DROP TABLE t").is_err());
+        assert!(db.execute("SELECT * FROM t").is_err());
+        assert!(db.execute("BEGIN").is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let db = setup();
+        let s1 = db.stats();
+        db.query("SELECT * FROM jobs").unwrap();
+        db.execute("UPDATE jobs SET runtime = runtime + 1 WHERE state = 'idle'").unwrap();
+        let s2 = db.stats();
+        let d = s2.delta_since(&s1);
+        assert!(d.rows_read >= 3);
+        assert_eq!(d.rows_updated, 2);
+        assert!(d.statements_executed >= 2);
+        assert!(d.wal_records >= 2);
+    }
+
+    #[test]
+    fn unique_index_via_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE m (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.execute("CREATE UNIQUE INDEX ON m (name)").unwrap();
+        db.execute("INSERT INTO m VALUES (1, 'node01')").unwrap();
+        assert!(db.execute("INSERT INTO m VALUES (2, 'node01')").is_err());
+        db.execute("INSERT INTO m VALUES (2, 'node02')").unwrap();
+        assert_eq!(db.table_len("m").unwrap(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the relational store.
+
+use std::fmt;
+
+/// All errors surfaced by the relational engine.
+///
+/// The variants are deliberately coarse-grained: callers (the application
+/// server, the CondorJ2 services) generally either retry, abort the enclosing
+/// transaction, or surface the message to an administrator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table, column or index that was referenced does not exist.
+    NotFound(String),
+    /// An object with the same name already exists.
+    AlreadyExists(String),
+    /// A statement or expression failed type checking or evaluation.
+    Type(String),
+    /// The SQL text could not be tokenised or parsed.
+    Parse(String),
+    /// A constraint (primary key / not-null / uniqueness) was violated.
+    Constraint(String),
+    /// The requested lock could not be acquired (conflict with another
+    /// in-flight transaction). The transaction should abort and retry.
+    LockConflict(String),
+    /// The transaction handle is no longer usable (already committed/aborted).
+    TxnClosed(String),
+    /// The write-ahead log or recovery machinery failed.
+    Wal(String),
+    /// Catch-all for internal invariant violations. Seeing this is a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        Error::NotFound(what.into())
+    }
+
+    /// Convenience constructor for [`Error::Type`].
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        Error::Type(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Constraint`].
+    pub fn constraint(msg: impl Into<String>) -> Self {
+        Error::Constraint(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// True when the error indicates a transient conflict that a caller may
+    /// safely retry after backing off.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::LockConflict(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(s) => write!(f, "not found: {s}"),
+            Error::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            Error::Type(s) => write!(f, "type error: {s}"),
+            Error::Parse(s) => write!(f, "parse error: {s}"),
+            Error::Constraint(s) => write!(f, "constraint violation: {s}"),
+            Error::LockConflict(s) => write!(f, "lock conflict: {s}"),
+            Error::TxnClosed(s) => write!(f, "transaction closed: {s}"),
+            Error::Wal(s) => write!(f, "wal error: {s}"),
+            Error::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::not_found("table jobs");
+        assert_eq!(e.to_string(), "not found: table jobs");
+        let e = Error::parse("unexpected token");
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::LockConflict("row 5".into()).is_retryable());
+        assert!(!Error::not_found("x").is_retryable());
+        assert!(!Error::constraint("pk").is_retryable());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::not_found("x"), Error::not_found("x"));
+        assert_ne!(Error::not_found("x"), Error::not_found("y"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Query execution: SELECT evaluation, joins, aggregation, sorting.
+//!
+//! The executor is pure with respect to the catalog: it reads tables and
+//! produces a [`QueryResult`], charging its work to the [`OpStats`] passed in.
+//! Mutating statements are executed by [`crate::db::Database`], which owns the
+//! write-ahead log and transaction machinery.
+
+mod aggregate;
+mod select;
+
+pub use select::{execute_select, matching_row_ids};
+
+use crate::tuple::Row;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The result of a query: named output columns and the result rows.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the value in the first row at `column`, if present.
+    pub fn first_value(&self, column: &str) -> Option<&Value> {
+        let idx = self.column_index(column)?;
+        self.rows.first().map(|r| r.get(idx))
+    }
+
+    /// Returns the ordinal of an output column by name (case-insensitive,
+    /// accepting either the qualified or unqualified form).
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        let want = column.to_ascii_lowercase();
+        if let Some(i) = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(&want))
+        {
+            return Some(i);
+        }
+        // Accept `col` for an output column named `table.col`.
+        let suffix = format!(".{want}");
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.to_ascii_lowercase().ends_with(&suffix) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// Returns the value at (`row`, `column`), if present.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.column_index(column)?;
+        self.rows.get(row).map(|r| r.get(idx))
+    }
+
+    /// Convenience: the single integer produced by an aggregate query such as
+    /// `SELECT COUNT(*) FROM ...`.
+    pub fn scalar_int(&self) -> Option<i64> {
+        if self.rows.len() == 1 && self.rows[0].arity() == 1 {
+            self.rows[0].get(0).as_int().ok()
+        } else {
+            None
+        }
+    }
+
+    /// Renders the result as a simple aligned text table (for examples and
+    /// the SQL console).
+    pub fn to_text_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, v) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(v.len());
+                out.push_str(&format!("{v:w$}  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["jobs.job_id".into(), "state".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Text("idle".into())]),
+                Row::new(vec![Value::Int(2), Value::Text("running".into())]),
+            ],
+        }
+    }
+
+    #[test]
+    fn column_index_handles_qualified_names() {
+        let r = result();
+        assert_eq!(r.column_index("state"), Some(1));
+        assert_eq!(r.column_index("job_id"), Some(0));
+        assert_eq!(r.column_index("jobs.job_id"), Some(0));
+        assert_eq!(r.column_index("missing"), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let r = result();
+        assert_eq!(r.first_value("job_id"), Some(&Value::Int(1)));
+        assert_eq!(r.value(1, "state"), Some(&Value::Text("running".into())));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.scalar_int(), None);
+    }
+
+    #[test]
+    fn scalar_int_for_single_cell() {
+        let r = QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![Row::new(vec![Value::Int(42)])],
+        };
+        assert_eq!(r.scalar_int(), Some(42));
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let text = result().to_text_table();
+        assert!(text.contains("jobs.job_id"));
+        assert!(text.contains("'running'"));
+    }
+}

@@ -1,0 +1,535 @@
+//! SELECT execution: access-path selection, joins, filtering, sorting,
+//! projection; plus the shared row-matching helper used by UPDATE/DELETE.
+
+use super::aggregate::execute_aggregate;
+use super::QueryResult;
+use crate::error::{Error, Result};
+use crate::predicate::Expr;
+use crate::schema::{Column, Schema};
+use crate::sql::ast::{SelectItem, SelectStmt, SortOrder};
+use crate::stats::OpStats;
+use crate::table::Table;
+use crate::tuple::{Row, RowId, StoredRow};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// The catalog type the executor reads from.
+pub type Catalog = BTreeMap<String, Table>;
+
+fn get_table<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
+    catalog
+        .get(&name.to_ascii_lowercase())
+        .ok_or_else(|| Error::not_found(format!("table {name}")))
+}
+
+/// Resolves a possibly-unqualified column name against a (possibly joined)
+/// schema whose columns carry qualified `table.column` names.
+fn resolve_column(schema: &Schema, name: &str) -> Result<String> {
+    let lname = name.to_ascii_lowercase();
+    if schema.column_index(&lname).is_ok() {
+        return Ok(lname);
+    }
+    if !lname.contains('.') {
+        let suffix = format!(".{lname}");
+        let matches: Vec<&Column> = schema
+            .columns
+            .iter()
+            .filter(|c| c.name.ends_with(&suffix))
+            .collect();
+        match matches.len() {
+            1 => return Ok(matches[0].name.clone()),
+            0 => {}
+            _ => {
+                return Err(Error::type_err(format!(
+                    "ambiguous column {name} in {}",
+                    schema.name
+                )))
+            }
+        }
+    } else if let Some((_, bare)) = lname.split_once('.') {
+        // A qualified name used against a single-table schema with bare names.
+        if schema.column_index(bare).is_ok() {
+            return Ok(bare.to_string());
+        }
+    }
+    Err(Error::not_found(format!(
+        "column {name} in {}",
+        schema.name
+    )))
+}
+
+/// Rewrites every column reference in `expr` to its resolved name in `schema`.
+fn resolve_expr(expr: &Expr, schema: &Schema) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Column(c) => Expr::Column(resolve_column(schema, c)?),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            *op,
+            Box::new(resolve_expr(l, schema)?),
+            Box::new(resolve_expr(r, schema)?),
+        ),
+        Expr::Arith(op, l, r) => Expr::Arith(
+            *op,
+            Box::new(resolve_expr(l, schema)?),
+            Box::new(resolve_expr(r, schema)?),
+        ),
+        Expr::And(l, r) => Expr::And(
+            Box::new(resolve_expr(l, schema)?),
+            Box::new(resolve_expr(r, schema)?),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(resolve_expr(l, schema)?),
+            Box::new(resolve_expr(r, schema)?),
+        ),
+        Expr::Not(e) => Expr::Not(Box::new(resolve_expr(e, schema)?)),
+        Expr::IsNull(e) => Expr::IsNull(Box::new(resolve_expr(e, schema)?)),
+        Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(resolve_expr(e, schema)?)),
+        Expr::InList(e, list) => Expr::InList(Box::new(resolve_expr(e, schema)?), list.clone()),
+    })
+}
+
+/// Builds the qualified schema describing `table` prefixed with its name.
+fn qualified_schema(table: &Table) -> Schema {
+    let columns = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| Column {
+            name: format!("{}.{}", table.schema.name, c.name),
+            ty: c.ty,
+            not_null: c.not_null,
+        })
+        .collect();
+    Schema::new(table.schema.name.clone(), columns)
+}
+
+/// Scans the base table using an index when the filter pins an indexed column
+/// to a literal; otherwise falls back to a full scan.
+fn access_base_table(
+    table: &Table,
+    filter: Option<&Expr>,
+    stats: &mut OpStats,
+) -> Vec<StoredRow> {
+    if let Some(filter) = filter {
+        // Try the primary key and every indexed column for an equality lookup.
+        let candidates: Vec<String> = table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .filter(|c| table.has_index_on(c))
+            .collect();
+        for col in candidates {
+            if let Some(key) = filter
+                .equality_lookup(&col)
+                .or_else(|| filter.equality_lookup(&format!("{}.{}", table.schema.name, col)))
+            {
+                if let Some(rows) = table.lookup_indexed(&col, &key, stats) {
+                    return rows;
+                }
+            }
+        }
+    }
+    table.scan(stats)
+}
+
+/// Executes a SELECT statement against the catalog.
+pub fn execute_select(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    stats: &mut OpStats,
+) -> Result<QueryResult> {
+    let base = get_table(catalog, &stmt.table)?;
+
+    // For a single-table query keep bare column names (friendlier output);
+    // joins switch to qualified names to avoid collisions.
+    let mut schema = if stmt.joins.is_empty() {
+        base.schema.clone()
+    } else {
+        qualified_schema(base)
+    };
+
+    let resolved_filter = match &stmt.filter {
+        Some(f) => Some(resolve_expr(f, &schema).or_else(|_| {
+            // The filter may reference columns of joined tables; resolution is
+            // retried after the joins are applied.
+            Ok::<Expr, Error>(f.clone())
+        })?),
+        None => None,
+    };
+
+    // Base access path. Only use the index fast path when the filter resolved
+    // against the base schema (otherwise correctness requires the full scan).
+    let base_filter_usable = stmt.joins.is_empty();
+    let mut rows: Vec<Row> = if base_filter_usable {
+        access_base_table(base, resolved_filter.as_ref(), stats)
+            .into_iter()
+            .map(|r| r.row)
+            .collect()
+    } else {
+        base.scan(stats).into_iter().map(|r| r.row).collect()
+    };
+
+    // Inner joins, applied left to right with a hash join on the join key.
+    for join in &stmt.joins {
+        let right = get_table(catalog, &join.table)?;
+        let right_schema = qualified_schema(right);
+
+        let left_col = resolve_column(&schema, &join.left_column)?;
+        let left_idx = schema.column_index(&left_col)?;
+        let right_col = resolve_column(&right_schema, &join.right_column)?;
+        let right_idx = right_schema.column_index(&right_col)?;
+
+        // Build hash table over the right side.
+        let right_rows = right.scan(stats);
+        let mut hash: HashMap<Value, Vec<&Row>> = HashMap::new();
+        for stored in &right_rows {
+            let key = stored.row.get(right_idx).clone();
+            if !key.is_null() {
+                hash.entry(key).or_default().push(&stored.row);
+            }
+        }
+
+        let mut joined = Vec::new();
+        for left_row in &rows {
+            let key = left_row.get(left_idx);
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = hash.get(key) {
+                for right_row in matches {
+                    joined.push(left_row.concat(right_row));
+                    stats.rows_read += 1;
+                }
+            }
+        }
+        rows = joined;
+
+        // Extend the schema with the right-hand columns.
+        let mut columns = schema.columns.clone();
+        columns.extend(right_schema.columns.clone());
+        schema = Schema::new(schema.name.clone(), columns);
+    }
+
+    // Filter (now that the full schema is known).
+    if let Some(filter) = &stmt.filter {
+        let filter = resolve_expr(filter, &schema)?;
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if filter.matches(&schema, &row)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // Aggregation short-circuits the rest of the pipeline.
+    let has_aggregates = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+    if has_aggregates || !stmt.group_by.is_empty() {
+        return execute_aggregate(stmt, &schema, rows, stats);
+    }
+
+    // ORDER BY.
+    if !stmt.order_by.is_empty() {
+        let keys: Vec<(usize, SortOrder)> = stmt
+            .order_by
+            .iter()
+            .map(|k| {
+                let col = resolve_column(&schema, &k.column)?;
+                Ok((schema.column_index(&col)?, k.order))
+            })
+            .collect::<Result<_>>()?;
+        rows.sort_by(|a, b| {
+            for (idx, order) in &keys {
+                let cmp = a.get(*idx).total_cmp(b.get(*idx));
+                let cmp = match order {
+                    SortOrder::Asc => cmp,
+                    SortOrder::Desc => cmp.reverse(),
+                };
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // LIMIT.
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit);
+    }
+
+    // Projection.
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut projections: Vec<Option<Expr>> = Vec::new(); // None = wildcard slot
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                out_columns.extend(schema.columns.iter().map(|c| c.name.clone()));
+                projections.push(None);
+            }
+            SelectItem::Expr { expr, alias } => {
+                let resolved = resolve_expr(expr, &schema)?;
+                let name = alias.clone().unwrap_or_else(|| match &resolved {
+                    Expr::Column(c) => c.clone(),
+                    other => other.to_string(),
+                });
+                out_columns.push(name);
+                projections.push(Some(resolved));
+            }
+            SelectItem::Aggregate { .. } => unreachable!("aggregates handled above"),
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut values = Vec::with_capacity(out_columns.len());
+        for proj in &projections {
+            match proj {
+                None => values.extend(row.values.iter().cloned()),
+                Some(expr) => values.push(expr.eval(&schema, row)?),
+            }
+        }
+        out_rows.push(Row::new(values));
+    }
+
+    Ok(QueryResult {
+        columns: out_columns,
+        rows: out_rows,
+    })
+}
+
+/// Returns the ids of the rows of `table` matched by `filter` (all rows when
+/// `filter` is `None`). Shared by UPDATE and DELETE execution.
+pub fn matching_row_ids(
+    table: &Table,
+    filter: Option<&Expr>,
+    stats: &mut OpStats,
+) -> Result<Vec<RowId>> {
+    let resolved = match filter {
+        Some(f) => Some(resolve_expr(f, &table.schema)?),
+        None => None,
+    };
+    let candidates = access_base_table(table, resolved.as_ref(), stats);
+    let mut out = Vec::new();
+    for stored in candidates {
+        let keep = match &resolved {
+            Some(f) => f.matches(&table.schema, &stored.row)?,
+            None => true,
+        };
+        if keep {
+            out.push(stored.id);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::Column;
+    use crate::sql::parser::parse;
+    use crate::sql::ast::Statement;
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let mut stats = OpStats::default();
+        let mut jobs = Table::new(
+            Schema::new(
+                "jobs",
+                vec![
+                    Column::not_null("job_id", DataType::Int),
+                    Column::not_null("owner", DataType::Text),
+                    Column::new("state", DataType::Text),
+                    Column::new("runtime", DataType::Double),
+                ],
+            )
+            .with_primary_key("job_id")
+            .with_index("state"),
+        )
+        .unwrap();
+        for (id, owner, state, rt) in [
+            (1, "alice", "idle", 60.0),
+            (2, "alice", "running", 360.0),
+            (3, "bob", "idle", 60.0),
+            (4, "carol", "held", 10.0),
+        ] {
+            jobs.insert(
+                vec![
+                    Value::Int(id),
+                    Value::Text(owner.into()),
+                    Value::Text(state.into()),
+                    Value::Double(rt),
+                ],
+                &mut stats,
+            )
+            .unwrap();
+        }
+
+        let mut machines = Table::new(
+            Schema::new(
+                "machines",
+                vec![
+                    Column::not_null("machine_id", DataType::Int),
+                    Column::new("state", DataType::Text),
+                ],
+            )
+            .with_primary_key("machine_id"),
+        )
+        .unwrap();
+        for (id, state) in [(10, "idle"), (11, "busy")] {
+            machines
+                .insert(vec![Value::Int(id), Value::Text(state.into())], &mut stats)
+                .unwrap();
+        }
+
+        let mut matches = Table::new(
+            Schema::new(
+                "matches",
+                vec![
+                    Column::not_null("job_id", DataType::Int),
+                    Column::not_null("machine_id", DataType::Int),
+                ],
+            )
+            .with_index("job_id"),
+        )
+        .unwrap();
+        matches
+            .insert(vec![Value::Int(2), Value::Int(11)], &mut stats)
+            .unwrap();
+
+        let mut cat = Catalog::new();
+        cat.insert("jobs".into(), jobs);
+        cat.insert("machines".into(), machines);
+        cat.insert("matches".into(), matches);
+        cat
+    }
+
+    fn select(cat: &Catalog, sql: &str) -> QueryResult {
+        let Statement::Select(stmt) = parse(sql).unwrap() else {
+            panic!("not a select: {sql}");
+        };
+        execute_select(cat, &stmt, &mut OpStats::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_filter_and_projection() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT job_id, owner FROM jobs WHERE state = 'idle' ORDER BY job_id");
+        assert_eq!(r.columns, vec!["job_id", "owner"]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "job_id"), Some(&Value::Int(1)));
+        assert_eq!(r.value(1, "owner"), Some(&Value::Text("bob".into())));
+    }
+
+    #[test]
+    fn wildcard_and_limit() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT * FROM jobs ORDER BY job_id DESC LIMIT 2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "job_id"), Some(&Value::Int(4)));
+        assert_eq!(r.columns.len(), 4);
+    }
+
+    #[test]
+    fn pk_point_lookup_uses_index() {
+        let cat = catalog();
+        let mut stats = OpStats::default();
+        let Statement::Select(stmt) = parse("SELECT * FROM jobs WHERE job_id = 3").unwrap() else {
+            unreachable!()
+        };
+        let r = execute_select(&cat, &stmt, &mut stats).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(stats.index_lookups >= 1);
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let cat = catalog();
+        let mut stats = OpStats::default();
+        let Statement::Select(stmt) =
+            parse("SELECT job_id FROM jobs WHERE state = 'idle' AND runtime < 100").unwrap()
+        else {
+            unreachable!()
+        };
+        let r = execute_select(&cat, &stmt, &mut stats).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(stats.index_lookups >= 1);
+    }
+
+    #[test]
+    fn join_produces_qualified_columns() {
+        let cat = catalog();
+        let r = select(
+            &cat,
+            "SELECT jobs.job_id, machines.machine_id FROM jobs \
+             JOIN matches ON jobs.job_id = matches.job_id \
+             JOIN machines ON matches.machine_id = machines.machine_id",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "jobs.job_id"), Some(&Value::Int(2)));
+        assert_eq!(r.value(0, "machines.machine_id"), Some(&Value::Int(11)));
+    }
+
+    #[test]
+    fn join_filter_on_right_table() {
+        let cat = catalog();
+        let r = select(
+            &cat,
+            "SELECT jobs.owner FROM jobs JOIN matches ON jobs.job_id = matches.job_id \
+             WHERE matches.machine_id = 11",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "jobs.owner"), Some(&Value::Text("alice".into())));
+    }
+
+    #[test]
+    fn arithmetic_projection_with_alias() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT runtime / 60 AS minutes FROM jobs WHERE job_id = 2");
+        assert_eq!(r.columns, vec!["minutes"]);
+        assert_eq!(r.value(0, "minutes"), Some(&Value::Double(6.0)));
+    }
+
+    #[test]
+    fn matching_row_ids_with_and_without_filter() {
+        let cat = catalog();
+        let jobs = cat.get("jobs").unwrap();
+        let mut stats = OpStats::default();
+        let all = matching_row_ids(jobs, None, &mut stats).unwrap();
+        assert_eq!(all.len(), 4);
+        let idle = matching_row_ids(
+            jobs,
+            Some(&Expr::col_eq("state", "idle")),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(idle.len(), 2);
+        let none = matching_row_ids(
+            jobs,
+            Some(&Expr::col_cmp("job_id", CmpOp::Gt, 100)),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let cat = catalog();
+        let Statement::Select(stmt) = parse("SELECT * FROM nope").unwrap() else {
+            unreachable!()
+        };
+        assert!(execute_select(&cat, &stmt, &mut OpStats::default()).is_err());
+        let Statement::Select(stmt) = parse("SELECT missing FROM jobs").unwrap() else {
+            unreachable!()
+        };
+        assert!(execute_select(&cat, &stmt, &mut OpStats::default()).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! In-memory ordered secondary indexes.
+
+use crate::error::{Error, Result};
+use crate::tuple::RowId;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// An ordered index mapping a column value to the set of rows holding it.
+///
+/// The index is maintained eagerly by [`crate::table::Table`] on every insert,
+/// update and delete. Lookups return row ids in ascending id order so scans
+/// are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    /// Index name (unique within the table).
+    pub name: String,
+    /// Ordinal of the indexed column.
+    pub column_idx: usize,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    entries: BTreeMap<Value, BTreeSet<RowId>>,
+    len: usize,
+}
+
+impl Index {
+    /// Creates an empty index over the column at `column_idx`.
+    pub fn new(name: impl Into<String>, column_idx: usize, unique: bool) -> Self {
+        Index {
+            name: name.into(),
+            column_idx,
+            unique,
+            entries: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of (key, row) entries in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts an entry. Fails for duplicate keys on unique indexes.
+    /// NULL keys are not indexed (SQL unique constraints ignore NULLs).
+    pub fn insert(&mut self, key: &Value, row: RowId) -> Result<()> {
+        if key.is_null() {
+            return Ok(());
+        }
+        let set = self.entries.entry(key.clone()).or_default();
+        if self.unique && !set.is_empty() && !set.contains(&row) {
+            return Err(Error::constraint(format!(
+                "unique index {} already contains key {key}",
+                self.name
+            )));
+        }
+        if set.insert(row) {
+            self.len += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes an entry; missing entries are ignored.
+    pub fn remove(&mut self, key: &Value, row: RowId) {
+        if key.is_null() {
+            return;
+        }
+        if let Some(set) = self.entries.get_mut(key) {
+            if set.remove(&row) {
+                self.len -= 1;
+            }
+            if set.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Returns the rows holding exactly `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        if key.is_null() {
+            return Vec::new();
+        }
+        self.entries
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the rows with keys in `[lo, hi]` (either bound may be open).
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        let lo_bound = match lo {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        let hi_bound = match hi {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (_, rows) in self.entries.range((lo_bound, hi_bound)) {
+            out.extend(rows.iter().copied());
+        }
+        out
+    }
+
+    /// True if any row holds `key`.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        !key.is_null() && self.entries.contains_key(key)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = Index::new("idx", 0, false);
+        idx.insert(&Value::Text("idle".into()), RowId(1)).unwrap();
+        idx.insert(&Value::Text("idle".into()), RowId(2)).unwrap();
+        idx.insert(&Value::Text("running".into()), RowId(3)).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(
+            idx.lookup(&Value::Text("idle".into())),
+            vec![RowId(1), RowId(2)]
+        );
+        idx.remove(&Value::Text("idle".into()), RowId(1));
+        assert_eq!(idx.lookup(&Value::Text("idle".into())), vec![RowId(2)]);
+        assert_eq!(idx.len(), 2);
+        // Removing a missing entry is a no-op.
+        idx.remove(&Value::Text("idle".into()), RowId(99));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut idx = Index::new("uidx", 0, true);
+        idx.insert(&Value::Int(1), RowId(1)).unwrap();
+        assert!(idx.insert(&Value::Int(1), RowId(2)).is_err());
+        // Re-inserting the same (key, row) pair is idempotent.
+        idx.insert(&Value::Int(1), RowId(1)).unwrap();
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn null_keys_are_not_indexed() {
+        let mut idx = Index::new("uidx", 0, true);
+        idx.insert(&Value::Null, RowId(1)).unwrap();
+        idx.insert(&Value::Null, RowId(2)).unwrap();
+        assert_eq!(idx.len(), 0);
+        assert!(idx.lookup(&Value::Null).is_empty());
+        assert!(!idx.contains_key(&Value::Null));
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let mut idx = Index::new("idx", 0, false);
+        for i in 0..10 {
+            idx.insert(&Value::Int(i), RowId(i as u64)).unwrap();
+        }
+        let rows = idx.range(Some(&Value::Int(3)), Some(&Value::Int(6)));
+        assert_eq!(rows, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
+        let rows = idx.range(None, Some(&Value::Int(1)));
+        assert_eq!(rows, vec![RowId(0), RowId(1)]);
+        let rows = idx.range(Some(&Value::Int(8)), None);
+        assert_eq!(rows, vec![RowId(8), RowId(9)]);
+        assert_eq!(idx.range(None, None).len(), 10);
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let mut idx = Index::new("idx", 0, false);
+        idx.insert(&Value::Int(1), RowId(1)).unwrap();
+        idx.clear();
+        assert!(idx.is_empty());
+        assert!(idx.lookup(&Value::Int(1)).is_empty());
+    }
+}

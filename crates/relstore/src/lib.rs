@@ -1,0 +1,53 @@
+//! # relstore — an embedded relational storage and query engine
+//!
+//! `relstore` is the DB2 stand-in substrate for the CondorJ2 reproduction
+//! ("Turning Cluster Management into Data Management", CIDR 2007). The paper's
+//! central move is to put **all** cluster-management state — jobs, machines,
+//! matches, runs, users, configuration, history — into relational tables and
+//! express every system action as SQL. This crate provides the pieces that
+//! move requires:
+//!
+//! * typed tables with primary keys and secondary indexes ([`table`], [`schema`]),
+//! * a SQL subset with a lexer, parser and executor ([`sql`], [`exec`]),
+//! * transactions with table-level two-phase locking and rollback ([`txn`]),
+//! * a write-ahead log with checkpointing and recovery ([`wal`]),
+//! * operation statistics for the simulation cost model ([`stats`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relstore::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT, runtime DOUBLE)").unwrap();
+//! db.execute("INSERT INTO jobs VALUES (1, 'idle', 60.0), (2, 'idle', 300.0)").unwrap();
+//! db.execute("UPDATE jobs SET state = 'running' WHERE job_id = 1").unwrap();
+//! let idle = db.query("SELECT COUNT(*) FROM jobs WHERE state = 'idle'").unwrap();
+//! assert_eq!(idle.scalar_int(), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod index;
+pub mod predicate;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod tuple;
+pub mod txn;
+pub mod value;
+pub mod wal;
+
+pub use db::{Database, ExecResult, Session};
+pub use error::{Error, Result};
+pub use exec::QueryResult;
+pub use predicate::{CmpOp, Expr};
+pub use schema::{Column, Schema};
+pub use stats::OpStats;
+pub use tuple::{Row, RowId};
+pub use value::{DataType, Value};
+pub use wal::TxnId;

@@ -1,0 +1,490 @@
+//! Scalar expressions and predicate evaluation over rows.
+//!
+//! Expressions are evaluated against a row plus a column-name environment
+//! (the schema of the relation flowing through the operator). Comparison
+//! follows SQL three-valued logic: any comparison against NULL is unknown and
+//! an unknown predicate does not select the row.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Row;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`<>` / `!=`).
+    Ne,
+    /// Less-than (`<`).
+    Lt,
+    /// Less-than-or-equal (`<=`).
+    Le,
+    /// Greater-than (`>`).
+    Gt,
+    /// Greater-than-or-equal (`>=`).
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Value),
+    /// A reference to a column by name.
+    Column(String),
+    /// A comparison between two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic over two sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// `expr IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+    /// `expr IN (v1, v2, ...)` against literal values.
+    InList(Box<Expr>, Vec<Value>),
+}
+
+impl Expr {
+    /// Convenience constructor: `column = literal`.
+    pub fn col_eq(column: impl Into<String>, value: impl Into<Value>) -> Expr {
+        Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Column(column.into())),
+            Box::new(Expr::Literal(value.into())),
+        )
+    }
+
+    /// Convenience constructor: `column <op> literal`.
+    pub fn col_cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Expr {
+        Expr::Cmp(
+            op,
+            Box::new(Expr::Column(column.into())),
+            Box::new(Expr::Literal(value.into())),
+        )
+    }
+
+    /// Convenience constructor: logical AND of two expressions.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor: logical OR of two expressions.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the expression against `row` described by `schema`.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(name) => {
+                let idx = schema.column_index(name)?;
+                Ok(row.get(idx).clone())
+            }
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(schema, row)?;
+                let rv = r.eval(schema, row)?;
+                Ok(match eval_cmp(*op, &lv, &rv) {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                })
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(schema, row)?;
+                let rv = r.eval(schema, row)?;
+                eval_arith(*op, &lv, &rv)
+            }
+            Expr::And(l, r) => {
+                let lv = to_tristate(l.eval(schema, row)?)?;
+                let rv = to_tristate(r.eval(schema, row)?)?;
+                Ok(from_tristate(and3(lv, rv)))
+            }
+            Expr::Or(l, r) => {
+                let lv = to_tristate(l.eval(schema, row)?)?;
+                let rv = to_tristate(r.eval(schema, row)?)?;
+                Ok(from_tristate(or3(lv, rv)))
+            }
+            Expr::Not(e) => {
+                let v = to_tristate(e.eval(schema, row)?)?;
+                Ok(from_tristate(v.map(|b| !b)))
+            }
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval(schema, row)?.is_null())),
+            Expr::InList(e, list) => {
+                let v = e.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(item) {
+                        Some(true) => return Ok(Value::Bool(true)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: true selects the row,
+    /// false or unknown (NULL) rejects it.
+    pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        match self.eval(schema, row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(Error::type_err(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    /// If the expression constrains `pk_column` to a single literal with
+    /// equality somewhere in a top-level conjunction, return that literal.
+    /// Used by the planner to choose point lookups over scans.
+    pub fn equality_lookup(&self, column: &str) -> Option<Value> {
+        match self {
+            Expr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) if c.eq_ignore_ascii_case(column) => {
+                    Some(v.clone())
+                }
+                (Expr::Literal(v), Expr::Column(c)) if c.eq_ignore_ascii_case(column) => {
+                    Some(v.clone())
+                }
+                _ => None,
+            },
+            Expr::And(l, r) => l
+                .equality_lookup(column)
+                .or_else(|| r.equality_lookup(column)),
+            _ => None,
+        }
+    }
+
+    /// Collects the names of all columns referenced by the expression.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InList(e, _) => {
+                e.referenced_columns(out)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Cmp(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            Expr::InList(e, list) => {
+                write!(f, "({e} IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, l: &Value, r: &Value) -> Option<bool> {
+    match op {
+        CmpOp::Eq => l.sql_eq(r),
+        CmpOp::Ne => l.sql_eq(r).map(|b| !b),
+        CmpOp::Lt => l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Less),
+        CmpOp::Le => l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Greater),
+        CmpOp::Gt => l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Greater),
+        CmpOp::Ge => l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Less),
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer arithmetic stays integral when both sides are integral and the
+    // operation is exact; everything else widens to double.
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+        }),
+        _ => {
+            let a = l.as_double()?;
+            let b = r.as_double()?;
+            Ok(match op {
+                ArithOp::Add => Value::Double(a + b),
+                ArithOp::Sub => Value::Double(a - b),
+                ArithOp::Mul => Value::Double(a * b),
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(a / b)
+                    }
+                }
+            })
+        }
+    }
+}
+
+fn to_tristate(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(b)),
+        Value::Null => Ok(None),
+        other => Err(Error::type_err(format!(
+            "expected boolean operand, got {other}"
+        ))),
+    }
+}
+
+fn from_tristate(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn and3(l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match (l, r) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match (l, r) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "jobs",
+            vec![
+                Column::new("job_id", DataType::Int),
+                Column::new("state", DataType::Text),
+                Column::new("runtime", DataType::Double),
+                Column::new("done", DataType::Bool),
+            ],
+        )
+    }
+
+    fn row(id: i64, state: &str, runtime: f64, done: bool) -> Row {
+        Row::new(vec![
+            Value::Int(id),
+            Value::Text(state.into()),
+            Value::Double(runtime),
+            Value::Bool(done),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal_eval() {
+        let s = schema();
+        let r = row(1, "idle", 2.0, false);
+        assert_eq!(
+            Expr::Column("state".into()).eval(&s, &r).unwrap(),
+            Value::Text("idle".into())
+        );
+        assert_eq!(
+            Expr::Literal(Value::Int(9)).eval(&s, &r).unwrap(),
+            Value::Int(9)
+        );
+        assert!(Expr::Column("missing".into()).eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_matching() {
+        let s = schema();
+        let r = row(5, "idle", 2.0, false);
+        assert!(Expr::col_eq("state", "idle").matches(&s, &r).unwrap());
+        assert!(!Expr::col_eq("state", "running").matches(&s, &r).unwrap());
+        assert!(Expr::col_cmp("job_id", CmpOp::Ge, 5).matches(&s, &r).unwrap());
+        assert!(Expr::col_cmp("runtime", CmpOp::Lt, 3).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_do_not_match() {
+        let s = schema();
+        let r = Row::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+        assert!(!Expr::col_eq("job_id", 1).matches(&s, &r).unwrap());
+        assert!(!Expr::col_cmp("job_id", CmpOp::Ne, 1).matches(&s, &r).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::Column("job_id".into())))
+            .matches(&s, &r)
+            .unwrap());
+        assert!(!Expr::IsNotNull(Box::new(Expr::Column("job_id".into())))
+            .matches(&s, &r)
+            .unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let s = schema();
+        let r = row(1, "idle", 2.0, true);
+        let null = Expr::Literal(Value::Null);
+        let truth = Expr::Literal(Value::Bool(true));
+        let falsity = Expr::Literal(Value::Bool(false));
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL (does not match).
+        assert!(!null.clone().and(falsity.clone()).matches(&s, &r).unwrap());
+        assert!(!null.clone().and(truth.clone()).matches(&s, &r).unwrap());
+        // NULL OR TRUE = TRUE.
+        assert!(null.clone().or(truth).matches(&s, &r).unwrap());
+        assert!(!null.or(falsity).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_double() {
+        let s = schema();
+        let r = row(10, "idle", 4.0, false);
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::Column("job_id".into())),
+            Box::new(Expr::Literal(Value::Int(5))),
+        );
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(15));
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Column("runtime".into())),
+            Box::new(Expr::Literal(Value::Int(2))),
+        );
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Double(2.0));
+        // Division by zero yields NULL rather than an error.
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Column("job_id".into())),
+            Box::new(Expr::Literal(Value::Int(0))),
+        );
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let s = schema();
+        let r = row(1, "idle", 2.0, false);
+        let e = Expr::InList(
+            Box::new(Expr::Column("state".into())),
+            vec![Value::Text("idle".into()), Value::Text("running".into())],
+        );
+        assert!(e.matches(&s, &r).unwrap());
+        let e = Expr::InList(
+            Box::new(Expr::Column("state".into())),
+            vec![Value::Text("held".into())],
+        );
+        assert!(!e.matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn equality_lookup_detection() {
+        let e = Expr::col_eq("job_id", 7).and(Expr::col_eq("state", "idle"));
+        assert_eq!(e.equality_lookup("job_id"), Some(Value::Int(7)));
+        assert_eq!(e.equality_lookup("STATE"), Some(Value::Text("idle".into())));
+        assert_eq!(e.equality_lookup("runtime"), None);
+        let e = Expr::col_cmp("job_id", CmpOp::Gt, 7);
+        assert_eq!(e.equality_lookup("job_id"), None);
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let e = Expr::col_eq("a", 1).and(Expr::col_cmp("b", CmpOp::Lt, 2));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn non_boolean_predicate_is_error() {
+        let s = schema();
+        let r = row(1, "idle", 2.0, false);
+        assert!(Expr::Column("job_id".into()).matches(&s, &r).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col_eq("state", "idle").and(Expr::col_cmp("job_id", CmpOp::Gt, 3));
+        assert_eq!(e.to_string(), "((state = 'idle') AND ((job_id > 3)))"
+            .replace("((job_id > 3))", "(job_id > 3)"));
+    }
+}

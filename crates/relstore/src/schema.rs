@@ -1,0 +1,278 @@
+//! Table schemas: columns, primary keys, and index definitions.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (case-insensitive, stored lower-case).
+    pub name: String,
+    /// Declared data type.
+    pub ty: DataType,
+    /// Whether NULL values are rejected on insert/update.
+    pub not_null: bool,
+}
+
+impl Column {
+    /// Creates a nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            not_null: false,
+        }
+    }
+
+    /// Creates a NOT NULL column.
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            not_null: true,
+        }
+    }
+}
+
+/// Definition of a secondary index over one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name.
+    pub name: String,
+    /// Indexed column name.
+    pub column: String,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+}
+
+/// A table schema: ordered columns plus an optional single-column primary key
+/// and any number of secondary indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Table name (case-insensitive, stored lower-case).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Name of the primary-key column, if any.
+    pub primary_key: Option<String>,
+    /// Secondary index definitions.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl Schema {
+    /// Creates a new schema with the given name and columns.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Schema {
+            name: name.into().to_ascii_lowercase(),
+            columns,
+            primary_key: None,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Builder-style: declares `column` as the primary key.
+    pub fn with_primary_key(mut self, column: impl Into<String>) -> Self {
+        self.primary_key = Some(column.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Builder-style: adds a (non-unique) secondary index on `column`.
+    pub fn with_index(mut self, column: impl Into<String>) -> Self {
+        let column = column.into().to_ascii_lowercase();
+        let name = format!("idx_{}_{}", self.name, column);
+        self.indexes.push(IndexDef {
+            name,
+            column,
+            unique: false,
+        });
+        self
+    }
+
+    /// Builder-style: adds a unique secondary index on `column`.
+    pub fn with_unique_index(mut self, column: impl Into<String>) -> Self {
+        let column = column.into().to_ascii_lowercase();
+        let name = format!("uidx_{}_{}", self.name, column);
+        self.indexes.push(IndexDef {
+            name,
+            column,
+            unique: true,
+        });
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks up the ordinal position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lname)
+            .ok_or_else(|| Error::not_found(format!("column {name} in table {}", self.name)))
+    }
+
+    /// Returns the column definition by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self.column_index(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Returns the ordinal of the primary-key column, if declared.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.primary_key
+            .as_deref()
+            .and_then(|pk| self.columns.iter().position(|c| c.name == pk))
+    }
+
+    /// Validates a full row against the schema: arity, types, NOT NULL.
+    /// Returns the row with values coerced to the declared column types.
+    pub fn validate_row(&self, values: Vec<Value>) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(Error::type_err(format!(
+                "table {} expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(values.len());
+        for (value, col) in values.into_iter().zip(&self.columns) {
+            if value.is_null() && col.not_null {
+                return Err(Error::constraint(format!(
+                    "column {}.{} is NOT NULL",
+                    self.name, col.name
+                )));
+            }
+            if !value.is_compatible_with(col.ty) {
+                return Err(Error::type_err(format!(
+                    "column {}.{} has type {}, got {}",
+                    self.name, col.name, col.ty, value
+                )));
+            }
+            out.push(value.coerce_to(col.ty)?);
+        }
+        Ok(out)
+    }
+
+    /// Validates the schema definition itself: unique column names, the
+    /// primary key and all index columns must exist.
+    pub fn validate(&self) -> Result<()> {
+        if self.columns.is_empty() {
+            return Err(Error::type_err(format!("table {} has no columns", self.name)));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::AlreadyExists(format!(
+                    "duplicate column {} in table {}",
+                    c.name, self.name
+                )));
+            }
+        }
+        if let Some(pk) = &self.primary_key {
+            self.column_index(pk)?;
+        }
+        for idx in &self.indexes {
+            self.column_index(&idx.column)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_schema() -> Schema {
+        Schema::new(
+            "jobs",
+            vec![
+                Column::not_null("job_id", DataType::Int),
+                Column::not_null("owner", DataType::Text),
+                Column::new("state", DataType::Text),
+                Column::new("runtime", DataType::Double),
+            ],
+        )
+        .with_primary_key("job_id")
+        .with_index("state")
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = jobs_schema();
+        assert_eq!(s.column_index("JOB_ID").unwrap(), 0);
+        assert_eq!(s.column_index("State").unwrap(), 2);
+        assert!(s.column_index("missing").is_err());
+    }
+
+    #[test]
+    fn primary_key_index_resolves() {
+        let s = jobs_schema();
+        assert_eq!(s.primary_key_index(), Some(0));
+        let s2 = Schema::new("t", vec![Column::new("a", DataType::Int)]);
+        assert_eq!(s2.primary_key_index(), None);
+    }
+
+    #[test]
+    fn validate_row_checks_arity_types_nulls() {
+        let s = jobs_schema();
+        let ok = s
+            .validate_row(vec![
+                Value::Int(1),
+                Value::Text("alice".into()),
+                Value::Text("idle".into()),
+                Value::Int(30),
+            ])
+            .unwrap();
+        // INT literal coerced into the DOUBLE column.
+        assert_eq!(ok[3], Value::Double(30.0));
+
+        assert!(s
+            .validate_row(vec![Value::Int(1), Value::Text("a".into())])
+            .is_err());
+        assert!(s
+            .validate_row(vec![
+                Value::Null,
+                Value::Text("a".into()),
+                Value::Null,
+                Value::Null
+            ])
+            .is_err());
+        assert!(s
+            .validate_row(vec![
+                Value::Int(1),
+                Value::Int(5),
+                Value::Null,
+                Value::Null
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn schema_validation_rejects_bad_definitions() {
+        let dup = Schema::new(
+            "t",
+            vec![Column::new("a", DataType::Int), Column::new("a", DataType::Int)],
+        );
+        assert!(dup.validate().is_err());
+
+        let bad_pk = Schema::new("t", vec![Column::new("a", DataType::Int)]).with_primary_key("b");
+        assert!(bad_pk.validate().is_err());
+
+        let bad_idx = Schema::new("t", vec![Column::new("a", DataType::Int)]).with_index("zzz");
+        assert!(bad_idx.validate().is_err());
+
+        assert!(jobs_schema().validate().is_ok());
+    }
+
+    #[test]
+    fn index_builders_name_indexes() {
+        let s = jobs_schema().with_unique_index("owner");
+        assert_eq!(s.indexes.len(), 2);
+        assert!(s.indexes[0].name.starts_with("idx_jobs_"));
+        assert!(s.indexes[1].unique);
+    }
+}

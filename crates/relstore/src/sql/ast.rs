@@ -1,0 +1,224 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::predicate::Expr;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Sort direction for `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// The column to sort by.
+    pub column: String,
+    /// Sort direction.
+    pub order: SortOrder,
+}
+
+/// Aggregate functions supported in the projection list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Canonical upper-case name of the function.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One item in a `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*` — every column of the (joined) input relation.
+    Wildcard,
+    /// A scalar expression with an optional `AS` alias.
+    Expr {
+        /// The expression to evaluate per row.
+        expr: Expr,
+        /// Output column name override.
+        alias: Option<String>,
+    },
+    /// An aggregate over an optional column (`None` means `COUNT(*)`).
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column, or `None` for `COUNT(*)`.
+        column: Option<String>,
+        /// Output column name override.
+        alias: Option<String>,
+    },
+}
+
+/// An inner join clause: `JOIN <table> ON <left_col> = <right_col>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinClause {
+    /// The right-hand table name.
+    pub table: String,
+    /// Column from the accumulated left-hand relation.
+    pub left_column: String,
+    /// Column from the right-hand table.
+    pub right_column: String,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Base table.
+    pub table: String,
+    /// Inner joins applied left-to-right.
+    pub joins: Vec<JoinClause>,
+    /// Optional filter predicate.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<String>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`, if present.
+    pub limit: Option<usize>,
+}
+
+/// An `INSERT` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list; when empty the full schema order is used.
+    pub columns: Vec<String>,
+    /// One or more value rows (literal expressions, evaluated against an empty row).
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// An `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// `SET column = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// Optional filter predicate.
+    pub filter: Option<Expr>,
+}
+
+/// A `DELETE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// Optional filter predicate.
+    pub filter: Option<Expr>,
+}
+
+/// Any parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `CREATE TABLE ...`.
+    CreateTable(Schema),
+    /// `CREATE [UNIQUE] INDEX ON table (column)`.
+    CreateIndex {
+        /// Target table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// Whether duplicates are rejected.
+        unique: bool,
+    },
+    /// `DROP TABLE name`.
+    DropTable(String),
+    /// `SELECT ...`.
+    Select(SelectStmt),
+    /// `INSERT ...`.
+    Insert(InsertStmt),
+    /// `UPDATE ...`.
+    Update(UpdateStmt),
+    /// `DELETE ...`.
+    Delete(DeleteStmt),
+    /// `BEGIN [TRANSACTION]`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}
+
+impl Statement {
+    /// True for statements that only read data.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Statement::Select(_))
+    }
+
+    /// The table this statement primarily targets, if any.
+    pub fn target_table(&self) -> Option<&str> {
+        match self {
+            Statement::CreateTable(s) => Some(&s.name),
+            Statement::CreateIndex { table, .. } => Some(table),
+            Statement::DropTable(t) => Some(t),
+            Statement::Select(s) => Some(&s.table),
+            Statement::Insert(s) => Some(&s.table),
+            Statement::Update(s) => Some(&s.table),
+            Statement::Delete(s) => Some(&s.table),
+            Statement::Begin | Statement::Commit | Statement::Rollback => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    #[test]
+    fn statement_classification() {
+        let sel = Statement::Select(SelectStmt {
+            items: vec![SelectItem::Wildcard],
+            table: "jobs".into(),
+            joins: vec![],
+            filter: None,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        });
+        assert!(sel.is_read_only());
+        assert_eq!(sel.target_table(), Some("jobs"));
+
+        let ct = Statement::CreateTable(Schema::new(
+            "jobs",
+            vec![Column::new("job_id", DataType::Int)],
+        ));
+        assert!(!ct.is_read_only());
+        assert_eq!(ct.target_table(), Some("jobs"));
+        assert_eq!(Statement::Begin.target_table(), None);
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::Count.name(), "COUNT");
+        assert_eq!(AggFunc::Avg.name(), "AVG");
+    }
+}

@@ -1,0 +1,143 @@
+//! Operation counters used by the application-server cost model.
+//!
+//! The CondorJ2 paper's performance argument hinges on "the speed and
+//! efficiency with which incoming messages can be transformed into actions on
+//! the underlying database". To let the simulator charge CPU and IO time for
+//! that work, the storage engine counts every logical operation it performs.
+//! The [`appserver::cost`](../appserver) model converts these counts into
+//! simulated user/system/IO cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of cumulative engine operation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Rows inserted into any table.
+    pub rows_inserted: u64,
+    /// Rows deleted from any table.
+    pub rows_deleted: u64,
+    /// Rows updated in place.
+    pub rows_updated: u64,
+    /// Rows read (returned or examined by scans and lookups).
+    pub rows_read: u64,
+    /// Rows examined by full-table scans specifically.
+    pub rows_scanned: u64,
+    /// Point/range lookups satisfied through an index.
+    pub index_lookups: u64,
+    /// Individual index maintenance operations (entry insert/remove).
+    pub index_maintenance: u64,
+    /// SQL statements parsed.
+    pub statements_parsed: u64,
+    /// Statements executed (parsed or programmatic).
+    pub statements_executed: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Checkpoints taken by the background maintenance task.
+    pub checkpoints: u64,
+}
+
+impl OpStats {
+    /// Component-wise difference `self - earlier`, for interval accounting.
+    pub fn delta_since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            rows_inserted: self.rows_inserted - earlier.rows_inserted,
+            rows_deleted: self.rows_deleted - earlier.rows_deleted,
+            rows_updated: self.rows_updated - earlier.rows_updated,
+            rows_read: self.rows_read - earlier.rows_read,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            index_lookups: self.index_lookups - earlier.index_lookups,
+            index_maintenance: self.index_maintenance - earlier.index_maintenance,
+            statements_parsed: self.statements_parsed - earlier.statements_parsed,
+            statements_executed: self.statements_executed - earlier.statements_executed,
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            wal_records: self.wal_records - earlier.wal_records,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+        }
+    }
+
+    /// Total number of row mutations (insert + update + delete).
+    pub fn total_mutations(&self) -> u64 {
+        self.rows_inserted + self.rows_deleted + self.rows_updated
+    }
+
+    /// Component-wise sum, used when aggregating per-connection counters.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.rows_inserted += other.rows_inserted;
+        self.rows_deleted += other.rows_deleted;
+        self.rows_updated += other.rows_updated;
+        self.rows_read += other.rows_read;
+        self.rows_scanned += other.rows_scanned;
+        self.index_lookups += other.index_lookups;
+        self.index_maintenance += other.index_maintenance;
+        self.statements_parsed += other.statements_parsed;
+        self.statements_executed += other.statements_executed;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_componentwise() {
+        let earlier = OpStats {
+            rows_inserted: 5,
+            rows_read: 10,
+            ..Default::default()
+        };
+        let later = OpStats {
+            rows_inserted: 8,
+            rows_read: 25,
+            commits: 2,
+            ..Default::default()
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.rows_inserted, 3);
+        assert_eq!(d.rows_read, 15);
+        assert_eq!(d.commits, 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OpStats {
+            rows_updated: 1,
+            wal_bytes: 100,
+            ..Default::default()
+        };
+        let b = OpStats {
+            rows_updated: 2,
+            wal_bytes: 50,
+            aborts: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_updated, 3);
+        assert_eq!(a.wal_bytes, 150);
+        assert_eq!(a.aborts, 1);
+    }
+
+    #[test]
+    fn total_mutations_sums_writes() {
+        let s = OpStats {
+            rows_inserted: 2,
+            rows_deleted: 3,
+            rows_updated: 4,
+            rows_read: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_mutations(), 9);
+    }
+}

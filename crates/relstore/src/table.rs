@@ -1,0 +1,549 @@
+//! Heap-organised tables with eagerly maintained indexes.
+
+use crate::error::{Error, Result};
+use crate::index::Index;
+use crate::schema::Schema;
+use crate::stats::OpStats;
+use crate::tuple::{Row, RowId, StoredRow};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A single table: schema, row heap, primary-key index and secondary indexes.
+///
+/// Every mutation keeps all indexes consistent with the heap; the
+/// property-based tests in `tests/` check this invariant under random
+/// workloads. Operation counts are accumulated into the [`OpStats`] passed by
+/// the caller so the database can attribute work to the statement that caused
+/// it.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table schema.
+    pub schema: Schema,
+    rows: BTreeMap<RowId, Row>,
+    next_row_id: u64,
+    /// Unique index over the primary-key column, when one is declared.
+    pk_index: Option<Index>,
+    /// Secondary indexes, in declaration order.
+    secondary: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table for `schema`. The schema must validate.
+    pub fn new(schema: Schema) -> Result<Self> {
+        schema.validate()?;
+        let pk_index = schema.primary_key_index().map(|idx| {
+            Index::new(format!("pk_{}", schema.name), idx, true)
+        });
+        let mut secondary = Vec::new();
+        for def in &schema.indexes {
+            let col = schema.column_index(&def.column)?;
+            secondary.push(Index::new(def.name.clone(), col, def.unique));
+        }
+        Ok(Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 1,
+            pk_index,
+            secondary,
+        })
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row after validation, returning its new row id.
+    pub fn insert(&mut self, values: Vec<Value>, stats: &mut OpStats) -> Result<RowId> {
+        let values = self.schema.validate_row(values)?;
+        // Primary key must be non-null and unique.
+        if let (Some(pk_idx), Some(pk_col)) = (&self.pk_index, self.schema.primary_key_index()) {
+            let key = &values[pk_col];
+            if key.is_null() {
+                return Err(Error::constraint(format!(
+                    "primary key of table {} cannot be NULL",
+                    self.schema.name
+                )));
+            }
+            if pk_idx.contains_key(key) {
+                return Err(Error::constraint(format!(
+                    "duplicate primary key {key} in table {}",
+                    self.schema.name
+                )));
+            }
+        }
+        // Unique secondary indexes checked before any mutation so a failed
+        // insert leaves the table untouched.
+        for idx in &self.secondary {
+            if idx.unique && idx.contains_key(&values[idx.column_idx]) {
+                return Err(Error::constraint(format!(
+                    "duplicate key {} for unique index {}",
+                    values[idx.column_idx], idx.name
+                )));
+            }
+        }
+
+        let id = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        if let Some(pk) = &mut self.pk_index {
+            pk.insert(&values[pk.column_idx], id)?;
+            stats.index_maintenance += 1;
+        }
+        for idx in &mut self.secondary {
+            idx.insert(&values[idx.column_idx], id)?;
+            stats.index_maintenance += 1;
+        }
+        self.rows.insert(id, Row::new(values));
+        stats.rows_inserted += 1;
+        Ok(id)
+    }
+
+    /// Inserts a row with a pre-assigned id, used only by WAL recovery.
+    pub(crate) fn insert_with_id(&mut self, id: RowId, row: Row, stats: &mut OpStats) -> Result<()> {
+        if self.rows.contains_key(&id) {
+            return Err(Error::internal(format!(
+                "recovery inserted duplicate row id {id} into {}",
+                self.schema.name
+            )));
+        }
+        if let Some(pk) = &mut self.pk_index {
+            pk.insert(row.get(pk.column_idx), id)?;
+        }
+        for idx in &mut self.secondary {
+            idx.insert(row.get(idx.column_idx), id)?;
+        }
+        self.next_row_id = self.next_row_id.max(id.0 + 1);
+        self.rows.insert(id, row);
+        stats.rows_inserted += 1;
+        Ok(())
+    }
+
+    /// Returns the row with id `id`, if present.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Deletes the row with id `id`, returning its prior contents.
+    pub fn delete(&mut self, id: RowId, stats: &mut OpStats) -> Result<Row> {
+        let row = self
+            .rows
+            .remove(&id)
+            .ok_or_else(|| Error::not_found(format!("row {id} in table {}", self.schema.name)))?;
+        if let Some(pk) = &mut self.pk_index {
+            pk.remove(row.get(pk.column_idx), id);
+            stats.index_maintenance += 1;
+        }
+        for idx in &mut self.secondary {
+            idx.remove(row.get(idx.column_idx), id);
+            stats.index_maintenance += 1;
+        }
+        stats.rows_deleted += 1;
+        Ok(row)
+    }
+
+    /// Applies column assignments to the row with id `id`.
+    /// Returns the row contents before and after the update.
+    pub fn update(
+        &mut self,
+        id: RowId,
+        assignments: &[(usize, Value)],
+        stats: &mut OpStats,
+    ) -> Result<(Row, Row)> {
+        let before = self
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("row {id} in table {}", self.schema.name)))?;
+        let mut after = before.clone();
+        for (col, value) in assignments {
+            let col_def = self
+                .schema
+                .columns
+                .get(*col)
+                .ok_or_else(|| Error::internal(format!("column ordinal {col} out of range")))?;
+            if value.is_null() && col_def.not_null {
+                return Err(Error::constraint(format!(
+                    "column {}.{} is NOT NULL",
+                    self.schema.name, col_def.name
+                )));
+            }
+            if !value.is_compatible_with(col_def.ty) {
+                return Err(Error::type_err(format!(
+                    "column {}.{} has type {}, got {}",
+                    self.schema.name, col_def.name, col_def.ty, value
+                )));
+            }
+            after.set(*col, value.coerce_to(col_def.ty)?);
+        }
+
+        // Check uniqueness constraints for any indexed column whose value changed.
+        let unique_violation = |idx: &Index, after: &Row, before: &Row| -> bool {
+            let new_key = after.get(idx.column_idx);
+            let old_key = before.get(idx.column_idx);
+            idx.unique
+                && new_key.sql_eq(old_key) != Some(true)
+                && idx.contains_key(new_key)
+        };
+        if let Some(pk) = &self.pk_index {
+            if unique_violation(pk, &after, &before) {
+                return Err(Error::constraint(format!(
+                    "duplicate primary key {} in table {}",
+                    after.get(pk.column_idx),
+                    self.schema.name
+                )));
+            }
+            if after.get(pk.column_idx).is_null() {
+                return Err(Error::constraint(format!(
+                    "primary key of table {} cannot be NULL",
+                    self.schema.name
+                )));
+            }
+        }
+        for idx in &self.secondary {
+            if unique_violation(idx, &after, &before) {
+                return Err(Error::constraint(format!(
+                    "duplicate key {} for unique index {}",
+                    after.get(idx.column_idx),
+                    idx.name
+                )));
+            }
+        }
+
+        // Maintain indexes whose key changed.
+        if let Some(pk) = &mut self.pk_index {
+            let (old_key, new_key) = (before.get(pk.column_idx), after.get(pk.column_idx));
+            if old_key != new_key {
+                pk.remove(old_key, id);
+                pk.insert(new_key, id)?;
+                stats.index_maintenance += 2;
+            }
+        }
+        for idx in &mut self.secondary {
+            let (old_key, new_key) = (before.get(idx.column_idx), after.get(idx.column_idx));
+            if old_key != new_key {
+                idx.remove(old_key, id);
+                idx.insert(new_key, id)?;
+                stats.index_maintenance += 2;
+            }
+        }
+        self.rows.insert(id, after.clone());
+        stats.rows_updated += 1;
+        Ok((before, after))
+    }
+
+    /// Restores a row to exact prior contents, used by transaction rollback.
+    pub(crate) fn restore(&mut self, id: RowId, row: Row) -> Result<()> {
+        // Remove current index entries (if the row exists), then reinstate.
+        let mut scratch = OpStats::default();
+        if self.rows.contains_key(&id) {
+            self.delete(id, &mut scratch)?;
+        }
+        self.insert_with_id(id, row, &mut scratch)
+    }
+
+    /// Full scan in row-id order.
+    pub fn scan(&self, stats: &mut OpStats) -> Vec<StoredRow> {
+        stats.rows_scanned += self.rows.len() as u64;
+        stats.rows_read += self.rows.len() as u64;
+        self.rows
+            .iter()
+            .map(|(id, row)| StoredRow {
+                id: *id,
+                row: row.clone(),
+            })
+            .collect()
+    }
+
+    /// Point lookup by primary key. Falls back to a scan when no primary key
+    /// is declared (the planner avoids calling it in that case).
+    pub fn lookup_pk(&self, key: &Value, stats: &mut OpStats) -> Vec<StoredRow> {
+        match &self.pk_index {
+            Some(pk) => {
+                stats.index_lookups += 1;
+                let ids = pk.lookup(key);
+                stats.rows_read += ids.len() as u64;
+                ids.into_iter()
+                    .filter_map(|id| {
+                        self.rows.get(&id).map(|row| StoredRow {
+                            id,
+                            row: row.clone(),
+                        })
+                    })
+                    .collect()
+            }
+            None => self.scan(stats),
+        }
+    }
+
+    /// Point lookup through the first index (primary or secondary) covering
+    /// `column`. Returns `None` if no such index exists.
+    pub fn lookup_indexed(
+        &self,
+        column: &str,
+        key: &Value,
+        stats: &mut OpStats,
+    ) -> Option<Vec<StoredRow>> {
+        let col = self.schema.column_index(column).ok()?;
+        let idx = match &self.pk_index {
+            Some(pk) if pk.column_idx == col => Some(pk),
+            _ => self.secondary.iter().find(|i| i.column_idx == col),
+        }?;
+        stats.index_lookups += 1;
+        let ids = idx.lookup(key);
+        stats.rows_read += ids.len() as u64;
+        Some(
+            ids.into_iter()
+                .filter_map(|id| {
+                    self.rows.get(&id).map(|row| StoredRow {
+                        id,
+                        row: row.clone(),
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// True when some index (primary or secondary) covers `column`.
+    pub fn has_index_on(&self, column: &str) -> bool {
+        let Ok(col) = self.schema.column_index(column) else {
+            return false;
+        };
+        if let Some(pk) = &self.pk_index {
+            if pk.column_idx == col {
+                return true;
+            }
+        }
+        self.secondary.iter().any(|i| i.column_idx == col)
+    }
+
+    /// Approximate resident size of the table in bytes (heap + index entries).
+    pub fn approx_size(&self) -> usize {
+        let heap: usize = self.rows.values().map(Row::approx_size).sum();
+        let index_entries = self.pk_index.as_ref().map(|i| i.len()).unwrap_or(0)
+            + self.secondary.iter().map(|i| i.len()).sum::<usize>();
+        heap + index_entries * 24
+    }
+
+    /// Internal consistency check used by tests: every index entry points at a
+    /// live row with the matching key, and every live row is indexed.
+    pub fn check_consistency(&self) -> Result<()> {
+        let mut indexes: Vec<&Index> = Vec::new();
+        if let Some(pk) = &self.pk_index {
+            indexes.push(pk);
+        }
+        indexes.extend(self.secondary.iter());
+        for idx in indexes {
+            let mut indexed_rows = 0usize;
+            for (id, row) in &self.rows {
+                let key = row.get(idx.column_idx);
+                if key.is_null() {
+                    continue;
+                }
+                indexed_rows += 1;
+                if !idx.lookup(key).contains(id) {
+                    return Err(Error::internal(format!(
+                        "row {id} missing from index {}",
+                        idx.name
+                    )));
+                }
+            }
+            if idx.len() != indexed_rows {
+                return Err(Error::internal(format!(
+                    "index {} has {} entries but {} rows are indexable",
+                    idx.name,
+                    idx.len(),
+                    indexed_rows
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn machines_table() -> Table {
+        let schema = Schema::new(
+            "machines",
+            vec![
+                Column::not_null("machine_id", DataType::Int),
+                Column::not_null("name", DataType::Text),
+                Column::new("state", DataType::Text),
+                Column::new("load", DataType::Double),
+            ],
+        )
+        .with_primary_key("machine_id")
+        .with_index("state")
+        .with_unique_index("name");
+        Table::new(schema).unwrap()
+    }
+
+    fn row(id: i64, name: &str, state: &str, load: f64) -> Vec<Value> {
+        vec![
+            Value::Int(id),
+            Value::Text(name.into()),
+            Value::Text(state.into()),
+            Value::Double(load),
+        ]
+    }
+
+    #[test]
+    fn insert_and_lookup_by_pk() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        t.insert(row(2, "node02", "busy", 0.9), &mut stats).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(stats.rows_inserted, 2);
+        let found = t.lookup_pk(&Value::Int(1), &mut stats);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, id);
+        assert_eq!(found[0].row.get(1), &Value::Text("node01".into()));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected_atomically() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let err = t.insert(row(1, "node99", "idle", 0.1), &mut stats);
+        assert!(matches!(err, Err(Error::Constraint(_))));
+        assert_eq!(t.len(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn unique_secondary_index_enforced() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        assert!(t.insert(row(2, "node01", "idle", 0.1), &mut stats).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_index_entries() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let removed = t.delete(id, &mut stats).unwrap();
+        assert_eq!(removed.get(1), &Value::Text("node01".into()));
+        assert!(t.is_empty());
+        assert!(t
+            .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
+            .unwrap()
+            .is_empty());
+        assert!(t.delete(id, &mut stats).is_err());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let state_col = t.schema.column_index("state").unwrap();
+        let (before, after) = t
+            .update(id, &[(state_col, Value::Text("busy".into()))], &mut stats)
+            .unwrap();
+        assert_eq!(before.get(state_col), &Value::Text("idle".into()));
+        assert_eq!(after.get(state_col), &Value::Text("busy".into()));
+        assert!(t
+            .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.lookup_indexed("state", &Value::Text("busy".into()), &mut stats)
+                .unwrap()
+                .len(),
+            1
+        );
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_rejects_constraint_violations() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id1 = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        t.insert(row(2, "node02", "idle", 0.1), &mut stats).unwrap();
+        let name_col = t.schema.column_index("name").unwrap();
+        assert!(t
+            .update(id1, &[(name_col, Value::Text("node02".into()))], &mut stats)
+            .is_err());
+        let pk_col = t.schema.column_index("machine_id").unwrap();
+        assert!(t.update(id1, &[(pk_col, Value::Int(2))], &mut stats).is_err());
+        assert!(t.update(id1, &[(pk_col, Value::Null)], &mut stats).is_err());
+        // Setting the same unique value on the same row is fine.
+        assert!(t
+            .update(id1, &[(name_col, Value::Text("node01".into()))], &mut stats)
+            .is_ok());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn scan_returns_rows_in_id_order() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        for i in 1..=5 {
+            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), &mut stats)
+                .unwrap();
+        }
+        let rows = t.scan(&mut stats);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(stats.rows_scanned, 5);
+    }
+
+    #[test]
+    fn restore_round_trips_a_row() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let original = t.get(id).unwrap().clone();
+        let state_col = t.schema.column_index("state").unwrap();
+        t.update(id, &[(state_col, Value::Text("busy".into()))], &mut stats)
+            .unwrap();
+        t.restore(id, original.clone()).unwrap();
+        assert_eq!(t.get(id), Some(&original));
+        t.check_consistency().unwrap();
+
+        // Restore also reinstates a deleted row.
+        t.delete(id, &mut stats).unwrap();
+        t.restore(id, original.clone()).unwrap();
+        assert_eq!(t.get(id), Some(&original));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn has_index_on_reports_coverage() {
+        let t = machines_table();
+        assert!(t.has_index_on("machine_id"));
+        assert!(t.has_index_on("state"));
+        assert!(t.has_index_on("name"));
+        assert!(!t.has_index_on("load"));
+        assert!(!t.has_index_on("missing"));
+    }
+
+    #[test]
+    fn approx_size_grows_with_rows() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let empty = t.approx_size();
+        for i in 1..=10 {
+            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), &mut stats)
+                .unwrap();
+        }
+        assert!(t.approx_size() > empty);
+    }
+}

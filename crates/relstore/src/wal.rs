@@ -1,0 +1,412 @@
+//! Write-ahead logging, checkpointing and recovery.
+//!
+//! The log is logical: each record describes one row-level change plus the
+//! transaction boundaries around it. Recovery rebuilds the catalog by
+//! restoring the most recent checkpoint snapshot and replaying the changes of
+//! every transaction that committed after it. The schedd in Condor keeps a
+//! persistent job-queue log for exactly the same reason (the paper notes it is
+//! "used only for recovery"); here the log covers *all* operational state, not
+//! just the job queue.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::stats::OpStats;
+use crate::table::Table;
+use crate::tuple::{Row, RowId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Log sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lsn(pub u64);
+
+/// A snapshot of one table taken at checkpoint time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    /// The table schema.
+    pub schema: Schema,
+    /// All live rows at checkpoint time.
+    pub rows: Vec<(RowId, Row)>,
+}
+
+/// A single write-ahead log record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum LogRecord {
+    /// A transaction started.
+    Begin { txn: TxnId },
+    /// A transaction committed; its effects are durable.
+    Commit { txn: TxnId },
+    /// A transaction aborted; its effects must be discarded on recovery.
+    Abort { txn: TxnId },
+    /// A table was created.
+    CreateTable { txn: TxnId, schema: Schema },
+    /// A table was dropped.
+    DropTable { txn: TxnId, table: String },
+    /// A row was inserted.
+    Insert {
+        txn: TxnId,
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    /// A row was deleted.
+    Delete {
+        txn: TxnId,
+        table: String,
+        row_id: RowId,
+        before: Row,
+    },
+    /// A row was updated in place.
+    Update {
+        txn: TxnId,
+        table: String,
+        row_id: RowId,
+        before: Row,
+        after: Row,
+    },
+    /// A checkpoint: a consistent snapshot of every table.
+    Checkpoint { snapshot: Vec<TableSnapshot> },
+}
+
+impl LogRecord {
+    /// Approximate serialized size in bytes (used for IO cost accounting).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => 16,
+            LogRecord::CreateTable { schema, .. } => 64 + schema.columns.len() * 24,
+            LogRecord::DropTable { table, .. } => 16 + table.len(),
+            LogRecord::Insert { row, table, .. } => 24 + table.len() + row.approx_size(),
+            LogRecord::Delete { before, table, .. } => 24 + table.len() + before.approx_size(),
+            LogRecord::Update {
+                before,
+                after,
+                table,
+                ..
+            } => 24 + table.len() + before.approx_size() + after.approx_size(),
+            LogRecord::Checkpoint { snapshot } => {
+                64 + snapshot
+                    .iter()
+                    .map(|t| t.rows.iter().map(|(_, r)| r.approx_size()).sum::<usize>() + 64)
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// The transaction that wrote this record, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::CreateTable { txn, .. }
+            | LogRecord::DropTable { txn, .. }
+            | LogRecord::Insert { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Update { txn, .. } => Some(*txn),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+}
+
+/// The in-memory write-ahead log.
+///
+/// The simulated deployment never touches a real disk; durability is modelled
+/// by the IO cycle cost the application-server cost model charges per appended
+/// byte, and recovery correctness is exercised by rebuilding the database from
+/// the log in tests and failure-injection experiments.
+#[derive(Debug, Default, Clone)]
+pub struct Wal {
+    records: Vec<(Lsn, LogRecord)>,
+    next_lsn: u64,
+    total_bytes: u64,
+}
+
+impl Wal {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Appends a record, returning its LSN.
+    pub fn append(&mut self, record: LogRecord, stats: &mut OpStats) -> Lsn {
+        let lsn = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+        let size = record.approx_size() as u64;
+        self.total_bytes += size;
+        stats.wal_records += 1;
+        stats.wal_bytes += size;
+        self.records.push((lsn, record));
+        lsn
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bytes ever appended (not reduced by truncation).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Iterates over retained records in LSN order.
+    pub fn records(&self) -> impl Iterator<Item = &(Lsn, LogRecord)> {
+        self.records.iter()
+    }
+
+    /// Writes a checkpoint record containing `snapshot` and discards all
+    /// earlier records. Returns the LSN of the checkpoint.
+    pub fn checkpoint(&mut self, snapshot: Vec<TableSnapshot>, stats: &mut OpStats) -> Lsn {
+        self.records.clear();
+        stats.checkpoints += 1;
+        self.append(LogRecord::Checkpoint { snapshot }, stats)
+    }
+
+    /// Rebuilds the full set of tables implied by the retained log records:
+    /// the latest checkpoint (if any) plus all *committed* transactions after
+    /// it. Changes from unfinished or aborted transactions are discarded.
+    pub fn recover(&self) -> Result<BTreeMap<String, Table>> {
+        // Pass 1: find committed transactions.
+        let mut committed = std::collections::HashSet::new();
+        for (_, rec) in &self.records {
+            if let LogRecord::Commit { txn } = rec {
+                committed.insert(*txn);
+            }
+        }
+
+        // Pass 2: start from the latest checkpoint.
+        let mut tables: BTreeMap<String, Table> = BTreeMap::new();
+        let mut start = 0usize;
+        for (i, (_, rec)) in self.records.iter().enumerate() {
+            if let LogRecord::Checkpoint { snapshot } = rec {
+                tables.clear();
+                for snap in snapshot {
+                    let mut table = Table::new(snap.schema.clone())?;
+                    let mut scratch = OpStats::default();
+                    for (id, row) in &snap.rows {
+                        table.insert_with_id(*id, row.clone(), &mut scratch)?;
+                    }
+                    tables.insert(snap.schema.name.clone(), table);
+                }
+                start = i + 1;
+            }
+        }
+
+        // Pass 3: redo committed work after the checkpoint.
+        let mut scratch = OpStats::default();
+        for (_, rec) in &self.records[start..] {
+            let Some(txn) = rec.txn() else { continue };
+            if !committed.contains(&txn) {
+                continue;
+            }
+            match rec {
+                LogRecord::CreateTable { schema, .. } => {
+                    tables.insert(schema.name.clone(), Table::new(schema.clone())?);
+                }
+                LogRecord::DropTable { table, .. } => {
+                    tables.remove(table);
+                }
+                LogRecord::Insert {
+                    table, row_id, row, ..
+                } => {
+                    let t = tables
+                        .get_mut(table)
+                        .ok_or_else(|| Error::Wal(format!("insert into unknown table {table}")))?;
+                    t.insert_with_id(*row_id, row.clone(), &mut scratch)?;
+                }
+                LogRecord::Delete { table, row_id, .. } => {
+                    let t = tables
+                        .get_mut(table)
+                        .ok_or_else(|| Error::Wal(format!("delete from unknown table {table}")))?;
+                    t.delete(*row_id, &mut scratch)?;
+                }
+                LogRecord::Update {
+                    table,
+                    row_id,
+                    after,
+                    ..
+                } => {
+                    let t = tables
+                        .get_mut(table)
+                        .ok_or_else(|| Error::Wal(format!("update of unknown table {table}")))?;
+                    t.restore(*row_id, after.clone())?;
+                }
+                LogRecord::Begin { .. }
+                | LogRecord::Commit { .. }
+                | LogRecord::Abort { .. }
+                | LogRecord::Checkpoint { .. } => {}
+            }
+        }
+        Ok(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "jobs",
+            vec![
+                Column::not_null("job_id", DataType::Int),
+                Column::new("state", DataType::Text),
+            ],
+        )
+        .with_primary_key("job_id")
+    }
+
+    fn insert_rec(txn: u64, id: u64, job: i64, state: &str) -> LogRecord {
+        LogRecord::Insert {
+            txn: TxnId(txn),
+            table: "jobs".into(),
+            row_id: RowId(id),
+            row: Row::new(vec![Value::Int(job), Value::Text(state.into())]),
+        }
+    }
+
+    #[test]
+    fn recovery_replays_only_committed_transactions() {
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(
+            LogRecord::CreateTable {
+                txn: TxnId(1),
+                schema: schema(),
+            },
+            &mut stats,
+        );
+        wal.append(insert_rec(1, 1, 100, "idle"), &mut stats);
+        wal.append(LogRecord::Commit { txn: TxnId(1) }, &mut stats);
+
+        // Txn 2 inserts but never commits; txn 3 inserts and aborts.
+        wal.append(LogRecord::Begin { txn: TxnId(2) }, &mut stats);
+        wal.append(insert_rec(2, 2, 200, "idle"), &mut stats);
+        wal.append(LogRecord::Begin { txn: TxnId(3) }, &mut stats);
+        wal.append(insert_rec(3, 3, 300, "idle"), &mut stats);
+        wal.append(LogRecord::Abort { txn: TxnId(3) }, &mut stats);
+
+        let tables = wal.recover().unwrap();
+        let jobs = tables.get("jobs").unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs.get(RowId(1)).is_some());
+        assert!(jobs.get(RowId(2)).is_none());
+        assert!(jobs.get(RowId(3)).is_none());
+    }
+
+    #[test]
+    fn recovery_applies_updates_and_deletes() {
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(
+            LogRecord::CreateTable {
+                txn: TxnId(1),
+                schema: schema(),
+            },
+            &mut stats,
+        );
+        wal.append(insert_rec(1, 1, 100, "idle"), &mut stats);
+        wal.append(insert_rec(1, 2, 200, "idle"), &mut stats);
+        wal.append(
+            LogRecord::Update {
+                txn: TxnId(1),
+                table: "jobs".into(),
+                row_id: RowId(1),
+                before: Row::new(vec![Value::Int(100), Value::Text("idle".into())]),
+                after: Row::new(vec![Value::Int(100), Value::Text("running".into())]),
+            },
+            &mut stats,
+        );
+        wal.append(
+            LogRecord::Delete {
+                txn: TxnId(1),
+                table: "jobs".into(),
+                row_id: RowId(2),
+                before: Row::new(vec![Value::Int(200), Value::Text("idle".into())]),
+            },
+            &mut stats,
+        );
+        wal.append(LogRecord::Commit { txn: TxnId(1) }, &mut stats);
+
+        let tables = wal.recover().unwrap();
+        let jobs = tables.get("jobs").unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(
+            jobs.get(RowId(1)).unwrap().get(1),
+            &Value::Text("running".into())
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_uses_it() {
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(
+            LogRecord::CreateTable {
+                txn: TxnId(1),
+                schema: schema(),
+            },
+            &mut stats,
+        );
+        wal.append(insert_rec(1, 1, 100, "idle"), &mut stats);
+        wal.append(LogRecord::Commit { txn: TxnId(1) }, &mut stats);
+        let before_len = wal.len();
+
+        // Build the snapshot the checkpoint would capture.
+        let recovered = wal.recover().unwrap();
+        let snapshot: Vec<TableSnapshot> = recovered
+            .values()
+            .map(|t| TableSnapshot {
+                schema: t.schema.clone(),
+                rows: {
+                    let mut s = OpStats::default();
+                    t.scan(&mut s).into_iter().map(|r| (r.id, r.row)).collect()
+                },
+            })
+            .collect();
+        wal.checkpoint(snapshot, &mut stats);
+        assert!(wal.len() < before_len);
+        assert_eq!(stats.checkpoints, 1);
+
+        // Post-checkpoint committed work still replays.
+        wal.append(LogRecord::Begin { txn: TxnId(2) }, &mut stats);
+        wal.append(insert_rec(2, 2, 200, "held"), &mut stats);
+        wal.append(LogRecord::Commit { txn: TxnId(2) }, &mut stats);
+
+        let tables = wal.recover().unwrap();
+        let jobs = tables.get("jobs").unwrap();
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn wal_counts_bytes() {
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(insert_rec(1, 1, 100, "idle"), &mut stats);
+        assert!(wal.total_bytes() > 0);
+        assert_eq!(stats.wal_records, 2);
+        assert_eq!(stats.wal_bytes, wal.total_bytes());
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's Tables 1 and 2: the data flow of one job through
+//! Condor (15 steps, 7 entities, 10 channels) and through CondorJ2 (15 steps,
+//! 5 entities, 4 channels), captured from the running implementations.
+//!
+//! ```text
+//! cargo run --release --example dataflow_trace
+//! ```
+
+use workloads::{condor_dataflow_trace, condorj2_dataflow_trace};
+
+fn main() {
+    let condor = condor_dataflow_trace(1);
+    let condorj2 = condorj2_dataflow_trace(1);
+    println!("{}", condor.to_table("Table 1: one job through Condor"));
+    println!("{}", condorj2.to_table("Table 2: one job through CondorJ2"));
+    println!(
+        "Condor:   {} entities, {} communication channels",
+        condor.entities().len(),
+        condor.channels().len()
+    );
+    println!(
+        "CondorJ2: {} entities, {} communication channels",
+        condorj2.entities().len(),
+        condorj2.channels().len()
+    );
+}

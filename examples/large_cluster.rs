@@ -1,0 +1,23 @@
+//! Large-cluster behaviour (Figure 10 and Section 5.3.2), scaled down so the
+//! example finishes quickly: CondorJ2 keeps ample headroom managing thousands
+//! of virtual machines, while a single Condor schedd crashes once jobs start
+//! turning over at scale.
+//!
+//! ```text
+//! cargo run --release --example large_cluster
+//! ```
+
+use workloads::{condor_large_cluster, large_cluster_experiment, Scale};
+
+fn main() {
+    let condorj2 = large_cluster_experiment(Scale::Quick, 11);
+    println!("{}", condorj2.render());
+    println!(
+        "CAS busy%% during ramp-up (first 30 min): {:.1}, during steady state: {:.1}",
+        condorj2.mean_busy(0, 30),
+        condorj2.mean_busy(30, 90)
+    );
+
+    let condor = condor_large_cluster(Scale::Quick, 11);
+    println!("\n{}", condor.render());
+}

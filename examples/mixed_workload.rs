@@ -1,0 +1,29 @@
+//! The paper's mixed-workload scenario (Sections 5.1.3, 5.2.3, 5.3.3) run on
+//! both systems: CondorJ2 handles the skewed mix with brute force, while
+//! Condor needs a per-schedd running-job limit to avoid underutilisation.
+//!
+//! ```text
+//! cargo run --release --example mixed_workload
+//! ```
+
+use workloads::{condor_mixed_workload, condorj2_mixed_workload, Scale};
+
+fn main() {
+    let condorj2 = condorj2_mixed_workload(Scale::Quick, 7);
+    let condor_unlimited = condor_mixed_workload(Scale::Quick, false, 7);
+    let condor_limited = condor_mixed_workload(Scale::Quick, true, 7);
+
+    println!("{}", condorj2.render());
+    println!("{}", condor_unlimited.render());
+    println!("{}", condor_limited.render());
+
+    println!("summary (optimal makespan is ~30 minutes):");
+    for exp in [&condorj2, &condor_unlimited, &condor_limited] {
+        println!(
+            "  {:<10} {:<18} {:>6.1} min",
+            exp.system,
+            if exp.schedd_limited { "(schedd limited)" } else { "(no limit)" },
+            exp.makespan_minutes
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: bring up a CondorJ2 pool, submit a workload, watch it finish,
+//! then query the operational data with plain SQL.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster_sim::{ClusterSpec, JobSpec, SimDuration, SimTime};
+use condorj2::{CondorJ2Config, CondorJ2Simulation};
+
+fn main() {
+    // A small pool: 8 physical machines with 2 virtual machines each.
+    let spec = ClusterSpec::uniform_fast(8, 2);
+    let mut pool = CondorJ2Simulation::new(CondorJ2Config::default(), &spec, 42);
+
+    // Submit 48 one-minute jobs and 8 five-minute jobs for two users.
+    pool.submit(JobSpec::fixed_batch(48, SimDuration::from_secs(60), "alice"));
+    pool.submit(JobSpec::fixed_batch(8, SimDuration::from_mins(5), "bob"));
+
+    let end = pool.run_to_completion(SimTime::from_mins(60));
+    let report = pool.report();
+    println!(
+        "completed {}/{} jobs in {:.1} simulated minutes ({} CAS requests, {} matches)",
+        report.completed,
+        report.submitted,
+        end.as_mins_f64(),
+        report.requests_handled,
+        report.matches_made
+    );
+
+    // The whole point of the paper: operational data is just data. Ask SQL.
+    let db = pool.cas().database();
+    let per_owner = db
+        .query("SELECT owner, COUNT(*) AS jobs, SUM(runtime_ms) AS total_ms FROM job_history GROUP BY owner ORDER BY owner")
+        .unwrap();
+    println!("\nper-owner usage from job_history:\n{}", per_owner.to_text_table());
+
+    let status = pool.cas().pool_status().unwrap();
+    println!(
+        "pool status: {} machines, {} completed jobs recorded",
+        status.total_machines, status.completed_jobs
+    );
+}

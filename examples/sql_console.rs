@@ -1,0 +1,45 @@
+//! "Cluster management as data management": run a pool for a while, then
+//! answer operational questions with SQL against the live database — the
+//! queries a Condor administrator would need custom tools (or log archaeology)
+//! to answer.
+//!
+//! ```text
+//! cargo run --release --example sql_console
+//! ```
+
+use cluster_sim::{ClusterSpec, JobSpec, SimDuration, SimTime};
+use condorj2::{CondorJ2Config, CondorJ2Simulation};
+
+fn main() {
+    let spec = ClusterSpec::paper_testbed(10, 4);
+    let mut pool = CondorJ2Simulation::new(CondorJ2Config::default(), &spec, 3);
+    for owner in ["astro", "bio", "chem"] {
+        pool.submit(JobSpec::fixed_batch(30, SimDuration::from_secs(45), owner));
+    }
+    pool.run_until(SimTime::from_mins(8));
+
+    // Record some provenance for the first few completed jobs (the paper's
+    // future-work data-management services).
+    for job in 1..=3 {
+        pool.cas_mut()
+            .record_provenance(job, "simulate-v2", &format!("input-{job}.dat"), &format!("out-{job}.dat"))
+            .unwrap();
+    }
+
+    let db = pool.cas().database();
+    let queries = [
+        "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state ORDER BY state",
+        "SELECT owner, COUNT(*) AS finished, AVG(runtime_ms) AS avg_ms FROM job_history GROUP BY owner ORDER BY owner",
+        "SELECT machine_id, state, last_heartbeat FROM machines ORDER BY machine_id LIMIT 5",
+        "SELECT COUNT(*) AS running_now FROM runs",
+        "SELECT output_dataset, executable, input_dataset FROM provenance ORDER BY record_id",
+        "SELECT name, value FROM config ORDER BY name",
+    ];
+    for sql in queries {
+        println!("condorj2> {sql}");
+        match db.query(sql) {
+            Ok(result) => println!("{}", result.to_text_table()),
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests of simulator and scheduler invariants.
+
+use cluster_sim::{ClusterSpec, EventQueue, JobSpec, SimDuration, SimTime};
+use condorj2::{CondorJ2Config, CondorJ2Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The event queue releases events in non-decreasing time order whatever
+    /// the insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Conservation on small CondorJ2 pools: every submitted job is either
+    /// completed or still accounted for in the database; completions never
+    /// exceed submissions; the same seed gives the same outcome.
+    #[test]
+    fn condorj2_conserves_jobs(
+        phys in 1u32..5,
+        vms in 1u32..4,
+        jobs in 1usize..40,
+        job_secs in 10u64..180,
+        seed in 0u64..1000,
+    ) {
+        let spec = ClusterSpec::uniform_fast(phys, vms);
+        let run = |seed| {
+            let mut sim = CondorJ2Simulation::new(CondorJ2Config::default(), &spec, seed);
+            sim.submit(JobSpec::fixed_batch(jobs, SimDuration::from_secs(job_secs), "prop"));
+            sim.run_until(SimTime::from_mins(10));
+            let report = sim.report();
+            let in_db = sim.cas().database().table_len("jobs").unwrap() as u64;
+            (report.submitted, report.completed, in_db)
+        };
+        let (submitted, completed, in_db) = run(seed);
+        prop_assert_eq!(submitted, jobs as u64);
+        prop_assert!(completed <= submitted);
+        // Jobs still in the database plus completed jobs account for everything.
+        prop_assert_eq!(completed + in_db, submitted);
+        // Determinism: the same seed reproduces the same counts.
+        let again = run(seed);
+        prop_assert_eq!(again, (submitted, completed, in_db));
+    }
+}
