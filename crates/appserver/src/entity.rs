@@ -10,7 +10,6 @@
 //! [`relstore::Database`], so the persistence layer really does go through the
 //! HTTP→SQL→storage path the paper describes.
 
-use crate::sql_literal;
 use relstore::{Database, Error, QueryResult, Result, Schema, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -102,31 +101,37 @@ impl EntityManager {
     }
 
     /// Inserts a new entity from named attribute values.
+    ///
+    /// The generated SQL uses `?` placeholders, so its text depends only on
+    /// the (table, column-set) shape — repeated creates of the same entity
+    /// type hit the database's statement cache and bind values without any
+    /// literal escaping.
     pub fn create(&self, def: &EntityDef, attrs: &BTreeMap<String, Value>) -> Result<()> {
         if attrs.is_empty() {
             return Err(Error::type_err("cannot create an entity with no attributes"));
         }
         let columns: Vec<&str> = attrs.keys().map(String::as_str).collect();
-        let values: Vec<String> = attrs.values().map(sql_literal).collect();
+        let placeholders = vec!["?"; attrs.len()].join(", ");
         let sql = format!(
             "INSERT INTO {} ({}) VALUES ({})",
             def.table,
             columns.join(", "),
-            values.join(", ")
+            placeholders
         );
-        self.db.execute(&sql)?;
+        let stmt = self.db.prepare(&sql)?;
+        let params: Vec<Value> = attrs.values().cloned().collect();
+        self.db.execute_prepared(&stmt, &params)?;
         Ok(())
     }
 
     /// Finds one entity by key.
     pub fn find(&self, def: &EntityDef, key: &Value) -> Result<Option<Entity>> {
         let sql = format!(
-            "SELECT * FROM {} WHERE {} = {}",
-            def.table,
-            def.key_column,
-            sql_literal(key)
+            "SELECT * FROM {} WHERE {} = ?",
+            def.table, def.key_column
         );
-        let result = self.db.query(&sql)?;
+        let stmt = self.db.prepare(&sql)?;
+        let result = self.db.query_prepared(&stmt, std::slice::from_ref(key))?;
         Ok(self.materialise(def, &result).into_iter().next())
     }
 
@@ -148,29 +153,27 @@ impl EntityManager {
         if changes.is_empty() {
             return Ok(0);
         }
-        let sets: Vec<String> = changes
-            .iter()
-            .map(|(c, v)| format!("{c} = {}", sql_literal(v)))
-            .collect();
+        let sets: Vec<String> = changes.keys().map(|c| format!("{c} = ?")).collect();
         let sql = format!(
-            "UPDATE {} SET {} WHERE {} = {}",
+            "UPDATE {} SET {} WHERE {} = ?",
             def.table,
             sets.join(", "),
-            def.key_column,
-            sql_literal(key)
+            def.key_column
         );
-        Ok(self.db.execute(&sql)?.affected())
+        let stmt = self.db.prepare(&sql)?;
+        let mut params: Vec<Value> = changes.values().cloned().collect();
+        params.push(key.clone());
+        Ok(self.db.execute_prepared(&stmt, &params)?.affected())
     }
 
     /// Removes the entity with the given key. Returns the rows affected.
     pub fn remove(&self, def: &EntityDef, key: &Value) -> Result<usize> {
-        let sql = format!(
-            "DELETE FROM {} WHERE {} = {}",
-            def.table,
-            def.key_column,
-            sql_literal(key)
-        );
-        Ok(self.db.execute(&sql)?.affected())
+        let sql = format!("DELETE FROM {} WHERE {} = ?", def.table, def.key_column);
+        let stmt = self.db.prepare(&sql)?;
+        Ok(self
+            .db
+            .execute_prepared(&stmt, std::slice::from_ref(key))?
+            .affected())
     }
 
     /// Number of stored entities of this type.

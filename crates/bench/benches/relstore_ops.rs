@@ -2,7 +2,7 @@
 //! path of every CAS service call (the "HTTP-to-SQL transformation" cost).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use relstore::Database;
+use relstore::{Database, Value};
 use std::hint::black_box;
 
 fn setup_db(rows: usize) -> Database {
@@ -24,8 +24,45 @@ fn setup_db(rows: usize) -> Database {
 
 fn bench_relstore(c: &mut Criterion) {
     let db = setup_db(5_000);
+    // Parse-per-call baseline: the statement cache is disabled, so every call
+    // pays the full lex + parse cost (the pre-optimisation behaviour).
+    let uncached = setup_db(5_000);
+    uncached.set_statement_cache_capacity(0);
+    c.bench_function("pk_point_select_uncached", |b| {
+        b.iter(|| {
+            uncached
+                .query(black_box("SELECT * FROM jobs WHERE job_id = 2500"))
+                .unwrap()
+        })
+    });
+    // Same SQL text through the (warm) statement cache.
     c.bench_function("pk_point_select", |b| {
         b.iter(|| db.query(black_box("SELECT * FROM jobs WHERE job_id = 2500")).unwrap())
+    });
+    // Prepared once, parameters bound per call — no parsing at all.
+    c.bench_function("prepared_point_select", |b| {
+        let q = db.prepare("SELECT * FROM jobs WHERE job_id = ?").unwrap();
+        let params = [Value::Int(2500)];
+        b.iter(|| db.query_prepared(black_box(&q), black_box(&params)).unwrap())
+    });
+    // Bounded range over the primary-key index (50 of 5000 rows touched).
+    c.bench_function("range_index_select", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT job_id FROM jobs WHERE job_id >= 2400 AND job_id < 2450",
+            ))
+            .unwrap()
+        })
+    });
+    // The same shape on an unindexed column still needs the full scan;
+    // the gap against range_index_select is the access-path win.
+    c.bench_function("range_scan_select", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT job_id FROM jobs WHERE runtime_ms >= 2400 AND runtime_ms < 2450",
+            ))
+            .unwrap()
+        })
     });
     c.bench_function("indexed_select_with_filter", |b| {
         b.iter(|| {

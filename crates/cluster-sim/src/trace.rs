@@ -100,7 +100,7 @@ impl TraceRecorder {
     pub fn to_table(&self, title: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{title}");
-        let _ = writeln!(out, "{:>4}  {}", "Step", "Description");
+        let _ = writeln!(out, "{:>4}  Description", "Step");
         let _ = writeln!(out, "{:->4}  {:-<60}", "", "");
         for s in &self.steps {
             let _ = writeln!(out, "{:>4}  {}", s.step, s.description);

@@ -285,8 +285,10 @@ mod tests {
 
     #[test]
     fn long_queue_makes_starts_slower_than_throttle() {
-        let mut config = CondorConfig::default();
-        config.job_throttle_per_sec = 2.0;
+        let config = CondorConfig {
+            job_throttle_per_sec: 2.0,
+            ..CondorConfig::default()
+        };
         let mut s = Schedd::new(0, config);
         s.submit(SimTime::ZERO, (0..6000).map(job));
         let (t1, c1) = s.begin_start_processing(SimTime::ZERO);
@@ -320,8 +322,10 @@ mod tests {
 
     #[test]
     fn running_limit_blocks_takes() {
-        let mut config = CondorConfig::default();
-        config.max_running_per_schedd = Some(2);
+        let config = CondorConfig {
+            max_running_per_schedd: Some(2),
+            ..CondorConfig::default()
+        };
         let mut s = Schedd::new(0, config);
         s.submit(SimTime::ZERO, (0..5).map(job));
         for i in 0..2u32 {

@@ -9,8 +9,8 @@
 //! the data-provenance extension sketched in the paper's future-work section.
 
 use crate::schema;
-use appserver::{sql_literal, EntityDef, EntityManager, ServiceKind, ServiceRegistry, SoapRequest, SoapResponse};
-use relstore::{Database, Error, Result, Value};
+use appserver::{EntityDef, EntityManager, ServiceKind, ServiceRegistry, SoapRequest, SoapResponse};
+use relstore::{Database, Error, Prepared, Result, Value};
 use std::sync::Arc;
 
 /// What a startd reports in a heartbeat.
@@ -62,9 +62,113 @@ pub struct PoolStatus {
     pub completed_jobs: i64,
 }
 
+/// The prepared statements behind every hot CAS service call.
+///
+/// The paper's "HTTP-to-SQL transformation" is the hot path of the whole
+/// system: each heartbeat, submission and scheduler pass used to build SQL
+/// text with `format!` and re-parse it. Preparing once at deployment and
+/// binding parameters per call removes the lexer/parser from every service
+/// invocation (and sidesteps literal escaping entirely).
+struct CasPrepared {
+    user_exists: Prepared,
+    user_insert: Prepared,
+    job_insert: Prepared,
+    machine_exists: Prepared,
+    machine_insert: Prepared,
+    machine_reregister: Prepared,
+    machine_history_insert: Prepared,
+    machine_touch: Prepared,
+    machine_set_state: Prepared,
+    match_for_machine: Prepared,
+    match_exists: Prepared,
+    match_insert: Prepared,
+    match_delete_by_job: Prepared,
+    job_touch: Prepared,
+    job_set_running: Prepared,
+    job_set_matched: Prepared,
+    job_requeue: Prepared,
+    job_fetch: Prepared,
+    job_delete: Prepared,
+    run_insert: Prepared,
+    run_delete_by_job: Prepared,
+    history_insert: Prepared,
+    config_get: Prepared,
+    config_update: Prepared,
+    config_insert: Prepared,
+    provenance_insert: Prepared,
+    provenance_query: Prepared,
+}
+
+impl CasPrepared {
+    fn new(db: &Database) -> Result<Self> {
+        Ok(CasPrepared {
+            user_exists: db.prepare("SELECT name FROM users WHERE name = ?")?,
+            user_insert: db.prepare("INSERT INTO users (name, priority, created) VALUES (?, 0.5, ?)")?,
+            job_insert: db.prepare(
+                "INSERT INTO jobs (job_id, owner, state, runtime_ms, submitted, updated, requeues) \
+                 VALUES (?, ?, 'idle', ?, ?, ?, 0)",
+            )?,
+            machine_exists: db.prepare("SELECT machine_id FROM machines WHERE machine_id = ?")?,
+            machine_insert: db.prepare(
+                "INSERT INTO machines (machine_id, name, state, speed, phys_id, last_heartbeat) \
+                 VALUES (?, ?, 'idle', ?, ?, ?)",
+            )?,
+            machine_reregister: db.prepare(
+                "UPDATE machines SET state = 'idle', last_heartbeat = ? WHERE machine_id = ?",
+            )?,
+            machine_history_insert: db.prepare(
+                "INSERT INTO machine_history (event_id, machine_id, rebooted, os, arch, memory_mb) \
+                 VALUES (?, ?, ?, 'linux-2.6', 'x86', ?)",
+            )?,
+            machine_touch: db.prepare("UPDATE machines SET last_heartbeat = ? WHERE machine_id = ?")?,
+            machine_set_state: db.prepare("UPDATE machines SET state = ? WHERE machine_id = ?")?,
+            match_for_machine: db.prepare(
+                "SELECT job_id FROM matches WHERE machine_id = ? ORDER BY match_id LIMIT 1",
+            )?,
+            match_exists: db.prepare("SELECT match_id FROM matches WHERE job_id = ? AND machine_id = ?")?,
+            match_insert: db.prepare(
+                "INSERT INTO matches (match_id, job_id, machine_id, created) VALUES (?, ?, ?, ?)",
+            )?,
+            match_delete_by_job: db.prepare("DELETE FROM matches WHERE job_id = ?")?,
+            job_touch: db.prepare("UPDATE jobs SET updated = ? WHERE job_id = ?")?,
+            job_set_running: db.prepare(
+                "UPDATE jobs SET state = 'running', updated = ? WHERE job_id = ?",
+            )?,
+            job_set_matched: db.prepare("UPDATE jobs SET state = 'matched' WHERE job_id = ?")?,
+            job_requeue: db.prepare(
+                "UPDATE jobs SET state = 'idle', requeues = requeues + 1, updated = ? WHERE job_id = ?",
+            )?,
+            job_fetch: db.prepare(
+                "SELECT owner, runtime_ms, submitted, requeues FROM jobs WHERE job_id = ?",
+            )?,
+            job_delete: db.prepare("DELETE FROM jobs WHERE job_id = ?")?,
+            run_insert: db.prepare(
+                "INSERT INTO runs (run_id, job_id, machine_id, started) VALUES (?, ?, ?, ?)",
+            )?,
+            run_delete_by_job: db.prepare("DELETE FROM runs WHERE job_id = ?")?,
+            history_insert: db.prepare(
+                "INSERT INTO job_history (history_id, job_id, owner, runtime_ms, submitted, completed, machine_id, requeues) \
+                 VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            )?,
+            config_get: db.prepare("SELECT value FROM config WHERE name = ?")?,
+            config_update: db.prepare("UPDATE config SET value = ?, updated = ? WHERE name = ?")?,
+            config_insert: db.prepare("INSERT INTO config (name, value, updated) VALUES (?, ?, ?)")?,
+            provenance_insert: db.prepare(
+                "INSERT INTO provenance (record_id, job_id, executable, input_dataset, output_dataset, recorded) \
+                 VALUES (?, ?, ?, ?, ?, ?)",
+            )?,
+            provenance_query: db.prepare(
+                "SELECT job_id, executable, input_dataset FROM provenance \
+                 WHERE output_dataset = ? ORDER BY record_id",
+            )?,
+        })
+    }
+}
+
 /// The CAS application state shared by all service handlers.
 pub struct CasState {
     db: Arc<Database>,
+    prepared: CasPrepared,
     entities: EntityManager,
     /// The current simulated time in milliseconds (set by the event loop
     /// before each dispatch so handlers can timestamp their writes).
@@ -89,8 +193,10 @@ impl CasState {
     pub fn new(db: Arc<Database>) -> Result<Self> {
         schema::deploy(&db)?;
         let entities = EntityManager::new(Arc::clone(&db));
+        let prepared = CasPrepared::new(&db)?;
         let state = CasState {
             db,
+            prepared,
             entities,
             now_ms: 0,
             next_job_id: 0,
@@ -133,16 +239,14 @@ impl CasState {
 
     /// Ensures a user row exists (users are created implicitly on first use).
     fn ensure_user(&self, name: &str) -> Result<()> {
-        let existing = self.db.query(&format!(
-            "SELECT name FROM users WHERE name = {}",
-            sql_literal(&Value::Text(name.to_string()))
-        ))?;
+        let existing = self
+            .db
+            .query_prepared(&self.prepared.user_exists, &[Value::from(name)])?;
         if existing.is_empty() {
-            self.db.execute(&format!(
-                "INSERT INTO users (name, priority, created) VALUES ({}, 0.5, {})",
-                sql_literal(&Value::Text(name.to_string())),
-                self.now_ms
-            ))?;
+            self.db.execute_prepared(
+                &self.prepared.user_insert,
+                &[Value::from(name), Value::Int(self.now_ms)],
+            )?;
         }
         Ok(())
     }
@@ -152,12 +256,16 @@ impl CasState {
         self.ensure_user(owner)?;
         self.next_job_id += 1;
         let id = self.next_job_id;
-        self.db.execute(&format!(
-            "INSERT INTO jobs (job_id, owner, state, runtime_ms, submitted, updated, requeues) \
-             VALUES ({id}, {}, 'idle', {runtime_ms}, {now}, {now}, 0)",
-            sql_literal(&Value::Text(owner.to_string())),
-            now = self.now_ms
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.job_insert,
+            &[
+                Value::Int(id),
+                Value::from(owner),
+                Value::Int(runtime_ms),
+                Value::Int(self.now_ms),
+                Value::Int(self.now_ms),
+            ],
+        )?;
         Ok(id)
     }
 
@@ -174,52 +282,60 @@ impl CasState {
         phys_id: i64,
         memory_mb: i64,
     ) -> Result<()> {
-        let existing = self.db.query(&format!(
-            "SELECT machine_id FROM machines WHERE machine_id = {machine_id}"
-        ))?;
+        let existing = self
+            .db
+            .query_prepared(&self.prepared.machine_exists, &[Value::Int(machine_id)])?;
         if existing.is_empty() {
-            self.db.execute(&format!(
-                "INSERT INTO machines (machine_id, name, state, speed, phys_id, last_heartbeat) \
-                 VALUES ({machine_id}, {}, 'idle', {speed}, {phys_id}, {})",
-                sql_literal(&Value::Text(name.to_string())),
-                self.now_ms
-            ))?;
+            self.db.execute_prepared(
+                &self.prepared.machine_insert,
+                &[
+                    Value::Int(machine_id),
+                    Value::from(name),
+                    Value::Double(speed),
+                    Value::Int(phys_id),
+                    Value::Int(self.now_ms),
+                ],
+            )?;
         } else {
-            self.db.execute(&format!(
-                "UPDATE machines SET state = 'idle', last_heartbeat = {} WHERE machine_id = {machine_id}",
-                self.now_ms
-            ))?;
+            self.db.execute_prepared(
+                &self.prepared.machine_reregister,
+                &[Value::Int(self.now_ms), Value::Int(machine_id)],
+            )?;
         }
         self.next_machine_event_id += 1;
-        self.db.execute(&format!(
-            "INSERT INTO machine_history (event_id, machine_id, rebooted, os, arch, memory_mb) \
-             VALUES ({}, {machine_id}, {}, 'linux-2.6', 'x86', {memory_mb})",
-            self.next_machine_event_id, self.now_ms
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.machine_history_insert,
+            &[
+                Value::Int(self.next_machine_event_id),
+                Value::Int(machine_id),
+                Value::Int(self.now_ms),
+                Value::Int(memory_mb),
+            ],
+        )?;
         Ok(())
     }
 
     /// Handles a startd heartbeat.
     pub fn heartbeat(&mut self, machine_id: i64, report: HeartbeatReport) -> Result<HeartbeatReply> {
-        self.db.execute(&format!(
-            "UPDATE machines SET last_heartbeat = {} WHERE machine_id = {machine_id}",
-            self.now_ms
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.machine_touch,
+            &[Value::Int(self.now_ms), Value::Int(machine_id)],
+        )?;
         match report {
             HeartbeatReport::Idle => {
-                let matched = self.db.query(&format!(
-                    "SELECT job_id FROM matches WHERE machine_id = {machine_id} ORDER BY match_id LIMIT 1"
-                ))?;
+                let matched = self
+                    .db
+                    .query_prepared(&self.prepared.match_for_machine, &[Value::Int(machine_id)])?;
                 match matched.first_value("job_id") {
                     Some(v) => Ok(HeartbeatReply::MatchInfo { job_id: v.as_int()? }),
                     None => Ok(HeartbeatReply::Ok),
                 }
             }
             HeartbeatReport::Running { job_id } => {
-                self.db.execute(&format!(
-                    "UPDATE jobs SET updated = {} WHERE job_id = {job_id}",
-                    self.now_ms
-                ))?;
+                self.db.execute_prepared(
+                    &self.prepared.job_touch,
+                    &[Value::Int(self.now_ms), Value::Int(job_id)],
+                )?;
                 Ok(HeartbeatReply::Ok)
             }
             HeartbeatReport::Completed { job_id } => {
@@ -236,35 +352,42 @@ impl CasState {
     /// The startd accepts a previously reported match: the match tuple becomes
     /// a run tuple and the job and machine move to the running state.
     pub fn accept_match(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
-        let matched = self.db.query(&format!(
-            "SELECT match_id FROM matches WHERE job_id = {job_id} AND machine_id = {machine_id}"
-        ))?;
+        let matched = self.db.query_prepared(
+            &self.prepared.match_exists,
+            &[Value::Int(job_id), Value::Int(machine_id)],
+        )?;
         if matched.is_empty() {
             return Err(Error::not_found(format!(
                 "match of job {job_id} on machine {machine_id}"
             )));
         }
         self.db
-            .execute(&format!("DELETE FROM matches WHERE job_id = {job_id}"))?;
+            .execute_prepared(&self.prepared.match_delete_by_job, &[Value::Int(job_id)])?;
         self.next_run_id += 1;
-        self.db.execute(&format!(
-            "INSERT INTO runs (run_id, job_id, machine_id, started) VALUES ({}, {job_id}, {machine_id}, {})",
-            self.next_run_id, self.now_ms
-        ))?;
-        self.db.execute(&format!(
-            "UPDATE jobs SET state = 'running', updated = {} WHERE job_id = {job_id}",
-            self.now_ms
-        ))?;
-        self.db.execute(&format!(
-            "UPDATE machines SET state = 'running' WHERE machine_id = {machine_id}"
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.run_insert,
+            &[
+                Value::Int(self.next_run_id),
+                Value::Int(job_id),
+                Value::Int(machine_id),
+                Value::Int(self.now_ms),
+            ],
+        )?;
+        self.db.execute_prepared(
+            &self.prepared.job_set_running,
+            &[Value::Int(self.now_ms), Value::Int(job_id)],
+        )?;
+        self.db.execute_prepared(
+            &self.prepared.machine_set_state,
+            &[Value::from("running"), Value::Int(machine_id)],
+        )?;
         Ok(())
     }
 
     fn complete_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
-        let job = self.db.query(&format!(
-            "SELECT owner, runtime_ms, submitted, requeues FROM jobs WHERE job_id = {job_id}"
-        ))?;
+        let job = self
+            .db
+            .query_prepared(&self.prepared.job_fetch, &[Value::Int(job_id)])?;
         if job.is_empty() {
             return Err(Error::not_found(format!("job {job_id}")));
         }
@@ -273,39 +396,44 @@ impl CasState {
         let runtime = job.first_value("runtime_ms").cloned().unwrap_or(Value::Null);
         let submitted = job.first_value("submitted").cloned().unwrap_or(Value::Null);
         let requeues = job.first_value("requeues").cloned().unwrap_or(Value::Int(0));
-        self.db.execute(&format!(
-            "INSERT INTO job_history (history_id, job_id, owner, runtime_ms, submitted, completed, machine_id, requeues) \
-             VALUES ({}, {job_id}, {}, {}, {}, {}, {machine_id}, {})",
-            self.next_history_id,
-            sql_literal(&owner),
-            sql_literal(&runtime),
-            sql_literal(&submitted),
-            self.now_ms,
-            sql_literal(&requeues),
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.history_insert,
+            &[
+                Value::Int(self.next_history_id),
+                Value::Int(job_id),
+                owner,
+                runtime,
+                submitted,
+                Value::Int(self.now_ms),
+                Value::Int(machine_id),
+                requeues,
+            ],
+        )?;
         self.db
-            .execute(&format!("DELETE FROM runs WHERE job_id = {job_id}"))?;
+            .execute_prepared(&self.prepared.run_delete_by_job, &[Value::Int(job_id)])?;
         self.db
-            .execute(&format!("DELETE FROM jobs WHERE job_id = {job_id}"))?;
-        self.db.execute(&format!(
-            "UPDATE machines SET state = 'idle' WHERE machine_id = {machine_id}"
-        ))?;
+            .execute_prepared(&self.prepared.job_delete, &[Value::Int(job_id)])?;
+        self.db.execute_prepared(
+            &self.prepared.machine_set_state,
+            &[Value::from("idle"), Value::Int(machine_id)],
+        )?;
         self.jobs_completed += 1;
         Ok(())
     }
 
     fn requeue_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
         self.db
-            .execute(&format!("DELETE FROM runs WHERE job_id = {job_id}"))?;
+            .execute_prepared(&self.prepared.run_delete_by_job, &[Value::Int(job_id)])?;
         self.db
-            .execute(&format!("DELETE FROM matches WHERE job_id = {job_id}"))?;
-        self.db.execute(&format!(
-            "UPDATE jobs SET state = 'idle', requeues = requeues + 1, updated = {} WHERE job_id = {job_id}",
-            self.now_ms
-        ))?;
-        self.db.execute(&format!(
-            "UPDATE machines SET state = 'idle' WHERE machine_id = {machine_id}"
-        ))?;
+            .execute_prepared(&self.prepared.match_delete_by_job, &[Value::Int(job_id)])?;
+        self.db.execute_prepared(
+            &self.prepared.job_requeue,
+            &[Value::Int(self.now_ms), Value::Int(job_id)],
+        )?;
+        self.db.execute_prepared(
+            &self.prepared.machine_set_state,
+            &[Value::from("idle"), Value::Int(machine_id)],
+        )?;
         self.jobs_requeued += 1;
         Ok(())
     }
@@ -346,23 +474,25 @@ impl CasState {
         for (machine_id, job_id) in &pairs {
             self.next_match_id += 1;
             let result = (|| -> Result<()> {
-                self.db.execute_in(
+                self.db.execute_prepared_in(
                     txn,
-                    &format!(
-                        "INSERT INTO matches (match_id, job_id, machine_id, created) \
-                         VALUES ({}, {job_id}, {machine_id}, {})",
-                        self.next_match_id, self.now_ms
-                    ),
+                    &self.prepared.match_insert,
+                    &[
+                        Value::Int(self.next_match_id),
+                        Value::Int(*job_id),
+                        Value::Int(*machine_id),
+                        Value::Int(self.now_ms),
+                    ],
                 )?;
-                self.db.execute_in(
+                self.db.execute_prepared_in(
                     txn,
-                    &format!("UPDATE jobs SET state = 'matched' WHERE job_id = {job_id}"),
+                    &self.prepared.job_set_matched,
+                    &[Value::Int(*job_id)],
                 )?;
-                self.db.execute_in(
+                self.db.execute_prepared_in(
                     txn,
-                    &format!(
-                        "UPDATE machines SET state = 'matched' WHERE machine_id = {machine_id}"
-                    ),
+                    &self.prepared.machine_set_state,
+                    &[Value::from("matched"), Value::Int(*machine_id)],
                 )?;
                 Ok(())
             })();
@@ -426,10 +556,9 @@ impl CasState {
 
     /// Reads a configuration policy value.
     pub fn get_config(&self, name: &str) -> Result<Option<String>> {
-        let r = self.db.query(&format!(
-            "SELECT value FROM config WHERE name = {}",
-            sql_literal(&Value::Text(name.to_string()))
-        ))?;
+        let r = self
+            .db
+            .query_prepared(&self.prepared.config_get, &[Value::from(name)])?;
         Ok(r.first_value("value")
             .and_then(|v| v.as_text().ok())
             .map(str::to_string))
@@ -437,17 +566,15 @@ impl CasState {
 
     /// Writes a configuration policy value.
     pub fn set_config(&self, name: &str, value: &str) -> Result<()> {
-        let name_lit = sql_literal(&Value::Text(name.to_string()));
-        let value_lit = sql_literal(&Value::Text(value.to_string()));
-        let updated = self.db.execute(&format!(
-            "UPDATE config SET value = {value_lit}, updated = {} WHERE name = {name_lit}",
-            self.now_ms
-        ))?;
+        let updated = self.db.execute_prepared(
+            &self.prepared.config_update,
+            &[Value::from(value), Value::Int(self.now_ms), Value::from(name)],
+        )?;
         if updated.affected() == 0 {
-            self.db.execute(&format!(
-                "INSERT INTO config (name, value, updated) VALUES ({name_lit}, {value_lit}, {})",
-                self.now_ms
-            ))?;
+            self.db.execute_prepared(
+                &self.prepared.config_insert,
+                &[Value::from(name), Value::from(value), Value::Int(self.now_ms)],
+            )?;
         }
         Ok(())
     }
@@ -469,25 +596,26 @@ impl CasState {
         output_dataset: &str,
     ) -> Result<i64> {
         self.next_provenance_id += 1;
-        self.db.execute(&format!(
-            "INSERT INTO provenance (record_id, job_id, executable, input_dataset, output_dataset, recorded) \
-             VALUES ({}, {job_id}, {}, {}, {}, {})",
-            self.next_provenance_id,
-            sql_literal(&Value::Text(executable.to_string())),
-            sql_literal(&Value::Text(input_dataset.to_string())),
-            sql_literal(&Value::Text(output_dataset.to_string())),
-            self.now_ms
-        ))?;
+        self.db.execute_prepared(
+            &self.prepared.provenance_insert,
+            &[
+                Value::Int(self.next_provenance_id),
+                Value::Int(job_id),
+                Value::from(executable),
+                Value::from(input_dataset),
+                Value::from(output_dataset),
+                Value::Int(self.now_ms),
+            ],
+        )?;
         Ok(self.next_provenance_id)
     }
 
     /// Answers the paper's provenance question: "what executable and input
     /// data generated this particular output data set?"
     pub fn provenance_of(&self, output_dataset: &str) -> Result<Vec<(i64, String, String)>> {
-        let r = self.db.query(&format!(
-            "SELECT job_id, executable, input_dataset FROM provenance WHERE output_dataset = {} ORDER BY record_id",
-            sql_literal(&Value::Text(output_dataset.to_string()))
-        ))?;
+        let r = self
+            .db
+            .query_prepared(&self.prepared.provenance_query, &[Value::from(output_dataset)])?;
         Ok(r.rows
             .iter()
             .map(|row| {
@@ -680,10 +808,16 @@ pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
         |state: &mut CasState, req: &SoapRequest| {
             let job_id = req.int_param("job_id").unwrap_or(0);
             let new_state = req.text_param("state").unwrap_or_else(|_| "idle".into());
-            match state.database().execute(&format!(
-                "UPDATE jobs SET state = {} WHERE job_id = {job_id}",
-                sql_literal(&Value::Text(new_state))
-            )) {
+            // The prepare is a statement-cache hit after the first call.
+            let result = state
+                .database()
+                .prepare("UPDATE jobs SET state = ? WHERE job_id = ?")
+                .and_then(|stmt| {
+                    state
+                        .database()
+                        .execute_prepared(&stmt, &[Value::Text(new_state), Value::Int(job_id)])
+                });
+            match result {
                 Ok(r) => SoapResponse::ok().with("affected", r.affected() as i64),
                 Err(e) => SoapResponse::fault(e.to_string()),
             }
@@ -696,9 +830,10 @@ pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
         |state: &mut CasState, req: &SoapRequest| {
             let id = req.int_param("machine_id").unwrap_or(0);
             let now = state.now_ms;
-            match state.database().execute(&format!(
-                "UPDATE machines SET last_heartbeat = {now} WHERE machine_id = {id}"
-            )) {
+            match state
+                .database()
+                .execute_prepared(&state.prepared.machine_touch, &[Value::Int(now), Value::Int(id)])
+            {
                 Ok(_) => SoapResponse::ok(),
                 Err(e) => SoapResponse::fault(e.to_string()),
             }

@@ -415,7 +415,7 @@ impl CondorJ2Simulation {
                 }
             }
         }
-        if self.unfinished_jobs() > 0 || self.queue.len() > 0 {
+        if self.unfinished_jobs() > 0 || !self.queue.is_empty() {
             self.queue
                 .schedule(now + self.config.scheduler_interval, Event::SchedulerPass);
         }
@@ -591,7 +591,7 @@ mod tests {
         assert_eq!(report.completed, 64, "requeued jobs must finish eventually");
         assert!(report.drops > 0, "expected drops on slow oversubscribed nodes");
         assert!(report.dropped_vms > 0);
-        assert_eq!(report.completed + 0, report.submitted);
+        assert_eq!(report.completed, report.submitted);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! write-ahead logging, checkpointing and recovery.
 
 use crate::error::{Error, Result};
-use crate::exec::{execute_select, matching_row_ids, QueryResult};
+use crate::exec::{execute_select_with, matching_row_ids, matching_row_ids_with, QueryResult};
 use crate::predicate::Expr;
-use crate::schema::{IndexDef, Schema};
+use crate::schema::{lower_name, IndexDef, Schema};
 use crate::sql::ast::{DeleteStmt, InsertStmt, Statement, UpdateStmt};
 use crate::sql::parser::parse;
 use crate::stats::OpStats;
@@ -14,7 +14,8 @@ use crate::txn::{LockManager, LockMode, TxnManager, UndoRecord};
 use crate::value::Value;
 use crate::wal::{LogRecord, TableSnapshot, TxnId, Wal};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The outcome of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,106 @@ impl ExecResult {
     }
 }
 
+/// A statement prepared once and executable many times with different bound
+/// parameter values. Obtained from [`Database::prepare`]; cheap to clone
+/// (the parsed AST is shared).
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Arc<Statement>,
+    params: usize,
+}
+
+impl Prepared {
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Number of `?` parameter slots the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.params
+    }
+}
+
+/// Default capacity of the per-database LRU statement cache.
+const STMT_CACHE_CAPACITY: usize = 256;
+
+/// An LRU cache of parsed statements keyed by their SQL text.
+///
+/// Recency is a monotonically increasing generation stamped on each touch, so
+/// a hit is one hash lookup and a counter bump — no allocation, no ordered
+/// structure to maintain. Eviction (rare: only on a miss at capacity) scans
+/// for the minimum generation, O(capacity).
+#[derive(Debug)]
+struct StmtCache {
+    capacity: usize,
+    entries: HashMap<String, CacheEntry>,
+    next_gen: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    stmt: Arc<Statement>,
+    params: usize,
+    gen: u64,
+}
+
+impl Default for StmtCache {
+    fn default() -> Self {
+        StmtCache {
+            capacity: STMT_CACHE_CAPACITY,
+            entries: HashMap::new(),
+            next_gen: 0,
+        }
+    }
+}
+
+impl StmtCache {
+    /// Looks up `sql`, refreshing its recency on a hit.
+    fn get(&mut self, sql: &str) -> Option<(Arc<Statement>, usize)> {
+        let entry = self.entries.get_mut(sql)?;
+        entry.gen = self.next_gen;
+        self.next_gen += 1;
+        Some((Arc::clone(&entry.stmt), entry.params))
+    }
+
+    /// Inserts a parsed statement, evicting the least-recently-used entry
+    /// when at capacity. A zero capacity disables caching.
+    fn insert(&mut self, sql: String, stmt: Arc<Statement>, params: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.remove(&sql);
+        while self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.entries.insert(sql, CacheEntry { stmt, params, gen });
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.gen)
+            .map(|(sql, _)| sql.clone());
+        match victim {
+            Some(sql) => {
+                self.entries.remove(&sql);
+            }
+            None => unreachable!("evict_lru called on an empty cache"),
+        }
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > capacity {
+            self.evict_lru();
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     catalog: BTreeMap<String, Table>,
@@ -52,6 +153,7 @@ struct Inner {
     locks: LockManager,
     txns: TxnManager,
     stats: OpStats,
+    stmt_cache: StmtCache,
 }
 
 /// An embedded relational database.
@@ -189,39 +291,140 @@ impl Database {
         Ok(())
     }
 
+    // --- statement preparation and the statement cache -----------------------
+
+    /// Parses `sql` through the statement cache: a hit returns the shared
+    /// parsed AST without re-lexing, a miss parses outside the lock and
+    /// caches the result. Counted in `cache_hits` / `cache_misses`, and in
+    /// `statements_parsed` only on a miss.
+    fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize)> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(hit) = inner.stmt_cache.get(sql) {
+                inner.stats.cache_hits += 1;
+                return Ok(hit);
+            }
+            inner.stats.cache_misses += 1;
+            inner.stats.statements_parsed += 1;
+        }
+        // Parse outside the lock; concurrent sessions keep executing.
+        let stmt = Arc::new(parse(sql)?);
+        let params = stmt.param_count();
+        let mut inner = self.inner.lock();
+        inner
+            .stmt_cache
+            .insert(sql.to_string(), Arc::clone(&stmt), params);
+        Ok((stmt, params))
+    }
+
+    /// Prepares a statement for repeated execution. The SQL may contain `?`
+    /// placeholders, bound positionally by `execute_prepared` /
+    /// `query_prepared`. Preparation itself goes through the statement
+    /// cache, so re-preparing the same text is cheap.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let (stmt, params) = self.cached_parse(sql)?;
+        Ok(Prepared { stmt, params })
+    }
+
+    /// Changes the capacity of the statement cache (default 256 entries),
+    /// evicting least-recently-used entries as needed. Zero disables caching.
+    pub fn set_statement_cache_capacity(&self, capacity: usize) {
+        self.inner.lock().stmt_cache.resize(capacity);
+    }
+
     // --- statement execution -------------------------------------------------
 
     /// Parses and executes one statement in autocommit mode.
+    ///
+    /// Repeated executions of the same SQL text reuse the cached parse.
+    /// Statements with `?` placeholders must go through [`Database::prepare`].
     pub fn execute(&self, sql: &str) -> Result<ExecResult> {
-        let stmt = {
-            let mut inner = self.inner.lock();
-            inner.stats.statements_parsed += 1;
-            drop(inner);
-            parse(sql)?
-        };
+        let (stmt, params) = self.cached_parse(sql)?;
+        if params > 0 {
+            return Err(Error::type_err(format!(
+                "statement has {params} parameter(s); use prepare()/execute_prepared()"
+            )));
+        }
         self.execute_stmt(&stmt)
     }
 
     /// Parses and executes one statement inside an explicit transaction.
     pub fn execute_in(&self, txn: TxnId, sql: &str) -> Result<ExecResult> {
-        let stmt = {
-            let mut inner = self.inner.lock();
-            inner.stats.statements_parsed += 1;
-            drop(inner);
-            parse(sql)?
-        };
+        let (stmt, params) = self.cached_parse(sql)?;
+        if params > 0 {
+            return Err(Error::type_err(format!(
+                "statement has {params} parameter(s); use prepare()/execute_prepared_in()"
+            )));
+        }
         self.execute_stmt_in(txn, &stmt)
     }
 
+    /// Executes a prepared statement in autocommit mode with the given
+    /// parameter values bound positionally to its `?` placeholders. The
+    /// parameters flow through planning and evaluation as context — the
+    /// cached AST is never cloned or rewritten.
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<ExecResult> {
+        Self::check_arity(prepared, params)?;
+        self.execute_stmt_params(&prepared.stmt, params)
+    }
+
+    /// Executes a prepared statement inside an explicit transaction.
+    pub fn execute_prepared_in(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<ExecResult> {
+        Self::check_arity(prepared, params)?;
+        self.execute_stmt_in_params(txn, &prepared.stmt, params)
+    }
+
+    fn check_arity(prepared: &Prepared, params: &[Value]) -> Result<()> {
+        if params.len() != prepared.params {
+            return Err(Error::type_err(format!(
+                "statement has {} parameter(s) but {} value(s) were bound",
+                prepared.params,
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes a prepared SELECT and returns its rows.
+    pub fn query_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<QueryResult> {
+        self.execute_prepared(prepared, params)?.query()
+    }
+
     /// Executes an already-parsed statement in autocommit mode.
+    ///
+    /// SELECTs take a read-only fast path: statement execution is serialised
+    /// by the engine mutex, so an autocommit read is atomic without opening a
+    /// transaction, registering locks or appending WAL records — it only has
+    /// to fail (retryably, like a lock wait timeout) when another active
+    /// transaction write-locks one of its tables.
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecResult> {
+        self.execute_stmt_params(stmt, &[])
+    }
+
+    fn execute_stmt_params(&self, stmt: &Statement, params: &[Value]) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "use begin()/commit()/rollback() or a Session for transaction control",
             )),
+            Statement::Select(sel) => {
+                let mut inner = self.inner.lock();
+                let inner = &mut *inner;
+                Self::ensure_readable(&inner.locks, &sel.table)?;
+                for join in &sel.joins {
+                    Self::ensure_readable(&inner.locks, &join.table)?;
+                }
+                inner.stats.statements_executed += 1;
+                let result = execute_select_with(&inner.catalog, sel, params, &mut inner.stats)?;
+                Ok(ExecResult::Query(result))
+            }
             _ => {
                 let txn = self.begin();
-                match self.execute_stmt_in(txn, stmt) {
+                match self.execute_stmt_in_params(txn, stmt, params) {
                     Ok(result) => {
                         self.commit(txn)?;
                         Ok(result)
@@ -238,6 +441,15 @@ impl Database {
 
     /// Executes an already-parsed statement inside an explicit transaction.
     pub fn execute_stmt_in(&self, txn: TxnId, stmt: &Statement) -> Result<ExecResult> {
+        self.execute_stmt_in_params(txn, stmt, &[])
+    }
+
+    fn execute_stmt_in_params(
+        &self,
+        txn: TxnId,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecResult> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         inner.txns.get_active(txn)?;
@@ -317,18 +529,18 @@ impl Database {
             Statement::Select(sel) => {
                 inner
                     .locks
-                    .acquire(txn, &sel.table.to_ascii_lowercase(), LockMode::Shared)?;
+                    .acquire(txn, &lower_name(&sel.table), LockMode::Shared)?;
                 for join in &sel.joins {
                     inner
                         .locks
-                        .acquire(txn, &join.table.to_ascii_lowercase(), LockMode::Shared)?;
+                        .acquire(txn, &lower_name(&join.table), LockMode::Shared)?;
                 }
-                let result = execute_select(&inner.catalog, sel, &mut inner.stats)?;
+                let result = execute_select_with(&inner.catalog, sel, params, &mut inner.stats)?;
                 Ok(ExecResult::Query(result))
             }
-            Statement::Insert(ins) => Self::run_insert(inner, txn, ins),
-            Statement::Update(upd) => Self::run_update(inner, txn, upd),
-            Statement::Delete(del) => Self::run_delete(inner, txn, del),
+            Statement::Insert(ins) => Self::run_insert(inner, txn, ins, params),
+            Statement::Update(upd) => Self::run_update(inner, txn, upd, params),
+            Statement::Delete(del) => Self::run_delete(inner, txn, del, params),
         }
     }
 
@@ -354,7 +566,23 @@ impl Database {
         }
     }
 
-    fn run_insert(inner: &mut Inner, txn: TxnId, ins: &InsertStmt) -> Result<ExecResult> {
+    /// Fails (retryably) when another transaction write-locks `table`.
+    fn ensure_readable(locks: &LockManager, table: &str) -> Result<()> {
+        let key = lower_name(table);
+        if let Some(writer) = locks.writer_of(&key) {
+            return Err(Error::LockConflict(format!(
+                "table {key} write-locked by {writer}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn run_insert(
+        inner: &mut Inner,
+        txn: TxnId,
+        ins: &InsertStmt,
+        params: &[Value],
+    ) -> Result<ExecResult> {
         let name = ins.table.to_ascii_lowercase();
         inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
         let table = inner
@@ -369,7 +597,7 @@ impl Database {
             // Evaluate the literal expressions for this VALUES row.
             let mut provided = Vec::with_capacity(row_exprs.len());
             for e in row_exprs {
-                provided.push(e.eval(&empty_schema, &empty_row)?);
+                provided.push(e.eval_with(&empty_schema, &empty_row, params)?);
             }
             // Rearrange into schema order.
             let values: Vec<Value> = if ins.columns.is_empty() {
@@ -418,14 +646,19 @@ impl Database {
         Ok(ExecResult::Affected(inserted))
     }
 
-    fn run_update(inner: &mut Inner, txn: TxnId, upd: &UpdateStmt) -> Result<ExecResult> {
+    fn run_update(
+        inner: &mut Inner,
+        txn: TxnId,
+        upd: &UpdateStmt,
+        params: &[Value],
+    ) -> Result<ExecResult> {
         let name = upd.table.to_ascii_lowercase();
         inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
         let table = inner
             .catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", upd.table)))?;
-        let ids = matching_row_ids(table, upd.filter.as_ref(), &mut inner.stats)?;
+        let ids = matching_row_ids_with(table, upd.filter.as_ref(), params, &mut inner.stats)?;
         let schema = table.schema.clone();
         let mut affected = 0usize;
         for id in ids {
@@ -436,7 +669,7 @@ impl Database {
             let mut assignments = Vec::with_capacity(upd.assignments.len());
             for (col, expr) in &upd.assignments {
                 let idx = schema.column_index(col)?;
-                let value = expr.eval(&schema, &current)?;
+                let value = expr.eval_with(&schema, &current, params)?;
                 assignments.push((idx, value));
             }
             let (before, after) = table.update(id, &assignments, &mut inner.stats)?;
@@ -463,14 +696,19 @@ impl Database {
         Ok(ExecResult::Affected(affected))
     }
 
-    fn run_delete(inner: &mut Inner, txn: TxnId, del: &DeleteStmt) -> Result<ExecResult> {
+    fn run_delete(
+        inner: &mut Inner,
+        txn: TxnId,
+        del: &DeleteStmt,
+        params: &[Value],
+    ) -> Result<ExecResult> {
         let name = del.table.to_ascii_lowercase();
         inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
         let table = inner
             .catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", del.table)))?;
-        let ids = matching_row_ids(table, del.filter.as_ref(), &mut inner.stats)?;
+        let ids = matching_row_ids_with(table, del.filter.as_ref(), params, &mut inner.stats)?;
         let mut affected = 0usize;
         for id in ids {
             let before = table.delete(id, &mut inner.stats)?;
@@ -552,9 +790,15 @@ impl<'a> Session<'a> {
     }
 
     /// Executes one SQL statement, honouring transaction-control statements.
+    /// Parsing goes through the database's statement cache.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let stmt = parse(sql)?;
-        match stmt {
+        let (stmt, params) = self.db.cached_parse(sql)?;
+        if params > 0 {
+            return Err(Error::type_err(format!(
+                "statement has {params} parameter(s); use prepare()/execute_prepared()"
+            )));
+        }
+        match &*stmt {
             Statement::Begin => {
                 if self.txn.is_some() {
                     return Err(Error::type_err("transaction already open"));
@@ -579,8 +823,8 @@ impl<'a> Session<'a> {
                 Ok(ExecResult::Ack)
             }
             other => match self.txn {
-                Some(txn) => self.db.execute_stmt_in(txn, &other),
-                None => self.db.execute_stmt(&other),
+                Some(txn) => self.db.execute_stmt_in(txn, other),
+                None => self.db.execute_stmt(other),
             },
         }
     }
@@ -772,6 +1016,122 @@ mod tests {
         assert_eq!(d.rows_updated, 2);
         assert!(d.statements_executed >= 2);
         assert!(d.wal_records >= 2);
+    }
+
+    #[test]
+    fn prepared_statements_bind_parameters() {
+        let db = setup();
+        let q = db.prepare("SELECT owner FROM jobs WHERE job_id = ?").unwrap();
+        assert_eq!(q.param_count(), 1);
+        let r = db.query_prepared(&q, &[Value::Int(2)]).unwrap();
+        assert_eq!(r.first_value("owner"), Some(&Value::Text("bob".into())));
+        // Re-binding different values reuses the same parse.
+        let r = db.query_prepared(&q, &[Value::Int(3)]).unwrap();
+        assert_eq!(r.first_value("owner"), Some(&Value::Text("alice".into())));
+        // Arity mismatches are reported.
+        assert!(db.query_prepared(&q, &[]).is_err());
+        assert!(db.query_prepared(&q, &[Value::Int(1), Value::Int(2)]).is_err());
+
+        // DML with parameters, including SQL-hostile text bound verbatim.
+        let upd = db
+            .prepare("UPDATE jobs SET owner = ? WHERE job_id = ?")
+            .unwrap();
+        let n = db
+            .execute_prepared(&upd, &[Value::Text("o'brien -- x".into()), Value::Int(1)])
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1);
+        let r = db.query("SELECT owner FROM jobs WHERE job_id = 1").unwrap();
+        assert_eq!(r.first_value("owner"), Some(&Value::Text("o'brien -- x".into())));
+
+        // NULL binds as SQL NULL.
+        let upd = db.prepare("UPDATE jobs SET state = ? WHERE job_id = ?").unwrap();
+        db.execute_prepared(&upd, &[Value::Null, Value::Int(2)]).unwrap();
+        let r = db.query("SELECT COUNT(*) FROM jobs WHERE state IS NULL").unwrap();
+        assert_eq!(r.scalar_int(), Some(1));
+        db.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn plain_execute_rejects_placeholders() {
+        let db = setup();
+        assert!(db.execute("SELECT * FROM jobs WHERE job_id = ?").is_err());
+        let txn = db.begin();
+        assert!(db.execute_in(txn, "DELETE FROM jobs WHERE job_id = ?").is_err());
+        db.rollback(txn).unwrap();
+        let mut session = Session::new(&db);
+        assert!(session.execute("SELECT * FROM jobs WHERE job_id = ?").is_err());
+    }
+
+    #[test]
+    fn statement_cache_stops_reparsing_once_warm() {
+        let db = setup();
+        db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap(); // cold: parses
+        let warm = db.stats();
+        for _ in 0..10 {
+            db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap();
+        }
+        let after = db.stats();
+        assert_eq!(
+            after.statements_parsed, warm.statements_parsed,
+            "repeated identical SQL must not grow statements_parsed once the cache is warm"
+        );
+        assert_eq!(after.cache_hits, warm.cache_hits + 10);
+        assert_eq!(after.cache_misses, warm.cache_misses);
+    }
+
+    #[test]
+    fn statement_cache_evicts_least_recently_used() {
+        let db = setup();
+        db.set_statement_cache_capacity(2);
+        db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap(); // A: miss
+        db.query("SELECT * FROM jobs WHERE job_id = 2").unwrap(); // B: miss
+        db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap(); // A: hit
+        db.query("SELECT * FROM jobs WHERE job_id = 3").unwrap(); // C: miss, evicts B
+        let s1 = db.stats();
+        db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap(); // A still cached
+        let s2 = db.stats();
+        assert_eq!(s2.cache_hits, s1.cache_hits + 1);
+        db.query("SELECT * FROM jobs WHERE job_id = 2").unwrap(); // B was evicted
+        let s3 = db.stats();
+        assert_eq!(s3.cache_misses, s2.cache_misses + 1);
+
+        // Zero capacity disables caching entirely.
+        db.set_statement_cache_capacity(0);
+        let s4 = db.stats();
+        db.query("SELECT * FROM jobs WHERE job_id = 3").unwrap();
+        db.query("SELECT * FROM jobs WHERE job_id = 3").unwrap();
+        let s5 = db.stats();
+        assert_eq!(s5.cache_hits, s4.cache_hits);
+        assert_eq!(s5.cache_misses, s4.cache_misses + 2);
+    }
+
+    #[test]
+    fn prepared_statements_inside_transactions() {
+        let db = setup();
+        let ins = db
+            .prepare("INSERT INTO jobs (job_id, owner, state) VALUES (?, ?, ?)")
+            .unwrap();
+        let txn = db.begin();
+        db.execute_prepared_in(
+            txn,
+            &ins,
+            &[Value::Int(10), Value::from("zoe"), Value::from("idle")],
+        )
+        .unwrap();
+        db.rollback(txn).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 3, "rollback undoes prepared insert");
+
+        let txn = db.begin();
+        db.execute_prepared_in(
+            txn,
+            &ins,
+            &[Value::Int(10), Value::from("zoe"), Value::from("idle")],
+        )
+        .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+        db.check_consistency().unwrap();
     }
 
     #[test]

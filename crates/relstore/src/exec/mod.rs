@@ -8,7 +8,9 @@
 mod aggregate;
 mod select;
 
-pub use select::{execute_select, matching_row_ids};
+pub use select::{
+    execute_select, execute_select_with, matching_row_ids, matching_row_ids_with,
+};
 
 use crate::tuple::Row;
 use crate::value::Value;

@@ -11,6 +11,7 @@ use crate::stats::OpStats;
 use crate::table::Table;
 use crate::tuple::{Row, RowId, StoredRow};
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
@@ -18,39 +19,50 @@ use std::collections::HashMap;
 pub type Catalog = BTreeMap<String, Table>;
 
 fn get_table<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
+    // Catalog keys are lower-case; lower_name skips the per-lookup
+    // allocation for the common case of an already-lower-case name.
     catalog
-        .get(&name.to_ascii_lowercase())
+        .get(crate::schema::lower_name(name).as_ref())
         .ok_or_else(|| Error::not_found(format!("table {name}")))
 }
 
 /// Resolves a possibly-unqualified column name against a (possibly joined)
 /// schema whose columns carry qualified `table.column` names.
-fn resolve_column(schema: &Schema, name: &str) -> Result<String> {
-    let lname = name.to_ascii_lowercase();
+///
+/// Borrows the input when it is already the resolved spelling — the common
+/// case for parser output, which lower-cases identifiers — so per-query
+/// resolution does not allocate.
+fn resolve_column<'a>(schema: &Schema, name: &'a str) -> Result<Cow<'a, str>> {
+    let lname = crate::schema::lower_name(name);
     if schema.column_index(&lname).is_ok() {
         return Ok(lname);
     }
     if !lname.contains('.') {
-        let suffix = format!(".{lname}");
-        let matches: Vec<&Column> = schema
-            .columns
-            .iter()
-            .filter(|c| c.name.ends_with(&suffix))
-            .collect();
-        match matches.len() {
-            1 => return Ok(matches[0].name.clone()),
-            0 => {}
-            _ => {
-                return Err(Error::type_err(format!(
-                    "ambiguous column {name} in {}",
-                    schema.name
-                )))
+        // A bare name against a joined schema with qualified column names.
+        let mut found: Option<&Column> = None;
+        for c in &schema.columns {
+            if let Some((_, bare)) = c.name.split_once('.') {
+                if bare == lname.as_ref() {
+                    if found.is_some() {
+                        return Err(Error::type_err(format!(
+                            "ambiguous column {name} in {}",
+                            schema.name
+                        )));
+                    }
+                    found = Some(c);
+                }
             }
+        }
+        if let Some(c) = found {
+            return Ok(Cow::Owned(c.name.clone()));
         }
     } else if let Some((_, bare)) = lname.split_once('.') {
         // A qualified name used against a single-table schema with bare names.
         if schema.column_index(bare).is_ok() {
-            return Ok(bare.to_string());
+            return Ok(match lname {
+                Cow::Borrowed(s) => Cow::Borrowed(s.split_once('.').expect("contains '.'").1),
+                Cow::Owned(s) => Cow::Owned(s.split_once('.').expect("contains '.'").1.to_string()),
+            });
         }
     }
     Err(Error::not_found(format!(
@@ -59,33 +71,56 @@ fn resolve_column(schema: &Schema, name: &str) -> Result<String> {
     )))
 }
 
-/// Rewrites every column reference in `expr` to its resolved name in `schema`.
-fn resolve_expr(expr: &Expr, schema: &Schema) -> Result<Expr> {
+/// Rewrites every column reference in `expr` to its resolved name in
+/// `schema`, borrowing the input expression when nothing needs rewriting
+/// (no clone on the hot path).
+fn resolve_expr<'a>(expr: &'a Expr, schema: &Schema) -> Result<Cow<'a, Expr>> {
+    fn binary<'a>(
+        expr: &'a Expr,
+        l: &'a Expr,
+        r: &'a Expr,
+        schema: &Schema,
+        rebuild: impl FnOnce(Box<Expr>, Box<Expr>) -> Expr,
+    ) -> Result<Cow<'a, Expr>> {
+        let lr = resolve_expr(l, schema)?;
+        let rr = resolve_expr(r, schema)?;
+        Ok(match (lr, rr) {
+            (Cow::Borrowed(_), Cow::Borrowed(_)) => Cow::Borrowed(expr),
+            (lr, rr) => Cow::Owned(rebuild(Box::new(lr.into_owned()), Box::new(rr.into_owned()))),
+        })
+    }
+    fn unary<'a>(
+        expr: &'a Expr,
+        e: &'a Expr,
+        schema: &Schema,
+        rebuild: impl FnOnce(Box<Expr>) -> Expr,
+    ) -> Result<Cow<'a, Expr>> {
+        Ok(match resolve_expr(e, schema)? {
+            Cow::Borrowed(_) => Cow::Borrowed(expr),
+            Cow::Owned(inner) => Cow::Owned(rebuild(Box::new(inner))),
+        })
+    }
     Ok(match expr {
-        Expr::Literal(v) => Expr::Literal(v.clone()),
-        Expr::Column(c) => Expr::Column(resolve_column(schema, c)?),
-        Expr::Cmp(op, l, r) => Expr::Cmp(
-            *op,
-            Box::new(resolve_expr(l, schema)?),
-            Box::new(resolve_expr(r, schema)?),
-        ),
-        Expr::Arith(op, l, r) => Expr::Arith(
-            *op,
-            Box::new(resolve_expr(l, schema)?),
-            Box::new(resolve_expr(r, schema)?),
-        ),
-        Expr::And(l, r) => Expr::And(
-            Box::new(resolve_expr(l, schema)?),
-            Box::new(resolve_expr(r, schema)?),
-        ),
-        Expr::Or(l, r) => Expr::Or(
-            Box::new(resolve_expr(l, schema)?),
-            Box::new(resolve_expr(r, schema)?),
-        ),
-        Expr::Not(e) => Expr::Not(Box::new(resolve_expr(e, schema)?)),
-        Expr::IsNull(e) => Expr::IsNull(Box::new(resolve_expr(e, schema)?)),
-        Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(resolve_expr(e, schema)?)),
-        Expr::InList(e, list) => Expr::InList(Box::new(resolve_expr(e, schema)?), list.clone()),
+        Expr::Literal(_) | Expr::Param(_) => Cow::Borrowed(expr),
+        Expr::Column(c) => {
+            let resolved = resolve_column(schema, c)?;
+            if resolved == *c {
+                Cow::Borrowed(expr)
+            } else {
+                Cow::Owned(Expr::Column(resolved.into_owned()))
+            }
+        }
+        Expr::Cmp(op, l, r) => binary(expr, l, r, schema, |l, r| Expr::Cmp(*op, l, r))?,
+        Expr::Arith(op, l, r) => binary(expr, l, r, schema, |l, r| Expr::Arith(*op, l, r))?,
+        Expr::And(l, r) => binary(expr, l, r, schema, Expr::And)?,
+        Expr::Or(l, r) => binary(expr, l, r, schema, Expr::Or)?,
+        Expr::Not(e) => unary(expr, e, schema, Expr::Not)?,
+        Expr::IsNull(e) => unary(expr, e, schema, Expr::IsNull)?,
+        Expr::IsNotNull(e) => unary(expr, e, schema, Expr::IsNotNull)?,
+        Expr::InList(e, list) => match resolve_expr(e, schema)? {
+            Cow::Borrowed(_) => Cow::Borrowed(expr),
+            Cow::Owned(inner) => Cow::Owned(Expr::InList(Box::new(inner), list.clone())),
+        },
     })
 }
 
@@ -104,28 +139,37 @@ fn qualified_schema(table: &Table) -> Schema {
     Schema::new(table.schema.name.clone(), columns)
 }
 
-/// Scans the base table using an index when the filter pins an indexed column
-/// to a literal; otherwise falls back to a full scan.
+/// Chooses the cheapest access path into the base table that still yields a
+/// superset of the matching rows (the caller re-applies the filter):
+///
+/// 1. an index **point lookup** when the filter pins an indexed column to a
+///    literal with equality in a top-level conjunction,
+/// 2. an index **range scan** when the filter bounds an indexed column with
+///    `<`/`<=`/`>`/`>=`/`BETWEEN`,
+/// 3. a full table scan otherwise.
+///
+/// Candidate columns are iterated by reference — no per-query `String`
+/// allocation happens while planning.
 fn access_base_table(
     table: &Table,
     filter: Option<&Expr>,
+    params: &[Value],
     stats: &mut OpStats,
 ) -> Vec<StoredRow> {
     if let Some(filter) = filter {
-        // Try the primary key and every indexed column for an equality lookup.
-        let candidates: Vec<String> = table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .filter(|c| table.has_index_on(c))
-            .collect();
-        for col in candidates {
-            if let Some(key) = filter
-                .equality_lookup(&col)
-                .or_else(|| filter.equality_lookup(&format!("{}.{}", table.schema.name, col)))
-            {
-                if let Some(rows) = table.lookup_indexed(&col, &key, stats) {
+        let name = table.schema.name.as_str();
+        // Equality point lookups first: tightest result set.
+        for col in table.indexed_columns() {
+            if let Some(key) = filter.equality_lookup_on(name, col, params) {
+                if let Some(rows) = table.lookup_indexed(col, &key, stats) {
+                    return rows;
+                }
+            }
+        }
+        // Then bounded range scans over an ordered index.
+        for col in table.indexed_columns() {
+            if let Some((lo, hi)) = filter.range_bounds_on(name, col, params) {
+                if let Some(rows) = table.lookup_range(col, lo.as_ref(), hi.as_ref(), stats) {
                     return rows;
                 }
             }
@@ -134,28 +178,39 @@ fn access_base_table(
     table.scan(stats)
 }
 
-/// Executes a SELECT statement against the catalog.
+/// Executes a SELECT statement against the catalog with no bound parameters.
 pub fn execute_select(
     catalog: &Catalog,
     stmt: &SelectStmt,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
+    execute_select_with(catalog, stmt, &[], stats)
+}
+
+/// Executes a SELECT statement against the catalog, resolving `?`
+/// placeholders from `params` during planning and evaluation (prepared
+/// execution never clones the statement).
+pub fn execute_select_with(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    params: &[Value],
+    stats: &mut OpStats,
+) -> Result<QueryResult> {
     let base = get_table(catalog, &stmt.table)?;
 
-    // For a single-table query keep bare column names (friendlier output);
-    // joins switch to qualified names to avoid collisions.
-    let mut schema = if stmt.joins.is_empty() {
-        base.schema.clone()
+    // For a single-table query keep bare column names (friendlier output) and
+    // borrow the table's schema; joins switch to an owned schema with
+    // qualified names to avoid collisions.
+    let mut schema: Cow<'_, Schema> = if stmt.joins.is_empty() {
+        Cow::Borrowed(&base.schema)
     } else {
-        qualified_schema(base)
+        Cow::Owned(qualified_schema(base))
     };
 
-    let resolved_filter = match &stmt.filter {
-        Some(f) => Some(resolve_expr(f, &schema).or_else(|_| {
-            // The filter may reference columns of joined tables; resolution is
-            // retried after the joins are applied.
-            Ok::<Expr, Error>(f.clone())
-        })?),
+    let resolved_filter: Option<Cow<'_, Expr>> = match &stmt.filter {
+        // The filter may reference columns of joined tables; resolution is
+        // retried after the joins are applied.
+        Some(f) => Some(resolve_expr(f, &schema).unwrap_or(Cow::Borrowed(f))),
         None => None,
     };
 
@@ -163,7 +218,7 @@ pub fn execute_select(
     // against the base schema (otherwise correctness requires the full scan).
     let base_filter_usable = stmt.joins.is_empty();
     let mut rows: Vec<Row> = if base_filter_usable {
-        access_base_table(base, resolved_filter.as_ref(), stats)
+        access_base_table(base, resolved_filter.as_deref(), params, stats)
             .into_iter()
             .map(|r| r.row)
             .collect()
@@ -208,8 +263,8 @@ pub fn execute_select(
 
         // Extend the schema with the right-hand columns.
         let mut columns = schema.columns.clone();
-        columns.extend(right_schema.columns.clone());
-        schema = Schema::new(schema.name.clone(), columns);
+        columns.extend(right_schema.columns);
+        schema = Cow::Owned(Schema::new(schema.name.clone(), columns));
     }
 
     // Filter (now that the full schema is known).
@@ -217,7 +272,7 @@ pub fn execute_select(
         let filter = resolve_expr(filter, &schema)?;
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
-            if filter.matches(&schema, &row)? {
+            if filter.matches_with(&schema, &row, params)? {
                 kept.push(row);
             }
         }
@@ -263,9 +318,17 @@ pub fn execute_select(
         rows.truncate(limit);
     }
 
-    // Projection.
+    // Projection. A bare `SELECT *` moves the rows through unchanged instead
+    // of re-cloning every value.
+    if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        return Ok(QueryResult {
+            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            rows,
+        });
+    }
+
     let mut out_columns: Vec<String> = Vec::new();
-    let mut projections: Vec<Option<Expr>> = Vec::new(); // None = wildcard slot
+    let mut projections: Vec<Option<Cow<'_, Expr>>> = Vec::new(); // None = wildcard slot
     for item in &stmt.items {
         match item {
             SelectItem::Wildcard => {
@@ -274,7 +337,7 @@ pub fn execute_select(
             }
             SelectItem::Expr { expr, alias } => {
                 let resolved = resolve_expr(expr, &schema)?;
-                let name = alias.clone().unwrap_or_else(|| match &resolved {
+                let name = alias.clone().unwrap_or_else(|| match &*resolved {
                     Expr::Column(c) => c.clone(),
                     other => other.to_string(),
                 });
@@ -291,7 +354,7 @@ pub fn execute_select(
         for proj in &projections {
             match proj {
                 None => values.extend(row.values.iter().cloned()),
-                Some(expr) => values.push(expr.eval(&schema, row)?),
+                Some(expr) => values.push(expr.eval_with(&schema, row, params)?),
             }
         }
         out_rows.push(Row::new(values));
@@ -310,15 +373,25 @@ pub fn matching_row_ids(
     filter: Option<&Expr>,
     stats: &mut OpStats,
 ) -> Result<Vec<RowId>> {
+    matching_row_ids_with(table, filter, &[], stats)
+}
+
+/// As [`matching_row_ids`], resolving `?` placeholders from `params`.
+pub fn matching_row_ids_with(
+    table: &Table,
+    filter: Option<&Expr>,
+    params: &[Value],
+    stats: &mut OpStats,
+) -> Result<Vec<RowId>> {
     let resolved = match filter {
         Some(f) => Some(resolve_expr(f, &table.schema)?),
         None => None,
     };
-    let candidates = access_base_table(table, resolved.as_ref(), stats);
+    let candidates = access_base_table(table, resolved.as_deref(), params, stats);
     let mut out = Vec::new();
     for stored in candidates {
         let keep = match &resolved {
-            Some(f) => f.matches(&table.schema, &stored.row)?,
+            Some(f) => f.matches_with(&table.schema, &stored.row, params)?,
             None => true,
         };
         if keep {
@@ -461,6 +534,79 @@ mod tests {
         let r = execute_select(&cat, &stmt, &mut stats).unwrap();
         assert_eq!(r.len(), 2);
         assert!(stats.index_lookups >= 1);
+    }
+
+    #[test]
+    fn range_predicate_uses_index_without_scanning() {
+        let cat = catalog();
+        let mut stats = OpStats::default();
+        let Statement::Select(stmt) =
+            parse("SELECT job_id FROM jobs WHERE job_id >= 2 AND job_id < 4 ORDER BY job_id")
+                .unwrap()
+        else {
+            unreachable!()
+        };
+        let r = execute_select(&cat, &stmt, &mut stats).unwrap();
+        assert_eq!(r.len(), 2, "strict upper bound re-checked by the filter");
+        assert_eq!(r.value(0, "job_id"), Some(&Value::Int(2)));
+        assert_eq!(r.value(1, "job_id"), Some(&Value::Int(3)));
+        assert!(stats.index_lookups >= 1);
+        assert_eq!(stats.rows_scanned, 0, "no full scan for a bounded range");
+    }
+
+    #[test]
+    fn between_predicate_uses_index() {
+        let cat = catalog();
+        let mut stats = OpStats::default();
+        let Statement::Select(stmt) =
+            parse("SELECT job_id FROM jobs WHERE job_id BETWEEN 2 AND 3 ORDER BY job_id").unwrap()
+        else {
+            unreachable!()
+        };
+        let r = execute_select(&cat, &stmt, &mut stats).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(stats.index_lookups >= 1);
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn half_open_and_contradictory_ranges() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT job_id FROM jobs WHERE job_id > 2 ORDER BY job_id");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "job_id"), Some(&Value::Int(3)));
+        let r = select(&cat, "SELECT job_id FROM jobs WHERE job_id <= 1");
+        assert_eq!(r.len(), 1);
+        let r = select(&cat, "SELECT job_id FROM jobs WHERE job_id > 3 AND job_id < 2");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_on_text_secondary_index() {
+        let cat = catalog();
+        let mut stats = OpStats::default();
+        let Statement::Select(stmt) =
+            parse("SELECT job_id FROM jobs WHERE state >= 'idle' AND state <= 'idle'").unwrap()
+        else {
+            unreachable!()
+        };
+        let r = execute_select(&cat, &stmt, &mut stats).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(stats.index_lookups >= 1);
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn range_under_or_falls_back_to_scan_correctly() {
+        let cat = catalog();
+        // The range sits under an OR, so it must NOT restrict the access path.
+        let r = select(
+            &cat,
+            "SELECT job_id FROM jobs WHERE job_id >= 4 OR state = 'idle' ORDER BY job_id",
+        );
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(0, "job_id"), Some(&Value::Int(1)));
+        assert_eq!(r.value(2, "job_id"), Some(&Value::Int(4)));
     }
 
     #[test]

@@ -97,17 +97,24 @@ impl Index {
     }
 
     /// Returns the rows with keys in `[lo, hi]` (either bound may be open).
+    /// An inverted range (`lo > hi`, e.g. from a contradictory predicate)
+    /// yields no rows.
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if lo > hi {
+                return Vec::new();
+            }
+        }
         let lo_bound = match lo {
-            Some(v) => Bound::Included(v.clone()),
+            Some(v) => Bound::Included(v),
             None => Bound::Unbounded,
         };
         let hi_bound = match hi {
-            Some(v) => Bound::Included(v.clone()),
+            Some(v) => Bound::Included(v),
             None => Bound::Unbounded,
         };
         let mut out = Vec::new();
-        for (_, rows) in self.entries.range((lo_bound, hi_bound)) {
+        for (_, rows) in self.entries.range::<Value, _>((lo_bound, hi_bound)) {
             out.extend(rows.iter().copied());
         }
         out

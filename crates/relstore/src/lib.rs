@@ -9,6 +9,8 @@
 //!
 //! * typed tables with primary keys and secondary indexes ([`table`], [`schema`]),
 //! * a SQL subset with a lexer, parser and executor ([`sql`], [`exec`]),
+//! * prepared statements with `?` placeholders and an LRU statement cache
+//!   ([`db::Prepared`], [`Database::prepare`](db::Database::prepare)),
 //! * transactions with table-level two-phase locking and rollback ([`txn`]),
 //! * a write-ahead log with checkpointing and recovery ([`wal`]),
 //! * operation statistics for the simulation cost model ([`stats`]).
@@ -24,6 +26,44 @@
 //! db.execute("UPDATE jobs SET state = 'running' WHERE job_id = 1").unwrap();
 //! let idle = db.query("SELECT COUNT(*) FROM jobs WHERE state = 'idle'").unwrap();
 //! assert_eq!(idle.scalar_int(), Some(1));
+//! ```
+//!
+//! ## Prepared statements and the statement cache
+//!
+//! Every CAS service call rides the "HTTP-to-SQL transformation" hot path, so
+//! re-lexing and re-parsing per call is the engine's biggest avoidable cost.
+//! Two mechanisms remove it:
+//!
+//! * **Prepared statements.** [`Database::prepare`](db::Database::prepare)
+//!   parses SQL containing `?` placeholders once and returns a [`Prepared`]
+//!   handle; `execute_prepared` / `query_prepared` /
+//!   `execute_prepared_in` bind values positionally and run the cached AST.
+//!   Bound values are substituted as literals *after* parsing, so parameter
+//!   text can never be re-interpreted as SQL (injection-safe by
+//!   construction).
+//!
+//! * **The statement cache.** The database keeps an internal LRU cache
+//!   (default 256 entries, see
+//!   [`Database::set_statement_cache_capacity`](db::Database::set_statement_cache_capacity))
+//!   keyed by exact SQL text. Plain [`Database::execute`](db::Database::execute) /
+//!   [`query`](db::Database::query) calls consult it too, so even un-migrated
+//!   call sites stop paying the parser once the cache is warm. Hits and
+//!   misses are observable as `cache_hits` / `cache_misses` in [`OpStats`];
+//!   `statements_parsed` advances only on misses.
+//!
+//! ```
+//! use relstore::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
+//! let insert = db.prepare("INSERT INTO jobs VALUES (?, ?)").unwrap();
+//! for id in 0..3 {
+//!     db.execute_prepared(&insert, &[Value::Int(id), Value::from("idle")]).unwrap();
+//! }
+//! let by_id = db.prepare("SELECT state FROM jobs WHERE job_id = ?").unwrap();
+//! let row = db.query_prepared(&by_id, &[Value::Int(2)]).unwrap();
+//! assert_eq!(row.first_value("state"), Some(&Value::from("idle")));
+//! assert_eq!(db.stats().statements_parsed, 3); // DDL + two prepares, no re-parses
 //! ```
 
 #![warn(missing_docs)]
@@ -42,7 +82,7 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, ExecResult, Session};
+pub use db::{Database, ExecResult, Prepared, Session};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};

@@ -29,6 +29,19 @@ pub enum CmpOp {
     Ge,
 }
 
+impl CmpOp {
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq | CmpOp::Ne => self,
+        }
+    }
+}
+
 impl fmt::Display for CmpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -73,6 +86,10 @@ impl fmt::Display for ArithOp {
 pub enum Expr {
     /// A literal constant.
     Literal(Value),
+    /// A positional bind parameter (`?`), 0-indexed in statement order.
+    /// Resolved at evaluation time from the bound-parameter context (see
+    /// [`Expr::eval_with`]).
+    Param(usize),
     /// A reference to a column by name.
     Column(String),
     /// A comparison between two sub-expressions.
@@ -122,45 +139,60 @@ impl Expr {
         Expr::Or(Box::new(self), Box::new(other))
     }
 
-    /// Evaluates the expression against `row` described by `schema`.
+    /// Evaluates the expression against `row` described by `schema`, with no
+    /// bound parameters (any [`Expr::Param`] fails).
     pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        self.eval_with(schema, row, &[])
+    }
+
+    /// Evaluates the expression against `row` described by `schema`,
+    /// resolving `?` placeholders from `params`. Prepared execution passes
+    /// parameters as this evaluation context, so the hot path never clones or
+    /// rewrites the AST.
+    pub fn eval_with(&self, schema: &Schema, row: &Row, params: &[Value]) -> Result<Value> {
         match self {
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => params.get(*i).cloned().ok_or_else(|| {
+                Error::type_err(format!(
+                    "unbound parameter ?{} — execute this statement through a prepared handle",
+                    i + 1
+                ))
+            }),
             Expr::Column(name) => {
                 let idx = schema.column_index(name)?;
                 Ok(row.get(idx).clone())
             }
             Expr::Cmp(op, l, r) => {
-                let lv = l.eval(schema, row)?;
-                let rv = r.eval(schema, row)?;
+                let lv = l.eval_with(schema, row, params)?;
+                let rv = r.eval_with(schema, row, params)?;
                 Ok(match eval_cmp(*op, &lv, &rv) {
                     Some(b) => Value::Bool(b),
                     None => Value::Null,
                 })
             }
             Expr::Arith(op, l, r) => {
-                let lv = l.eval(schema, row)?;
-                let rv = r.eval(schema, row)?;
+                let lv = l.eval_with(schema, row, params)?;
+                let rv = r.eval_with(schema, row, params)?;
                 eval_arith(*op, &lv, &rv)
             }
             Expr::And(l, r) => {
-                let lv = to_tristate(l.eval(schema, row)?)?;
-                let rv = to_tristate(r.eval(schema, row)?)?;
+                let lv = to_tristate(l.eval_with(schema, row, params)?)?;
+                let rv = to_tristate(r.eval_with(schema, row, params)?)?;
                 Ok(from_tristate(and3(lv, rv)))
             }
             Expr::Or(l, r) => {
-                let lv = to_tristate(l.eval(schema, row)?)?;
-                let rv = to_tristate(r.eval(schema, row)?)?;
+                let lv = to_tristate(l.eval_with(schema, row, params)?)?;
+                let rv = to_tristate(r.eval_with(schema, row, params)?)?;
                 Ok(from_tristate(or3(lv, rv)))
             }
             Expr::Not(e) => {
-                let v = to_tristate(e.eval(schema, row)?)?;
+                let v = to_tristate(e.eval_with(schema, row, params)?)?;
                 Ok(from_tristate(v.map(|b| !b)))
             }
-            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
-            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval(schema, row)?.is_null())),
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval_with(schema, row, params)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval_with(schema, row, params)?.is_null())),
             Expr::InList(e, list) => {
-                let v = e.eval(schema, row)?;
+                let v = e.eval_with(schema, row, params)?;
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
@@ -180,7 +212,12 @@ impl Expr {
     /// Evaluates the expression as a predicate: true selects the row,
     /// false or unknown (NULL) rejects it.
     pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool> {
-        match self.eval(schema, row)? {
+        self.matches_with(schema, row, &[])
+    }
+
+    /// As [`Expr::matches`], resolving `?` placeholders from `params`.
+    pub fn matches_with(&self, schema: &Schema, row: &Row, params: &[Value]) -> Result<bool> {
+        match self.eval_with(schema, row, params)? {
             Value::Bool(b) => Ok(b),
             Value::Null => Ok(false),
             other => Err(Error::type_err(format!(
@@ -189,31 +226,118 @@ impl Expr {
         }
     }
 
-    /// If the expression constrains `pk_column` to a single literal with
-    /// equality somewhere in a top-level conjunction, return that literal.
-    /// Used by the planner to choose point lookups over scans.
-    pub fn equality_lookup(&self, column: &str) -> Option<Value> {
+    /// If the expression pins `column` of `table` to a single concrete value
+    /// with equality somewhere in a top-level conjunction, return that value.
+    /// Accepts both the bare and the `table.column`-qualified spelling
+    /// without allocating a candidate name per call, and resolves `?`
+    /// placeholders from `params`. Used by the planner to choose point
+    /// lookups over scans.
+    pub fn equality_lookup_on(&self, table: &str, column: &str, params: &[Value]) -> Option<Value> {
         match self {
             Expr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
-                (Expr::Column(c), Expr::Literal(v)) if c.eq_ignore_ascii_case(column) => {
-                    Some(v.clone())
-                }
-                (Expr::Literal(v), Expr::Column(c)) if c.eq_ignore_ascii_case(column) => {
-                    Some(v.clone())
+                (Expr::Column(c), v) | (v, Expr::Column(c))
+                    if column_matches(c, table, column) =>
+                {
+                    as_bound(v, params).cloned()
                 }
                 _ => None,
             },
             Expr::And(l, r) => l
-                .equality_lookup(column)
-                .or_else(|| r.equality_lookup(column)),
+                .equality_lookup_on(table, column, params)
+                .or_else(|| r.equality_lookup_on(table, column, params)),
             _ => None,
+        }
+    }
+
+    /// Inclusive `(lo, hi)` bounds implied for `column` of `table` by the
+    /// top-level conjunction, or `None` when no comparison constrains the
+    /// column. Strict bounds (`<`, `>`) are widened to inclusive ones: the
+    /// access path only needs a *superset* of the matching rows because the
+    /// executor re-applies the full predicate afterwards. `?` placeholders
+    /// resolve through `params`.
+    pub fn range_bounds_on(
+        &self,
+        table: &str,
+        column: &str,
+        params: &[Value],
+    ) -> Option<(Option<Value>, Option<Value>)> {
+        let mut lo: Option<Value> = None;
+        let mut hi: Option<Value> = None;
+        self.collect_range_bounds(table, column, params, &mut lo, &mut hi);
+        if lo.is_none() && hi.is_none() {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    fn collect_range_bounds(
+        &self,
+        table: &str,
+        column: &str,
+        params: &[Value],
+        lo: &mut Option<Value>,
+        hi: &mut Option<Value>,
+    ) {
+        match self {
+            Expr::And(l, r) => {
+                l.collect_range_bounds(table, column, params, lo, hi);
+                r.collect_range_bounds(table, column, params, lo, hi);
+            }
+            Expr::Cmp(op, l, r) => {
+                let (op, v) = match (l.as_ref(), r.as_ref()) {
+                    (Expr::Column(c), v) if column_matches(c, table, column) => {
+                        match as_bound(v, params) {
+                            Some(v) => (*op, v),
+                            None => return,
+                        }
+                    }
+                    (v, Expr::Column(c)) if column_matches(c, table, column) => {
+                        match as_bound(v, params) {
+                            Some(v) => (op.flip(), v),
+                            None => return,
+                        }
+                    }
+                    _ => return,
+                };
+                // A NULL comparison matches nothing; the filter re-check
+                // rejects every row, so no bound needs recording.
+                if v.is_null() {
+                    return;
+                }
+                match op {
+                    CmpOp::Eq => {
+                        tighten_lo(lo, v);
+                        tighten_hi(hi, v);
+                    }
+                    CmpOp::Gt | CmpOp::Ge => tighten_lo(lo, v),
+                    CmpOp::Lt | CmpOp::Le => tighten_hi(hi, v),
+                    CmpOp::Ne => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of parameter slots this expression requires
+    /// (one past the highest `?` index).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Expr::Param(i) => i + 1,
+            Expr::Literal(_) | Expr::Column(_) => 0,
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.param_count().max(r.param_count())
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InList(e, _) => {
+                e.param_count()
+            }
         }
     }
 
     /// Collects the names of all columns referenced by the expression.
     pub fn referenced_columns(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Column(c) => out.push(c.clone()),
             Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
                 l.referenced_columns(out);
@@ -230,6 +354,7 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Param(_) => write!(f, "?"),
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Cmp(op, l, r) => write!(f, "({l} {op} {r})"),
             Expr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
@@ -249,6 +374,44 @@ impl fmt::Display for Expr {
                 write!(f, "))")
             }
         }
+    }
+}
+
+/// Resolves a planner operand to a concrete value: a literal directly, a `?`
+/// placeholder through `params`. Column references and compound expressions
+/// yield `None` (the planner cannot constant-fold them).
+fn as_bound<'v>(e: &'v Expr, params: &'v [Value]) -> Option<&'v Value> {
+    match e {
+        Expr::Literal(v) => Some(v),
+        Expr::Param(i) => params.get(*i),
+        _ => None,
+    }
+}
+
+/// True when a column reference `cand` denotes `column` of `table`, accepting
+/// both the bare and the `table.column`-qualified spelling, without
+/// allocating.
+fn column_matches(cand: &str, table: &str, column: &str) -> bool {
+    if cand.eq_ignore_ascii_case(column) {
+        return true;
+    }
+    match cand.split_once('.') {
+        Some((t, c)) => t.eq_ignore_ascii_case(table) && c.eq_ignore_ascii_case(column),
+        None => false,
+    }
+}
+
+/// Raises `*lo` to `v` when `v` is the tighter lower bound.
+fn tighten_lo(lo: &mut Option<Value>, v: &Value) {
+    if lo.as_ref().is_none_or(|cur| v.total_cmp(cur) == std::cmp::Ordering::Greater) {
+        *lo = Some(v.clone());
+    }
+}
+
+/// Lowers `*hi` to `v` when `v` is the tighter upper bound.
+fn tighten_hi(hi: &mut Option<Value>, v: &Value) {
+    if hi.as_ref().is_none_or(|cur| v.total_cmp(cur) == std::cmp::Ordering::Less) {
+        *hi = Some(v.clone());
     }
 }
 
@@ -459,11 +622,102 @@ mod tests {
     #[test]
     fn equality_lookup_detection() {
         let e = Expr::col_eq("job_id", 7).and(Expr::col_eq("state", "idle"));
-        assert_eq!(e.equality_lookup("job_id"), Some(Value::Int(7)));
-        assert_eq!(e.equality_lookup("STATE"), Some(Value::Text("idle".into())));
-        assert_eq!(e.equality_lookup("runtime"), None);
+        assert_eq!(e.equality_lookup_on("jobs", "job_id", &[]), Some(Value::Int(7)));
+        assert_eq!(
+            e.equality_lookup_on("jobs", "STATE", &[]),
+            Some(Value::Text("idle".into()))
+        );
+        assert_eq!(e.equality_lookup_on("jobs", "runtime", &[]), None);
         let e = Expr::col_cmp("job_id", CmpOp::Gt, 7);
-        assert_eq!(e.equality_lookup("job_id"), None);
+        assert_eq!(e.equality_lookup_on("jobs", "job_id", &[]), None);
+        // Parameters resolve through the bound-value context.
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Column("job_id".into())),
+            Box::new(Expr::Param(0)),
+        );
+        assert_eq!(e.equality_lookup_on("jobs", "job_id", &[]), None);
+        assert_eq!(
+            e.equality_lookup_on("jobs", "job_id", &[Value::Int(4)]),
+            Some(Value::Int(4))
+        );
+    }
+
+    #[test]
+    fn equality_lookup_on_accepts_qualified_names() {
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Column("jobs.job_id".into())),
+            Box::new(Expr::Literal(Value::Int(7))),
+        );
+        assert_eq!(e.equality_lookup_on("jobs", "job_id", &[]), Some(Value::Int(7)));
+        assert_eq!(e.equality_lookup_on("machines", "job_id", &[]), None);
+        let e = Expr::col_eq("job_id", 9);
+        assert_eq!(e.equality_lookup_on("jobs", "job_id", &[]), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn range_bounds_from_conjunctions() {
+        let e = Expr::col_cmp("job_id", CmpOp::Ge, 2).and(Expr::col_cmp("job_id", CmpOp::Lt, 9));
+        let (lo, hi) = e.range_bounds_on("jobs", "job_id", &[]).unwrap();
+        assert_eq!(lo, Some(Value::Int(2)));
+        assert_eq!(hi, Some(Value::Int(9)), "strict bound widened to inclusive");
+
+        // Tightest bound wins across repeated conjuncts.
+        let e = Expr::col_cmp("job_id", CmpOp::Ge, 2).and(Expr::col_cmp("job_id", CmpOp::Gt, 5));
+        let (lo, hi) = e.range_bounds_on("jobs", "job_id", &[]).unwrap();
+        assert_eq!(lo, Some(Value::Int(5)));
+        assert_eq!(hi, None);
+
+        // Literal-on-the-left comparisons flip.
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::Literal(Value::Int(10))),
+            Box::new(Expr::Column("job_id".into())),
+        );
+        let (lo, hi) = e.range_bounds_on("jobs", "job_id", &[]).unwrap();
+        assert_eq!(lo, None);
+        assert_eq!(hi, Some(Value::Int(10)));
+
+        // Disjunctions must not contribute bounds.
+        let e = Expr::col_cmp("job_id", CmpOp::Ge, 2).or(Expr::col_eq("state", "idle"));
+        assert_eq!(e.range_bounds_on("jobs", "job_id", &[]), None);
+        // Other columns and NULL literals contribute nothing.
+        assert_eq!(
+            Expr::col_cmp("runtime", CmpOp::Ge, 2).range_bounds_on("jobs", "job_id", &[]),
+            None
+        );
+        assert_eq!(
+            Expr::col_cmp("job_id", CmpOp::Ge, Value::Null).range_bounds_on("jobs", "job_id", &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn params_resolve_through_the_evaluation_context() {
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Column("state".into())),
+            Box::new(Expr::Param(0)),
+        )
+        .and(Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::Column("job_id".into())),
+            Box::new(Expr::Param(1)),
+        ));
+        assert_eq!(e.param_count(), 2);
+        assert_eq!(e.to_string(), "((state = ?) AND (job_id > ?))");
+
+        let s = schema();
+        let r = row(5, "idle", 2.0, false);
+        let params = [Value::Text("idle".into()), Value::Int(3)];
+        assert!(e.matches_with(&s, &r, &params).unwrap());
+        assert!(!e
+            .matches_with(&s, &r, &[Value::Text("held".into()), Value::Int(3)])
+            .unwrap());
+        // Unbound evaluation and short bindings fail loudly.
+        assert!(e.eval(&s, &r).is_err());
+        assert!(e.matches_with(&s, &r, &[Value::Int(1)]).is_err());
     }
 
     #[test]

@@ -3,6 +3,18 @@
 use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// Lower-cases a table/column name without allocating when it is already
+/// lower-case (the common case for parser output and internal callers).
+/// Shared by every catalog/lock lookup on the statement hot path.
+pub(crate) fn lower_name(name: &str) -> Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(name)
+    }
+}
 
 /// A single column definition.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

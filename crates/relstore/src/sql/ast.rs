@@ -172,6 +172,56 @@ impl Statement {
         matches!(self, Statement::Select(_))
     }
 
+    /// Number of `?` bind-parameter slots in the statement (one past the
+    /// highest parameter index).
+    pub fn param_count(&self) -> usize {
+        let mut n = 0usize;
+        self.for_each_expr(&mut |e| n = n.max(e.param_count()));
+        n
+    }
+
+    /// Visits every expression embedded in the statement.
+    fn for_each_expr(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Statement::Select(sel) => {
+                if let Some(filter) = &sel.filter {
+                    f(filter);
+                }
+                for item in &sel.items {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        f(expr);
+                    }
+                }
+            }
+            Statement::Insert(ins) => {
+                for row in &ins.rows {
+                    for expr in row {
+                        f(expr);
+                    }
+                }
+            }
+            Statement::Update(upd) => {
+                for (_, expr) in &upd.assignments {
+                    f(expr);
+                }
+                if let Some(filter) = &upd.filter {
+                    f(filter);
+                }
+            }
+            Statement::Delete(del) => {
+                if let Some(filter) = &del.filter {
+                    f(filter);
+                }
+            }
+            Statement::CreateTable(_)
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable(_)
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => {}
+        }
+    }
+
     /// The table this statement primarily targets, if any.
     pub fn target_table(&self) -> Option<&str> {
         match self {
@@ -220,5 +270,16 @@ mod tests {
     fn agg_func_names() {
         assert_eq!(AggFunc::Count.name(), "COUNT");
         assert_eq!(AggFunc::Avg.name(), "AVG");
+    }
+
+    #[test]
+    fn param_count_covers_every_statement_kind() {
+        use crate::sql::parser::parse;
+
+        assert_eq!(parse("UPDATE jobs SET state = ? WHERE job_id = ?").unwrap().param_count(), 2);
+        assert_eq!(parse("INSERT INTO jobs (job_id, owner) VALUES (?, ?)").unwrap().param_count(), 2);
+        assert_eq!(parse("SELECT job_id + ? FROM jobs WHERE owner = ?").unwrap().param_count(), 2);
+        assert_eq!(parse("DELETE FROM jobs WHERE job_id = ?").unwrap().param_count(), 1);
+        assert_eq!(parse("DROP TABLE jobs").unwrap().param_count(), 0);
     }
 }

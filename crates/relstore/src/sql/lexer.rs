@@ -44,6 +44,8 @@ pub enum Token {
     Minus,
     /// `/`.
     Slash,
+    /// `?` — a positional bind-parameter placeholder.
+    Param,
 }
 
 impl Token {
@@ -83,6 +85,7 @@ impl fmt::Display for Token {
             Token::Plus => write!(f, "+"),
             Token::Minus => write!(f, "-"),
             Token::Slash => write!(f, "/"),
+            Token::Param => write!(f, "?"),
         }
     }
 }
@@ -130,6 +133,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '/' => {
                 tokens.push(Token::Slash);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Param);
                 i += 1;
             }
             '-' => {
@@ -270,7 +277,13 @@ mod tests {
         assert_eq!(toks[0], Token::Str("it's".into()));
         assert!(tokenize("'unterminated").is_err());
         assert!(tokenize("a ! b").is_err());
-        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn bind_parameter_placeholders() {
+        let toks = tokenize("SELECT * FROM jobs WHERE job_id = ? AND state = ?").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Param).count(), 2);
+        assert_eq!(Token::Param.to_string(), "?");
     }
 
     #[test]

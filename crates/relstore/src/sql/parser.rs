@@ -30,7 +30,11 @@ use crate::value::{DataType, Value};
 /// Parses a single SQL statement (a trailing semicolon is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.parse_statement()?;
     p.consume_if(&Token::Semicolon);
     if !p.at_end() {
@@ -57,6 +61,8 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; each gets the next index.
+    params: usize,
 }
 
 impl Parser {
@@ -511,6 +517,18 @@ impl Parser {
                 Expr::IsNull(Box::new(left))
             });
         }
+        if self.consume_keyword("BETWEEN") {
+            // `a BETWEEN lo AND hi` desugars to `a >= lo AND a <= hi`; the
+            // bounds parse at additive precedence so the `AND` belongs to the
+            // BETWEEN, not to an enclosing conjunction.
+            let lo = self.parse_add()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_add()?;
+            return Ok(Expr::And(
+                Box::new(Expr::Cmp(CmpOp::Ge, Box::new(left.clone()), Box::new(lo))),
+                Box::new(Expr::Cmp(CmpOp::Le, Box::new(left), Box::new(hi))),
+            ));
+        }
         if self.consume_keyword("IN") {
             self.expect(&Token::LParen)?;
             let mut list = Vec::new();
@@ -594,6 +612,11 @@ impl Parser {
             Token::Int(i) => Ok(Expr::Literal(Value::Int(i))),
             Token::Float(x) => Ok(Expr::Literal(Value::Double(x))),
             Token::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            Token::Param => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
             Token::LParen => {
                 let inner = self.parse_expr()?;
                 self.expect(&Token::RParen)?;
@@ -768,6 +791,38 @@ mod tests {
             panic!("expected Select");
         };
         assert!(sel.filter.unwrap().to_string().contains("-3"));
+    }
+
+    #[test]
+    fn parses_bind_parameters_in_order() {
+        let stmt = parse("SELECT * FROM jobs WHERE state = ? AND job_id > ?").unwrap();
+        assert_eq!(stmt.param_count(), 2);
+        let Statement::Select(sel) = &stmt else {
+            panic!("expected Select");
+        };
+        assert_eq!(sel.filter.as_ref().unwrap().to_string(), "((state = ?) AND (job_id > ?))");
+
+        let stmt = parse("INSERT INTO jobs (job_id, owner) VALUES (?, ?), (?, ?)").unwrap();
+        assert_eq!(stmt.param_count(), 4);
+        let stmt = parse("UPDATE jobs SET state = ?, runtime = runtime + ? WHERE job_id = ?").unwrap();
+        assert_eq!(stmt.param_count(), 3);
+        let stmt = parse("DELETE FROM jobs WHERE owner = ?").unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        assert_eq!(parse("SELECT * FROM jobs").unwrap().param_count(), 0);
+    }
+
+    #[test]
+    fn parses_between_as_inclusive_range() {
+        let stmt = parse("SELECT * FROM jobs WHERE runtime BETWEEN 10 AND 20 AND state = 'idle'")
+            .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("expected Select");
+        };
+        let shown = sel.filter.unwrap().to_string();
+        assert_eq!(
+            shown,
+            "(((runtime >= 10) AND (runtime <= 20)) AND (state = 'idle'))"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct OpStats {
     pub index_maintenance: u64,
     /// SQL statements parsed.
     pub statements_parsed: u64,
+    /// Statement-cache hits: executions that reused a cached parse.
+    pub cache_hits: u64,
+    /// Statement-cache misses: SQL text that had to be parsed.
+    pub cache_misses: u64,
     /// Statements executed (parsed or programmatic).
     pub statements_executed: u64,
     /// Transactions committed.
@@ -54,6 +58,8 @@ impl OpStats {
             index_lookups: self.index_lookups - earlier.index_lookups,
             index_maintenance: self.index_maintenance - earlier.index_maintenance,
             statements_parsed: self.statements_parsed - earlier.statements_parsed,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
             statements_executed: self.statements_executed - earlier.statements_executed,
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
@@ -68,6 +74,12 @@ impl OpStats {
         self.rows_inserted + self.rows_deleted + self.rows_updated
     }
 
+    /// Statement-cache hit rate in `[0, 1]`, or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
     /// Component-wise sum, used when aggregating per-connection counters.
     pub fn merge(&mut self, other: &OpStats) {
         self.rows_inserted += other.rows_inserted;
@@ -78,6 +90,8 @@ impl OpStats {
         self.index_lookups += other.index_lookups;
         self.index_maintenance += other.index_maintenance;
         self.statements_parsed += other.statements_parsed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.statements_executed += other.statements_executed;
         self.commits += other.commits;
         self.aborts += other.aborts;
@@ -127,6 +141,30 @@ mod tests {
         assert_eq!(a.rows_updated, 3);
         assert_eq!(a.wal_bytes, 150);
         assert_eq!(a.aborts, 1);
+    }
+
+    #[test]
+    fn cache_counters_flow_through_delta_and_merge() {
+        let earlier = OpStats {
+            cache_hits: 2,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        let later = OpStats {
+            cache_hits: 10,
+            cache_misses: 3,
+            ..Default::default()
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.cache_hits, 8);
+        assert_eq!(d.cache_misses, 2);
+
+        let mut merged = earlier;
+        merged.merge(&later);
+        assert_eq!(merged.cache_hits, 12);
+        assert_eq!(merged.cache_misses, 4);
+        assert_eq!(merged.cache_hit_rate(), Some(12.0 / 16.0));
+        assert_eq!(OpStats::default().cache_hit_rate(), None);
     }
 
     #[test]

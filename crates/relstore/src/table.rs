@@ -308,17 +308,50 @@ impl Table {
         )
     }
 
+    /// Range lookup through the first index (primary or secondary) covering
+    /// `column`: returns the rows whose key lies in `[lo, hi]` (either bound
+    /// may be open). Returns `None` if no such index exists.
+    pub fn lookup_range(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        stats: &mut OpStats,
+    ) -> Option<Vec<StoredRow>> {
+        let col = self.schema.column_index(column).ok()?;
+        let idx = match &self.pk_index {
+            Some(pk) if pk.column_idx == col => Some(pk),
+            _ => self.secondary.iter().find(|i| i.column_idx == col),
+        }?;
+        stats.index_lookups += 1;
+        let ids = idx.range(lo, hi);
+        stats.rows_read += ids.len() as u64;
+        Some(
+            ids.into_iter()
+                .filter_map(|id| {
+                    self.rows.get(&id).map(|row| StoredRow {
+                        id,
+                        row: row.clone(),
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// The names of the indexed columns (primary key first, then secondary
+    /// indexes in declaration order), borrowed from the schema.
+    pub fn indexed_columns(&self) -> impl Iterator<Item = &str> {
+        self.pk_index
+            .iter()
+            .chain(self.secondary.iter())
+            .filter_map(|idx| self.schema.columns.get(idx.column_idx))
+            .map(|c| c.name.as_str())
+    }
+
     /// True when some index (primary or secondary) covers `column`.
     pub fn has_index_on(&self, column: &str) -> bool {
-        let Ok(col) = self.schema.column_index(column) else {
-            return false;
-        };
-        if let Some(pk) = &self.pk_index {
-            if pk.column_idx == col {
-                return true;
-            }
-        }
-        self.secondary.iter().any(|i| i.column_idx == col)
+        self.indexed_columns()
+            .any(|c| c.eq_ignore_ascii_case(column))
     }
 
     /// Approximate resident size of the table in bytes (heap + index entries).

@@ -78,6 +78,13 @@ impl LockManager {
         }
     }
 
+    /// The transaction currently holding an exclusive lock on `table` (keyed
+    /// lower-case), if any. Used by the read-only autocommit fast path to
+    /// detect conflicts without registering a lock.
+    pub fn writer_of(&self, table: &str) -> Option<TxnId> {
+        self.locks.get(table).and_then(|l| l.writer)
+    }
+
     /// Releases every lock held by `txn`.
     pub fn release_all(&mut self, txn: TxnId) {
         for lock in self.locks.values_mut() {

@@ -116,18 +116,15 @@ impl Value {
     /// NULL is compatible with every type. Integers are accepted by DOUBLE
     /// and TIMESTAMP columns (the common literal case).
     pub fn is_compatible_with(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Double) => true,
-            (Value::Int(_), DataType::Timestamp) => true,
-            (Value::Double(_), DataType::Double) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Timestamp(_), DataType::Timestamp) => true,
-            (Value::Timestamp(_), DataType::Int) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Double | DataType::Timestamp)
+                | (Value::Double(_), DataType::Double)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Timestamp(_), DataType::Timestamp | DataType::Int)
+        )
     }
 
     /// Coerces the value into the exact representation used by a column of
@@ -225,7 +222,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -338,7 +335,7 @@ mod tests {
         assert_eq!(Value::Timestamp(9).as_int().unwrap(), 9);
         assert!(Value::Text("x".into()).as_int().is_err());
         assert_eq!(Value::Int(3).as_double().unwrap(), 3.0);
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert!(Value::Int(1).as_bool().is_err());
     }
 
@@ -381,13 +378,11 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_first() {
-        let mut vals = vec![
-            Value::Text("b".into()),
+        let mut vals = [Value::Text("b".into()),
             Value::Int(10),
             Value::Null,
             Value::Bool(true),
-            Value::Double(-4.5),
-        ];
+            Value::Double(-4.5)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -30,6 +30,30 @@ fn state_name(state: u8) -> &'static str {
     }
 }
 
+/// Values storable in a TEXT column, biased toward SQL-hostile text.
+fn body_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        "\\PC{0,20}".prop_map(Value::Text),
+    ]
+}
+
+/// Values storable in an INT column.
+fn score_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-50..50i64).prop_map(Value::Int),
+    ]
+}
+
+fn notes_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT, score INT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON notes (score)").unwrap();
+    db
+}
+
 fn fresh_db() -> Database {
     let db = Database::new();
     db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT NOT NULL, runtime_ms INT)")
@@ -143,6 +167,72 @@ proptest! {
         let after = db.query("SELECT * FROM jobs ORDER BY job_id").unwrap();
         prop_assert_eq!(before, after);
         db.check_consistency().unwrap();
+    }
+
+    /// Prepared statements with bound parameters behave exactly like the
+    /// equivalent literal SQL — across NULLs, negative numbers and
+    /// injection-shaped text (quotes, comment dashes, backslashes) — for
+    /// inserts, point predicates, index range predicates and DML.
+    #[test]
+    fn prepared_execution_matches_literal_sql(
+        rows in prop::collection::vec((body_strategy(), score_strategy()), 1..25),
+        probe_body in body_strategy(),
+        probe_score in -50..50i64,
+    ) {
+        let lit_db = notes_db();
+        let prep_db = notes_db();
+        let ins = prep_db
+            .prepare("INSERT INTO notes (id, body, score) VALUES (?, ?, ?)")
+            .unwrap();
+        for (i, (body, score)) in rows.iter().enumerate() {
+            lit_db.execute(&format!(
+                "INSERT INTO notes (id, body, score) VALUES ({i}, {}, {})",
+                appserver::sql_literal(body),
+                appserver::sql_literal(score),
+            )).unwrap();
+            prep_db
+                .execute_prepared(&ins, &[Value::Int(i as i64), body.clone(), score.clone()])
+                .unwrap();
+        }
+        let all_lit = lit_db.query("SELECT * FROM notes ORDER BY id").unwrap();
+        let all_prep = prep_db.query("SELECT * FROM notes ORDER BY id").unwrap();
+        prop_assert_eq!(&all_lit, &all_prep);
+
+        // Equality over text, including quoted strings and NULL probes.
+        let lit = lit_db.query(&format!(
+            "SELECT id FROM notes WHERE body = {} ORDER BY id",
+            appserver::sql_literal(&probe_body)
+        )).unwrap();
+        let q = prep_db.prepare("SELECT id FROM notes WHERE body = ? ORDER BY id").unwrap();
+        let prep = prep_db.query_prepared(&q, std::slice::from_ref(&probe_body)).unwrap();
+        prop_assert_eq!(lit, prep);
+
+        // Range over the indexed int column (exercises the range access path).
+        let hi = probe_score + 20;
+        let lit = lit_db.query(&format!(
+            "SELECT id FROM notes WHERE score >= {probe_score} AND score < {hi} ORDER BY id"
+        )).unwrap();
+        let q = prep_db
+            .prepare("SELECT id FROM notes WHERE score >= ? AND score < ? ORDER BY id")
+            .unwrap();
+        let prep = prep_db
+            .query_prepared(&q, &[Value::Int(probe_score), Value::Int(hi)])
+            .unwrap();
+        prop_assert_eq!(lit, prep);
+
+        // DML parity: deleting by bound text affects the same rows.
+        let lit_n = lit_db.execute(&format!(
+            "DELETE FROM notes WHERE body = {}",
+            appserver::sql_literal(&probe_body)
+        )).unwrap().affected();
+        let del = prep_db.prepare("DELETE FROM notes WHERE body = ?").unwrap();
+        let prep_n = prep_db
+            .execute_prepared(&del, std::slice::from_ref(&probe_body))
+            .unwrap()
+            .affected();
+        prop_assert_eq!(lit_n, prep_n);
+        lit_db.check_consistency().unwrap();
+        prep_db.check_consistency().unwrap();
     }
 
     /// SQL-literal escaping survives arbitrary text round-trips through the

@@ -1,0 +1,255 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The container cannot reach a crates registry, so this crate satisfies the
+//! workspace's `criterion` dev-dependency locally with the API subset the
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `measurement_time` / `warm_up_time`, `Bencher::iter`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up, then runs
+//! timed batches until the measurement budget elapses, and reports the mean,
+//! best and worst per-iteration time of the batches on stdout. That is
+//! enough to compare hot paths before and after an optimisation; swap this
+//! path dependency for the real `criterion = "0.5"` for statistics, charts
+//! and outlier analysis when building with network access.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark with the driver's default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(name);
+        self
+    }
+
+    /// Starts a named group of benchmarks whose settings can be tuned.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs `f` as a named benchmark with the group's settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(name);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    best_ns: f64,
+    worst_ns: f64,
+    iterations: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until the
+    /// measurement budget elapses.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the batch size so one batch is ~1/sample
+        // of the measurement budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_budget =
+            self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let batch = ((batch_budget / per_iter).round() as u64).max(1);
+
+        let mut batches: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement_time && batches.len() < self.sample_size * 4
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            batches.push(ns);
+            total_iters += batch;
+        }
+        let mean = batches.iter().sum::<f64>() / batches.len().max(1) as f64;
+        let best = batches.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = batches.iter().copied().fold(0.0f64, f64::max);
+        self.report = Some(Report {
+            mean_ns: mean,
+            best_ns: best,
+            worst_ns: worst,
+            iterations: total_iters,
+        });
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{name:<40} time: [{} {} {}]  ({} iterations)",
+                fmt_ns(r.best_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.worst_ns),
+                r.iterations
+            ),
+            None => println!("{name:<40} (no measurement taken)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        let mut c = Criterion {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_apply_settings() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+}

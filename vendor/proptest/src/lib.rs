@@ -1,0 +1,132 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! The container cannot reach a crates registry, so this crate satisfies the
+//! workspace's `proptest` dev-dependency locally with the subset of the API
+//! the test suite uses: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, [`prop_oneof!`],
+//! `prop::collection::vec`, regex-shaped string strategies (approximated),
+//! and the `prop_assert*` macros.
+//!
+//! Generation is deterministic (seeded per test name) so failures reproduce;
+//! shrinking is not implemented — a failing case reports its inputs via
+//! `Debug` instead. Swap this path dependency for the real `proptest = "1"`
+//! when building with network access.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest!` style of test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec` works as in real proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` (the attribute is written inside the macro, as with
+/// real proptest) that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs up front: the body takes the values by move.
+                let inputs = format!("{:?}", ($(&$arg,)+));
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed on case {} of {}: {}\ninputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+    )* };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Like `assert!`, but fails the property (with its inputs reported) instead
+/// of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the property instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!`, but fails the property instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}

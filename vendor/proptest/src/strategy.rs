@@ -1,0 +1,283 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Self::Value` from an RNG.
+///
+/// Unlike real proptest there is no value tree or shrinking; `generate`
+/// produces a fresh value directly.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Filters generated values; resamples (up to a bound) until `f` accepts.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// Uniform choice between several strategies of the same value type
+/// (the expansion of [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Chooses uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty => $wide:ty),+ $(,)?) => { $(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as $wide)
+                    .wrapping_sub(*self.start() as $wide)
+                    .wrapping_add(1) as u64;
+                if span == 0 {
+                    // Full-domain range: any value.
+                    return rng.next_u64() as $ty;
+                }
+                (*self.start() as $wide).wrapping_add(rng.below(span) as $wide) as $ty
+            }
+        }
+    )+ };
+}
+
+int_range_strategy!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => { $(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+ };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String strategies from regex-shaped patterns, approximated.
+///
+/// Real proptest compiles the pattern as a regex. This stand-in only honours
+/// a trailing `{m,n}` repetition count (default `{0,8}`) and draws characters
+/// from a printable pool that deliberately includes SQL-hostile characters
+/// (quotes, backslashes, comment dashes) plus some multi-byte code points —
+/// enough for the escaping/round-trip properties the suite expresses with
+/// patterns like `"\\PC{0,40}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_repeat(self).unwrap_or((0, 8));
+        let span = (max - min + 1) as u64;
+        let len = min + rng.below(span) as usize;
+        const POOL: &[char] = &[
+            'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '_', '-', '.', ',', ';',
+            ':', '!', '?', '(', ')', '*', '/', '+', '=', '<', '>', '%', '&', '#', '@', '~', '^',
+            '|', '[', ']', '{', '}', '\'', '\'', '"', '\\', '`', '$', 'é', 'ß', '中', '💥', '–',
+        ];
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(POOL[rng.below(POOL.len() as u64) as usize]);
+        }
+        out
+    }
+}
+
+fn parse_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_suffix('}')?;
+    let open = rest.rfind('{')?;
+    let body = &rest[open + 1..];
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = (3..17i64).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let v = (0..4u8).generate(&mut rng);
+            assert!(v < 4);
+            let v = (1..=5usize).generate(&mut rng);
+            assert!((1..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_union_and_tuples_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat = crate::prop_oneof![
+            (0..10i64).prop_map(|v| v * 2),
+            (100..110i64, 0..1i64).prop_map(|(a, _)| a),
+        ];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_pattern_length_honoured() {
+        let mut rng = TestRng::for_test("strings");
+        let mut saw_quote = false;
+        for _ in 0..300 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            saw_quote |= s.contains('\'');
+        }
+        assert!(saw_quote, "pool should exercise quote escaping");
+    }
+
+    #[test]
+    fn filter_resamples() {
+        let mut rng = TestRng::for_test("filter");
+        let strat = (0..100i64).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+}

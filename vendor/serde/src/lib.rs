@@ -1,0 +1,18 @@
+//! Minimal stand-in for the `serde` facade.
+//!
+//! The container cannot reach a crates registry, so this crate satisfies the
+//! workspace's `serde` dependency locally. It provides the two trait names and
+//! re-exports no-op derive macros; nothing in the repository performs actual
+//! serialisation, so marker traits with blanket impls are sufficient. Swap
+//! this path dependency for the real `serde = { version = "1", features =
+//! ["derive"] }` when building with network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
