@@ -80,7 +80,7 @@ impl EntityManager {
             .iter()
             .map(|c| {
                 let mut s = format!("{} {}", c.name, c.ty);
-                if Some(&c.name) == schema.primary_key.as_ref() {
+                if schema.primary_key.as_deref() == Some(c.name.as_ref()) {
                     s.push_str(" PRIMARY KEY");
                 } else if c.not_null {
                     s.push_str(" NOT NULL");
@@ -188,7 +188,7 @@ impl EntityManager {
             .map(|row| {
                 let mut attrs = BTreeMap::new();
                 for (i, col) in result.columns.iter().enumerate() {
-                    attrs.insert(col.clone(), row.get(i).clone());
+                    attrs.insert(col.to_string(), row.get(i).clone());
                 }
                 let key = attrs.get(&def.key_column).cloned().unwrap_or(Value::Null);
                 Entity { key, attrs }

@@ -1,0 +1,88 @@
+//! Multi-threaded read-throughput bench: proves the shared-lock read path
+//! lets SELECT throughput scale with cores while per-call latency holds.
+//!
+//! Unlike the single-thread `relstore_ops` microbenches this target drives
+//! the engine through `condorj2::concurrent::drive_reads` — the same harness
+//! the consistency tests use — at 1/2/4/8 threads and prints aggregate
+//! ops/sec, per-call latency and speedup over the 1-thread run. On a
+//! single-core host the speedup column stays ~1.0x by construction; run on a
+//! multi-core machine (e.g. the CI runners) to see the scaling.
+
+use condorj2::concurrent::drive_reads;
+use relstore::{Database, Value};
+
+fn setup_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT NOT NULL, state TEXT, runtime_ms INT)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX ON jobs (state)").unwrap();
+    let ins = db
+        .prepare("INSERT INTO jobs VALUES (?, ?, 'idle', 60000)")
+        .unwrap();
+    for i in 0..rows {
+        db.execute_prepared(
+            &ins,
+            &[Value::Int(i as i64), Value::Text(format!("user{}", i % 50))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Runs one workload at each thread count, keeping total work roughly
+/// constant so wall-clock per line stays comparable.
+fn report(
+    name: &str,
+    db: &Database,
+    sql: &str,
+    total_iters: u64,
+    params: impl Fn(usize, u64) -> Vec<Value> + Sync,
+) {
+    // Warm the statement cache and the branch predictors once.
+    drive_reads(db, 1, total_iters / 50, sql, &params).unwrap();
+    let mut base_ops = 0.0f64;
+    for &threads in &[1usize, 2, 4, 8] {
+        let iters = (total_iters / threads as u64).max(1);
+        let t = drive_reads(db, threads, iters, sql, &params).unwrap();
+        let ops = t.ops_per_sec();
+        if threads == 1 {
+            base_ops = ops;
+        }
+        println!(
+            "{name:<24} threads={threads}  {:>12.0} ops/s  {:>10.1} ns/op  speedup {:>5.2}x",
+            ops,
+            t.nanos_per_op(),
+            ops / base_ops
+        );
+    }
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "concurrent read throughput, 5k-row jobs table, host parallelism = {parallelism}"
+    );
+    let db = setup_db(5_000);
+
+    report(
+        "concurrent_point_select",
+        &db,
+        "SELECT * FROM jobs WHERE job_id = ?",
+        400_000,
+        |t, i| vec![Value::Int(((t as u64 * 2_654_435_761 + i * 40_503) % 5_000) as i64)],
+    );
+    report(
+        "concurrent_range_select",
+        &db,
+        "SELECT job_id FROM jobs WHERE job_id >= ? AND job_id < ?",
+        20_000,
+        |t, i| {
+            let lo = ((t as u64 * 997 + i * 131) % 4_950) as i64;
+            vec![Value::Int(lo), Value::Int(lo + 50)]
+        },
+    );
+}

@@ -1,20 +1,43 @@
 //! The [`Database`] facade: catalog, statement execution, transactions,
 //! write-ahead logging, checkpointing and recovery.
+//!
+//! # Concurrency model
+//!
+//! Engine state is split so readers never contend with each other:
+//!
+//! * the **catalog** (tables, rows, indexes) sits behind a
+//!   [`parking_lot::RwLock`]. Read-only statements execute under a *shared*
+//!   read guard, so any number of threads run SELECTs in parallel; mutating
+//!   statements take the write guard for the duration of the statement.
+//! * **transaction, lock and WAL state** ([`TxnManager`], [`LockManager`],
+//!   [`Wal`]) lives under its own small mutex, held only for the brief
+//!   book-keeping sections of a statement — never across row access.
+//! * the **statement cache** has a third, independent lock so cache probes
+//!   do not serialise against execution.
+//! * **statistics** accumulate into a stack-local [`OpStats`] per statement
+//!   and merge into lock-free [`SharedStats`] atomics at the end, so
+//!   counting rows no longer forces `&mut` exclusivity on the read path.
+//!
+//! Lock order is `catalog` before `ctl` (the control mutex); no code path
+//! acquires the catalog while holding `ctl`. Autocommit SELECTs take the
+//! read guard first and then check for conflicting writers, which makes the
+//! check race-free: a writer can only have mutated the catalog before the
+//! guard was acquired, and such a writer still holds its table lock.
 
 use crate::error::{Error, Result};
-use crate::exec::{execute_select_with, matching_row_ids, matching_row_ids_with, QueryResult};
+use crate::exec::{execute_select_with, matching_row_ids, matching_row_ids_with, Catalog, QueryResult};
 use crate::predicate::Expr;
 use crate::schema::{lower_name, IndexDef, Schema};
-use crate::sql::ast::{DeleteStmt, InsertStmt, Statement, UpdateStmt};
+use crate::sql::ast::{DeleteStmt, InsertStmt, SelectStmt, Statement, UpdateStmt};
 use crate::sql::parser::parse;
-use crate::stats::OpStats;
+use crate::stats::{OpStats, SharedStats};
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::txn::{LockManager, LockMode, TxnManager, UndoRecord};
 use crate::value::Value;
 use crate::wal::{LogRecord, TableSnapshot, TxnId, Wal};
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The outcome of executing one statement.
@@ -146,14 +169,14 @@ impl StmtCache {
     }
 }
 
+/// Transaction, lock and WAL state: everything a statement touches only for
+/// brief book-keeping, kept apart from the catalog so readers sharing the
+/// catalog guard do not serialise on it.
 #[derive(Debug, Default)]
-struct Inner {
-    catalog: BTreeMap<String, Table>,
+struct Control {
     wal: Wal,
     locks: LockManager,
     txns: TxnManager,
-    stats: OpStats,
-    stmt_cache: StmtCache,
 }
 
 /// An embedded relational database.
@@ -161,12 +184,19 @@ struct Inner {
 /// The database is the DB2 stand-in of the reproduction: the CondorJ2
 /// application server holds exactly one `Database` and turns every incoming
 /// message into statements against it. All methods are safe to call from
-/// multiple threads; internally a single mutex serialises statement execution
-/// (the simulated deployment models concurrency through the cost model rather
-/// than through parallel execution).
+/// multiple threads. Read-only statements run concurrently under a shared
+/// catalog guard; mutating statements serialise on the catalog write guard
+/// (see the module docs for the full locking model).
 #[derive(Debug, Default)]
 pub struct Database {
-    inner: Mutex<Inner>,
+    /// Tables with their rows and indexes. SELECTs hold the read guard.
+    catalog: RwLock<Catalog>,
+    /// Transaction/lock/WAL book-keeping under its own short-lived mutex.
+    ctl: Mutex<Control>,
+    /// Parsed-statement cache, independent so probes don't block execution.
+    stmt_cache: Mutex<StmtCache>,
+    /// Lock-free cumulative operation counters.
+    stats: SharedStats,
 }
 
 impl Database {
@@ -179,35 +209,31 @@ impl Database {
     pub fn recover_from(wal: Wal) -> Result<Self> {
         let catalog = wal.recover()?;
         let db = Database::new();
-        {
-            let mut inner = db.inner.lock();
-            inner.catalog = catalog;
-            inner.wal = wal;
-        }
+        *db.catalog.write() = catalog;
+        db.ctl.lock().wal = wal;
         Ok(db)
     }
 
     /// Returns a copy of the current write-ahead log (what a crash would find
     /// on disk). Used by recovery tests and failure-injection experiments.
     pub fn snapshot_wal(&self) -> Wal {
-        self.inner.lock().wal.clone()
+        self.ctl.lock().wal.clone()
     }
 
     /// Cumulative operation statistics.
     pub fn stats(&self) -> OpStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Names of all tables in the catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.lock().catalog.keys().cloned().collect()
+        self.catalog.read().keys().cloned().collect()
     }
 
     /// Number of rows in `table`, or an error if it does not exist.
     pub fn table_len(&self, table: &str) -> Result<usize> {
-        let inner = self.inner.lock();
-        inner
-            .catalog
+        self.catalog
+            .read()
             .get(&table.to_ascii_lowercase())
             .map(Table::len)
             .ok_or_else(|| Error::not_found(format!("table {table}")))
@@ -215,104 +241,114 @@ impl Database {
 
     /// Approximate resident size of all tables, in bytes.
     pub fn approx_size(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.catalog.values().map(Table::approx_size).sum()
+        self.catalog.read().values().map(Table::approx_size).sum()
     }
 
     /// Number of records currently retained in the write-ahead log.
     pub fn wal_len(&self) -> usize {
-        self.inner.lock().wal.len()
+        self.ctl.lock().wal.len()
     }
 
     /// Number of transactions committed so far.
     pub fn committed_txns(&self) -> u64 {
-        self.inner.lock().txns.committed_count()
+        self.ctl.lock().txns.committed_count()
     }
 
     // --- transaction control -------------------------------------------------
 
-    /// Begins an explicit transaction.
+    /// Begins an explicit transaction. No WAL record is written yet: the
+    /// `Begin` record is appended lazily with the transaction's first logged
+    /// change, so read-only transactions never touch the log.
     pub fn begin(&self) -> TxnId {
-        let mut inner = self.inner.lock();
-        let txn = inner.txns.begin();
-        inner.wal.append(LogRecord::Begin { txn }, &mut OpStats::default());
-        txn
+        self.ctl.lock().txns.begin()
     }
 
-    /// Commits an explicit transaction and releases its locks.
+    /// Commits an explicit transaction and releases its locks. Transactions
+    /// that logged no changes append no Commit record.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.txns.finish_commit(txn)?;
-        let mut stats = std::mem::take(&mut inner.stats);
-        inner.wal.append(LogRecord::Commit { txn }, &mut stats);
-        stats.commits += 1;
-        inner.stats = stats;
-        inner.locks.release_all(txn);
+        let mut local = OpStats::default();
+        {
+            let mut ctl = self.ctl.lock();
+            let state = ctl.txns.finish_commit(txn)?;
+            if state.wal_begun {
+                ctl.wal.append(LogRecord::Commit { txn }, &mut local);
+            }
+            ctl.locks.release_all(txn);
+        }
+        local.commits = 1;
+        self.stats.record(&local);
         Ok(())
     }
 
     /// Rolls back an explicit transaction, undoing its changes.
     pub fn rollback(&self, txn: TxnId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let state = inner.txns.finish_abort(txn)?;
-        // Undo in reverse order.
-        for undo in state.undo.iter().rev() {
-            match undo {
-                UndoRecord::Insert { table, row_id } => {
-                    if let Some(t) = inner.catalog.get_mut(table) {
-                        let mut scratch = OpStats::default();
-                        let _ = t.delete(*row_id, &mut scratch);
+        let mut local = OpStats::default();
+        {
+            let mut catalog = self.catalog.write();
+            let mut ctl = self.ctl.lock();
+            let state = ctl.txns.finish_abort(txn)?;
+            // Undo in reverse order.
+            for undo in state.undo.iter().rev() {
+                match undo {
+                    UndoRecord::Insert { table, row_id } => {
+                        if let Some(t) = catalog.get_mut(table) {
+                            let mut scratch = OpStats::default();
+                            let _ = t.delete(*row_id, &mut scratch);
+                        }
                     }
-                }
-                UndoRecord::Delete {
-                    table,
-                    row_id,
-                    before,
-                }
-                | UndoRecord::Update {
-                    table,
-                    row_id,
-                    before,
-                } => {
-                    if let Some(t) = inner.catalog.get_mut(table) {
-                        t.restore(*row_id, before.clone())?;
+                    UndoRecord::Delete {
+                        table,
+                        row_id,
+                        before,
                     }
-                }
-                UndoRecord::CreateTable { table } => {
-                    inner.catalog.remove(table);
+                    | UndoRecord::Update {
+                        table,
+                        row_id,
+                        before,
+                    } => {
+                        if let Some(t) = catalog.get_mut(table) {
+                            t.restore(*row_id, before.clone())?;
+                        }
+                    }
+                    UndoRecord::CreateTable { table } => {
+                        catalog.remove(table);
+                    }
                 }
             }
+            if state.wal_begun {
+                ctl.wal.append(LogRecord::Abort { txn }, &mut local);
+            }
+            ctl.locks.release_all(txn);
         }
-        let mut stats = std::mem::take(&mut inner.stats);
-        inner.wal.append(LogRecord::Abort { txn }, &mut stats);
-        stats.aborts += 1;
-        inner.stats = stats;
-        inner.locks.release_all(txn);
+        local.aborts = 1;
+        self.stats.record(&local);
         Ok(())
     }
 
     // --- statement preparation and the statement cache -----------------------
 
     /// Parses `sql` through the statement cache: a hit returns the shared
-    /// parsed AST without re-lexing, a miss parses outside the lock and
+    /// parsed AST without re-lexing, a miss parses outside every lock and
     /// caches the result. Counted in `cache_hits` / `cache_misses`, and in
     /// `statements_parsed` only on a miss.
     fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize)> {
-        {
-            let mut inner = self.inner.lock();
-            if let Some(hit) = inner.stmt_cache.get(sql) {
-                inner.stats.cache_hits += 1;
-                return Ok(hit);
-            }
-            inner.stats.cache_misses += 1;
-            inner.stats.statements_parsed += 1;
+        if let Some(hit) = self.stmt_cache.lock().get(sql) {
+            self.stats.record(&OpStats {
+                cache_hits: 1,
+                ..Default::default()
+            });
+            return Ok(hit);
         }
+        self.stats.record(&OpStats {
+            cache_misses: 1,
+            statements_parsed: 1,
+            ..Default::default()
+        });
         // Parse outside the lock; concurrent sessions keep executing.
         let stmt = Arc::new(parse(sql)?);
         let params = stmt.param_count();
-        let mut inner = self.inner.lock();
-        inner
-            .stmt_cache
+        self.stmt_cache
+            .lock()
             .insert(sql.to_string(), Arc::clone(&stmt), params);
         Ok((stmt, params))
     }
@@ -329,7 +365,7 @@ impl Database {
     /// Changes the capacity of the statement cache (default 256 entries),
     /// evicting least-recently-used entries as needed. Zero disables caching.
     pub fn set_statement_cache_capacity(&self, capacity: usize) {
-        self.inner.lock().stmt_cache.resize(capacity);
+        self.stmt_cache.lock().resize(capacity);
     }
 
     // --- statement execution -------------------------------------------------
@@ -397,10 +433,10 @@ impl Database {
 
     /// Executes an already-parsed statement in autocommit mode.
     ///
-    /// SELECTs take a read-only fast path: statement execution is serialised
-    /// by the engine mutex, so an autocommit read is atomic without opening a
-    /// transaction, registering locks or appending WAL records — it only has
-    /// to fail (retryably, like a lock wait timeout) when another active
+    /// SELECTs take a read-only fast path under the *shared* catalog guard:
+    /// any number of autocommit reads execute in parallel, without opening a
+    /// transaction, registering locks or appending WAL records. A read only
+    /// fails (retryably, like a lock wait timeout) when another active
     /// transaction write-locks one of its tables.
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecResult> {
         self.execute_stmt_params(stmt, &[])
@@ -412,15 +448,26 @@ impl Database {
                 "use begin()/commit()/rollback() or a Session for transaction control",
             )),
             Statement::Select(sel) => {
-                let mut inner = self.inner.lock();
-                let inner = &mut *inner;
-                Self::ensure_readable(&inner.locks, &sel.table)?;
-                for join in &sel.joins {
-                    Self::ensure_readable(&inner.locks, &join.table)?;
+                // Shared-lock fast path. The read guard is taken *before* the
+                // writer check: any uncommitted catalog change must then have
+                // happened before the guard, and its transaction still holds
+                // the table lock the check sees.
+                let catalog = self.catalog.read();
+                {
+                    let ctl = self.ctl.lock();
+                    Self::ensure_readable(&ctl.locks, &sel.table)?;
+                    for join in &sel.joins {
+                        Self::ensure_readable(&ctl.locks, &join.table)?;
+                    }
                 }
-                inner.stats.statements_executed += 1;
-                let result = execute_select_with(&inner.catalog, sel, params, &mut inner.stats)?;
-                Ok(ExecResult::Query(result))
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result = execute_select_with(&catalog, sel, params, &mut local);
+                drop(catalog);
+                self.stats.record(&local);
+                Ok(ExecResult::Query(result?))
             }
             _ => {
                 let txn = self.begin();
@@ -440,6 +487,8 @@ impl Database {
     }
 
     /// Executes an already-parsed statement inside an explicit transaction.
+    /// SELECTs run under the shared catalog guard (after registering their
+    /// table locks); mutating statements hold the write guard.
     pub fn execute_stmt_in(&self, txn: TxnId, stmt: &Statement) -> Result<ExecResult> {
         self.execute_stmt_in_params(txn, stmt, &[])
     }
@@ -450,31 +499,91 @@ impl Database {
         stmt: &Statement,
         params: &[Value],
     ) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        inner.txns.get_active(txn)?;
-        inner.stats.statements_executed += 1;
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "nested transaction control is not supported",
             )),
+            Statement::Select(sel) => {
+                let catalog = self.catalog.read();
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result = self.select_in_txn(&catalog, txn, sel, params, &mut local);
+                drop(catalog);
+                self.stats.record(&local);
+                Ok(ExecResult::Query(result?))
+            }
+            _ => {
+                let mut catalog = self.catalog.write();
+                let mut ctl = self.ctl.lock();
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result =
+                    Self::run_write(&mut catalog, &mut ctl, txn, stmt, params, &mut local);
+                drop(ctl);
+                drop(catalog);
+                self.stats.record(&local);
+                result
+            }
+        }
+    }
+
+    /// Registers shared table locks for a transactional SELECT, then runs it
+    /// under the (already-held) shared catalog guard. The control mutex is
+    /// released before row access begins.
+    fn select_in_txn(
+        &self,
+        catalog: &Catalog,
+        txn: TxnId,
+        sel: &SelectStmt,
+        params: &[Value],
+        local: &mut OpStats,
+    ) -> Result<QueryResult> {
+        {
+            let mut ctl = self.ctl.lock();
+            ctl.txns.get_active(txn)?;
+            ctl.locks
+                .acquire(txn, &lower_name(&sel.table), LockMode::Shared)?;
+            for join in &sel.joins {
+                ctl.locks
+                    .acquire(txn, &lower_name(&join.table), LockMode::Shared)?;
+            }
+        }
+        execute_select_with(catalog, sel, params, local)
+    }
+
+    /// Executes a mutating statement while holding the catalog write guard
+    /// and the control mutex.
+    fn run_write(
+        catalog: &mut Catalog,
+        ctl: &mut Control,
+        txn: TxnId,
+        stmt: &Statement,
+        params: &[Value],
+        stats: &mut OpStats,
+    ) -> Result<ExecResult> {
+        ctl.txns.get_active(txn)?;
+        match stmt {
             Statement::CreateTable(schema) => {
                 let name = schema.name.clone();
-                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-                if inner.catalog.contains_key(&name) {
+                ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                if catalog.contains_key(&name) {
                     return Err(Error::AlreadyExists(format!("table {name}")));
                 }
                 let table = Table::new(schema.clone())?;
-                inner.catalog.insert(name.clone(), table);
-                inner.wal.append(
+                catalog.insert(name.clone(), table);
+                Self::wal_begin_if_needed(ctl, txn, stats)?;
+                ctl.wal.append(
                     LogRecord::CreateTable {
                         txn,
                         schema: schema.clone(),
                     },
-                    &mut inner.stats,
+                    stats,
                 );
-                inner
-                    .txns
+                ctl.txns
                     .push_undo(txn, UndoRecord::CreateTable { table: name })?;
                 Ok(ExecResult::Ack)
             }
@@ -484,9 +593,8 @@ impl Database {
                 unique,
             } => {
                 let name = table.to_ascii_lowercase();
-                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-                let old = inner
-                    .catalog
+                ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                let old = catalog
                     .get(&name)
                     .ok_or_else(|| Error::not_found(format!("table {table}")))?;
                 let mut schema = old.schema.clone();
@@ -504,43 +612,34 @@ impl Database {
                 let mut rebuilt = Table::new(schema)?;
                 let mut scratch = OpStats::default();
                 for stored in old.scan(&mut scratch) {
-                    rebuilt.insert_with_id(stored.id, stored.row, &mut scratch)?;
+                    rebuilt.insert_with_id(stored.id, stored.row.clone(), &mut scratch)?;
                 }
-                inner.stats.index_maintenance += rebuilt.len() as u64;
-                inner.catalog.insert(name, rebuilt);
+                stats.index_maintenance += rebuilt.len() as u64;
+                catalog.insert(name, rebuilt);
                 Ok(ExecResult::Ack)
             }
             Statement::DropTable(table) => {
                 let name = table.to_ascii_lowercase();
-                inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-                inner
-                    .catalog
+                ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+                catalog
                     .remove(&name)
                     .ok_or_else(|| Error::not_found(format!("table {table}")))?;
-                inner.wal.append(
+                Self::wal_begin_if_needed(ctl, txn, stats)?;
+                ctl.wal.append(
                     LogRecord::DropTable {
                         txn,
                         table: name,
                     },
-                    &mut inner.stats,
+                    stats,
                 );
                 Ok(ExecResult::Ack)
             }
-            Statement::Select(sel) => {
-                inner
-                    .locks
-                    .acquire(txn, &lower_name(&sel.table), LockMode::Shared)?;
-                for join in &sel.joins {
-                    inner
-                        .locks
-                        .acquire(txn, &lower_name(&join.table), LockMode::Shared)?;
-                }
-                let result = execute_select_with(&inner.catalog, sel, params, &mut inner.stats)?;
-                Ok(ExecResult::Query(result))
+            Statement::Insert(ins) => Self::run_insert(catalog, ctl, txn, ins, params, stats),
+            Statement::Update(upd) => Self::run_update(catalog, ctl, txn, upd, params, stats),
+            Statement::Delete(del) => Self::run_delete(catalog, ctl, txn, del, params, stats),
+            Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Select(_) => {
+                unreachable!("handled by execute_stmt_in_params")
             }
-            Statement::Insert(ins) => Self::run_insert(inner, txn, ins, params),
-            Statement::Update(upd) => Self::run_update(inner, txn, upd, params),
-            Statement::Delete(del) => Self::run_delete(inner, txn, del, params),
         }
     }
 
@@ -552,9 +651,8 @@ impl Database {
     /// Convenience wrapper: runs `SELECT COUNT(*) FROM table [WHERE ...]`
     /// expressed programmatically and returns the count.
     pub fn count(&self, table: &str, filter: Option<&Expr>) -> Result<i64> {
-        let inner = self.inner.lock();
-        let t = inner
-            .catalog
+        let catalog = self.catalog.read();
+        let t = catalog
             .get(&table.to_ascii_lowercase())
             .ok_or_else(|| Error::not_found(format!("table {table}")))?;
         match filter {
@@ -577,16 +675,28 @@ impl Database {
         Ok(())
     }
 
+    /// Appends the transaction's `Begin` record if this is its first logged
+    /// change (Begin records are lazy; see [`Database::begin`]).
+    fn wal_begin_if_needed(ctl: &mut Control, txn: TxnId, stats: &mut OpStats) -> Result<()> {
+        let state = ctl.txns.get_active(txn)?;
+        if !state.wal_begun {
+            state.wal_begun = true;
+            ctl.wal.append(LogRecord::Begin { txn }, stats);
+        }
+        Ok(())
+    }
+
     fn run_insert(
-        inner: &mut Inner,
+        catalog: &mut Catalog,
+        ctl: &mut Control,
         txn: TxnId,
         ins: &InsertStmt,
         params: &[Value],
+        stats: &mut OpStats,
     ) -> Result<ExecResult> {
         let name = ins.table.to_ascii_lowercase();
-        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-        let table = inner
-            .catalog
+        ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", ins.table)))?;
         let schema = table.schema.clone();
@@ -625,21 +735,21 @@ impl Database {
                 }
                 values
             };
-            let row_id = table.insert(values, &mut inner.stats)?;
+            let row_id = table.insert(values, stats)?;
             let row = table.get(row_id).cloned().ok_or_else(|| {
                 Error::internal("row missing immediately after insert")
             })?;
-            inner.wal.append(
+            Self::wal_begin_if_needed(ctl, txn, stats)?;
+            ctl.wal.append(
                 LogRecord::Insert {
                     txn,
                     table: name.clone(),
                     row_id,
                     row,
                 },
-                &mut inner.stats,
+                stats,
             );
-            inner
-                .txns
+            ctl.txns
                 .push_undo(txn, UndoRecord::Insert { table: name.clone(), row_id })?;
             inserted += 1;
         }
@@ -647,18 +757,19 @@ impl Database {
     }
 
     fn run_update(
-        inner: &mut Inner,
+        catalog: &mut Catalog,
+        ctl: &mut Control,
         txn: TxnId,
         upd: &UpdateStmt,
         params: &[Value],
+        stats: &mut OpStats,
     ) -> Result<ExecResult> {
         let name = upd.table.to_ascii_lowercase();
-        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-        let table = inner
-            .catalog
+        ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", upd.table)))?;
-        let ids = matching_row_ids_with(table, upd.filter.as_ref(), params, &mut inner.stats)?;
+        let ids = matching_row_ids_with(table, upd.filter.as_ref(), params, stats)?;
         let schema = table.schema.clone();
         let mut affected = 0usize;
         for id in ids {
@@ -672,8 +783,9 @@ impl Database {
                 let value = expr.eval_with(&schema, &current, params)?;
                 assignments.push((idx, value));
             }
-            let (before, after) = table.update(id, &assignments, &mut inner.stats)?;
-            inner.wal.append(
+            let (before, after) = table.update(id, &assignments, stats)?;
+            Self::wal_begin_if_needed(ctl, txn, stats)?;
+            ctl.wal.append(
                 LogRecord::Update {
                     txn,
                     table: name.clone(),
@@ -681,9 +793,9 @@ impl Database {
                     before: before.clone(),
                     after,
                 },
-                &mut inner.stats,
+                stats,
             );
-            inner.txns.push_undo(
+            ctl.txns.push_undo(
                 txn,
                 UndoRecord::Update {
                     table: name.clone(),
@@ -697,31 +809,33 @@ impl Database {
     }
 
     fn run_delete(
-        inner: &mut Inner,
+        catalog: &mut Catalog,
+        ctl: &mut Control,
         txn: TxnId,
         del: &DeleteStmt,
         params: &[Value],
+        stats: &mut OpStats,
     ) -> Result<ExecResult> {
         let name = del.table.to_ascii_lowercase();
-        inner.locks.acquire(txn, &name, LockMode::Exclusive)?;
-        let table = inner
-            .catalog
+        ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
+        let table = catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", del.table)))?;
-        let ids = matching_row_ids_with(table, del.filter.as_ref(), params, &mut inner.stats)?;
+        let ids = matching_row_ids_with(table, del.filter.as_ref(), params, stats)?;
         let mut affected = 0usize;
         for id in ids {
-            let before = table.delete(id, &mut inner.stats)?;
-            inner.wal.append(
+            let before = table.delete(id, stats)?;
+            Self::wal_begin_if_needed(ctl, txn, stats)?;
+            ctl.wal.append(
                 LogRecord::Delete {
                     txn,
                     table: name.clone(),
                     row_id: id,
                     before: before.clone(),
                 },
-                &mut inner.stats,
+                stats,
             );
-            inner.txns.push_undo(
+            ctl.txns.push_undo(
                 txn,
                 UndoRecord::Delete {
                     table: name.clone(),
@@ -737,32 +851,43 @@ impl Database {
     // --- maintenance ----------------------------------------------------------
 
     /// Takes a checkpoint: snapshots every table into the log and truncates
-    /// the records before it. Returns the number of bytes written.
+    /// the records before it. Returns the number of bytes written. Runs under
+    /// the shared catalog guard, so checkpoints do not block readers.
+    ///
+    /// A checkpoint while any transaction is active would snapshot its
+    /// uncommitted changes and truncate the very records recovery needs to
+    /// discard them, so the checkpoint is skipped (returning 0) until the
+    /// engine is quiescent — the background maintenance task simply retries
+    /// on its next interval.
     pub fn checkpoint(&self) -> u64 {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        let catalog = self.catalog.read();
+        let mut ctl = self.ctl.lock();
+        if ctl.txns.active_count() > 0 {
+            return 0;
+        }
         let mut scratch = OpStats::default();
-        let snapshot: Vec<TableSnapshot> = inner
-            .catalog
+        let snapshot: Vec<TableSnapshot> = catalog
             .values()
             .map(|t| TableSnapshot {
                 schema: t.schema.clone(),
                 rows: t
                     .scan(&mut scratch)
-                    .into_iter()
-                    .map(|r| (r.id, r.row))
+                    .map(|r| (r.id, r.row.clone()))
                     .collect(),
             })
             .collect();
-        let before = inner.stats.wal_bytes;
-        inner.wal.checkpoint(snapshot, &mut inner.stats);
-        inner.stats.wal_bytes - before
+        let mut local = OpStats::default();
+        ctl.wal.checkpoint(snapshot, &mut local);
+        drop(ctl);
+        drop(catalog);
+        self.stats.record(&local);
+        local.wal_bytes
     }
 
     /// Verifies heap/index consistency of every table. Used by tests.
     pub fn check_consistency(&self) -> Result<()> {
-        let inner = self.inner.lock();
-        for table in inner.catalog.values() {
+        let catalog = self.catalog.read();
+        for table in catalog.values() {
             table.check_consistency()?;
         }
         Ok(())
@@ -841,6 +966,7 @@ impl<'a> Drop for Session<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn setup() -> Database {
         let db = Database::new();
@@ -920,6 +1046,8 @@ mod tests {
         db.execute_in(t1, "UPDATE jobs SET state = 'held' WHERE job_id = 1").unwrap();
         let err = db.execute_in(t2, "SELECT * FROM jobs").unwrap_err();
         assert!(err.is_retryable());
+        // The autocommit fast path sees the same conflict.
+        assert!(db.query("SELECT * FROM jobs").unwrap_err().is_retryable());
         db.commit(t1).unwrap();
         // After the writer commits, the reader can proceed.
         db.execute_in(t2, "SELECT * FROM jobs").unwrap();
@@ -1143,5 +1271,101 @@ mod tests {
         assert!(db.execute("INSERT INTO m VALUES (2, 'node01')").is_err());
         db.execute("INSERT INTO m VALUES (2, 'node02')").unwrap();
         assert_eq!(db.table_len("m").unwrap(), 2);
+    }
+
+    #[test]
+    fn checkpoint_waits_out_active_transactions() {
+        let db = setup();
+        let txn = db.begin();
+        db.execute_in(txn, "INSERT INTO jobs (job_id, owner) VALUES (8, 'eve')").unwrap();
+        let wal_before = db.wal_len();
+        // Checkpointing now would snapshot the uncommitted row and truncate
+        // the records recovery needs to discard it; it must refuse.
+        assert_eq!(db.checkpoint(), 0);
+        assert_eq!(db.wal_len(), wal_before);
+        db.rollback(txn).unwrap();
+
+        // The rolled-back insert must not survive a checkpoint + recovery.
+        assert!(db.checkpoint() > 0);
+        let recovered = Database::recover_from(db.snapshot_wal()).unwrap();
+        assert_eq!(recovered.table_len("jobs").unwrap(), 3);
+        assert_eq!(
+            recovered.count("jobs", Some(&Expr::col_eq("job_id", 8))).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn read_only_explicit_txns_never_touch_the_wal() {
+        let db = setup();
+        let before = db.wal_len();
+
+        // A transaction that only reads appends neither Begin nor Commit.
+        let txn = db.begin();
+        db.execute_in(txn, "SELECT * FROM jobs").unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.wal_len(), before, "read-only commit must not touch the WAL");
+
+        let txn = db.begin();
+        db.execute_in(txn, "SELECT COUNT(*) FROM jobs").unwrap();
+        db.rollback(txn).unwrap();
+        assert_eq!(db.wal_len(), before, "read-only rollback must not touch the WAL");
+
+        // A writing transaction appends Begin lazily, with its first change.
+        let s1 = db.stats();
+        let txn = db.begin();
+        assert_eq!(db.wal_len(), before, "Begin is deferred until the first write");
+        db.execute_in(txn, "UPDATE jobs SET state = 'held' WHERE job_id = 1").unwrap();
+        db.commit(txn).unwrap();
+        let d = db.stats().delta_since(&s1);
+        assert_eq!(d.wal_records, 3, "Begin + Update + Commit");
+
+        // Recovery honours the lazily-begun transaction.
+        let recovered = Database::recover_from(db.snapshot_wal()).unwrap();
+        let r = recovered.query("SELECT state FROM jobs WHERE job_id = 1").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("held".into())));
+    }
+
+    #[test]
+    fn selects_execute_under_a_shared_catalog_guard() {
+        let db = setup();
+        // Hold a read guard on the catalog from this thread. Under the old
+        // single-mutex engine the query below would block forever; under the
+        // shared-lock read path it completes while the guard is held.
+        std::thread::scope(|s| {
+            let db = &db;
+            let guard = db.catalog.read();
+            let (tx, rx) = std::sync::mpsc::channel();
+            s.spawn(move || {
+                let n = db.query("SELECT * FROM jobs WHERE job_id = 1").unwrap().len();
+                tx.send(n).unwrap();
+            });
+            let n = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("a SELECT must run concurrently with another read guard");
+            assert_eq!(n, 1);
+            drop(guard);
+        });
+    }
+
+    #[test]
+    fn concurrent_selects_from_many_threads() {
+        let db = setup();
+        let q = db.prepare("SELECT owner FROM jobs WHERE job_id = ?").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let db = &db;
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..250i64 {
+                        let id = 1 + (t + i) % 3;
+                        let r = db.query_prepared(&q, &[Value::Int(id)]).unwrap();
+                        assert_eq!(r.len(), 1);
+                    }
+                });
+            }
+        });
+        assert!(db.stats().statements_executed >= 1000);
+        db.check_consistency().unwrap();
     }
 }

@@ -9,6 +9,7 @@ use crate::stats::OpStats;
 use crate::tuple::Row;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Incremental state for one aggregate over one group.
 #[derive(Debug, Clone)]
@@ -137,11 +138,14 @@ fn resolve(schema: &Schema, name: &str) -> Result<usize> {
     Err(Error::not_found(format!("column {name}")))
 }
 
-/// Executes the aggregation/grouping phase of a SELECT over pre-filtered rows.
-pub fn execute_aggregate(
+/// Executes the aggregation/grouping phase of a SELECT over pre-filtered
+/// rows. The input is consumed as an iterator of borrowed rows, so the
+/// single-table path can stream heap rows straight into the accumulators
+/// without materialising owned copies.
+pub fn execute_aggregate<'a>(
     stmt: &SelectStmt,
     schema: &Schema,
-    rows: Vec<Row>,
+    rows: impl IntoIterator<Item = &'a Row>,
     _stats: &mut OpStats,
 ) -> Result<QueryResult> {
     // Resolve grouping columns.
@@ -156,7 +160,7 @@ pub fn execute_aggregate(
         Group(usize),
         Agg { func: AggFunc, col: Option<usize> },
     }
-    let mut out_cols: Vec<(String, OutCol)> = Vec::new();
+    let mut out_cols: Vec<(Arc<str>, OutCol)> = Vec::new();
     for item in &stmt.items {
         match item {
             SelectItem::Wildcard => {
@@ -177,7 +181,12 @@ pub fn execute_aggregate(
                         "column {name} must appear in GROUP BY"
                     )));
                 }
-                out_cols.push((alias.clone().unwrap_or_else(|| name.clone()), OutCol::Group(idx)));
+                // Grouping columns reuse the schema's interned name.
+                let out_name: Arc<str> = match alias {
+                    Some(a) => Arc::from(a.as_str()),
+                    None => schema.columns[idx].name.clone(),
+                };
+                out_cols.push((out_name, OutCol::Group(idx)));
             }
             SelectItem::Aggregate {
                 func,
@@ -188,14 +197,16 @@ pub fn execute_aggregate(
                     Some(c) => Some(resolve(schema, c)?),
                     None => None,
                 };
-                let default_name = match column {
-                    Some(c) => format!("{}({})", func.name().to_ascii_lowercase(), c),
-                    None => format!("{}(*)", func.name().to_ascii_lowercase()),
+                let out_name: Arc<str> = match alias {
+                    Some(a) => Arc::from(a.as_str()),
+                    None => match column {
+                        Some(c) => {
+                            format!("{}({})", func.name().to_ascii_lowercase(), c).into()
+                        }
+                        None => format!("{}(*)", func.name().to_ascii_lowercase()).into(),
+                    },
                 };
-                out_cols.push((
-                    alias.clone().unwrap_or(default_name),
-                    OutCol::Agg { func: *func, col },
-                ));
+                out_cols.push((out_name, OutCol::Agg { func: *func, col }));
             }
         }
     }
@@ -215,7 +226,7 @@ pub fn execute_aggregate(
     if group_idx.is_empty() {
         groups.insert(Vec::new(), make_states());
     }
-    for row in &rows {
+    for row in rows {
         let key: Vec<Value> = group_idx.iter().map(|i| row.get(*i).clone()).collect();
         let states = groups.entry(key).or_insert_with(make_states);
         let mut agg_i = 0usize;
@@ -229,7 +240,7 @@ pub fn execute_aggregate(
     }
 
     // Produce output rows.
-    let columns: Vec<String> = out_cols.iter().map(|(n, _)| n.clone()).collect();
+    let columns: Vec<Arc<str>> = out_cols.iter().map(|(n, _)| n.clone()).collect();
     let mut out_rows = Vec::with_capacity(groups.len());
     for (key, states) in &groups {
         let mut values = Vec::with_capacity(out_cols.len());
@@ -321,7 +332,7 @@ mod tests {
         let Statement::Select(stmt) = parse(sql).unwrap() else {
             panic!()
         };
-        execute_aggregate(&stmt, &schema(), rows, &mut OpStats::default()).unwrap()
+        execute_aggregate(&stmt, &schema(), &rows, &mut OpStats::default()).unwrap()
     }
 
     #[test]
@@ -373,11 +384,11 @@ mod tests {
         let Statement::Select(stmt) = parse("SELECT owner, COUNT(*) FROM jobs").unwrap() else {
             panic!()
         };
-        assert!(execute_aggregate(&stmt, &schema(), rows(), &mut OpStats::default()).is_err());
+        assert!(execute_aggregate(&stmt, &schema(), &rows(), &mut OpStats::default()).is_err());
         let Statement::Select(stmt) = parse("SELECT *, COUNT(*) FROM jobs").unwrap() else {
             panic!()
         };
-        assert!(execute_aggregate(&stmt, &schema(), rows(), &mut OpStats::default()).is_err());
+        assert!(execute_aggregate(&stmt, &schema(), &rows(), &mut OpStats::default()).is_err());
     }
 
     #[test]

@@ -9,23 +9,31 @@ mod aggregate;
 mod select;
 
 pub use select::{
-    execute_select, execute_select_with, matching_row_ids, matching_row_ids_with,
+    execute_select, execute_select_with, matching_row_ids, matching_row_ids_with, Catalog,
 };
 
 use crate::tuple::Row;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The result of a query: named output columns and the result rows.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct QueryResult {
-    /// Output column names, in projection order.
-    pub columns: Vec<String>,
+    /// Output column names, in projection order. Names are `Arc<str>`s
+    /// interned from the table schema at definition time, so projecting a
+    /// column clones a pointer rather than the string.
+    pub columns: Vec<Arc<str>>,
     /// Result rows.
     pub rows: Vec<Row>,
 }
 
 impl QueryResult {
+    /// The output column names as plain string slices, in projection order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| &**c).collect()
+    }
+
     /// Number of result rows.
     pub fn len(&self) -> usize {
         self.rows.len()

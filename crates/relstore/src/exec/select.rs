@@ -1,5 +1,12 @@
 //! SELECT execution: access-path selection, joins, filtering, sorting,
 //! projection; plus the shared row-matching helper used by UPDATE/DELETE.
+//!
+//! The single-table path (the vast majority of service-call queries) is
+//! allocation-light: access paths stream borrowed [`StoredRowRef`]s out of
+//! the heap, predicates are evaluated against the borrow, and only values
+//! that survive projection are cloned. Output column names are `Arc<str>`s
+//! interned from the schema, so a point select allocates the result rows and
+//! nothing else.
 
 use super::aggregate::execute_aggregate;
 use super::QueryResult;
@@ -8,12 +15,13 @@ use crate::predicate::Expr;
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{SelectItem, SelectStmt, SortOrder};
 use crate::stats::OpStats;
-use crate::table::Table;
-use crate::tuple::{Row, RowId, StoredRow};
+use crate::table::{RowIter, Table};
+use crate::tuple::{Row, RowId, StoredRowRef};
 use crate::value::Value;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The catalog type the executor reads from.
 pub type Catalog = BTreeMap<String, Table>;
@@ -54,7 +62,7 @@ fn resolve_column<'a>(schema: &Schema, name: &'a str) -> Result<Cow<'a, str>> {
             }
         }
         if let Some(c) = found {
-            return Ok(Cow::Owned(c.name.clone()));
+            return Ok(Cow::Owned(c.name.to_string()));
         }
     } else if let Some((_, bare)) = lname.split_once('.') {
         // A qualified name used against a single-table schema with bare names.
@@ -131,7 +139,7 @@ fn qualified_schema(table: &Table) -> Schema {
         .columns
         .iter()
         .map(|c| Column {
-            name: format!("{}.{}", table.schema.name, c.name),
+            name: format!("{}.{}", table.schema.name, c.name).into(),
             ty: c.ty,
             not_null: c.not_null,
         })
@@ -148,16 +156,17 @@ fn qualified_schema(table: &Table) -> Schema {
 ///    `<`/`<=`/`>`/`>=`/`BETWEEN`,
 /// 3. a full table scan otherwise.
 ///
-/// Candidate columns are iterated by reference — no per-query `String`
-/// allocation happens while planning.
-fn access_base_table(
-    table: &Table,
+/// Candidate columns are iterated by reference and the returned [`RowIter`]
+/// streams borrowed rows — planning and row access allocate nothing beyond
+/// the id list of an index probe.
+fn access_base_table<'a>(
+    table: &'a Table,
     filter: Option<&Expr>,
     params: &[Value],
     stats: &mut OpStats,
-) -> Vec<StoredRow> {
+) -> RowIter<'a> {
     if let Some(filter) = filter {
-        let name = table.schema.name.as_str();
+        let name = &*table.schema.name;
         // Equality point lookups first: tightest result set.
         for col in table.indexed_columns() {
             if let Some(key) = filter.equality_lookup_on(name, col, params) {
@@ -187,6 +196,98 @@ pub fn execute_select(
     execute_select_with(catalog, stmt, &[], stats)
 }
 
+/// The projection plan: output names (interned from the schema where
+/// possible) and, for each select item, the expression to evaluate (`None`
+/// marks a wildcard slot that copies the whole input row).
+type ProjectionSpec<'a> = (Vec<Arc<str>>, Vec<Option<Cow<'a, Expr>>>);
+
+fn projection_spec<'a>(stmt: &'a SelectStmt, schema: &Schema) -> Result<ProjectionSpec<'a>> {
+    let mut out_columns: Vec<Arc<str>> = Vec::with_capacity(stmt.items.len());
+    let mut projections: Vec<Option<Cow<'a, Expr>>> = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                out_columns.extend(schema.columns.iter().map(|c| c.name.clone()));
+                projections.push(None);
+            }
+            SelectItem::Expr { expr, alias } => {
+                let resolved = resolve_expr(expr, schema)?;
+                let name: Arc<str> = match (alias, &*resolved) {
+                    (Some(a), _) => Arc::from(a.as_str()),
+                    // A plain column reference reuses the schema's interned
+                    // name instead of re-allocating it per query.
+                    (None, Expr::Column(c)) => match schema.column_index(c) {
+                        Ok(idx) => schema.columns[idx].name.clone(),
+                        Err(_) => Arc::from(c.as_str()),
+                    },
+                    (None, other) => Arc::from(other.to_string()),
+                };
+                out_columns.push(name);
+                projections.push(Some(resolved));
+            }
+            SelectItem::Aggregate { .. } => unreachable!("aggregates handled before projection"),
+        }
+    }
+    Ok((out_columns, projections))
+}
+
+/// Evaluates a projection plan over an iterator of (borrowed or owned) rows.
+fn project_rows<'r>(
+    schema: &Schema,
+    rows: impl ExactSizeIterator<Item = &'r Row>,
+    out_width: usize,
+    projections: &[Option<Cow<'_, Expr>>],
+    params: &[Value],
+) -> Result<Vec<Row>> {
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut values = Vec::with_capacity(out_width);
+        for proj in projections {
+            match proj {
+                None => values.extend(row.values.iter().cloned()),
+                Some(expr) => values.push(expr.eval_with(schema, row, params)?),
+            }
+        }
+        out_rows.push(Row::new(values));
+    }
+    Ok(out_rows)
+}
+
+/// Sorts rows by the ORDER BY keys of `stmt` resolved against `schema`.
+/// `get` maps a sort element to the row it orders by.
+fn sort_rows<T>(stmt: &SelectStmt, schema: &Schema, rows: &mut [T], get: impl Fn(&T) -> &Row) -> Result<()> {
+    let keys: Vec<(usize, SortOrder)> = stmt
+        .order_by
+        .iter()
+        .map(|k| {
+            let col = resolve_column(schema, &k.column)?;
+            Ok((schema.column_index(&col)?, k.order))
+        })
+        .collect::<Result<_>>()?;
+    rows.sort_by(|a, b| {
+        let (a, b) = (get(a), get(b));
+        for (idx, order) in &keys {
+            let cmp = a.get(*idx).total_cmp(b.get(*idx));
+            let cmp = match order {
+                SortOrder::Asc => cmp,
+                SortOrder::Desc => cmp.reverse(),
+            };
+            if cmp != std::cmp::Ordering::Equal {
+                return cmp;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+fn has_aggregates(stmt: &SelectStmt) -> bool {
+    stmt.items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+        || !stmt.group_by.is_empty()
+}
+
 /// Executes a SELECT statement against the catalog, resolving `?`
 /// placeholders from `params` during planning and evaluation (prepared
 /// execution never clones the statement).
@@ -197,36 +298,83 @@ pub fn execute_select_with(
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
     let base = get_table(catalog, &stmt.table)?;
-
-    // For a single-table query keep bare column names (friendlier output) and
-    // borrow the table's schema; joins switch to an owned schema with
-    // qualified names to avoid collisions.
-    let mut schema: Cow<'_, Schema> = if stmt.joins.is_empty() {
-        Cow::Borrowed(&base.schema)
+    if stmt.joins.is_empty() {
+        execute_single_table(base, stmt, params, stats)
     } else {
-        Cow::Owned(qualified_schema(base))
-    };
+        execute_joined(catalog, base, stmt, params, stats)
+    }
+}
 
-    let resolved_filter: Option<Cow<'_, Expr>> = match &stmt.filter {
-        // The filter may reference columns of joined tables; resolution is
-        // retried after the joins are applied.
-        Some(f) => Some(resolve_expr(f, &schema).unwrap_or(Cow::Borrowed(f))),
+/// The no-join fast path: streams borrowed rows from the access path through
+/// the filter, keeping references until projection decides what to clone.
+fn execute_single_table(
+    table: &Table,
+    stmt: &SelectStmt,
+    params: &[Value],
+    stats: &mut OpStats,
+) -> Result<QueryResult> {
+    let schema = &table.schema;
+    let filter = match &stmt.filter {
+        Some(f) => Some(resolve_expr(f, schema)?),
         None => None,
     };
 
-    // Base access path. Only use the index fast path when the filter resolved
-    // against the base schema (otherwise correctness requires the full scan).
-    let base_filter_usable = stmt.joins.is_empty();
-    let mut rows: Vec<Row> = if base_filter_usable {
-        access_base_table(base, resolved_filter.as_deref(), params, stats)
-            .into_iter()
-            .map(|r| r.row)
-            .collect()
-    } else {
-        base.scan(stats).into_iter().map(|r| r.row).collect()
-    };
+    // Access path + predicate over borrowed rows; survivors stay borrowed.
+    let mut matched: Vec<&Row> = Vec::new();
+    for StoredRowRef { row, .. } in access_base_table(table, filter.as_deref(), params, stats) {
+        let keep = match &filter {
+            Some(f) => f.matches_with(schema, row, params)?,
+            None => true,
+        };
+        if keep {
+            matched.push(row);
+        }
+    }
 
-    // Inner joins, applied left to right with a hash join on the join key.
+    // Aggregation short-circuits the rest of the pipeline.
+    if has_aggregates(stmt) {
+        return execute_aggregate(stmt, schema, matched.iter().copied(), stats);
+    }
+
+    if !stmt.order_by.is_empty() {
+        sort_rows(stmt, schema, &mut matched, |r| *r)?;
+    }
+    if let Some(limit) = stmt.limit {
+        matched.truncate(limit);
+    }
+
+    // Projection. A bare `SELECT *` clones exactly the surviving rows.
+    if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        return Ok(QueryResult {
+            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            rows: matched.into_iter().cloned().collect(),
+        });
+    }
+    let (columns, projections) = projection_spec(stmt, schema)?;
+    let rows = project_rows(
+        schema,
+        matched.into_iter(),
+        columns.len(),
+        &projections,
+        params,
+    )?;
+    Ok(QueryResult { columns, rows })
+}
+
+/// The join path: inner joins applied left to right with a hash join on the
+/// join key. Joined rows are owned (they are concatenations), but build sides
+/// are borrowed straight from the tables.
+fn execute_joined(
+    catalog: &Catalog,
+    base: &Table,
+    stmt: &SelectStmt,
+    params: &[Value],
+    stats: &mut OpStats,
+) -> Result<QueryResult> {
+    // Joins use an owned schema with qualified names to avoid collisions.
+    let mut schema = qualified_schema(base);
+    let mut rows: Vec<Row> = base.scan(stats).map(|r| r.row.clone()).collect();
+
     for join in &stmt.joins {
         let right = get_table(catalog, &join.table)?;
         let right_schema = qualified_schema(right);
@@ -236,13 +384,12 @@ pub fn execute_select_with(
         let right_col = resolve_column(&right_schema, &join.right_column)?;
         let right_idx = right_schema.column_index(&right_col)?;
 
-        // Build hash table over the right side.
-        let right_rows = right.scan(stats);
-        let mut hash: HashMap<Value, Vec<&Row>> = HashMap::new();
-        for stored in &right_rows {
-            let key = stored.row.get(right_idx).clone();
+        // Build hash table over the right side, borrowing its heap rows.
+        let mut hash: HashMap<&Value, Vec<&Row>> = HashMap::new();
+        for stored in right.scan(stats) {
+            let key = stored.row.get(right_idx);
             if !key.is_null() {
-                hash.entry(key).or_default().push(&stored.row);
+                hash.entry(key).or_default().push(stored.row);
             }
         }
 
@@ -264,10 +411,10 @@ pub fn execute_select_with(
         // Extend the schema with the right-hand columns.
         let mut columns = schema.columns.clone();
         columns.extend(right_schema.columns);
-        schema = Cow::Owned(Schema::new(schema.name.clone(), columns));
+        schema = Schema::new(schema.name.clone(), columns);
     }
 
-    // Filter (now that the full schema is known).
+    // Filter (now that the full joined schema is known).
     if let Some(filter) = &stmt.filter {
         let filter = resolve_expr(filter, &schema)?;
         let mut kept = Vec::with_capacity(rows.len());
@@ -279,89 +426,28 @@ pub fn execute_select_with(
         rows = kept;
     }
 
-    // Aggregation short-circuits the rest of the pipeline.
-    let has_aggregates = stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
-    if has_aggregates || !stmt.group_by.is_empty() {
-        return execute_aggregate(stmt, &schema, rows, stats);
+    if has_aggregates(stmt) {
+        return execute_aggregate(stmt, &schema, rows.iter(), stats);
     }
 
-    // ORDER BY.
     if !stmt.order_by.is_empty() {
-        let keys: Vec<(usize, SortOrder)> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                let col = resolve_column(&schema, &k.column)?;
-                Ok((schema.column_index(&col)?, k.order))
-            })
-            .collect::<Result<_>>()?;
-        rows.sort_by(|a, b| {
-            for (idx, order) in &keys {
-                let cmp = a.get(*idx).total_cmp(b.get(*idx));
-                let cmp = match order {
-                    SortOrder::Asc => cmp,
-                    SortOrder::Desc => cmp.reverse(),
-                };
-                if cmp != std::cmp::Ordering::Equal {
-                    return cmp;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        sort_rows(stmt, &schema, &mut rows, |r| r)?;
     }
-
-    // LIMIT.
     if let Some(limit) = stmt.limit {
         rows.truncate(limit);
     }
 
-    // Projection. A bare `SELECT *` moves the rows through unchanged instead
-    // of re-cloning every value.
+    // A bare `SELECT *` moves the joined rows through unchanged.
     if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
         return Ok(QueryResult {
             columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
             rows,
         });
     }
-
-    let mut out_columns: Vec<String> = Vec::new();
-    let mut projections: Vec<Option<Cow<'_, Expr>>> = Vec::new(); // None = wildcard slot
-    for item in &stmt.items {
-        match item {
-            SelectItem::Wildcard => {
-                out_columns.extend(schema.columns.iter().map(|c| c.name.clone()));
-                projections.push(None);
-            }
-            SelectItem::Expr { expr, alias } => {
-                let resolved = resolve_expr(expr, &schema)?;
-                let name = alias.clone().unwrap_or_else(|| match &*resolved {
-                    Expr::Column(c) => c.clone(),
-                    other => other.to_string(),
-                });
-                out_columns.push(name);
-                projections.push(Some(resolved));
-            }
-            SelectItem::Aggregate { .. } => unreachable!("aggregates handled above"),
-        }
-    }
-
-    let mut out_rows = Vec::with_capacity(rows.len());
-    for row in &rows {
-        let mut values = Vec::with_capacity(out_columns.len());
-        for proj in &projections {
-            match proj {
-                None => values.extend(row.values.iter().cloned()),
-                Some(expr) => values.push(expr.eval_with(&schema, row, params)?),
-            }
-        }
-        out_rows.push(Row::new(values));
-    }
-
+    let (columns, projections) = projection_spec(stmt, &schema)?;
+    let out_rows = project_rows(&schema, rows.iter(), columns.len(), &projections, params)?;
     Ok(QueryResult {
-        columns: out_columns,
+        columns,
         rows: out_rows,
     })
 }
@@ -377,6 +463,7 @@ pub fn matching_row_ids(
 }
 
 /// As [`matching_row_ids`], resolving `?` placeholders from `params`.
+/// Candidate rows are streamed by reference; nothing is cloned.
 pub fn matching_row_ids_with(
     table: &Table,
     filter: Option<&Expr>,
@@ -387,11 +474,10 @@ pub fn matching_row_ids_with(
         Some(f) => Some(resolve_expr(f, &table.schema)?),
         None => None,
     };
-    let candidates = access_base_table(table, resolved.as_deref(), params, stats);
     let mut out = Vec::new();
-    for stored in candidates {
+    for stored in access_base_table(table, resolved.as_deref(), params, stats) {
         let keep = match &resolved {
-            Some(f) => f.matches_with(&table.schema, &stored.row, params)?,
+            Some(f) => f.matches_with(&table.schema, stored.row, params)?,
             None => true,
         };
         if keep {
@@ -494,10 +580,23 @@ mod tests {
     fn simple_filter_and_projection() {
         let cat = catalog();
         let r = select(&cat, "SELECT job_id, owner FROM jobs WHERE state = 'idle' ORDER BY job_id");
-        assert_eq!(r.columns, vec!["job_id", "owner"]);
+        assert_eq!(r.column_names(), vec!["job_id", "owner"]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.value(0, "job_id"), Some(&Value::Int(1)));
         assert_eq!(r.value(1, "owner"), Some(&Value::Text("bob".into())));
+    }
+
+    #[test]
+    fn projected_column_names_are_interned_from_the_schema() {
+        let cat = catalog();
+        let jobs_schema = &cat.get("jobs").unwrap().schema;
+        let r = select(&cat, "SELECT job_id, owner FROM jobs LIMIT 1");
+        // The output names share the schema's allocation (pointer equality),
+        // proving projection clones an Arc rather than the string.
+        assert!(Arc::ptr_eq(&r.columns[0], &jobs_schema.columns[0].name));
+        assert!(Arc::ptr_eq(&r.columns[1], &jobs_schema.columns[1].name));
+        let r = select(&cat, "SELECT * FROM jobs LIMIT 1");
+        assert!(Arc::ptr_eq(&r.columns[2], &jobs_schema.columns[2].name));
     }
 
     #[test]
@@ -639,7 +738,7 @@ mod tests {
     fn arithmetic_projection_with_alias() {
         let cat = catalog();
         let r = select(&cat, "SELECT runtime / 60 AS minutes FROM jobs WHERE job_id = 2");
-        assert_eq!(r.columns, vec!["minutes"]);
+        assert_eq!(r.column_names(), vec!["minutes"]);
         assert_eq!(r.value(0, "minutes"), Some(&Value::Double(6.0)));
     }
 

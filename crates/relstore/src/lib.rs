@@ -15,6 +15,32 @@
 //! * a write-ahead log with checkpointing and recovery ([`wal`]),
 //! * operation statistics for the simulation cost model ([`stats`]).
 //!
+//! ## Concurrency model
+//!
+//! The paper's pitch is that an RDBMS "provides … high concurrency" over the
+//! operational data, so the engine is built to use every core for reads:
+//!
+//! * **Reads share, writes exclude.** The catalog (tables, rows, indexes)
+//!   lives behind a reader-writer lock. SELECTs — autocommit or inside a
+//!   transaction — execute under the *shared* guard, so any number of
+//!   threads read in parallel; INSERT/UPDATE/DELETE/DDL hold the exclusive
+//!   guard for the duration of one statement. An autocommit read never
+//!   opens a transaction, registers a lock or touches the WAL; it fails
+//!   retryably (like a lock-wait timeout) only when an in-flight
+//!   transaction write-locks one of its tables.
+//! * **Book-keeping is off the read path.** Transaction, lock and WAL state
+//!   sit under a separate short-lived mutex, and the statement cache under a
+//!   third, so cache probes and commit processing never serialise row
+//!   access. Statistics accumulate into a stack-local [`OpStats`] per
+//!   statement and merge into lock-free [`stats::SharedStats`] atomics.
+//! * **Rows are borrowed, names are interned.** Table access paths stream
+//!   [`tuple::StoredRowRef`]s (no row clones); the executor clones only the
+//!   values that survive projection, and [`QueryResult`] column names are
+//!   `Arc<str>`s shared with the schema.
+//! * **WAL records are lazy.** `Begin` is appended with a transaction's
+//!   first logged change; read-only explicit transactions never touch the
+//!   log, and their Commit/Abort records are elided too.
+//!
 //! ## Quick example
 //!
 //! ```

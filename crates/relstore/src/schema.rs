@@ -4,6 +4,7 @@ use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Lower-cases a table/column name without allocating when it is already
 /// lower-case (the common case for parser output and internal callers).
@@ -16,11 +17,23 @@ pub(crate) fn lower_name(name: &str) -> Cow<'_, str> {
     }
 }
 
+/// Interns an identifier as a shared lower-case `Arc<str>`. Column names are
+/// allocated once here, at schema-definition time; query results then clone
+/// the `Arc` instead of re-allocating the `String` per query.
+pub(crate) fn intern_lower(name: impl AsRef<str> + Into<Arc<str>>) -> Arc<str> {
+    if name.as_ref().bytes().any(|b| b.is_ascii_uppercase()) {
+        Arc::from(name.as_ref().to_ascii_lowercase())
+    } else {
+        name.into()
+    }
+}
+
 /// A single column definition.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Column {
-    /// Column name (case-insensitive, stored lower-case).
-    pub name: String,
+    /// Column name (case-insensitive, stored lower-case, shared with every
+    /// query result that projects the column).
+    pub name: Arc<str>,
     /// Declared data type.
     pub ty: DataType,
     /// Whether NULL values are rejected on insert/update.
@@ -29,18 +42,18 @@ pub struct Column {
 
 impl Column {
     /// Creates a nullable column.
-    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+    pub fn new(name: impl AsRef<str> + Into<Arc<str>>, ty: DataType) -> Self {
         Column {
-            name: name.into().to_ascii_lowercase(),
+            name: intern_lower(name),
             ty,
             not_null: false,
         }
     }
 
     /// Creates a NOT NULL column.
-    pub fn not_null(name: impl Into<String>, ty: DataType) -> Self {
+    pub fn not_null(name: impl AsRef<str> + Into<Arc<str>>, ty: DataType) -> Self {
         Column {
-            name: name.into().to_ascii_lowercase(),
+            name: intern_lower(name),
             ty,
             not_null: true,
         }
@@ -120,10 +133,10 @@ impl Schema {
 
     /// Looks up the ordinal position of a column by (case-insensitive) name.
     pub fn column_index(&self, name: &str) -> Result<usize> {
-        let lname = name.to_ascii_lowercase();
+        let lname = lower_name(name);
         self.columns
             .iter()
-            .position(|c| c.name == lname)
+            .position(|c| *c.name == *lname)
             .ok_or_else(|| Error::not_found(format!("column {name} in table {}", self.name)))
     }
 
@@ -137,7 +150,7 @@ impl Schema {
     pub fn primary_key_index(&self) -> Option<usize> {
         self.primary_key
             .as_deref()
-            .and_then(|pk| self.columns.iter().position(|c| c.name == pk))
+            .and_then(|pk| self.columns.iter().position(|c| *c.name == *pk))
     }
 
     /// Validates a full row against the schema: arity, types, NOT NULL.

@@ -8,6 +8,7 @@
 //! simulated user/system/IO cycles.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of cumulative engine operation counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,6 +102,86 @@ impl OpStats {
     }
 }
 
+/// Lock-free cumulative counters shared by every session of a database.
+///
+/// Statement execution accumulates its work into a stack-local [`OpStats`]
+/// and merges the delta here once at the end, so the read path never needs
+/// `&mut` access to shared engine state just to count rows. Counters use
+/// relaxed ordering: totals are exact (every delta lands), but a concurrent
+/// [`snapshot`](SharedStats::snapshot) may observe one statement's fields
+/// partially applied — fine for monitoring and the simulation cost model,
+/// which both read between statements.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    rows_inserted: AtomicU64,
+    rows_deleted: AtomicU64,
+    rows_updated: AtomicU64,
+    rows_read: AtomicU64,
+    rows_scanned: AtomicU64,
+    index_lookups: AtomicU64,
+    index_maintenance: AtomicU64,
+    statements_parsed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    statements_executed: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+impl SharedStats {
+    /// Merges a per-statement delta into the shared totals.
+    pub fn record(&self, delta: &OpStats) {
+        // Skip the RMW for fields the statement never touched (most deltas
+        // are sparse: a point select bumps three or four of sixteen).
+        fn add(counter: &AtomicU64, v: u64) {
+            if v != 0 {
+                counter.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        add(&self.rows_inserted, delta.rows_inserted);
+        add(&self.rows_deleted, delta.rows_deleted);
+        add(&self.rows_updated, delta.rows_updated);
+        add(&self.rows_read, delta.rows_read);
+        add(&self.rows_scanned, delta.rows_scanned);
+        add(&self.index_lookups, delta.index_lookups);
+        add(&self.index_maintenance, delta.index_maintenance);
+        add(&self.statements_parsed, delta.statements_parsed);
+        add(&self.cache_hits, delta.cache_hits);
+        add(&self.cache_misses, delta.cache_misses);
+        add(&self.statements_executed, delta.statements_executed);
+        add(&self.commits, delta.commits);
+        add(&self.aborts, delta.aborts);
+        add(&self.wal_records, delta.wal_records);
+        add(&self.wal_bytes, delta.wal_bytes);
+        add(&self.checkpoints, delta.checkpoints);
+    }
+
+    /// Copies the current totals into a plain [`OpStats`] value.
+    pub fn snapshot(&self) -> OpStats {
+        OpStats {
+            rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
+            rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
+            rows_updated: self.rows_updated.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            index_lookups: self.index_lookups.load(Ordering::Relaxed),
+            index_maintenance: self.index_maintenance.load(Ordering::Relaxed),
+            statements_parsed: self.statements_parsed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            statements_executed: self.statements_executed.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +246,45 @@ mod tests {
         assert_eq!(merged.cache_misses, 4);
         assert_eq!(merged.cache_hit_rate(), Some(12.0 / 16.0));
         assert_eq!(OpStats::default().cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn shared_stats_record_and_snapshot() {
+        let shared = SharedStats::default();
+        shared.record(&OpStats {
+            rows_read: 5,
+            cache_hits: 1,
+            ..Default::default()
+        });
+        shared.record(&OpStats {
+            rows_read: 2,
+            commits: 1,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.rows_read, 7);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.rows_inserted, 0);
+    }
+
+    #[test]
+    fn shared_stats_merge_from_threads() {
+        let shared = std::sync::Arc::new(SharedStats::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        shared.record(&OpStats {
+                            rows_read: 1,
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot().rows_read, 4000);
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::error::{Error, Result};
 use crate::index::Index;
 use crate::schema::Schema;
 use crate::stats::OpStats;
-use crate::tuple::{Row, RowId, StoredRow};
+use crate::tuple::{Row, RowId, StoredRowRef};
 use crate::value::Value;
+use std::collections::btree_map;
 use std::collections::BTreeMap;
 
 /// A single table: schema, row heap, primary-key index and secondary indexes.
@@ -246,70 +247,53 @@ impl Table {
         self.insert_with_id(id, row, &mut scratch)
     }
 
-    /// Full scan in row-id order.
-    pub fn scan(&self, stats: &mut OpStats) -> Vec<StoredRow> {
+    /// Full scan in row-id order, streaming borrowed rows. Nothing is cloned;
+    /// the caller copies only the values it keeps.
+    pub fn scan(&self, stats: &mut OpStats) -> RowIter<'_> {
         stats.rows_scanned += self.rows.len() as u64;
         stats.rows_read += self.rows.len() as u64;
-        self.rows
-            .iter()
-            .map(|(id, row)| StoredRow {
-                id: *id,
-                row: row.clone(),
-            })
-            .collect()
+        RowIter::Scan(self.rows.iter())
     }
 
-    /// Point lookup by primary key. Falls back to a scan when no primary key
-    /// is declared (the planner avoids calling it in that case).
-    pub fn lookup_pk(&self, key: &Value, stats: &mut OpStats) -> Vec<StoredRow> {
+    /// Point lookup by primary key, streaming borrowed rows. Falls back to a
+    /// scan when no primary key is declared (the planner avoids calling it in
+    /// that case).
+    pub fn lookup_pk(&self, key: &Value, stats: &mut OpStats) -> RowIter<'_> {
         match &self.pk_index {
             Some(pk) => {
                 stats.index_lookups += 1;
                 let ids = pk.lookup(key);
                 stats.rows_read += ids.len() as u64;
-                ids.into_iter()
-                    .filter_map(|id| {
-                        self.rows.get(&id).map(|row| StoredRow {
-                            id,
-                            row: row.clone(),
-                        })
-                    })
-                    .collect()
+                RowIter::Ids {
+                    rows: &self.rows,
+                    ids: ids.into_iter(),
+                }
             }
             None => self.scan(stats),
         }
     }
 
     /// Point lookup through the first index (primary or secondary) covering
-    /// `column`. Returns `None` if no such index exists.
+    /// `column`, streaming borrowed rows. Returns `None` if no such index
+    /// exists.
     pub fn lookup_indexed(
         &self,
         column: &str,
         key: &Value,
         stats: &mut OpStats,
-    ) -> Option<Vec<StoredRow>> {
-        let col = self.schema.column_index(column).ok()?;
-        let idx = match &self.pk_index {
-            Some(pk) if pk.column_idx == col => Some(pk),
-            _ => self.secondary.iter().find(|i| i.column_idx == col),
-        }?;
+    ) -> Option<RowIter<'_>> {
+        let idx = self.index_on(column)?;
         stats.index_lookups += 1;
         let ids = idx.lookup(key);
         stats.rows_read += ids.len() as u64;
-        Some(
-            ids.into_iter()
-                .filter_map(|id| {
-                    self.rows.get(&id).map(|row| StoredRow {
-                        id,
-                        row: row.clone(),
-                    })
-                })
-                .collect(),
-        )
+        Some(RowIter::Ids {
+            rows: &self.rows,
+            ids: ids.into_iter(),
+        })
     }
 
     /// Range lookup through the first index (primary or secondary) covering
-    /// `column`: returns the rows whose key lies in `[lo, hi]` (either bound
+    /// `column`: streams the rows whose key lies in `[lo, hi]` (either bound
     /// may be open). Returns `None` if no such index exists.
     pub fn lookup_range(
         &self,
@@ -317,25 +301,24 @@ impl Table {
         lo: Option<&Value>,
         hi: Option<&Value>,
         stats: &mut OpStats,
-    ) -> Option<Vec<StoredRow>> {
-        let col = self.schema.column_index(column).ok()?;
-        let idx = match &self.pk_index {
-            Some(pk) if pk.column_idx == col => Some(pk),
-            _ => self.secondary.iter().find(|i| i.column_idx == col),
-        }?;
+    ) -> Option<RowIter<'_>> {
+        let idx = self.index_on(column)?;
         stats.index_lookups += 1;
         let ids = idx.range(lo, hi);
         stats.rows_read += ids.len() as u64;
-        Some(
-            ids.into_iter()
-                .filter_map(|id| {
-                    self.rows.get(&id).map(|row| StoredRow {
-                        id,
-                        row: row.clone(),
-                    })
-                })
-                .collect(),
-        )
+        Some(RowIter::Ids {
+            rows: &self.rows,
+            ids: ids.into_iter(),
+        })
+    }
+
+    /// The first index (primary or secondary) covering `column`, if any.
+    fn index_on(&self, column: &str) -> Option<&Index> {
+        let col = self.schema.column_index(column).ok()?;
+        match &self.pk_index {
+            Some(pk) if pk.column_idx == col => Some(pk),
+            _ => self.secondary.iter().find(|i| i.column_idx == col),
+        }
     }
 
     /// The names of the indexed columns (primary key first, then secondary
@@ -345,7 +328,7 @@ impl Table {
             .iter()
             .chain(self.secondary.iter())
             .filter_map(|idx| self.schema.columns.get(idx.column_idx))
-            .map(|c| c.name.as_str())
+            .map(|c| &*c.name)
     }
 
     /// True when some index (primary or secondary) covers `column`.
@@ -398,6 +381,44 @@ impl Table {
     }
 }
 
+/// Streaming access path over a table: either a heap scan in row-id order or
+/// a set of index-qualified row ids. Yields borrowed [`StoredRowRef`]s so the
+/// executor can evaluate predicates without materialising owned rows.
+#[derive(Debug)]
+pub enum RowIter<'a> {
+    /// Full heap scan.
+    Scan(btree_map::Iter<'a, RowId, Row>),
+    /// Rows named by an index lookup, resolved lazily against the heap.
+    Ids {
+        /// The table heap the ids point into.
+        rows: &'a BTreeMap<RowId, Row>,
+        /// Ids produced by the index, in key order.
+        ids: std::vec::IntoIter<RowId>,
+    },
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = StoredRowRef<'a>;
+
+    fn next(&mut self) -> Option<StoredRowRef<'a>> {
+        match self {
+            RowIter::Scan(iter) => iter.next().map(|(id, row)| StoredRowRef { id: *id, row }),
+            RowIter::Ids { rows, ids } => {
+                // An index entry always points at a live row, but stay
+                // defensive: skip ids whose row vanished.
+                ids.find_map(|id| rows.get(&id).map(|row| StoredRowRef { id, row }))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Scan(iter) => iter.size_hint(),
+            RowIter::Ids { ids, .. } => (0, Some(ids.len())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,7 +458,7 @@ mod tests {
         t.insert(row(2, "node02", "busy", 0.9), &mut stats).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(stats.rows_inserted, 2);
-        let found = t.lookup_pk(&Value::Int(1), &mut stats);
+        let found: Vec<_> = t.lookup_pk(&Value::Int(1), &mut stats).collect();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].id, id);
         assert_eq!(found[0].row.get(1), &Value::Text("node01".into()));
@@ -475,7 +496,8 @@ mod tests {
         assert!(t
             .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
             .unwrap()
-            .is_empty());
+            .next()
+            .is_none());
         assert!(t.delete(id, &mut stats).is_err());
         t.check_consistency().unwrap();
     }
@@ -494,11 +516,12 @@ mod tests {
         assert!(t
             .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
             .unwrap()
-            .is_empty());
+            .next()
+            .is_none());
         assert_eq!(
             t.lookup_indexed("state", &Value::Text("busy".into()), &mut stats)
                 .unwrap()
-                .len(),
+                .count(),
             1
         );
         t.check_consistency().unwrap();
@@ -532,7 +555,7 @@ mod tests {
             t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), &mut stats)
                 .unwrap();
         }
-        let rows = t.scan(&mut stats);
+        let rows: Vec<_> = t.scan(&mut stats).collect();
         assert_eq!(rows.len(), 5);
         assert!(rows.windows(2).all(|w| w[0].id < w[1].id));
         assert_eq!(stats.rows_scanned, 5);

@@ -81,13 +81,17 @@ impl fmt::Display for Row {
     }
 }
 
-/// A row paired with its identifier, as returned by scans.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StoredRow {
+/// A borrowed row paired with its identifier, as streamed by the table
+/// access paths ([`crate::table::Table::scan`] and the index lookups).
+///
+/// Rows stay in the heap; the executor evaluates predicates against the
+/// borrow and clones only the values that survive projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredRowRef<'a> {
     /// The heap identifier of the row.
     pub id: RowId,
-    /// The row contents.
-    pub row: Row,
+    /// The row contents, borrowed from the table heap.
+    pub row: &'a Row,
 }
 
 #[cfg(test)]

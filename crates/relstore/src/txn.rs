@@ -151,6 +151,11 @@ pub struct TxnState {
     pub status: TxnStatus,
     /// Undo records in execution order (rolled back in reverse).
     pub undo: Vec<UndoRecord>,
+    /// Whether a `Begin` record has been appended to the WAL. Begin records
+    /// are written lazily, on the transaction's first logged change, so
+    /// read-only explicit transactions never touch the log (and need no
+    /// Commit/Abort record either).
+    pub wal_begun: bool,
 }
 
 /// Allocates transaction ids and tracks active transactions.
@@ -178,6 +183,7 @@ impl TxnManager {
                 id,
                 status: TxnStatus::Active,
                 undo: Vec::new(),
+                wal_begun: false,
             },
         );
         id

@@ -381,7 +381,7 @@ mod tests {
                 schema: t.schema.clone(),
                 rows: {
                     let mut s = OpStats::default();
-                    t.scan(&mut s).into_iter().map(|r| (r.id, r.row)).collect()
+                    t.scan(&mut s).map(|r| (r.id, r.row.clone())).collect()
                 },
             })
             .collect();

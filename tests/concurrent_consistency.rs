@@ -1,0 +1,143 @@
+//! Multi-threaded consistency tests: N reader threads share the database
+//! with a writer thread running explicit transactions. Readers must never
+//! observe a partial transaction (the sum invariant holds on every
+//! successful read) and the final state must reconcile exactly.
+
+use proptest::prelude::*;
+use relstore::{Database, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const ACCOUNTS: i64 = 50;
+const OPENING_BALANCE: i64 = 100;
+const TOTAL: i64 = ACCOUNTS * OPENING_BALANCE;
+
+fn accounts_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)").unwrap();
+    let ins = db.prepare("INSERT INTO accounts VALUES (?, ?)").unwrap();
+    for id in 0..ACCOUNTS {
+        db.execute_prepared(&ins, &[Value::Int(id), Value::Int(OPENING_BALANCE)])
+            .unwrap();
+    }
+    db
+}
+
+/// Moves `delta` from account `from` to account `to` in one transaction,
+/// retrying on lock conflicts. The two UPDATEs make the intermediate state
+/// (money subtracted but not yet added) observable to any reader that could
+/// sneak between them — which is exactly what must never happen.
+fn transfer(db: &Database, from: i64, to: i64, delta: i64) {
+    let debit = db
+        .prepare("UPDATE accounts SET balance = balance - ? WHERE id = ?")
+        .unwrap();
+    let credit = db
+        .prepare("UPDATE accounts SET balance = balance + ? WHERE id = ?")
+        .unwrap();
+    loop {
+        let txn = db.begin();
+        let applied = db
+            .execute_prepared_in(txn, &debit, &[Value::Int(delta), Value::Int(from)])
+            .and_then(|_| {
+                db.execute_prepared_in(txn, &credit, &[Value::Int(delta), Value::Int(to)])
+            });
+        match applied {
+            Ok(_) => {
+                db.commit(txn).unwrap();
+                return;
+            }
+            Err(e) if e.is_retryable() => {
+                let _ = db.rollback(txn);
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("transfer failed non-retryably: {e}"),
+        }
+    }
+}
+
+/// Runs `transfers` on a writer thread while `readers` threads continuously
+/// check the sum invariant. Returns the number of successful invariant reads.
+fn run_scenario(db: &Database, transfers: &[(i64, i64, i64)], readers: usize) -> u64 {
+    let done = AtomicBool::new(false);
+    let good_reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let done = &done;
+        let good_reads = &good_reads;
+        for _ in 0..readers {
+            s.spawn(move || {
+                let sum = db
+                    .prepare("SELECT SUM(balance) AS total, COUNT(*) AS n FROM accounts")
+                    .unwrap();
+                while !done.load(Ordering::Relaxed) {
+                    match db.query_prepared(&sum, &[]) {
+                        Ok(r) => {
+                            // A reader that slipped between the two UPDATEs of
+                            // a transfer would see TOTAL - delta here.
+                            assert_eq!(
+                                r.first_value("total"),
+                                Some(&Value::Int(TOTAL)),
+                                "reader observed a partial transaction"
+                            );
+                            assert_eq!(r.first_value("n"), Some(&Value::Int(ACCOUNTS)));
+                            good_reads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A writer held the table lock: retryable by design.
+                        Err(e) => assert!(e.is_retryable(), "unexpected reader error: {e}"),
+                    }
+                }
+            });
+        }
+        s.spawn(move || {
+            for &(from, to, delta) in transfers {
+                transfer(db, from, to, delta);
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+    good_reads.load(Ordering::Relaxed)
+}
+
+fn final_state_reconciles(db: &Database, transfers: &[(i64, i64, i64)]) {
+    let r = db.query("SELECT SUM(balance) FROM accounts").unwrap();
+    assert_eq!(r.scalar_int(), Some(TOTAL));
+    // Per-account balances must equal the opening balance plus net transfers.
+    let mut expected = vec![OPENING_BALANCE; ACCOUNTS as usize];
+    for &(from, to, delta) in transfers {
+        expected[from as usize] -= delta;
+        expected[to as usize] += delta;
+    }
+    let by_id = db.prepare("SELECT balance FROM accounts WHERE id = ?").unwrap();
+    for (id, want) in expected.iter().enumerate() {
+        let r = db.query_prepared(&by_id, &[Value::Int(id as i64)]).unwrap();
+        assert_eq!(r.scalar_int(), Some(*want), "balance of account {id}");
+    }
+    db.check_consistency().unwrap();
+}
+
+#[test]
+fn readers_never_observe_partial_transactions() {
+    let db = accounts_db();
+    let transfers: Vec<(i64, i64, i64)> = (0..300)
+        .map(|i: i64| {
+            let from = (i * 7) % ACCOUNTS;
+            let to = (i * 13 + 1) % ACCOUNTS;
+            (from, to, 1 + i % 5)
+        })
+        .collect();
+    let good_reads = run_scenario(&db, &transfers, 4);
+    assert!(good_reads > 0, "readers must make progress while the writer runs");
+    final_state_reconciles(&db, &transfers);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random transfer schedules preserve the invariant under concurrency.
+    #[test]
+    fn random_transfer_schedules_reconcile(
+        raw in proptest::collection::vec((0..ACCOUNTS, 0..ACCOUNTS, 1..10i64), 1..40)
+    ) {
+        let db = accounts_db();
+        run_scenario(&db, &raw, 2);
+        final_state_reconciles(&db, &raw);
+    }
+}
