@@ -179,8 +179,13 @@ impl<C> AppContainer<C> {
         self.last_maintenance = now;
         // The periodic DB2-style background task: take a checkpoint. The
         // bytes written dominate the cost, producing the isolated CPU spikes
-        // the paper attributes to "a DB2 background process".
-        let bytes = self.db.checkpoint();
+        // the paper attributes to "a DB2 background process". A retryable
+        // busy result (transactions in flight) skips this round; the next
+        // maintenance interval retries.
+        let bytes = self.db.checkpoint().unwrap_or_else(|e| {
+            debug_assert!(e.is_retryable(), "checkpoint failed non-retryably: {e}");
+            0
+        });
         let cost = RequestCost {
             user: SimDuration::from_secs_f64(bytes as f64 * 0.02e-6 + 0.05),
             system: SimDuration::from_secs_f64(0.02),

@@ -104,8 +104,8 @@ impl EntityManager {
     ///
     /// The generated SQL uses `?` placeholders, so its text depends only on
     /// the (table, column-set) shape — repeated creates of the same entity
-    /// type hit the database's statement cache and bind values without any
-    /// literal escaping.
+    /// type hit the database's statement cache, and the attribute values bind
+    /// as a runtime-shaped parameter list without any literal escaping.
     pub fn create(&self, def: &EntityDef, attrs: &BTreeMap<String, Value>) -> Result<()> {
         if attrs.is_empty() {
             return Err(Error::type_err("cannot create an entity with no attributes"));
@@ -118,9 +118,8 @@ impl EntityManager {
             columns.join(", "),
             placeholders
         );
-        let stmt = self.db.prepare(&sql)?;
         let params: Vec<Value> = attrs.values().cloned().collect();
-        self.db.execute_prepared(&stmt, &params)?;
+        self.db.session().execute(sql, params)?;
         Ok(())
     }
 
@@ -130,15 +129,14 @@ impl EntityManager {
             "SELECT * FROM {} WHERE {} = ?",
             def.table, def.key_column
         );
-        let stmt = self.db.prepare(&sql)?;
-        let result = self.db.query_prepared(&stmt, std::slice::from_ref(key))?;
+        let result = self.db.session().query(sql, (key.clone(),))?;
         Ok(self.materialise(def, &result).into_iter().next())
     }
 
     /// Finds every entity matching a SQL predicate (the text after `WHERE`).
     pub fn find_where(&self, def: &EntityDef, predicate: &str) -> Result<Vec<Entity>> {
         let sql = format!("SELECT * FROM {} WHERE {}", def.table, predicate);
-        let result = self.db.query(&sql)?;
+        let result = self.db.session().query(sql, ())?;
         Ok(self.materialise(def, &result))
     }
 
@@ -160,20 +158,15 @@ impl EntityManager {
             sets.join(", "),
             def.key_column
         );
-        let stmt = self.db.prepare(&sql)?;
         let mut params: Vec<Value> = changes.values().cloned().collect();
         params.push(key.clone());
-        Ok(self.db.execute_prepared(&stmt, &params)?.affected())
+        Ok(self.db.session().execute(sql, params)?.affected())
     }
 
     /// Removes the entity with the given key. Returns the rows affected.
     pub fn remove(&self, def: &EntityDef, key: &Value) -> Result<usize> {
         let sql = format!("DELETE FROM {} WHERE {} = ?", def.table, def.key_column);
-        let stmt = self.db.prepare(&sql)?;
-        Ok(self
-            .db
-            .execute_prepared(&stmt, std::slice::from_ref(key))?
-            .affected())
+        Ok(self.db.session().execute(sql, (key.clone(),))?.affected())
     }
 
     /// Number of stored entities of this type.
@@ -183,13 +176,14 @@ impl EntityManager {
 
     fn materialise(&self, def: &EntityDef, result: &QueryResult) -> Vec<Entity> {
         result
-            .rows
-            .iter()
-            .map(|row| {
-                let mut attrs = BTreeMap::new();
-                for (i, col) in result.columns.iter().enumerate() {
-                    attrs.insert(col.to_string(), row.get(i).clone());
-                }
+            .views()
+            .map(|view| {
+                let attrs: BTreeMap<String, Value> = view
+                    .columns()
+                    .iter()
+                    .zip(&view.raw().values)
+                    .map(|(col, value)| (col.to_string(), value.clone()))
+                    .collect();
                 let key = attrs.get(&def.key_column).cloned().unwrap_or(Value::Null);
                 Entity { key, attrs }
             })

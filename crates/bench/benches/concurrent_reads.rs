@@ -9,7 +9,7 @@
 //! multi-core machine (e.g. the CI runners) to see the scaling.
 
 use condorj2::concurrent::drive_reads;
-use relstore::{Database, Value};
+use relstore::{Database, IntoParams};
 
 fn setup_db(rows: usize) -> Database {
     let db = Database::new();
@@ -21,24 +21,23 @@ fn setup_db(rows: usize) -> Database {
     let ins = db
         .prepare("INSERT INTO jobs VALUES (?, ?, 'idle', 60000)")
         .unwrap();
-    for i in 0..rows {
-        db.execute_prepared(
+    db.session()
+        .execute_batch(
             &ins,
-            &[Value::Int(i as i64), Value::Text(format!("user{}", i % 50))],
+            (0..rows).map(|i| (i as i64, format!("user{}", i % 50))),
         )
         .unwrap();
-    }
     db
 }
 
 /// Runs one workload at each thread count, keeping total work roughly
 /// constant so wall-clock per line stays comparable.
-fn report(
+fn report<P: IntoParams>(
     name: &str,
     db: &Database,
     sql: &str,
     total_iters: u64,
-    params: impl Fn(usize, u64) -> Vec<Value> + Sync,
+    params: impl Fn(usize, u64) -> P + Sync,
 ) {
     // Warm the statement cache and the branch predictors once.
     drive_reads(db, 1, total_iters / 50, sql, &params).unwrap();
@@ -73,7 +72,7 @@ fn main() {
         &db,
         "SELECT * FROM jobs WHERE job_id = ?",
         400_000,
-        |t, i| vec![Value::Int(((t as u64 * 2_654_435_761 + i * 40_503) % 5_000) as i64)],
+        |t, i| (((t as u64 * 2_654_435_761 + i * 40_503) % 5_000) as i64,),
     );
     report(
         "concurrent_range_select",
@@ -82,7 +81,7 @@ fn main() {
         20_000,
         |t, i| {
             let lo = ((t as u64 * 997 + i * 131) % 4_950) as i64;
-            vec![Value::Int(lo), Value::Int(lo + 50)]
+            (lo, lo + 50)
         },
     );
 }

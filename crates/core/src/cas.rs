@@ -10,7 +10,7 @@
 
 use crate::schema;
 use appserver::{EntityDef, EntityManager, ServiceKind, ServiceRegistry, SoapRequest, SoapResponse};
-use relstore::{Database, Error, Prepared, Result, Value};
+use relstore::{Database, Error, FromRow, Prepared, Result, RowView};
 use std::sync::Arc;
 
 /// What a startd reports in a heartbeat.
@@ -60,6 +60,72 @@ pub struct PoolStatus {
     pub total_machines: i64,
     /// Completed jobs recorded in history.
     pub completed_jobs: i64,
+}
+
+/// The columns `complete_job` reads back from a finishing job's tuple,
+/// decoded by name so a projection change cannot misassign fields.
+#[derive(Debug, Clone, PartialEq)]
+struct FinishedJob {
+    owner: String,
+    runtime_ms: Option<i64>,
+    submitted: Option<i64>,
+    requeues: Option<i64>,
+}
+
+impl FromRow for FinishedJob {
+    fn from_row(row: &RowView<'_>) -> Result<Self> {
+        Ok(FinishedJob {
+            owner: row.get("owner")?,
+            runtime_ms: row.get("runtime_ms")?,
+            submitted: row.get("submitted")?,
+            requeues: row.get("requeues")?,
+        })
+    }
+}
+
+/// One line of the per-owner usage report drawn from `job_history`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnerUsage {
+    /// The job owner.
+    pub owner: String,
+    /// Number of completed jobs.
+    pub jobs: i64,
+    /// Total machine time consumed, in minutes.
+    pub machine_minutes: f64,
+}
+
+impl FromRow for OwnerUsage {
+    fn from_row(row: &RowView<'_>) -> Result<Self> {
+        Ok(OwnerUsage {
+            owner: row.get("owner")?,
+            jobs: row.get("jobs")?,
+            // SUM over rows whose runtime_ms are all NULL yields SQL NULL;
+            // report that owner as zero time, not as a failed report.
+            machine_minutes: row.get::<Option<f64>>("total_ms")?.unwrap_or(0.0) / 60_000.0,
+        })
+    }
+}
+
+/// One provenance lineage record: which executable and input produced an
+/// output data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// The producing job.
+    pub job_id: i64,
+    /// The executable that ran.
+    pub executable: String,
+    /// The input data set it consumed.
+    pub input_dataset: String,
+}
+
+impl FromRow for ProvenanceRecord {
+    fn from_row(row: &RowView<'_>) -> Result<Self> {
+        Ok(ProvenanceRecord {
+            job_id: row.get("job_id")?,
+            executable: row.get("executable")?,
+            input_dataset: row.get("input_dataset")?,
+        })
+    }
 }
 
 /// The prepared statements behind every hot CAS service call.
@@ -236,17 +302,16 @@ impl CasState {
     }
 
     // --- users, submission ----------------------------------------------------
+    //
+    // Service methods open a fresh typed `Session` over the shared database
+    // (two words) directly off the `db` field, so the borrow stays
+    // field-precise and the id counters remain mutable alongside it.
 
     /// Ensures a user row exists (users are created implicitly on first use).
     fn ensure_user(&self, name: &str) -> Result<()> {
-        let existing = self
-            .db
-            .query_prepared(&self.prepared.user_exists, &[Value::from(name)])?;
-        if existing.is_empty() {
-            self.db.execute_prepared(
-                &self.prepared.user_insert,
-                &[Value::from(name), Value::Int(self.now_ms)],
-            )?;
+        let mut sql = self.db.session();
+        if sql.query(&self.prepared.user_exists, (name,))?.is_empty() {
+            sql.execute(&self.prepared.user_insert, (name, self.now_ms))?;
         }
         Ok(())
     }
@@ -256,15 +321,9 @@ impl CasState {
         self.ensure_user(owner)?;
         self.next_job_id += 1;
         let id = self.next_job_id;
-        self.db.execute_prepared(
+        self.db.session().execute(
             &self.prepared.job_insert,
-            &[
-                Value::Int(id),
-                Value::from(owner),
-                Value::Int(runtime_ms),
-                Value::Int(self.now_ms),
-                Value::Int(self.now_ms),
-            ],
+            (id, owner, runtime_ms, self.now_ms, self.now_ms),
         )?;
         Ok(id)
     }
@@ -282,60 +341,46 @@ impl CasState {
         phys_id: i64,
         memory_mb: i64,
     ) -> Result<()> {
-        let existing = self
-            .db
-            .query_prepared(&self.prepared.machine_exists, &[Value::Int(machine_id)])?;
-        if existing.is_empty() {
-            self.db.execute_prepared(
+        let mut sql = self.db.session();
+        if sql
+            .query(&self.prepared.machine_exists, (machine_id,))?
+            .is_empty()
+        {
+            sql.execute(
                 &self.prepared.machine_insert,
-                &[
-                    Value::Int(machine_id),
-                    Value::from(name),
-                    Value::Double(speed),
-                    Value::Int(phys_id),
-                    Value::Int(self.now_ms),
-                ],
+                (machine_id, name, speed, phys_id, self.now_ms),
             )?;
         } else {
-            self.db.execute_prepared(
-                &self.prepared.machine_reregister,
-                &[Value::Int(self.now_ms), Value::Int(machine_id)],
-            )?;
+            sql.execute(&self.prepared.machine_reregister, (self.now_ms, machine_id))?;
         }
         self.next_machine_event_id += 1;
-        self.db.execute_prepared(
+        sql.execute(
             &self.prepared.machine_history_insert,
-            &[
-                Value::Int(self.next_machine_event_id),
-                Value::Int(machine_id),
-                Value::Int(self.now_ms),
-                Value::Int(memory_mb),
-            ],
+            (self.next_machine_event_id, machine_id, self.now_ms, memory_mb),
         )?;
         Ok(())
     }
 
     /// Handles a startd heartbeat.
     pub fn heartbeat(&mut self, machine_id: i64, report: HeartbeatReport) -> Result<HeartbeatReply> {
-        self.db.execute_prepared(
-            &self.prepared.machine_touch,
-            &[Value::Int(self.now_ms), Value::Int(machine_id)],
-        )?;
+        self.db.session()
+            .execute(&self.prepared.machine_touch, (self.now_ms, machine_id))?;
         match report {
             HeartbeatReport::Idle => {
-                let matched = self
+                let matched: Option<i64> = self
                     .db
-                    .query_prepared(&self.prepared.match_for_machine, &[Value::Int(machine_id)])?;
-                match matched.first_value("job_id") {
-                    Some(v) => Ok(HeartbeatReply::MatchInfo { job_id: v.as_int()? }),
+                    .session()
+                    .query_scalars(&self.prepared.match_for_machine, (machine_id,))?
+                    .into_iter()
+                    .next();
+                match matched {
+                    Some(job_id) => Ok(HeartbeatReply::MatchInfo { job_id }),
                     None => Ok(HeartbeatReply::Ok),
                 }
             }
             HeartbeatReport::Running { job_id } => {
-                self.db.execute_prepared(
-                    &self.prepared.job_touch,
-                    &[Value::Int(self.now_ms), Value::Int(job_id)],
-                )?;
+                self.db.session()
+                    .execute(&self.prepared.job_touch, (self.now_ms, job_id))?;
                 Ok(HeartbeatReply::Ok)
             }
             HeartbeatReport::Completed { job_id } => {
@@ -352,88 +397,58 @@ impl CasState {
     /// The startd accepts a previously reported match: the match tuple becomes
     /// a run tuple and the job and machine move to the running state.
     pub fn accept_match(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
-        let matched = self.db.query_prepared(
-            &self.prepared.match_exists,
-            &[Value::Int(job_id), Value::Int(machine_id)],
-        )?;
-        if matched.is_empty() {
+        let mut sql = self.db.session();
+        if sql
+            .query(&self.prepared.match_exists, (job_id, machine_id))?
+            .is_empty()
+        {
             return Err(Error::not_found(format!(
                 "match of job {job_id} on machine {machine_id}"
             )));
         }
-        self.db
-            .execute_prepared(&self.prepared.match_delete_by_job, &[Value::Int(job_id)])?;
+        sql.execute(&self.prepared.match_delete_by_job, (job_id,))?;
         self.next_run_id += 1;
-        self.db.execute_prepared(
+        sql.execute(
             &self.prepared.run_insert,
-            &[
-                Value::Int(self.next_run_id),
-                Value::Int(job_id),
-                Value::Int(machine_id),
-                Value::Int(self.now_ms),
-            ],
+            (self.next_run_id, job_id, machine_id, self.now_ms),
         )?;
-        self.db.execute_prepared(
-            &self.prepared.job_set_running,
-            &[Value::Int(self.now_ms), Value::Int(job_id)],
-        )?;
-        self.db.execute_prepared(
-            &self.prepared.machine_set_state,
-            &[Value::from("running"), Value::Int(machine_id)],
-        )?;
+        sql.execute(&self.prepared.job_set_running, (self.now_ms, job_id))?;
+        sql.execute(&self.prepared.machine_set_state, ("running", machine_id))?;
         Ok(())
     }
 
     fn complete_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
-        let job = self
-            .db
-            .query_prepared(&self.prepared.job_fetch, &[Value::Int(job_id)])?;
-        if job.is_empty() {
-            return Err(Error::not_found(format!("job {job_id}")));
-        }
+        let mut sql = self.db.session();
+        let job: FinishedJob = sql
+            .query_one(&self.prepared.job_fetch, (job_id,))?
+            .ok_or_else(|| Error::not_found(format!("job {job_id}")))?;
         self.next_history_id += 1;
-        let owner = job.first_value("owner").cloned().unwrap_or(Value::Null);
-        let runtime = job.first_value("runtime_ms").cloned().unwrap_or(Value::Null);
-        let submitted = job.first_value("submitted").cloned().unwrap_or(Value::Null);
-        let requeues = job.first_value("requeues").cloned().unwrap_or(Value::Int(0));
-        self.db.execute_prepared(
+        sql.execute(
             &self.prepared.history_insert,
-            &[
-                Value::Int(self.next_history_id),
-                Value::Int(job_id),
-                owner,
-                runtime,
-                submitted,
-                Value::Int(self.now_ms),
-                Value::Int(machine_id),
-                requeues,
-            ],
+            (
+                self.next_history_id,
+                job_id,
+                job.owner,
+                job.runtime_ms,
+                job.submitted,
+                self.now_ms,
+                machine_id,
+                job.requeues.unwrap_or(0),
+            ),
         )?;
-        self.db
-            .execute_prepared(&self.prepared.run_delete_by_job, &[Value::Int(job_id)])?;
-        self.db
-            .execute_prepared(&self.prepared.job_delete, &[Value::Int(job_id)])?;
-        self.db.execute_prepared(
-            &self.prepared.machine_set_state,
-            &[Value::from("idle"), Value::Int(machine_id)],
-        )?;
+        sql.execute(&self.prepared.run_delete_by_job, (job_id,))?;
+        sql.execute(&self.prepared.job_delete, (job_id,))?;
+        sql.execute(&self.prepared.machine_set_state, ("idle", machine_id))?;
         self.jobs_completed += 1;
         Ok(())
     }
 
     fn requeue_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
-        self.db
-            .execute_prepared(&self.prepared.run_delete_by_job, &[Value::Int(job_id)])?;
-        self.db
-            .execute_prepared(&self.prepared.match_delete_by_job, &[Value::Int(job_id)])?;
-        self.db.execute_prepared(
-            &self.prepared.job_requeue,
-            &[Value::Int(self.now_ms), Value::Int(job_id)],
-        )?;
-        self.db.execute_prepared(
-            &self.prepared.machine_set_state,
-            &[Value::from("idle"), Value::Int(machine_id)],
-        )?;
+        let mut sql = self.db.session();
+        sql.execute(&self.prepared.run_delete_by_job, (job_id,))?;
+        sql.execute(&self.prepared.match_delete_by_job, (job_id,))?;
+        sql.execute(&self.prepared.job_requeue, (self.now_ms, job_id))?;
+        sql.execute(&self.prepared.machine_set_state, ("idle", machine_id))?;
         self.jobs_requeued += 1;
         Ok(())
     }
@@ -448,63 +463,57 @@ impl CasState {
     }
 
     /// As [`CasState::run_scheduler`], bounded to at most `limit` matches.
+    ///
+    /// The sweep is batched: the N match inserts, N job-state updates and N
+    /// machine-state updates execute as three `execute_batch` calls inside
+    /// one RAII transaction — three catalog write guards and three WAL
+    /// appends for the whole pass instead of 3N of each. Any failure drops
+    /// the guard and rolls the entire pass back.
     pub fn run_scheduler_limited(&mut self, limit: usize) -> Result<usize> {
-        let idle_machines = self.db.query(
+        let idle_machines: Vec<i64> = self.db.session().query_scalars(
             "SELECT machine_id FROM machines WHERE state = 'idle' ORDER BY machine_id",
+            (),
         )?;
         if idle_machines.is_empty() {
             return Ok(0);
         }
-        let idle_jobs = self
-            .db
-            .query("SELECT job_id FROM jobs WHERE state = 'idle' ORDER BY job_id")?;
+        let idle_jobs: Vec<i64> = self.db.session().query_scalars(
+            "SELECT job_id FROM jobs WHERE state = 'idle' ORDER BY job_id",
+            (),
+        )?;
         if idle_jobs.is_empty() {
             return Ok(0);
         }
         let pairs: Vec<(i64, i64)> = idle_machines
-            .rows
-            .iter()
-            .zip(idle_jobs.rows.iter())
+            .into_iter()
+            .zip(idle_jobs)
             .take(limit)
-            .map(|(m, j)| (m.get(0).as_int().unwrap_or(0), j.get(0).as_int().unwrap_or(0)))
             .collect();
 
-        let txn = self.db.begin();
-        let mut made = 0usize;
-        for (machine_id, job_id) in &pairs {
-            self.next_match_id += 1;
-            let result = (|| -> Result<()> {
-                self.db.execute_prepared_in(
-                    txn,
-                    &self.prepared.match_insert,
-                    &[
-                        Value::Int(self.next_match_id),
-                        Value::Int(*job_id),
-                        Value::Int(*machine_id),
-                        Value::Int(self.now_ms),
-                    ],
-                )?;
-                self.db.execute_prepared_in(
-                    txn,
-                    &self.prepared.job_set_matched,
-                    &[Value::Int(*job_id)],
-                )?;
-                self.db.execute_prepared_in(
-                    txn,
-                    &self.prepared.machine_set_state,
-                    &[Value::from("matched"), Value::Int(*machine_id)],
-                )?;
-                Ok(())
-            })();
-            match result {
-                Ok(()) => made += 1,
-                Err(e) => {
-                    self.db.rollback(txn)?;
-                    return Err(e);
-                }
-            }
-        }
-        self.db.commit(txn)?;
+        let first_match_id = self.next_match_id + 1;
+        let now = self.now_ms;
+        let txn = self.db.transaction();
+        txn.execute_batch(
+            &self.prepared.match_insert,
+            pairs
+                .iter()
+                .enumerate()
+                .map(|(i, (machine_id, job_id))| {
+                    (first_match_id + i as i64, *job_id, *machine_id, now)
+                }),
+        )?;
+        txn.execute_batch(
+            &self.prepared.job_set_matched,
+            pairs.iter().map(|(_, job_id)| (*job_id,)),
+        )?;
+        txn.execute_batch(
+            &self.prepared.machine_set_state,
+            pairs.iter().map(|(machine_id, _)| ("matched", *machine_id)),
+        )?;
+        txn.commit()?;
+
+        let made = pairs.len();
+        self.next_match_id += made as i64;
         self.matches_made += made as u64;
         Ok(made)
     }
@@ -537,44 +546,29 @@ impl CasState {
 
     /// Per-owner usage report from the history table (an example of the
     /// "expressive query language over the operational data" the paper touts).
-    pub fn usage_by_owner(&self) -> Result<Vec<(String, i64, f64)>> {
-        let r = self.db.query(
+    pub fn usage_by_owner(&self) -> Result<Vec<OwnerUsage>> {
+        self.db.session().query_as(
             "SELECT owner, COUNT(*) AS jobs, SUM(runtime_ms) AS total_ms \
              FROM job_history GROUP BY owner ORDER BY owner",
-        )?;
-        Ok(r.rows
-            .iter()
-            .map(|row| {
-                (
-                    row.get(0).as_text().unwrap_or("").to_string(),
-                    row.get(1).as_int().unwrap_or(0),
-                    row.get(2).as_double().unwrap_or(0.0) / 60_000.0,
-                )
-            })
-            .collect())
+            (),
+        )
     }
 
     /// Reads a configuration policy value.
     pub fn get_config(&self, name: &str) -> Result<Option<String>> {
-        let r = self
+        let value: Option<(Option<String>,)> = self
             .db
-            .query_prepared(&self.prepared.config_get, &[Value::from(name)])?;
-        Ok(r.first_value("value")
-            .and_then(|v| v.as_text().ok())
-            .map(str::to_string))
+            .session()
+            .query_one(&self.prepared.config_get, (name,))?;
+        Ok(value.and_then(|(v,)| v))
     }
 
     /// Writes a configuration policy value.
     pub fn set_config(&self, name: &str, value: &str) -> Result<()> {
-        let updated = self.db.execute_prepared(
-            &self.prepared.config_update,
-            &[Value::from(value), Value::Int(self.now_ms), Value::from(name)],
-        )?;
+        let mut sql = self.db.session();
+        let updated = sql.execute(&self.prepared.config_update, (value, self.now_ms, name))?;
         if updated.affected() == 0 {
-            self.db.execute_prepared(
-                &self.prepared.config_insert,
-                &[Value::from(name), Value::from(value), Value::Int(self.now_ms)],
-            )?;
+            sql.execute(&self.prepared.config_insert, (name, value, self.now_ms))?;
         }
         Ok(())
     }
@@ -596,36 +590,26 @@ impl CasState {
         output_dataset: &str,
     ) -> Result<i64> {
         self.next_provenance_id += 1;
-        self.db.execute_prepared(
+        self.db.session().execute(
             &self.prepared.provenance_insert,
-            &[
-                Value::Int(self.next_provenance_id),
-                Value::Int(job_id),
-                Value::from(executable),
-                Value::from(input_dataset),
-                Value::from(output_dataset),
-                Value::Int(self.now_ms),
-            ],
+            (
+                self.next_provenance_id,
+                job_id,
+                executable,
+                input_dataset,
+                output_dataset,
+                self.now_ms,
+            ),
         )?;
         Ok(self.next_provenance_id)
     }
 
     /// Answers the paper's provenance question: "what executable and input
     /// data generated this particular output data set?"
-    pub fn provenance_of(&self, output_dataset: &str) -> Result<Vec<(i64, String, String)>> {
-        let r = self
-            .db
-            .query_prepared(&self.prepared.provenance_query, &[Value::from(output_dataset)])?;
-        Ok(r.rows
-            .iter()
-            .map(|row| {
-                (
-                    row.get(0).as_int().unwrap_or(0),
-                    row.get(1).as_text().unwrap_or("").to_string(),
-                    row.get(2).as_text().unwrap_or("").to_string(),
-                )
-            })
-            .collect())
+    pub fn provenance_of(&self, output_dataset: &str) -> Result<Vec<ProvenanceRecord>> {
+        self.db
+            .session()
+            .query_as(&self.prepared.provenance_query, (output_dataset,))
     }
 }
 
@@ -808,15 +792,12 @@ pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
         |state: &mut CasState, req: &SoapRequest| {
             let job_id = req.int_param("job_id").unwrap_or(0);
             let new_state = req.text_param("state").unwrap_or_else(|_| "idle".into());
-            // The prepare is a statement-cache hit after the first call.
+            // The SQL text resolves through the statement cache after the
+            // first call; the session binds the tuple positionally.
             let result = state
                 .database()
-                .prepare("UPDATE jobs SET state = ? WHERE job_id = ?")
-                .and_then(|stmt| {
-                    state
-                        .database()
-                        .execute_prepared(&stmt, &[Value::Text(new_state), Value::Int(job_id)])
-                });
+                .session()
+                .execute("UPDATE jobs SET state = ? WHERE job_id = ?", (new_state, job_id));
             match result {
                 Ok(r) => SoapResponse::ok().with("affected", r.affected() as i64),
                 Err(e) => SoapResponse::fault(e.to_string()),
@@ -832,7 +813,8 @@ pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
             let now = state.now_ms;
             match state
                 .database()
-                .execute_prepared(&state.prepared.machine_touch, &[Value::Int(now), Value::Int(id)])
+                .session()
+                .execute(&state.prepared.machine_touch, (now, id))
             {
                 Ok(_) => SoapResponse::ok(),
                 Err(e) => SoapResponse::fault(e.to_string()),
@@ -844,6 +826,7 @@ pub fn register_services(registry: &mut ServiceRegistry<CasState>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relstore::Value;
 
     fn cas() -> CasState {
         CasState::new(Arc::new(Database::new())).unwrap()
@@ -889,12 +872,14 @@ mod tests {
         cas.accept_match(1, job).unwrap();
         cas.heartbeat(1, HeartbeatReport::Failed { job_id: job }).unwrap();
         assert_eq!(cas.jobs_requeued, 1);
-        let r = cas
+        let (state, requeues): (String, i64) = cas
             .database()
-            .query(&format!("SELECT state, requeues FROM jobs WHERE job_id = {job}"))
+            .session()
+            .query_one("SELECT state, requeues FROM jobs WHERE job_id = ?", (job,))
+            .unwrap()
             .unwrap();
-        assert_eq!(r.first_value("state").unwrap(), &Value::Text("idle".into()));
-        assert_eq!(r.first_value("requeues").unwrap(), &Value::Int(1));
+        assert_eq!(state, "idle");
+        assert_eq!(requeues, 1);
         // The machine is idle again and can be rematched.
         assert_eq!(cas.run_scheduler().unwrap(), 1);
     }
@@ -952,10 +937,27 @@ mod tests {
         }
         let usage = cas.usage_by_owner().unwrap();
         assert_eq!(usage.len(), 2);
-        assert_eq!(usage[0].0, "alice");
-        assert_eq!(usage[0].1, 2);
-        assert!((usage[0].2 - 3.0).abs() < 1e-9, "alice used 3 machine-minutes");
-        assert_eq!(usage[1].0, "bob");
+        assert_eq!(usage[0].owner, "alice");
+        assert_eq!(usage[0].jobs, 2);
+        assert!(
+            (usage[0].machine_minutes - 3.0).abs() < 1e-9,
+            "alice used 3 machine-minutes"
+        );
+        assert_eq!(usage[1].owner, "bob");
+
+        // An owner whose history rows carry NULL runtimes reports zero time
+        // rather than poisoning the whole report (SUM over NULLs is NULL).
+        cas.database()
+            .session()
+            .execute(
+                "INSERT INTO job_history (history_id, job_id, owner) VALUES (?, ?, ?)",
+                (999i64, 999i64, "carol"),
+            )
+            .unwrap();
+        let usage = cas.usage_by_owner().unwrap();
+        assert_eq!(usage.len(), 3);
+        assert_eq!(usage[2].owner, "carol");
+        assert_eq!(usage[2].machine_minutes, 0.0);
     }
 
     #[test]
@@ -968,8 +970,9 @@ mod tests {
             .unwrap();
         let lineage = cas.provenance_of("results-2006-11.out").unwrap();
         assert_eq!(lineage.len(), 1);
-        assert_eq!(lineage[0].1, "simulate-v2.1");
-        assert_eq!(lineage[0].2, "raw-2006-11.dat");
+        assert_eq!(lineage[0].job_id, job);
+        assert_eq!(lineage[0].executable, "simulate-v2.1");
+        assert_eq!(lineage[0].input_dataset, "raw-2006-11.dat");
         assert!(cas.provenance_of("unknown.out").unwrap().is_empty());
     }
 

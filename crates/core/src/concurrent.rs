@@ -10,7 +10,7 @@
 //! and doubles as the reference pattern for wiring real service threads to
 //! one embedded database.
 
-use relstore::{Database, Result, Value};
+use relstore::{Database, IntoParams, Result};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -47,15 +47,15 @@ impl ReadThroughput {
 /// The statement is prepared once, up front (so a malformed statement fails
 /// fast instead of stranding the start barrier); the threads share the
 /// prepared handle, wait on a barrier so they all start together, then bind
-/// the values produced by `params(thread_index, iteration)` per call.
-/// Results are passed through [`std::hint::black_box`] so the driver cannot
-/// optimise the reads away.
-pub fn drive_reads(
+/// the typed tuple produced by `params(thread_index, iteration)` per call
+/// (any [`IntoParams`] value works). Results are passed through
+/// [`std::hint::black_box`] so the driver cannot optimise the reads away.
+pub fn drive_reads<P: IntoParams>(
     db: &Database,
     threads: usize,
     iters_per_thread: u64,
     sql: &str,
-    params: impl Fn(usize, u64) -> Vec<Value> + Sync,
+    params: impl Fn(usize, u64) -> P + Sync,
 ) -> Result<ReadThroughput> {
     assert!(threads > 0, "drive_reads needs at least one thread");
     let stmt = db.prepare(sql)?;
@@ -70,7 +70,7 @@ pub fn drive_reads(
             handles.push(s.spawn(move || -> Result<()> {
                 barrier.wait();
                 for i in 0..iters_per_thread {
-                    let values = params(t, i);
+                    let values = params(t, i).into_params();
                     std::hint::black_box(db.query_prepared(&stmt, &values)?);
                 }
                 Ok(())
@@ -99,9 +99,9 @@ mod tests {
         let db = Database::new();
         db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
         let ins = db.prepare("INSERT INTO jobs VALUES (?, 'idle')").unwrap();
-        for i in 0..rows {
-            db.execute_prepared(&ins, &[Value::Int(i)]).unwrap();
-        }
+        db.session()
+            .execute_batch(&ins, (0..rows).map(|i| (i,)))
+            .unwrap();
         db
     }
 
@@ -110,7 +110,7 @@ mod tests {
         let db = jobs_db(100);
         let before = db.stats();
         let t = drive_reads(&db, 3, 50, "SELECT * FROM jobs WHERE job_id = ?", |t, i| {
-            vec![Value::Int(((t as u64 * 37 + i) % 100) as i64)]
+            (((t as u64 * 37 + i) % 100) as i64,)
         })
         .unwrap();
         assert_eq!(t.total_ops, 150);
@@ -126,10 +126,10 @@ mod tests {
         let db = jobs_db(1);
         // Execution-time failure (unknown table is caught at query time).
         assert!(drive_reads(&db, 2, 1, "SELECT * FROM missing WHERE job_id = ?", |_, _| {
-            vec![Value::Int(0)]
+            (0i64,)
         })
         .is_err());
         // Prepare-time failure must error out, not strand the start barrier.
-        assert!(drive_reads(&db, 2, 1, "SELEKT nope", |_, _| vec![]).is_err());
+        assert!(drive_reads(&db, 2, 1, "SELEKT nope", |_, _| ()).is_err());
     }
 }

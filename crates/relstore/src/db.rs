@@ -331,7 +331,7 @@ impl Database {
     /// parsed AST without re-lexing, a miss parses outside every lock and
     /// caches the result. Counted in `cache_hits` / `cache_misses`, and in
     /// `statements_parsed` only on a miss.
-    fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize)> {
+    pub(crate) fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize)> {
         if let Some(hit) = self.stmt_cache.lock().get(sql) {
             self.stats.record(&OpStats {
                 cache_hits: 1,
@@ -521,13 +521,213 @@ impl Database {
                     statements_executed: 1,
                     ..Default::default()
                 };
+                let mut log = Vec::new();
                 let result =
-                    Self::run_write(&mut catalog, &mut ctl, txn, stmt, params, &mut local);
+                    Self::run_write(&mut catalog, &mut ctl, txn, stmt, params, &mut local, &mut log);
+                // Changes that were applied before an error are still logged:
+                // their undo records exist and rollback discards them, so the
+                // WAL must carry them in case the transaction commits anyway.
+                let flushed = Self::flush_log(&mut ctl, txn, log, false, &mut local);
                 drop(ctl);
                 drop(catalog);
                 self.stats.record(&local);
-                result
+                let result = result?;
+                flushed?;
+                Ok(result)
             }
+        }
+    }
+
+    /// Appends buffered row-level change records to the WAL: the
+    /// transaction's lazy `Begin` first if needed, then either each record
+    /// individually (single-statement execution, preserving the one record
+    /// per change cadence) or everything wrapped into one
+    /// [`LogRecord::Batch`] append (batched execution — one WAL append for N
+    /// bindings).
+    fn flush_log(
+        ctl: &mut Control,
+        txn: TxnId,
+        log: Vec<LogRecord>,
+        as_batch: bool,
+        stats: &mut OpStats,
+    ) -> Result<()> {
+        if log.is_empty() {
+            return Ok(());
+        }
+        Self::wal_begin_if_needed(ctl, txn, stats)?;
+        if as_batch && log.len() > 1 {
+            ctl.wal.append(LogRecord::Batch { txn, changes: log }, stats);
+        } else {
+            for rec in log {
+                ctl.wal.append(rec, stats);
+            }
+        }
+        Ok(())
+    }
+
+    // --- batched execution ----------------------------------------------------
+
+    /// Executes a prepared DML statement once per parameter binding, taking
+    /// the catalog write guard and the control mutex **once** for the whole
+    /// batch and appending **one** WAL record for all of its changes.
+    ///
+    /// On success the stored data is identical to calling
+    /// [`execute_prepared`](Database::execute_prepared) in a loop with the
+    /// same bindings — same rows affected, same constraint checks — with
+    /// only the locking and logging cadence differing. On error the batch is
+    /// **stricter** than the loop: the whole batch runs as one implicit
+    /// transaction and rolls back entirely, whereas a loop of autocommit
+    /// statements would leave the bindings before the failure committed.
+    /// Returns the total number of rows affected.
+    pub fn execute_batch(&self, prepared: &Prepared, bindings: &[Vec<Value>]) -> Result<usize> {
+        let txn = self.begin();
+        match self.execute_batch_in(txn, prepared, bindings) {
+            Ok(n) => {
+                self.commit(txn)?;
+                Ok(n)
+            }
+            Err(e) => {
+                let _ = self.rollback(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// As [`Database::execute_batch`], inside an explicit transaction. On a
+    /// mid-batch error the bindings already applied stay pending (their undo
+    /// records exist), exactly as a failed statement in a loop would; the
+    /// caller decides whether to roll back.
+    pub fn execute_batch_in(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+    ) -> Result<usize> {
+        match prepared.stmt.as_ref() {
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {}
+            _ => {
+                return Err(Error::type_err(
+                    "execute_batch expects an INSERT, UPDATE or DELETE statement",
+                ))
+            }
+        }
+        for binding in bindings {
+            Self::check_arity(prepared, binding)?;
+        }
+        let mut catalog = self.catalog.write();
+        let mut ctl = self.ctl.lock();
+        let mut local = OpStats::default();
+        let mut log = Vec::new();
+        let mut affected = 0usize;
+        let mut failed = None;
+        for binding in bindings {
+            local.statements_executed += 1;
+            match Self::run_write(
+                &mut catalog,
+                &mut ctl,
+                txn,
+                &prepared.stmt,
+                binding,
+                &mut local,
+                &mut log,
+            ) {
+                Ok(result) => affected += result.affected(),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let flushed = Self::flush_log(&mut ctl, txn, log, true, &mut local);
+        drop(ctl);
+        drop(catalog);
+        self.stats.record(&local);
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        flushed?;
+        Ok(affected)
+    }
+
+    /// Executes a prepared SELECT once per parameter binding under a
+    /// **single** shared catalog guard and a single conflicting-writer
+    /// check — the pipelined form of a point-select loop. Results are
+    /// returned in binding order.
+    pub fn query_batch(
+        &self,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+    ) -> Result<Vec<QueryResult>> {
+        let sel = Self::batch_select(prepared, bindings)?;
+        let catalog = self.catalog.read();
+        {
+            let ctl = self.ctl.lock();
+            Self::ensure_readable(&ctl.locks, &sel.table)?;
+            for join in &sel.joins {
+                Self::ensure_readable(&ctl.locks, &join.table)?;
+            }
+        }
+        self.run_query_batch(&catalog, sel, bindings)
+    }
+
+    /// As [`Database::query_batch`], inside an explicit transaction (shared
+    /// table locks are registered once for the whole batch).
+    pub fn query_batch_in(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+    ) -> Result<Vec<QueryResult>> {
+        let sel = Self::batch_select(prepared, bindings)?;
+        let catalog = self.catalog.read();
+        {
+            let mut ctl = self.ctl.lock();
+            ctl.txns.get_active(txn)?;
+            ctl.locks
+                .acquire(txn, &lower_name(&sel.table), LockMode::Shared)?;
+            for join in &sel.joins {
+                ctl.locks
+                    .acquire(txn, &lower_name(&join.table), LockMode::Shared)?;
+            }
+        }
+        self.run_query_batch(&catalog, sel, bindings)
+    }
+
+    /// Validates a batch SELECT's shape and arities.
+    fn batch_select<'a>(prepared: &'a Prepared, bindings: &[Vec<Value>]) -> Result<&'a SelectStmt> {
+        let Statement::Select(sel) = prepared.stmt.as_ref() else {
+            return Err(Error::type_err("query_batch expects a SELECT statement"));
+        };
+        for binding in bindings {
+            Self::check_arity(prepared, binding)?;
+        }
+        Ok(sel)
+    }
+
+    /// Runs the per-binding SELECTs of a batch under an already-held guard.
+    fn run_query_batch(
+        &self,
+        catalog: &Catalog,
+        sel: &SelectStmt,
+        bindings: &[Vec<Value>],
+    ) -> Result<Vec<QueryResult>> {
+        let mut local = OpStats::default();
+        let mut out = Vec::with_capacity(bindings.len());
+        let mut failed = None;
+        for binding in bindings {
+            local.statements_executed += 1;
+            match execute_select_with(catalog, sel, binding, &mut local) {
+                Ok(q) => out.push(q),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        self.stats.record(&local);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 
@@ -556,7 +756,11 @@ impl Database {
     }
 
     /// Executes a mutating statement while holding the catalog write guard
-    /// and the control mutex.
+    /// and the control mutex. Row-level change records are pushed onto `log`
+    /// rather than appended to the WAL directly, so the caller controls the
+    /// append cadence (per record for single statements, one batch record for
+    /// batched execution).
+    #[allow(clippy::too_many_arguments)]
     fn run_write(
         catalog: &mut Catalog,
         ctl: &mut Control,
@@ -564,6 +768,7 @@ impl Database {
         stmt: &Statement,
         params: &[Value],
         stats: &mut OpStats,
+        log: &mut Vec<LogRecord>,
     ) -> Result<ExecResult> {
         ctl.txns.get_active(txn)?;
         match stmt {
@@ -575,14 +780,10 @@ impl Database {
                 }
                 let table = Table::new(schema.clone())?;
                 catalog.insert(name.clone(), table);
-                Self::wal_begin_if_needed(ctl, txn, stats)?;
-                ctl.wal.append(
-                    LogRecord::CreateTable {
-                        txn,
-                        schema: schema.clone(),
-                    },
-                    stats,
-                );
+                log.push(LogRecord::CreateTable {
+                    txn,
+                    schema: schema.clone(),
+                });
                 ctl.txns
                     .push_undo(txn, UndoRecord::CreateTable { table: name })?;
                 Ok(ExecResult::Ack)
@@ -624,19 +825,12 @@ impl Database {
                 catalog
                     .remove(&name)
                     .ok_or_else(|| Error::not_found(format!("table {table}")))?;
-                Self::wal_begin_if_needed(ctl, txn, stats)?;
-                ctl.wal.append(
-                    LogRecord::DropTable {
-                        txn,
-                        table: name,
-                    },
-                    stats,
-                );
+                log.push(LogRecord::DropTable { txn, table: name });
                 Ok(ExecResult::Ack)
             }
-            Statement::Insert(ins) => Self::run_insert(catalog, ctl, txn, ins, params, stats),
-            Statement::Update(upd) => Self::run_update(catalog, ctl, txn, upd, params, stats),
-            Statement::Delete(del) => Self::run_delete(catalog, ctl, txn, del, params, stats),
+            Statement::Insert(ins) => Self::run_insert(catalog, ctl, txn, ins, params, stats, log),
+            Statement::Update(upd) => Self::run_update(catalog, ctl, txn, upd, params, stats, log),
+            Statement::Delete(del) => Self::run_delete(catalog, ctl, txn, del, params, stats, log),
             Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Select(_) => {
                 unreachable!("handled by execute_stmt_in_params")
             }
@@ -686,6 +880,7 @@ impl Database {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_insert(
         catalog: &mut Catalog,
         ctl: &mut Control,
@@ -693,6 +888,7 @@ impl Database {
         ins: &InsertStmt,
         params: &[Value],
         stats: &mut OpStats,
+        log: &mut Vec<LogRecord>,
     ) -> Result<ExecResult> {
         let name = ins.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
@@ -739,16 +935,12 @@ impl Database {
             let row = table.get(row_id).cloned().ok_or_else(|| {
                 Error::internal("row missing immediately after insert")
             })?;
-            Self::wal_begin_if_needed(ctl, txn, stats)?;
-            ctl.wal.append(
-                LogRecord::Insert {
-                    txn,
-                    table: name.clone(),
-                    row_id,
-                    row,
-                },
-                stats,
-            );
+            log.push(LogRecord::Insert {
+                txn,
+                table: name.clone(),
+                row_id,
+                row,
+            });
             ctl.txns
                 .push_undo(txn, UndoRecord::Insert { table: name.clone(), row_id })?;
             inserted += 1;
@@ -756,6 +948,7 @@ impl Database {
         Ok(ExecResult::Affected(inserted))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_update(
         catalog: &mut Catalog,
         ctl: &mut Control,
@@ -763,6 +956,7 @@ impl Database {
         upd: &UpdateStmt,
         params: &[Value],
         stats: &mut OpStats,
+        log: &mut Vec<LogRecord>,
     ) -> Result<ExecResult> {
         let name = upd.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
@@ -784,17 +978,13 @@ impl Database {
                 assignments.push((idx, value));
             }
             let (before, after) = table.update(id, &assignments, stats)?;
-            Self::wal_begin_if_needed(ctl, txn, stats)?;
-            ctl.wal.append(
-                LogRecord::Update {
-                    txn,
-                    table: name.clone(),
-                    row_id: id,
-                    before: before.clone(),
-                    after,
-                },
-                stats,
-            );
+            log.push(LogRecord::Update {
+                txn,
+                table: name.clone(),
+                row_id: id,
+                before: before.clone(),
+                after,
+            });
             ctl.txns.push_undo(
                 txn,
                 UndoRecord::Update {
@@ -808,6 +998,7 @@ impl Database {
         Ok(ExecResult::Affected(affected))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_delete(
         catalog: &mut Catalog,
         ctl: &mut Control,
@@ -815,6 +1006,7 @@ impl Database {
         del: &DeleteStmt,
         params: &[Value],
         stats: &mut OpStats,
+        log: &mut Vec<LogRecord>,
     ) -> Result<ExecResult> {
         let name = del.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
@@ -825,16 +1017,12 @@ impl Database {
         let mut affected = 0usize;
         for id in ids {
             let before = table.delete(id, stats)?;
-            Self::wal_begin_if_needed(ctl, txn, stats)?;
-            ctl.wal.append(
-                LogRecord::Delete {
-                    txn,
-                    table: name.clone(),
-                    row_id: id,
-                    before: before.clone(),
-                },
-                stats,
-            );
+            log.push(LogRecord::Delete {
+                txn,
+                table: name.clone(),
+                row_id: id,
+                before: before.clone(),
+            });
             ctl.txns.push_undo(
                 txn,
                 UndoRecord::Delete {
@@ -856,14 +1044,18 @@ impl Database {
     ///
     /// A checkpoint while any transaction is active would snapshot its
     /// uncommitted changes and truncate the very records recovery needs to
-    /// discard them, so the checkpoint is skipped (returning 0) until the
-    /// engine is quiescent — the background maintenance task simply retries
-    /// on its next interval.
-    pub fn checkpoint(&self) -> u64 {
+    /// discard them, so it fails with a **retryable** [`Error::Busy`] until
+    /// the engine is quiescent — distinguishable from a successful checkpoint
+    /// of an empty log (`Ok(bytes)`), so callers retry instead of misreading
+    /// "nothing to checkpoint".
+    pub fn checkpoint(&self) -> Result<u64> {
         let catalog = self.catalog.read();
         let mut ctl = self.ctl.lock();
-        if ctl.txns.active_count() > 0 {
-            return 0;
+        let active = ctl.txns.active_count();
+        if active > 0 {
+            return Err(Error::busy(format!(
+                "checkpoint deferred: {active} active transaction(s)"
+            )));
         }
         let mut scratch = OpStats::default();
         let snapshot: Vec<TableSnapshot> = catalog
@@ -881,7 +1073,7 @@ impl Database {
         drop(ctl);
         drop(catalog);
         self.stats.record(&local);
-        local.wal_bytes
+        Ok(local.wal_bytes)
     }
 
     /// Verifies heap/index consistency of every table. Used by tests.
@@ -892,74 +1084,21 @@ impl Database {
         }
         Ok(())
     }
-}
 
-/// A lightweight session that tracks an optional open transaction so callers
-/// can drive the database purely through SQL text, including `BEGIN`,
-/// `COMMIT` and `ROLLBACK`.
-#[derive(Debug)]
-pub struct Session<'a> {
-    db: &'a Database,
-    txn: Option<TxnId>,
-}
+    // --- typed client surface -------------------------------------------------
 
-impl<'a> Session<'a> {
-    /// Creates a session over `db` with no open transaction.
-    pub fn new(db: &'a Database) -> Self {
-        Session { db, txn: None }
+    /// Opens a [`Session`](crate::Session) — the typed client surface
+    /// (tuple-bound parameters, [`FromRow`](crate::FromRow) decoding, RAII
+    /// transactions). Sessions are two words; open one per request.
+    pub fn session(&self) -> crate::Session<'_> {
+        crate::Session::new(self)
     }
 
-    /// True when an explicit transaction is open.
-    pub fn in_transaction(&self) -> bool {
-        self.txn.is_some()
-    }
-
-    /// Executes one SQL statement, honouring transaction-control statements.
-    /// Parsing goes through the database's statement cache.
-    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let (stmt, params) = self.db.cached_parse(sql)?;
-        if params > 0 {
-            return Err(Error::type_err(format!(
-                "statement has {params} parameter(s); use prepare()/execute_prepared()"
-            )));
-        }
-        match &*stmt {
-            Statement::Begin => {
-                if self.txn.is_some() {
-                    return Err(Error::type_err("transaction already open"));
-                }
-                self.txn = Some(self.db.begin());
-                Ok(ExecResult::Ack)
-            }
-            Statement::Commit => {
-                let txn = self
-                    .txn
-                    .take()
-                    .ok_or_else(|| Error::type_err("no open transaction"))?;
-                self.db.commit(txn)?;
-                Ok(ExecResult::Ack)
-            }
-            Statement::Rollback => {
-                let txn = self
-                    .txn
-                    .take()
-                    .ok_or_else(|| Error::type_err("no open transaction"))?;
-                self.db.rollback(txn)?;
-                Ok(ExecResult::Ack)
-            }
-            other => match self.txn {
-                Some(txn) => self.db.execute_stmt_in(txn, other),
-                None => self.db.execute_stmt(other),
-            },
-        }
-    }
-}
-
-impl<'a> Drop for Session<'a> {
-    fn drop(&mut self) {
-        if let Some(txn) = self.txn.take() {
-            let _ = self.db.rollback(txn);
-        }
+    /// Begins an explicit transaction and returns the RAII
+    /// [`Transaction`](crate::Transaction) guard: `commit()` consumes the
+    /// guard, dropping it (including during a panic unwind) rolls back.
+    pub fn transaction(&self) -> crate::Transaction<'_> {
+        crate::Transaction::begin(self)
     }
 }
 
@@ -1074,51 +1213,12 @@ mod tests {
     fn checkpoint_truncates_wal_and_preserves_recovery() {
         let db = setup();
         let before = db.wal_len();
-        db.checkpoint();
+        db.checkpoint().unwrap();
         assert!(db.wal_len() < before);
         db.execute("INSERT INTO jobs (job_id, owner) VALUES (9, 'zoe')").unwrap();
         let recovered = Database::recover_from(db.snapshot_wal()).unwrap();
         assert_eq!(recovered.table_len("jobs").unwrap(), 4);
         assert!(db.stats().checkpoints >= 1);
-    }
-
-    #[test]
-    fn session_drives_transactions_through_sql() {
-        let db = setup();
-        let mut session = Session::new(&db);
-        session.execute("BEGIN").unwrap();
-        assert!(session.in_transaction());
-        session
-            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')")
-            .unwrap();
-        session.execute("ROLLBACK").unwrap();
-        assert_eq!(db.table_len("jobs").unwrap(), 3);
-
-        session.execute("BEGIN").unwrap();
-        session
-            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')")
-            .unwrap();
-        session.execute("COMMIT").unwrap();
-        assert_eq!(db.table_len("jobs").unwrap(), 4);
-
-        assert!(session.execute("COMMIT").is_err());
-        assert!(Session::new(&db).execute("ROLLBACK").is_err());
-    }
-
-    #[test]
-    fn dropped_session_releases_its_transaction() {
-        let db = setup();
-        {
-            let mut session = Session::new(&db);
-            session.execute("BEGIN").unwrap();
-            session
-                .execute("UPDATE jobs SET state = 'held' WHERE job_id = 1")
-                .unwrap();
-            // Dropped without commit.
-        }
-        // The lock must be gone and the change rolled back.
-        let r = db.query("SELECT state FROM jobs WHERE job_id = 1").unwrap();
-        assert_eq!(r.first_value("state"), Some(&Value::Text("idle".into())));
     }
 
     #[test]
@@ -1187,8 +1287,6 @@ mod tests {
         let txn = db.begin();
         assert!(db.execute_in(txn, "DELETE FROM jobs WHERE job_id = ?").is_err());
         db.rollback(txn).unwrap();
-        let mut session = Session::new(&db);
-        assert!(session.execute("SELECT * FROM jobs WHERE job_id = ?").is_err());
     }
 
     #[test]
@@ -1280,13 +1378,16 @@ mod tests {
         db.execute_in(txn, "INSERT INTO jobs (job_id, owner) VALUES (8, 'eve')").unwrap();
         let wal_before = db.wal_len();
         // Checkpointing now would snapshot the uncommitted row and truncate
-        // the records recovery needs to discard it; it must refuse.
-        assert_eq!(db.checkpoint(), 0);
+        // the records recovery needs to discard it; it must refuse with a
+        // retryable busy error, not a silent "0 bytes written".
+        let err = db.checkpoint().unwrap_err();
+        assert!(matches!(err, Error::Busy(_)));
+        assert!(err.is_retryable());
         assert_eq!(db.wal_len(), wal_before);
         db.rollback(txn).unwrap();
 
         // The rolled-back insert must not survive a checkpoint + recovery.
-        assert!(db.checkpoint() > 0);
+        assert!(db.checkpoint().unwrap() > 0);
         let recovered = Database::recover_from(db.snapshot_wal()).unwrap();
         assert_eq!(recovered.table_len("jobs").unwrap(), 3);
         assert_eq!(

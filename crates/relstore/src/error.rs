@@ -6,7 +6,9 @@ use std::fmt;
 ///
 /// The variants are deliberately coarse-grained: callers (the application
 /// server, the CondorJ2 services) generally either retry, abort the enclosing
-/// transaction, or surface the message to an administrator.
+/// transaction, or surface the message to an administrator. Service layers
+/// should branch on [`Error::class`] / [`Error::is_retryable`] rather than on
+/// variant names or message text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// A table, column or index that was referenced does not exist.
@@ -22,12 +24,34 @@ pub enum Error {
     /// The requested lock could not be acquired (conflict with another
     /// in-flight transaction). The transaction should abort and retry.
     LockConflict(String),
+    /// The engine is temporarily unable to run a maintenance operation (e.g.
+    /// a checkpoint requested while transactions are active). Retry later.
+    Busy(String),
     /// The transaction handle is no longer usable (already committed/aborted).
     TxnClosed(String),
     /// The write-ahead log or recovery machinery failed.
     Wal(String),
     /// Catch-all for internal invariant violations. Seeing this is a bug.
     Internal(String),
+}
+
+/// The coarse taxonomy of engine errors, used by service layers to decide how
+/// to react without matching on variant names or message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// A transient condition (lock conflict, checkpoint-busy). Retrying the
+    /// same request after backing off is expected to succeed.
+    Retryable,
+    /// The request itself is wrong: unparseable SQL, a type/arity mismatch,
+    /// an unknown or duplicate object, or a closed transaction handle.
+    /// Retrying without changing the request will fail again.
+    Logic,
+    /// The request was well-formed but violated a data-integrity rule
+    /// (primary key, uniqueness, NOT NULL). The data, not the code, decides.
+    Constraint,
+    /// The engine itself failed (WAL corruption, broken invariants).
+    /// Not caller-correctable; surface to an operator.
+    Internal,
 }
 
 impl Error {
@@ -56,10 +80,30 @@ impl Error {
         Error::Internal(msg.into())
     }
 
+    /// Convenience constructor for [`Error::Busy`].
+    pub fn busy(msg: impl Into<String>) -> Self {
+        Error::Busy(msg.into())
+    }
+
+    /// Classifies the error into the coarse [`ErrorClass`] taxonomy.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::LockConflict(_) | Error::Busy(_) => ErrorClass::Retryable,
+            Error::NotFound(_)
+            | Error::AlreadyExists(_)
+            | Error::Type(_)
+            | Error::Parse(_)
+            | Error::TxnClosed(_) => ErrorClass::Logic,
+            Error::Constraint(_) => ErrorClass::Constraint,
+            Error::Wal(_) | Error::Internal(_) => ErrorClass::Internal,
+        }
+    }
+
     /// True when the error indicates a transient conflict that a caller may
-    /// safely retry after backing off.
+    /// safely retry after backing off (shorthand for
+    /// `class() == ErrorClass::Retryable`).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::LockConflict(_))
+        self.class() == ErrorClass::Retryable
     }
 }
 
@@ -72,6 +116,7 @@ impl fmt::Display for Error {
             Error::Parse(s) => write!(f, "parse error: {s}"),
             Error::Constraint(s) => write!(f, "constraint violation: {s}"),
             Error::LockConflict(s) => write!(f, "lock conflict: {s}"),
+            Error::Busy(s) => write!(f, "busy: {s}"),
             Error::TxnClosed(s) => write!(f, "transaction closed: {s}"),
             Error::Wal(s) => write!(f, "wal error: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
@@ -99,8 +144,23 @@ mod tests {
     #[test]
     fn retryable_classification() {
         assert!(Error::LockConflict("row 5".into()).is_retryable());
+        assert!(Error::busy("checkpoint with 2 active txns").is_retryable());
         assert!(!Error::not_found("x").is_retryable());
         assert!(!Error::constraint("pk").is_retryable());
+    }
+
+    #[test]
+    fn error_classes_cover_the_taxonomy() {
+        assert_eq!(Error::LockConflict("t".into()).class(), ErrorClass::Retryable);
+        assert_eq!(Error::busy("checkpoint").class(), ErrorClass::Retryable);
+        assert_eq!(Error::parse("bad token").class(), ErrorClass::Logic);
+        assert_eq!(Error::type_err("arity").class(), ErrorClass::Logic);
+        assert_eq!(Error::not_found("jobs").class(), ErrorClass::Logic);
+        assert_eq!(Error::AlreadyExists("jobs".into()).class(), ErrorClass::Logic);
+        assert_eq!(Error::TxnClosed("txn9".into()).class(), ErrorClass::Logic);
+        assert_eq!(Error::constraint("pk").class(), ErrorClass::Constraint);
+        assert_eq!(Error::Wal("bad record".into()).class(), ErrorClass::Internal);
+        assert_eq!(Error::internal("bug").class(), ErrorClass::Internal);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Query execution: SELECT evaluation, joins, aggregation, sorting.
 //!
 //! The executor is pure with respect to the catalog: it reads tables and
-//! produces a [`QueryResult`], charging its work to the [`OpStats`] passed in.
+//! produces a [`QueryResult`], charging its work to the
+//! [`OpStats`](crate::OpStats) passed in.
 //! Mutating statements are executed by [`crate::db::Database`], which owns the
 //! write-ahead log and transaction machinery.
 
@@ -12,6 +13,8 @@ pub use select::{
     execute_select, execute_select_with, matching_row_ids, matching_row_ids_with, Catalog,
 };
 
+use crate::convert::{resolve_column, FromRow, RowView};
+use crate::error::Result;
 use crate::tuple::Row;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -53,26 +56,27 @@ impl QueryResult {
     /// Returns the ordinal of an output column by name (case-insensitive,
     /// accepting either the qualified or unqualified form).
     pub fn column_index(&self, column: &str) -> Option<usize> {
-        let want = column.to_ascii_lowercase();
-        if let Some(i) = self
-            .columns
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(&want))
-        {
-            return Some(i);
-        }
-        // Accept `col` for an output column named `table.col`.
-        let suffix = format!(".{want}");
-        let mut found = None;
-        for (i, c) in self.columns.iter().enumerate() {
-            if c.to_ascii_lowercase().ends_with(&suffix) {
-                if found.is_some() {
-                    return None;
-                }
-                found = Some(i);
-            }
-        }
-        found
+        resolve_column(&self.columns, column)
+    }
+
+    /// A [`RowView`] over row `row` — by-name, typed access to its values.
+    pub fn view(&self, row: usize) -> Option<RowView<'_>> {
+        self.rows.get(row).map(|r| RowView::new(&self.columns, r))
+    }
+
+    /// Iterates [`RowView`]s over every result row.
+    pub fn views(&self) -> impl Iterator<Item = RowView<'_>> {
+        self.rows.iter().map(|r| RowView::new(&self.columns, r))
+    }
+
+    /// Decodes every result row into `T` via its [`FromRow`] impl.
+    pub fn decode<T: FromRow>(&self) -> Result<Vec<T>> {
+        self.views().map(|v| T::from_row(&v)).collect()
+    }
+
+    /// Decodes the first result row, if any.
+    pub fn decode_first<T: FromRow>(&self) -> Result<Option<T>> {
+        self.view(0).map(|v| T::from_row(&v)).transpose()
     }
 
     /// Returns the value at (`row`, `column`), if present.

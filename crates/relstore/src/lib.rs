@@ -41,17 +41,103 @@
 //!   first logged change; read-only explicit transactions never touch the
 //!   log, and their Commit/Abort records are elided too.
 //!
-//! ## Quick example
+//! ## The typed session API
+//!
+//! [`Session`] is the primary client handle: the paper turns every
+//! cluster-management action into a database action, so the SQL client
+//! surface *is* the system's internal API and deserves real types. A session
+//! binds parameters from plain Rust tuples, decodes rows into structs by
+//! column name, and hands out RAII transactions:
+//!
+//! ```
+//! use relstore::{Database, FromRow, Result, RowView};
+//!
+//! struct Job { id: i64, state: String, runtime: Option<f64> }
+//!
+//! impl FromRow for Job {
+//!     fn from_row(row: &RowView<'_>) -> Result<Self> {
+//!         Ok(Job {
+//!             id: row.get("job_id")?,       // by interned column name
+//!             state: row.get("state")?,
+//!             runtime: row.get("runtime")?, // Option<T> maps SQL NULL to None
+//!         })
+//!     }
+//! }
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT, runtime DOUBLE)")?;
+//!
+//! let mut session = db.session();
+//! let insert = db.prepare("INSERT INTO jobs VALUES (?, ?, ?)")?;
+//! session.execute(&insert, (1i64, "idle", 60.0))?;           // tuple params
+//! session.execute(&insert, (2i64, "idle", Option::<f64>::None))?;
+//!
+//! let idle: Vec<Job> = session.query_as(
+//!     "SELECT * FROM jobs WHERE state = ? ORDER BY job_id", ("idle",))?;
+//! assert_eq!(idle.len(), 2);
+//! assert_eq!(idle[1].runtime, None);
+//! let ids: Vec<i64> = session.query_scalars("SELECT job_id FROM jobs", ())?;
+//! assert_eq!(ids.len(), 2);
+//! # assert_eq!(idle[0].id, 1); assert_eq!(idle[0].state, "idle");
+//! # Ok::<(), relstore::Error>(())
+//! ```
+//!
+//! Statements are anything [`ToStatement`] accepts: SQL text (routed through
+//! the statement cache) or a [`Prepared`] handle (no lookup at all).
+//!
+//! ## Transactions are RAII guards
+//!
+//! [`Database::transaction`] / [`Session::transaction`] return a
+//! [`Transaction`] guard. `commit()` consumes the guard; dropping it — on an
+//! early return, `?` propagation, or a panic unwinding past it — rolls back
+//! and releases the transaction's locks. No raw transaction ids cross the
+//! service layer.
 //!
 //! ```
 //! use relstore::Database;
 //!
 //! let db = Database::new();
-//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT, runtime DOUBLE)").unwrap();
-//! db.execute("INSERT INTO jobs VALUES (1, 'idle', 60.0), (2, 'idle', 300.0)").unwrap();
-//! db.execute("UPDATE jobs SET state = 'running' WHERE job_id = 1").unwrap();
-//! let idle = db.query("SELECT COUNT(*) FROM jobs WHERE state = 'idle'").unwrap();
-//! assert_eq!(idle.scalar_int(), Some(1));
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+//! db.execute("INSERT INTO jobs VALUES (1, 'idle')")?;
+//!
+//! {
+//!     let txn = db.transaction();
+//!     txn.execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))?;
+//!     // Guard dropped here without commit: the update rolls back.
+//! }
+//! let r = db.query("SELECT COUNT(*) FROM jobs WHERE state = 'idle'")?;
+//! assert_eq!(r.scalar_int(), Some(1));
+//!
+//! let txn = db.transaction();
+//! txn.execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))?;
+//! txn.commit()?; // consumes the guard; the update is durable
+//! # Ok::<(), relstore::Error>(())
+//! ```
+//!
+//! ## Batched execution
+//!
+//! A scheduler pass writes N near-identical rows. Executing them one
+//! statement at a time pays N catalog write guards and ~3N WAL appends;
+//! [`Session::execute_batch`] (and [`Transaction::execute_batch`]) runs all
+//! bindings of one prepared statement under **one** guard with **one** WAL
+//! append ([`wal::LogRecord::Batch`]), with the same all-or-nothing outcome
+//! as the loop. [`Session::query_batch`] is the read-side analogue: N point
+//! selects pipelined under a single shared catalog guard.
+//!
+//! ```
+//! use relstore::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE matches (match_id INT PRIMARY KEY, job_id INT, machine_id INT)")?;
+//! let insert = db.prepare("INSERT INTO matches VALUES (?, ?, ?)")?;
+//!
+//! let made = db.session().execute_batch(
+//!     &insert,
+//!     (0..32i64).map(|i| (i, 100 + i, 200 + i)),
+//! )?;
+//! assert_eq!(made, 32);
+//! # assert_eq!(db.table_len("matches")?, 32);
+//! # Ok::<(), relstore::Error>(())
 //! ```
 //!
 //! ## Prepared statements and the statement cache
@@ -62,44 +148,38 @@
 //!
 //! * **Prepared statements.** [`Database::prepare`](db::Database::prepare)
 //!   parses SQL containing `?` placeholders once and returns a [`Prepared`]
-//!   handle; `execute_prepared` / `query_prepared` /
-//!   `execute_prepared_in` bind values positionally and run the cached AST.
-//!   Bound values are substituted as literals *after* parsing, so parameter
-//!   text can never be re-interpreted as SQL (injection-safe by
-//!   construction).
+//!   handle the session API executes directly. Bound values flow through
+//!   planning and evaluation as context *after* parsing, so parameter text
+//!   can never be re-interpreted as SQL (injection-safe by construction).
 //!
 //! * **The statement cache.** The database keeps an internal LRU cache
 //!   (default 256 entries, see
 //!   [`Database::set_statement_cache_capacity`](db::Database::set_statement_cache_capacity))
-//!   keyed by exact SQL text. Plain [`Database::execute`](db::Database::execute) /
-//!   [`query`](db::Database::query) calls consult it too, so even un-migrated
-//!   call sites stop paying the parser once the cache is warm. Hits and
-//!   misses are observable as `cache_hits` / `cache_misses` in [`OpStats`];
-//!   `statements_parsed` advances only on misses.
+//!   keyed by exact SQL text. SQL text handed to the session API and the
+//!   plain [`Database::execute`](db::Database::execute) / [`query`](db::Database::query)
+//!   calls consult it too, so even un-migrated call sites stop paying the
+//!   parser once the cache is warm. Hits and misses are observable as
+//!   `cache_hits` / `cache_misses` in [`OpStats`]; `statements_parsed`
+//!   advances only on misses.
 //!
-//! ```
-//! use relstore::{Database, Value};
+//! ## Errors
 //!
-//! let db = Database::new();
-//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
-//! let insert = db.prepare("INSERT INTO jobs VALUES (?, ?)").unwrap();
-//! for id in 0..3 {
-//!     db.execute_prepared(&insert, &[Value::Int(id), Value::from("idle")]).unwrap();
-//! }
-//! let by_id = db.prepare("SELECT state FROM jobs WHERE job_id = ?").unwrap();
-//! let row = db.query_prepared(&by_id, &[Value::Int(2)]).unwrap();
-//! assert_eq!(row.first_value("state"), Some(&Value::from("idle")));
-//! assert_eq!(db.stats().statements_parsed, 3); // DDL + two prepares, no re-parses
-//! ```
+//! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
+//! conditions (lock conflicts, [checkpoint-busy](db::Database::checkpoint))
+//! vs **logic** errors (bad SQL, type/arity mismatches) vs **constraint**
+//! violations vs **internal** failures — so service layers branch on
+//! [`Error::is_retryable`] instead of matching message strings.
 
 #![warn(missing_docs)]
 
+pub mod convert;
 pub mod db;
 pub mod error;
 pub mod exec;
 pub mod index;
 pub mod predicate;
 pub mod schema;
+pub mod session;
 pub mod sql;
 pub mod stats;
 pub mod table;
@@ -108,11 +188,13 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, ExecResult, Prepared, Session};
-pub use error::{Error, Result};
+pub use convert::{FromRow, FromValue, IntoParams, RowView, ToStatement};
+pub use db::{Database, ExecResult, Prepared};
+pub use error::{Error, ErrorClass, Result};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};
+pub use session::{Session, Transaction};
 pub use stats::OpStats;
 pub use tuple::{Row, RowId};
 pub use value::{DataType, Value};

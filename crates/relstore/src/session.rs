@@ -1,0 +1,666 @@
+//! The typed client surface: [`Session`] and the RAII [`Transaction`] guard.
+//!
+//! The paper's thesis makes the SQL client surface the system's internal API
+//! — every cluster-management action is a database action — so this surface
+//! is designed to be used everywhere, not just at a console:
+//!
+//! * parameters bind from plain Rust tuples ([`IntoParams`]), so a service
+//!   writes `session.execute(&stmt, (job_id, now_ms))`;
+//! * rows decode into structs by column *name* ([`FromRow`] over
+//!   [`crate::RowView`]), so a projection reorder cannot silently misassign
+//!   fields the way positional indexing does;
+//! * transactions are RAII guards: [`Transaction::commit`] consumes the
+//!   guard, and dropping it — on early return or mid-panic — rolls back;
+//! * batches ([`Session::execute_batch`], [`Session::query_batch`]) run N
+//!   bindings of one prepared statement under a single catalog guard with a
+//!   single WAL append, for scheduler-sweep-shaped write bursts.
+
+use crate::convert::{FromRow, FromValue, IntoParams, ToStatement};
+use crate::db::{Database, ExecResult, Prepared};
+use crate::error::{Error, Result};
+use crate::exec::QueryResult;
+use crate::sql::ast::Statement;
+use crate::wal::TxnId;
+
+/// A lightweight client handle over a [`Database`].
+///
+/// A session is two words (a database reference and an optional open
+/// transaction id); open one per request. All typed access — tuple-bound
+/// parameters, [`FromRow`] decoding, batches — goes through it. SQL-text
+/// transaction control (`BEGIN` / `COMMIT` / `ROLLBACK`) is honoured for
+/// console-style callers; programmatic callers should prefer the
+/// [`Session::transaction`] RAII guard. A session dropped with an open
+/// SQL-level transaction rolls it back.
+#[derive(Debug)]
+pub struct Session<'a> {
+    db: &'a Database,
+    txn: Option<TxnId>,
+}
+
+impl<'a> Session<'a> {
+    /// Creates a session over `db` with no open transaction.
+    pub fn new(db: &'a Database) -> Self {
+        Session { db, txn: None }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// True when a SQL-level (`BEGIN`) transaction is open on this session.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Executes one statement — SQL text or a prepared handle — binding
+    /// `params` positionally to its `?` placeholders.
+    ///
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` statements drive the session's
+    /// SQL-level transaction; every other statement runs inside the open
+    /// transaction if there is one, else in autocommit mode.
+    pub fn execute<S: ToStatement, P: IntoParams>(
+        &mut self,
+        stmt: S,
+        params: P,
+    ) -> Result<ExecResult> {
+        let prepared = stmt.to_prepared(self.db)?;
+        let values = params.into_params();
+        match prepared.statement() {
+            Statement::Begin | Statement::Commit | Statement::Rollback if !values.is_empty() => {
+                Err(Error::type_err(format!(
+                    "transaction-control statements take no parameters, got {}",
+                    values.len()
+                )))
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::type_err("transaction already open"));
+                }
+                self.txn = Some(self.db.begin());
+                Ok(ExecResult::Ack)
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::type_err("no open transaction"))?;
+                self.db.commit(txn)?;
+                Ok(ExecResult::Ack)
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::type_err("no open transaction"))?;
+                self.db.rollback(txn)?;
+                Ok(ExecResult::Ack)
+            }
+            _ => match self.txn {
+                Some(txn) => self.db.execute_prepared_in(txn, &prepared, &values),
+                None => self.db.execute_prepared(&prepared, &values),
+            },
+        }
+    }
+
+    /// Executes a SELECT and returns its rows.
+    pub fn query<S: ToStatement, P: IntoParams>(
+        &mut self,
+        stmt: S,
+        params: P,
+    ) -> Result<QueryResult> {
+        self.execute(stmt, params)?.query()
+    }
+
+    /// Executes a SELECT and decodes every row into `T`.
+    pub fn query_as<T: FromRow, S: ToStatement, P: IntoParams>(
+        &mut self,
+        stmt: S,
+        params: P,
+    ) -> Result<Vec<T>> {
+        self.query(stmt, params)?.decode()
+    }
+
+    /// Executes a SELECT and decodes the first row, if any.
+    pub fn query_one<T: FromRow, S: ToStatement, P: IntoParams>(
+        &mut self,
+        stmt: S,
+        params: P,
+    ) -> Result<Option<T>> {
+        self.query(stmt, params)?.decode_first()
+    }
+
+    /// Executes a single-column SELECT and decodes each row's value —
+    /// the typed form of "give me the list of ids".
+    pub fn query_scalars<T: FromValue, S: ToStatement, P: IntoParams>(
+        &mut self,
+        stmt: S,
+        params: P,
+    ) -> Result<Vec<T>> {
+        let result = self.query(stmt, params)?;
+        result.views().map(|v| v.get_at(0)).collect()
+    }
+
+    /// Executes a prepared DML statement once per binding under one catalog
+    /// guard and one WAL append (see [`Database::execute_batch`]). Runs
+    /// inside the session's open transaction if there is one.
+    pub fn execute_batch<P: IntoParams>(
+        &mut self,
+        stmt: &Prepared,
+        bindings: impl IntoIterator<Item = P>,
+    ) -> Result<usize> {
+        let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
+        match self.txn {
+            Some(txn) => self.db.execute_batch_in(txn, stmt, &bindings),
+            None => self.db.execute_batch(stmt, &bindings),
+        }
+    }
+
+    /// Executes a prepared SELECT once per binding under a single shared
+    /// catalog guard (see [`Database::query_batch`]).
+    pub fn query_batch<P: IntoParams>(
+        &mut self,
+        stmt: &Prepared,
+        bindings: impl IntoIterator<Item = P>,
+    ) -> Result<Vec<QueryResult>> {
+        let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
+        match self.txn {
+            Some(txn) => self.db.query_batch_in(txn, stmt, &bindings),
+            None => self.db.query_batch(stmt, &bindings),
+        }
+    }
+
+    /// Begins an explicit transaction and returns its RAII guard. While the
+    /// guard lives the session is mutably borrowed, so all statements go
+    /// through the guard; commit consumes it, drop rolls back.
+    ///
+    /// Fails if a SQL-level `BEGIN` transaction is already open.
+    pub fn transaction(&mut self) -> Result<Transaction<'_>> {
+        if self.txn.is_some() {
+            return Err(Error::type_err(
+                "a SQL-level transaction is already open on this session",
+            ));
+        }
+        Ok(Transaction::begin(self.db))
+    }
+}
+
+impl<'a> Drop for Session<'a> {
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            let _ = self.db.rollback(txn);
+        }
+    }
+}
+
+/// An RAII transaction guard.
+///
+/// Obtained from [`Database::transaction`] or [`Session::transaction`].
+/// Statements executed through the guard run inside the transaction;
+/// [`commit`](Transaction::commit) consumes the guard, and dropping it
+/// without committing — early return, `?` propagation, or a panic unwinding
+/// past it — rolls the transaction back and releases its locks. The id-passing
+/// `begin()` / `commit(TxnId)` surface still exists underneath for the
+/// recovery machinery, but services should never touch raw ids.
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    db: &'a Database,
+    id: TxnId,
+    open: bool,
+}
+
+impl<'a> Transaction<'a> {
+    /// Begins a transaction on `db` (used by the `Database`/`Session`
+    /// constructors).
+    pub(crate) fn begin(db: &'a Database) -> Self {
+        Transaction {
+            db,
+            id: db.begin(),
+            open: true,
+        }
+    }
+
+    /// The transaction id (for diagnostics; the guard owns its lifecycle).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Executes one statement inside the transaction, binding `params`
+    /// positionally. Transaction-control SQL is rejected — the guard is the
+    /// transaction control.
+    pub fn execute<S: ToStatement, P: IntoParams>(
+        &self,
+        stmt: S,
+        params: P,
+    ) -> Result<ExecResult> {
+        let prepared = stmt.to_prepared(self.db)?;
+        let values = params.into_params();
+        self.db.execute_prepared_in(self.id, &prepared, &values)
+    }
+
+    /// Executes a SELECT inside the transaction and returns its rows.
+    pub fn query<S: ToStatement, P: IntoParams>(
+        &self,
+        stmt: S,
+        params: P,
+    ) -> Result<QueryResult> {
+        self.execute(stmt, params)?.query()
+    }
+
+    /// Executes a SELECT and decodes every row into `T`.
+    pub fn query_as<T: FromRow, S: ToStatement, P: IntoParams>(
+        &self,
+        stmt: S,
+        params: P,
+    ) -> Result<Vec<T>> {
+        self.query(stmt, params)?.decode()
+    }
+
+    /// Executes a SELECT and decodes the first row, if any.
+    pub fn query_one<T: FromRow, S: ToStatement, P: IntoParams>(
+        &self,
+        stmt: S,
+        params: P,
+    ) -> Result<Option<T>> {
+        self.query(stmt, params)?.decode_first()
+    }
+
+    /// Executes a single-column SELECT and decodes each row's value.
+    pub fn query_scalars<T: FromValue, S: ToStatement, P: IntoParams>(
+        &self,
+        stmt: S,
+        params: P,
+    ) -> Result<Vec<T>> {
+        let result = self.query(stmt, params)?;
+        result.views().map(|v| v.get_at(0)).collect()
+    }
+
+    /// Executes a prepared DML statement once per binding inside the
+    /// transaction — one catalog guard, one WAL append for the whole batch.
+    pub fn execute_batch<P: IntoParams>(
+        &self,
+        stmt: &Prepared,
+        bindings: impl IntoIterator<Item = P>,
+    ) -> Result<usize> {
+        let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
+        self.db.execute_batch_in(self.id, stmt, &bindings)
+    }
+
+    /// Executes a prepared SELECT once per binding inside the transaction
+    /// under a single shared catalog guard.
+    pub fn query_batch<P: IntoParams>(
+        &self,
+        stmt: &Prepared,
+        bindings: impl IntoIterator<Item = P>,
+    ) -> Result<Vec<QueryResult>> {
+        let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
+        self.db.query_batch_in(self.id, stmt, &bindings)
+    }
+
+    /// Commits the transaction, consuming the guard.
+    pub fn commit(mut self) -> Result<()> {
+        self.open = false;
+        self.db.commit(self.id)
+    }
+
+    /// Rolls the transaction back explicitly (dropping the guard does the
+    /// same; this form surfaces the result).
+    pub fn rollback(mut self) -> Result<()> {
+        self.open = false;
+        self.db.rollback(self.id)
+    }
+}
+
+impl<'a> Drop for Transaction<'a> {
+    fn drop(&mut self) {
+        if self.open {
+            let _ = self.db.rollback(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::RowView;
+    use crate::value::Value;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT NOT NULL, state TEXT, runtime DOUBLE)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, state, runtime) VALUES \
+             (1, 'alice', 'idle', 60), (2, 'bob', 'idle', 120), (3, 'alice', 'running', 300)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Job {
+        id: i64,
+        owner: String,
+        state: Option<String>,
+        runtime: Option<f64>,
+    }
+
+    impl FromRow for Job {
+        fn from_row(row: &RowView<'_>) -> crate::Result<Self> {
+            Ok(Job {
+                id: row.get("job_id")?,
+                owner: row.get("owner")?,
+                state: row.get("state")?,
+                runtime: row.get("runtime")?,
+            })
+        }
+    }
+
+    #[test]
+    fn typed_params_and_decoding_round_trip() {
+        let db = setup();
+        let mut s = db.session();
+        // Tuple params against SQL text and against a prepared handle.
+        let by_id = db.prepare("SELECT * FROM jobs WHERE job_id = ?").unwrap();
+        let job: Job = s.query_one(&by_id, (2i64,)).unwrap().unwrap();
+        assert_eq!(job.owner, "bob");
+        let jobs: Vec<Job> = s
+            .query_as("SELECT * FROM jobs WHERE owner = ? ORDER BY job_id", ("alice",))
+            .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].state.as_deref(), Some("running"));
+        // Scalars decode the single projected column.
+        let ids: Vec<i64> = s
+            .query_scalars("SELECT job_id FROM jobs ORDER BY job_id", ())
+            .unwrap();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Missing rows decode to None, not an error.
+        assert_eq!(s.query_one::<Job, _, _>(&by_id, (99i64,)).unwrap(), None);
+    }
+
+    #[test]
+    fn from_row_round_trips_nulls() {
+        let db = setup();
+        let mut s = db.session();
+        s.execute(
+            "INSERT INTO jobs (job_id, owner, state, runtime) VALUES (?, ?, ?, ?)",
+            (7i64, "carol", Option::<String>::None, Option::<f64>::None),
+        )
+        .unwrap();
+        let job: Job = s
+            .query_one("SELECT * FROM jobs WHERE job_id = ?", (7i64,))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            job,
+            Job {
+                id: 7,
+                owner: "carol".into(),
+                state: None,
+                runtime: None
+            }
+        );
+        // A NULL column refuses to decode into a non-Option target, by name
+        // or by position.
+        let r = s
+            .query("SELECT state FROM jobs WHERE job_id = ?", (7i64,))
+            .unwrap();
+        let view = r.view(0).unwrap();
+        assert!(view.get::<String>("state").is_err());
+        assert!(view.get_at::<String>(0).is_err());
+        assert_eq!(view.get::<Option<String>>("state").unwrap(), None);
+    }
+
+    #[test]
+    fn by_name_get_matches_positional_access() {
+        let db = setup();
+        let r = db
+            .query("SELECT job_id, owner, state, runtime FROM jobs ORDER BY job_id")
+            .unwrap();
+        for (i, view) in r.views().enumerate() {
+            // By-name access must agree with the raw positional row.
+            assert_eq!(
+                view.get::<i64>("job_id").unwrap(),
+                r.rows[i].get(0).as_int().unwrap()
+            );
+            assert_eq!(
+                view.get::<String>("owner").unwrap(),
+                r.rows[i].get(1).as_text().unwrap()
+            );
+            assert_eq!(view.get_at::<Value>(2).unwrap(), *r.rows[i].get(2));
+        }
+        // The view's column names are the interned schema names.
+        let view = r.view(0).unwrap();
+        assert_eq!(view.columns().len(), 4);
+    }
+
+    #[test]
+    fn transaction_commit_consumes_and_applies() {
+        let db = setup();
+        let txn = db.transaction();
+        txn.execute(
+            "INSERT INTO jobs (job_id, owner) VALUES (?, ?)",
+            (10i64, "zoe"),
+        )
+        .unwrap();
+        let inside: Vec<i64> = txn
+            .query_scalars("SELECT job_id FROM jobs WHERE owner = ?", ("zoe",))
+            .unwrap();
+        assert_eq!(inside, vec![10]);
+        txn.commit().unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+    }
+
+    #[test]
+    fn transaction_rolls_back_on_drop() {
+        let db = setup();
+        {
+            let txn = db.transaction();
+            txn.execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))
+                .unwrap();
+            // Guard dropped without commit.
+        }
+        let r = db.query("SELECT state FROM jobs WHERE job_id = 1").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("idle".into())));
+        // The table lock is released: a new writer succeeds immediately.
+        db.execute("UPDATE jobs SET state = 'idle' WHERE job_id = 1").unwrap();
+    }
+
+    #[test]
+    fn transaction_rolls_back_when_a_panic_unwinds() {
+        let db = setup();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let txn = db.transaction();
+            txn.execute("DELETE FROM jobs WHERE job_id = ?", (1i64,)).unwrap();
+            panic!("service handler crashed mid-transaction");
+        }));
+        assert!(result.is_err());
+        // The delete was rolled back and the lock released by the unwind.
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+        db.execute("UPDATE jobs SET state = 'held' WHERE job_id = 1").unwrap();
+    }
+
+    #[test]
+    fn explicit_rollback_surfaces_result() {
+        let db = setup();
+        let txn = db.transaction();
+        txn.execute("DELETE FROM jobs", ()).unwrap();
+        txn.rollback().unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+    }
+
+    #[test]
+    fn session_transaction_guard_excludes_sql_level_txn() {
+        let db = setup();
+        let mut s = db.session();
+        {
+            let txn = s.transaction().unwrap();
+            txn.execute(
+                "INSERT INTO jobs (job_id, owner) VALUES (?, ?)",
+                (11i64, "pat"),
+            )
+            .unwrap();
+            txn.commit().unwrap();
+        }
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+        // With a SQL-level BEGIN open, the guard constructor refuses.
+        s.execute("BEGIN", ()).unwrap();
+        assert!(s.transaction().is_err());
+        s.execute("ROLLBACK", ()).unwrap();
+    }
+
+    #[test]
+    fn session_drives_transactions_through_sql() {
+        let db = setup();
+        let mut session = db.session();
+        session.execute("BEGIN", ()).unwrap();
+        assert!(session.in_transaction());
+        session
+            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')", ())
+            .unwrap();
+        session.execute("ROLLBACK", ()).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+
+        session.execute("BEGIN", ()).unwrap();
+        session
+            .execute("INSERT INTO jobs (job_id, owner) VALUES (7, 'sam')", ())
+            .unwrap();
+        session.execute("COMMIT", ()).unwrap();
+        assert_eq!(db.table_len("jobs").unwrap(), 4);
+
+        assert!(session.execute("COMMIT", ()).is_err());
+        assert!(db.session().execute("ROLLBACK", ()).is_err());
+
+        // Transaction control takes no parameters; a stray binding is an
+        // arity error, not a silent commit.
+        session.execute("BEGIN", ()).unwrap();
+        assert!(session.execute("COMMIT", (42i64,)).is_err());
+        assert!(session.in_transaction(), "failed COMMIT must not close the txn");
+        session.execute("COMMIT", ()).unwrap();
+    }
+
+    #[test]
+    fn dropped_session_releases_its_transaction() {
+        let db = setup();
+        {
+            let mut session = db.session();
+            session.execute("BEGIN", ()).unwrap();
+            session
+                .execute("UPDATE jobs SET state = 'held' WHERE job_id = 1", ())
+                .unwrap();
+            // Dropped without commit.
+        }
+        let r = db.query("SELECT state FROM jobs WHERE job_id = 1").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::Text("idle".into())));
+    }
+
+    #[test]
+    fn execute_batch_equals_the_statement_loop() {
+        let batched = setup();
+        let looped = setup();
+        let ins = "INSERT INTO jobs (job_id, owner, state) VALUES (?, ?, ?)";
+        let bindings: Vec<(i64, String, String)> = (10..40)
+            .map(|i| (i, format!("u{}", i % 3), "idle".to_string()))
+            .collect();
+
+        let stmt = batched.prepare(ins).unwrap();
+        let before = batched.stats();
+        let n = batched
+            .session()
+            .execute_batch(&stmt, bindings.clone())
+            .unwrap();
+        assert_eq!(n, 30);
+        let delta = batched.stats().delta_since(&before);
+        // One WAL append carries all 30 inserts: Begin + Batch + Commit.
+        assert_eq!(delta.wal_records, 3, "batch must append one change record");
+        assert_eq!(delta.rows_inserted, 30);
+
+        let stmt = looped.prepare(ins).unwrap();
+        let before = looped.stats();
+        for b in bindings {
+            looped.session().execute(&stmt, b).unwrap();
+        }
+        let delta = looped.stats().delta_since(&before);
+        assert_eq!(delta.rows_inserted, 30);
+        assert!(delta.wal_records >= 90, "the loop pays 3 records per insert");
+
+        // Same data in both databases.
+        let q = "SELECT job_id, owner, state FROM jobs ORDER BY job_id";
+        assert_eq!(batched.query(q).unwrap(), looped.query(q).unwrap());
+        batched.check_consistency().unwrap();
+
+        // A batched database recovers identically from its WAL.
+        let recovered = Database::recover_from(batched.snapshot_wal()).unwrap();
+        assert_eq!(recovered.query(q).unwrap(), batched.query(q).unwrap());
+    }
+
+    #[test]
+    fn execute_batch_is_atomic_on_failure() {
+        let db = setup();
+        let stmt = db
+            .prepare("INSERT INTO jobs (job_id, owner) VALUES (?, ?)")
+            .unwrap();
+        // The third binding collides with an existing primary key.
+        let err = db
+            .session()
+            .execute_batch(&stmt, vec![(20i64, "a"), (21, "b"), (1, "dup")])
+            .unwrap_err();
+        assert_eq!(err.class(), crate::ErrorClass::Constraint);
+        assert_eq!(db.table_len("jobs").unwrap(), 3, "no partial batch applies");
+        db.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn execute_batch_rejects_non_dml() {
+        let db = setup();
+        let sel = db.prepare("SELECT * FROM jobs WHERE job_id = ?").unwrap();
+        assert!(db.session().execute_batch(&sel, vec![(1i64,)]).is_err());
+        let ins = db
+            .prepare("INSERT INTO jobs (job_id, owner) VALUES (?, ?)")
+            .unwrap();
+        assert!(db.session().query_batch(&ins, vec![(1i64, "x")]).is_err());
+        // Arity mismatches are caught before anything runs.
+        assert!(db.session().execute_batch(&ins, vec![(1i64,)]).is_err());
+        assert_eq!(db.table_len("jobs").unwrap(), 3);
+    }
+
+    #[test]
+    fn query_batch_pipelines_point_selects() {
+        let db = setup();
+        let q = db.prepare("SELECT owner FROM jobs WHERE job_id = ?").unwrap();
+        let results = db
+            .session()
+            .query_batch(&q, vec![(1i64,), (3i64,), (99i64,)])
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].first_value("owner"), Some(&Value::from("alice")));
+        assert_eq!(results[1].first_value("owner"), Some(&Value::from("alice")));
+        assert!(results[2].is_empty());
+
+        // Inside a transaction the batch registers shared locks once and
+        // still sees the transaction-local state.
+        let txn = db.transaction();
+        txn.execute("UPDATE jobs SET owner = ? WHERE job_id = ?", ("eve", 1i64))
+            .unwrap();
+        let results = txn.query_batch(&q, vec![(1i64,), (2i64,)]).unwrap();
+        assert_eq!(results[0].first_value("owner"), Some(&Value::from("eve")));
+        txn.rollback().unwrap();
+    }
+
+    #[test]
+    fn batch_respects_writer_conflicts() {
+        let db = setup();
+        let q = db.prepare("SELECT owner FROM jobs WHERE job_id = ?").unwrap();
+        let writer = db.transaction();
+        writer
+            .execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))
+            .unwrap();
+        // An autocommit batched read fails retryably against the writer.
+        let err = db.session().query_batch(&q, vec![(1i64,)]).unwrap_err();
+        assert!(err.is_retryable());
+        writer.commit().unwrap();
+        assert_eq!(db.session().query_batch(&q, vec![(1i64,)]).unwrap().len(), 1);
+    }
+}

@@ -75,6 +75,13 @@ pub enum LogRecord {
         before: Row,
         after: Row,
     },
+    /// Several row-level changes produced by one batched statement execution
+    /// ([`crate::Database::execute_batch`]): one log append covers every
+    /// binding of the batch instead of one append per row.
+    Batch {
+        txn: TxnId,
+        changes: Vec<LogRecord>,
+    },
     /// A checkpoint: a consistent snapshot of every table.
     Checkpoint { snapshot: Vec<TableSnapshot> },
 }
@@ -94,6 +101,9 @@ impl LogRecord {
                 table,
                 ..
             } => 24 + table.len() + before.approx_size() + after.approx_size(),
+            LogRecord::Batch { changes, .. } => {
+                16 + changes.iter().map(LogRecord::approx_size).sum::<usize>()
+            }
             LogRecord::Checkpoint { snapshot } => {
                 64 + snapshot
                     .iter()
@@ -113,7 +123,8 @@ impl LogRecord {
             | LogRecord::DropTable { txn, .. }
             | LogRecord::Insert { txn, .. }
             | LogRecord::Delete { txn, .. }
-            | LogRecord::Update { txn, .. } => Some(*txn),
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Batch { txn, .. } => Some(*txn),
             LogRecord::Checkpoint { .. } => None,
         }
     }
@@ -215,45 +226,60 @@ impl Wal {
             if !committed.contains(&txn) {
                 continue;
             }
-            match rec {
-                LogRecord::CreateTable { schema, .. } => {
-                    tables.insert(schema.name.clone(), Table::new(schema.clone())?);
-                }
-                LogRecord::DropTable { table, .. } => {
-                    tables.remove(table);
-                }
-                LogRecord::Insert {
-                    table, row_id, row, ..
-                } => {
-                    let t = tables
-                        .get_mut(table)
-                        .ok_or_else(|| Error::Wal(format!("insert into unknown table {table}")))?;
-                    t.insert_with_id(*row_id, row.clone(), &mut scratch)?;
-                }
-                LogRecord::Delete { table, row_id, .. } => {
-                    let t = tables
-                        .get_mut(table)
-                        .ok_or_else(|| Error::Wal(format!("delete from unknown table {table}")))?;
-                    t.delete(*row_id, &mut scratch)?;
-                }
-                LogRecord::Update {
-                    table,
-                    row_id,
-                    after,
-                    ..
-                } => {
-                    let t = tables
-                        .get_mut(table)
-                        .ok_or_else(|| Error::Wal(format!("update of unknown table {table}")))?;
-                    t.restore(*row_id, after.clone())?;
-                }
-                LogRecord::Begin { .. }
-                | LogRecord::Commit { .. }
-                | LogRecord::Abort { .. }
-                | LogRecord::Checkpoint { .. } => {}
-            }
+            Self::redo(rec, &mut tables, &mut scratch)?;
         }
         Ok(tables)
+    }
+
+    /// Replays one committed record into `tables`, recursing into batches.
+    fn redo(
+        rec: &LogRecord,
+        tables: &mut BTreeMap<String, Table>,
+        scratch: &mut OpStats,
+    ) -> Result<()> {
+        match rec {
+            LogRecord::CreateTable { schema, .. } => {
+                tables.insert(schema.name.clone(), Table::new(schema.clone())?);
+            }
+            LogRecord::DropTable { table, .. } => {
+                tables.remove(table);
+            }
+            LogRecord::Insert {
+                table, row_id, row, ..
+            } => {
+                let t = tables
+                    .get_mut(table)
+                    .ok_or_else(|| Error::Wal(format!("insert into unknown table {table}")))?;
+                t.insert_with_id(*row_id, row.clone(), scratch)?;
+            }
+            LogRecord::Delete { table, row_id, .. } => {
+                let t = tables
+                    .get_mut(table)
+                    .ok_or_else(|| Error::Wal(format!("delete from unknown table {table}")))?;
+                t.delete(*row_id, scratch)?;
+            }
+            LogRecord::Update {
+                table,
+                row_id,
+                after,
+                ..
+            } => {
+                let t = tables
+                    .get_mut(table)
+                    .ok_or_else(|| Error::Wal(format!("update of unknown table {table}")))?;
+                t.restore(*row_id, after.clone())?;
+            }
+            LogRecord::Batch { changes, .. } => {
+                for change in changes {
+                    Self::redo(change, tables, scratch)?;
+                }
+            }
+            LogRecord::Begin { .. }
+            | LogRecord::Commit { .. }
+            | LogRecord::Abort { .. }
+            | LogRecord::Checkpoint { .. } => {}
+        }
+        Ok(())
     }
 }
 
@@ -397,6 +423,55 @@ mod tests {
         let tables = wal.recover().unwrap();
         let jobs = tables.get("jobs").unwrap();
         assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn recovery_replays_batch_records() {
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(
+            LogRecord::CreateTable {
+                txn: TxnId(1),
+                schema: schema(),
+            },
+            &mut stats,
+        );
+        // One append carries three inserts; a later nested batch updates one.
+        wal.append(
+            LogRecord::Batch {
+                txn: TxnId(1),
+                changes: vec![
+                    insert_rec(1, 1, 100, "idle"),
+                    insert_rec(1, 2, 200, "idle"),
+                    insert_rec(1, 3, 300, "idle"),
+                ],
+            },
+            &mut stats,
+        );
+        wal.append(LogRecord::Commit { txn: TxnId(1) }, &mut stats);
+        // An uncommitted batch must not replay.
+        wal.append(LogRecord::Begin { txn: TxnId(2) }, &mut stats);
+        wal.append(
+            LogRecord::Batch {
+                txn: TxnId(2),
+                changes: vec![insert_rec(2, 4, 400, "idle")],
+            },
+            &mut stats,
+        );
+
+        let tables = wal.recover().unwrap();
+        let jobs = tables.get("jobs").unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs.get(RowId(4)).is_none());
+        // The batch counted as a single WAL record.
+        assert_eq!(wal.len(), 6);
+        let batch = LogRecord::Batch {
+            txn: TxnId(1),
+            changes: vec![insert_rec(1, 1, 100, "idle")],
+        };
+        assert!(batch.approx_size() > insert_rec(1, 1, 100, "idle").approx_size());
+        assert_eq!(batch.txn(), Some(TxnId(1)));
     }
 
     #[test]

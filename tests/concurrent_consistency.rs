@@ -4,7 +4,7 @@
 //! successful read) and the final state must reconcile exactly.
 
 use proptest::prelude::*;
-use relstore::{Database, Value};
+use relstore::Database;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 const ACCOUNTS: i64 = 50;
@@ -15,10 +15,9 @@ fn accounts_db() -> Database {
     let db = Database::new();
     db.execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)").unwrap();
     let ins = db.prepare("INSERT INTO accounts VALUES (?, ?)").unwrap();
-    for id in 0..ACCOUNTS {
-        db.execute_prepared(&ins, &[Value::Int(id), Value::Int(OPENING_BALANCE)])
-            .unwrap();
-    }
+    db.session()
+        .execute_batch(&ins, (0..ACCOUNTS).map(|id| (id, OPENING_BALANCE)))
+        .unwrap();
     db
 }
 
@@ -34,19 +33,18 @@ fn transfer(db: &Database, from: i64, to: i64, delta: i64) {
         .prepare("UPDATE accounts SET balance = balance + ? WHERE id = ?")
         .unwrap();
     loop {
-        let txn = db.begin();
-        let applied = db
-            .execute_prepared_in(txn, &debit, &[Value::Int(delta), Value::Int(from)])
-            .and_then(|_| {
-                db.execute_prepared_in(txn, &credit, &[Value::Int(delta), Value::Int(to)])
-            });
+        let txn = db.transaction();
+        let applied = txn
+            .execute(&debit, (delta, from))
+            .and_then(|_| txn.execute(&credit, (delta, to)));
         match applied {
             Ok(_) => {
-                db.commit(txn).unwrap();
+                txn.commit().unwrap();
                 return;
             }
             Err(e) if e.is_retryable() => {
-                let _ = db.rollback(txn);
+                // Dropping the guard rolls the half-applied transfer back.
+                drop(txn);
                 std::thread::yield_now();
             }
             Err(e) => panic!("transfer failed non-retryably: {e}"),
@@ -68,16 +66,13 @@ fn run_scenario(db: &Database, transfers: &[(i64, i64, i64)], readers: usize) ->
                     .prepare("SELECT SUM(balance) AS total, COUNT(*) AS n FROM accounts")
                     .unwrap();
                 while !done.load(Ordering::Relaxed) {
-                    match db.query_prepared(&sum, &[]) {
-                        Ok(r) => {
+                    match db.session().query_one::<(i64, i64), _, _>(&sum, ()) {
+                        Ok(row) => {
                             // A reader that slipped between the two UPDATEs of
                             // a transfer would see TOTAL - delta here.
-                            assert_eq!(
-                                r.first_value("total"),
-                                Some(&Value::Int(TOTAL)),
-                                "reader observed a partial transaction"
-                            );
-                            assert_eq!(r.first_value("n"), Some(&Value::Int(ACCOUNTS)));
+                            let (total, n) = row.expect("aggregate always yields one row");
+                            assert_eq!(total, TOTAL, "reader observed a partial transaction");
+                            assert_eq!(n, ACCOUNTS);
                             good_reads.fetch_add(1, Ordering::Relaxed);
                         }
                         // A writer held the table lock: retryable by design.
@@ -106,8 +101,12 @@ fn final_state_reconciles(db: &Database, transfers: &[(i64, i64, i64)]) {
         expected[to as usize] += delta;
     }
     let by_id = db.prepare("SELECT balance FROM accounts WHERE id = ?").unwrap();
-    for (id, want) in expected.iter().enumerate() {
-        let r = db.query_prepared(&by_id, &[Value::Int(id as i64)]).unwrap();
+    // One pipelined batch checks every account under a single read guard.
+    let balances = db
+        .session()
+        .query_batch(&by_id, (0..ACCOUNTS).map(|id| (id,)))
+        .unwrap();
+    for (id, (r, want)) in balances.iter().zip(&expected).enumerate() {
         assert_eq!(r.scalar_int(), Some(*want), "balance of account {id}");
     }
     db.check_consistency().unwrap();
