@@ -492,25 +492,32 @@ impl CasState {
 
         let first_match_id = self.next_match_id + 1;
         let now = self.now_ms;
-        let txn = self.db.transaction();
-        txn.execute_batch(
-            &self.prepared.match_insert,
-            pairs
-                .iter()
-                .enumerate()
-                .map(|(i, (machine_id, job_id))| {
-                    (first_match_id + i as i64, *job_id, *machine_id, now)
-                }),
-        )?;
-        txn.execute_batch(
-            &self.prepared.job_set_matched,
-            pairs.iter().map(|(_, job_id)| (*job_id,)),
-        )?;
-        txn.execute_batch(
-            &self.prepared.machine_set_state,
-            pairs.iter().map(|(machine_id, _)| ("matched", *machine_id)),
-        )?;
-        txn.commit()?;
+        // Readers never conflict under MVCC, but another writer (a heartbeat
+        // mutating `machines`, say) can still collide with the sweep; retry
+        // the whole transaction with backoff — the dropped guard rolls a
+        // half-applied pass back before each retry.
+        let prepared = &self.prepared;
+        self.db.session().with_retries(3, |s| {
+            let txn = s.transaction()?;
+            txn.execute_batch(
+                &prepared.match_insert,
+                pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (machine_id, job_id))| {
+                        (first_match_id + i as i64, *job_id, *machine_id, now)
+                    }),
+            )?;
+            txn.execute_batch(
+                &prepared.job_set_matched,
+                pairs.iter().map(|(_, job_id)| (*job_id,)),
+            )?;
+            txn.execute_batch(
+                &prepared.machine_set_state,
+                pairs.iter().map(|(machine_id, _)| ("matched", *machine_id)),
+            )?;
+            txn.commit()
+        })?;
 
         let made = pairs.len();
         self.next_match_id += made as i64;

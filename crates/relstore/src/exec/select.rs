@@ -11,6 +11,7 @@
 use super::aggregate::execute_aggregate;
 use super::QueryResult;
 use crate::error::{Error, Result};
+use crate::mvcc::Snapshot;
 use crate::predicate::Expr;
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{SelectItem, SelectStmt, SortOrder};
@@ -163,6 +164,7 @@ fn access_base_table<'a>(
     table: &'a Table,
     filter: Option<&Expr>,
     params: &[Value],
+    vis: &'a Snapshot,
     stats: &mut OpStats,
 ) -> RowIter<'a> {
     if let Some(filter) = filter {
@@ -170,7 +172,7 @@ fn access_base_table<'a>(
         // Equality point lookups first: tightest result set.
         for col in table.indexed_columns() {
             if let Some(key) = filter.equality_lookup_on(name, col, params) {
-                if let Some(rows) = table.lookup_indexed(col, &key, stats) {
+                if let Some(rows) = table.lookup_indexed(col, &key, vis, stats) {
                     return rows;
                 }
             }
@@ -178,22 +180,25 @@ fn access_base_table<'a>(
         // Then bounded range scans over an ordered index.
         for col in table.indexed_columns() {
             if let Some((lo, hi)) = filter.range_bounds_on(name, col, params) {
-                if let Some(rows) = table.lookup_range(col, lo.as_ref(), hi.as_ref(), stats) {
+                if let Some(rows) = table.lookup_range(col, lo.as_ref(), hi.as_ref(), vis, stats) {
                     return rows;
                 }
             }
         }
     }
-    table.scan(stats)
+    table.scan(vis, stats)
 }
 
-/// Executes a SELECT statement against the catalog with no bound parameters.
+/// Executes a SELECT statement against the catalog with no bound parameters,
+/// observing the latest physical state (no snapshot isolation). Used by
+/// tests and programmatic helpers; statement execution goes through
+/// [`execute_select_with`] with a real snapshot.
 pub fn execute_select(
     catalog: &Catalog,
     stmt: &SelectStmt,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
-    execute_select_with(catalog, stmt, &[], stats)
+    execute_select_with(catalog, stmt, &[], Snapshot::latest(), stats)
 }
 
 /// The projection plan: output names (interned from the schema where
@@ -290,18 +295,21 @@ fn has_aggregates(stmt: &SelectStmt) -> bool {
 
 /// Executes a SELECT statement against the catalog, resolving `?`
 /// placeholders from `params` during planning and evaluation (prepared
-/// execution never clones the statement).
+/// execution never clones the statement) and resolving row visibility
+/// against `vis` — the caller's MVCC snapshot, or
+/// [`Snapshot::latest`] for writer-side row matching.
 pub fn execute_select_with(
     catalog: &Catalog,
     stmt: &SelectStmt,
     params: &[Value],
+    vis: &Snapshot,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
     let base = get_table(catalog, &stmt.table)?;
     if stmt.joins.is_empty() {
-        execute_single_table(base, stmt, params, stats)
+        execute_single_table(base, stmt, params, vis, stats)
     } else {
-        execute_joined(catalog, base, stmt, params, stats)
+        execute_joined(catalog, base, stmt, params, vis, stats)
     }
 }
 
@@ -311,6 +319,7 @@ fn execute_single_table(
     table: &Table,
     stmt: &SelectStmt,
     params: &[Value],
+    vis: &Snapshot,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
     let schema = &table.schema;
@@ -321,7 +330,7 @@ fn execute_single_table(
 
     // Access path + predicate over borrowed rows; survivors stay borrowed.
     let mut matched: Vec<&Row> = Vec::new();
-    for StoredRowRef { row, .. } in access_base_table(table, filter.as_deref(), params, stats) {
+    for StoredRowRef { row, .. } in access_base_table(table, filter.as_deref(), params, vis, stats) {
         let keep = match &filter {
             Some(f) => f.matches_with(schema, row, params)?,
             None => true,
@@ -369,11 +378,12 @@ fn execute_joined(
     base: &Table,
     stmt: &SelectStmt,
     params: &[Value],
+    vis: &Snapshot,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
     // Joins use an owned schema with qualified names to avoid collisions.
     let mut schema = qualified_schema(base);
-    let mut rows: Vec<Row> = base.scan(stats).map(|r| r.row.clone()).collect();
+    let mut rows: Vec<Row> = base.scan(vis, stats).map(|r| r.row.clone()).collect();
 
     for join in &stmt.joins {
         let right = get_table(catalog, &join.table)?;
@@ -386,7 +396,7 @@ fn execute_joined(
 
         // Build hash table over the right side, borrowing its heap rows.
         let mut hash: HashMap<&Value, Vec<&Row>> = HashMap::new();
-        for stored in right.scan(stats) {
+        for stored in right.scan(vis, stats) {
             let key = stored.row.get(right_idx);
             if !key.is_null() {
                 hash.entry(key).or_default().push(stored.row);
@@ -452,22 +462,27 @@ fn execute_joined(
     })
 }
 
-/// Returns the ids of the rows of `table` matched by `filter` (all rows when
-/// `filter` is `None`). Shared by UPDATE and DELETE execution.
+/// Returns the ids of the current rows of `table` matched by `filter` (all
+/// rows when `filter` is `None`). Shared by UPDATE and DELETE execution,
+/// which operate on the latest state: under the table's exclusive lock the
+/// only uncommitted versions are the writer's own, so
+/// [`Snapshot::latest`] *is* the writer's view.
 pub fn matching_row_ids(
     table: &Table,
     filter: Option<&Expr>,
     stats: &mut OpStats,
 ) -> Result<Vec<RowId>> {
-    matching_row_ids_with(table, filter, &[], stats)
+    matching_row_ids_with(table, filter, &[], Snapshot::latest(), stats)
 }
 
-/// As [`matching_row_ids`], resolving `?` placeholders from `params`.
-/// Candidate rows are streamed by reference; nothing is cloned.
+/// As [`matching_row_ids`], resolving `?` placeholders from `params` and row
+/// visibility against `vis`. Candidate rows are streamed by reference;
+/// nothing is cloned.
 pub fn matching_row_ids_with(
     table: &Table,
     filter: Option<&Expr>,
     params: &[Value],
+    vis: &Snapshot,
     stats: &mut OpStats,
 ) -> Result<Vec<RowId>> {
     let resolved = match filter {
@@ -475,7 +490,7 @@ pub fn matching_row_ids_with(
         None => None,
     };
     let mut out = Vec::new();
-    for stored in access_base_table(table, resolved.as_deref(), params, stats) {
+    for stored in access_base_table(table, resolved.as_deref(), params, vis, stats) {
         let keep = match &resolved {
             Some(f) => f.matches_with(&table.schema, stored.row, params)?,
             None => true,
@@ -525,6 +540,7 @@ mod tests {
                     Value::Text(state.into()),
                     Value::Double(rt),
                 ],
+                crate::mvcc::COMMITTED_TXN,
                 &mut stats,
             )
             .unwrap();
@@ -543,7 +559,11 @@ mod tests {
         .unwrap();
         for (id, state) in [(10, "idle"), (11, "busy")] {
             machines
-                .insert(vec![Value::Int(id), Value::Text(state.into())], &mut stats)
+                .insert(
+                    vec![Value::Int(id), Value::Text(state.into())],
+                    crate::mvcc::COMMITTED_TXN,
+                    &mut stats,
+                )
                 .unwrap();
         }
 
@@ -559,7 +579,7 @@ mod tests {
         )
         .unwrap();
         matches
-            .insert(vec![Value::Int(2), Value::Int(11)], &mut stats)
+            .insert(vec![Value::Int(2), Value::Int(11)], crate::mvcc::COMMITTED_TXN, &mut stats)
             .unwrap();
 
         let mut cat = Catalog::new();

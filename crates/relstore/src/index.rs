@@ -1,6 +1,5 @@
 //! In-memory ordered secondary indexes.
 
-use crate::error::{Error, Result};
 use crate::tuple::RowId;
 use crate::value::Value;
 use std::collections::BTreeMap;
@@ -9,16 +8,21 @@ use std::ops::Bound;
 
 /// An ordered index mapping a column value to the set of rows holding it.
 ///
-/// The index is maintained eagerly by [`crate::table::Table`] on every insert,
-/// update and delete. Lookups return row ids in ascending id order so scans
-/// are deterministic.
+/// The index is maintained eagerly by [`crate::table::Table`] and is
+/// **multi-version**: it covers the key of every retained row version, so a
+/// snapshot reader probing an old key still finds a row whose current
+/// version has moved elsewhere. Entries are physical — the `unique` flag is
+/// metadata for the table, which enforces uniqueness against *live* rows
+/// (a retained dead version may legitimately share a key with a live row).
+/// Lookups return row ids in ascending id order so scans are deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Index {
     /// Index name (unique within the table).
     pub name: String,
     /// Ordinal of the indexed column.
     pub column_idx: usize,
-    /// Whether duplicate keys are rejected.
+    /// Whether the covered column is unique among live rows (enforced by the
+    /// table, not by entry insertion).
     pub unique: bool,
     entries: BTreeMap<Value, BTreeSet<RowId>>,
     len: usize,
@@ -51,23 +55,16 @@ impl Index {
         self.entries.len()
     }
 
-    /// Inserts an entry. Fails for duplicate keys on unique indexes.
-    /// NULL keys are not indexed (SQL unique constraints ignore NULLs).
-    pub fn insert(&mut self, key: &Value, row: RowId) -> Result<()> {
+    /// Inserts an entry; re-inserting an existing `(key, row)` pair is
+    /// idempotent. NULL keys are not indexed (SQL unique constraints ignore
+    /// NULLs, and NULL predicates never probe the index).
+    pub fn insert(&mut self, key: &Value, row: RowId) {
         if key.is_null() {
-            return Ok(());
+            return;
         }
-        let set = self.entries.entry(key.clone()).or_default();
-        if self.unique && !set.is_empty() && !set.contains(&row) {
-            return Err(Error::constraint(format!(
-                "unique index {} already contains key {key}",
-                self.name
-            )));
-        }
-        if set.insert(row) {
+        if self.entries.entry(key.clone()).or_default().insert(row) {
             self.len += 1;
         }
-        Ok(())
     }
 
     /// Removes an entry; missing entries are ignored.
@@ -85,6 +82,16 @@ impl Index {
         }
     }
 
+    /// Iterates the rows holding exactly `key` without allocating (the
+    /// zero-copy form of [`Index::lookup`], used by the hot uniqueness
+    /// checks on the write path).
+    pub fn rows_with_key<'a>(&'a self, key: &Value) -> impl Iterator<Item = RowId> + 'a {
+        self.entries
+            .get(key)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
     /// Returns the rows holding exactly `key`.
     pub fn lookup(&self, key: &Value) -> Vec<RowId> {
         if key.is_null() {
@@ -96,9 +103,14 @@ impl Index {
             .unwrap_or_default()
     }
 
-    /// Returns the rows with keys in `[lo, hi]` (either bound may be open).
-    /// An inverted range (`lo > hi`, e.g. from a contradictory predicate)
-    /// yields no rows.
+    /// Returns the rows with keys in `[lo, hi]` (either bound may be open),
+    /// in ascending row-id order. An inverted range (`lo > hi`, e.g. from a
+    /// contradictory predicate) yields no rows.
+    ///
+    /// Entries are multi-version, so one row may appear under several keys
+    /// inside the range (old versions keep their entries until vacuum); the
+    /// result is de-duplicated so the access path yields each row at most
+    /// once.
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
         if let (Some(lo), Some(hi)) = (lo, hi) {
             if lo > hi {
@@ -117,6 +129,8 @@ impl Index {
         for (_, rows) in self.entries.range::<Value, _>((lo_bound, hi_bound)) {
             out.extend(rows.iter().copied());
         }
+        out.sort_unstable();
+        out.dedup();
         out
     }
 
@@ -139,9 +153,9 @@ mod tests {
     #[test]
     fn insert_lookup_remove() {
         let mut idx = Index::new("idx", 0, false);
-        idx.insert(&Value::Text("idle".into()), RowId(1)).unwrap();
-        idx.insert(&Value::Text("idle".into()), RowId(2)).unwrap();
-        idx.insert(&Value::Text("running".into()), RowId(3)).unwrap();
+        idx.insert(&Value::Text("idle".into()), RowId(1));
+        idx.insert(&Value::Text("idle".into()), RowId(2));
+        idx.insert(&Value::Text("running".into()), RowId(3));
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.distinct_keys(), 2);
         assert_eq!(
@@ -157,20 +171,25 @@ mod tests {
     }
 
     #[test]
-    fn unique_index_rejects_duplicates() {
+    fn unique_index_entries_are_physical() {
         let mut idx = Index::new("uidx", 0, true);
-        idx.insert(&Value::Int(1), RowId(1)).unwrap();
-        assert!(idx.insert(&Value::Int(1), RowId(2)).is_err());
+        idx.insert(&Value::Int(1), RowId(1));
+        // Entries are multi-version: a dead version of row 2 may share the
+        // key with a live row 1, so entry insertion never rejects — the
+        // table enforces uniqueness against live rows.
+        idx.insert(&Value::Int(1), RowId(2));
+        assert_eq!(idx.len(), 2);
         // Re-inserting the same (key, row) pair is idempotent.
-        idx.insert(&Value::Int(1), RowId(1)).unwrap();
-        assert_eq!(idx.len(), 1);
+        idx.insert(&Value::Int(1), RowId(1));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.unique, "the uniqueness intent is kept as metadata");
     }
 
     #[test]
     fn null_keys_are_not_indexed() {
         let mut idx = Index::new("uidx", 0, true);
-        idx.insert(&Value::Null, RowId(1)).unwrap();
-        idx.insert(&Value::Null, RowId(2)).unwrap();
+        idx.insert(&Value::Null, RowId(1));
+        idx.insert(&Value::Null, RowId(2));
         assert_eq!(idx.len(), 0);
         assert!(idx.lookup(&Value::Null).is_empty());
         assert!(!idx.contains_key(&Value::Null));
@@ -180,7 +199,7 @@ mod tests {
     fn range_scans_respect_bounds() {
         let mut idx = Index::new("idx", 0, false);
         for i in 0..10 {
-            idx.insert(&Value::Int(i), RowId(i as u64)).unwrap();
+            idx.insert(&Value::Int(i), RowId(i as u64));
         }
         let rows = idx.range(Some(&Value::Int(3)), Some(&Value::Int(6)));
         assert_eq!(rows, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
@@ -192,9 +211,24 @@ mod tests {
     }
 
     #[test]
+    fn range_deduplicates_multi_version_entries() {
+        let mut idx = Index::new("idx", 0, false);
+        // Row 7 appears under two keys (a retained old version and the
+        // current one); a range covering both must yield it once.
+        idx.insert(&Value::Int(1), RowId(7));
+        idx.insert(&Value::Int(3), RowId(7));
+        idx.insert(&Value::Int(2), RowId(1));
+        assert_eq!(
+            idx.range(Some(&Value::Int(0)), Some(&Value::Int(5))),
+            vec![RowId(1), RowId(7)]
+        );
+        assert_eq!(idx.lookup(&Value::Int(3)), vec![RowId(7)]);
+    }
+
+    #[test]
     fn clear_empties_the_index() {
         let mut idx = Index::new("idx", 0, false);
-        idx.insert(&Value::Int(1), RowId(1)).unwrap();
+        idx.insert(&Value::Int(1), RowId(1));
         idx.clear();
         assert!(idx.is_empty());
         assert!(idx.lookup(&Value::Int(1)).is_empty());

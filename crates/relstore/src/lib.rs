@@ -11,7 +11,8 @@
 //! * a SQL subset with a lexer, parser and executor ([`sql`], [`exec`]),
 //! * prepared statements with `?` placeholders and an LRU statement cache
 //!   ([`db::Prepared`], [`Database::prepare`](db::Database::prepare)),
-//! * transactions with table-level two-phase locking and rollback ([`txn`]),
+//! * MVCC snapshot isolation over per-row version chains ([`mvcc`]),
+//! * transactions with table-level write locking and rollback ([`txn`]),
 //! * a write-ahead log with checkpointing and recovery ([`wal`]),
 //! * operation statistics for the simulation cost model ([`stats`]).
 //!
@@ -25,9 +26,7 @@
 //!   transaction — execute under the *shared* guard, so any number of
 //!   threads read in parallel; INSERT/UPDATE/DELETE/DDL hold the exclusive
 //!   guard for the duration of one statement. An autocommit read never
-//!   opens a transaction, registers a lock or touches the WAL; it fails
-//!   retryably (like a lock-wait timeout) only when an in-flight
-//!   transaction write-locks one of its tables.
+//!   opens a transaction, registers a lock or touches the WAL.
 //! * **Book-keeping is off the read path.** Transaction, lock and WAL state
 //!   sit under a separate short-lived mutex, and the statement cache under a
 //!   third, so cache probes and commit processing never serialise row
@@ -40,6 +39,58 @@
 //! * **WAL records are lazy.** `Begin` is appended with a transaction's
 //!   first logged change; read-only explicit transactions never touch the
 //!   log, and their Commit/Abort records are elided too.
+//!
+//! ## MVCC: readers never block or abort on writers
+//!
+//! Reads are isolated by **snapshots**, not locks. Every row is a chain of
+//! [`mvcc::RowVersion`]s stamped with the transaction that created (and,
+//! once superseded or deleted, ended) them; every SELECT carries a
+//! [`Snapshot`] — a transaction-id watermark plus the set of writers in
+//! flight when it was taken — and resolves each chain to the version its
+//! snapshot sees. Consequences:
+//!
+//! * a reader racing an uncommitted writer **succeeds** and observes the
+//!   most recently committed state — the reader-side
+//!   [`Error::LockConflict`] path is gone entirely (autocommit,
+//!   in-transaction, and [`Session::query_batch`] alike);
+//! * an explicit transaction reuses the snapshot stamped at `begin()` for
+//!   all its reads: **repeatable reads** for its whole lifetime, while its
+//!   own writes stay visible to itself;
+//! * writers still serialise through the table-level lock manager, so
+//!   **write-write** conflicts keep failing fast and retryably — wrap write
+//!   transactions in [`Session::with_retries`];
+//! * old versions are pruned by **vacuum** once no live snapshot can see
+//!   them: [`Database::checkpoint`](db::Database::checkpoint) sweeps every
+//!   table, and a write that leaves a table with more than
+//!   [`db::VACUUM_DEAD_THRESHOLD`] dead versions triggers a targeted sweep.
+//!   `versions_created` / `versions_vacuumed` / `snapshots_taken` /
+//!   `max_version_chain` in [`OpStats`] make the version store observable.
+//!
+//! A reader keeps its view while a writer commits mid-transaction:
+//!
+//! ```
+//! use relstore::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+//! db.execute("INSERT INTO jobs VALUES (1, 'idle')")?;
+//!
+//! let reader = db.transaction(); // snapshot taken here
+//! // A concurrent writer updates the row and commits...
+//! db.execute("UPDATE jobs SET state = 'running' WHERE job_id = 1")?;
+//!
+//! // ...but the reader's snapshot predates that commit: it still sees
+//! // 'idle', on this read and every later one (repeatable reads) —
+//! // and it never saw a LockConflict.
+//! let r = reader.query("SELECT state FROM jobs WHERE job_id = 1", ())?;
+//! assert_eq!(r.first_value("state"), Some(&"idle".into()));
+//! reader.commit()?;
+//!
+//! // A fresh read observes the committed update.
+//! let r = db.query("SELECT state FROM jobs WHERE job_id = 1")?;
+//! assert_eq!(r.first_value("state"), Some(&"running".into()));
+//! # Ok::<(), relstore::Error>(())
+//! ```
 //!
 //! ## The typed session API
 //!
@@ -165,10 +216,12 @@
 //! ## Errors
 //!
 //! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
-//! conditions (lock conflicts, [checkpoint-busy](db::Database::checkpoint))
-//! vs **logic** errors (bad SQL, type/arity mismatches) vs **constraint**
-//! violations vs **internal** failures — so service layers branch on
-//! [`Error::is_retryable`] instead of matching message strings.
+//! conditions (write-write lock conflicts,
+//! [checkpoint-busy](db::Database::checkpoint)) vs **logic** errors (bad
+//! SQL, type/arity mismatches) vs **constraint** violations vs **internal**
+//! failures — so service layers branch on [`Error::is_retryable`] (or wrap
+//! the whole attempt in [`Session::with_retries`]) instead of matching
+//! message strings. Since MVCC, only writers can see a retryable conflict.
 
 #![warn(missing_docs)]
 
@@ -177,6 +230,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod index;
+pub mod mvcc;
 pub mod predicate;
 pub mod schema;
 pub mod session;
@@ -191,6 +245,7 @@ pub mod wal;
 pub use convert::{FromRow, FromValue, IntoParams, RowView, ToStatement};
 pub use db::{Database, ExecResult, Prepared};
 pub use error::{Error, ErrorClass, Result};
+pub use mvcc::{RowVersion, Snapshot};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};

@@ -1,0 +1,394 @@
+//! Multi-version concurrency control: row version chains and snapshots.
+//!
+//! The engine's readers never block on — or abort against — in-flight
+//! writers. Instead of conflict-checking the lock table, every SELECT
+//! (autocommit, in-transaction, and batched) carries a [`Snapshot`]: a
+//! transaction-id watermark plus the set of writers that were in flight when
+//! the snapshot was taken. Each table row is a [`VersionChain`] of
+//! [`RowVersion`]s stamped with the transaction that created them (`begin`)
+//! and, once superseded or deleted, the transaction that ended them (`end`).
+//! A version is visible to a snapshot exactly when its `begin` is visible
+//! and its `end` (if any) is not.
+//!
+//! Writers still serialise through the table-level lock manager for
+//! write-write conflicts; MVCC only removes readers from the conflict graph.
+//!
+//! # Why there is no commit-status check
+//!
+//! Visibility never consults a commit log because the engine maintains two
+//! invariants under the catalog write guard:
+//!
+//! * **aborted versions are removed physically** by rollback (and crash
+//!   recovery rebuilds committed state only), so any version present in a
+//!   chain belongs to a committed transaction, an in-flight one, or the
+//!   pseudo-transaction [`COMMITTED_TXN`] used for recovered/bootstrap rows;
+//! * a snapshot's `in_flight` set captures every transaction that was active
+//!   when the snapshot was taken, and ids are allocated monotonically, so
+//!   "`begin < high` and not in flight" is equivalent to "committed before
+//!   the snapshot".
+//!
+//! # Garbage collection
+//!
+//! Dead versions (those with `end` set) are retained until no live snapshot
+//! could still need them, then pruned by the table vacuum
+//! ([`crate::table::Table::vacuum`]) — invoked from
+//! [`crate::db::Database::checkpoint`] and, per table, when the count
+//! of dead versions crosses a threshold after a write. The cutoff is the
+//! [`TxnManager::snapshot_horizon`](crate::txn::TxnManager::snapshot_horizon):
+//! the smallest transaction id some live snapshot does *not* see.
+
+use crate::tuple::Row;
+use crate::wal::TxnId;
+
+/// The pseudo-transaction id carried by rows whose writer is no longer
+/// relevant: rows rebuilt by crash recovery, restored by checkpoint replay,
+/// or created through the physical (non-transactional) table API. Every
+/// snapshot sees it: real transaction ids start at 1.
+pub const COMMITTED_TXN: TxnId = TxnId(0);
+
+/// One version of one row.
+///
+/// `begin` is the transaction that created the version; `end` is the
+/// transaction that superseded (UPDATE) or deleted (DELETE) it, or `None`
+/// while the version is current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowVersion {
+    /// Creator transaction.
+    pub begin: TxnId,
+    /// Transaction that ended this version, if any.
+    pub end: Option<TxnId>,
+    /// The row contents of this version.
+    pub row: Row,
+}
+
+/// A consistent view of the database at one instant.
+///
+/// Taken per statement for autocommit reads and once at `begin()` for
+/// explicit transactions (giving them repeatable reads). `high` is the
+/// id watermark — transactions with `id >= high` began after the snapshot —
+/// and `in_flight` lists the transactions that were active (hence not yet
+/// committed) when it was taken, sorted ascending.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Transactions with `id >= high` are invisible (they began later).
+    pub high: u64,
+    /// Transactions active at snapshot time, sorted ascending; their
+    /// versions are invisible even though their ids are below `high`.
+    pub in_flight: Vec<TxnId>,
+    /// The snapshot owner's own transaction, whose writes are always
+    /// visible to itself. `None` for autocommit reads.
+    pub own: Option<TxnId>,
+}
+
+/// The snapshot that sees every version whose `end` is unset: the *latest*
+/// physical state. Writers use it — under the table's exclusive lock the
+/// only uncommitted versions in a table are the writer's own, so "newest
+/// version still open" is exactly the writer's view.
+static LATEST: Snapshot = Snapshot {
+    high: u64::MAX,
+    in_flight: Vec::new(),
+    own: None,
+};
+
+impl Snapshot {
+    /// The all-seeing snapshot (current physical state): it considers every
+    /// transaction committed, so a version is visible exactly when its
+    /// `end` is unset.
+    pub fn latest() -> &'static Snapshot {
+        &LATEST
+    }
+
+    /// True when this snapshot considers `txn`'s effects committed-and-visible.
+    #[inline]
+    pub fn sees(&self, txn: TxnId) -> bool {
+        if self.own == Some(txn) {
+            return true;
+        }
+        txn.0 < self.high && !self.in_flight.contains(&txn)
+    }
+
+    /// True when `version` is the row state this snapshot should observe.
+    #[inline]
+    pub fn visible(&self, version: &RowVersion) -> bool {
+        self.sees(version.begin)
+            && match version.end {
+                None => true,
+                Some(end) => !self.sees(end),
+            }
+    }
+
+    /// The smallest transaction id this snapshot does **not** see (ignoring
+    /// `own`): the lower bound used to compute the global vacuum horizon.
+    pub fn low_watermark(&self) -> u64 {
+        match self.in_flight.first() {
+            Some(t) => t.0.min(self.high),
+            None => self.high,
+        }
+    }
+}
+
+/// All retained versions of one row, stored oldest → newest so that the hot
+/// write path (pushing a new current version) is an O(1) `Vec::push`.
+///
+/// Invariants (maintained by [`crate::table::Table`] under the catalog write
+/// guard): only the newest version may have `end == None`; every older
+/// version's `end` is set. A chain whose newest version has `end` set is a
+/// *tombstone* — the row is deleted in the latest state but still visible to
+/// older snapshots until vacuumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionChain {
+    versions: Vec<RowVersion>,
+}
+
+impl VersionChain {
+    /// Creates a chain holding a single new version written by `txn`.
+    pub fn new(txn: TxnId, row: Row) -> Self {
+        VersionChain {
+            versions: vec![RowVersion {
+                begin: txn,
+                end: None,
+                row,
+            }],
+        }
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when no versions remain (only transiently, during vacuum).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The newest version.
+    pub fn newest(&self) -> &RowVersion {
+        self.versions.last().expect("chains are never empty")
+    }
+
+    /// The current row — the newest version if it has not been ended.
+    pub fn current(&self) -> Option<&Row> {
+        let v = self.newest();
+        v.end.is_none().then_some(&v.row)
+    }
+
+    /// True when the newest version is open (the row exists in latest state).
+    pub fn is_live(&self) -> bool {
+        self.newest().end.is_none()
+    }
+
+    /// True when some retained version has been ended (vacuum candidate).
+    pub fn has_dead(&self) -> bool {
+        self.versions.len() > 1 || !self.is_live()
+    }
+
+    /// The row this snapshot observes, if any version is visible to it.
+    /// Searched newest-first: the common case (current version visible)
+    /// checks exactly one version.
+    pub fn visible(&self, snapshot: &Snapshot) -> Option<&Row> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| snapshot.visible(v))
+            .map(|v| &v.row)
+    }
+
+    /// Iterates all retained versions (oldest first).
+    pub fn versions(&self) -> impl Iterator<Item = &RowVersion> {
+        self.versions.iter()
+    }
+
+    /// Ends the newest version (an UPDATE superseding it) and pushes the
+    /// replacement written by `txn`.
+    pub(crate) fn push_version(&mut self, txn: TxnId, row: Row) {
+        self.versions
+            .last_mut()
+            .expect("chains are never empty")
+            .end = Some(txn);
+        self.versions.push(RowVersion {
+            begin: txn,
+            end: None,
+            row,
+        });
+    }
+
+    /// Marks the newest version deleted by `txn`.
+    pub(crate) fn mark_deleted(&mut self, txn: TxnId) {
+        self.versions
+            .last_mut()
+            .expect("chains are never empty")
+            .end = Some(txn);
+    }
+
+    /// Rollback helper: clears a deletion mark left by `txn`.
+    pub(crate) fn unmark_deleted(&mut self, txn: TxnId) {
+        let newest = self.versions.last_mut().expect("chains are never empty");
+        debug_assert_eq!(newest.end, Some(txn));
+        newest.end = None;
+    }
+
+    /// Rollback helper: pops the newest version (written by the aborting
+    /// `txn`) and re-opens the version it superseded. Returns the popped
+    /// version so the table can retire its index entries.
+    pub(crate) fn pop_version(&mut self, txn: TxnId) -> RowVersion {
+        let popped = self.versions.pop().expect("chains are never empty");
+        debug_assert_eq!(popped.begin, txn);
+        if let Some(prev) = self.versions.last_mut() {
+            if prev.end == Some(txn) {
+                prev.end = None;
+            }
+        }
+        popped
+    }
+
+    /// Prunes versions no live snapshot can still observe: every version
+    /// whose `end` transaction id is below `horizon` (see the module docs).
+    /// Returns the pruned versions so the table can retire index entries.
+    /// After vacuuming with `horizon == u64::MAX` (no live snapshots) a live
+    /// chain is exactly one version long and a tombstoned chain is empty.
+    pub(crate) fn vacuum(&mut self, horizon: u64) -> Vec<RowVersion> {
+        let mut pruned = Vec::new();
+        let mut i = 0;
+        while i < self.versions.len() {
+            match self.versions[i].end {
+                Some(end) if end.0 < horizon => pruned.push(self.versions.remove(i)),
+                _ => i += 1,
+            }
+        }
+        pruned
+    }
+
+    /// Approximate resident size of all retained versions, in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.versions
+            .iter()
+            .map(|v| v.row.approx_size() + 24)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(n: i64) -> Row {
+        Row::new(vec![Value::Int(n)])
+    }
+
+    fn snapshot(high: u64, in_flight: &[u64], own: Option<u64>) -> Snapshot {
+        Snapshot {
+            high,
+            in_flight: in_flight.iter().map(|&t| TxnId(t)).collect(),
+            own: own.map(TxnId),
+        }
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let snap = snapshot(5, &[3], Some(5));
+        assert!(snap.sees(TxnId(0)), "bootstrap rows are always visible");
+        assert!(snap.sees(TxnId(2)), "committed before the snapshot");
+        assert!(!snap.sees(TxnId(3)), "in flight at snapshot time");
+        assert!(snap.sees(TxnId(5)), "own writes are visible");
+        assert!(!snap.sees(TxnId(7)), "began after the snapshot");
+
+        // A version created by a visible txn and ended by an invisible one
+        // is still the observed state.
+        let v = RowVersion {
+            begin: TxnId(2),
+            end: Some(TxnId(3)),
+            row: row(1),
+        };
+        assert!(snap.visible(&v));
+        // Once the ender is visible too, the version is dead to us.
+        let snap2 = snapshot(6, &[], None);
+        assert!(!snap2.visible(&v));
+    }
+
+    #[test]
+    fn latest_sees_only_open_versions() {
+        let latest = Snapshot::latest();
+        let open = RowVersion {
+            begin: TxnId(9),
+            end: None,
+            row: row(1),
+        };
+        let ended = RowVersion {
+            begin: TxnId(1),
+            end: Some(TxnId(9)),
+            row: row(0),
+        };
+        assert!(latest.visible(&open));
+        assert!(!latest.visible(&ended));
+    }
+
+    #[test]
+    fn chain_push_pop_round_trip() {
+        let mut chain = VersionChain::new(TxnId(1), row(1));
+        chain.push_version(TxnId(2), row(2));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.current(), Some(&row(2)));
+
+        // An old snapshot that predates txn 2 still reads the first version.
+        let old = snapshot(2, &[], None);
+        assert_eq!(chain.visible(&old), Some(&row(1)));
+
+        // Rolling txn 2 back restores the chain exactly.
+        let popped = chain.pop_version(TxnId(2));
+        assert_eq!(popped.row, row(2));
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.current(), Some(&row(1)));
+    }
+
+    #[test]
+    fn delete_marks_and_unmarks() {
+        let mut chain = VersionChain::new(TxnId(1), row(1));
+        chain.mark_deleted(TxnId(3));
+        assert!(!chain.is_live());
+        assert_eq!(chain.current(), None);
+        // Old snapshots still see the row; new ones do not.
+        assert_eq!(chain.visible(&snapshot(3, &[], None)), Some(&row(1)));
+        assert_eq!(chain.visible(&snapshot(4, &[], None)), None);
+        chain.unmark_deleted(TxnId(3));
+        assert!(chain.is_live());
+    }
+
+    #[test]
+    fn vacuum_respects_the_horizon() {
+        let mut chain = VersionChain::new(TxnId(1), row(1));
+        chain.push_version(TxnId(5), row(2));
+        chain.push_version(TxnId(9), row(3));
+        assert_eq!(chain.len(), 3);
+
+        // A horizon below the enders keeps everything.
+        assert!(chain.vacuum(5).is_empty());
+        assert_eq!(chain.len(), 3);
+
+        // Horizon 6 prunes the version ended by txn 5, keeps the one ended
+        // by txn 9.
+        let pruned = chain.vacuum(6);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].row, row(1));
+        assert_eq!(chain.len(), 2);
+
+        // No live snapshots: everything but the open version goes.
+        let pruned = chain.vacuum(u64::MAX);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.current(), Some(&row(3)));
+
+        // A tombstoned chain vacuums down to empty.
+        chain.mark_deleted(TxnId(12));
+        let pruned = chain.vacuum(u64::MAX);
+        assert_eq!(pruned.len(), 1);
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn low_watermark_bounds_the_horizon() {
+        assert_eq!(snapshot(7, &[], None).low_watermark(), 7);
+        assert_eq!(snapshot(7, &[3, 5], None).low_watermark(), 3);
+    }
+}

@@ -183,6 +183,58 @@ impl<'a> Session<'a> {
         }
         Ok(Transaction::begin(self.db))
     }
+
+    /// Runs `f` up to `attempts` times, retrying — with capped exponential
+    /// backoff — when it fails with a **retryable** error
+    /// ([`ErrorClass::Retryable`](crate::ErrorClass): a write-write lock
+    /// conflict or a checkpoint-busy condition). Any other error, or
+    /// exhausting the attempts, returns the last error to the caller.
+    ///
+    /// With MVCC, reads never need this — only writers can still conflict —
+    /// so wrap the *write* path of a service call:
+    ///
+    /// ```
+    /// # use relstore::Database;
+    /// # let db = Database::new();
+    /// # db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+    /// let mut session = db.session();
+    /// let updated = session.with_retries(3, |s| {
+    ///     let txn = s.transaction()?;
+    ///     let n = txn
+    ///         .execute("UPDATE jobs SET state = ? WHERE state = ?", ("held", "idle"))?
+    ///         .affected();
+    ///     txn.commit()?;
+    ///     Ok(n)
+    /// })?;
+    /// # assert_eq!(updated, 0);
+    /// # Ok::<(), relstore::Error>(())
+    /// ```
+    ///
+    /// `f` must leave no transaction open on failure (the RAII guard's
+    /// rollback-on-drop gives this for free).
+    pub fn with_retries<T>(
+        &mut self,
+        attempts: usize,
+        mut f: impl FnMut(&mut Session<'a>) -> Result<T>,
+    ) -> Result<T> {
+        const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_micros(50);
+        const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
+        let attempts = attempts.max(1);
+        let mut backoff = BASE_BACKOFF;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+            match f(self) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
 }
 
 impl<'a> Drop for Session<'a> {
@@ -650,17 +702,97 @@ mod tests {
     }
 
     #[test]
-    fn batch_respects_writer_conflicts() {
+    fn with_retries_retries_only_retryable_errors() {
         let db = setup();
-        let q = db.prepare("SELECT owner FROM jobs WHERE job_id = ?").unwrap();
+        let mut s = db.session();
+
+        // A transient conflict resolves itself: the helper keeps trying.
+        let mut calls = 0;
+        let out = s
+            .with_retries(5, |_| {
+                calls += 1;
+                if calls < 3 {
+                    Err(Error::LockConflict("simulated".into()))
+                } else {
+                    Ok(calls)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, 3);
+
+        // Exhausted attempts surface the last retryable error.
+        let mut calls = 0;
+        let err = s
+            .with_retries(3, |_| -> Result<()> {
+                calls += 1;
+                Err(Error::busy("still busy"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(err.is_retryable());
+
+        // Non-retryable errors propagate immediately, without re-running.
+        let mut calls = 0;
+        let err = s
+            .with_retries(5, |_| -> Result<()> {
+                calls += 1;
+                Err(Error::constraint("pk"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.class(), crate::ErrorClass::Constraint);
+    }
+
+    #[test]
+    fn with_retries_rides_out_a_real_writer_conflict() {
+        let db = setup();
+        // A writer holds the exclusive lock on `jobs` until the second
+        // attempt; the retried transaction then succeeds.
+        let writer = std::cell::RefCell::new(Some(db.transaction()));
+        writer
+            .borrow()
+            .as_ref()
+            .unwrap()
+            .execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))
+            .unwrap();
+        let mut attempt = 0;
+        let n = db
+            .session()
+            .with_retries(4, |s| {
+                attempt += 1;
+                if attempt == 2 {
+                    // The conflicting writer commits between attempts.
+                    writer.borrow_mut().take().unwrap().commit().unwrap();
+                }
+                let txn = s.transaction()?;
+                let n = txn
+                    .execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("done", 2i64))?
+                    .affected();
+                txn.commit()?;
+                Ok(n)
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(attempt >= 2, "the first attempt must have conflicted");
+        let r = db.query("SELECT state FROM jobs WHERE job_id = 2").unwrap();
+        assert_eq!(r.first_value("state"), Some(&Value::from("done")));
+    }
+
+    #[test]
+    fn batched_reads_never_conflict_with_writers() {
+        let db = setup();
+        let q = db.prepare("SELECT state FROM jobs WHERE job_id = ?").unwrap();
         let writer = db.transaction();
         writer
             .execute("UPDATE jobs SET state = ? WHERE job_id = ?", ("held", 1i64))
             .unwrap();
-        // An autocommit batched read fails retryably against the writer.
-        let err = db.session().query_batch(&q, vec![(1i64,)]).unwrap_err();
-        assert!(err.is_retryable());
+        // An autocommit batched read runs against the in-flight writer and
+        // observes the committed (pre-update) state.
+        let results = db.session().query_batch(&q, vec![(1i64,)]).unwrap();
+        assert_eq!(results[0].first_value("state"), Some(&Value::from("idle")));
         writer.commit().unwrap();
-        assert_eq!(db.session().query_batch(&q, vec![(1i64,)]).unwrap().len(), 1);
+        // A fresh batch sees the committed update.
+        let results = db.session().query_batch(&q, vec![(1i64,)]).unwrap();
+        assert_eq!(results[0].first_value("state"), Some(&Value::from("held")));
     }
 }

@@ -45,6 +45,17 @@ pub struct OpStats {
     pub wal_bytes: u64,
     /// Checkpoints taken by the background maintenance task.
     pub checkpoints: u64,
+    /// MVCC row versions created (one per INSERT row and one per UPDATE).
+    pub versions_created: u64,
+    /// MVCC row versions pruned by vacuum.
+    pub versions_vacuumed: u64,
+    /// MVCC snapshots taken (one per transaction begin and one per
+    /// autocommit read statement/batch).
+    pub snapshots_taken: u64,
+    /// High-water mark of the longest row version chain observed. Unlike
+    /// the other counters this is a gauge: `merge` takes the max and
+    /// `delta_since` reports the current mark, not a difference.
+    pub max_version_chain: u64,
 }
 
 impl OpStats {
@@ -67,6 +78,12 @@ impl OpStats {
             wal_records: self.wal_records - earlier.wal_records,
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
             checkpoints: self.checkpoints - earlier.checkpoints,
+            versions_created: self.versions_created - earlier.versions_created,
+            versions_vacuumed: self.versions_vacuumed - earlier.versions_vacuumed,
+            snapshots_taken: self.snapshots_taken - earlier.snapshots_taken,
+            // A high-water mark has no meaningful difference; report the
+            // current mark.
+            max_version_chain: self.max_version_chain,
         }
     }
 
@@ -99,6 +116,10 @@ impl OpStats {
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;
         self.checkpoints += other.checkpoints;
+        self.versions_created += other.versions_created;
+        self.versions_vacuumed += other.versions_vacuumed;
+        self.snapshots_taken += other.snapshots_taken;
+        self.max_version_chain = self.max_version_chain.max(other.max_version_chain);
     }
 }
 
@@ -129,6 +150,10 @@ pub struct SharedStats {
     wal_records: AtomicU64,
     wal_bytes: AtomicU64,
     checkpoints: AtomicU64,
+    versions_created: AtomicU64,
+    versions_vacuumed: AtomicU64,
+    snapshots_taken: AtomicU64,
+    max_version_chain: AtomicU64,
 }
 
 impl SharedStats {
@@ -157,6 +182,13 @@ impl SharedStats {
         add(&self.wal_records, delta.wal_records);
         add(&self.wal_bytes, delta.wal_bytes);
         add(&self.checkpoints, delta.checkpoints);
+        add(&self.versions_created, delta.versions_created);
+        add(&self.versions_vacuumed, delta.versions_vacuumed);
+        add(&self.snapshots_taken, delta.snapshots_taken);
+        if delta.max_version_chain != 0 {
+            self.max_version_chain
+                .fetch_max(delta.max_version_chain, Ordering::Relaxed);
+        }
     }
 
     /// Copies the current totals into a plain [`OpStats`] value.
@@ -178,6 +210,10 @@ impl SharedStats {
             wal_records: self.wal_records.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            versions_created: self.versions_created.load(Ordering::Relaxed),
+            versions_vacuumed: self.versions_vacuumed.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            max_version_chain: self.max_version_chain.load(Ordering::Relaxed),
         }
     }
 }
@@ -285,6 +321,47 @@ mod tests {
             }
         });
         assert_eq!(shared.snapshot().rows_read, 4000);
+    }
+
+    #[test]
+    fn mvcc_counters_and_the_chain_gauge() {
+        let mut a = OpStats {
+            versions_created: 3,
+            max_version_chain: 4,
+            ..Default::default()
+        };
+        let b = OpStats {
+            versions_created: 2,
+            versions_vacuumed: 5,
+            snapshots_taken: 1,
+            max_version_chain: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.versions_created, 5);
+        assert_eq!(a.versions_vacuumed, 5);
+        assert_eq!(a.snapshots_taken, 1);
+        assert_eq!(a.max_version_chain, 4, "merge keeps the high-water mark");
+
+        let shared = SharedStats::default();
+        shared.record(&OpStats {
+            max_version_chain: 3,
+            ..Default::default()
+        });
+        shared.record(&OpStats {
+            max_version_chain: 2,
+            versions_vacuumed: 1,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.max_version_chain, 3, "record keeps the larger mark");
+        assert_eq!(snap.versions_vacuumed, 1);
+        let d = snap.delta_since(&OpStats {
+            versions_vacuumed: 1,
+            ..Default::default()
+        });
+        assert_eq!(d.versions_vacuumed, 0);
+        assert_eq!(d.max_version_chain, 3, "delta reports the current mark");
     }
 
     #[test]

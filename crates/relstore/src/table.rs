@@ -1,18 +1,37 @@
-//! Heap-organised tables with eagerly maintained indexes.
+//! Heap-organised tables with eagerly maintained indexes and MVCC row
+//! version chains.
+//!
+//! Every row is a [`VersionChain`]: the newest version is the *current*
+//! state, older versions are retained until no live [`Snapshot`] can still
+//! observe them (see [`crate::mvcc`]). Mutations run under the catalog
+//! write guard and stamp versions with the writing transaction; readers pass
+//! a snapshot to the access paths ([`Table::scan`], the index lookups) and
+//! the [`RowIter`] resolves each chain to the version their snapshot sees.
+//!
+//! Indexes are **multi-version**: they cover the keys of every retained
+//! version, not just the current one, so a snapshot reader probing an index
+//! still finds rows whose current version has moved to a different key.
+//! Entries are retired when the last version holding their key is removed
+//! (rollback or vacuum). Uniqueness is therefore enforced by the table
+//! against *live* rows — an index entry alone no longer implies a conflict.
 
 use crate::error::{Error, Result};
 use crate::index::Index;
-use crate::schema::Schema;
+use crate::mvcc::{RowVersion, Snapshot, VersionChain, COMMITTED_TXN};
+use crate::schema::{IndexDef, Schema};
 use crate::stats::OpStats;
 use crate::tuple::{Row, RowId, StoredRowRef};
 use crate::value::Value;
+use crate::wal::TxnId;
 use std::collections::btree_map;
 use std::collections::BTreeMap;
+use std::collections::HashSet;
 
-/// A single table: schema, row heap, primary-key index and secondary indexes.
+/// A single table: schema, versioned row heap, primary-key index and
+/// secondary indexes.
 ///
-/// Every mutation keeps all indexes consistent with the heap; the
-/// property-based tests in `tests/` check this invariant under random
+/// Every mutation keeps all indexes consistent with the retained versions;
+/// the property-based tests in `tests/` check this invariant under random
 /// workloads. Operation counts are accumulated into the [`OpStats`] passed by
 /// the caller so the database can attribute work to the statement that caused
 /// it.
@@ -20,12 +39,21 @@ use std::collections::BTreeMap;
 pub struct Table {
     /// The table schema.
     pub schema: Schema,
-    rows: BTreeMap<RowId, Row>,
+    rows: BTreeMap<RowId, VersionChain>,
     next_row_id: u64,
     /// Unique index over the primary-key column, when one is declared.
     pk_index: Option<Index>,
     /// Secondary indexes, in declaration order.
     secondary: Vec<Index>,
+    /// Rows whose newest version is open (the latest-state row count).
+    live: usize,
+    /// Retained versions with `end` set — the vacuum backlog.
+    dead_versions: usize,
+    /// Smallest `end` transaction id among retained dead versions (may be
+    /// conservatively low after an undo; exact after each vacuum). A
+    /// threshold sweep is fruitful only when the snapshot horizon exceeds
+    /// this, so writers never rescan a table a long-lived snapshot pins.
+    min_dead_end: u64,
 }
 
 impl Table {
@@ -46,23 +74,70 @@ impl Table {
             next_row_id: 1,
             pk_index,
             secondary,
+            live: 0,
+            dead_versions: 0,
+            min_dead_end: u64::MAX,
         })
     }
 
-    /// Number of live rows.
+    /// Number of live rows (rows present in the latest state; old versions
+    /// and tombstones awaiting vacuum are not counted).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
-    /// True when the table holds no rows.
+    /// True when the table holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live == 0
     }
 
-    /// Inserts a row after validation, returning its new row id.
-    pub fn insert(&mut self, values: Vec<Value>, stats: &mut OpStats) -> Result<RowId> {
+    /// Total retained row versions, including current ones.
+    pub fn total_versions(&self) -> usize {
+        self.rows.values().map(VersionChain::len).sum()
+    }
+
+    /// Retained versions that have been superseded or deleted and await
+    /// vacuuming.
+    pub fn dead_versions(&self) -> usize {
+        self.dead_versions
+    }
+
+    /// True when vacuuming with `horizon` could prune at least one version.
+    /// Lets the write path's threshold trigger skip guaranteed-fruitless
+    /// sweeps while a long-lived snapshot pins the whole backlog.
+    pub fn vacuum_would_prune(&self, horizon: u64) -> bool {
+        self.dead_versions > 0 && self.min_dead_end < horizon
+    }
+
+    /// Length of the longest version chain (1 when fully vacuumed).
+    pub fn max_chain_len(&self) -> usize {
+        self.rows.values().map(VersionChain::len).max().unwrap_or(0)
+    }
+
+    /// True when some *other* live row currently holds `key` in the column
+    /// covered by `idx`. Dead versions retain index entries, so the entry
+    /// set alone over-approximates; this resolves each candidate against its
+    /// chain's current version.
+    fn unique_conflict(&self, idx: &Index, key: &Value, exclude: Option<RowId>) -> bool {
+        if key.is_null() {
+            return false;
+        }
+        idx.rows_with_key(key).any(|id| {
+            exclude != Some(id)
+                && self
+                    .rows
+                    .get(&id)
+                    .and_then(VersionChain::current)
+                    .is_some_and(|row| row.get(idx.column_idx) == key)
+        })
+    }
+
+    /// Inserts a row after validation, returning its new row id. The new
+    /// version is stamped as written by `txn` and stays invisible to
+    /// snapshots that do not see `txn`.
+    pub fn insert(&mut self, values: Vec<Value>, txn: TxnId, stats: &mut OpStats) -> Result<RowId> {
         let values = self.schema.validate_row(values)?;
-        // Primary key must be non-null and unique.
+        // Primary key must be non-null and unique among live rows.
         if let (Some(pk_idx), Some(pk_col)) = (&self.pk_index, self.schema.primary_key_index()) {
             let key = &values[pk_col];
             if key.is_null() {
@@ -71,7 +146,7 @@ impl Table {
                     self.schema.name
                 )));
             }
-            if pk_idx.contains_key(key) {
+            if self.unique_conflict(pk_idx, key, None) {
                 return Err(Error::constraint(format!(
                     "duplicate primary key {key} in table {}",
                     self.schema.name
@@ -81,7 +156,7 @@ impl Table {
         // Unique secondary indexes checked before any mutation so a failed
         // insert leaves the table untouched.
         for idx in &self.secondary {
-            if idx.unique && idx.contains_key(&values[idx.column_idx]) {
+            if idx.unique && self.unique_conflict(idx, &values[idx.column_idx], None) {
                 return Err(Error::constraint(format!(
                     "duplicate key {} for unique index {}",
                     values[idx.column_idx], idx.name
@@ -92,19 +167,23 @@ impl Table {
         let id = RowId(self.next_row_id);
         self.next_row_id += 1;
         if let Some(pk) = &mut self.pk_index {
-            pk.insert(&values[pk.column_idx], id)?;
+            pk.insert(&values[pk.column_idx], id);
             stats.index_maintenance += 1;
         }
         for idx in &mut self.secondary {
-            idx.insert(&values[idx.column_idx], id)?;
+            idx.insert(&values[idx.column_idx], id);
             stats.index_maintenance += 1;
         }
-        self.rows.insert(id, Row::new(values));
+        self.rows.insert(id, VersionChain::new(txn, Row::new(values)));
+        self.live += 1;
         stats.rows_inserted += 1;
+        stats.versions_created += 1;
         Ok(id)
     }
 
-    /// Inserts a row with a pre-assigned id, used only by WAL recovery.
+    /// Inserts a row with a pre-assigned id as an already-committed single
+    /// version. Physical (non-transactional): used by WAL recovery, which
+    /// replays committed history only.
     pub(crate) fn insert_with_id(&mut self, id: RowId, row: Row, stats: &mut OpStats) -> Result<()> {
         if self.rows.contains_key(&id) {
             return Err(Error::internal(format!(
@@ -112,52 +191,74 @@ impl Table {
                 self.schema.name
             )));
         }
+        // A duplicated or corrupt WAL must fail recovery loudly, not recover
+        // silently into a state that violates unique constraints.
+        if let Some(pk) = &self.pk_index {
+            if self.unique_conflict(pk, row.get(pk.column_idx), None) {
+                return Err(Error::constraint(format!(
+                    "recovery produced duplicate primary key {} in table {}",
+                    row.get(pk.column_idx),
+                    self.schema.name
+                )));
+            }
+        }
+        for idx in &self.secondary {
+            if idx.unique && self.unique_conflict(idx, row.get(idx.column_idx), None) {
+                return Err(Error::constraint(format!(
+                    "recovery produced duplicate key {} for unique index {}",
+                    row.get(idx.column_idx),
+                    idx.name
+                )));
+            }
+        }
         if let Some(pk) = &mut self.pk_index {
-            pk.insert(row.get(pk.column_idx), id)?;
+            pk.insert(row.get(pk.column_idx), id);
         }
         for idx in &mut self.secondary {
-            idx.insert(row.get(idx.column_idx), id)?;
+            idx.insert(row.get(idx.column_idx), id);
         }
         self.next_row_id = self.next_row_id.max(id.0 + 1);
-        self.rows.insert(id, row);
+        self.rows.insert(id, VersionChain::new(COMMITTED_TXN, row));
+        self.live += 1;
         stats.rows_inserted += 1;
         Ok(())
     }
 
-    /// Returns the row with id `id`, if present.
+    /// Returns the current (latest-state) row with id `id`, if it is live.
     pub fn get(&self, id: RowId) -> Option<&Row> {
-        self.rows.get(&id)
+        self.rows.get(&id).and_then(VersionChain::current)
     }
 
-    /// Deletes the row with id `id`, returning its prior contents.
-    pub fn delete(&mut self, id: RowId, stats: &mut OpStats) -> Result<Row> {
-        let row = self
+    /// Deletes the row with id `id` on behalf of `txn`, returning its prior
+    /// contents. The version is only tombstoned — snapshots that do not see
+    /// `txn` keep reading it until vacuum.
+    pub fn delete(&mut self, id: RowId, txn: TxnId, stats: &mut OpStats) -> Result<Row> {
+        let chain = self
             .rows
-            .remove(&id)
+            .get_mut(&id)
+            .filter(|c| c.is_live())
             .ok_or_else(|| Error::not_found(format!("row {id} in table {}", self.schema.name)))?;
-        if let Some(pk) = &mut self.pk_index {
-            pk.remove(row.get(pk.column_idx), id);
-            stats.index_maintenance += 1;
-        }
-        for idx in &mut self.secondary {
-            idx.remove(row.get(idx.column_idx), id);
-            stats.index_maintenance += 1;
-        }
+        let before = chain.newest().row.clone();
+        chain.mark_deleted(txn);
+        self.live -= 1;
+        self.dead_versions += 1;
+        self.min_dead_end = self.min_dead_end.min(txn.0);
         stats.rows_deleted += 1;
-        Ok(row)
+        Ok(before)
     }
 
-    /// Applies column assignments to the row with id `id`.
+    /// Applies column assignments to the row with id `id` on behalf of
+    /// `txn`, pushing a new version onto its chain.
     /// Returns the row contents before and after the update.
     pub fn update(
         &mut self,
         id: RowId,
         assignments: &[(usize, Value)],
+        txn: TxnId,
         stats: &mut OpStats,
     ) -> Result<(Row, Row)> {
         let before = self
-            .rows
-            .get(&id)
+            .get(id)
             .cloned()
             .ok_or_else(|| Error::not_found(format!("row {id} in table {}", self.schema.name)))?;
         let mut after = before.clone();
@@ -182,31 +283,28 @@ impl Table {
             after.set(*col, value.coerce_to(col_def.ty)?);
         }
 
-        // Check uniqueness constraints for any indexed column whose value changed.
-        let unique_violation = |idx: &Index, after: &Row, before: &Row| -> bool {
-            let new_key = after.get(idx.column_idx);
-            let old_key = before.get(idx.column_idx);
-            idx.unique
-                && new_key.sql_eq(old_key) != Some(true)
-                && idx.contains_key(new_key)
+        // Check uniqueness constraints for any indexed column whose value
+        // changed, against the *live* rows (dead versions don't conflict).
+        let changed = |idx: &Index| {
+            after.get(idx.column_idx).sql_eq(before.get(idx.column_idx)) != Some(true)
         };
         if let Some(pk) = &self.pk_index {
-            if unique_violation(pk, &after, &before) {
-                return Err(Error::constraint(format!(
-                    "duplicate primary key {} in table {}",
-                    after.get(pk.column_idx),
-                    self.schema.name
-                )));
-            }
             if after.get(pk.column_idx).is_null() {
                 return Err(Error::constraint(format!(
                     "primary key of table {} cannot be NULL",
                     self.schema.name
                 )));
             }
+            if changed(pk) && self.unique_conflict(pk, after.get(pk.column_idx), Some(id)) {
+                return Err(Error::constraint(format!(
+                    "duplicate primary key {} in table {}",
+                    after.get(pk.column_idx),
+                    self.schema.name
+                )));
+            }
         }
         for idx in &self.secondary {
-            if unique_violation(idx, &after, &before) {
+            if idx.unique && changed(idx) && self.unique_conflict(idx, after.get(idx.column_idx), Some(id)) {
                 return Err(Error::constraint(format!(
                     "duplicate key {} for unique index {}",
                     after.get(idx.column_idx),
@@ -215,50 +313,180 @@ impl Table {
             }
         }
 
-        // Maintain indexes whose key changed.
+        // Index the new version's keys. Old entries stay: snapshot readers
+        // may still probe the old key and must find this row.
         if let Some(pk) = &mut self.pk_index {
             let (old_key, new_key) = (before.get(pk.column_idx), after.get(pk.column_idx));
             if old_key != new_key {
-                pk.remove(old_key, id);
-                pk.insert(new_key, id)?;
-                stats.index_maintenance += 2;
+                pk.insert(new_key, id);
+                stats.index_maintenance += 1;
             }
         }
         for idx in &mut self.secondary {
             let (old_key, new_key) = (before.get(idx.column_idx), after.get(idx.column_idx));
             if old_key != new_key {
-                idx.remove(old_key, id);
-                idx.insert(new_key, id)?;
-                stats.index_maintenance += 2;
+                idx.insert(new_key, id);
+                stats.index_maintenance += 1;
             }
         }
-        self.rows.insert(id, after.clone());
+        let chain = self.rows.get_mut(&id).expect("checked live above");
+        chain.push_version(txn, after.clone());
+        self.dead_versions += 1;
+        self.min_dead_end = self.min_dead_end.min(txn.0);
         stats.rows_updated += 1;
+        stats.versions_created += 1;
+        stats.max_version_chain = stats.max_version_chain.max(chain.len() as u64);
         Ok((before, after))
     }
 
-    /// Restores a row to exact prior contents, used by transaction rollback.
+    // --- rollback (version-aware undo) ---------------------------------------
+
+    /// Undoes an INSERT by `txn`: removes the whole chain (every version in
+    /// it was written by the aborting transaction).
+    pub(crate) fn undo_insert(&mut self, id: RowId) {
+        let mut scratch = OpStats::default();
+        let _ = self.remove_physical(id, &mut scratch);
+    }
+
+    /// Undoes an UPDATE by `txn`: pops the newest version and re-opens the
+    /// version it superseded.
+    pub(crate) fn undo_update(&mut self, id: RowId, txn: TxnId) {
+        let Some(chain) = self.rows.get_mut(&id) else {
+            return;
+        };
+        let popped = chain.pop_version(txn);
+        self.dead_versions -= 1;
+        self.retire_version_entries(id, std::slice::from_ref(&popped));
+    }
+
+    /// Undoes a DELETE by `txn`: clears the tombstone mark.
+    pub(crate) fn undo_delete(&mut self, id: RowId, txn: TxnId) {
+        if let Some(chain) = self.rows.get_mut(&id) {
+            chain.unmark_deleted(txn);
+            self.live += 1;
+            self.dead_versions -= 1;
+        }
+    }
+
+    // --- physical operations (recovery) --------------------------------------
+
+    /// Physically removes a row and all its versions. Used by WAL recovery
+    /// (which replays committed history into flat, single-version state) and
+    /// by insert rollback.
+    pub(crate) fn remove_physical(&mut self, id: RowId, stats: &mut OpStats) -> Result<Row> {
+        let chain = self
+            .rows
+            .remove(&id)
+            .ok_or_else(|| Error::not_found(format!("row {id} in table {}", self.schema.name)))?;
+        if chain.is_live() {
+            self.live -= 1;
+        }
+        let newest = chain.newest().row.clone();
+        let versions: Vec<RowVersion> = chain.versions().cloned().collect();
+        self.dead_versions -= versions.iter().filter(|v| v.end.is_some()).count();
+        self.retire_chain_entries(id, &versions);
+        stats.rows_deleted += 1;
+        Ok(newest)
+    }
+
+    /// Restores a row to exact prior contents as a committed single version.
+    /// Physical, like [`Table::remove_physical`]: used by WAL recovery redo.
     pub(crate) fn restore(&mut self, id: RowId, row: Row) -> Result<()> {
-        // Remove current index entries (if the row exists), then reinstate.
         let mut scratch = OpStats::default();
         if self.rows.contains_key(&id) {
-            self.delete(id, &mut scratch)?;
+            self.remove_physical(id, &mut scratch)?;
         }
         self.insert_with_id(id, row, &mut scratch)
     }
 
-    /// Full scan in row-id order, streaming borrowed rows. Nothing is cloned;
-    /// the caller copies only the values it keeps.
-    pub fn scan(&self, stats: &mut OpStats) -> RowIter<'_> {
-        stats.rows_scanned += self.rows.len() as u64;
-        stats.rows_read += self.rows.len() as u64;
-        RowIter::Scan(self.rows.iter())
+    /// Removes the index entries of `versions` (versions popped from the
+    /// chain of `id`) whose keys no longer appear in any retained version.
+    fn retire_version_entries(&mut self, id: RowId, versions: &[RowVersion]) {
+        let remaining = self.rows.get(&id);
+        let mut indexes: Vec<&mut Index> = Vec::with_capacity(1 + self.secondary.len());
+        indexes.extend(self.pk_index.iter_mut());
+        indexes.extend(self.secondary.iter_mut());
+        for idx in indexes {
+            for v in versions {
+                let key = v.row.get(idx.column_idx);
+                let still_held = remaining.is_some_and(|chain| {
+                    chain.versions().any(|r| r.row.get(idx.column_idx) == key)
+                });
+                if !still_held {
+                    idx.remove(key, id);
+                }
+            }
+        }
     }
 
-    /// Point lookup by primary key, streaming borrowed rows. Falls back to a
-    /// scan when no primary key is declared (the planner avoids calling it in
-    /// that case).
-    pub fn lookup_pk(&self, key: &Value, stats: &mut OpStats) -> RowIter<'_> {
+    /// Removes every index entry of a fully-removed chain.
+    fn retire_chain_entries(&mut self, id: RowId, versions: &[RowVersion]) {
+        debug_assert!(!self.rows.contains_key(&id));
+        self.retire_version_entries(id, versions);
+    }
+
+    // --- vacuum ---------------------------------------------------------------
+
+    /// Prunes versions no snapshot at or above `horizon` can observe (see
+    /// [`crate::mvcc`] for the horizon rule), retiring their index entries,
+    /// and drops chains left empty. Returns the number of versions pruned.
+    pub fn vacuum(&mut self, horizon: u64, stats: &mut OpStats) -> usize {
+        if self.dead_versions == 0 {
+            return 0;
+        }
+        // Phase 1: prune in place, remembering only the chains that shrank
+        // (typically a small fraction of the table). Recompute the exact
+        // minimum `end` among the dead versions that survive, so the
+        // threshold trigger knows when a future sweep could be fruitful.
+        let mut dirty: Vec<(RowId, Vec<RowVersion>)> = Vec::new();
+        let mut pruned_total = 0usize;
+        let mut min_dead_end = u64::MAX;
+        for (id, chain) in self.rows.iter_mut() {
+            if !chain.has_dead() {
+                continue;
+            }
+            let pruned = chain.vacuum(horizon);
+            for v in chain.versions() {
+                if let Some(end) = v.end {
+                    min_dead_end = min_dead_end.min(end.0);
+                }
+            }
+            if !pruned.is_empty() {
+                pruned_total += pruned.len();
+                dirty.push((*id, pruned));
+            }
+        }
+        self.min_dead_end = min_dead_end;
+        // Phase 2: drop emptied chains and retire stale index entries.
+        for (id, pruned) in dirty {
+            if self.rows.get(&id).is_some_and(VersionChain::is_empty) {
+                self.rows.remove(&id);
+            }
+            self.retire_version_entries(id, &pruned);
+        }
+        self.dead_versions -= pruned_total;
+        stats.versions_vacuumed += pruned_total as u64;
+        pruned_total
+    }
+
+    // --- access paths ---------------------------------------------------------
+
+    /// Full scan in row-id order, streaming the row version each chain shows
+    /// to `vis`. Nothing is cloned; the caller copies only the values it
+    /// keeps.
+    pub fn scan<'a>(&'a self, vis: &'a Snapshot, stats: &mut OpStats) -> RowIter<'a> {
+        stats.rows_scanned += self.rows.len() as u64;
+        stats.rows_read += self.rows.len() as u64;
+        RowIter::Scan {
+            iter: self.rows.iter(),
+            vis,
+        }
+    }
+
+    /// Point lookup by primary key, streaming visible borrowed rows. Falls
+    /// back to a scan when no primary key is declared (the planner avoids
+    /// calling it in that case).
+    pub fn lookup_pk<'a>(&'a self, key: &Value, vis: &'a Snapshot, stats: &mut OpStats) -> RowIter<'a> {
         match &self.pk_index {
             Some(pk) => {
                 stats.index_lookups += 1;
@@ -267,21 +495,23 @@ impl Table {
                 RowIter::Ids {
                     rows: &self.rows,
                     ids: ids.into_iter(),
+                    vis,
                 }
             }
-            None => self.scan(stats),
+            None => self.scan(vis, stats),
         }
     }
 
     /// Point lookup through the first index (primary or secondary) covering
-    /// `column`, streaming borrowed rows. Returns `None` if no such index
-    /// exists.
-    pub fn lookup_indexed(
-        &self,
+    /// `column`, streaming visible borrowed rows. Returns `None` if no such
+    /// index exists.
+    pub fn lookup_indexed<'a>(
+        &'a self,
         column: &str,
         key: &Value,
+        vis: &'a Snapshot,
         stats: &mut OpStats,
-    ) -> Option<RowIter<'_>> {
+    ) -> Option<RowIter<'a>> {
         let idx = self.index_on(column)?;
         stats.index_lookups += 1;
         let ids = idx.lookup(key);
@@ -289,19 +519,21 @@ impl Table {
         Some(RowIter::Ids {
             rows: &self.rows,
             ids: ids.into_iter(),
+            vis,
         })
     }
 
     /// Range lookup through the first index (primary or secondary) covering
-    /// `column`: streams the rows whose key lies in `[lo, hi]` (either bound
-    /// may be open). Returns `None` if no such index exists.
-    pub fn lookup_range(
-        &self,
+    /// `column`: streams the visible rows whose key lies in `[lo, hi]`
+    /// (either bound may be open). Returns `None` if no such index exists.
+    pub fn lookup_range<'a>(
+        &'a self,
         column: &str,
         lo: Option<&Value>,
         hi: Option<&Value>,
+        vis: &'a Snapshot,
         stats: &mut OpStats,
-    ) -> Option<RowIter<'_>> {
+    ) -> Option<RowIter<'a>> {
         let idx = self.index_on(column)?;
         stats.index_lookups += 1;
         let ids = idx.range(lo, hi);
@@ -309,6 +541,7 @@ impl Table {
         Some(RowIter::Ids {
             rows: &self.rows,
             ids: ids.into_iter(),
+            vis,
         })
     }
 
@@ -337,44 +570,125 @@ impl Table {
             .any(|c| c.eq_ignore_ascii_case(column))
     }
 
-    /// Approximate resident size of the table in bytes (heap + index entries).
+    /// Adds a secondary index in place, covering the keys of every retained
+    /// version. For a unique index, uniqueness is checked over the *live*
+    /// rows first; old versions may freely share keys.
+    pub(crate) fn add_index(&mut self, def: IndexDef, stats: &mut OpStats) -> Result<()> {
+        let col = self.schema.column_index(&def.column)?;
+        if def.unique {
+            let mut seen: HashSet<&Value> = HashSet::new();
+            for chain in self.rows.values() {
+                if let Some(row) = chain.current() {
+                    let key = row.get(col);
+                    if !key.is_null() && !seen.insert(key) {
+                        return Err(Error::constraint(format!(
+                            "duplicate key {key} for unique index {}",
+                            def.name
+                        )));
+                    }
+                }
+            }
+        }
+        let mut idx = Index::new(def.name.clone(), col, def.unique);
+        for (id, chain) in &self.rows {
+            for v in chain.versions() {
+                idx.insert(v.row.get(col), *id);
+                stats.index_maintenance += 1;
+            }
+        }
+        self.schema.indexes.push(def);
+        self.secondary.push(idx);
+        Ok(())
+    }
+
+    /// Approximate resident size of the table in bytes (all retained
+    /// versions + index entries).
     pub fn approx_size(&self) -> usize {
-        let heap: usize = self.rows.values().map(Row::approx_size).sum();
+        let heap: usize = self.rows.values().map(VersionChain::approx_size).sum();
         let index_entries = self.pk_index.as_ref().map(|i| i.len()).unwrap_or(0)
             + self.secondary.iter().map(|i| i.len()).sum::<usize>();
         heap + index_entries * 24
     }
 
-    /// Internal consistency check used by tests: every index entry points at a
-    /// live row with the matching key, and every live row is indexed.
+    /// Internal consistency check used by tests: every retained version's
+    /// key is indexed, index entry counts match the retained key sets, the
+    /// version-chain invariants hold, and unique indexes have no duplicate
+    /// keys among live rows.
     pub fn check_consistency(&self) -> Result<()> {
+        // Chain invariants and the cached counters.
+        let mut live = 0usize;
+        let mut dead = 0usize;
+        for (id, chain) in &self.rows {
+            if chain.is_empty() {
+                return Err(Error::internal(format!("row {id} has an empty chain")));
+            }
+            let n = chain.len();
+            for (i, v) in chain.versions().enumerate() {
+                if i + 1 < n && v.end.is_none() {
+                    return Err(Error::internal(format!(
+                        "row {id}: non-newest version without an end mark"
+                    )));
+                }
+                if v.end.is_some() {
+                    dead += 1;
+                }
+            }
+            if chain.is_live() {
+                live += 1;
+            }
+        }
+        if live != self.live || dead != self.dead_versions {
+            return Err(Error::internal(format!(
+                "cached counters drifted: live {}/{} dead {}/{}",
+                self.live, live, self.dead_versions, dead
+            )));
+        }
+
         let mut indexes: Vec<&Index> = Vec::new();
         if let Some(pk) = &self.pk_index {
             indexes.push(pk);
         }
         indexes.extend(self.secondary.iter());
         for idx in indexes {
-            let mut indexed_rows = 0usize;
-            for (id, row) in &self.rows {
-                let key = row.get(idx.column_idx);
-                if key.is_null() {
-                    continue;
-                }
-                indexed_rows += 1;
-                if !idx.lookup(key).contains(id) {
-                    return Err(Error::internal(format!(
-                        "row {id} missing from index {}",
-                        idx.name
-                    )));
+            let mut expected_entries = 0usize;
+            for (id, chain) in &self.rows {
+                let mut keys: Vec<&Value> = Vec::new();
+                for v in chain.versions() {
+                    let key = v.row.get(idx.column_idx);
+                    if key.is_null() || keys.contains(&key) {
+                        continue;
+                    }
+                    keys.push(key);
+                    expected_entries += 1;
+                    if !idx.lookup(key).contains(id) {
+                        return Err(Error::internal(format!(
+                            "row {id} version key {key} missing from index {}",
+                            idx.name
+                        )));
+                    }
                 }
             }
-            if idx.len() != indexed_rows {
+            if idx.len() != expected_entries {
                 return Err(Error::internal(format!(
-                    "index {} has {} entries but {} rows are indexable",
+                    "index {} has {} entries but {} version keys are indexable",
                     idx.name,
                     idx.len(),
-                    indexed_rows
+                    expected_entries
                 )));
+            }
+            if idx.unique {
+                let mut seen: HashSet<&Value> = HashSet::new();
+                for chain in self.rows.values() {
+                    if let Some(row) = chain.current() {
+                        let key = row.get(idx.column_idx);
+                        if !key.is_null() && !seen.insert(key) {
+                            return Err(Error::internal(format!(
+                                "unique index {} has duplicate live key {key}",
+                                idx.name
+                            )));
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -382,18 +696,28 @@ impl Table {
 }
 
 /// Streaming access path over a table: either a heap scan in row-id order or
-/// a set of index-qualified row ids. Yields borrowed [`StoredRowRef`]s so the
-/// executor can evaluate predicates without materialising owned rows.
+/// a set of index-qualified row ids, resolved against a [`Snapshot`]. Yields
+/// borrowed [`StoredRowRef`]s — the version each chain shows to the snapshot
+/// — so the executor can evaluate predicates without materialising owned
+/// rows.
 #[derive(Debug)]
 pub enum RowIter<'a> {
     /// Full heap scan.
-    Scan(btree_map::Iter<'a, RowId, Row>),
+    Scan {
+        /// Chains in row-id order.
+        iter: btree_map::Iter<'a, RowId, VersionChain>,
+        /// The snapshot versions are resolved against.
+        vis: &'a Snapshot,
+    },
     /// Rows named by an index lookup, resolved lazily against the heap.
     Ids {
         /// The table heap the ids point into.
-        rows: &'a BTreeMap<RowId, Row>,
-        /// Ids produced by the index, in key order.
+        rows: &'a BTreeMap<RowId, VersionChain>,
+        /// Ids produced by the index, in ascending row-id order and free of
+        /// duplicates (see [`crate::index::Index::range`]).
         ids: std::vec::IntoIter<RowId>,
+        /// The snapshot versions are resolved against.
+        vis: &'a Snapshot,
     },
 }
 
@@ -402,18 +726,25 @@ impl<'a> Iterator for RowIter<'a> {
 
     fn next(&mut self) -> Option<StoredRowRef<'a>> {
         match self {
-            RowIter::Scan(iter) => iter.next().map(|(id, row)| StoredRowRef { id: *id, row }),
-            RowIter::Ids { rows, ids } => {
-                // An index entry always points at a live row, but stay
-                // defensive: skip ids whose row vanished.
-                ids.find_map(|id| rows.get(&id).map(|row| StoredRowRef { id, row }))
+            RowIter::Scan { iter, vis } => iter.find_map(|(id, chain)| {
+                chain.visible(vis).map(|row| StoredRowRef { id: *id, row })
+            }),
+            RowIter::Ids { rows, ids, vis } => {
+                // An index entry may point at a chain whose visible version
+                // has a different key (or none at all); the caller re-applies
+                // its filter, this just resolves visibility.
+                ids.find_map(|id| {
+                    rows.get(&id)
+                        .and_then(|chain| chain.visible(vis))
+                        .map(|row| StoredRowRef { id, row })
+                })
             }
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            RowIter::Scan(iter) => iter.size_hint(),
+            RowIter::Scan { iter, .. } => (0, iter.size_hint().1),
             RowIter::Ids { ids, .. } => (0, Some(ids.len())),
         }
     }
@@ -424,6 +755,8 @@ mod tests {
     use super::*;
     use crate::schema::Column;
     use crate::value::DataType;
+
+    const SETUP: TxnId = COMMITTED_TXN;
 
     fn machines_table() -> Table {
         let schema = Schema::new(
@@ -450,15 +783,20 @@ mod tests {
         ]
     }
 
+    fn latest() -> &'static Snapshot {
+        Snapshot::latest()
+    }
+
     #[test]
     fn insert_and_lookup_by_pk() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
-        t.insert(row(2, "node02", "busy", 0.9), &mut stats).unwrap();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        t.insert(row(2, "node02", "busy", 0.9), SETUP, &mut stats).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(stats.rows_inserted, 2);
-        let found: Vec<_> = t.lookup_pk(&Value::Int(1), &mut stats).collect();
+        assert_eq!(stats.versions_created, 2);
+        let found: Vec<_> = t.lookup_pk(&Value::Int(1), latest(), &mut stats).collect();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].id, id);
         assert_eq!(found[0].row.get(1), &Value::Text("node01".into()));
@@ -469,8 +807,8 @@ mod tests {
     fn duplicate_primary_key_rejected_atomically() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
-        let err = t.insert(row(1, "node99", "idle", 0.1), &mut stats);
+        t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        let err = t.insert(row(1, "node99", "idle", 0.1), SETUP, &mut stats);
         assert!(matches!(err, Err(Error::Constraint(_))));
         assert_eq!(t.len(), 1);
         t.check_consistency().unwrap();
@@ -480,50 +818,120 @@ mod tests {
     fn unique_secondary_index_enforced() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
-        assert!(t.insert(row(2, "node01", "idle", 0.1), &mut stats).is_err());
+        t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        assert!(t.insert(row(2, "node01", "idle", 0.1), SETUP, &mut stats).is_err());
         assert_eq!(t.len(), 1);
     }
 
     #[test]
-    fn delete_removes_index_entries() {
+    fn delete_tombstones_and_vacuum_collects() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
-        let removed = t.delete(id, &mut stats).unwrap();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        let removed = t.delete(id, TxnId(5), &mut stats).unwrap();
         assert_eq!(removed.get(1), &Value::Text("node01".into()));
         assert!(t.is_empty());
+        assert_eq!(t.dead_versions(), 1);
+        // The tombstoned version stays visible to a snapshot predating txn 5.
+        let old = Snapshot {
+            high: 5,
+            in_flight: Vec::new(),
+            own: None,
+        };
+        assert_eq!(t.scan(&old, &mut stats).count(), 1);
+        // ...but not to the latest view.
         assert!(t
-            .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
+            .lookup_indexed("state", &Value::Text("idle".into()), latest(), &mut stats)
             .unwrap()
             .next()
             .is_none());
-        assert!(t.delete(id, &mut stats).is_err());
+        assert!(t.delete(id, TxnId(6), &mut stats).is_err());
+        t.check_consistency().unwrap();
+
+        // Vacuum with no live snapshots removes the chain and index entries.
+        assert_eq!(t.vacuum(u64::MAX, &mut stats), 1);
+        assert_eq!(t.dead_versions(), 0);
+        assert_eq!(t.total_versions(), 0);
+        assert_eq!(stats.versions_vacuumed, 1);
         t.check_consistency().unwrap();
     }
 
     #[test]
-    fn update_maintains_indexes() {
+    fn update_keeps_old_version_reachable_through_indexes() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
         let state_col = t.schema.column_index("state").unwrap();
         let (before, after) = t
-            .update(id, &[(state_col, Value::Text("busy".into()))], &mut stats)
+            .update(id, &[(state_col, Value::Text("busy".into()))], TxnId(7), &mut stats)
             .unwrap();
         assert_eq!(before.get(state_col), &Value::Text("idle".into()));
         assert_eq!(after.get(state_col), &Value::Text("busy".into()));
-        assert!(t
-            .lookup_indexed("state", &Value::Text("idle".into()), &mut stats)
+        assert_eq!(t.max_chain_len(), 2);
+        assert_eq!(stats.max_version_chain, 2);
+
+        // Latest view: the retained 'idle' entry still names the row (the
+        // index yields a superset; callers re-apply their filter), but the
+        // version it resolves to carries the new key.
+        let stale: Vec<_> = t
+            .lookup_indexed("state", &Value::Text("idle".into()), latest(), &mut stats)
             .unwrap()
-            .next()
-            .is_none());
+            .collect();
+        assert_eq!(stale.len(), 1);
         assert_eq!(
-            t.lookup_indexed("state", &Value::Text("busy".into()), &mut stats)
+            stale[0].row.get(state_col),
+            &Value::Text("busy".into()),
+            "a filter on state = 'idle' would reject the resolved version"
+        );
+        assert_eq!(
+            t.lookup_indexed("state", &Value::Text("busy".into()), latest(), &mut stats)
                 .unwrap()
                 .count(),
             1
         );
+
+        // A snapshot that does not see txn 7 reads the old version through
+        // the old index key.
+        let old = Snapshot {
+            high: 7,
+            in_flight: Vec::new(),
+            own: None,
+        };
+        let via_old_key: Vec<_> = t
+            .lookup_indexed("state", &Value::Text("idle".into()), &old, &mut stats)
+            .unwrap()
+            .collect();
+        assert_eq!(via_old_key.len(), 1);
+        assert_eq!(via_old_key[0].row.get(state_col), &Value::Text("idle".into()));
+        t.check_consistency().unwrap();
+
+        // Vacuum prunes the superseded version and retires the stale entry.
+        assert_eq!(t.vacuum(u64::MAX, &mut stats), 1);
+        assert_eq!(t.max_chain_len(), 1);
+        assert!(t
+            .lookup_indexed("state", &Value::Text("idle".into()), &old, &mut stats)
+            .unwrap()
+            .next()
+            .is_none());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn vacuum_would_prune_tracks_the_horizon() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        assert!(!t.vacuum_would_prune(u64::MAX), "no dead versions yet");
+        let state_col = t.schema.column_index("state").unwrap();
+        t.update(RowId(1), &[(state_col, Value::Text("busy".into()))], TxnId(5), &mut stats)
+            .unwrap();
+        // The version ended by txn 5 is prunable only once the horizon
+        // passes 5 — a sweep below that is guaranteed fruitless.
+        assert!(!t.vacuum_would_prune(5));
+        assert!(t.vacuum_would_prune(6));
+        assert_eq!(t.vacuum(5, &mut stats), 0, "pinned: nothing pruned");
+        assert_eq!(t.vacuum(6, &mut stats), 1);
+        assert!(!t.vacuum_would_prune(u64::MAX), "backlog fully reclaimed");
         t.check_consistency().unwrap();
     }
 
@@ -531,19 +939,70 @@ mod tests {
     fn update_rejects_constraint_violations() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        let id1 = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
-        t.insert(row(2, "node02", "idle", 0.1), &mut stats).unwrap();
+        let id1 = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        t.insert(row(2, "node02", "idle", 0.1), SETUP, &mut stats).unwrap();
         let name_col = t.schema.column_index("name").unwrap();
         assert!(t
-            .update(id1, &[(name_col, Value::Text("node02".into()))], &mut stats)
+            .update(id1, &[(name_col, Value::Text("node02".into()))], TxnId(3), &mut stats)
             .is_err());
         let pk_col = t.schema.column_index("machine_id").unwrap();
-        assert!(t.update(id1, &[(pk_col, Value::Int(2))], &mut stats).is_err());
-        assert!(t.update(id1, &[(pk_col, Value::Null)], &mut stats).is_err());
+        assert!(t.update(id1, &[(pk_col, Value::Int(2))], TxnId(3), &mut stats).is_err());
+        assert!(t.update(id1, &[(pk_col, Value::Null)], TxnId(3), &mut stats).is_err());
         // Setting the same unique value on the same row is fine.
         assert!(t
-            .update(id1, &[(name_col, Value::Text("node01".into()))], &mut stats)
+            .update(id1, &[(name_col, Value::Text("node01".into()))], TxnId(3), &mut stats)
             .is_ok());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dead_versions_do_not_block_unique_reuse() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        // Delete (tombstone) the row; its unique name entry is retained for
+        // old snapshots, but a new live row may reuse the name.
+        t.delete(id, TxnId(2), &mut stats).unwrap();
+        t.insert(row(5, "node01", "idle", 0.0), TxnId(3), &mut stats).unwrap();
+        assert_eq!(t.len(), 1);
+        t.check_consistency().unwrap();
+
+        // Same through update: renaming away frees the old name for others.
+        let name_col = t.schema.column_index("name").unwrap();
+        let live_id = RowId(2);
+        t.update(live_id, &[(name_col, Value::Text("node09".into()))], TxnId(4), &mut stats)
+            .unwrap();
+        t.insert(row(6, "node01", "idle", 0.0), TxnId(5), &mut stats).unwrap();
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn undo_round_trips_restore_prior_versions() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
+        let state_col = t.schema.column_index("state").unwrap();
+        let txn = TxnId(9);
+
+        // Update then undo: back to the original version, index clean.
+        t.update(id, &[(state_col, Value::Text("busy".into()))], txn, &mut stats)
+            .unwrap();
+        t.undo_update(id, txn);
+        assert_eq!(t.get(id).unwrap().get(state_col), &Value::Text("idle".into()));
+        assert_eq!(t.max_chain_len(), 1);
+        t.check_consistency().unwrap();
+
+        // Delete then undo: the row is live again.
+        t.delete(id, txn, &mut stats).unwrap();
+        t.undo_delete(id, txn);
+        assert_eq!(t.len(), 1);
+        t.check_consistency().unwrap();
+
+        // Insert then undo: the chain is gone entirely.
+        let id2 = t.insert(row(2, "node02", "idle", 0.2), txn, &mut stats).unwrap();
+        t.undo_insert(id2);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(id2).is_none());
         t.check_consistency().unwrap();
     }
 
@@ -552,10 +1011,10 @@ mod tests {
         let mut t = machines_table();
         let mut stats = OpStats::default();
         for i in 1..=5 {
-            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), &mut stats)
+            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), SETUP, &mut stats)
                 .unwrap();
         }
-        let rows: Vec<_> = t.scan(&mut stats).collect();
+        let rows: Vec<_> = t.scan(latest(), &mut stats).collect();
         assert_eq!(rows.len(), 5);
         assert!(rows.windows(2).all(|w| w[0].id < w[1].id));
         assert_eq!(stats.rows_scanned, 5);
@@ -565,17 +1024,18 @@ mod tests {
     fn restore_round_trips_a_row() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
-        let id = t.insert(row(1, "node01", "idle", 0.1), &mut stats).unwrap();
+        let id = t.insert(row(1, "node01", "idle", 0.1), SETUP, &mut stats).unwrap();
         let original = t.get(id).unwrap().clone();
         let state_col = t.schema.column_index("state").unwrap();
-        t.update(id, &[(state_col, Value::Text("busy".into()))], &mut stats)
+        t.update(id, &[(state_col, Value::Text("busy".into()))], TxnId(2), &mut stats)
             .unwrap();
         t.restore(id, original.clone()).unwrap();
         assert_eq!(t.get(id), Some(&original));
+        assert_eq!(t.max_chain_len(), 1, "restore flattens the chain");
         t.check_consistency().unwrap();
 
-        // Restore also reinstates a deleted row.
-        t.delete(id, &mut stats).unwrap();
+        // Restore also reinstates a physically removed row.
+        t.remove_physical(id, &mut stats).unwrap();
         t.restore(id, original.clone()).unwrap();
         assert_eq!(t.get(id), Some(&original));
         t.check_consistency().unwrap();
@@ -592,14 +1052,19 @@ mod tests {
     }
 
     #[test]
-    fn approx_size_grows_with_rows() {
+    fn approx_size_grows_with_rows_and_versions() {
         let mut t = machines_table();
         let mut stats = OpStats::default();
         let empty = t.approx_size();
         for i in 1..=10 {
-            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), &mut stats)
+            t.insert(row(i, &format!("node{i:02}"), "idle", 0.0), SETUP, &mut stats)
                 .unwrap();
         }
-        assert!(t.approx_size() > empty);
+        let flat = t.approx_size();
+        assert!(flat > empty);
+        let load_col = t.schema.column_index("load").unwrap();
+        t.update(RowId(1), &[(load_col, Value::Double(0.5))], TxnId(2), &mut stats)
+            .unwrap();
+        assert!(t.approx_size() > flat, "retained versions take space");
     }
 }

@@ -1,13 +1,19 @@
-//! Transactions: table-level two-phase locking and undo management.
+//! Transactions: table-level write locking, MVCC snapshots and undo
+//! management.
 //!
-//! The engine uses strict two-phase locking at table granularity. Because the
+//! Writers use strict two-phase locking at table granularity. Because the
 //! simulated deployment processes requests from a discrete-event loop (there
 //! is no preemption inside a service call), lock conflicts do not block — they
 //! fail fast with [`crate::error::Error::LockConflict`] so the application
 //! server can retry the request, exactly as a busy DB2 instance would time a
-//! lock wait out under heavy contention.
+//! lock wait out under heavy contention. **Readers take no locks at all**:
+//! every transaction is stamped with a [`Snapshot`] at begin (and every
+//! autocommit SELECT takes one per statement), and visibility resolution
+//! against row version chains replaces the reader-side conflict check — see
+//! [`crate::mvcc`].
 
 use crate::error::{Error, Result};
+use crate::mvcc::Snapshot;
 use crate::tuple::{Row, RowId};
 use crate::wal::TxnId;
 use std::collections::{HashMap, HashSet};
@@ -156,6 +162,10 @@ pub struct TxnState {
     /// read-only explicit transactions never touch the log (and need no
     /// Commit/Abort record either).
     pub wal_begun: bool,
+    /// The MVCC snapshot taken at begin: every read this transaction
+    /// performs resolves row visibility against it, giving repeatable reads
+    /// for the transaction's whole lifetime.
+    pub snapshot: Snapshot,
 }
 
 /// Allocates transaction ids and tracks active transactions.
@@ -173,10 +183,17 @@ impl TxnManager {
         TxnManager::default()
     }
 
-    /// Begins a new transaction.
+    /// Begins a new transaction, stamping it with a snapshot of the current
+    /// commit state: transactions in flight right now (and any that begin
+    /// later) stay invisible to it for its whole lifetime.
     pub fn begin(&mut self) -> TxnId {
         self.next_id += 1;
         let id = TxnId(self.next_id);
+        let snapshot = Snapshot {
+            high: id.0,
+            in_flight: self.sorted_active(),
+            own: Some(id),
+        };
         self.active.insert(
             id,
             TxnState {
@@ -184,9 +201,46 @@ impl TxnManager {
                 status: TxnStatus::Active,
                 undo: Vec::new(),
                 wal_begun: false,
+                snapshot,
             },
         );
         id
+    }
+
+    /// The active transaction ids, sorted ascending (the `in_flight` set of
+    /// a new snapshot).
+    fn sorted_active(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self.active.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Takes a fresh read snapshot for an autocommit SELECT: it sees every
+    /// transaction committed so far and none of the in-flight ones.
+    pub fn read_snapshot(&self) -> Snapshot {
+        Snapshot {
+            high: self.next_id + 1,
+            in_flight: self.sorted_active(),
+            own: None,
+        }
+    }
+
+    /// The snapshot of an active transaction (cloned; the caller runs reads
+    /// against it after releasing the control mutex).
+    pub fn snapshot_of(&mut self, id: TxnId) -> Result<Snapshot> {
+        self.get_active(id).map(|s| s.snapshot.clone())
+    }
+
+    /// The vacuum horizon: the smallest transaction id some live snapshot
+    /// does **not** see. Versions whose `end` transaction is below this are
+    /// invisible to every live (and future) snapshot and may be pruned.
+    /// `u64::MAX` when no transactions are active.
+    pub fn snapshot_horizon(&self) -> u64 {
+        self.active
+            .values()
+            .map(|s| s.snapshot.low_watermark())
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Returns a mutable handle to an active transaction.
@@ -284,6 +338,32 @@ mod tests {
         assert_eq!(lm.locked_tables(), 0);
         assert!(!lm.holds_any(TxnId(1)));
         lm.acquire(TxnId(2), "jobs", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn snapshots_and_horizon() {
+        let mut tm = TxnManager::new();
+        let t1 = tm.begin();
+        let snap1 = tm.snapshot_of(t1).unwrap();
+        assert!(snap1.sees(t1), "a transaction sees its own writes");
+        assert!(!snap1.sees(TxnId(t1.0 + 1)), "later transactions are invisible");
+
+        let t2 = tm.begin();
+        let snap2 = tm.snapshot_of(t2).unwrap();
+        assert!(!snap2.sees(t1), "t1 was in flight when t2 began");
+        assert_eq!(tm.snapshot_horizon(), t1.0, "t1 bounds every live snapshot");
+
+        let read = tm.read_snapshot();
+        assert!(!read.sees(t1) && !read.sees(t2), "in-flight writers invisible");
+
+        tm.finish_commit(t1).unwrap();
+        let read = tm.read_snapshot();
+        assert!(read.sees(t1), "committed before this snapshot");
+        assert!(!read.sees(t2));
+
+        tm.finish_commit(t2).unwrap();
+        assert_eq!(tm.snapshot_horizon(), u64::MAX, "no snapshots pin versions");
+        assert!(tm.snapshot_of(t1).is_err());
     }
 
     #[test]

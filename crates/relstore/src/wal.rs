@@ -192,6 +192,12 @@ impl Wal {
     /// Rebuilds the full set of tables implied by the retained log records:
     /// the latest checkpoint (if any) plus all *committed* transactions after
     /// it. Changes from unfinished or aborted transactions are discarded.
+    ///
+    /// Recovery replays through the tables' **physical** operations, so the
+    /// rebuilt catalog holds exactly one committed version per live row
+    /// (stamped [`crate::mvcc::COMMITTED_TXN`], visible to every snapshot of
+    /// the recovered database) — uncommitted versions, tombstones and
+    /// version chains never survive a crash.
     pub fn recover(&self) -> Result<BTreeMap<String, Table>> {
         // Pass 1: find committed transactions.
         let mut committed = std::collections::HashSet::new();
@@ -256,7 +262,7 @@ impl Wal {
                 let t = tables
                     .get_mut(table)
                     .ok_or_else(|| Error::Wal(format!("delete from unknown table {table}")))?;
-                t.delete(*row_id, scratch)?;
+                t.remove_physical(*row_id, scratch)?;
             }
             LogRecord::Update {
                 table,
@@ -384,6 +390,27 @@ mod tests {
     }
 
     #[test]
+    fn recovery_rejects_duplicate_committed_keys() {
+        // A duplicated/corrupt log (two committed inserts sharing a primary
+        // key) must fail recovery loudly, not rebuild a catalog that
+        // violates its unique constraints.
+        let mut wal = Wal::new();
+        let mut stats = OpStats::default();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }, &mut stats);
+        wal.append(
+            LogRecord::CreateTable {
+                txn: TxnId(1),
+                schema: schema(),
+            },
+            &mut stats,
+        );
+        wal.append(insert_rec(1, 1, 100, "idle"), &mut stats);
+        wal.append(insert_rec(1, 2, 100, "held"), &mut stats);
+        wal.append(LogRecord::Commit { txn: TxnId(1) }, &mut stats);
+        assert!(matches!(wal.recover(), Err(Error::Constraint(_))));
+    }
+
+    #[test]
     fn checkpoint_truncates_and_recovery_uses_it() {
         let mut wal = Wal::new();
         let mut stats = OpStats::default();
@@ -407,7 +434,9 @@ mod tests {
                 schema: t.schema.clone(),
                 rows: {
                     let mut s = OpStats::default();
-                    t.scan(&mut s).map(|r| (r.id, r.row.clone())).collect()
+                    t.scan(crate::mvcc::Snapshot::latest(), &mut s)
+                        .map(|r| (r.id, r.row.clone()))
+                        .collect()
                 },
             })
             .collect();

@@ -1,7 +1,9 @@
 //! Multi-threaded consistency tests: N reader threads share the database
 //! with a writer thread running explicit transactions. Readers must never
-//! observe a partial transaction (the sum invariant holds on every
-//! successful read) and the final state must reconcile exactly.
+//! observe a partial transaction (the sum invariant holds on every read),
+//! must never fail against the writer (MVCC snapshot reads take no locks —
+//! zero `LockConflict`s allowed), and the final state must reconcile
+//! exactly.
 
 use proptest::prelude::*;
 use relstore::Database;
@@ -22,9 +24,11 @@ fn accounts_db() -> Database {
 }
 
 /// Moves `delta` from account `from` to account `to` in one transaction,
-/// retrying on lock conflicts. The two UPDATEs make the intermediate state
-/// (money subtracted but not yet added) observable to any reader that could
-/// sneak between them — which is exactly what must never happen.
+/// retrying on write-write conflicts through [`relstore::Session::with_retries`]
+/// (a failed attempt's guard drops, rolling the half-applied transfer back).
+/// The two UPDATEs make the intermediate state (money subtracted but not yet
+/// added) observable to any reader that could sneak between them — which is
+/// exactly what must never happen.
 fn transfer(db: &Database, from: i64, to: i64, delta: i64) {
     let debit = db
         .prepare("UPDATE accounts SET balance = balance - ? WHERE id = ?")
@@ -32,28 +36,22 @@ fn transfer(db: &Database, from: i64, to: i64, delta: i64) {
     let credit = db
         .prepare("UPDATE accounts SET balance = balance + ? WHERE id = ?")
         .unwrap();
-    loop {
-        let txn = db.transaction();
-        let applied = txn
-            .execute(&debit, (delta, from))
-            .and_then(|_| txn.execute(&credit, (delta, to)));
-        match applied {
-            Ok(_) => {
-                txn.commit().unwrap();
-                return;
-            }
-            Err(e) if e.is_retryable() => {
-                // Dropping the guard rolls the half-applied transfer back.
-                drop(txn);
-                std::thread::yield_now();
-            }
-            Err(e) => panic!("transfer failed non-retryably: {e}"),
-        }
-    }
+    db.session()
+        .with_retries(64, |s| {
+            let txn = s.transaction()?;
+            txn.execute(&debit, (delta, from))?;
+            txn.execute(&credit, (delta, to))?;
+            txn.commit()
+        })
+        .expect("transfer failed");
 }
 
 /// Runs `transfers` on a writer thread while `readers` threads continuously
 /// check the sum invariant. Returns the number of successful invariant reads.
+///
+/// Under MVCC a reader must **never** fail against the writer — there is no
+/// retry arm here: any reader error (in particular a `LockConflict`) fails
+/// the test.
 fn run_scenario(db: &Database, transfers: &[(i64, i64, i64)], readers: usize) -> u64 {
     let done = AtomicBool::new(false);
     let good_reads = AtomicU64::new(0);
@@ -66,18 +64,17 @@ fn run_scenario(db: &Database, transfers: &[(i64, i64, i64)], readers: usize) ->
                     .prepare("SELECT SUM(balance) AS total, COUNT(*) AS n FROM accounts")
                     .unwrap();
                 while !done.load(Ordering::Relaxed) {
-                    match db.session().query_one::<(i64, i64), _, _>(&sum, ()) {
-                        Ok(row) => {
-                            // A reader that slipped between the two UPDATEs of
-                            // a transfer would see TOTAL - delta here.
-                            let (total, n) = row.expect("aggregate always yields one row");
-                            assert_eq!(total, TOTAL, "reader observed a partial transaction");
-                            assert_eq!(n, ACCOUNTS);
-                            good_reads.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // A writer held the table lock: retryable by design.
-                        Err(e) => assert!(e.is_retryable(), "unexpected reader error: {e}"),
-                    }
+                    // A reader that slipped between the two UPDATEs of a
+                    // transfer would see TOTAL - delta here; one that raced
+                    // the writer's lock would fail — both are MVCC bugs.
+                    let row = db
+                        .session()
+                        .query_one::<(i64, i64), _, _>(&sum, ())
+                        .expect("readers must never fail against the writer");
+                    let (total, n) = row.expect("aggregate always yields one row");
+                    assert_eq!(total, TOTAL, "reader observed a partial transaction");
+                    assert_eq!(n, ACCOUNTS);
+                    good_reads.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
