@@ -16,6 +16,15 @@
 //! The `condorj2` crate builds the actual CondorJ2 Application Server (CAS) on
 //! top of these pieces; the `condor` baseline reuses [`cost`] so that both
 //! systems' CPU numbers are produced by the same accounting.
+//!
+//! The container's database ([`AppContainer::database`]) is an
+//! `Arc<relstore::Database>`, so the same engine instance the container
+//! drives in process can simultaneously be served to network peers through
+//! the `wire` crate's TCP server (`wire::serve(Arc::clone(db), addr)`) —
+//! the paper's deployment shape, where the engine is a network service
+//! behind the application server rather than a linked library. The
+//! `net_roundtrip` integration test wires a full CondorJ2 pool behind the
+//! server that way and checks local and remote query results agree.
 
 #![warn(missing_docs)]
 

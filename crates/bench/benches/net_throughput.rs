@@ -1,0 +1,174 @@
+//! Network throughput bench: prepared point selects over loopback TCP at
+//! 1/2/4/8 client threads, against the in-process `Session` baseline on the
+//! same table. The interesting numbers are (a) the per-op cost of one wire
+//! round trip vs an embedded call and (b) how aggregate remote throughput
+//! scales as client threads are added (each client is its own connection,
+//! served by its own worker thread).
+//!
+//! Batching is the wire's answer to round-trip cost, so the bench also
+//! measures a 64-select `query_batch` pipeline — one request frame, one
+//! shared server-side guard — against 64 single-query round trips.
+
+use relstore::Database;
+use std::sync::Arc;
+use std::time::Instant;
+use wire::{serve_with, Client, ServerConfig};
+
+const ROWS: i64 = 5_000;
+
+fn setup_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute(
+        "CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT NOT NULL, state TEXT, runtime_ms INT)",
+    )
+    .unwrap();
+    let ins = db
+        .prepare("INSERT INTO jobs VALUES (?, ?, 'idle', 60000)")
+        .unwrap();
+    db.session()
+        .execute_batch(&ins, (0..ROWS).map(|i| (i, format!("user{}", i % 50))))
+        .unwrap();
+    db
+}
+
+/// In-process baseline: single-thread prepared point selects via Session.
+fn bench_in_process(db: &Database, iters: u64) -> f64 {
+    let select = db.prepare("SELECT * FROM jobs WHERE job_id = ?").unwrap();
+    let mut session = db.session();
+    let start = Instant::now();
+    for i in 0..iters {
+        let id = ((i * 40_503) % ROWS as u64) as i64;
+        let r = session.query(&select, (id,)).unwrap();
+        std::hint::black_box(r);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// `threads` clients, each on its own connection, doing point selects.
+fn bench_remote(addr: std::net::SocketAddr, threads: usize, iters_per_thread: u64) -> f64 {
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let mut secs = 0.0;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let barrier = &barrier;
+            handles.push(s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let select = client
+                    .prepare("SELECT * FROM jobs WHERE job_id = ?")
+                    .unwrap();
+                barrier.wait();
+                for i in 0..iters_per_thread {
+                    let id = ((t as u64 * 2_654_435_761 + i * 40_503) % ROWS as u64) as i64;
+                    let r = client.query(select, (id,)).unwrap();
+                    std::hint::black_box(r);
+                }
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        secs = start.elapsed().as_secs_f64();
+    });
+    secs
+}
+
+/// One 64-select pipelined batch per iteration vs 64 single round trips.
+fn bench_remote_batch(addr: std::net::SocketAddr, iters: u64) -> (f64, f64) {
+    let mut client = Client::connect(addr).unwrap();
+    let select = client
+        .prepare("SELECT owner FROM jobs WHERE job_id = ?")
+        .unwrap();
+    let bindings: Vec<(i64,)> = (0..64i64).map(|i| ((i * 79) % ROWS,)).collect();
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let results = client.query_batch(select, bindings.clone()).unwrap();
+        assert_eq!(results.len(), 64);
+        std::hint::black_box(results);
+    }
+    let batched = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for b in &bindings {
+            let r = client.query(select, *b).unwrap();
+            std::hint::black_box(r);
+        }
+    }
+    let looped = start.elapsed().as_secs_f64();
+    (batched, looped)
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "net_throughput: loopback prepared point selects vs in-process, \
+         {ROWS}-row jobs table, host parallelism = {parallelism}"
+    );
+    let db = setup_db();
+    let server = serve_with(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 16,
+            max_connections: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Warm up: statement caches, connections, branch predictors.
+    bench_in_process(&db, 2_000);
+    bench_remote(addr, 1, 1_000);
+
+    let iters = 30_000u64;
+    let secs = bench_in_process(&db, iters);
+    println!(
+        "in_process_point_select              {:>12.0} ops/s  {:>10.2} µs/op",
+        iters as f64 / secs,
+        secs * 1e6 / iters as f64
+    );
+
+    let total_remote = 40_000u64;
+    for &threads in &[1usize, 2, 4, 8] {
+        let iters = (total_remote / threads as u64).max(1);
+        let secs = bench_remote(addr, threads, iters);
+        let ops = threads as u64 * iters;
+        println!(
+            "net_point_select threads={threads}            {:>12.0} ops/s  {:>10.2} µs/op",
+            ops as f64 / secs,
+            secs * 1e6 / iters as f64
+        );
+    }
+
+    let batch_iters = 300u64;
+    let (batched, looped) = bench_remote_batch(addr, batch_iters);
+    println!(
+        "net_query_batch_64                   {:>12.2} µs/batch  ({:.2} µs/select)",
+        batched * 1e6 / batch_iters as f64,
+        batched * 1e6 / (batch_iters * 64) as f64
+    );
+    println!(
+        "net_query_loop_64                    {:>12.2} µs/loop   ({:.2} µs/select, {:.1}x the batch)",
+        looped * 1e6 / batch_iters as f64,
+        looped * 1e6 / (batch_iters * 64) as f64,
+        looped / batched
+    );
+
+    let stats = server.stats();
+    println!(
+        "server: {} frames decoded, {:.1} MB in, {:.1} MB out, {} connections at peak",
+        stats.frames_decoded,
+        stats.net_bytes_in as f64 / 1e6,
+        stats.net_bytes_out as f64 / 1e6,
+        stats.active_connections,
+    );
+    server.shutdown();
+    db.check_consistency().expect("consistency after the bench");
+}

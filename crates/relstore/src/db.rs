@@ -1119,6 +1119,17 @@ impl Database {
             .ok_or_else(|| Error::not_found(format!("table {table}")))
     }
 
+    /// Number of version chains in `table` retaining at least one dead
+    /// version — exactly the chains the next vacuum pass will visit (the
+    /// dirty-chain list; see [`Table::dirty_chain_count`]).
+    pub fn table_dirty_chains(&self, table: &str) -> Result<usize> {
+        self.catalog
+            .read()
+            .get(&table.to_ascii_lowercase())
+            .map(Table::dirty_chain_count)
+            .ok_or_else(|| Error::not_found(format!("table {table}")))
+    }
+
     /// Length of the longest version chain in `table`.
     pub fn table_max_chain(&self, table: &str) -> Result<usize> {
         self.catalog

@@ -31,6 +31,12 @@ pub enum Error {
     TxnClosed(String),
     /// The write-ahead log or recovery machinery failed.
     Wal(String),
+    /// A network transport failure: the connection dropped, a frame could
+    /// not be decoded, or the peer spoke a different protocol version.
+    /// Surfaced by the wire-protocol client and server; the embedded engine
+    /// never produces it. Not retryable on the same connection — callers
+    /// holding a pool should discard the connection and take a fresh one.
+    Net(String),
     /// Catch-all for internal invariant violations. Seeing this is a bug.
     Internal(String),
 }
@@ -85,6 +91,11 @@ impl Error {
         Error::Busy(msg.into())
     }
 
+    /// Convenience constructor for [`Error::Net`].
+    pub fn net(msg: impl Into<String>) -> Self {
+        Error::Net(msg.into())
+    }
+
     /// Classifies the error into the coarse [`ErrorClass`] taxonomy.
     pub fn class(&self) -> ErrorClass {
         match self {
@@ -95,7 +106,7 @@ impl Error {
             | Error::Parse(_)
             | Error::TxnClosed(_) => ErrorClass::Logic,
             Error::Constraint(_) => ErrorClass::Constraint,
-            Error::Wal(_) | Error::Internal(_) => ErrorClass::Internal,
+            Error::Wal(_) | Error::Net(_) | Error::Internal(_) => ErrorClass::Internal,
         }
     }
 
@@ -119,6 +130,7 @@ impl fmt::Display for Error {
             Error::Busy(s) => write!(f, "busy: {s}"),
             Error::TxnClosed(s) => write!(f, "transaction closed: {s}"),
             Error::Wal(s) => write!(f, "wal error: {s}"),
+            Error::Net(s) => write!(f, "network error: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -160,6 +172,8 @@ mod tests {
         assert_eq!(Error::TxnClosed("txn9".into()).class(), ErrorClass::Logic);
         assert_eq!(Error::constraint("pk").class(), ErrorClass::Constraint);
         assert_eq!(Error::Wal("bad record".into()).class(), ErrorClass::Internal);
+        assert_eq!(Error::net("connection reset").class(), ErrorClass::Internal);
+        assert!(!Error::net("truncated frame").is_retryable());
         assert_eq!(Error::internal("bug").class(), ErrorClass::Internal);
     }
 

@@ -222,6 +222,14 @@
 //! failures — so service layers branch on [`Error::is_retryable`] (or wrap
 //! the whole attempt in [`Session::with_retries`]) instead of matching
 //! message strings. Since MVCC, only writers can see a retryable conflict.
+//!
+//! The taxonomy crosses the network unchanged: the `wire` crate's protocol
+//! transports the [`Error`] variant and class in its error frames, so a
+//! remote caller retries a write-write conflict exactly like an embedded
+//! one. Transport failures themselves surface as [`Error::Net`] (produced
+//! only by the wire layer), and the server's traffic shows up in
+//! [`OpStats`] as `net_bytes_in` / `net_bytes_out` / `frames_decoded` plus
+//! the `active_connections` high-water gauge.
 
 #![warn(missing_docs)]
 
@@ -249,7 +257,7 @@ pub use mvcc::{RowVersion, Snapshot};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};
-pub use session::{Session, Transaction};
+pub use session::{retry_with_backoff, Session, Transaction};
 pub use stats::OpStats;
 pub use tuple::{Row, RowId};
 pub use value::{DataType, Value};

@@ -22,6 +22,36 @@ use crate::exec::QueryResult;
 use crate::sql::ast::Statement;
 use crate::wal::TxnId;
 
+/// Runs `f` up to `attempts` times, sleeping with capped exponential
+/// backoff (50 µs doubling to 2 ms) between attempts, retrying when it
+/// fails with a **retryable** error
+/// ([`ErrorClass::Retryable`](crate::ErrorClass)). Any other error, or
+/// exhausting the attempts, returns the last error.
+///
+/// This is the engine's one retry policy: [`Session::with_retries`] applies
+/// it embedded, and the `wire` crate's client and pool apply it remotely
+/// (the wire protocol transports error classes, so retryability is
+/// transport-agnostic).
+pub fn retry_with_backoff<T>(attempts: usize, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_micros(50);
+    const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
+    let attempts = attempts.max(1);
+    let mut backoff = BASE_BACKOFF;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
 /// A lightweight client handle over a [`Database`].
 ///
 /// A session is two words (a database reference and an optional open
@@ -217,23 +247,7 @@ impl<'a> Session<'a> {
         attempts: usize,
         mut f: impl FnMut(&mut Session<'a>) -> Result<T>,
     ) -> Result<T> {
-        const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_micros(50);
-        const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
-        let attempts = attempts.max(1);
-        let mut backoff = BASE_BACKOFF;
-        let mut last_err = None;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
-            }
-            match f(self) {
-                Ok(v) => return Ok(v),
-                Err(e) if e.is_retryable() => last_err = Some(e),
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last_err.expect("at least one attempt ran"))
+        retry_with_backoff(attempts, || f(self))
     }
 }
 

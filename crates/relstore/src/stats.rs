@@ -56,6 +56,17 @@ pub struct OpStats {
     /// the other counters this is a gauge: `merge` takes the max and
     /// `delta_since` reports the current mark, not a difference.
     pub max_version_chain: u64,
+    /// Bytes received from network clients (wire-protocol frames, including
+    /// their length prefixes). Counted by the network server.
+    pub net_bytes_in: u64,
+    /// Bytes sent to network clients (response frames and handshakes).
+    pub net_bytes_out: u64,
+    /// Wire-protocol frames decoded successfully by the network server.
+    pub frames_decoded: u64,
+    /// High-water mark of concurrently open network connections. A gauge
+    /// like [`OpStats::max_version_chain`]: `merge` takes the max and
+    /// `delta_since` reports the current mark, not a difference.
+    pub active_connections: u64,
 }
 
 impl OpStats {
@@ -84,6 +95,10 @@ impl OpStats {
             // A high-water mark has no meaningful difference; report the
             // current mark.
             max_version_chain: self.max_version_chain,
+            net_bytes_in: self.net_bytes_in - earlier.net_bytes_in,
+            net_bytes_out: self.net_bytes_out - earlier.net_bytes_out,
+            frames_decoded: self.frames_decoded - earlier.frames_decoded,
+            active_connections: self.active_connections,
         }
     }
 
@@ -120,6 +135,10 @@ impl OpStats {
         self.versions_vacuumed += other.versions_vacuumed;
         self.snapshots_taken += other.snapshots_taken;
         self.max_version_chain = self.max_version_chain.max(other.max_version_chain);
+        self.net_bytes_in += other.net_bytes_in;
+        self.net_bytes_out += other.net_bytes_out;
+        self.frames_decoded += other.frames_decoded;
+        self.active_connections = self.active_connections.max(other.active_connections);
     }
 }
 
@@ -154,6 +173,10 @@ pub struct SharedStats {
     versions_vacuumed: AtomicU64,
     snapshots_taken: AtomicU64,
     max_version_chain: AtomicU64,
+    net_bytes_in: AtomicU64,
+    net_bytes_out: AtomicU64,
+    frames_decoded: AtomicU64,
+    active_connections: AtomicU64,
 }
 
 impl SharedStats {
@@ -189,6 +212,13 @@ impl SharedStats {
             self.max_version_chain
                 .fetch_max(delta.max_version_chain, Ordering::Relaxed);
         }
+        add(&self.net_bytes_in, delta.net_bytes_in);
+        add(&self.net_bytes_out, delta.net_bytes_out);
+        add(&self.frames_decoded, delta.frames_decoded);
+        if delta.active_connections != 0 {
+            self.active_connections
+                .fetch_max(delta.active_connections, Ordering::Relaxed);
+        }
     }
 
     /// Copies the current totals into a plain [`OpStats`] value.
@@ -214,6 +244,10 @@ impl SharedStats {
             versions_vacuumed: self.versions_vacuumed.load(Ordering::Relaxed),
             snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
             max_version_chain: self.max_version_chain.load(Ordering::Relaxed),
+            net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
+            net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
         }
     }
 }
@@ -362,6 +396,52 @@ mod tests {
         });
         assert_eq!(d.versions_vacuumed, 0);
         assert_eq!(d.max_version_chain, 3, "delta reports the current mark");
+    }
+
+    #[test]
+    fn network_counters_and_the_connection_gauge() {
+        let mut a = OpStats {
+            net_bytes_in: 100,
+            frames_decoded: 2,
+            active_connections: 4,
+            ..Default::default()
+        };
+        let b = OpStats {
+            net_bytes_in: 50,
+            net_bytes_out: 80,
+            frames_decoded: 1,
+            active_connections: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.net_bytes_in, 150);
+        assert_eq!(a.net_bytes_out, 80);
+        assert_eq!(a.frames_decoded, 3);
+        assert_eq!(a.active_connections, 4, "merge keeps the high-water mark");
+
+        let shared = SharedStats::default();
+        shared.record(&OpStats {
+            net_bytes_in: 64,
+            net_bytes_out: 32,
+            frames_decoded: 1,
+            active_connections: 3,
+            ..Default::default()
+        });
+        shared.record(&OpStats {
+            active_connections: 1,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.net_bytes_in, 64);
+        assert_eq!(snap.net_bytes_out, 32);
+        assert_eq!(snap.frames_decoded, 1);
+        assert_eq!(snap.active_connections, 3, "record keeps the larger mark");
+        let d = snap.delta_since(&OpStats {
+            net_bytes_in: 14,
+            ..Default::default()
+        });
+        assert_eq!(d.net_bytes_in, 50);
+        assert_eq!(d.active_connections, 3, "delta reports the current mark");
     }
 
     #[test]

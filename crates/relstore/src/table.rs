@@ -25,6 +25,7 @@ use crate::value::Value;
 use crate::wal::TxnId;
 use std::collections::btree_map;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::HashSet;
 
 /// A single table: schema, versioned row heap, primary-key index and
@@ -49,6 +50,11 @@ pub struct Table {
     live: usize,
     /// Retained versions with `end` set — the vacuum backlog.
     dead_versions: usize,
+    /// Rows whose chain retains at least one dead version: exactly the
+    /// chains a vacuum pass must visit. Maintained by every mutation so
+    /// threshold vacuum after small-row churn touches O(churned rows)
+    /// chains, not O(table).
+    dirty: BTreeSet<RowId>,
     /// Smallest `end` transaction id among retained dead versions (may be
     /// conservatively low after an undo; exact after each vacuum). A
     /// threshold sweep is fruitful only when the snapshot horizon exceeds
@@ -76,6 +82,7 @@ impl Table {
             secondary,
             live: 0,
             dead_versions: 0,
+            dirty: BTreeSet::new(),
             min_dead_end: u64::MAX,
         })
     }
@@ -100,6 +107,12 @@ impl Table {
     /// vacuuming.
     pub fn dead_versions(&self) -> usize {
         self.dead_versions
+    }
+
+    /// Number of chains currently retaining at least one dead version — the
+    /// exact set a vacuum pass visits (the dirty-chain list).
+    pub fn dirty_chain_count(&self) -> usize {
+        self.dirty.len()
     }
 
     /// True when vacuuming with `horizon` could prune at least one version.
@@ -242,6 +255,7 @@ impl Table {
         chain.mark_deleted(txn);
         self.live -= 1;
         self.dead_versions += 1;
+        self.dirty.insert(id);
         self.min_dead_end = self.min_dead_end.min(txn.0);
         stats.rows_deleted += 1;
         Ok(before)
@@ -332,6 +346,7 @@ impl Table {
         let chain = self.rows.get_mut(&id).expect("checked live above");
         chain.push_version(txn, after.clone());
         self.dead_versions += 1;
+        self.dirty.insert(id);
         self.min_dead_end = self.min_dead_end.min(txn.0);
         stats.rows_updated += 1;
         stats.versions_created += 1;
@@ -356,6 +371,9 @@ impl Table {
         };
         let popped = chain.pop_version(txn);
         self.dead_versions -= 1;
+        if !chain.has_dead() {
+            self.dirty.remove(&id);
+        }
         self.retire_version_entries(id, std::slice::from_ref(&popped));
     }
 
@@ -365,6 +383,9 @@ impl Table {
             chain.unmark_deleted(txn);
             self.live += 1;
             self.dead_versions -= 1;
+            if !chain.has_dead() {
+                self.dirty.remove(&id);
+            }
         }
     }
 
@@ -384,6 +405,7 @@ impl Table {
         let newest = chain.newest().row.clone();
         let versions: Vec<RowVersion> = chain.versions().cloned().collect();
         self.dead_versions -= versions.iter().filter(|v| v.end.is_some()).count();
+        self.dirty.remove(&id);
         self.retire_chain_entries(id, &versions);
         stats.rows_deleted += 1;
         Ok(newest)
@@ -434,31 +456,41 @@ impl Table {
         if self.dead_versions == 0 {
             return 0;
         }
-        // Phase 1: prune in place, remembering only the chains that shrank
-        // (typically a small fraction of the table). Recompute the exact
-        // minimum `end` among the dead versions that survive, so the
-        // threshold trigger knows when a future sweep could be fruitful.
-        let mut dirty: Vec<(RowId, Vec<RowVersion>)> = Vec::new();
+        // Phase 1: prune in place, visiting only the dirty chains — the rows
+        // known to retain a dead version — so a sweep after small-row churn
+        // costs O(churned rows), not O(table). Recompute the exact minimum
+        // `end` among the dead versions that survive (a pinning snapshot may
+        // keep some), so the threshold trigger knows when a future sweep
+        // could be fruitful, and shrink the dirty list to the survivors.
+        let mut shrunk: Vec<(RowId, Vec<RowVersion>)> = Vec::new();
+        let mut still_dirty = BTreeSet::new();
         let mut pruned_total = 0usize;
         let mut min_dead_end = u64::MAX;
-        for (id, chain) in self.rows.iter_mut() {
-            if !chain.has_dead() {
-                continue;
-            }
+        for &id in &self.dirty {
+            let chain = self
+                .rows
+                .get_mut(&id)
+                .expect("dirty chains always exist in the heap");
             let pruned = chain.vacuum(horizon);
+            let mut has_dead = false;
             for v in chain.versions() {
                 if let Some(end) = v.end {
+                    has_dead = true;
                     min_dead_end = min_dead_end.min(end.0);
                 }
             }
+            if has_dead {
+                still_dirty.insert(id);
+            }
             if !pruned.is_empty() {
                 pruned_total += pruned.len();
-                dirty.push((*id, pruned));
+                shrunk.push((id, pruned));
             }
         }
+        self.dirty = still_dirty;
         self.min_dead_end = min_dead_end;
         // Phase 2: drop emptied chains and retire stale index entries.
-        for (id, pruned) in dirty {
+        for (id, pruned) in shrunk {
             if self.rows.get(&id).is_some_and(VersionChain::is_empty) {
                 self.rows.remove(&id);
             }
@@ -642,6 +674,24 @@ impl Table {
                 "cached counters drifted: live {}/{} dead {}/{}",
                 self.live, live, self.dead_versions, dead
             )));
+        }
+
+        // The dirty-chain list is exactly the set of chains retaining a
+        // dead version — no stale entries, nothing missed.
+        for id in &self.dirty {
+            if !self.rows.contains_key(id) {
+                return Err(Error::internal(format!(
+                    "dirty-chain list names removed row {id}"
+                )));
+            }
+        }
+        for (id, chain) in &self.rows {
+            let has_dead = chain.versions().any(|v| v.end.is_some());
+            if has_dead != self.dirty.contains(id) {
+                return Err(Error::internal(format!(
+                    "dirty-chain list out of sync for row {id} (has_dead = {has_dead})"
+                )));
+            }
         }
 
         let mut indexes: Vec<&Index> = Vec::new();
@@ -932,6 +982,48 @@ mod tests {
         assert_eq!(t.vacuum(5, &mut stats), 0, "pinned: nothing pruned");
         assert_eq!(t.vacuum(6, &mut stats), 1);
         assert!(!t.vacuum_would_prune(u64::MAX), "backlog fully reclaimed");
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn vacuum_visits_only_dirty_chains() {
+        let mut t = machines_table();
+        let mut stats = OpStats::default();
+        for i in 1..=500 {
+            t.insert(row(i, &format!("node{i:03}"), "idle", 0.0), SETUP, &mut stats)
+                .unwrap();
+        }
+        assert_eq!(t.dirty_chain_count(), 0, "a fresh table has no dead versions");
+
+        // Churn a handful of rows: 3 updates and 1 delete out of 500.
+        let load_col = t.schema.column_index("load").unwrap();
+        for (i, id) in [2u64, 40, 99].iter().enumerate() {
+            t.update(RowId(*id), &[(load_col, Value::Double(0.5))], TxnId(10 + i as u64), &mut stats)
+                .unwrap();
+        }
+        t.delete(RowId(7), TxnId(20), &mut stats).unwrap();
+        assert_eq!(
+            t.dirty_chain_count(),
+            4,
+            "only the churned chains are on the vacuum worklist, not all 500"
+        );
+        assert_eq!(t.dead_versions(), 4);
+        t.check_consistency().unwrap();
+
+        // The sweep prunes exactly the churned chains and empties the list.
+        assert_eq!(t.vacuum(u64::MAX, &mut stats), 4);
+        assert_eq!(t.dirty_chain_count(), 0);
+        assert_eq!(t.dead_versions(), 0);
+        assert_eq!(t.len(), 499);
+        t.check_consistency().unwrap();
+
+        // A pinning horizon keeps a chain on the worklist until it clears.
+        t.update(RowId(3), &[(load_col, Value::Double(0.9))], TxnId(30), &mut stats)
+            .unwrap();
+        assert_eq!(t.vacuum(30, &mut stats), 0, "pinned: nothing pruned");
+        assert_eq!(t.dirty_chain_count(), 1, "the pinned chain stays dirty");
+        assert_eq!(t.vacuum(31, &mut stats), 1);
+        assert_eq!(t.dirty_chain_count(), 0);
         t.check_consistency().unwrap();
     }
 

@@ -1,0 +1,709 @@
+//! The framed request/response protocol shared by server and client.
+//!
+//! Every message is one *frame*: a little-endian u32 payload length followed
+//! by the payload, whose first byte is the opcode. Payloads are encoded with
+//! the [`crate::codec`] primitives. A connection starts with a versioned
+//! handshake (magic + protocol version from the client, a status byte back
+//! from the server), after which the client sends [`Request`] frames and the
+//! server answers each with one or more [`Response`] frames:
+//!
+//! * most requests produce exactly one response;
+//! * a query produces a [`Response::RowsHeader`] followed by one or more
+//!   [`Response::RowPage`]s (the last one marked), so large results stream
+//!   in bounded frames;
+//! * a [`Request::QueryBatch`] produces a [`Response::BatchHeader`] followed
+//!   by one streamed result per binding, in binding order;
+//! * any failure produces a single [`Response::Err`] frame carrying the
+//!   engine's [`Error`] variant **and** its [`ErrorClass`], so a remote
+//!   caller can branch on [`Error::is_retryable`] exactly like an embedded
+//!   one (a write-write conflict stays retryable across the wire).
+
+use crate::codec::{self, Reader, MAX_FRAME};
+use relstore::{Error, ErrorClass, Result, Row, Value};
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every handshake.
+pub const MAGIC: [u8; 4] = *b"RSTW";
+
+/// Protocol version spoken by this build. A server refuses a client whose
+/// version differs (the protocol has no negotiation yet — versions are
+/// expected to move in lockstep within one deployment).
+pub const VERSION: u16 = 1;
+
+/// A statement reference in a request: raw SQL text (resolved through the
+/// server's statement cache) or a handle returned by a prior
+/// [`Request::Prepare`] on the same connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtRef {
+    /// SQL text, parsed (or cache-hit) server-side.
+    Sql(String),
+    /// A prepared-statement handle, valid only on the connection that
+    /// prepared it.
+    Id(u32),
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse a statement and return a per-connection handle for it.
+    Prepare {
+        /// The SQL text, which may contain `?` placeholders.
+        sql: String,
+    },
+    /// Execute any statement (DML, DDL, SELECT, or transaction control).
+    Execute {
+        /// The statement to run.
+        stmt: StmtRef,
+        /// Positional parameter bindings.
+        params: Vec<Value>,
+    },
+    /// Execute a SELECT; a non-query statement is an error.
+    Query {
+        /// The statement to run.
+        stmt: StmtRef,
+        /// Positional parameter bindings.
+        params: Vec<Value>,
+    },
+    /// Execute a prepared DML statement once per binding under one catalog
+    /// guard and one WAL append (see `Database::execute_batch`).
+    ExecuteBatch {
+        /// The statement to run.
+        stmt: StmtRef,
+        /// One positional binding list per execution.
+        bindings: Vec<Vec<Value>>,
+    },
+    /// Execute a prepared SELECT once per binding under one shared guard.
+    QueryBatch {
+        /// The statement to run.
+        stmt: StmtRef,
+        /// One positional binding list per execution.
+        bindings: Vec<Vec<Value>>,
+    },
+    /// Open the connection's transaction (at most one may be open).
+    Begin,
+    /// Commit the connection's transaction.
+    Commit,
+    /// Roll back the connection's transaction.
+    Rollback,
+    /// Drop a prepared-statement handle.
+    CloseStmt {
+        /// The handle to drop.
+        id: u32,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A statement was prepared.
+    Prepared {
+        /// The per-connection handle.
+        id: u32,
+        /// Number of `?` placeholders the statement expects.
+        params: u16,
+    },
+    /// A DML statement affected this many rows.
+    Affected(u64),
+    /// A DDL or transaction-control statement completed. `txn_open` is the
+    /// connection's transaction state *after* the request — the server is
+    /// authoritative, so the client never has to guess whether a statement
+    /// (SQL-text `BEGIN;`, a prepared `COMMIT` handle, ...) changed it.
+    Ack {
+        /// True when a transaction is open on the connection.
+        txn_open: bool,
+    },
+    /// A query started streaming: its output column names, in projection
+    /// order. Followed by [`Response::RowPage`] frames.
+    RowsHeader {
+        /// Output column names.
+        columns: Vec<String>,
+    },
+    /// One page of result rows. `last` marks the final page of the result.
+    RowPage {
+        /// The rows of this page.
+        rows: Vec<Row>,
+        /// True on the result's final page.
+        last: bool,
+    },
+    /// A query batch started: `count` streamed results follow.
+    BatchHeader {
+        /// Number of results (one per binding).
+        count: u32,
+    },
+    /// The request failed; the connection remains usable.
+    Err(Error),
+}
+
+// --- error transport ---------------------------------------------------------
+
+fn error_variant(e: &Error) -> (u8, &str) {
+    match e {
+        Error::NotFound(s) => (0, s),
+        Error::AlreadyExists(s) => (1, s),
+        Error::Type(s) => (2, s),
+        Error::Parse(s) => (3, s),
+        Error::Constraint(s) => (4, s),
+        Error::LockConflict(s) => (5, s),
+        Error::Busy(s) => (6, s),
+        Error::TxnClosed(s) => (7, s),
+        Error::Wal(s) => (8, s),
+        Error::Net(s) => (9, s),
+        Error::Internal(s) => (10, s),
+    }
+}
+
+fn class_byte(class: ErrorClass) -> u8 {
+    match class {
+        ErrorClass::Retryable => 0,
+        ErrorClass::Logic => 1,
+        ErrorClass::Constraint => 2,
+        ErrorClass::Internal => 3,
+    }
+}
+
+fn put_error(buf: &mut Vec<u8>, e: &Error) {
+    let (tag, msg) = error_variant(e);
+    codec::put_u8(buf, tag);
+    codec::put_u8(buf, class_byte(e.class()));
+    codec::put_str(buf, msg);
+}
+
+fn get_error(r: &mut Reader<'_>) -> Result<Error> {
+    let tag = r.u8()?;
+    let class = r.u8()?;
+    let msg = r.str()?.to_string();
+    Ok(match tag {
+        0 => Error::NotFound(msg),
+        1 => Error::AlreadyExists(msg),
+        2 => Error::Type(msg),
+        3 => Error::Parse(msg),
+        4 => Error::Constraint(msg),
+        5 => Error::LockConflict(msg),
+        6 => Error::Busy(msg),
+        7 => Error::TxnClosed(msg),
+        8 => Error::Wal(msg),
+        9 => Error::Net(msg),
+        10 => Error::Internal(msg),
+        // A variant from a newer peer: fall back on the transported class so
+        // at least retryability survives.
+        _ => match class {
+            0 => Error::Busy(msg),
+            1 => Error::Type(msg),
+            2 => Error::Constraint(msg),
+            _ => Error::Internal(msg),
+        },
+    })
+}
+
+// --- statement references ----------------------------------------------------
+
+fn put_stmt(buf: &mut Vec<u8>, stmt: &StmtRef) {
+    match stmt {
+        StmtRef::Sql(sql) => {
+            codec::put_u8(buf, 0);
+            codec::put_str(buf, sql);
+        }
+        StmtRef::Id(id) => {
+            codec::put_u8(buf, 1);
+            codec::put_u32(buf, *id);
+        }
+    }
+}
+
+fn get_stmt(r: &mut Reader<'_>) -> Result<StmtRef> {
+    match r.u8()? {
+        0 => Ok(StmtRef::Sql(r.str()?.to_string())),
+        1 => Ok(StmtRef::Id(r.u32()?)),
+        tag => Err(Error::net(format!("unknown statement-ref tag {tag}"))),
+    }
+}
+
+fn put_bindings(buf: &mut Vec<u8>, bindings: &[Vec<Value>]) {
+    codec::put_u32(buf, bindings.len() as u32);
+    for b in bindings {
+        codec::put_values(buf, b);
+    }
+}
+
+fn get_bindings(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>> {
+    let n = r.u32()? as usize;
+    // Each binding costs at least its 2-byte value count, so a hostile
+    // count cannot force an allocation larger than the frame itself.
+    if n > r.remaining() / 2 {
+        return Err(Error::net(format!(
+            "truncated frame: binding list claims {n} element(s), {} byte(s) remain",
+            r.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.values()?);
+    }
+    Ok(out)
+}
+
+// --- request / response frames -----------------------------------------------
+
+impl Request {
+    /// Encodes the request as one frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Prepare { sql } => {
+                codec::put_u8(&mut buf, 1);
+                codec::put_str(&mut buf, sql);
+            }
+            Request::Execute { stmt, params } => {
+                codec::put_u8(&mut buf, 2);
+                put_stmt(&mut buf, stmt);
+                codec::put_values(&mut buf, params);
+            }
+            Request::Query { stmt, params } => {
+                codec::put_u8(&mut buf, 3);
+                put_stmt(&mut buf, stmt);
+                codec::put_values(&mut buf, params);
+            }
+            Request::ExecuteBatch { stmt, bindings } => {
+                codec::put_u8(&mut buf, 4);
+                put_stmt(&mut buf, stmt);
+                put_bindings(&mut buf, bindings);
+            }
+            Request::QueryBatch { stmt, bindings } => {
+                codec::put_u8(&mut buf, 5);
+                put_stmt(&mut buf, stmt);
+                put_bindings(&mut buf, bindings);
+            }
+            Request::Begin => codec::put_u8(&mut buf, 6),
+            Request::Commit => codec::put_u8(&mut buf, 7),
+            Request::Rollback => codec::put_u8(&mut buf, 8),
+            Request::CloseStmt { id } => {
+                codec::put_u8(&mut buf, 9);
+                codec::put_u32(&mut buf, *id);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one frame payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            1 => Request::Prepare {
+                sql: r.str()?.to_string(),
+            },
+            2 => Request::Execute {
+                stmt: get_stmt(&mut r)?,
+                params: r.values()?,
+            },
+            3 => Request::Query {
+                stmt: get_stmt(&mut r)?,
+                params: r.values()?,
+            },
+            4 => Request::ExecuteBatch {
+                stmt: get_stmt(&mut r)?,
+                bindings: get_bindings(&mut r)?,
+            },
+            5 => Request::QueryBatch {
+                stmt: get_stmt(&mut r)?,
+                bindings: get_bindings(&mut r)?,
+            },
+            6 => Request::Begin,
+            7 => Request::Commit,
+            8 => Request::Rollback,
+            9 => Request::CloseStmt { id: r.u32()? },
+            op => return Err(Error::net(format!("unknown request opcode {op}"))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Prepared { id, params } => {
+                codec::put_u8(&mut buf, 1);
+                codec::put_u32(&mut buf, *id);
+                codec::put_u16(&mut buf, *params);
+            }
+            Response::Affected(n) => {
+                codec::put_u8(&mut buf, 2);
+                codec::put_u64(&mut buf, *n);
+            }
+            Response::Ack { txn_open } => {
+                codec::put_u8(&mut buf, 3);
+                codec::put_u8(&mut buf, u8::from(*txn_open));
+            }
+            Response::RowsHeader { columns } => {
+                codec::put_u8(&mut buf, 4);
+                codec::put_u16(&mut buf, columns.len() as u16);
+                for c in columns {
+                    codec::put_str(&mut buf, c);
+                }
+            }
+            Response::RowPage { rows, last } => {
+                return encode_row_page(rows, *last);
+            }
+            Response::BatchHeader { count } => {
+                codec::put_u8(&mut buf, 6);
+                codec::put_u32(&mut buf, *count);
+            }
+            Response::Err(e) => {
+                codec::put_u8(&mut buf, 7);
+                put_error(&mut buf, e);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            1 => Response::Prepared {
+                id: r.u32()?,
+                params: r.u16()?,
+            },
+            2 => Response::Affected(r.u64()?),
+            3 => Response::Ack {
+                txn_open: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(Error::net(format!("invalid txn-open byte {b}"))),
+                },
+            },
+            4 => {
+                let n = r.u16()? as usize;
+                // Each column name costs at least its 4-byte length prefix,
+                // so a hostile count cannot amplify the allocation.
+                if n > r.remaining() / 4 {
+                    return Err(Error::net(format!(
+                        "truncated frame: header claims {n} column(s), {} byte(s) remain",
+                        r.remaining()
+                    )));
+                }
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(r.str()?.to_string());
+                }
+                Response::RowsHeader { columns }
+            }
+            5 => {
+                let last = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(Error::net(format!("invalid last-page byte {b}"))),
+                };
+                let n = r.u32()? as usize;
+                // A row costs at least its 2-byte value count: bound the
+                // pre-allocation by the bytes actually present.
+                if n > r.remaining() / 2 {
+                    return Err(Error::net(format!(
+                        "truncated frame: page claims {n} row(s), {} byte(s) remain",
+                        r.remaining()
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(r.row()?);
+                }
+                Response::RowPage { rows, last }
+            }
+            6 => Response::BatchHeader { count: r.u32()? },
+            7 => Response::Err(get_error(&mut r)?),
+            op => return Err(Error::net(format!("unknown response opcode {op}"))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+/// Encodes a [`Response::RowPage`] frame payload from borrowed rows, so the
+/// server can stream pages of a materialised result without cloning them.
+pub fn encode_row_page(rows: &[Row], last: bool) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u8(&mut buf, 5);
+    codec::put_u8(&mut buf, u8::from(last));
+    codec::put_u32(&mut buf, rows.len() as u32);
+    for row in rows {
+        codec::put_row(&mut buf, row);
+    }
+    buf
+}
+
+/// Parses an already-read 6-byte client hello (magic + version).
+pub fn client_version(hello: &[u8; 6]) -> Result<u16> {
+    if hello[..4] != MAGIC {
+        return Err(Error::net("peer did not speak the relstore wire protocol"));
+    }
+    Ok(u16::from_le_bytes([hello[4], hello[5]]))
+}
+
+// --- frame IO ----------------------------------------------------------------
+
+/// Maps an IO failure onto the engine's error taxonomy.
+pub(crate) fn io_err(e: std::io::Error) -> Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        Error::net("connection closed by peer")
+    } else {
+        Error::net(format!("io error: {e}"))
+    }
+}
+
+/// Writes one frame (length prefix + payload), refusing oversized payloads
+/// before anything reaches the socket. Returns the bytes written.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<u64> {
+    if payload.is_empty() || payload.len() > MAX_FRAME {
+        return Err(Error::net(format!(
+            "refusing to send a frame of {} byte(s) (limit {MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(payload.len() as u64 + 4)
+}
+
+/// Reads one frame payload, rejecting empty and oversized length prefixes
+/// before allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(io_err)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(Error::net(format!(
+            "peer announced a frame of {len} byte(s) (limit {MAX_FRAME})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(io_err)?;
+    Ok(payload)
+}
+
+// --- handshake ---------------------------------------------------------------
+
+/// Handshake outcome sent by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeStatus {
+    /// The connection is accepted.
+    Ok,
+    /// The server is at its connection limit; retry later ([`Error::Busy`]).
+    Busy,
+    /// The client speaks an incompatible protocol ([`Error::Net`]).
+    Rejected,
+}
+
+/// Writes the client side of the handshake (magic + version).
+pub fn write_hello(w: &mut impl Write) -> Result<()> {
+    let mut buf = Vec::with_capacity(6);
+    buf.extend_from_slice(&MAGIC);
+    codec::put_u16(&mut buf, VERSION);
+    w.write_all(&buf).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Reads and validates the client hello, returning the client's version.
+pub fn read_hello(r: &mut impl Read) -> Result<u16> {
+    let mut buf = [0u8; 6];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    if buf[..4] != MAGIC {
+        return Err(Error::net("peer did not speak the relstore wire protocol"));
+    }
+    Ok(u16::from_le_bytes([buf[4], buf[5]]))
+}
+
+/// Writes the server's handshake response. Returns the bytes written.
+pub fn write_handshake_response(
+    w: &mut impl Write,
+    status: HandshakeStatus,
+    message: &str,
+) -> Result<u64> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    codec::put_u16(&mut buf, VERSION);
+    codec::put_u8(
+        &mut buf,
+        match status {
+            HandshakeStatus::Ok => 0,
+            HandshakeStatus::Busy => 1,
+            HandshakeStatus::Rejected => 2,
+        },
+    );
+    codec::put_str(&mut buf, message);
+    w.write_all(&buf).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads the server's handshake response, turning a non-OK status into the
+/// error the client should surface.
+pub fn read_handshake_response(r: &mut impl Read) -> Result<()> {
+    let mut head = [0u8; 7];
+    r.read_exact(&mut head).map_err(io_err)?;
+    if head[..4] != MAGIC {
+        return Err(Error::net("peer did not speak the relstore wire protocol"));
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    let status = head[6];
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(io_err)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(Error::net("oversized handshake message"));
+    }
+    let mut msg = vec![0u8; len];
+    r.read_exact(&mut msg).map_err(io_err)?;
+    let msg = String::from_utf8_lossy(&msg).into_owned();
+    match status {
+        0 if version == VERSION => Ok(()),
+        0 => Err(Error::net(format!(
+            "server speaks protocol version {version}, this client speaks {VERSION}"
+        ))),
+        1 => Err(Error::busy(if msg.is_empty() {
+            "server at connection limit".to_string()
+        } else {
+            msg
+        })),
+        _ => Err(Error::net(if msg.is_empty() {
+            "server rejected the connection".to_string()
+        } else {
+            msg
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Prepare {
+                sql: "SELECT * FROM jobs WHERE job_id = ?".into(),
+            },
+            Request::Execute {
+                stmt: StmtRef::Sql("DELETE FROM jobs".into()),
+                params: vec![],
+            },
+            Request::Query {
+                stmt: StmtRef::Id(7),
+                params: vec![Value::Int(1), Value::Null, Value::Text("x'y".into())],
+            },
+            Request::ExecuteBatch {
+                stmt: StmtRef::Id(0),
+                bindings: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            },
+            Request::QueryBatch {
+                stmt: StmtRef::Sql("SELECT 1".into()),
+                bindings: vec![vec![]],
+            },
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::CloseStmt { id: 3 },
+        ];
+        for req in reqs {
+            let payload = req.encode();
+            assert_eq!(Request::decode(&payload).unwrap(), req);
+            // Every strict prefix fails cleanly.
+            for cut in 0..payload.len() {
+                assert!(Request::decode(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Prepared { id: 9, params: 2 },
+            Response::Affected(42),
+            Response::Ack { txn_open: false },
+            Response::Ack { txn_open: true },
+            Response::RowsHeader {
+                columns: vec!["job_id".into(), "jobs.state".into()],
+            },
+            Response::RowPage {
+                rows: vec![
+                    Row::new(vec![Value::Int(1), Value::Text("idle".into())]),
+                    Row::new(vec![Value::Int(2), Value::Null]),
+                ],
+                last: true,
+            },
+            Response::BatchHeader { count: 3 },
+            Response::Err(Error::LockConflict("table jobs".into())),
+        ];
+        for resp in resps {
+            let payload = resp.encode();
+            assert_eq!(Response::decode(&payload).unwrap(), resp);
+            for cut in 0..payload.len() {
+                assert!(Response::decode(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_keep_their_class_across_the_wire() {
+        for e in [
+            Error::LockConflict("w-w".into()),
+            Error::busy("checkpoint"),
+            Error::parse("bad token"),
+            Error::constraint("pk"),
+            Error::not_found("jobs"),
+            Error::net("reset"),
+            Error::internal("bug"),
+        ] {
+            let decoded = match Response::decode(&Response::Err(e.clone()).encode()).unwrap() {
+                Response::Err(d) => d,
+                other => panic!("expected Err, got {other:?}"),
+            };
+            assert_eq!(decoded, e);
+            assert_eq!(decoded.class(), e.class());
+        }
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_enforces_limits() {
+        let payload = Request::Begin.encode();
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(written as usize, payload.len() + 4);
+        let read = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, payload);
+
+        // Empty and oversized frames are refused on both sides.
+        assert!(write_frame(&mut Vec::new(), &[]).is_err());
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        let empty = 0u32.to_le_bytes();
+        assert!(read_frame(&mut empty.as_slice()).is_err());
+        // A truncated stream errors instead of blocking forever (EOF).
+        assert!(read_frame(&mut [4u8, 0, 0, 0, 1].as_slice()).is_err());
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf).unwrap();
+        assert_eq!(read_hello(&mut buf.as_slice()).unwrap(), VERSION);
+        assert!(read_hello(&mut b"XXXXxx".as_slice()).is_err());
+
+        let mut buf = Vec::new();
+        write_handshake_response(&mut buf, HandshakeStatus::Ok, "").unwrap();
+        read_handshake_response(&mut buf.as_slice()).unwrap();
+
+        let mut buf = Vec::new();
+        write_handshake_response(&mut buf, HandshakeStatus::Busy, "64 connections open").unwrap();
+        let err = read_handshake_response(&mut buf.as_slice()).unwrap_err();
+        assert!(err.is_retryable(), "admission-control rejection is retryable");
+
+        let mut buf = Vec::new();
+        write_handshake_response(&mut buf, HandshakeStatus::Rejected, "version 9").unwrap();
+        let err = read_handshake_response(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Net(_)));
+    }
+}

@@ -1,0 +1,581 @@
+//! The threaded TCP server: an accept loop feeding a worker pool.
+//!
+//! [`serve`] binds a listener over an `Arc<Database>` and returns a
+//! [`ServerHandle`]. One thread accepts connections and applies admission
+//! control (beyond [`ServerConfig::max_connections`] a client is turned away
+//! with a retryable busy handshake); a pool of worker threads each serves one
+//! connection at a time, so `workers` bounds the number of *concurrently
+//! served* connections and accepted-but-unserved ones wait in the queue.
+//!
+//! Per-connection state mirrors a [`relstore::Session`]: a table of prepared
+//! statements (handles are connection-scoped) and at most one open
+//! transaction, which **rolls back automatically when the connection drops**
+//! — a client that dies mid-transaction releases its locks the moment the
+//! socket closes, exactly like a dropped RAII guard in process.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] stops accepting, lets
+//! every in-flight statement finish and its response flush, then closes the
+//! connections (rolling back their open transactions) and joins the threads.
+//! Sockets are polled with a short read timeout so idle connections observe
+//! the shutdown flag at frame boundaries; a frame whose bytes have started
+//! arriving is always read and answered before the connection closes.
+
+use crate::protocol::{
+    self, write_frame, HandshakeStatus, Request, Response, StmtRef, VERSION,
+};
+use relstore::sql::ast::Statement;
+use relstore::stats::SharedStats;
+use relstore::wal::TxnId;
+use relstore::{Database, Error, ExecResult, OpStats, Prepared, QueryResult, Result, Value};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`serve_with`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time, so this bounds
+    /// the number of concurrently *served* connections.
+    pub workers: usize,
+    /// Admission-control limit: connections beyond this (served + queued)
+    /// are refused with a retryable busy handshake.
+    pub max_connections: usize,
+    /// Maximum rows per streamed [`Response::RowPage`] frame.
+    pub page_rows: usize,
+    /// Socket read timeout used to poll the shutdown flag at frame
+    /// boundaries; bounds how long shutdown waits for idle connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 16,
+            max_connections: 64,
+            page_rows: 256,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// Connections currently admitted (being served or queued for a worker).
+    active: AtomicUsize,
+    stats: SharedStats,
+}
+
+/// A running server: its address, live counters, and the shutdown switch.
+///
+/// Dropping the handle shuts the server down (best-effort); call
+/// [`ServerHandle::shutdown`] to do it explicitly and join the threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("active_connections", &self.active_connections())
+            .finish()
+    }
+}
+
+/// Starts a server over `db` on `addr` with the default [`ServerConfig`].
+/// Bind to port 0 (`"127.0.0.1:0"`) for an ephemeral port and read it back
+/// from [`ServerHandle::local_addr`].
+pub fn serve(db: Arc<Database>, addr: impl ToSocketAddrs) -> Result<ServerHandle> {
+    serve_with(db, addr, ServerConfig::default())
+}
+
+/// Starts a server over `db` on `addr` with an explicit configuration.
+pub fn serve_with(
+    db: Arc<Database>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle> {
+    let config = ServerConfig {
+        workers: config.workers.max(1),
+        max_connections: config.max_connections.max(1),
+        page_rows: config.page_rows.max(1),
+        ..config
+    };
+    let listener = TcpListener::bind(addr).map_err(protocol::io_err)?;
+    let addr = listener.local_addr().map_err(protocol::io_err)?;
+    let shared = Arc::new(Shared {
+        db,
+        config,
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        stats: SharedStats::default(),
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..shared.config.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(shared, &listener, &tx))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently admitted (being served or queued).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative server-side counters: the network fields
+    /// (`net_bytes_in` / `net_bytes_out` / `frames_decoded` and the
+    /// `active_connections` high-water gauge) plus nothing else — engine
+    /// work is accounted on the database's own stats as usual.
+    pub fn stats(&self) -> OpStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The served database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Shuts the server down gracefully: stops accepting, drains in-flight
+    /// statements (each pending request finishes and its response flushes),
+    /// rolls back transactions left open by their connections, and joins
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// --- accept loop -------------------------------------------------------------
+
+fn accept_loop(shared: Arc<Shared>, listener: &TcpListener, tx: &mpsc::Sender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let admitted = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        if admitted > shared.config.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            // Turn the client away on a short-lived thread so a slow (or
+            // silent) peer cannot stall the accept loop.
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reject_busy(&shared, stream));
+            continue;
+        }
+        // High-water connection gauge (merge = max, like max_version_chain).
+        shared.stats.record(&OpStats {
+            active_connections: admitted as u64,
+            ..Default::default()
+        });
+        if tx.send(stream).is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+    }
+    // Dropping `tx` (by returning) lets idle workers exit.
+}
+
+/// Admission-control rejection: consume the client's hello first — closing
+/// a socket with unread received data can emit a TCP RST that destroys the
+/// response in flight — then answer with a retryable busy handshake.
+fn reject_busy(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut hello = [0u8; 6];
+    let _ = stream.read_exact(&mut hello);
+    let written = protocol::write_handshake_response(
+        &mut stream,
+        HandshakeStatus::Busy,
+        &format!(
+            "server at its limit of {} connection(s); retry later",
+            shared.config.max_connections
+        ),
+    )
+    .unwrap_or(0);
+    shared.stats.record(&OpStats {
+        net_bytes_in: hello.len() as u64,
+        net_bytes_out: written,
+        ..Default::default()
+    });
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => {
+                serve_connection(shared, stream);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => return, // accept loop gone and queue drained
+        }
+    }
+}
+
+// --- per-connection serving --------------------------------------------------
+
+/// Prepared-statement handles and the at-most-one open transaction of one
+/// connection.
+struct ConnState {
+    stmts: HashMap<u32, Prepared>,
+    next_stmt: u32,
+    txn: Option<TxnId>,
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut conn = ConnState {
+        stmts: HashMap::new(),
+        next_stmt: 1,
+        txn: None,
+    };
+    let _ = serve_frames(shared, &mut stream, &mut conn);
+    // Whatever ended the connection — clean close, protocol error, shutdown
+    // — an open transaction must not outlive it: roll it back and release
+    // its locks, like a dropped RAII guard.
+    if let Some(txn) = conn.txn.take() {
+        let _ = shared.db.rollback(txn);
+    }
+}
+
+fn serve_frames(shared: &Shared, stream: &mut TcpStream, conn: &mut ConnState) -> Result<()> {
+    // Handshake: magic + version in, status out.
+    let mut hello = [0u8; 6];
+    if !read_full(stream, &mut hello, shared, true)? {
+        return Ok(());
+    }
+    let version = protocol::client_version(&hello)?;
+    let mut local = OpStats {
+        net_bytes_in: hello.len() as u64,
+        ..Default::default()
+    };
+    if version != VERSION {
+        local.net_bytes_out += protocol::write_handshake_response(
+            stream,
+            HandshakeStatus::Rejected,
+            &format!("server speaks protocol version {VERSION}, client spoke {version}"),
+        )?;
+        shared.stats.record(&local);
+        return Ok(());
+    }
+    local.net_bytes_out += protocol::write_handshake_response(stream, HandshakeStatus::Ok, "")?;
+    shared.stats.record(&local);
+
+    loop {
+        let Some(payload) = read_frame_polling(stream, shared)? else {
+            return Ok(()); // clean disconnect or shutdown at a frame boundary
+        };
+        let mut local = OpStats {
+            net_bytes_in: payload.len() as u64 + 4,
+            ..Default::default()
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => {
+                local.frames_decoded += 1;
+                req
+            }
+            Err(e) => {
+                // A malformed frame poisons the stream: answer and close.
+                local.net_bytes_out += write_frame(stream, &Response::Err(e).encode())?;
+                shared.stats.record(&local);
+                return Ok(());
+            }
+        };
+        let outcome = handle_request(shared, conn, req);
+        local.net_bytes_out += write_outcome(stream, outcome, shared.config.page_rows)?;
+        shared.stats.record(&local);
+    }
+}
+
+/// What one request produces: a single response frame, a streamed query
+/// result, or a streamed batch of results.
+enum Outcome {
+    One(Response),
+    Rows(QueryResult),
+    Batch(Vec<QueryResult>),
+}
+
+fn handle_request(shared: &Shared, conn: &mut ConnState, req: Request) -> Outcome {
+    let db = &shared.db;
+    match req {
+        Request::Prepare { sql } => match db.prepare(&sql) {
+            Ok(prepared) => {
+                let id = conn.next_stmt;
+                conn.next_stmt += 1;
+                let params = prepared.param_count() as u16;
+                conn.stmts.insert(id, prepared);
+                Outcome::One(Response::Prepared { id, params })
+            }
+            Err(e) => Outcome::One(Response::Err(e)),
+        },
+        Request::Execute { stmt, params } => match execute_stmt(db, conn, stmt, params) {
+            Ok(ExecResult::Query(q)) => Outcome::Rows(q),
+            Ok(ExecResult::Affected(n)) => Outcome::One(Response::Affected(n as u64)),
+            Ok(ExecResult::Ack) => Outcome::One(ack(conn)),
+            Err(e) => Outcome::One(Response::Err(e)),
+        },
+        Request::Query { stmt, params } => {
+            match execute_stmt(db, conn, stmt, params).and_then(ExecResult::query) {
+                Ok(q) => Outcome::Rows(q),
+                Err(e) => Outcome::One(Response::Err(e)),
+            }
+        }
+        Request::ExecuteBatch { stmt, bindings } => {
+            let run = resolve_stmt(conn, db, stmt).and_then(|prepared| match conn.txn {
+                Some(txn) => db.execute_batch_in(txn, &prepared, &bindings),
+                None => db.execute_batch(&prepared, &bindings),
+            });
+            match run {
+                Ok(n) => Outcome::One(Response::Affected(n as u64)),
+                Err(e) => Outcome::One(Response::Err(e)),
+            }
+        }
+        Request::QueryBatch { stmt, bindings } => {
+            let run = resolve_stmt(conn, db, stmt).and_then(|prepared| match conn.txn {
+                Some(txn) => db.query_batch_in(txn, &prepared, &bindings),
+                None => db.query_batch(&prepared, &bindings),
+            });
+            match run {
+                Ok(results) => Outcome::Batch(results),
+                Err(e) => Outcome::One(Response::Err(e)),
+            }
+        }
+        Request::Begin => Outcome::One(match txn_begin(db, conn) {
+            Ok(()) => ack(conn),
+            Err(e) => Response::Err(e),
+        }),
+        Request::Commit => Outcome::One(match txn_finish(db, conn, true) {
+            Ok(()) => ack(conn),
+            Err(e) => Response::Err(e),
+        }),
+        Request::Rollback => Outcome::One(match txn_finish(db, conn, false) {
+            Ok(()) => ack(conn),
+            Err(e) => Response::Err(e),
+        }),
+        Request::CloseStmt { id } => Outcome::One(match conn.stmts.remove(&id) {
+            Some(_) => ack(conn),
+            None => Response::Err(Error::not_found(format!(
+                "prepared statement #{id} on this connection"
+            ))),
+        }),
+    }
+}
+
+/// An Ack reporting the connection's post-request transaction state — the
+/// server is authoritative, so clients track `in_txn` without parsing SQL.
+fn ack(conn: &ConnState) -> Response {
+    Response::Ack {
+        txn_open: conn.txn.is_some(),
+    }
+}
+
+fn resolve_stmt(conn: &ConnState, db: &Database, stmt: StmtRef) -> Result<Prepared> {
+    match stmt {
+        StmtRef::Sql(sql) => db.prepare(&sql),
+        StmtRef::Id(id) => conn.stmts.get(&id).cloned().ok_or_else(|| {
+            Error::not_found(format!("prepared statement #{id} on this connection"))
+        }),
+    }
+}
+
+fn txn_begin(db: &Database, conn: &mut ConnState) -> Result<()> {
+    if conn.txn.is_some() {
+        return Err(Error::type_err("transaction already open on this connection"));
+    }
+    conn.txn = Some(db.begin());
+    Ok(())
+}
+
+fn txn_finish(db: &Database, conn: &mut ConnState, commit: bool) -> Result<()> {
+    let txn = conn
+        .txn
+        .take()
+        .ok_or_else(|| Error::type_err("no open transaction on this connection"))?;
+    if commit {
+        db.commit(txn)
+    } else {
+        db.rollback(txn)
+    }
+}
+
+/// Mirrors [`relstore::Session::execute`]: SQL-level `BEGIN` / `COMMIT` /
+/// `ROLLBACK` drive the connection's transaction; everything else runs
+/// inside the open transaction if there is one, else in autocommit mode.
+fn execute_stmt(
+    db: &Database,
+    conn: &mut ConnState,
+    stmt: StmtRef,
+    params: Vec<Value>,
+) -> Result<ExecResult> {
+    let prepared = resolve_stmt(conn, db, stmt)?;
+    match prepared.statement() {
+        Statement::Begin | Statement::Commit | Statement::Rollback if !params.is_empty() => {
+            Err(Error::type_err(format!(
+                "transaction-control statements take no parameters, got {}",
+                params.len()
+            )))
+        }
+        Statement::Begin => txn_begin(db, conn).map(|()| ExecResult::Ack),
+        Statement::Commit => txn_finish(db, conn, true).map(|()| ExecResult::Ack),
+        Statement::Rollback => txn_finish(db, conn, false).map(|()| ExecResult::Ack),
+        _ => match conn.txn {
+            Some(txn) => db.execute_prepared_in(txn, &prepared, &params),
+            None => db.execute_prepared(&prepared, &params),
+        },
+    }
+}
+
+/// Writes one request's outcome, paging query results. Returns bytes sent.
+fn write_outcome(stream: &mut TcpStream, outcome: Outcome, page_rows: usize) -> Result<u64> {
+    match outcome {
+        Outcome::One(resp) => write_frame(stream, &resp.encode()),
+        Outcome::Rows(q) => write_query(stream, &q, page_rows),
+        Outcome::Batch(results) => {
+            let mut sent = write_frame(
+                stream,
+                &Response::BatchHeader {
+                    count: results.len() as u32,
+                }
+                .encode(),
+            )?;
+            for q in &results {
+                sent += write_query(stream, q, page_rows)?;
+            }
+            Ok(sent)
+        }
+    }
+}
+
+fn write_query(stream: &mut TcpStream, q: &QueryResult, page_rows: usize) -> Result<u64> {
+    let header = Response::RowsHeader {
+        columns: q.columns.iter().map(|c| c.to_string()).collect(),
+    };
+    let mut sent = write_frame(stream, &header.encode())?;
+    if q.rows.is_empty() {
+        return Ok(sent + write_frame(stream, &protocol::encode_row_page(&[], true))?);
+    }
+    let mut pages = q.rows.chunks(page_rows).peekable();
+    while let Some(page) = pages.next() {
+        let last = pages.peek().is_none();
+        sent += write_frame(stream, &protocol::encode_row_page(page, last))?;
+    }
+    Ok(sent)
+}
+
+// --- polled socket reads -----------------------------------------------------
+
+/// Reads exactly `buf.len()` bytes, looping over the read timeout. Returns
+/// `Ok(false)` — without an error — when the connection closed cleanly or
+/// the server began shutting down *before the first byte arrived* (and
+/// `allow_idle_exit` is set); once a unit has started arriving it is always
+/// read to completion, so shutdown never truncates an in-flight frame.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    allow_idle_exit: bool,
+) -> Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_idle_exit {
+                    return Ok(false);
+                }
+                return Err(Error::net("connection closed mid-frame"));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && allow_idle_exit && shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(protocol::io_err(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, honouring shutdown and clean disconnects only at frame
+/// boundaries. `Ok(None)` means the connection should close quietly.
+fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Vec<u8>>> {
+    // Check the flag *before* reading, not only on an idle timeout: a
+    // client pipelining requests back-to-back keeps the socket readable, so
+    // a timeout-only check would never drain that connection.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Ok(None);
+    }
+    let mut len = [0u8; 4];
+    if !read_full(stream, &mut len, shared, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > crate::codec::MAX_FRAME {
+        return Err(Error::net(format!(
+            "peer announced a frame of {len} byte(s) (limit {})",
+            crate::codec::MAX_FRAME
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(stream, &mut payload, shared, false)?;
+    Ok(Some(payload))
+}

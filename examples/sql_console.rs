@@ -1,16 +1,80 @@
-//! "Cluster management as data management": run a pool for a while, then
-//! answer operational questions with SQL against the live database — the
-//! queries a Condor administrator would need custom tools (or log archaeology)
-//! to answer.
+//! "Cluster management as data management": answer operational questions
+//! with SQL — against an embedded simulation, or against a **remote**
+//! relstore server over the wire protocol.
+//!
+//! Embedded mode (default): run a pool for a while, then run the queries a
+//! Condor administrator would need custom tools (or log archaeology) for:
 //!
 //! ```text
 //! cargo run --release --example sql_console
 //! ```
+//!
+//! Remote mode: connect to a running `wire` server and read SQL statements
+//! from stdin, one per line (Ctrl-D to quit):
+//!
+//! ```text
+//! cargo run --release --example sql_console -- --connect 127.0.0.1:5433
+//! echo "SELECT COUNT(*) FROM jobs" | cargo run --example sql_console -- --connect HOST:PORT
+//! ```
 
 use cluster_sim::{ClusterSpec, JobSpec, SimDuration, SimTime};
 use condorj2::{CondorJ2Config, CondorJ2Simulation};
+use relstore::ExecResult;
+use std::io::BufRead;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--connect") {
+        match args.get(i + 1) {
+            Some(addr) => remote_console(addr),
+            None => {
+                eprintln!("usage: sql_console [--connect host:port]");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    embedded_demo();
+}
+
+/// Drives a remote server: each stdin line is one SQL statement, results
+/// render as text tables. Transaction control (`BEGIN` / `COMMIT` /
+/// `ROLLBACK`) drives the connection's server-side transaction — and if the
+/// console dies mid-transaction, the server rolls it back on disconnect.
+fn remote_console(addr: &str) {
+    let mut client = match wire::Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("sql_console: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("connected to {addr}; one SQL statement per line, Ctrl-D to quit");
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let sql = line.trim();
+        if sql.is_empty() || sql.starts_with("--") {
+            continue;
+        }
+        match client.execute(sql, ()) {
+            Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
+            Ok(ExecResult::Affected(n)) => println!("{n} row(s) affected\n"),
+            Ok(ExecResult::Ack) => println!("ok\n"),
+            Err(e) => {
+                println!("error: {e}\n");
+                if client.is_broken() {
+                    eprintln!("sql_console: connection lost");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn embedded_demo() {
     let spec = ClusterSpec::paper_testbed(10, 4);
     let mut pool = CondorJ2Simulation::new(CondorJ2Config::default(), &spec, 3);
     for owner in ["astro", "bio", "chem"] {

@@ -2,11 +2,13 @@
 //!
 //! Re-exports the individual crates so examples and integration tests can use
 //! a single dependency. See the crate-level documentation of each member:
-//! [`relstore`], [`cluster_sim`], [`appserver`], [`condor`], [`condorj2`], [`workloads`].
+//! [`relstore`], [`wire`], [`cluster_sim`], [`appserver`], [`condor`],
+//! [`condorj2`], [`workloads`].
 
 pub use appserver;
 pub use cluster_sim;
 pub use condor;
 pub use condorj2;
 pub use relstore;
+pub use wire;
 pub use workloads;

@@ -185,6 +185,37 @@ fn vacuum_shrinks_chains_once_the_pinning_snapshot_closes() {
 }
 
 #[test]
+fn vacuum_after_few_row_churn_visits_only_dirty_chains() {
+    // A big table where only a handful of rows churn: the dirty-chain list
+    // keeps the vacuum pass proportional to the churn, not the table.
+    let db = Database::new();
+    db.execute("CREATE TABLE wide (id INT PRIMARY KEY, v INT)").unwrap();
+    let ins = db.prepare("INSERT INTO wide VALUES (?, 0)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..2_000i64).map(|i| (i,)))
+        .unwrap();
+    assert_eq!(db.table_dirty_chains("wide").unwrap(), 0);
+
+    let upd = db.prepare("UPDATE wide SET v = v + 1 WHERE id = ?").unwrap();
+    for id in [3i64, 700, 1_999] {
+        db.session().execute(&upd, (id,)).unwrap();
+    }
+    db.execute("DELETE FROM wide WHERE id = 42").unwrap();
+    assert_eq!(
+        db.table_dirty_chains("wide").unwrap(),
+        4,
+        "the vacuum worklist holds the 4 churned chains, not all 2000"
+    );
+
+    let s0 = db.stats();
+    assert_eq!(db.vacuum_all(), 4);
+    assert_eq!(db.stats().delta_since(&s0).versions_vacuumed, 4);
+    assert_eq!(db.table_dirty_chains("wide").unwrap(), 0);
+    assert_eq!(db.table_versions("wide").unwrap(), 1_999);
+    db.check_consistency().unwrap();
+}
+
+#[test]
 fn writers_vacuum_their_own_bloat_past_the_threshold() {
     let db = pairs_db();
     // Autocommit updates on one row: each leaves a dead version behind. The
