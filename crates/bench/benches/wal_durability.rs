@@ -1,0 +1,91 @@
+//! Insert throughput under each durability mode: the price of an fsync per
+//! commit vs an fsync per window vs none at all.
+//!
+//! `mem_baseline` is the embedded in-memory engine (no durable device);
+//! `fs_always` forces the log on every commit; `fs_batch_8` syncs once per
+//! 8 commits; `fs_checkpoint_only` never syncs on the commit path. The
+//! gap between `mem_baseline` and `fs_checkpoint_only` is the cost of
+//! encoding + appending records to a file; the gap up to `fs_always` is
+//! almost entirely fsync latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::{Database, DurabilityPolicy};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const INSERTS: i64 = 32;
+
+fn temp_log(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "relstore_bench_wal_{}_{}.wal",
+        tag,
+        std::process::id()
+    ))
+}
+
+fn setup(db: &Database) {
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT, state TEXT)").unwrap();
+}
+
+/// One iteration: INSERTS autocommit inserts (each its own commit), then a
+/// wipe so every iteration starts empty.
+fn run_inserts(db: &Database, ins: &relstore::Prepared, wipe: &relstore::Prepared) {
+    let mut sql = db.session();
+    for i in 0..INSERTS {
+        sql.execute(black_box(ins), (i, "user", "idle")).unwrap();
+    }
+    sql.execute(wipe, ()).unwrap();
+}
+
+fn bench_wal_durability(c: &mut Criterion) {
+    let cases: Vec<(&str, Database, Option<PathBuf>)> = vec![
+        ("mem_baseline", Database::new(), None),
+        {
+            let path = temp_log("always");
+            let _ = std::fs::remove_file(&path);
+            (
+                "fs_always",
+                Database::open_durable_with(&path, DurabilityPolicy::Always).unwrap(),
+                Some(path),
+            )
+        },
+        {
+            let path = temp_log("batch8");
+            let _ = std::fs::remove_file(&path);
+            (
+                "fs_batch_8",
+                Database::open_durable_with(&path, DurabilityPolicy::Batch(8)).unwrap(),
+                Some(path),
+            )
+        },
+        {
+            let path = temp_log("ckpt");
+            let _ = std::fs::remove_file(&path);
+            (
+                "fs_checkpoint_only",
+                Database::open_durable_with(&path, DurabilityPolicy::Checkpoint).unwrap(),
+                Some(path),
+            )
+        },
+    ];
+
+    for (name, db, path) in &cases {
+        setup(db);
+        let ins = db.prepare("INSERT INTO jobs VALUES (?, ?, ?)").unwrap();
+        let wipe = db.prepare("DELETE FROM jobs").unwrap();
+        c.bench_function(&format!("wal_insert_{INSERTS}_{name}"), |b| {
+            b.iter(|| run_inserts(db, &ins, &wipe))
+        });
+        // Keep the log from growing across the whole run: compact it once
+        // per benchmarked mode (also exercises rotation under load).
+        if db.is_durable() {
+            db.checkpoint().unwrap();
+        }
+        if let Some(p) = path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+criterion_group!(benches, bench_wal_durability);
+criterion_main!(benches);

@@ -39,6 +39,7 @@
 
 use crate::error::{Error, Result};
 use crate::exec::{execute_select_with, matching_row_ids_with, Catalog, QueryResult};
+use crate::io::{DurabilityPolicy, Failpoints, FsDevice, LogDevice};
 use crate::mvcc::Snapshot;
 use crate::predicate::Expr;
 use crate::schema::{lower_name, IndexDef, Schema};
@@ -216,12 +217,66 @@ pub struct Database {
     stmt_cache: Mutex<StmtCache>,
     /// Lock-free cumulative operation counters.
     stats: SharedStats,
+    /// Fault-injection registry consulted by the durable-log IO path. Free
+    /// (one relaxed atomic load) when nothing is armed, which is always the
+    /// case outside crash tests.
+    failpoints: Arc<Failpoints>,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Opens a crash-safe database whose WAL lives in the segment file at
+    /// `path` (created if absent), fsyncing on every commit
+    /// ([`DurabilityPolicy::Always`]). Committed state found in the file is
+    /// recovered; see the crate-level "Durability & recovery" docs.
+    pub fn open_durable(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::open_durable_with(path, DurabilityPolicy::Always)
+    }
+
+    /// As [`Database::open_durable`], with an explicit fsync policy.
+    pub fn open_durable_with(
+        path: impl AsRef<std::path::Path>,
+        policy: DurabilityPolicy,
+    ) -> Result<Self> {
+        Self::open_with_device(Box::new(FsDevice::open(path)?), policy)
+    }
+
+    /// Opens a durable database over an arbitrary [`LogDevice`] — the seam
+    /// crash tests use to run real recovery against a deterministic
+    /// in-memory device ([`crate::MemDevice`]).
+    ///
+    /// Recovery is torn-tail tolerant: a partial record at the end of the
+    /// device is truncated off (counted in
+    /// [`OpStats::recovery_truncated_bytes`]) and the database comes up with
+    /// exactly the committed prefix; corruption anywhere earlier fails with
+    /// [`Error::Corruption`].
+    pub fn open_with_device(
+        device: Box<dyn LogDevice>,
+        policy: DurabilityPolicy,
+    ) -> Result<Self> {
+        let failpoints = Arc::new(Failpoints::new());
+        let mut local = OpStats::default();
+        let wal = Wal::open_device(device, policy, Arc::clone(&failpoints), &mut local)?;
+        let catalog = wal.recover()?;
+        let db = Database {
+            failpoints,
+            ..Database::default()
+        };
+        *db.catalog.write() = catalog;
+        {
+            let mut ctl = db.ctl.lock();
+            // New transactions must not reuse ids already in the log: a
+            // colliding Commit record from a previous run would make this
+            // run's uncommitted changes look committed at the next recovery.
+            ctl.txns.advance_past(wal.max_txn_id());
+            ctl.wal = wal;
+        }
+        db.stats.record(&local);
+        Ok(db)
     }
 
     /// Reconstructs a database from a write-ahead log, as after a crash.
@@ -235,8 +290,42 @@ impl Database {
 
     /// Returns a copy of the current write-ahead log (what a crash would find
     /// on disk). Used by recovery tests and failure-injection experiments.
+    /// The copy is always in-memory: it never owns the durable device.
     pub fn snapshot_wal(&self) -> Wal {
         self.ctl.lock().wal.clone()
+    }
+
+    // --- durability -----------------------------------------------------------
+
+    /// True when this database mirrors its WAL onto a durable [`LogDevice`].
+    pub fn is_durable(&self) -> bool {
+        self.ctl.lock().wal.is_durable()
+    }
+
+    /// Forces everything appended to the durable log onto stable storage,
+    /// regardless of the [`DurabilityPolicy`]. A no-op for in-memory
+    /// databases. Fails with [`Error::Io`] if the log writer is poisoned.
+    pub fn flush_log(&self) -> Result<()> {
+        let mut local = OpStats::default();
+        let result = self.ctl.lock().wal.flush(&mut local);
+        self.stats.record(&local);
+        result
+    }
+
+    /// The bytes a crash right now would leave on the durable log device —
+    /// the post-mortem view crash tests reopen from ([`Error::Wal`] for
+    /// in-memory databases). Unsynced appends are excluded for the
+    /// in-memory device model; call [`Database::flush_log`] first to get
+    /// the full log.
+    pub fn durable_log_bytes(&self) -> Result<Vec<u8>> {
+        self.ctl.lock().wal.durable_contents()
+    }
+
+    /// The fault-injection registry for this database's durable IO path.
+    /// Arm named points ([`crate::io::points`]) to inject short writes, torn
+    /// writes, fsync errors or crashes; see [`crate::io::failpoint`].
+    pub fn failpoints(&self) -> &Arc<Failpoints> {
+        &self.failpoints
     }
 
     /// Cumulative operation statistics.
@@ -290,19 +379,35 @@ impl Database {
 
     /// Commits an explicit transaction and releases its locks. Transactions
     /// that logged no changes append no Commit record.
+    ///
+    /// On a durable database the Commit record is forced to disk according
+    /// to the [`DurabilityPolicy`] before this returns. An [`Error::Io`]
+    /// here means the commit was **not** acknowledged as durable: the log
+    /// writer is poisoned (an earlier write failed, or this commit's fsync
+    /// did) and recovery from the on-disk log may not include this
+    /// transaction. The in-memory state keeps the commit and stays readable,
+    /// but every further commit fails the same way until the database is
+    /// reopened from disk.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         let mut local = OpStats::default();
+        let synced;
         {
             let mut ctl = self.ctl.lock();
             let state = ctl.txns.finish_commit(txn)?;
-            if state.wal_begun {
+            synced = if state.wal_begun {
                 ctl.wal.append(LogRecord::Commit { txn }, &mut local);
-            }
+                ctl.wal.commit_sync(&mut local)
+            } else {
+                // Read-only: nothing was logged, nothing needs forcing.
+                Ok(())
+            };
+            // Locks are released even when the sync failed — the engine
+            // stays usable for reads and rollbacks.
             ctl.locks.release_all(txn);
         }
         local.commits = 1;
         self.stats.record(&local);
-        Ok(())
+        synced
     }
 
     /// Rolls back an explicit transaction, undoing its changes.
@@ -550,7 +655,7 @@ impl Database {
                 // Changes that were applied before an error are still logged:
                 // their undo records exist and rollback discards them, so the
                 // WAL must carry them in case the transaction commits anyway.
-                let flushed = Self::flush_log(&mut ctl, txn, log, false, &mut local);
+                let flushed = Self::append_changes(&mut ctl, txn, log, false, &mut local);
                 Self::vacuum_if_bloated(&mut catalog, &ctl, stmt, &mut local);
                 drop(ctl);
                 drop(catalog);
@@ -597,7 +702,7 @@ impl Database {
     /// per change cadence) or everything wrapped into one
     /// [`LogRecord::Batch`] append (batched execution — one WAL append for N
     /// bindings).
-    fn flush_log(
+    fn append_changes(
         ctl: &mut Control,
         txn: TxnId,
         log: Vec<LogRecord>,
@@ -691,7 +796,7 @@ impl Database {
                 }
             }
         }
-        let flushed = Self::flush_log(&mut ctl, txn, log, true, &mut local);
+        let flushed = Self::append_changes(&mut ctl, txn, log, true, &mut local);
         Self::vacuum_if_bloated(&mut catalog, &ctl, &prepared.stmt, &mut local);
         drop(ctl);
         drop(catalog);
@@ -1077,11 +1182,15 @@ impl Database {
                 })
                 .collect();
             let mut local = OpStats::default();
-            ctl.wal.checkpoint(snapshot, &mut local);
+            // On a durable log this rotates the segment (write the new one,
+            // fsync, atomic rename) before the old records are discarded; a
+            // failure leaves the old log intact and surfaces here.
+            let rotated = ctl.wal.checkpoint(snapshot, &mut local);
             wal_bytes = local.wal_bytes;
             drop(ctl);
             drop(catalog);
             self.stats.record(&local);
+            rotated?;
         }
         // Checkpoints double as the engine's full vacuum pass: prune every
         // version no live snapshot can observe. This needs the write guard,

@@ -37,6 +37,16 @@ pub enum Error {
     /// never produces it. Not retryable on the same connection — callers
     /// holding a pool should discard the connection and take a fresh one.
     Net(String),
+    /// A durable-log IO operation failed: a write or fsync against the log
+    /// device errored, or the log writer is poisoned by an earlier such
+    /// failure. A commit that surfaces this was **not** acknowledged as
+    /// durable; the database stays readable but accepts no further commits
+    /// until reopened.
+    Io(String),
+    /// The durable log is damaged: a record in the non-tail region of the
+    /// segment failed its checksum or decoded to garbage. Recovery refuses to
+    /// guess — it fails loudly rather than silently dropping committed data.
+    Corruption(String),
     /// Catch-all for internal invariant violations. Seeing this is a bug.
     Internal(String),
 }
@@ -96,6 +106,16 @@ impl Error {
         Error::Net(msg.into())
     }
 
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Corruption`].
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
     /// Classifies the error into the coarse [`ErrorClass`] taxonomy.
     pub fn class(&self) -> ErrorClass {
         match self {
@@ -106,7 +126,11 @@ impl Error {
             | Error::Parse(_)
             | Error::TxnClosed(_) => ErrorClass::Logic,
             Error::Constraint(_) => ErrorClass::Constraint,
-            Error::Wal(_) | Error::Net(_) | Error::Internal(_) => ErrorClass::Internal,
+            Error::Wal(_)
+            | Error::Net(_)
+            | Error::Io(_)
+            | Error::Corruption(_)
+            | Error::Internal(_) => ErrorClass::Internal,
         }
     }
 
@@ -131,6 +155,8 @@ impl fmt::Display for Error {
             Error::TxnClosed(s) => write!(f, "transaction closed: {s}"),
             Error::Wal(s) => write!(f, "wal error: {s}"),
             Error::Net(s) => write!(f, "network error: {s}"),
+            Error::Io(s) => write!(f, "io error: {s}"),
+            Error::Corruption(s) => write!(f, "corruption detected: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -174,6 +200,10 @@ mod tests {
         assert_eq!(Error::Wal("bad record".into()).class(), ErrorClass::Internal);
         assert_eq!(Error::net("connection reset").class(), ErrorClass::Internal);
         assert!(!Error::net("truncated frame").is_retryable());
+        assert_eq!(Error::io("fsync failed").class(), ErrorClass::Internal);
+        assert!(!Error::io("fsync failed").is_retryable());
+        assert_eq!(Error::corruption("bad crc").class(), ErrorClass::Internal);
+        assert!(!Error::corruption("bad crc").is_retryable());
         assert_eq!(Error::internal("bug").class(), ErrorClass::Internal);
     }
 

@@ -213,6 +213,61 @@
 //!   `cache_hits` / `cache_misses` in [`OpStats`]; `statements_parsed`
 //!   advances only on misses.
 //!
+//! ## Durability & recovery
+//!
+//! By default the engine is embedded and volatile: [`Database::new`] keeps
+//! the WAL in memory, which is exactly right for the simulation workloads.
+//! [`Database::open_durable`](db::Database::open_durable) instead backs the
+//! WAL with a real on-disk log — length-prefixed, CRC-checksummed records
+//! behind the pluggable [`LogDevice`] trait (see [`io`]) — and replays it on
+//! open, so the catalog survives a crash:
+//!
+//! ```
+//! use relstore::Database;
+//!
+//! let path = std::env::temp_dir().join(format!("relstore_doc_{}.wal", std::process::id()));
+//! # let _ = std::fs::remove_file(&path);
+//! {
+//!     let db = Database::open_durable(&path)?;
+//!     db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+//!     db.execute("INSERT INTO jobs VALUES (1, 'idle')")?;
+//!     // The process "crashes" here: the Database is dropped without a
+//!     // checkpoint or any explicit shutdown.
+//! }
+//! let db = Database::open_durable(&path)?;
+//! assert_eq!(db.table_len("jobs")?, 1);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The moving parts:
+//!
+//! * **[`DurabilityPolicy`]** chooses when the log fsyncs:
+//!   [`Always`](DurabilityPolicy::Always) (force-at-commit, the
+//!   `open_durable` default), [`Batch(n)`](DurabilityPolicy::Batch) (sync
+//!   every `n` commits — bounded loss, group-commit throughput), or
+//!   [`Checkpoint`](DurabilityPolicy::Checkpoint) (sync only at checkpoints
+//!   and explicit [`flush_log`](db::Database::flush_log) calls).
+//! * **Torn tails are repaired; corruption is refused.** A crash mid-append
+//!   leaves a partial record at the tail: recovery truncates it and yields
+//!   exactly the committed prefix (`recovery_truncated_bytes` in [`OpStats`]
+//!   records how much). A checksum mismatch *before* the tail is damage, not
+//!   a torn write — recovery fails loudly with [`Error::Corruption`] rather
+//!   than guess; it never panics and never silently drops committed data.
+//! * **A failed fsync poisons the writer.** If the device errors on sync,
+//!   the commit that needed it returns [`Error::Io`] and every later commit
+//!   fails too — the engine never acknowledges a commit whose bytes may not
+//!   have reached disk. Reopening the database recovers the durable prefix.
+//! * **Checkpoints rotate atomically.** [`Database::checkpoint`](db::Database::checkpoint)
+//!   writes the compacted snapshot to a fresh segment and swaps it in with an
+//!   atomic rename, so a crash mid-checkpoint always leaves one intact log:
+//!   either the full old one or the complete new one.
+//! * **Fault injection is built in.** [`Failpoints`]
+//!   ([`Database::failpoints`](db::Database::failpoints)) arms named IO
+//!   failure modes — short writes, torn writes, fsync errors, crashes — for
+//!   deterministic crash-recovery tests; disarmed checks are a single atomic
+//!   load.
+//!
 //! ## Errors
 //!
 //! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
@@ -238,6 +293,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod index;
+pub mod io;
 pub mod mvcc;
 pub mod predicate;
 pub mod schema;
@@ -253,6 +309,7 @@ pub mod wal;
 pub use convert::{FromRow, FromValue, IntoParams, RowView, ToStatement};
 pub use db::{Database, ExecResult, Prepared};
 pub use error::{Error, ErrorClass, Result};
+pub use io::{DurabilityPolicy, FailAction, Failpoints, FsDevice, LogDevice, MemDevice};
 pub use mvcc::{RowVersion, Snapshot};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};

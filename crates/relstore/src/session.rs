@@ -32,6 +32,12 @@ use crate::wal::TxnId;
 /// it embedded, and the `wire` crate's client and pool apply it remotely
 /// (the wire protocol transports error classes, so retryability is
 /// transport-agnostic).
+///
+/// Durability failures are deliberately **not** retryable: an
+/// [`Error::Io`] from a failed fsync poisons the log writer (retrying
+/// could acknowledge a commit whose bytes never reached disk), and
+/// [`Error::Corruption`] reports damaged on-disk state that no retry can
+/// repair.
 pub fn retry_with_backoff<T>(attempts: usize, mut f: impl FnMut() -> Result<T>) -> Result<T> {
     const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_micros(50);
     const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
@@ -755,6 +761,24 @@ mod tests {
             .unwrap_err();
         assert_eq!(calls, 1);
         assert_eq!(err.class(), crate::ErrorClass::Constraint);
+    }
+
+    #[test]
+    fn durability_failures_are_never_retried() {
+        // A failed fsync poisons the log writer and a corrupt log needs
+        // operator intervention — retrying either would be wrong, so both
+        // must propagate on the first attempt.
+        for err in [Error::io("fsync failed"), Error::corruption("bad crc")] {
+            let mut calls = 0;
+            let got = retry_with_backoff(5, || -> Result<()> {
+                calls += 1;
+                Err(err.clone())
+            })
+            .unwrap_err();
+            assert_eq!(calls, 1);
+            assert!(!got.is_retryable());
+            assert_eq!(got, err);
+        }
     }
 
     #[test]

@@ -67,6 +67,21 @@ pub struct OpStats {
     /// like [`OpStats::max_version_chain`]: `merge` takes the max and
     /// `delta_since` reports the current mark, not a difference.
     pub active_connections: u64,
+    /// Fsyncs issued against the durable log device (commit syncs, explicit
+    /// flushes and checkpoint rotations). Always zero for in-memory logs.
+    pub wal_fsyncs: u64,
+    /// Log segments rotated: checkpoints that replaced the on-disk segment
+    /// with a fresh one via write-then-atomic-rename.
+    pub wal_segments_rotated: u64,
+    /// Bytes discarded from the tail of the log during recovery because a
+    /// crash left a partial (torn) record behind.
+    pub recovery_truncated_bytes: u64,
+    /// Checksum or decode failures detected in the non-tail region of a log
+    /// segment. Any non-zero value accompanied an [`crate::Error::Corruption`].
+    pub corruption_detected: u64,
+    /// Failpoints that fired in the durable-log IO path (test-only fault
+    /// injection; always zero in production use).
+    pub failpoints_hit: u64,
 }
 
 impl OpStats {
@@ -99,6 +114,12 @@ impl OpStats {
             net_bytes_out: self.net_bytes_out - earlier.net_bytes_out,
             frames_decoded: self.frames_decoded - earlier.frames_decoded,
             active_connections: self.active_connections,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            wal_segments_rotated: self.wal_segments_rotated - earlier.wal_segments_rotated,
+            recovery_truncated_bytes: self.recovery_truncated_bytes
+                - earlier.recovery_truncated_bytes,
+            corruption_detected: self.corruption_detected - earlier.corruption_detected,
+            failpoints_hit: self.failpoints_hit - earlier.failpoints_hit,
         }
     }
 
@@ -139,6 +160,11 @@ impl OpStats {
         self.net_bytes_out += other.net_bytes_out;
         self.frames_decoded += other.frames_decoded;
         self.active_connections = self.active_connections.max(other.active_connections);
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.wal_segments_rotated += other.wal_segments_rotated;
+        self.recovery_truncated_bytes += other.recovery_truncated_bytes;
+        self.corruption_detected += other.corruption_detected;
+        self.failpoints_hit += other.failpoints_hit;
     }
 }
 
@@ -177,6 +203,11 @@ pub struct SharedStats {
     net_bytes_out: AtomicU64,
     frames_decoded: AtomicU64,
     active_connections: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_segments_rotated: AtomicU64,
+    recovery_truncated_bytes: AtomicU64,
+    corruption_detected: AtomicU64,
+    failpoints_hit: AtomicU64,
 }
 
 impl SharedStats {
@@ -219,6 +250,11 @@ impl SharedStats {
             self.active_connections
                 .fetch_max(delta.active_connections, Ordering::Relaxed);
         }
+        add(&self.wal_fsyncs, delta.wal_fsyncs);
+        add(&self.wal_segments_rotated, delta.wal_segments_rotated);
+        add(&self.recovery_truncated_bytes, delta.recovery_truncated_bytes);
+        add(&self.corruption_detected, delta.corruption_detected);
+        add(&self.failpoints_hit, delta.failpoints_hit);
     }
 
     /// Copies the current totals into a plain [`OpStats`] value.
@@ -248,6 +284,11 @@ impl SharedStats {
             net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
             frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_segments_rotated: self.wal_segments_rotated.load(Ordering::Relaxed),
+            recovery_truncated_bytes: self.recovery_truncated_bytes.load(Ordering::Relaxed),
+            corruption_detected: self.corruption_detected.load(Ordering::Relaxed),
+            failpoints_hit: self.failpoints_hit.load(Ordering::Relaxed),
         }
     }
 }
@@ -442,6 +483,49 @@ mod tests {
         });
         assert_eq!(d.net_bytes_in, 50);
         assert_eq!(d.active_connections, 3, "delta reports the current mark");
+    }
+
+    #[test]
+    fn durability_counters_flow_through_delta_merge_and_shared() {
+        let mut a = OpStats {
+            wal_fsyncs: 4,
+            wal_segments_rotated: 1,
+            ..Default::default()
+        };
+        let b = OpStats {
+            wal_fsyncs: 2,
+            recovery_truncated_bytes: 17,
+            corruption_detected: 1,
+            failpoints_hit: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.wal_fsyncs, 6);
+        assert_eq!(a.wal_segments_rotated, 1);
+        assert_eq!(a.recovery_truncated_bytes, 17);
+        assert_eq!(a.corruption_detected, 1);
+        assert_eq!(a.failpoints_hit, 3);
+
+        let shared = SharedStats::default();
+        shared.record(&a);
+        shared.record(&OpStats {
+            wal_fsyncs: 1,
+            wal_segments_rotated: 2,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.wal_fsyncs, 7);
+        assert_eq!(snap.wal_segments_rotated, 3);
+        assert_eq!(snap.recovery_truncated_bytes, 17);
+
+        let d = snap.delta_since(&OpStats {
+            wal_fsyncs: 5,
+            corruption_detected: 1,
+            ..Default::default()
+        });
+        assert_eq!(d.wal_fsyncs, 2);
+        assert_eq!(d.corruption_detected, 0);
+        assert_eq!(d.failpoints_hit, 3);
     }
 
     #[test]

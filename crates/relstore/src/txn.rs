@@ -183,6 +183,15 @@ impl TxnManager {
         TxnManager::default()
     }
 
+    /// Ensures every future transaction id is greater than `id`. Called
+    /// after recovery: the replayed log already mentions ids up to `id`, and
+    /// a new transaction reusing one would collide with a logged Commit
+    /// record, making its uncommitted changes look committed on the next
+    /// recovery.
+    pub fn advance_past(&mut self, id: u64) {
+        self.next_id = self.next_id.max(id);
+    }
+
     /// Begins a new transaction, stamping it with a snapshot of the current
     /// commit state: transactions in flight right now (and any that begin
     /// later) stay invisible to it for its whole lifetime.

@@ -9,12 +9,15 @@
 //! just the job queue.
 
 use crate::error::{Error, Result};
+use crate::io::record::{encode_record, encode_segment, segment_header};
+use crate::io::{decode_segment, points, DurabilityPolicy, FailAction, Failpoints, LogDevice};
 use crate::schema::Schema;
 use crate::stats::OpStats;
 use crate::table::Table;
 use crate::tuple::{Row, RowId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Transaction identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -130,27 +133,271 @@ impl LogRecord {
     }
 }
 
-/// The in-memory write-ahead log.
+/// The durable sink behind a [`Wal`], present only for databases opened
+/// through [`crate::Database::open_durable`] and friends.
 ///
-/// The simulated deployment never touches a real disk; durability is modelled
-/// by the IO cycle cost the application-server cost model charges per appended
-/// byte, and recovery correctness is exercised by rebuilding the database from
-/// the log in tests and failure-injection experiments.
-#[derive(Debug, Default, Clone)]
+/// Device failures do not surface from [`Wal::append`] (whose ~30 call sites
+/// treat appending as infallible); instead the first failure **poisons** the
+/// sink, and every later [`Wal::commit_sync`] / [`Wal::flush`] /
+/// [`Wal::checkpoint`] returns that error. The net effect is the guarantee
+/// that matters: once a write or fsync has failed, no commit is ever again
+/// acknowledged, even though the in-memory engine stays readable.
+#[derive(Debug)]
+struct DurableLog {
+    device: Box<dyn LogDevice>,
+    policy: DurabilityPolicy,
+    failpoints: Arc<Failpoints>,
+    /// The first device error, replayed to every subsequent durability call.
+    poisoned: Option<Error>,
+    /// Commits acknowledged since the last successful sync.
+    unsynced_commits: usize,
+}
+
+impl DurableLog {
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(e) => Err(Error::io(format!("log writer poisoned by earlier failure: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Mirrors one record onto the device. Errors poison the sink instead of
+    /// propagating; `commit_sync` surfaces them before any acknowledgement.
+    fn append_record(&mut self, record: &LogRecord, stats: &mut OpStats) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        let bytes = encode_record(record);
+        let result = match self.failpoints.check(points::WAL_APPEND) {
+            Some(action) => {
+                stats.failpoints_hit += 1;
+                self.injected_append(action, &bytes)
+            }
+            None => self.device.append(&bytes),
+        };
+        if let Err(e) = result {
+            self.poisoned = Some(e);
+        }
+    }
+
+    fn injected_append(&mut self, action: FailAction, bytes: &[u8]) -> Result<()> {
+        match action {
+            FailAction::ShortWrite(k) => {
+                // A partial write(2) then an IO error: k bytes sit in the
+                // device's volatile buffer, nothing is durable.
+                let k = k.min(bytes.len());
+                self.device.append(&bytes[..k])?;
+                Err(Error::io(format!(
+                    "injected short write: {k} of {} byte(s)",
+                    bytes.len()
+                )))
+            }
+            FailAction::TornWrite(k) => {
+                // Power loss mid-append with the prefix already persisted:
+                // the canonical torn tail recovery must repair.
+                let k = k.min(bytes.len());
+                self.device.append(&bytes[..k])?;
+                self.device.sync()?;
+                self.device.crash();
+                Err(Error::io(format!(
+                    "injected torn write: {k} of {} byte(s) persisted",
+                    bytes.len()
+                )))
+            }
+            FailAction::Err => Err(Error::io("injected append error")),
+            FailAction::Crash => {
+                // The write lands in the volatile buffer, then the machine
+                // dies before any sync: recovery must not see the record.
+                self.device.append(bytes)?;
+                self.device.crash();
+                Err(Error::io("injected crash after write, before sync"))
+            }
+        }
+    }
+
+    /// Durability barrier. Success resets the unsynced-commit window;
+    /// failure poisons the sink.
+    fn sync(&mut self, stats: &mut OpStats) -> Result<()> {
+        self.check_poisoned()?;
+        let result = match self.failpoints.check(points::WAL_SYNC) {
+            Some(FailAction::Crash) => {
+                stats.failpoints_hit += 1;
+                self.device.crash();
+                Err(Error::io("injected crash before fsync"))
+            }
+            Some(_) => {
+                stats.failpoints_hit += 1;
+                Err(Error::io("injected fsync failure"))
+            }
+            None => self.device.sync(),
+        };
+        match result {
+            Ok(()) => {
+                stats.wal_fsyncs += 1;
+                self.unsynced_commits = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Called once per commit: surfaces any poisoning, then syncs if the
+    /// policy's window is full.
+    fn note_commit(&mut self, stats: &mut OpStats) -> Result<()> {
+        self.check_poisoned()?;
+        self.unsynced_commits += 1;
+        match self.policy.commits_per_sync() {
+            Some(n) if self.unsynced_commits >= n => self.sync(stats),
+            _ => Ok(()),
+        }
+    }
+
+    /// Checkpoint rotation: writes a fresh segment holding only `record`
+    /// (the checkpoint) and atomically swaps it over the old one.
+    fn rotate(&mut self, record: &LogRecord, stats: &mut OpStats) -> Result<()> {
+        self.check_poisoned()?;
+        let bytes = encode_segment(std::iter::once(record));
+        let result = match self.failpoints.check(points::WAL_ROTATE) {
+            Some(FailAction::Crash) | Some(FailAction::TornWrite(_)) => {
+                stats.failpoints_hit += 1;
+                self.device.crash();
+                Err(Error::io("injected crash during segment rotation"))
+            }
+            Some(_) => {
+                stats.failpoints_hit += 1;
+                Err(Error::io("injected segment rotation failure"))
+            }
+            None => self.device.replace(&bytes),
+        };
+        match result {
+            Ok(()) => {
+                // replace() is durable by contract (sync + rename + dir sync).
+                stats.wal_fsyncs += 1;
+                stats.wal_segments_rotated += 1;
+                self.unsynced_commits = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The write-ahead log.
+///
+/// By default the log is in-memory only — the simulated deployment models
+/// durability by the IO cycle cost the application-server cost model charges
+/// per appended byte. A database opened through
+/// [`crate::Database::open_durable`] additionally mirrors every record onto a
+/// [`LogDevice`] as a checksummed binary segment (see [`crate::io`]), from
+/// which [`Wal::open_device`] rebuilds the log after a crash.
+#[derive(Debug, Default)]
 pub struct Wal {
     records: Vec<(Lsn, LogRecord)>,
     next_lsn: u64,
     total_bytes: u64,
+    durable: Option<DurableLog>,
+}
+
+impl Clone for Wal {
+    /// Clones the retained records only: the clone is a mem-only snapshot of
+    /// the log (used by [`crate::Database::snapshot_wal`]) and never owns
+    /// the durable device.
+    fn clone(&self) -> Self {
+        Wal {
+            records: self.records.clone(),
+            next_lsn: self.next_lsn,
+            total_bytes: self.total_bytes,
+            durable: None,
+        }
+    }
 }
 
 impl Wal {
-    /// Creates an empty log.
+    /// Creates an empty in-memory log.
     pub fn new() -> Self {
         Wal::default()
     }
 
-    /// Appends a record, returning its LSN.
-    pub fn append(&mut self, record: LogRecord, stats: &mut OpStats) -> Lsn {
+    /// Opens a durable log over `device`, recovering its retained records.
+    ///
+    /// The device's durable contents are scanned with
+    /// [`decode_segment`]: a torn tail is truncated off the device (counted
+    /// in `stats.recovery_truncated_bytes`), mid-log corruption surfaces as
+    /// [`Error::Corruption`]. A fresh device gets a segment header written.
+    pub fn open_device(
+        mut device: Box<dyn LogDevice>,
+        policy: DurabilityPolicy,
+        failpoints: Arc<Failpoints>,
+        stats: &mut OpStats,
+    ) -> Result<Wal> {
+        let bytes = device.durable_contents()?;
+        let decoded = decode_segment(&bytes, stats)?;
+        if decoded.valid_len < device.len() {
+            device.truncate(decoded.valid_len)?;
+        }
+        if decoded.valid_len == 0 {
+            device.append(&segment_header())?;
+        }
+        let mut wal = Wal {
+            records: Vec::new(),
+            next_lsn: 0,
+            total_bytes: 0,
+            durable: Some(DurableLog {
+                device,
+                policy,
+                failpoints,
+                poisoned: None,
+                unsynced_commits: 0,
+            }),
+        };
+        // Replaying into the in-memory view is not new appended work; keep
+        // it out of the caller-visible wal_records/wal_bytes counters.
+        let mut scratch = OpStats::default();
+        for record in decoded.records {
+            wal.push_mem(record, &mut scratch);
+        }
+        Ok(wal)
+    }
+
+    /// True when this log mirrors appends onto a durable device.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The bytes a crash right now would leave on the durable device, or
+    /// [`Error::Wal`] for an in-memory log. Works even after the device has
+    /// died (it is the post-mortem view used by crash tests).
+    pub fn durable_contents(&self) -> Result<Vec<u8>> {
+        match &self.durable {
+            Some(d) => d.device.durable_contents(),
+            None => Err(Error::Wal("log has no durable device".into())),
+        }
+    }
+
+    /// The largest transaction id mentioned anywhere in the retained
+    /// records. After recovery the transaction manager must allocate past
+    /// this, or a new transaction could collide with a logged one and make
+    /// its uncommitted changes look committed.
+    pub fn max_txn_id(&self) -> u64 {
+        fn walk(rec: &LogRecord) -> u64 {
+            let own = rec.txn().map(|t| t.0).unwrap_or(0);
+            match rec {
+                LogRecord::Batch { changes, .. } => {
+                    changes.iter().map(walk).fold(own, u64::max)
+                }
+                _ => own,
+            }
+        }
+        self.records.iter().map(|(_, r)| walk(r)).max().unwrap_or(0)
+    }
+
+    fn push_mem(&mut self, record: LogRecord, stats: &mut OpStats) -> Lsn {
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
         let size = record.approx_size() as u64;
@@ -159,6 +406,39 @@ impl Wal {
         stats.wal_bytes += size;
         self.records.push((lsn, record));
         lsn
+    }
+
+    /// Appends a record, returning its LSN.
+    ///
+    /// For a durable log the record is also framed and written to the
+    /// device. A device failure does **not** surface here — it poisons the
+    /// writer, and [`Wal::commit_sync`] reports it before the enclosing
+    /// commit can be acknowledged.
+    pub fn append(&mut self, record: LogRecord, stats: &mut OpStats) -> Lsn {
+        if let Some(d) = &mut self.durable {
+            d.append_record(&record, stats);
+        }
+        self.push_mem(record, stats)
+    }
+
+    /// Called by the database once per commit, after the Commit record is
+    /// appended: surfaces any poisoning and applies the
+    /// [`DurabilityPolicy`]'s fsync schedule. An `Err` here means the commit
+    /// was **not** acknowledged as durable.
+    pub fn commit_sync(&mut self, stats: &mut OpStats) -> Result<()> {
+        match &mut self.durable {
+            Some(d) => d.note_commit(stats),
+            None => Ok(()),
+        }
+    }
+
+    /// Forces everything appended so far onto stable storage (no-op for an
+    /// in-memory log).
+    pub fn flush(&mut self, stats: &mut OpStats) -> Result<()> {
+        match &mut self.durable {
+            Some(d) => d.sync(stats),
+            None => Ok(()),
+        }
     }
 
     /// Number of records currently retained.
@@ -183,10 +463,28 @@ impl Wal {
 
     /// Writes a checkpoint record containing `snapshot` and discards all
     /// earlier records. Returns the LSN of the checkpoint.
-    pub fn checkpoint(&mut self, snapshot: Vec<TableSnapshot>, stats: &mut OpStats) -> Lsn {
+    ///
+    /// On a durable log this is a **segment rotation**: the new segment
+    /// (holding just the checkpoint record) is written beside the old one,
+    /// fsynced, and atomically renamed over it *before* the retained records
+    /// are discarded — a crash at any instant finds either the old complete
+    /// log or the new complete snapshot, never neither.
+    pub fn checkpoint(
+        &mut self,
+        snapshot: Vec<TableSnapshot>,
+        stats: &mut OpStats,
+    ) -> Result<Lsn> {
+        let record = LogRecord::Checkpoint { snapshot };
+        if let Some(d) = &mut self.durable {
+            d.rotate(&record, stats)?;
+        }
+        // Only now, with the new segment durable (or trivially, in memory),
+        // is it safe to drop the old records.
         self.records.clear();
         stats.checkpoints += 1;
-        self.append(LogRecord::Checkpoint { snapshot }, stats)
+        // The rotation already wrote the record to the device; mirror it
+        // into the in-memory view only.
+        Ok(self.push_mem(record, stats))
     }
 
     /// Rebuilds the full set of tables implied by the retained log records:
@@ -440,7 +738,7 @@ mod tests {
                 },
             })
             .collect();
-        wal.checkpoint(snapshot, &mut stats);
+        wal.checkpoint(snapshot, &mut stats).unwrap();
         assert!(wal.len() < before_len);
         assert_eq!(stats.checkpoints, 1);
 

@@ -534,13 +534,31 @@ impl ClientPool {
     /// failed. The pooled analogue of [`relstore::Session::with_retries`];
     /// a server's busy handshake ([`Error::Busy`]) is retryable, so a full
     /// server backs callers off rather than failing them.
+    ///
+    /// Transport failures ([`Error::Net`]) are retried here too — the
+    /// broken connection is discarded on return, so the next attempt dials
+    /// or reuses a healthy one. That covers a server-side idle reap or
+    /// stall timeout transparently, but it also means `f` may run again
+    /// after a request whose fate is unknown (the socket died after the
+    /// request was sent): keep `f` idempotent, or use a bare [`Client`]
+    /// where a transport error must surface as-is.
     pub fn with_retries<T>(
         &self,
         attempts: usize,
         mut f: impl FnMut(&mut Client) -> Result<T>,
     ) -> Result<T> {
         relstore::retry_with_backoff(attempts, || {
-            self.get().and_then(|mut conn| f(&mut conn))
+            self.get()
+                .and_then(|mut conn| f(&mut conn))
+                .map_err(|e| match e {
+                    // Error::Net is not retryable in general (a bare client
+                    // cannot recover its connection), but the pool can:
+                    // reclassify so the backoff loop takes a fresh one.
+                    Error::Net(msg) => {
+                        Error::busy(format!("transport failure on pooled connection: {msg}"))
+                    }
+                    other => other,
+                })
         })
     }
 }

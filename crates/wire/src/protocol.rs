@@ -149,6 +149,8 @@ fn error_variant(e: &Error) -> (u8, &str) {
         Error::Wal(s) => (8, s),
         Error::Net(s) => (9, s),
         Error::Internal(s) => (10, s),
+        Error::Io(s) => (11, s),
+        Error::Corruption(s) => (12, s),
     }
 }
 
@@ -184,6 +186,8 @@ fn get_error(r: &mut Reader<'_>) -> Result<Error> {
         8 => Error::Wal(msg),
         9 => Error::Net(msg),
         10 => Error::Internal(msg),
+        11 => Error::Io(msg),
+        12 => Error::Corruption(msg),
         // A variant from a newer peer: fall back on the transported class so
         // at least retryability survives.
         _ => match class {
@@ -656,6 +660,8 @@ mod tests {
             Error::not_found("jobs"),
             Error::net("reset"),
             Error::internal("bug"),
+            Error::io("fsync failed"),
+            Error::corruption("bad crc"),
         ] {
             let decoded = match Response::decode(&Response::Err(e.clone()).encode()).unwrap() {
                 Response::Err(d) => d,

@@ -19,6 +19,13 @@
 //! Sockets are polled with a short read timeout so idle connections observe
 //! the shutdown flag at frame boundaries; a frame whose bytes have started
 //! arriving is always read and answered before the connection closes.
+//!
+//! A stalled or vanished client cannot pin a worker thread: a connection
+//! silent past [`ServerConfig::idle_timeout`] at a frame boundary is reaped
+//! (closed quietly, its open transaction rolled back), a peer that stalls
+//! mid-frame past [`ServerConfig::read_timeout`] fails the connection with
+//! a transport error, and [`ServerConfig::write_timeout`] bounds how long a
+//! response write may block on a full receive window.
 
 use crate::protocol::{
     self, write_frame, HandshakeStatus, Request, Response, StmtRef, VERSION,
@@ -50,6 +57,21 @@ pub struct ServerConfig {
     /// Socket read timeout used to poll the shutdown flag at frame
     /// boundaries; bounds how long shutdown waits for idle connections.
     pub poll_interval: Duration,
+    /// A connection that sends nothing for this long at a frame boundary is
+    /// reaped: closed quietly, its open transaction rolled back, and its
+    /// worker thread freed. The client sees the close as a transport error
+    /// on its next request; [`crate::ClientPool::with_retries`] turns that
+    /// into a retry on a fresh connection.
+    pub idle_timeout: Duration,
+    /// Once a frame has *started* arriving, the peer must keep making
+    /// progress: a stall longer than this mid-frame fails the connection
+    /// with [`Error::Net`] instead of pinning the worker forever. The timer
+    /// resets on every successful read.
+    pub read_timeout: Duration,
+    /// OS-level socket write timeout: a peer that stops draining its
+    /// receive window fails the in-flight response rather than blocking the
+    /// worker indefinitely.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +81,9 @@ impl Default for ServerConfig {
             max_connections: 64,
             page_rows: 256,
             poll_interval: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -109,6 +134,11 @@ pub fn serve_with(
         workers: config.workers.max(1),
         max_connections: config.max_connections.max(1),
         page_rows: config.page_rows.max(1),
+        // Zero would disarm the OS write timeout (set_write_timeout rejects
+        // it) or make every boundary wait an instant reap.
+        idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+        read_timeout: config.read_timeout.max(Duration::from_millis(1)),
+        write_timeout: config.write_timeout.max(Duration::from_millis(1)),
         ..config
     };
     let listener = TcpListener::bind(addr).map_err(protocol::io_err)?;
@@ -277,6 +307,7 @@ struct ConnState {
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut conn = ConnState {
         stmts: HashMap::new(),
         next_stmt: 1,
@@ -518,10 +549,14 @@ fn write_query(stream: &mut TcpStream, q: &QueryResult, page_rows: usize) -> Res
 // --- polled socket reads -----------------------------------------------------
 
 /// Reads exactly `buf.len()` bytes, looping over the read timeout. Returns
-/// `Ok(false)` — without an error — when the connection closed cleanly or
-/// the server began shutting down *before the first byte arrived* (and
+/// `Ok(false)` — without an error — when the connection closed cleanly, the
+/// server began shutting down, or the peer sat idle past
+/// [`ServerConfig::idle_timeout`], all *before the first byte arrived* (and
 /// `allow_idle_exit` is set); once a unit has started arriving it is always
-/// read to completion, so shutdown never truncates an in-flight frame.
+/// read to completion — or fails with [`Error::Net`] if the peer stalls
+/// mid-unit longer than [`ServerConfig::read_timeout`] — so neither
+/// shutdown nor a vanished client can truncate an in-flight frame or pin a
+/// worker thread forever.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
@@ -529,6 +564,7 @@ fn read_full(
     allow_idle_exit: bool,
 ) -> Result<bool> {
     let mut filled = 0usize;
+    let mut last_progress = std::time::Instant::now();
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -537,15 +573,28 @@ fn read_full(
                 }
                 return Err(Error::net("connection closed mid-frame"));
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                last_progress = std::time::Instant::now();
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if filled == 0 && allow_idle_exit && shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(false);
+                if filled == 0 && allow_idle_exit {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(false);
+                    }
+                    if last_progress.elapsed() >= shared.config.idle_timeout {
+                        return Ok(false); // idle reap: quiet close
+                    }
+                } else if last_progress.elapsed() >= shared.config.read_timeout {
+                    return Err(Error::net(format!(
+                        "peer stalled mid-frame for over {:?}",
+                        shared.config.read_timeout
+                    )));
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}

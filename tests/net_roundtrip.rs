@@ -334,3 +334,110 @@ fn shutdown_drains_in_flight_statements() {
     // The port no longer accepts relstore connections.
     assert!(Client::connect(addr).is_err());
 }
+
+/// A client that goes silent at a frame boundary is reaped after
+/// `idle_timeout`: its open transaction rolls back, its worker thread frees
+/// up for other connections, and the pool recovers transparently — the
+/// closed socket surfaces as a transport error that `with_retries`
+/// reclassifies as retryable, so the next attempt rides a fresh connection.
+#[test]
+fn idle_connections_are_reaped_and_the_pool_recovers() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    // One worker: until the idle connection is reaped, nobody else gets
+    // served, so the second client succeeding proves the worker was freed.
+    let server = serve_with(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            poll_interval: std::time::Duration::from_millis(5),
+            idle_timeout: std::time::Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let pool = ClientPool::new(server.local_addr().to_string(), 1);
+    {
+        let mut conn = pool.get().unwrap();
+        conn.begin().unwrap();
+        conn.execute("UPDATE t SET v = 99 WHERE id = 1", ()).unwrap();
+        // Hold the connection open and idle, past the idle timeout, while
+        // it still owns the table lock and the only worker.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        // The server has reaped the connection; the next request on it
+        // fails with a transport error and marks the client broken.
+        let err = conn
+            .query("SELECT v FROM t WHERE id = 1", ())
+            .unwrap_err();
+        assert!(matches!(err, Error::Net(_)), "expected a transport error: {err}");
+        assert!(conn.is_broken());
+        // Dropped here: the pool discards it instead of reusing it.
+    }
+    assert_eq!(pool.open_connections(), 0, "the reaped connection was discarded");
+
+    // The reap rolled the transaction back (update gone, lock released) and
+    // freed the worker: a fresh pooled connection is served immediately.
+    pool.with_retries(10, |c| c.execute("UPDATE t SET v = 1 WHERE id = 1", ()))
+        .unwrap();
+    let mut conn = pool.get().unwrap();
+    let v: Vec<i64> = conn.query_scalars("SELECT v FROM t WHERE id = 1", ()).unwrap();
+    assert_eq!(v, vec![1], "the reaped connection's transaction rolled back");
+    drop(conn);
+    server.shutdown();
+}
+
+/// A peer that starts a frame and then stalls cannot pin a worker: after
+/// `read_timeout` without progress the server fails the connection and the
+/// worker moves on to the next client.
+#[test]
+fn stalled_mid_frame_client_cannot_pin_the_worker() {
+    use std::io::Write;
+
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let server = serve_with(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            poll_interval: std::time::Duration::from_millis(5),
+            read_timeout: std::time::Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A hand-rolled client: complete the handshake, then announce a frame
+    // and send only part of it, stalling forever mid-frame.
+    let mut stalled = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    wire::protocol::write_hello(&mut stalled).unwrap();
+    wire::protocol::read_handshake_response(&mut stalled).unwrap();
+    stalled.write_all(&64u32.to_le_bytes()).unwrap(); // frame of 64 bytes...
+    stalled.write_all(&[1, 2, 3]).unwrap(); // ...of which only 3 arrive
+    stalled.flush().unwrap();
+
+    // The single worker is pinned until the stall timeout fires; then this
+    // well-behaved client gets served. Bound the whole wait so a regression
+    // fails the test rather than hanging it.
+    let addr = server.local_addr();
+    let served = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let n: Vec<i64> = client.query_scalars("SELECT id FROM t", ()).unwrap();
+        assert_eq!(n, vec![1]);
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !served.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled client pinned the worker past the read timeout"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    served.join().unwrap();
+    drop(stalled);
+    server.shutdown();
+}
