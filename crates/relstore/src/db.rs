@@ -36,9 +36,21 @@
 //! read guard first and then their snapshot, which makes the snapshot
 //! race-free: any commit that lands after the guard is acquired simply is
 //! not in the snapshot, and its versions are filtered out by visibility.
+//!
+//! # Resource governance
+//!
+//! Every execution path has a `_governed` variant taking a
+//! [`Governance`]: statement deadlines and cooperative cancellation
+//! (checked every [`crate::govern::DEFAULT_CHECK_INTERVAL`] rows in all
+//! executor loops), row/byte result budgets, and bounded lock waits (a
+//! conflicted writer waits *before* taking the catalog write guard, so
+//! waiting never blocks readers). Abandoned transactions are reclaimed by
+//! [`Database::reap_idle`]. The ungoverned API runs with a disarmed
+//! governor whose per-row cost is a single branch.
 
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, TimeoutKind};
 use crate::exec::{execute_select_with, matching_row_ids_with, Catalog, QueryResult};
+use crate::govern::{Governance, Governor};
 use crate::io::{DurabilityPolicy, Failpoints, FsDevice, LogDevice};
 use crate::mvcc::Snapshot;
 use crate::predicate::Expr;
@@ -54,11 +66,18 @@ use crate::wal::{LogRecord, TableSnapshot, TxnId, Wal};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Dead (superseded or tombstoned) versions a table may accumulate before a
 /// write statement on it triggers a targeted vacuum sweep. Checkpoints sweep
 /// unconditionally.
 pub const VACUUM_DEAD_THRESHOLD: usize = 256;
+
+/// Polling quantum for bounded lock waits: a writer blocked on a table lock
+/// re-probes the lock table at most this often. The control mutex is *not*
+/// held between probes, so waiting writers never block readers, the lock
+/// holder's commit, or each other's book-keeping.
+const LOCK_WAIT_POLL: Duration = Duration::from_micros(500);
 
 /// The outcome of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +240,11 @@ pub struct Database {
     /// (one relaxed atomic load) when nothing is armed, which is always the
     /// case outside crash tests.
     failpoints: Arc<Failpoints>,
+    /// Database-wide default for how long a write statement waits on a
+    /// conflicted table lock before giving up. `ZERO` (the default) fails
+    /// fast with [`Error::LockConflict`], exactly the pre-governance
+    /// behaviour; a per-statement [`Governance::lock_wait`] overrides it.
+    lock_wait: Mutex<Duration>,
 }
 
 impl Database {
@@ -333,6 +357,15 @@ impl Database {
         self.stats.snapshot()
     }
 
+    /// The *current* horizon lag: how far the transaction-id high watermark
+    /// has advanced past the oldest live snapshot — the version backlog one
+    /// long-lived (possibly abandoned) transaction pins against vacuum.
+    /// Zero when nothing pins the horizon. [`OpStats::horizon_lag`] is this
+    /// value's high-water gauge.
+    pub fn horizon_lag(&self) -> u64 {
+        Self::horizon_lag_of(&self.ctl.lock())
+    }
+
     /// Names of all tables in the catalog.
     pub fn table_names(&self) -> Vec<String> {
         self.catalog.read().keys().cloned().collect()
@@ -369,12 +402,29 @@ impl Database {
     /// the `Begin` record is appended lazily with the transaction's first
     /// logged change, so read-only transactions never touch the log.
     pub fn begin(&self) -> TxnId {
-        let id = self.ctl.lock().txns.begin();
+        let (id, lag) = {
+            let mut ctl = self.ctl.lock();
+            let id = ctl.txns.begin();
+            (id, Self::horizon_lag_of(&ctl))
+        };
         self.stats.record(&OpStats {
             snapshots_taken: 1,
+            horizon_lag: lag,
             ..Default::default()
         });
         id
+    }
+
+    /// How far the transaction-id high watermark has advanced past the
+    /// oldest live snapshot — the version backlog a long-lived (possibly
+    /// abandoned) transaction pins. Zero when no snapshot is live.
+    fn horizon_lag_of(ctl: &Control) -> u64 {
+        let horizon = ctl.txns.snapshot_horizon();
+        if horizon == u64::MAX {
+            0
+        } else {
+            ctl.txns.high_watermark().saturating_sub(horizon)
+        }
     }
 
     /// Commits an explicit transaction and releases its locks. Transactions
@@ -404,6 +454,7 @@ impl Database {
             // Locks are released even when the sync failed — the engine
             // stays usable for reads and rollbacks.
             ctl.locks.release_all(txn);
+            local.horizon_lag = Self::horizon_lag_of(&ctl);
         }
         local.commits = 1;
         self.stats.record(&local);
@@ -417,10 +468,56 @@ impl Database {
     /// are re-opened, so aborted writes are never observable by any snapshot
     /// — visibility checks therefore never need a commit-status lookup.
     pub fn rollback(&self, txn: TxnId) -> Result<()> {
+        self.rollback_impl(txn, None).map(|_| ())
+    }
+
+    /// Aborts every transaction idle (no statement executed through it) for
+    /// at least `idle_for`, releasing its locks, undoing its versions and
+    /// appending its WAL `Abort` record — the reaper that keeps an abandoned
+    /// client from pinning the vacuum horizon or blocking checkpoints
+    /// forever. Returns the number of transactions reaped (counted in
+    /// [`OpStats::txns_reaped`]).
+    ///
+    /// Idleness is re-validated under the rollback guards, so a transaction
+    /// that executes a statement between the scan and the abort survives.
+    /// A reaped transaction's next operation fails with the same typed
+    /// inactive-transaction error a double rollback would produce.
+    pub fn reap_idle(&self, idle_for: Duration) -> usize {
+        let victims = self.ctl.lock().txns.idle_txns(idle_for);
+        let mut reaped = 0usize;
+        for txn in victims {
+            // Ok(false)/Err: still active after re-validation, or finished.
+            if let Ok(true) = self.rollback_impl(txn, Some(idle_for)) {
+                reaped += 1;
+            }
+        }
+        if reaped > 0 {
+            let lag = Self::horizon_lag_of(&self.ctl.lock());
+            self.stats.record(&OpStats {
+                txns_reaped: reaped as u64,
+                horizon_lag: lag,
+                ..Default::default()
+            });
+        }
+        reaped
+    }
+
+    /// Shared rollback machinery. With `only_if_idle` set the abort happens
+    /// only when the transaction is still active *and* has been idle that
+    /// long, checked under the guards (the reaper path); returns whether the
+    /// rollback was performed.
+    fn rollback_impl(&self, txn: TxnId, only_if_idle: Option<Duration>) -> Result<bool> {
         let mut local = OpStats::default();
         {
             let mut catalog = self.catalog.write();
             let mut ctl = self.ctl.lock();
+            if let Some(idle_for) = only_if_idle {
+                match ctl.txns.get_active(txn) {
+                    Ok(state) if state.last_activity.elapsed() < idle_for => return Ok(false),
+                    Err(_) => return Ok(false),
+                    Ok(_) => {}
+                }
+            }
             let state = ctl.txns.finish_abort(txn)?;
             // Undo in reverse order.
             for undo in state.undo.iter().rev() {
@@ -452,7 +549,7 @@ impl Database {
         }
         local.aborts = 1;
         self.stats.record(&local);
-        Ok(())
+        Ok(true)
     }
 
     // --- statement preparation and the statement cache -----------------------
@@ -498,6 +595,23 @@ impl Database {
         self.stmt_cache.lock().resize(capacity);
     }
 
+    // --- resource governance --------------------------------------------------
+
+    /// Sets the database-wide default bound on how long a write statement
+    /// waits for a conflicted table lock before failing with a retryable
+    /// lock-wait [`Error::Timeout`]. `Duration::ZERO` (the initial value)
+    /// fails fast with [`Error::LockConflict`] instead of waiting. A
+    /// statement's [`Governance::lock_wait`] overrides this default.
+    pub fn set_lock_wait_timeout(&self, timeout: Duration) {
+        *self.lock_wait.lock() = timeout;
+    }
+
+    /// The current database-wide default lock-wait bound
+    /// (see [`Database::set_lock_wait_timeout`]).
+    pub fn lock_wait_timeout(&self) -> Duration {
+        *self.lock_wait.lock()
+    }
+
     // --- statement execution -------------------------------------------------
 
     /// Parses and executes one statement in autocommit mode.
@@ -505,24 +619,41 @@ impl Database {
     /// Repeated executions of the same SQL text reuse the cached parse.
     /// Statements with `?` placeholders must go through [`Database::prepare`].
     pub fn execute(&self, sql: &str) -> Result<ExecResult> {
+        self.execute_governed(sql, &Governance::NONE)
+    }
+
+    /// As [`Database::execute`], under the per-statement limits declared by
+    /// `gov` (deadline, cancellation token, row/byte budgets, lock-wait
+    /// bound); see [`Governance`].
+    pub fn execute_governed(&self, sql: &str, gov: &Governance) -> Result<ExecResult> {
         let (stmt, params) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared()"
             )));
         }
-        self.execute_stmt(&stmt)
+        self.execute_stmt_params_governed(&stmt, &[], gov)
     }
 
     /// Parses and executes one statement inside an explicit transaction.
     pub fn execute_in(&self, txn: TxnId, sql: &str) -> Result<ExecResult> {
+        self.execute_in_governed(txn, sql, &Governance::NONE)
+    }
+
+    /// As [`Database::execute_in`], under the limits declared by `gov`.
+    pub fn execute_in_governed(
+        &self,
+        txn: TxnId,
+        sql: &str,
+        gov: &Governance,
+    ) -> Result<ExecResult> {
         let (stmt, params) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared_in()"
             )));
         }
-        self.execute_stmt_in(txn, &stmt)
+        self.execute_stmt_in_params_governed(txn, &stmt, &[], gov)
     }
 
     /// Executes a prepared statement in autocommit mode with the given
@@ -530,8 +661,18 @@ impl Database {
     /// parameters flow through planning and evaluation as context — the
     /// cached AST is never cloned or rewritten.
     pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<ExecResult> {
+        self.execute_prepared_governed(prepared, params, &Governance::NONE)
+    }
+
+    /// As [`Database::execute_prepared`], under the limits declared by `gov`.
+    pub fn execute_prepared_governed(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        gov: &Governance,
+    ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_params(&prepared.stmt, params)
+        self.execute_stmt_params_governed(&prepared.stmt, params, gov)
     }
 
     /// Executes a prepared statement inside an explicit transaction.
@@ -541,8 +682,20 @@ impl Database {
         prepared: &Prepared,
         params: &[Value],
     ) -> Result<ExecResult> {
+        self.execute_prepared_in_governed(txn, prepared, params, &Governance::NONE)
+    }
+
+    /// As [`Database::execute_prepared_in`], under the limits declared by
+    /// `gov`.
+    pub fn execute_prepared_in_governed(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        params: &[Value],
+        gov: &Governance,
+    ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_in_params(txn, &prepared.stmt, params)
+        self.execute_stmt_in_params_governed(txn, &prepared.stmt, params, gov)
     }
 
     fn check_arity(prepared: &Prepared, params: &[Value]) -> Result<()> {
@@ -570,10 +723,17 @@ impl Database {
     /// so it **never fails against in-flight writers** — it simply observes
     /// the most recently committed state.
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecResult> {
-        self.execute_stmt_params(stmt, &[])
+        self.execute_stmt_params_governed(stmt, &[], &Governance::NONE)
     }
 
-    fn execute_stmt_params(&self, stmt: &Statement, params: &[Value]) -> Result<ExecResult> {
+    /// Executes an already-parsed statement in autocommit mode under the
+    /// limits declared by `gov` — the entry point the wire server drives.
+    pub fn execute_stmt_params_governed(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        gov: &Governance,
+    ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "use begin()/commit()/rollback() or a Session for transaction control",
@@ -583,6 +743,7 @@ impl Database {
                 // the snapshot: a writer that committed after the guard was
                 // acquired is simply absent from the snapshot, and its
                 // versions are filtered out by visibility.
+                let mut governor = Governor::arm(gov);
                 let catalog = self.catalog.read();
                 let snapshot = self.ctl.lock().txns.read_snapshot();
                 let mut local = OpStats {
@@ -590,20 +751,26 @@ impl Database {
                     snapshots_taken: 1,
                     ..Default::default()
                 };
-                let result = execute_select_with(&catalog, sel, params, &snapshot, &mut local);
+                let result =
+                    execute_select_with(&catalog, sel, params, &snapshot, &mut local, &mut governor);
                 drop(catalog);
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
+                }
                 self.stats.record(&local);
                 Ok(ExecResult::Query(result?))
             }
             _ => {
                 let txn = self.begin();
-                match self.execute_stmt_in_params(txn, stmt, params) {
+                match self.execute_stmt_in_params_governed(txn, stmt, params, gov) {
                     Ok(result) => {
                         self.commit(txn)?;
                         Ok(result)
                     }
                     Err(e) => {
                         // Roll back best-effort; surface the original error.
+                        // A cancelled or over-budget autocommit write is
+                        // therefore never partially applied.
                         let _ = self.rollback(txn);
                         Err(e)
                     }
@@ -617,41 +784,77 @@ impl Database {
     /// begin-time snapshot (repeatable reads, no locks); mutating statements
     /// hold the write guard.
     pub fn execute_stmt_in(&self, txn: TxnId, stmt: &Statement) -> Result<ExecResult> {
-        self.execute_stmt_in_params(txn, stmt, &[])
+        self.execute_stmt_in_params_governed(txn, stmt, &[], &Governance::NONE)
     }
 
-    fn execute_stmt_in_params(
+    /// Executes an already-parsed statement inside an explicit transaction
+    /// under the limits declared by `gov`. Every statement refreshes the
+    /// transaction's idle clock (see [`Database::reap_idle`]).
+    pub fn execute_stmt_in_params_governed(
         &self,
         txn: TxnId,
         stmt: &Statement,
         params: &[Value],
+        gov: &Governance,
     ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "nested transaction control is not supported",
             )),
             Statement::Select(sel) => {
+                let mut governor = Governor::arm(gov);
                 let catalog = self.catalog.read();
-                let snapshot = self.ctl.lock().txns.snapshot_of(txn)?;
+                let snapshot = {
+                    let mut ctl = self.ctl.lock();
+                    ctl.txns.touch(txn);
+                    ctl.txns.snapshot_of(txn)?
+                };
                 let mut local = OpStats {
                     statements_executed: 1,
                     ..Default::default()
                 };
-                let result = execute_select_with(&catalog, sel, params, &snapshot, &mut local);
+                let result =
+                    execute_select_with(&catalog, sel, params, &snapshot, &mut local, &mut governor);
                 drop(catalog);
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
+                }
                 self.stats.record(&local);
                 Ok(ExecResult::Query(result?))
             }
             _ => {
-                let mut catalog = self.catalog.write();
-                let mut ctl = self.ctl.lock();
+                let mut governor = Governor::arm(gov);
                 let mut local = OpStats {
                     statements_executed: 1,
                     ..Default::default()
                 };
+                // Bounded lock wait happens *before* the catalog write guard
+                // is taken, so a waiting writer never blocks readers or the
+                // holder's own commit/rollback.
+                if let Some(name) = Self::write_target(stmt) {
+                    let wait = gov.lock_wait.unwrap_or_else(|| self.lock_wait_timeout());
+                    if let Err(e) =
+                        self.wait_for_table_lock(txn, &name, wait, &mut governor, &mut local)
+                    {
+                        Self::attribute_failure(&mut local, &e);
+                        self.stats.record(&local);
+                        return Err(e);
+                    }
+                }
+                let mut catalog = self.catalog.write();
+                let mut ctl = self.ctl.lock();
+                ctl.txns.touch(txn);
                 let mut log = Vec::new();
-                let result =
-                    Self::run_write(&mut catalog, &mut ctl, txn, stmt, params, &mut local, &mut log);
+                let result = Self::run_write(
+                    &mut catalog,
+                    &mut ctl,
+                    txn,
+                    stmt,
+                    params,
+                    &mut local,
+                    &mut log,
+                    &mut governor,
+                );
                 // Changes that were applied before an error are still logged:
                 // their undo records exist and rollback discards them, so the
                 // WAL must carry them in case the transaction commits anyway.
@@ -659,11 +862,85 @@ impl Database {
                 Self::vacuum_if_bloated(&mut catalog, &ctl, stmt, &mut local);
                 drop(ctl);
                 drop(catalog);
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
+                }
                 self.stats.record(&local);
                 let result = result?;
                 flushed?;
                 Ok(result)
             }
+        }
+    }
+
+    /// Counts a governance failure in the right statement-level counter.
+    fn attribute_failure(stats: &mut OpStats, e: &Error) {
+        match e {
+            Error::Timeout {
+                kind: TimeoutKind::Statement,
+                ..
+            } => stats.statements_timed_out += 1,
+            Error::ResourceExhausted(_) => stats.statements_over_budget += 1,
+            _ => {}
+        }
+    }
+
+    /// The (lowercased) table a mutating statement will lock, used to
+    /// pre-acquire its lock with a bounded wait.
+    fn write_target(stmt: &Statement) -> Option<String> {
+        match stmt {
+            Statement::Insert(ins) => Some(ins.table.to_ascii_lowercase()),
+            Statement::Update(upd) => Some(upd.table.to_ascii_lowercase()),
+            Statement::Delete(del) => Some(del.table.to_ascii_lowercase()),
+            Statement::CreateTable(schema) => Some(schema.name.clone()),
+            Statement::CreateIndex { table, .. } => Some(table.to_ascii_lowercase()),
+            Statement::DropTable(table) => Some(table.to_ascii_lowercase()),
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Select(_) => None,
+        }
+    }
+
+    /// Acquires `table`'s exclusive lock for `txn`, waiting up to `wait` for
+    /// a conflicting writer to finish. With a zero `wait` a conflict fails
+    /// fast with [`Error::LockConflict`] (the pre-governance behaviour);
+    /// otherwise the lock table is re-probed every [`LOCK_WAIT_POLL`] until
+    /// the bound expires into a retryable lock-wait [`Error::Timeout`]. The
+    /// statement deadline and cancellation token are honoured between
+    /// probes, and no engine lock is held while sleeping.
+    fn wait_for_table_lock(
+        &self,
+        txn: TxnId,
+        table: &str,
+        wait: Duration,
+        governor: &mut Governor,
+        stats: &mut OpStats,
+    ) -> Result<()> {
+        let mut first_conflict = true;
+        let deadline = Instant::now() + wait;
+        loop {
+            let conflict = match self.ctl.lock().locks.acquire(txn, table, LockMode::Exclusive) {
+                Ok(()) => return Ok(()),
+                Err(e @ Error::LockConflict(_)) => e,
+                Err(e) => return Err(e),
+            };
+            if wait.is_zero() {
+                return Err(conflict);
+            }
+            if first_conflict {
+                first_conflict = false;
+                stats.lock_waits += 1;
+            }
+            // The statement deadline / cancellation token caps the wait too.
+            governor.check_now()?;
+            if Instant::now() >= deadline {
+                stats.lock_wait_timeouts += 1;
+                return Err(Error::lock_wait_timeout(format!(
+                    "table {table} still write-locked after {wait:?}"
+                )));
+            }
+            std::thread::sleep(LOCK_WAIT_POLL);
         }
     }
 
@@ -738,8 +1015,20 @@ impl Database {
     /// statements would leave the bindings before the failure committed.
     /// Returns the total number of rows affected.
     pub fn execute_batch(&self, prepared: &Prepared, bindings: &[Vec<Value>]) -> Result<usize> {
+        self.execute_batch_governed(prepared, bindings, &Governance::NONE)
+    }
+
+    /// As [`Database::execute_batch`], under the limits declared by `gov`:
+    /// the whole batch is one governed unit — its deadline, cancellation
+    /// token and budgets span all bindings.
+    pub fn execute_batch_governed(
+        &self,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+        gov: &Governance,
+    ) -> Result<usize> {
         let txn = self.begin();
-        match self.execute_batch_in(txn, prepared, bindings) {
+        match self.execute_batch_in_governed(txn, prepared, bindings, gov) {
             Ok(n) => {
                 self.commit(txn)?;
                 Ok(n)
@@ -761,6 +1050,17 @@ impl Database {
         prepared: &Prepared,
         bindings: &[Vec<Value>],
     ) -> Result<usize> {
+        self.execute_batch_in_governed(txn, prepared, bindings, &Governance::NONE)
+    }
+
+    /// As [`Database::execute_batch_in`], under the limits declared by `gov`.
+    pub fn execute_batch_in_governed(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+        gov: &Governance,
+    ) -> Result<usize> {
         match prepared.stmt.as_ref() {
             Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {}
             _ => {
@@ -772,14 +1072,30 @@ impl Database {
         for binding in bindings {
             Self::check_arity(prepared, binding)?;
         }
+        let mut governor = Governor::arm(gov);
+        let mut local = OpStats::default();
+        if let Some(name) = Self::write_target(&prepared.stmt) {
+            let wait = gov.lock_wait.unwrap_or_else(|| self.lock_wait_timeout());
+            if let Err(e) = self.wait_for_table_lock(txn, &name, wait, &mut governor, &mut local) {
+                Self::attribute_failure(&mut local, &e);
+                self.stats.record(&local);
+                return Err(e);
+            }
+        }
         let mut catalog = self.catalog.write();
         let mut ctl = self.ctl.lock();
-        let mut local = OpStats::default();
+        ctl.txns.touch(txn);
         let mut log = Vec::new();
         let mut affected = 0usize;
         let mut failed = None;
         for binding in bindings {
             local.statements_executed += 1;
+            // Deadline/cancellation boundary between bindings, in addition
+            // to the per-row ticks inside run_write.
+            if let Err(e) = governor.check_now() {
+                failed = Some(e);
+                break;
+            }
             match Self::run_write(
                 &mut catalog,
                 &mut ctl,
@@ -788,6 +1104,7 @@ impl Database {
                 binding,
                 &mut local,
                 &mut log,
+                &mut governor,
             ) {
                 Ok(result) => affected += result.affected(),
                 Err(e) => {
@@ -800,6 +1117,9 @@ impl Database {
         Self::vacuum_if_bloated(&mut catalog, &ctl, &prepared.stmt, &mut local);
         drop(ctl);
         drop(catalog);
+        if let Some(e) = &failed {
+            Self::attribute_failure(&mut local, e);
+        }
         self.stats.record(&local);
         if let Some(e) = failed {
             return Err(e);
@@ -818,10 +1138,23 @@ impl Database {
         prepared: &Prepared,
         bindings: &[Vec<Value>],
     ) -> Result<Vec<QueryResult>> {
+        self.query_batch_governed(prepared, bindings, &Governance::NONE)
+    }
+
+    /// As [`Database::query_batch`], under the limits declared by `gov`: the
+    /// whole batch is one governed unit — deadline, cancellation and
+    /// row/byte budgets span all bindings' results combined.
+    pub fn query_batch_governed(
+        &self,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+        gov: &Governance,
+    ) -> Result<Vec<QueryResult>> {
         let sel = Self::batch_select(prepared, bindings)?;
+        let mut governor = Governor::arm(gov);
         let catalog = self.catalog.read();
         let snapshot = self.ctl.lock().txns.read_snapshot();
-        self.run_query_batch(&catalog, sel, bindings, &snapshot, true)
+        self.run_query_batch(&catalog, sel, bindings, &snapshot, true, &mut governor)
     }
 
     /// As [`Database::query_batch`], inside an explicit transaction: the
@@ -832,10 +1165,26 @@ impl Database {
         prepared: &Prepared,
         bindings: &[Vec<Value>],
     ) -> Result<Vec<QueryResult>> {
+        self.query_batch_in_governed(txn, prepared, bindings, &Governance::NONE)
+    }
+
+    /// As [`Database::query_batch_in`], under the limits declared by `gov`.
+    pub fn query_batch_in_governed(
+        &self,
+        txn: TxnId,
+        prepared: &Prepared,
+        bindings: &[Vec<Value>],
+        gov: &Governance,
+    ) -> Result<Vec<QueryResult>> {
         let sel = Self::batch_select(prepared, bindings)?;
+        let mut governor = Governor::arm(gov);
         let catalog = self.catalog.read();
-        let snapshot = self.ctl.lock().txns.snapshot_of(txn)?;
-        self.run_query_batch(&catalog, sel, bindings, &snapshot, false)
+        let snapshot = {
+            let mut ctl = self.ctl.lock();
+            ctl.txns.touch(txn);
+            ctl.txns.snapshot_of(txn)?
+        };
+        self.run_query_batch(&catalog, sel, bindings, &snapshot, false, &mut governor)
     }
 
     /// Validates a batch SELECT's shape and arities.
@@ -851,6 +1200,7 @@ impl Database {
 
     /// Runs the per-binding SELECTs of a batch under an already-held guard
     /// against one shared snapshot.
+    #[allow(clippy::too_many_arguments)]
     fn run_query_batch(
         &self,
         catalog: &Catalog,
@@ -858,6 +1208,7 @@ impl Database {
         bindings: &[Vec<Value>],
         snapshot: &Snapshot,
         fresh_snapshot: bool,
+        governor: &mut Governor,
     ) -> Result<Vec<QueryResult>> {
         let mut local = OpStats {
             snapshots_taken: u64::from(fresh_snapshot),
@@ -867,13 +1218,19 @@ impl Database {
         let mut failed = None;
         for binding in bindings {
             local.statements_executed += 1;
-            match execute_select_with(catalog, sel, binding, snapshot, &mut local) {
+            match governor
+                .check_now()
+                .and_then(|()| execute_select_with(catalog, sel, binding, snapshot, &mut local, governor))
+            {
                 Ok(q) => out.push(q),
                 Err(e) => {
                     failed = Some(e);
                     break;
                 }
             }
+        }
+        if let Some(e) = &failed {
+            Self::attribute_failure(&mut local, e);
         }
         self.stats.record(&local);
         match failed {
@@ -896,6 +1253,7 @@ impl Database {
         params: &[Value],
         stats: &mut OpStats,
         log: &mut Vec<LogRecord>,
+        gov: &mut Governor,
     ) -> Result<ExecResult> {
         ctl.txns.get_active(txn)?;
         match stmt {
@@ -951,9 +1309,15 @@ impl Database {
                 log.push(LogRecord::DropTable { txn, table: name });
                 Ok(ExecResult::Ack)
             }
-            Statement::Insert(ins) => Self::run_insert(catalog, ctl, txn, ins, params, stats, log),
-            Statement::Update(upd) => Self::run_update(catalog, ctl, txn, upd, params, stats, log),
-            Statement::Delete(del) => Self::run_delete(catalog, ctl, txn, del, params, stats, log),
+            Statement::Insert(ins) => {
+                Self::run_insert(catalog, ctl, txn, ins, params, stats, log, gov)
+            }
+            Statement::Update(upd) => {
+                Self::run_update(catalog, ctl, txn, upd, params, stats, log, gov)
+            }
+            Statement::Delete(del) => {
+                Self::run_delete(catalog, ctl, txn, del, params, stats, log, gov)
+            }
             Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Select(_) => {
                 unreachable!("handled by execute_stmt_in_params")
             }
@@ -963,6 +1327,21 @@ impl Database {
     /// Convenience wrapper: executes a SELECT and returns its rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.execute(sql)?.query()
+    }
+
+    /// Convenience wrapper: a SELECT under the limits declared by `gov`.
+    pub fn query_governed(&self, sql: &str, gov: &Governance) -> Result<QueryResult> {
+        self.execute_governed(sql, gov)?.query()
+    }
+
+    /// Executes a prepared SELECT under the limits declared by `gov`.
+    pub fn query_prepared_governed(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        gov: &Governance,
+    ) -> Result<QueryResult> {
+        self.execute_prepared_governed(prepared, params, gov)?.query()
     }
 
     /// Convenience wrapper: runs `SELECT COUNT(*) FROM table [WHERE ...]`
@@ -975,7 +1354,10 @@ impl Database {
             .get(&table.to_ascii_lowercase())
             .ok_or_else(|| Error::not_found(format!("table {table}")))?;
         let mut stats = OpStats::default();
-        Ok(matching_row_ids_with(t, filter, &[], &snapshot, &mut stats)?.len() as i64)
+        Ok(
+            matching_row_ids_with(t, filter, &[], &snapshot, &mut stats, &mut Governor::disarmed())?
+                .len() as i64,
+        )
     }
 
     /// Appends the transaction's `Begin` record if this is its first logged
@@ -998,6 +1380,7 @@ impl Database {
         params: &[Value],
         stats: &mut OpStats,
         log: &mut Vec<LogRecord>,
+        gov: &mut Governor,
     ) -> Result<ExecResult> {
         let name = ins.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
@@ -1009,6 +1392,7 @@ impl Database {
         let empty_row = Row::default();
         let mut inserted = 0usize;
         for row_exprs in &ins.rows {
+            gov.tick()?;
             // Evaluate the literal expressions for this VALUES row.
             let mut provided = Vec::with_capacity(row_exprs.len());
             for e in row_exprs {
@@ -1066,16 +1450,19 @@ impl Database {
         params: &[Value],
         stats: &mut OpStats,
         log: &mut Vec<LogRecord>,
+        gov: &mut Governor,
     ) -> Result<ExecResult> {
         let name = upd.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
         let table = catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", upd.table)))?;
-        let ids = matching_row_ids_with(table, upd.filter.as_ref(), params, Snapshot::latest(), stats)?;
+        let ids =
+            matching_row_ids_with(table, upd.filter.as_ref(), params, Snapshot::latest(), stats, gov)?;
         let schema = table.schema.clone();
         let mut affected = 0usize;
         for id in ids {
+            gov.tick()?;
             let current = table
                 .get(id)
                 .cloned()
@@ -1116,15 +1503,18 @@ impl Database {
         params: &[Value],
         stats: &mut OpStats,
         log: &mut Vec<LogRecord>,
+        gov: &mut Governor,
     ) -> Result<ExecResult> {
         let name = del.table.to_ascii_lowercase();
         ctl.locks.acquire(txn, &name, LockMode::Exclusive)?;
         let table = catalog
             .get_mut(&name)
             .ok_or_else(|| Error::not_found(format!("table {}", del.table)))?;
-        let ids = matching_row_ids_with(table, del.filter.as_ref(), params, Snapshot::latest(), stats)?;
+        let ids =
+            matching_row_ids_with(table, del.filter.as_ref(), params, Snapshot::latest(), stats, gov)?;
         let mut affected = 0usize;
         for id in ids {
+            gov.tick()?;
             let before = table.delete(id, txn, stats)?;
             log.push(LogRecord::Delete {
                 txn,

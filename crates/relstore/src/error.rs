@@ -47,8 +47,34 @@ pub enum Error {
     /// segment failed its checksum or decoded to garbage. Recovery refuses to
     /// guess — it fails loudly rather than silently dropping committed data.
     Corruption(String),
+    /// A deadline expired before the operation finished. The
+    /// [`TimeoutKind`] decides the class: a statement that outran its own
+    /// deadline is a **logic** error (retrying the same statement will time
+    /// out again), while a bounded lock wait that expired is **retryable**
+    /// (the holder will commit or abort and free the lock).
+    Timeout {
+        /// Which deadline expired.
+        kind: TimeoutKind,
+        /// Human-readable context.
+        msg: String,
+    },
+    /// A per-statement resource budget (max rows materialized, max result
+    /// bytes) was exceeded. The statement was cancelled before the engine
+    /// built the oversized result; narrow the query or raise the budget.
+    ResourceExhausted(String),
     /// Catch-all for internal invariant violations. Seeing this is a bug.
     Internal(String),
+}
+
+/// Which deadline an [`Error::Timeout`] reports, determining its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeoutKind {
+    /// The statement's own deadline expired mid-execution. Class
+    /// [`ErrorClass::Logic`]: the same statement will time out again.
+    Statement,
+    /// A bounded wait for a write lock expired without the lock freeing.
+    /// Class [`ErrorClass::Retryable`]: the holding transaction will finish.
+    LockWait,
 }
 
 /// The coarse taxonomy of engine errors, used by service layers to decide how
@@ -116,14 +142,40 @@ impl Error {
         Error::Corruption(msg.into())
     }
 
+    /// Convenience constructor for a statement-deadline [`Error::Timeout`].
+    pub fn statement_timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout {
+            kind: TimeoutKind::Statement,
+            msg: msg.into(),
+        }
+    }
+
+    /// Convenience constructor for a lock-wait [`Error::Timeout`].
+    pub fn lock_wait_timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout {
+            kind: TimeoutKind::LockWait,
+            msg: msg.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::ResourceExhausted`].
+    pub fn resource_exhausted(msg: impl Into<String>) -> Self {
+        Error::ResourceExhausted(msg.into())
+    }
+
     /// Classifies the error into the coarse [`ErrorClass`] taxonomy.
     pub fn class(&self) -> ErrorClass {
         match self {
             Error::LockConflict(_) | Error::Busy(_) => ErrorClass::Retryable,
+            Error::Timeout { kind, .. } => match kind {
+                TimeoutKind::LockWait => ErrorClass::Retryable,
+                TimeoutKind::Statement => ErrorClass::Logic,
+            },
             Error::NotFound(_)
             | Error::AlreadyExists(_)
             | Error::Type(_)
             | Error::Parse(_)
+            | Error::ResourceExhausted(_)
             | Error::TxnClosed(_) => ErrorClass::Logic,
             Error::Constraint(_) => ErrorClass::Constraint,
             Error::Wal(_)
@@ -157,6 +209,11 @@ impl fmt::Display for Error {
             Error::Net(s) => write!(f, "network error: {s}"),
             Error::Io(s) => write!(f, "io error: {s}"),
             Error::Corruption(s) => write!(f, "corruption detected: {s}"),
+            Error::Timeout { kind, msg } => match kind {
+                TimeoutKind::Statement => write!(f, "statement timeout: {msg}"),
+                TimeoutKind::LockWait => write!(f, "lock wait timeout: {msg}"),
+            },
+            Error::ResourceExhausted(s) => write!(f, "resource budget exceeded: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -205,6 +262,18 @@ mod tests {
         assert_eq!(Error::corruption("bad crc").class(), ErrorClass::Internal);
         assert!(!Error::corruption("bad crc").is_retryable());
         assert_eq!(Error::internal("bug").class(), ErrorClass::Internal);
+        assert_eq!(
+            Error::lock_wait_timeout("jobs").class(),
+            ErrorClass::Retryable
+        );
+        assert!(Error::lock_wait_timeout("jobs").is_retryable());
+        assert_eq!(Error::statement_timeout("scan").class(), ErrorClass::Logic);
+        assert!(!Error::statement_timeout("scan").is_retryable());
+        assert_eq!(
+            Error::resource_exhausted("rows").class(),
+            ErrorClass::Logic
+        );
+        assert!(!Error::resource_exhausted("rows").is_retryable());
     }
 
     #[test]

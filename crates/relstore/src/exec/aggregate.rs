@@ -2,6 +2,7 @@
 
 use super::QueryResult;
 use crate::error::{Error, Result};
+use crate::govern::Governor;
 use crate::predicate::Expr;
 use crate::schema::Schema;
 use crate::sql::ast::{AggFunc, SelectItem, SelectStmt, SortOrder};
@@ -147,6 +148,7 @@ pub fn execute_aggregate<'a>(
     schema: &Schema,
     rows: impl IntoIterator<Item = &'a Row>,
     _stats: &mut OpStats,
+    gov: &mut Governor,
 ) -> Result<QueryResult> {
     // Resolve grouping columns.
     let group_idx: Vec<usize> = stmt
@@ -227,6 +229,7 @@ pub fn execute_aggregate<'a>(
         groups.insert(Vec::new(), make_states());
     }
     for row in rows {
+        gov.tick()?;
         let key: Vec<Value> = group_idx.iter().map(|i| row.get(*i).clone()).collect();
         let states = groups.entry(key).or_insert_with(make_states);
         let mut agg_i = 0usize;
@@ -332,7 +335,14 @@ mod tests {
         let Statement::Select(stmt) = parse(sql).unwrap() else {
             panic!()
         };
-        execute_aggregate(&stmt, &schema(), &rows, &mut OpStats::default()).unwrap()
+        execute_aggregate(
+            &stmt,
+            &schema(),
+            &rows,
+            &mut OpStats::default(),
+            &mut Governor::disarmed(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -384,11 +394,25 @@ mod tests {
         let Statement::Select(stmt) = parse("SELECT owner, COUNT(*) FROM jobs").unwrap() else {
             panic!()
         };
-        assert!(execute_aggregate(&stmt, &schema(), &rows(), &mut OpStats::default()).is_err());
+        assert!(execute_aggregate(
+            &stmt,
+            &schema(),
+            &rows(),
+            &mut OpStats::default(),
+            &mut Governor::disarmed()
+        )
+        .is_err());
         let Statement::Select(stmt) = parse("SELECT *, COUNT(*) FROM jobs").unwrap() else {
             panic!()
         };
-        assert!(execute_aggregate(&stmt, &schema(), &rows(), &mut OpStats::default()).is_err());
+        assert!(execute_aggregate(
+            &stmt,
+            &schema(),
+            &rows(),
+            &mut OpStats::default(),
+            &mut Governor::disarmed()
+        )
+        .is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use super::aggregate::execute_aggregate;
 use super::QueryResult;
 use crate::error::{Error, Result};
+use crate::govern::{approx_row_bytes, Governor};
 use crate::mvcc::Snapshot;
 use crate::predicate::Expr;
 use crate::schema::{Column, Schema};
@@ -198,7 +199,14 @@ pub fn execute_select(
     stmt: &SelectStmt,
     stats: &mut OpStats,
 ) -> Result<QueryResult> {
-    execute_select_with(catalog, stmt, &[], Snapshot::latest(), stats)
+    execute_select_with(
+        catalog,
+        stmt,
+        &[],
+        Snapshot::latest(),
+        stats,
+        &mut Governor::disarmed(),
+    )
 }
 
 /// The projection plan: output names (interned from the schema where
@@ -236,16 +244,19 @@ fn projection_spec<'a>(stmt: &'a SelectStmt, schema: &Schema) -> Result<Projecti
     Ok((out_columns, projections))
 }
 
-/// Evaluates a projection plan over an iterator of (borrowed or owned) rows.
+/// Evaluates a projection plan over an iterator of (borrowed or owned) rows,
+/// charging each materialized output row against the governor's budgets.
 fn project_rows<'r>(
     schema: &Schema,
     rows: impl ExactSizeIterator<Item = &'r Row>,
     out_width: usize,
     projections: &[Option<Cow<'_, Expr>>],
     params: &[Value],
+    gov: &mut Governor,
 ) -> Result<Vec<Row>> {
     let mut out_rows = Vec::with_capacity(rows.len());
     for row in rows {
+        gov.tick()?;
         let mut values = Vec::with_capacity(out_width);
         for proj in projections {
             match proj {
@@ -253,7 +264,9 @@ fn project_rows<'r>(
                 Some(expr) => values.push(expr.eval_with(schema, row, params)?),
             }
         }
-        out_rows.push(Row::new(values));
+        let out = Row::new(values);
+        gov.charge_row(|| approx_row_bytes(&out))?;
+        out_rows.push(out);
     }
     Ok(out_rows)
 }
@@ -304,12 +317,13 @@ pub fn execute_select_with(
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
+    gov: &mut Governor,
 ) -> Result<QueryResult> {
     let base = get_table(catalog, &stmt.table)?;
     if stmt.joins.is_empty() {
-        execute_single_table(base, stmt, params, vis, stats)
+        execute_single_table(base, stmt, params, vis, stats, gov)
     } else {
-        execute_joined(catalog, base, stmt, params, vis, stats)
+        execute_joined(catalog, base, stmt, params, vis, stats, gov)
     }
 }
 
@@ -321,6 +335,7 @@ fn execute_single_table(
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
+    gov: &mut Governor,
 ) -> Result<QueryResult> {
     let schema = &table.schema;
     let filter = match &stmt.filter {
@@ -329,8 +344,10 @@ fn execute_single_table(
     };
 
     // Access path + predicate over borrowed rows; survivors stay borrowed.
+    // Every scanned row is a cancellation point.
     let mut matched: Vec<&Row> = Vec::new();
     for StoredRowRef { row, .. } in access_base_table(table, filter.as_deref(), params, vis, stats) {
+        gov.tick()?;
         let keep = match &filter {
             Some(f) => f.matches_with(schema, row, params)?,
             None => true,
@@ -342,10 +359,11 @@ fn execute_single_table(
 
     // Aggregation short-circuits the rest of the pipeline.
     if has_aggregates(stmt) {
-        return execute_aggregate(stmt, schema, matched.iter().copied(), stats);
+        return execute_aggregate(stmt, schema, matched.iter().copied(), stats, gov);
     }
 
     if !stmt.order_by.is_empty() {
+        gov.check_now()?;
         sort_rows(stmt, schema, &mut matched, |r| *r)?;
     }
     if let Some(limit) = stmt.limit {
@@ -354,9 +372,14 @@ fn execute_single_table(
 
     // Projection. A bare `SELECT *` clones exactly the surviving rows.
     if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        let mut rows = Vec::with_capacity(matched.len());
+        for row in matched {
+            gov.charge_row(|| approx_row_bytes(row))?;
+            rows.push(row.clone());
+        }
         return Ok(QueryResult {
             columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-            rows: matched.into_iter().cloned().collect(),
+            rows,
         });
     }
     let (columns, projections) = projection_spec(stmt, schema)?;
@@ -366,6 +389,7 @@ fn execute_single_table(
         columns.len(),
         &projections,
         params,
+        gov,
     )?;
     Ok(QueryResult { columns, rows })
 }
@@ -380,10 +404,15 @@ fn execute_joined(
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
+    gov: &mut Governor,
 ) -> Result<QueryResult> {
     // Joins use an owned schema with qualified names to avoid collisions.
     let mut schema = qualified_schema(base);
-    let mut rows: Vec<Row> = base.scan(vis, stats).map(|r| r.row.clone()).collect();
+    let mut rows: Vec<Row> = Vec::new();
+    for stored in base.scan(vis, stats) {
+        gov.tick()?;
+        rows.push(stored.row.clone());
+    }
 
     for join in &stmt.joins {
         let right = get_table(catalog, &join.table)?;
@@ -397,6 +426,7 @@ fn execute_joined(
         // Build hash table over the right side, borrowing its heap rows.
         let mut hash: HashMap<&Value, Vec<&Row>> = HashMap::new();
         for stored in right.scan(vis, stats) {
+            gov.tick()?;
             let key = stored.row.get(right_idx);
             if !key.is_null() {
                 hash.entry(key).or_default().push(stored.row);
@@ -405,12 +435,14 @@ fn execute_joined(
 
         let mut joined = Vec::new();
         for left_row in &rows {
+            gov.tick()?;
             let key = left_row.get(left_idx);
             if key.is_null() {
                 continue;
             }
             if let Some(matches) = hash.get(key) {
                 for right_row in matches {
+                    gov.tick()?;
                     joined.push(left_row.concat(right_row));
                     stats.rows_read += 1;
                 }
@@ -429,6 +461,7 @@ fn execute_joined(
         let filter = resolve_expr(filter, &schema)?;
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
+            gov.tick()?;
             if filter.matches_with(&schema, &row, params)? {
                 kept.push(row);
             }
@@ -437,10 +470,11 @@ fn execute_joined(
     }
 
     if has_aggregates(stmt) {
-        return execute_aggregate(stmt, &schema, rows.iter(), stats);
+        return execute_aggregate(stmt, &schema, rows.iter(), stats, gov);
     }
 
     if !stmt.order_by.is_empty() {
+        gov.check_now()?;
         sort_rows(stmt, &schema, &mut rows, |r| r)?;
     }
     if let Some(limit) = stmt.limit {
@@ -449,13 +483,18 @@ fn execute_joined(
 
     // A bare `SELECT *` moves the joined rows through unchanged.
     if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        if gov.armed() {
+            for row in &rows {
+                gov.charge_row(|| approx_row_bytes(row))?;
+            }
+        }
         return Ok(QueryResult {
             columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
             rows,
         });
     }
     let (columns, projections) = projection_spec(stmt, &schema)?;
-    let out_rows = project_rows(&schema, rows.iter(), columns.len(), &projections, params)?;
+    let out_rows = project_rows(&schema, rows.iter(), columns.len(), &projections, params, gov)?;
     Ok(QueryResult {
         columns,
         rows: out_rows,
@@ -472,18 +511,26 @@ pub fn matching_row_ids(
     filter: Option<&Expr>,
     stats: &mut OpStats,
 ) -> Result<Vec<RowId>> {
-    matching_row_ids_with(table, filter, &[], Snapshot::latest(), stats)
+    matching_row_ids_with(
+        table,
+        filter,
+        &[],
+        Snapshot::latest(),
+        stats,
+        &mut Governor::disarmed(),
+    )
 }
 
 /// As [`matching_row_ids`], resolving `?` placeholders from `params` and row
 /// visibility against `vis`. Candidate rows are streamed by reference;
-/// nothing is cloned.
+/// nothing is cloned. Each candidate row is a cancellation point.
 pub fn matching_row_ids_with(
     table: &Table,
     filter: Option<&Expr>,
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
+    gov: &mut Governor,
 ) -> Result<Vec<RowId>> {
     let resolved = match filter {
         Some(f) => Some(resolve_expr(f, &table.schema)?),
@@ -491,6 +538,7 @@ pub fn matching_row_ids_with(
     };
     let mut out = Vec::new();
     for stored in access_base_table(table, resolved.as_deref(), params, vis, stats) {
+        gov.tick()?;
         let keep = match &resolved {
             Some(f) => f.matches_with(&table.schema, stored.row, params)?,
             None => true,

@@ -268,12 +268,78 @@
 //!   deterministic crash-recovery tests; disarmed checks are a single atomic
 //!   load.
 //!
+//! ## Resource governance
+//!
+//! A cluster-management substrate must stay responsive under overload: a
+//! runaway query, an unbounded result set or an abandoned transaction may
+//! not take the engine down with it. Every execution path therefore has a
+//! `_governed` variant taking a [`Governance`], and [`Session`]s carry one
+//! ([`Session::with_governance`]) that applies to every statement:
+//!
+//! * **Statement deadlines & cooperative cancellation** —
+//!   [`Governance::deadline`] bounds one statement's wall-clock time and
+//!   [`Governance::cancel`] lets any thread stop it; every executor loop
+//!   (scan, filter, join, sort boundary, aggregate, batch) checks both
+//!   every [`govern::DEFAULT_CHECK_INTERVAL`] rows (tunable via
+//!   [`Governance::check_interval`]) and bails with [`Error::Timeout`]
+//!   (kind [`TimeoutKind::Statement`], class `Logic`). A cancelled
+//!   autocommit write rolls back cleanly — never a partial apply.
+//! * **Result budgets** — [`Governance::max_rows`] / [`Governance::max_bytes`]
+//!   cap what a statement may materialize, enforced engine-side *before*
+//!   response pages are built; exceeding one fails with
+//!   [`Error::ResourceExhausted`] (class `Logic`).
+//! * **Bounded lock waits** — with a non-zero [`Governance::lock_wait`]
+//!   (or database default,
+//!   [`set_lock_wait_timeout`](db::Database::set_lock_wait_timeout)) a
+//!   write-write conflict waits for the holder instead of failing
+//!   instantly, expiring into [`Error::Timeout`] of kind
+//!   [`TimeoutKind::LockWait`] — class **Retryable**, so
+//!   [`Session::with_retries`] handles it transparently. The default is
+//!   `Duration::ZERO`: fail fast with [`Error::LockConflict`].
+//! * **Idle-transaction reaping** —
+//!   [`Database::reap_idle`](db::Database::reap_idle) aborts transactions
+//!   idle past a threshold, releasing their locks and un-pinning the vacuum
+//!   horizon (the `wire` server runs it periodically).
+//!
+//! The disarmed path costs one branch per row; counters
+//! (`statements_timed_out`, `statements_over_budget`, `lock_waits`,
+//! `lock_wait_timeouts`, `txns_reaped`) and the `horizon_lag` high-water
+//! gauge in [`OpStats`] make enforcement observable.
+//!
+//! ```
+//! use relstore::{Database, Error, Governance};
+//! use std::time::Duration;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+//! for i in 0..50i64 {
+//!     let ins = db.prepare("INSERT INTO jobs VALUES (?, 'idle')")?;
+//!     db.execute_prepared(&ins, &[i.into()])?;
+//! }
+//!
+//! // A result-row budget stops a runaway scan before it materializes.
+//! let mut session = db.session().with_governance(Governance {
+//!     max_rows: Some(10),
+//!     deadline: Some(Duration::from_secs(30)),
+//!     ..Governance::default()
+//! });
+//! let err = session.query("SELECT * FROM jobs", ()).unwrap_err();
+//! assert!(matches!(err, Error::ResourceExhausted(_)));
+//!
+//! // Point reads under the caps are unaffected.
+//! let r = session.query("SELECT * FROM jobs WHERE job_id = ?", (7i64,))?;
+//! assert_eq!(r.len(), 1);
+//! assert!(db.stats().statements_over_budget >= 1);
+//! # Ok::<(), relstore::Error>(())
+//! ```
+//!
 //! ## Errors
 //!
 //! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
-//! conditions (write-write lock conflicts,
+//! conditions (write-write lock conflicts, lock-wait timeouts,
 //! [checkpoint-busy](db::Database::checkpoint)) vs **logic** errors (bad
-//! SQL, type/arity mismatches) vs **constraint** violations vs **internal**
+//! SQL, type/arity mismatches, statement deadlines, exhausted budgets) vs
+//! **constraint** violations vs **internal**
 //! failures — so service layers branch on [`Error::is_retryable`] (or wrap
 //! the whole attempt in [`Session::with_retries`]) instead of matching
 //! message strings. Since MVCC, only writers can see a retryable conflict.
@@ -292,6 +358,7 @@ pub mod convert;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod govern;
 pub mod index;
 pub mod io;
 pub mod mvcc;
@@ -308,13 +375,14 @@ pub mod wal;
 
 pub use convert::{FromRow, FromValue, IntoParams, RowView, ToStatement};
 pub use db::{Database, ExecResult, Prepared};
-pub use error::{Error, ErrorClass, Result};
+pub use error::{Error, ErrorClass, Result, TimeoutKind};
+pub use govern::{Governance, Governor};
 pub use io::{DurabilityPolicy, FailAction, Failpoints, FsDevice, LogDevice, MemDevice};
 pub use mvcc::{RowVersion, Snapshot};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};
-pub use session::{retry_with_backoff, Session, Transaction};
+pub use session::{retry_with_backoff, retry_with_backoff_deadline, Session, Transaction};
 pub use stats::OpStats;
 pub use tuple::{Row, RowId};
 pub use value::{DataType, Value};

@@ -19,8 +19,10 @@ use crate::convert::{FromRow, FromValue, IntoParams, ToStatement};
 use crate::db::{Database, ExecResult, Prepared};
 use crate::error::{Error, Result};
 use crate::exec::QueryResult;
+use crate::govern::Governance;
 use crate::sql::ast::Statement;
 use crate::wal::TxnId;
+use std::time::{Duration, Instant};
 
 /// Runs `f` up to `attempts` times, sleeping with capped exponential
 /// backoff (50 µs doubling to 2 ms) between attempts, retrying when it
@@ -38,14 +40,38 @@ use crate::wal::TxnId;
 /// could acknowledge a commit whose bytes never reached disk), and
 /// [`Error::Corruption`] reports damaged on-disk state that no retry can
 /// repair.
-pub fn retry_with_backoff<T>(attempts: usize, mut f: impl FnMut() -> Result<T>) -> Result<T> {
-    const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_micros(50);
-    const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
+pub fn retry_with_backoff<T>(attempts: usize, f: impl FnMut() -> Result<T>) -> Result<T> {
+    retry_with_backoff_deadline(attempts, None, f)
+}
+
+/// As [`retry_with_backoff`], honouring an optional **overall wall-clock
+/// deadline across attempts**: once the budget cannot cover the next
+/// backoff sleep, retrying stops and the last retryable error is returned.
+/// The first attempt always runs — a zero budget degrades to "try once".
+///
+/// This is the shared implementation behind [`Session::with_retries`] and
+/// the wire client/pool `with_retries`, so embedded and remote callers get
+/// identical overload behaviour: a caller-facing operation never spins in
+/// a retry loop long past the time its own caller was willing to wait.
+pub fn retry_with_backoff_deadline<T>(
+    attempts: usize,
+    overall: Option<Duration>,
+    mut f: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    const BASE_BACKOFF: Duration = Duration::from_micros(50);
+    const MAX_BACKOFF: Duration = Duration::from_millis(2);
     let attempts = attempts.max(1);
+    let deadline = overall.map(|d| Instant::now() + d);
     let mut backoff = BASE_BACKOFF;
     let mut last_err = None;
     for attempt in 0..attempts {
         if attempt > 0 {
+            if let Some(deadline) = deadline {
+                // Stop when the remaining budget cannot cover the sleep.
+                if Instant::now() + backoff >= deadline {
+                    break;
+                }
+            }
             std::thread::sleep(backoff);
             backoff = (backoff * 2).min(MAX_BACKOFF);
         }
@@ -71,17 +97,41 @@ pub fn retry_with_backoff<T>(attempts: usize, mut f: impl FnMut() -> Result<T>) 
 pub struct Session<'a> {
     db: &'a Database,
     txn: Option<TxnId>,
+    governance: Governance,
 }
 
 impl<'a> Session<'a> {
-    /// Creates a session over `db` with no open transaction.
+    /// Creates a session over `db` with no open transaction and no
+    /// statement limits.
     pub fn new(db: &'a Database) -> Self {
-        Session { db, txn: None }
+        Session {
+            db,
+            txn: None,
+            governance: Governance::NONE,
+        }
     }
 
     /// The underlying database.
     pub fn database(&self) -> &'a Database {
         self.db
+    }
+
+    /// Sets the per-statement limits (deadline, cancellation token, row and
+    /// byte budgets, lock-wait bound) applied to every statement this
+    /// session executes; see [`Governance`]. Returns `self` for chaining.
+    pub fn with_governance(mut self, governance: Governance) -> Self {
+        self.governance = governance;
+        self
+    }
+
+    /// Sets this session's statement limits in place.
+    pub fn set_governance(&mut self, governance: Governance) {
+        self.governance = governance;
+    }
+
+    /// The session's current statement limits.
+    pub fn governance(&self) -> &Governance {
+        &self.governance
     }
 
     /// True when a SQL-level (`BEGIN`) transaction is open on this session.
@@ -133,8 +183,15 @@ impl<'a> Session<'a> {
                 Ok(ExecResult::Ack)
             }
             _ => match self.txn {
-                Some(txn) => self.db.execute_prepared_in(txn, &prepared, &values),
-                None => self.db.execute_prepared(&prepared, &values),
+                Some(txn) => self.db.execute_prepared_in_governed(
+                    txn,
+                    &prepared,
+                    &values,
+                    &self.governance,
+                ),
+                None => self
+                    .db
+                    .execute_prepared_governed(&prepared, &values, &self.governance),
             },
         }
     }
@@ -187,8 +244,13 @@ impl<'a> Session<'a> {
     ) -> Result<usize> {
         let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
         match self.txn {
-            Some(txn) => self.db.execute_batch_in(txn, stmt, &bindings),
-            None => self.db.execute_batch(stmt, &bindings),
+            Some(txn) => {
+                self.db
+                    .execute_batch_in_governed(txn, stmt, &bindings, &self.governance)
+            }
+            None => self
+                .db
+                .execute_batch_governed(stmt, &bindings, &self.governance),
         }
     }
 
@@ -201,8 +263,11 @@ impl<'a> Session<'a> {
     ) -> Result<Vec<QueryResult>> {
         let bindings: Vec<Vec<_>> = bindings.into_iter().map(IntoParams::into_params).collect();
         match self.txn {
-            Some(txn) => self.db.query_batch_in(txn, stmt, &bindings),
-            None => self.db.query_batch(stmt, &bindings),
+            Some(txn) => {
+                self.db
+                    .query_batch_in_governed(txn, stmt, &bindings, &self.governance)
+            }
+            None => self.db.query_batch_governed(stmt, &bindings, &self.governance),
         }
     }
 
@@ -254,6 +319,19 @@ impl<'a> Session<'a> {
         mut f: impl FnMut(&mut Session<'a>) -> Result<T>,
     ) -> Result<T> {
         retry_with_backoff(attempts, || f(self))
+    }
+
+    /// As [`Session::with_retries`], with an **overall wall-clock deadline
+    /// across attempts**: retrying stops once `overall` has elapsed, even
+    /// with attempts left (see [`retry_with_backoff_deadline`]). The first
+    /// attempt always runs.
+    pub fn with_retries_deadline<T>(
+        &mut self,
+        attempts: usize,
+        overall: Duration,
+        mut f: impl FnMut(&mut Session<'a>) -> Result<T>,
+    ) -> Result<T> {
+        retry_with_backoff_deadline(attempts, Some(overall), || f(self))
     }
 }
 
@@ -814,6 +892,57 @@ mod tests {
         assert!(attempt >= 2, "the first attempt must have conflicted");
         let r = db.query("SELECT state FROM jobs WHERE job_id = 2").unwrap();
         assert_eq!(r.first_value("state"), Some(&Value::from("done")));
+    }
+
+    #[test]
+    fn retry_deadline_bounds_the_whole_loop() {
+        // An absurd attempt budget is cut short by the wall-clock deadline:
+        // without it, 1M attempts at up-to-2ms backoff would take ~30 min.
+        let start = Instant::now();
+        let mut calls = 0u32;
+        let err = retry_with_backoff_deadline(1_000_000, Some(Duration::from_millis(20)), || {
+            calls += 1;
+            Err::<(), _>(Error::busy("overloaded"))
+        })
+        .unwrap_err();
+        assert!(err.is_retryable());
+        assert!(calls >= 2, "the budget allows at least one retry");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "the deadline must stop the loop long before the attempts run out"
+        );
+
+        // A zero budget degrades to exactly one attempt.
+        let mut calls = 0u32;
+        let _ = retry_with_backoff_deadline(10, Some(Duration::ZERO), || {
+            calls += 1;
+            Err::<(), _>(Error::busy("overloaded"))
+        });
+        assert_eq!(calls, 1);
+
+        // A success inside the budget returns immediately.
+        let out =
+            retry_with_backoff_deadline(5, Some(Duration::from_secs(5)), || Ok(7)).unwrap();
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn session_governance_applies_to_every_statement() {
+        let db = setup();
+        let mut s = db.session().with_governance(Governance {
+            max_rows: Some(1),
+            ..Governance::default()
+        });
+        let err = s.query("SELECT * FROM jobs", ()).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+        assert!(db.stats().statements_over_budget >= 1);
+        // Statements under the cap still run, in and out of transactions.
+        let r = s.query("SELECT * FROM jobs WHERE job_id = ?", (1i64,)).unwrap();
+        assert_eq!(r.len(), 1);
+        s.execute("BEGIN", ()).unwrap();
+        let err = s.query("SELECT * FROM jobs", ()).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+        s.execute("ROLLBACK", ()).unwrap();
     }
 
     #[test]

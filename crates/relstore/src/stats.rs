@@ -82,6 +82,26 @@ pub struct OpStats {
     /// Failpoints that fired in the durable-log IO path (test-only fault
     /// injection; always zero in production use).
     pub failpoints_hit: u64,
+    /// Statements cancelled because their deadline expired mid-execution
+    /// (surfaced as a statement-deadline [`crate::Error::Timeout`]).
+    pub statements_timed_out: u64,
+    /// Statements cancelled because a resource budget (max rows / max
+    /// result bytes) was exceeded ([`crate::Error::ResourceExhausted`]).
+    pub statements_over_budget: u64,
+    /// Write statements that found their table lock held and entered a
+    /// bounded wait (whether or not the wait eventually succeeded).
+    pub lock_waits: u64,
+    /// Bounded lock waits that expired without the lock freeing (surfaced
+    /// as a retryable lock-wait [`crate::Error::Timeout`]).
+    pub lock_wait_timeouts: u64,
+    /// Idle transactions aborted by the reaper (locks released, changes
+    /// undone, WAL Abort appended).
+    pub txns_reaped: u64,
+    /// High-water mark of the vacuum horizon lag: how many transaction ids
+    /// the oldest live snapshot trails the newest transaction. A gauge like
+    /// [`OpStats::max_version_chain`]: `merge` takes the max and
+    /// `delta_since` reports the current mark, not a difference.
+    pub horizon_lag: u64,
 }
 
 impl OpStats {
@@ -120,6 +140,12 @@ impl OpStats {
                 - earlier.recovery_truncated_bytes,
             corruption_detected: self.corruption_detected - earlier.corruption_detected,
             failpoints_hit: self.failpoints_hit - earlier.failpoints_hit,
+            statements_timed_out: self.statements_timed_out - earlier.statements_timed_out,
+            statements_over_budget: self.statements_over_budget - earlier.statements_over_budget,
+            lock_waits: self.lock_waits - earlier.lock_waits,
+            lock_wait_timeouts: self.lock_wait_timeouts - earlier.lock_wait_timeouts,
+            txns_reaped: self.txns_reaped - earlier.txns_reaped,
+            horizon_lag: self.horizon_lag,
         }
     }
 
@@ -165,6 +191,12 @@ impl OpStats {
         self.recovery_truncated_bytes += other.recovery_truncated_bytes;
         self.corruption_detected += other.corruption_detected;
         self.failpoints_hit += other.failpoints_hit;
+        self.statements_timed_out += other.statements_timed_out;
+        self.statements_over_budget += other.statements_over_budget;
+        self.lock_waits += other.lock_waits;
+        self.lock_wait_timeouts += other.lock_wait_timeouts;
+        self.txns_reaped += other.txns_reaped;
+        self.horizon_lag = self.horizon_lag.max(other.horizon_lag);
     }
 }
 
@@ -208,6 +240,12 @@ pub struct SharedStats {
     recovery_truncated_bytes: AtomicU64,
     corruption_detected: AtomicU64,
     failpoints_hit: AtomicU64,
+    statements_timed_out: AtomicU64,
+    statements_over_budget: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_wait_timeouts: AtomicU64,
+    txns_reaped: AtomicU64,
+    horizon_lag: AtomicU64,
 }
 
 impl SharedStats {
@@ -255,6 +293,15 @@ impl SharedStats {
         add(&self.recovery_truncated_bytes, delta.recovery_truncated_bytes);
         add(&self.corruption_detected, delta.corruption_detected);
         add(&self.failpoints_hit, delta.failpoints_hit);
+        add(&self.statements_timed_out, delta.statements_timed_out);
+        add(&self.statements_over_budget, delta.statements_over_budget);
+        add(&self.lock_waits, delta.lock_waits);
+        add(&self.lock_wait_timeouts, delta.lock_wait_timeouts);
+        add(&self.txns_reaped, delta.txns_reaped);
+        if delta.horizon_lag != 0 {
+            self.horizon_lag
+                .fetch_max(delta.horizon_lag, Ordering::Relaxed);
+        }
     }
 
     /// Copies the current totals into a plain [`OpStats`] value.
@@ -289,6 +336,12 @@ impl SharedStats {
             recovery_truncated_bytes: self.recovery_truncated_bytes.load(Ordering::Relaxed),
             corruption_detected: self.corruption_detected.load(Ordering::Relaxed),
             failpoints_hit: self.failpoints_hit.load(Ordering::Relaxed),
+            statements_timed_out: self.statements_timed_out.load(Ordering::Relaxed),
+            statements_over_budget: self.statements_over_budget.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_timeouts: self.lock_wait_timeouts.load(Ordering::Relaxed),
+            txns_reaped: self.txns_reaped.load(Ordering::Relaxed),
+            horizon_lag: self.horizon_lag.load(Ordering::Relaxed),
         }
     }
 }
@@ -526,6 +579,48 @@ mod tests {
         assert_eq!(d.wal_fsyncs, 2);
         assert_eq!(d.corruption_detected, 0);
         assert_eq!(d.failpoints_hit, 3);
+    }
+
+    #[test]
+    fn governance_counters_and_the_horizon_gauge() {
+        let mut a = OpStats {
+            statements_timed_out: 1,
+            lock_waits: 3,
+            horizon_lag: 7,
+            ..Default::default()
+        };
+        let b = OpStats {
+            statements_over_budget: 2,
+            lock_waits: 1,
+            lock_wait_timeouts: 1,
+            txns_reaped: 4,
+            horizon_lag: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.statements_timed_out, 1);
+        assert_eq!(a.statements_over_budget, 2);
+        assert_eq!(a.lock_waits, 4);
+        assert_eq!(a.lock_wait_timeouts, 1);
+        assert_eq!(a.txns_reaped, 4);
+        assert_eq!(a.horizon_lag, 7, "merge keeps the high-water mark");
+
+        let shared = SharedStats::default();
+        shared.record(&a);
+        shared.record(&OpStats {
+            txns_reaped: 1,
+            horizon_lag: 2,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.txns_reaped, 5);
+        assert_eq!(snap.horizon_lag, 7, "record keeps the larger mark");
+        let d = snap.delta_since(&OpStats {
+            txns_reaped: 2,
+            ..Default::default()
+        });
+        assert_eq!(d.txns_reaped, 3);
+        assert_eq!(d.horizon_lag, 7, "delta reports the current mark");
     }
 
     #[test]

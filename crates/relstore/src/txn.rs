@@ -1,12 +1,14 @@
 //! Transactions: table-level write locking, MVCC snapshots and undo
 //! management.
 //!
-//! Writers use strict two-phase locking at table granularity. Because the
-//! simulated deployment processes requests from a discrete-event loop (there
-//! is no preemption inside a service call), lock conflicts do not block — they
-//! fail fast with [`crate::error::Error::LockConflict`] so the application
-//! server can retry the request, exactly as a busy DB2 instance would time a
-//! lock wait out under heavy contention. **Readers take no locks at all**:
+//! Writers use strict two-phase locking at table granularity. The lock
+//! manager itself fails fast with [`crate::error::Error::LockConflict`]; the
+//! database layer turns that into a **bounded wait** — it retries the
+//! acquisition (without holding the catalog guard) until the configured
+//! lock-wait timeout expires, then surfaces a retryable lock-wait
+//! [`crate::error::Error::Timeout`], exactly as a busy DB2 instance would
+//! time a lock wait out under heavy contention. **Readers take no locks at
+//! all**:
 //! every transaction is stamped with a [`Snapshot`] at begin (and every
 //! autocommit SELECT takes one per statement), and visibility resolution
 //! against row version chains replaces the reader-side conflict check — see
@@ -17,6 +19,7 @@ use crate::mvcc::Snapshot;
 use crate::tuple::{Row, RowId};
 use crate::wal::TxnId;
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// The lock modes supported by the table-level lock manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +169,11 @@ pub struct TxnState {
     /// performs resolves row visibility against it, giving repeatable reads
     /// for the transaction's whole lifetime.
     pub snapshot: Snapshot,
+    /// When the transaction last executed a statement (or began). The idle
+    /// reaper aborts transactions whose `last_activity` is older than the
+    /// idle threshold, so a stalled client cannot pin locks or the vacuum
+    /// horizon forever.
+    pub last_activity: Instant,
 }
 
 /// Allocates transaction ids and tracks active transactions.
@@ -211,9 +219,39 @@ impl TxnManager {
                 undo: Vec::new(),
                 wal_begun: false,
                 snapshot,
+                last_activity: Instant::now(),
             },
         );
         id
+    }
+
+    /// Stamps an active transaction as recently used. A no-op for unknown or
+    /// finished transactions (the statement that follows will surface the
+    /// real [`Error::TxnClosed`]).
+    pub fn touch(&mut self, id: TxnId) {
+        if let Some(state) = self.active.get_mut(&id) {
+            state.last_activity = Instant::now();
+        }
+    }
+
+    /// The transactions that have been idle for at least `idle_for`,
+    /// oldest first — the reaper's candidate list.
+    pub fn idle_txns(&self, idle_for: Duration) -> Vec<TxnId> {
+        let mut stale: Vec<(Instant, TxnId)> = self
+            .active
+            .values()
+            .filter(|s| s.last_activity.elapsed() >= idle_for)
+            .map(|s| (s.last_activity, s.id))
+            .collect();
+        stale.sort_unstable();
+        stale.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// The highest transaction id allocated so far. `high_watermark -
+    /// snapshot_horizon` is the vacuum horizon lag: how far the oldest live
+    /// snapshot trails the newest transaction.
+    pub fn high_watermark(&self) -> u64 {
+        self.next_id
     }
 
     /// The active transaction ids, sorted ascending (the `in_flight` set of
@@ -373,6 +411,25 @@ mod tests {
         tm.finish_commit(t2).unwrap();
         assert_eq!(tm.snapshot_horizon(), u64::MAX, "no snapshots pin versions");
         assert!(tm.snapshot_of(t1).is_err());
+    }
+
+    #[test]
+    fn idle_txns_and_touch() {
+        let mut tm = TxnManager::new();
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        assert!(tm.idle_txns(Duration::from_secs(60)).is_empty());
+        let idle = tm.idle_txns(Duration::ZERO);
+        assert_eq!(idle.len(), 2);
+        assert_eq!(idle[0], t1, "oldest first");
+
+        std::thread::sleep(Duration::from_millis(5));
+        tm.touch(t1);
+        assert_eq!(tm.idle_txns(Duration::from_millis(4)), vec![t2]);
+
+        tm.finish_commit(t2).unwrap();
+        tm.touch(t2); // no-op on a finished transaction
+        assert_eq!(tm.high_watermark(), 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::protocol::{
 use relstore::{Error, ExecResult, FromRow, FromValue, IntoParams, QueryResult, Result, Row};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A prepared-statement handle on one connection (see [`Client::prepare`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +75,10 @@ pub struct Client {
     /// Tracks the connection's SQL-level transaction so the RAII guard and
     /// the pool can tell whether the connection is mid-transaction.
     in_txn: bool,
+    /// Deadline attached to every statement request sent on this
+    /// connection; the server enforces the tighter of this and its own
+    /// configured default.
+    deadline: Option<Duration>,
 }
 
 impl Client {
@@ -88,6 +93,7 @@ impl Client {
             stream,
             broken: false,
             in_txn: false,
+            deadline: None,
         })
     }
 
@@ -99,6 +105,27 @@ impl Client {
     /// True when a transaction is open on this connection.
     pub fn in_transaction(&self) -> bool {
         self.in_txn
+    }
+
+    /// Sets the deadline attached to every subsequent statement request on
+    /// this connection (`None` clears it). The server runs the statement
+    /// under the *tighter* of this and its configured default and answers
+    /// an overrun with a statement-deadline [`Error::Timeout`] — a client
+    /// can narrow its budget but never widen the server's.
+    pub fn set_statement_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The deadline currently attached to statement requests, if any.
+    pub fn statement_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The wire form of the statement deadline: whole milliseconds,
+    /// saturating at `u32::MAX` (~49 days).
+    fn deadline_ms(&self) -> Option<u32> {
+        self.deadline
+            .map(|d| d.as_millis().min(u128::from(u32::MAX)) as u32)
     }
 
     fn send(&mut self, req: &Request) -> Result<()> {
@@ -185,6 +212,7 @@ impl Client {
         self.send(&Request::Execute {
             stmt: stmt.into(),
             params: params.into_params(),
+            deadline_ms: self.deadline_ms(),
         })?;
         match self.recv()? {
             Response::Affected(n) => Ok(ExecResult::Affected(n as usize)),
@@ -212,6 +240,7 @@ impl Client {
         self.send(&Request::Query {
             stmt: stmt.into(),
             params: params.into_params(),
+            deadline_ms: self.deadline_ms(),
         })?;
         let first = self.recv()?;
         self.read_query_result(first)
@@ -257,6 +286,7 @@ impl Client {
         self.send(&Request::ExecuteBatch {
             stmt: stmt.into(),
             bindings: bindings.into_iter().map(IntoParams::into_params).collect(),
+            deadline_ms: self.deadline_ms(),
         })?;
         match self.recv()? {
             Response::Affected(n) => Ok(n as usize),
@@ -276,6 +306,7 @@ impl Client {
         self.send(&Request::QueryBatch {
             stmt: stmt.into(),
             bindings: bindings.into_iter().map(IntoParams::into_params).collect(),
+            deadline_ms: self.deadline_ms(),
         })?;
         let count = match self.recv()? {
             Response::BatchHeader { count } => count as usize,
@@ -340,6 +371,44 @@ impl Client {
         mut f: impl FnMut(&mut Client) -> Result<T>,
     ) -> Result<T> {
         relstore::retry_with_backoff(attempts, || f(self))
+    }
+
+    /// [`Client::with_retries`] under an overall wall-clock budget: the
+    /// whole loop — every attempt *and* every backoff sleep — stays within
+    /// `overall` (see [`relstore::retry_with_backoff_deadline`]). The first
+    /// attempt always runs.
+    pub fn with_retries_deadline<T>(
+        &mut self,
+        attempts: usize,
+        overall: Duration,
+        mut f: impl FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        relstore::retry_with_backoff_deadline(attempts, Some(overall), || f(self))
+    }
+
+    /// Best-effort rollback of a transaction abandoned by a drop path,
+    /// bounded by short socket timeouts so a stalled server cannot pin the
+    /// drop. A transport failure just marks the connection broken — the
+    /// server rolls the transaction back when it observes the close.
+    fn rollback_abandoned(&mut self) {
+        if !self.in_txn || self.broken {
+            return;
+        }
+        let bound = Some(Duration::from_millis(250));
+        let _ = self.stream.set_write_timeout(bound);
+        let _ = self.stream.set_read_timeout(bound);
+        let _ = self.rollback();
+        let _ = self.stream.set_write_timeout(None);
+        let _ = self.stream.set_read_timeout(None);
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Dropping mid-transaction sends a best-effort Rollback so the
+        // server releases the locks *now*, not when it next polls the
+        // socket and observes the close.
+        self.rollback_abandoned();
     }
 }
 
@@ -545,9 +614,31 @@ impl ClientPool {
     pub fn with_retries<T>(
         &self,
         attempts: usize,
+        f: impl FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        self.with_retries_inner(attempts, None, f)
+    }
+
+    /// [`ClientPool::with_retries`] under an overall wall-clock budget: the
+    /// whole loop — every attempt *and* every backoff sleep — stays within
+    /// `overall` (see [`relstore::retry_with_backoff_deadline`]). The first
+    /// attempt always runs.
+    pub fn with_retries_deadline<T>(
+        &self,
+        attempts: usize,
+        overall: Duration,
+        f: impl FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        self.with_retries_inner(attempts, Some(overall), f)
+    }
+
+    fn with_retries_inner<T>(
+        &self,
+        attempts: usize,
+        overall: Option<Duration>,
         mut f: impl FnMut(&mut Client) -> Result<T>,
     ) -> Result<T> {
-        relstore::retry_with_backoff(attempts, || {
+        relstore::retry_with_backoff_deadline(attempts, overall, || {
             self.get()
                 .and_then(|mut conn| f(&mut conn))
                 .map_err(|e| match e {
@@ -586,9 +677,15 @@ impl std::ops::DerefMut for PooledClient {
 
 impl Drop for PooledClient {
     fn drop(&mut self) {
-        let client = self.client.take().expect("client present until drop");
+        let mut client = self.client.take().expect("client present until drop");
+        // A connection returned mid-transaction is still discarded (its
+        // state is suspect), but a best-effort Rollback first releases the
+        // transaction's locks immediately instead of when the server
+        // notices the socket close.
+        let abandoned = client.in_txn;
+        client.rollback_abandoned();
         let mut state = self.pool.state.lock().unwrap();
-        if client.broken || client.in_txn {
+        if client.broken || abandoned {
             // Closing the socket makes the server roll back any open
             // transaction; the pool slot frees for a fresh dial.
             state.open -= 1;

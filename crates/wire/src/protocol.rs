@@ -19,7 +19,7 @@
 //!   one (a write-write conflict stays retryable across the wire).
 
 use crate::codec::{self, Reader, MAX_FRAME};
-use relstore::{Error, ErrorClass, Result, Row, Value};
+use relstore::{Error, ErrorClass, Result, Row, TimeoutKind, Value};
 use std::io::{Read, Write};
 
 /// The four magic bytes opening every handshake.
@@ -28,7 +28,11 @@ pub const MAGIC: [u8; 4] = *b"RSTW";
 /// Protocol version spoken by this build. A server refuses a client whose
 /// version differs (the protocol has no negotiation yet — versions are
 /// expected to move in lockstep within one deployment).
-pub const VERSION: u16 = 1;
+///
+/// Version 2 added the optional per-statement deadline to the four
+/// statement-carrying requests and the `Timeout` / `ResourceExhausted`
+/// error tags.
+pub const VERSION: u16 = 2;
 
 /// A statement reference in a request: raw SQL text (resolved through the
 /// server's statement cache) or a handle returned by a prior
@@ -56,6 +60,9 @@ pub enum Request {
         stmt: StmtRef,
         /// Positional parameter bindings.
         params: Vec<Value>,
+        /// Client-requested statement deadline in milliseconds; the server
+        /// enforces the *minimum* of this and its own configured default.
+        deadline_ms: Option<u32>,
     },
     /// Execute a SELECT; a non-query statement is an error.
     Query {
@@ -63,6 +70,8 @@ pub enum Request {
         stmt: StmtRef,
         /// Positional parameter bindings.
         params: Vec<Value>,
+        /// Client-requested statement deadline in milliseconds.
+        deadline_ms: Option<u32>,
     },
     /// Execute a prepared DML statement once per binding under one catalog
     /// guard and one WAL append (see `Database::execute_batch`).
@@ -71,6 +80,8 @@ pub enum Request {
         stmt: StmtRef,
         /// One positional binding list per execution.
         bindings: Vec<Vec<Value>>,
+        /// Client-requested deadline for the whole batch in milliseconds.
+        deadline_ms: Option<u32>,
     },
     /// Execute a prepared SELECT once per binding under one shared guard.
     QueryBatch {
@@ -78,6 +89,8 @@ pub enum Request {
         stmt: StmtRef,
         /// One positional binding list per execution.
         bindings: Vec<Vec<Value>>,
+        /// Client-requested deadline for the whole batch in milliseconds.
+        deadline_ms: Option<u32>,
     },
     /// Open the connection's transaction (at most one may be open).
     Begin,
@@ -151,6 +164,11 @@ fn error_variant(e: &Error) -> (u8, &str) {
         Error::Internal(s) => (10, s),
         Error::Io(s) => (11, s),
         Error::Corruption(s) => (12, s),
+        // Both timeout kinds share tag 13; the class byte disambiguates
+        // (LockWait is Retryable, Statement is Logic), so the kind is
+        // reconstructed without a second discriminant on the wire.
+        Error::Timeout { msg, .. } => (13, msg),
+        Error::ResourceExhausted(s) => (14, s),
     }
 }
 
@@ -188,6 +206,15 @@ fn get_error(r: &mut Reader<'_>) -> Result<Error> {
         10 => Error::Internal(msg),
         11 => Error::Io(msg),
         12 => Error::Corruption(msg),
+        13 => Error::Timeout {
+            kind: if class == 0 {
+                TimeoutKind::LockWait
+            } else {
+                TimeoutKind::Statement
+            },
+            msg,
+        },
+        14 => Error::ResourceExhausted(msg),
         // A variant from a newer peer: fall back on the transported class so
         // at least retryability survives.
         _ => match class {
@@ -229,6 +256,24 @@ fn put_bindings(buf: &mut Vec<u8>, bindings: &[Vec<Value>]) {
     }
 }
 
+fn put_deadline(buf: &mut Vec<u8>, deadline_ms: Option<u32>) {
+    match deadline_ms {
+        Some(ms) => {
+            codec::put_u8(buf, 1);
+            codec::put_u32(buf, ms);
+        }
+        None => codec::put_u8(buf, 0),
+    }
+}
+
+fn get_deadline(r: &mut Reader<'_>) -> Result<Option<u32>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u32()?)),
+        b => Err(Error::net(format!("invalid deadline presence byte {b}"))),
+    }
+}
+
 fn get_bindings(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>> {
     let n = r.u32()? as usize;
     // Each binding costs at least its 2-byte value count, so a hostile
@@ -257,25 +302,45 @@ impl Request {
                 codec::put_u8(&mut buf, 1);
                 codec::put_str(&mut buf, sql);
             }
-            Request::Execute { stmt, params } => {
+            Request::Execute {
+                stmt,
+                params,
+                deadline_ms,
+            } => {
                 codec::put_u8(&mut buf, 2);
                 put_stmt(&mut buf, stmt);
                 codec::put_values(&mut buf, params);
+                put_deadline(&mut buf, *deadline_ms);
             }
-            Request::Query { stmt, params } => {
+            Request::Query {
+                stmt,
+                params,
+                deadline_ms,
+            } => {
                 codec::put_u8(&mut buf, 3);
                 put_stmt(&mut buf, stmt);
                 codec::put_values(&mut buf, params);
+                put_deadline(&mut buf, *deadline_ms);
             }
-            Request::ExecuteBatch { stmt, bindings } => {
+            Request::ExecuteBatch {
+                stmt,
+                bindings,
+                deadline_ms,
+            } => {
                 codec::put_u8(&mut buf, 4);
                 put_stmt(&mut buf, stmt);
                 put_bindings(&mut buf, bindings);
+                put_deadline(&mut buf, *deadline_ms);
             }
-            Request::QueryBatch { stmt, bindings } => {
+            Request::QueryBatch {
+                stmt,
+                bindings,
+                deadline_ms,
+            } => {
                 codec::put_u8(&mut buf, 5);
                 put_stmt(&mut buf, stmt);
                 put_bindings(&mut buf, bindings);
+                put_deadline(&mut buf, *deadline_ms);
             }
             Request::Begin => codec::put_u8(&mut buf, 6),
             Request::Commit => codec::put_u8(&mut buf, 7),
@@ -298,18 +363,22 @@ impl Request {
             2 => Request::Execute {
                 stmt: get_stmt(&mut r)?,
                 params: r.values()?,
+                deadline_ms: get_deadline(&mut r)?,
             },
             3 => Request::Query {
                 stmt: get_stmt(&mut r)?,
                 params: r.values()?,
+                deadline_ms: get_deadline(&mut r)?,
             },
             4 => Request::ExecuteBatch {
                 stmt: get_stmt(&mut r)?,
                 bindings: get_bindings(&mut r)?,
+                deadline_ms: get_deadline(&mut r)?,
             },
             5 => Request::QueryBatch {
                 stmt: get_stmt(&mut r)?,
                 bindings: get_bindings(&mut r)?,
+                deadline_ms: get_deadline(&mut r)?,
             },
             6 => Request::Begin,
             7 => Request::Commit,
@@ -593,18 +662,27 @@ mod tests {
             Request::Execute {
                 stmt: StmtRef::Sql("DELETE FROM jobs".into()),
                 params: vec![],
+                deadline_ms: None,
+            },
+            Request::Execute {
+                stmt: StmtRef::Sql("DELETE FROM jobs".into()),
+                params: vec![],
+                deadline_ms: Some(250),
             },
             Request::Query {
                 stmt: StmtRef::Id(7),
                 params: vec![Value::Int(1), Value::Null, Value::Text("x'y".into())],
+                deadline_ms: Some(5_000),
             },
             Request::ExecuteBatch {
                 stmt: StmtRef::Id(0),
                 bindings: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+                deadline_ms: None,
             },
             Request::QueryBatch {
                 stmt: StmtRef::Sql("SELECT 1".into()),
                 bindings: vec![vec![]],
+                deadline_ms: Some(1),
             },
             Request::Begin,
             Request::Commit,
@@ -662,6 +740,9 @@ mod tests {
             Error::internal("bug"),
             Error::io("fsync failed"),
             Error::corruption("bad crc"),
+            Error::statement_timeout("slow scan"),
+            Error::lock_wait_timeout("table jobs"),
+            Error::resource_exhausted("rows materialized"),
         ] {
             let decoded = match Response::decode(&Response::Err(e.clone()).encode()).unwrap() {
                 Response::Err(d) => d,

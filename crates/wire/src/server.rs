@@ -33,7 +33,9 @@ use crate::protocol::{
 use relstore::sql::ast::Statement;
 use relstore::stats::SharedStats;
 use relstore::wal::TxnId;
-use relstore::{Database, Error, ExecResult, OpStats, Prepared, QueryResult, Result, Value};
+use relstore::{
+    Database, Error, ExecResult, Governance, OpStats, Prepared, QueryResult, Result, Value,
+};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -72,6 +74,26 @@ pub struct ServerConfig {
     /// receive window fails the in-flight response rather than blocking the
     /// worker indefinitely.
     pub write_timeout: Duration,
+    /// Server-side default statement deadline. A request carrying its own
+    /// deadline gets the *tighter* of the two; `None` imposes no server
+    /// default. Expiry surfaces a statement-deadline [`Error::Timeout`].
+    pub statement_deadline: Option<Duration>,
+    /// Cap on rows materialized by one statement (engine-side, before any
+    /// response page is built); exceeded → [`Error::ResourceExhausted`].
+    pub max_result_rows: Option<u64>,
+    /// Cap on approximate result bytes materialized by one statement;
+    /// exceeded → [`Error::ResourceExhausted`].
+    pub max_result_bytes: Option<u64>,
+    /// How long a write statement waits for a conflicted table lock before
+    /// failing with a retryable lock-wait [`Error::Timeout`]. Zero keeps
+    /// the embedded engine's fail-fast [`Error::LockConflict`] behaviour.
+    pub lock_wait_timeout: Duration,
+    /// A transaction idle (no statement, commit, or rollback) for longer
+    /// than this is aborted by the reaper thread: locks released, versions
+    /// undone, counted in `txns_reaped`. `None` disables the reaper.
+    pub idle_txn_timeout: Option<Duration>,
+    /// How often the reaper thread scans for idle transactions.
+    pub reap_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +106,12 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            statement_deadline: Some(Duration::from_secs(30)),
+            max_result_rows: None,
+            max_result_bytes: Some(64 * 1024 * 1024),
+            lock_wait_timeout: Duration::from_millis(100),
+            idle_txn_timeout: Some(Duration::from_secs(300)),
+            reap_interval: Duration::from_secs(1),
         }
     }
 }
@@ -105,6 +133,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -139,6 +168,7 @@ pub fn serve_with(
         idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
         read_timeout: config.read_timeout.max(Duration::from_millis(1)),
         write_timeout: config.write_timeout.max(Duration::from_millis(1)),
+        reap_interval: config.reap_interval.max(Duration::from_millis(1)),
         ..config
     };
     let listener = TcpListener::bind(addr).map_err(protocol::io_err)?;
@@ -164,12 +194,34 @@ pub fn serve_with(
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(shared, &listener, &tx))
     };
+    let reaper = shared.config.idle_txn_timeout.map(|idle| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || reaper_loop(&shared, idle))
+    });
     Ok(ServerHandle {
         addr,
         shared,
         accept: Some(accept),
+        reaper,
         workers,
     })
+}
+
+/// The idle-transaction reaper: every [`ServerConfig::reap_interval`] it
+/// aborts transactions idle past `idle` via [`Database::reap_idle`], so an
+/// abandoned-but-connected client (open socket, silent transaction) cannot
+/// pin locks or the vacuum horizon forever. Connection-level idle reaping
+/// (`idle_timeout`) handles *dead* sockets; this handles live ones.
+fn reaper_loop(shared: &Shared, idle: Duration) {
+    let nap = shared.config.poll_interval.min(shared.config.reap_interval);
+    let mut due = std::time::Instant::now() + shared.config.reap_interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(nap);
+        if std::time::Instant::now() >= due {
+            shared.db.reap_idle(idle);
+            due = std::time::Instant::now() + shared.config.reap_interval;
+        }
+    }
 }
 
 impl ServerHandle {
@@ -212,6 +264,9 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(reaper) = self.reaper.take() {
+            let _ = reaper.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -392,32 +447,54 @@ fn handle_request(shared: &Shared, conn: &mut ConnState, req: Request) -> Outcom
             }
             Err(e) => Outcome::One(Response::Err(e)),
         },
-        Request::Execute { stmt, params } => match execute_stmt(db, conn, stmt, params) {
-            Ok(ExecResult::Query(q)) => Outcome::Rows(q),
-            Ok(ExecResult::Affected(n)) => Outcome::One(Response::Affected(n as u64)),
-            Ok(ExecResult::Ack) => Outcome::One(ack(conn)),
-            Err(e) => Outcome::One(Response::Err(e)),
-        },
-        Request::Query { stmt, params } => {
-            match execute_stmt(db, conn, stmt, params).and_then(ExecResult::query) {
+        Request::Execute {
+            stmt,
+            params,
+            deadline_ms,
+        } => {
+            let gov = governance_for(shared, deadline_ms);
+            match execute_stmt(db, conn, stmt, params, &gov) {
+                Ok(ExecResult::Query(q)) => Outcome::Rows(q),
+                Ok(ExecResult::Affected(n)) => Outcome::One(Response::Affected(n as u64)),
+                Ok(ExecResult::Ack) => Outcome::One(ack(conn)),
+                Err(e) => Outcome::One(Response::Err(e)),
+            }
+        }
+        Request::Query {
+            stmt,
+            params,
+            deadline_ms,
+        } => {
+            let gov = governance_for(shared, deadline_ms);
+            match execute_stmt(db, conn, stmt, params, &gov).and_then(ExecResult::query) {
                 Ok(q) => Outcome::Rows(q),
                 Err(e) => Outcome::One(Response::Err(e)),
             }
         }
-        Request::ExecuteBatch { stmt, bindings } => {
+        Request::ExecuteBatch {
+            stmt,
+            bindings,
+            deadline_ms,
+        } => {
+            let gov = governance_for(shared, deadline_ms);
             let run = resolve_stmt(conn, db, stmt).and_then(|prepared| match conn.txn {
-                Some(txn) => db.execute_batch_in(txn, &prepared, &bindings),
-                None => db.execute_batch(&prepared, &bindings),
+                Some(txn) => db.execute_batch_in_governed(txn, &prepared, &bindings, &gov),
+                None => db.execute_batch_governed(&prepared, &bindings, &gov),
             });
             match run {
                 Ok(n) => Outcome::One(Response::Affected(n as u64)),
                 Err(e) => Outcome::One(Response::Err(e)),
             }
         }
-        Request::QueryBatch { stmt, bindings } => {
+        Request::QueryBatch {
+            stmt,
+            bindings,
+            deadline_ms,
+        } => {
+            let gov = governance_for(shared, deadline_ms);
             let run = resolve_stmt(conn, db, stmt).and_then(|prepared| match conn.txn {
-                Some(txn) => db.query_batch_in(txn, &prepared, &bindings),
-                None => db.query_batch(&prepared, &bindings),
+                Some(txn) => db.query_batch_in_governed(txn, &prepared, &bindings, &gov),
+                None => db.query_batch_governed(&prepared, &bindings, &gov),
             });
             match run {
                 Ok(results) => Outcome::Batch(results),
@@ -442,6 +519,26 @@ fn handle_request(shared: &Shared, conn: &mut ConnState, req: Request) -> Outcom
                 "prepared statement #{id} on this connection"
             ))),
         }),
+    }
+}
+
+/// The per-statement limits one request runs under: the server's configured
+/// budgets, with the deadline being the *tighter* of the client-requested
+/// one and [`ServerConfig::statement_deadline`] — a client can narrow its
+/// budget but never widen the server's.
+fn governance_for(shared: &Shared, deadline_ms: Option<u32>) -> Governance {
+    let cfg = &shared.config;
+    let requested = deadline_ms.map(|ms| Duration::from_millis(u64::from(ms)));
+    let deadline = match (requested, cfg.statement_deadline) {
+        (Some(client), Some(server)) => Some(client.min(server)),
+        (client, server) => client.or(server),
+    };
+    Governance {
+        deadline,
+        max_rows: cfg.max_result_rows,
+        max_bytes: cfg.max_result_bytes,
+        lock_wait: Some(cfg.lock_wait_timeout),
+        ..Governance::default()
     }
 }
 
@@ -490,6 +587,7 @@ fn execute_stmt(
     conn: &mut ConnState,
     stmt: StmtRef,
     params: Vec<Value>,
+    gov: &Governance,
 ) -> Result<ExecResult> {
     let prepared = resolve_stmt(conn, db, stmt)?;
     match prepared.statement() {
@@ -503,8 +601,8 @@ fn execute_stmt(
         Statement::Commit => txn_finish(db, conn, true).map(|()| ExecResult::Ack),
         Statement::Rollback => txn_finish(db, conn, false).map(|()| ExecResult::Ack),
         _ => match conn.txn {
-            Some(txn) => db.execute_prepared_in(txn, &prepared, &params),
-            None => db.execute_prepared(&prepared, &params),
+            Some(txn) => db.execute_prepared_in_governed(txn, &prepared, &params, gov),
+            None => db.execute_prepared_governed(&prepared, &params, gov),
         },
     }
 }

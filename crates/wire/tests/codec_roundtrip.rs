@@ -67,13 +67,15 @@ proptest! {
         bindings in prop::collection::vec(prop::collection::vec(value_strategy(), 0..4), 0..5),
         sql in "\\PC{0,40}",
         id in 0..u32::MAX,
+        deadline_seed in 0..u32::MAX,
     ) {
+        let deadline_ms = (deadline_seed % 3 != 0).then_some(deadline_seed);
         let requests = [
             Request::Prepare { sql: sql.clone() },
-            Request::Execute { stmt: StmtRef::Sql(sql.clone()), params: params.clone() },
-            Request::Query { stmt: StmtRef::Id(id), params: params.clone() },
-            Request::ExecuteBatch { stmt: StmtRef::Id(id), bindings: bindings.clone() },
-            Request::QueryBatch { stmt: StmtRef::Sql(sql), bindings },
+            Request::Execute { stmt: StmtRef::Sql(sql.clone()), params: params.clone(), deadline_ms },
+            Request::Query { stmt: StmtRef::Id(id), params: params.clone(), deadline_ms },
+            Request::ExecuteBatch { stmt: StmtRef::Id(id), bindings: bindings.clone(), deadline_ms },
+            Request::QueryBatch { stmt: StmtRef::Sql(sql), bindings, deadline_ms },
         ];
         for req in requests {
             let payload = req.encode();

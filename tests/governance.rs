@@ -1,0 +1,376 @@
+//! Integration tests of the resource-governance layer: statement deadlines
+//! and cooperative cancellation, row/byte budgets, bounded lock waits, the
+//! idle-transaction reaper, and the same limits enforced end-to-end over
+//! the wire protocol. Every refusal must be a *typed* error with the right
+//! retry class — `Timeout{LockWait}` is retryable, `Timeout{Statement}` and
+//! `ResourceExhausted` are logic errors the caller must not blindly retry.
+
+use relstore::{Database, Error, ErrorClass, Governance, TimeoutKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wire::{serve_with, Client, ServerConfig};
+
+fn db_with_rows(rows: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
+    let ins = db.prepare("INSERT INTO jobs VALUES (?, ?)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..rows).map(|id| (id, "idle")))
+        .unwrap();
+    db
+}
+
+#[test]
+fn statement_deadline_cancels_a_scan_with_a_logic_class_timeout() {
+    let db = db_with_rows(500);
+    let gov = Governance {
+        deadline: Some(Duration::ZERO),
+        check_interval: Some(8),
+        ..Governance::default()
+    };
+    let err = db
+        .query_governed("SELECT * FROM jobs WHERE state = 'idle'", &gov)
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::Timeout { kind: TimeoutKind::Statement, .. }),
+        "{err}"
+    );
+    assert_eq!(err.class(), ErrorClass::Logic);
+    assert!(!err.is_retryable(), "a deadline overrun must not invite a blind retry");
+    assert_eq!(db.stats().statements_timed_out, 1);
+
+    // An unlimited statement on the same table still works: the failure
+    // cancelled one statement, not the connection or the engine.
+    assert_eq!(db.query("SELECT * FROM jobs").unwrap().rows.len(), 500);
+}
+
+#[test]
+fn cancellation_token_stops_a_statement_from_another_thread() {
+    let db = db_with_rows(200);
+    let cancel = Arc::new(AtomicBool::new(true)); // pre-cancelled: trips at the first boundary
+    let gov = Governance {
+        cancel: Some(Arc::clone(&cancel)),
+        check_interval: Some(1),
+        ..Governance::default()
+    };
+    let err = db.query_governed("SELECT * FROM jobs", &gov).unwrap_err();
+    assert!(matches!(err, Error::Timeout { kind: TimeoutKind::Statement, .. }), "{err}");
+
+    // Clearing the token lets the same governance run to completion.
+    cancel.store(false, Ordering::Relaxed);
+    assert_eq!(db.query_governed("SELECT * FROM jobs", &gov).unwrap().rows.len(), 200);
+}
+
+#[test]
+fn row_and_byte_budgets_trip_before_rows_are_returned() {
+    let db = db_with_rows(100);
+
+    let rows = Governance {
+        max_rows: Some(10),
+        ..Governance::default()
+    };
+    let err = db.query_governed("SELECT * FROM jobs", &rows).unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert_eq!(err.class(), ErrorClass::Logic);
+
+    let bytes = Governance {
+        max_bytes: Some(64),
+        ..Governance::default()
+    };
+    let err = db.query_governed("SELECT * FROM jobs", &bytes).unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+
+    assert_eq!(db.stats().statements_over_budget, 2);
+    // A point select fits comfortably inside both budgets.
+    let got = db
+        .query_governed("SELECT state FROM jobs WHERE job_id = 7", &rows)
+        .unwrap();
+    assert_eq!(got.rows.len(), 1);
+}
+
+#[test]
+fn bounded_lock_wait_outlasts_a_short_writer() {
+    let db = db_with_rows(4);
+    let txn = db.begin();
+    db.execute_in(txn, "UPDATE jobs SET state = 'held' WHERE job_id = 0").unwrap();
+
+    // A second writer with a generous lock-wait budget blocks while the
+    // first transaction holds the table lock, then proceeds once it
+    // commits — no LockConflict surfaces at all.
+    std::thread::scope(|s| {
+        let db = &db;
+        let waiter = s.spawn(move || {
+            let gov = Governance {
+                lock_wait: Some(Duration::from_secs(5)),
+                ..Governance::default()
+            };
+            db.execute_governed("UPDATE jobs SET state = 'won' WHERE job_id = 1", &gov)
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        db.commit(txn).unwrap();
+        waiter.join().unwrap().unwrap();
+    });
+
+    let stats = db.stats();
+    assert!(stats.lock_waits >= 1, "the waiter must have recorded its wait");
+    assert_eq!(stats.lock_wait_timeouts, 0);
+    let state: Vec<String> = db
+        .session()
+        .query_scalars("SELECT state FROM jobs WHERE job_id = 1", ())
+        .unwrap();
+    assert_eq!(state, vec!["won".to_string()]);
+}
+
+#[test]
+fn bounded_lock_wait_expires_with_a_retryable_timeout() {
+    let db = db_with_rows(4);
+    let txn = db.begin();
+    db.execute_in(txn, "UPDATE jobs SET state = 'held' WHERE job_id = 0").unwrap();
+
+    let gov = Governance {
+        lock_wait: Some(Duration::from_millis(20)),
+        ..Governance::default()
+    };
+    let err = db
+        .execute_governed("UPDATE jobs SET state = 'lost' WHERE job_id = 1", &gov)
+        .unwrap_err();
+    assert!(matches!(err, Error::Timeout { kind: TimeoutKind::LockWait, .. }), "{err}");
+    assert_eq!(err.class(), ErrorClass::Retryable);
+    assert!(err.is_retryable(), "a lock-wait expiry is exactly what retries are for");
+    let stats = db.stats();
+    assert!(stats.lock_waits >= 1);
+    assert!(stats.lock_wait_timeouts >= 1);
+
+    // Zero wait (the embedded default) keeps the seed's fail-fast contract.
+    let err = db
+        .execute("UPDATE jobs SET state = 'lost' WHERE job_id = 1")
+        .unwrap_err();
+    assert!(matches!(err, Error::LockConflict(_)), "{err}");
+    db.rollback(txn).unwrap();
+}
+
+#[test]
+fn a_statement_deadline_caps_the_lock_wait_too() {
+    let db = db_with_rows(4);
+    let txn = db.begin();
+    db.execute_in(txn, "UPDATE jobs SET state = 'held' WHERE job_id = 0").unwrap();
+
+    // The statement deadline (20ms) is tighter than the lock-wait budget
+    // (10s): the waiter must give up when the *statement* expires rather
+    // than camping on the lock for ten seconds.
+    let gov = Governance {
+        deadline: Some(Duration::from_millis(20)),
+        lock_wait: Some(Duration::from_secs(10)),
+        ..Governance::default()
+    };
+    let start = std::time::Instant::now();
+    let err = db
+        .execute_governed("UPDATE jobs SET state = 'lost' WHERE job_id = 1", &gov)
+        .unwrap_err();
+    assert!(start.elapsed() < Duration::from_secs(5), "deadline must cut the wait short");
+    assert!(matches!(err, Error::Timeout { .. }), "{err}");
+    db.rollback(txn).unwrap();
+}
+
+#[test]
+fn reaper_aborts_idle_transactions_and_releases_their_locks() {
+    let db = db_with_rows(4);
+    db.execute("CREATE TABLE side (id INT PRIMARY KEY, v TEXT)").unwrap();
+    db.execute("INSERT INTO side VALUES (1, 'start')").unwrap();
+
+    let abandoned = db.begin();
+    db.execute_in(abandoned, "UPDATE jobs SET state = 'zombie' WHERE job_id = 0").unwrap();
+
+    // A transaction that keeps executing statements (on its own table —
+    // write locks are table-level) is *not* idle and must survive the
+    // reaper no matter how long ago it began.
+    let live = db.begin();
+    db.execute_in(live, "UPDATE side SET v = 'busy' WHERE id = 1").unwrap();
+
+    std::thread::sleep(Duration::from_millis(30));
+    db.execute_in(live, "UPDATE side SET v = 'busy2' WHERE id = 1").unwrap();
+    let reaped = db.reap_idle(Duration::from_millis(25));
+    assert_eq!(reaped, 1, "exactly the abandoned transaction is reaped");
+    assert_eq!(db.stats().txns_reaped, 1);
+
+    // The zombie's lock is gone (a new writer gets through), its update is
+    // undone, and finishing it reports the transaction as closed.
+    db.execute("UPDATE jobs SET state = 'fresh' WHERE job_id = 0").unwrap();
+    assert!(matches!(db.commit(abandoned).unwrap_err(), Error::TxnClosed(_)));
+    db.commit(live).unwrap();
+
+    let state: Vec<String> = db
+        .session()
+        .query_scalars("SELECT state FROM jobs WHERE job_id = 0", ())
+        .unwrap();
+    assert_eq!(state, vec!["fresh".to_string()]);
+    let side: Vec<String> = db
+        .session()
+        .query_scalars("SELECT v FROM side WHERE id = 1", ())
+        .unwrap();
+    assert_eq!(side, vec!["busy2".to_string()]);
+    db.check_consistency().unwrap();
+}
+
+#[test]
+fn reaping_unpins_the_vacuum_horizon() {
+    let db = db_with_rows(8);
+    let pinner = db.begin();
+    db.execute_in(pinner, "SELECT * FROM jobs").unwrap();
+
+    // Churn some versions while the idle reader pins the horizon.
+    for _ in 0..3 {
+        db.execute("UPDATE jobs SET state = 'churn' WHERE job_id = 2").unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(15));
+    assert_eq!(db.reap_idle(Duration::from_millis(10)), 1);
+    assert!(db.stats().horizon_lag >= 1, "the lag gauge saw the pinned horizon");
+
+    // With the pinner gone the dead versions are reclaimable again.
+    let reclaimed = db.vacuum_all();
+    assert!(reclaimed > 0, "vacuum must reclaim the churned versions");
+    db.check_consistency().unwrap();
+}
+
+// --- the same limits, end to end over TCP ------------------------------------
+
+fn governed_server(db: Arc<Database>, config: ServerConfig) -> wire::ServerHandle {
+    serve_with(db, "127.0.0.1:0", config).unwrap()
+}
+
+#[test]
+fn wire_deadline_and_budgets_surface_typed_errors() {
+    let db = Arc::new(db_with_rows(3000));
+    let server = governed_server(
+        Arc::clone(&db),
+        ServerConfig {
+            max_result_rows: Some(100),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The server-side row cap trips regardless of what the client asks for.
+    let err = client.query("SELECT * FROM jobs", ()).unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert_eq!(err.class(), ErrorClass::Logic);
+
+    // A client-attached zero deadline expires at the first check boundary;
+    // the error arrives with its kind and class intact.
+    client.set_statement_deadline(Some(Duration::ZERO));
+    let err = client.query("SELECT * FROM jobs WHERE state = 'idle'", ()).unwrap_err();
+    assert!(matches!(err, Error::Timeout { kind: TimeoutKind::Statement, .. }), "{err}");
+    assert_eq!(err.class(), ErrorClass::Logic);
+
+    // Clearing the deadline restores service on the same connection.
+    client.set_statement_deadline(None);
+    let one = client.query("SELECT state FROM jobs WHERE job_id = 9", ()).unwrap();
+    assert_eq!(one.rows.len(), 1);
+    assert!(db.stats().statements_timed_out >= 1);
+    assert!(db.stats().statements_over_budget >= 1);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn wire_lock_conflicts_wait_then_time_out_retryably() {
+    let db = Arc::new(db_with_rows(4));
+    let server = governed_server(
+        Arc::clone(&db),
+        ServerConfig {
+            lock_wait_timeout: Duration::from_millis(30),
+            ..ServerConfig::default()
+        },
+    );
+    let mut holder = Client::connect(server.local_addr()).unwrap();
+    holder.begin().unwrap();
+    holder.execute("UPDATE jobs SET state = 'held' WHERE job_id = 0", ()).unwrap();
+
+    let mut blocked = Client::connect(server.local_addr()).unwrap();
+    let err = blocked
+        .execute("UPDATE jobs SET state = 'nope' WHERE job_id = 1", ())
+        .unwrap_err();
+    assert!(matches!(err, Error::Timeout { kind: TimeoutKind::LockWait, .. }), "{err}");
+    assert!(err.is_retryable());
+
+    // After the holder commits, a plain retry loop gets through.
+    holder.commit().unwrap();
+    blocked
+        .with_retries(10, |c| c.execute("UPDATE jobs SET state = 'yes' WHERE job_id = 1", ()))
+        .unwrap();
+    assert!(db.stats().lock_wait_timeouts >= 1);
+    drop((holder, blocked));
+    server.shutdown();
+}
+
+#[test]
+fn wire_reaper_aborts_an_abandoned_but_connected_transaction() {
+    let db = Arc::new(db_with_rows(4));
+    let server = governed_server(
+        Arc::clone(&db),
+        ServerConfig {
+            idle_txn_timeout: Some(Duration::from_millis(40)),
+            reap_interval: Duration::from_millis(10),
+            lock_wait_timeout: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+    );
+
+    // The abandoner keeps its socket open (so the connection-level idle
+    // reap never fires) but goes silent inside a transaction that holds
+    // the table lock.
+    let mut abandoner = Client::connect(server.local_addr()).unwrap();
+    abandoner.begin().unwrap();
+    abandoner.execute("UPDATE jobs SET state = 'zombie' WHERE job_id = 0", ()).unwrap();
+
+    // Another client eventually gets the lock: the reaper aborted the
+    // zombie transaction server-side.
+    let mut worker = Client::connect(server.local_addr()).unwrap();
+    worker
+        .with_retries_deadline(1000, Duration::from_secs(10), |c| {
+            c.execute("UPDATE jobs SET state = 'alive' WHERE job_id = 0", ())
+        })
+        .unwrap();
+    assert!(db.stats().txns_reaped >= 1, "the reaper did the unblocking");
+
+    // The abandoner's next commit reports the transaction already closed.
+    let err = abandoner.commit().unwrap_err();
+    assert!(matches!(err, Error::TxnClosed(_)), "{err}");
+
+    let state: Vec<String> = worker
+        .query_scalars("SELECT state FROM jobs WHERE job_id = 0", ())
+        .unwrap();
+    assert_eq!(state, vec!["alive".to_string()], "the zombie's write is gone");
+    drop((abandoner, worker));
+    server.shutdown();
+    db.check_consistency().unwrap();
+}
+
+#[test]
+fn client_drop_rolls_back_promptly() {
+    let db = Arc::new(db_with_rows(2));
+    let server = governed_server(Arc::clone(&db), ServerConfig::default());
+
+    {
+        let mut dying = Client::connect(server.local_addr()).unwrap();
+        dying.begin().unwrap();
+        dying.execute("UPDATE jobs SET state = 'doomed' WHERE job_id = 0", ()).unwrap();
+        // Dropped mid-transaction: the client sends a best-effort Rollback
+        // before the socket closes.
+    }
+
+    // The rollback frame beats the server's close-detection polling, so a
+    // *zero-wait* writer gets the lock almost immediately.
+    let mut next = Client::connect(server.local_addr()).unwrap();
+    next.with_retries_deadline(200, Duration::from_secs(5), |c| {
+        c.execute("UPDATE jobs SET state = 'next' WHERE job_id = 0", ())
+    })
+    .unwrap();
+    let state: Vec<String> = next
+        .query_scalars("SELECT state FROM jobs WHERE job_id = 0", ())
+        .unwrap();
+    assert_eq!(state, vec!["next".to_string()]);
+    drop(next);
+    server.shutdown();
+}
