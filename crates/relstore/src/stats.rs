@@ -102,6 +102,19 @@ pub struct OpStats {
     /// [`OpStats::max_version_chain`]: `merge` takes the max and
     /// `delta_since` reports the current mark, not a difference.
     pub horizon_lag: u64,
+    /// Pages read from the page store (buffer-pool misses and recovery
+    /// scans). Always zero for purely in-memory databases.
+    pub pages_read: u64,
+    /// Pages written to the page store (evictions and checkpoint flushes).
+    pub pages_written: u64,
+    /// Buffer-pool hits: page accesses satisfied without touching the store.
+    pub buffer_hits: u64,
+    /// Buffer-pool evictions: frames recycled to make room for another page.
+    pub buffer_evictions: u64,
+    /// High-water mark of live overflow pages (rows larger than a page). A
+    /// gauge like [`OpStats::max_version_chain`]: `merge` takes the max and
+    /// `delta_since` reports the current mark, not a difference.
+    pub overflow_pages: u64,
 }
 
 impl OpStats {
@@ -146,6 +159,11 @@ impl OpStats {
             lock_wait_timeouts: self.lock_wait_timeouts - earlier.lock_wait_timeouts,
             txns_reaped: self.txns_reaped - earlier.txns_reaped,
             horizon_lag: self.horizon_lag,
+            pages_read: self.pages_read - earlier.pages_read,
+            pages_written: self.pages_written - earlier.pages_written,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            buffer_evictions: self.buffer_evictions - earlier.buffer_evictions,
+            overflow_pages: self.overflow_pages,
         }
     }
 
@@ -197,6 +215,11 @@ impl OpStats {
         self.lock_wait_timeouts += other.lock_wait_timeouts;
         self.txns_reaped += other.txns_reaped;
         self.horizon_lag = self.horizon_lag.max(other.horizon_lag);
+        self.pages_read += other.pages_read;
+        self.pages_written += other.pages_written;
+        self.buffer_hits += other.buffer_hits;
+        self.buffer_evictions += other.buffer_evictions;
+        self.overflow_pages = self.overflow_pages.max(other.overflow_pages);
     }
 }
 
@@ -246,6 +269,11 @@ pub struct SharedStats {
     lock_wait_timeouts: AtomicU64,
     txns_reaped: AtomicU64,
     horizon_lag: AtomicU64,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    buffer_hits: AtomicU64,
+    buffer_evictions: AtomicU64,
+    overflow_pages: AtomicU64,
 }
 
 impl SharedStats {
@@ -302,6 +330,14 @@ impl SharedStats {
             self.horizon_lag
                 .fetch_max(delta.horizon_lag, Ordering::Relaxed);
         }
+        add(&self.pages_read, delta.pages_read);
+        add(&self.pages_written, delta.pages_written);
+        add(&self.buffer_hits, delta.buffer_hits);
+        add(&self.buffer_evictions, delta.buffer_evictions);
+        if delta.overflow_pages != 0 {
+            self.overflow_pages
+                .fetch_max(delta.overflow_pages, Ordering::Relaxed);
+        }
     }
 
     /// Copies the current totals into a plain [`OpStats`] value.
@@ -342,6 +378,11 @@ impl SharedStats {
             lock_wait_timeouts: self.lock_wait_timeouts.load(Ordering::Relaxed),
             txns_reaped: self.txns_reaped.load(Ordering::Relaxed),
             horizon_lag: self.horizon_lag.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_evictions: self.buffer_evictions.load(Ordering::Relaxed),
+            overflow_pages: self.overflow_pages.load(Ordering::Relaxed),
         }
     }
 }
@@ -621,6 +662,47 @@ mod tests {
         });
         assert_eq!(d.txns_reaped, 3);
         assert_eq!(d.horizon_lag, 7, "delta reports the current mark");
+    }
+
+    #[test]
+    fn paging_counters_and_the_overflow_gauge() {
+        let mut a = OpStats {
+            pages_read: 10,
+            buffer_hits: 50,
+            overflow_pages: 3,
+            ..Default::default()
+        };
+        let b = OpStats {
+            pages_read: 5,
+            pages_written: 7,
+            buffer_evictions: 4,
+            overflow_pages: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pages_read, 15);
+        assert_eq!(a.pages_written, 7);
+        assert_eq!(a.buffer_hits, 50);
+        assert_eq!(a.buffer_evictions, 4);
+        assert_eq!(a.overflow_pages, 3, "merge keeps the high-water mark");
+
+        let shared = SharedStats::default();
+        shared.record(&a);
+        shared.record(&OpStats {
+            pages_written: 1,
+            overflow_pages: 9,
+            ..Default::default()
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.pages_read, 15);
+        assert_eq!(snap.pages_written, 8);
+        assert_eq!(snap.overflow_pages, 9, "record keeps the larger mark");
+        let d = snap.delta_since(&OpStats {
+            pages_read: 10,
+            ..Default::default()
+        });
+        assert_eq!(d.pages_read, 5);
+        assert_eq!(d.overflow_pages, 9, "delta reports the current mark");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Random-access block devices backing the page store.
+//!
+//! The WAL's [`crate::io::LogDevice`] is append-only; pages need positioned
+//! reads and writes, so the page store gets its own seam. The two
+//! implementations mirror the log-device pair:
+//!
+//! * [`FsBlockDevice`] — a real file, positioned via seeks, fsynced with
+//!   `sync_all`.
+//! * [`MemBlockDevice`] — deterministic crash model for tests: writes land
+//!   in a volatile image and become durable only on [`BlockDevice::sync`];
+//!   [`BlockDevice::crash`] kills the device, and
+//!   [`BlockDevice::durable_contents`] answers post-mortem with exactly the
+//!   bytes a real disk would have kept.
+
+use crate::error::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A random-access byte device holding the page file.
+///
+/// Offsets are absolute byte positions; the page store always reads and
+/// writes whole page-aligned extents. Implementations must make
+/// [`sync`](BlockDevice::sync) a durability barrier: bytes written before a
+/// successful sync survive a crash, bytes written after it may not.
+pub trait BlockDevice: std::fmt::Debug + Send {
+    /// Reads exactly `buf.len()` bytes starting at `offset`.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `data` at `offset`, extending the device if needed. The write
+    /// is **not** durable until the next successful [`sync`](BlockDevice::sync).
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Durability barrier: forces every prior write onto stable storage.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Current device length in bytes (including unsynced extensions).
+    fn len(&self) -> u64;
+
+    /// True when the device holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulates a crash: unsynced writes are lost and the device refuses
+    /// all further operations. Post-mortem state remains observable through
+    /// [`durable_contents`](BlockDevice::durable_contents).
+    fn crash(&mut self);
+
+    /// The bytes a crash right now would leave on stable storage. Works
+    /// even after [`crash`](BlockDevice::crash) — it is the view recovery
+    /// tests reopen from.
+    fn durable_contents(&self) -> Result<Vec<u8>>;
+}
+
+fn dead() -> Error {
+    Error::io("block device is dead (crashed)")
+}
+
+fn io_err(ctx: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::io(format!("{ctx} {}: {e}", path.display()))
+}
+
+/// A file-backed [`BlockDevice`]: positioned reads/writes against one file,
+/// `sync_all` as the durability barrier.
+#[derive(Debug)]
+pub struct FsBlockDevice {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    dead: bool,
+}
+
+impl FsBlockDevice {
+    /// Opens (creating if absent) the page file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open page file", &path, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err("stat page file", &path, e))?
+            .len();
+        Ok(FsBlockDevice {
+            path,
+            file,
+            len,
+            dead: false,
+        })
+    }
+
+    /// The path this device writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl BlockDevice for FsBlockDevice {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.read_exact(buf))
+            .map_err(|e| io_err("read page file", &self.path, e))
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.write_all(data))
+            .map_err(|e| io_err("write page file", &self.path, e))?;
+        self.len = self.len.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync page file", &self.path, e))
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn crash(&mut self) {
+        self.dead = true;
+    }
+
+    fn durable_contents(&self) -> Result<Vec<u8>> {
+        // Re-read from a fresh handle: what the filesystem has is the
+        // post-mortem truth (the OS may hold more than was fsynced, but the
+        // file device is not the crash-modelling one — tests use MemBlockDevice).
+        std::fs::read(&self.path).map_err(|e| io_err("read back page file", &self.path, e))
+    }
+}
+
+/// An in-memory [`BlockDevice`] with an explicit crash model: writes hit a
+/// volatile image, [`sync`](BlockDevice::sync) copies it to the durable
+/// image, and [`crash`](BlockDevice::crash) discards everything unsynced.
+#[derive(Debug, Default)]
+pub struct MemBlockDevice {
+    /// The volatile image — what in-process reads observe.
+    current: Vec<u8>,
+    /// The durable image — what a crash would leave behind.
+    durable: Vec<u8>,
+    dead: bool,
+}
+
+impl MemBlockDevice {
+    /// An empty device.
+    pub fn new() -> Self {
+        MemBlockDevice::default()
+    }
+
+    /// A device whose durable and volatile images both start as `contents` —
+    /// how crash tests "reopen the disk" from a post-mortem byte capture.
+    pub fn with_contents(contents: Vec<u8>) -> Self {
+        MemBlockDevice {
+            current: contents.clone(),
+            durable: contents,
+            dead: false,
+        }
+    }
+
+    /// Bytes written since the last successful sync (test observability).
+    pub fn unsynced_len(&self) -> usize {
+        self.current.len().saturating_sub(self.durable.len())
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > self.current.len() {
+            return Err(Error::io(format!(
+                "read past end of block device: {end} > {}",
+                self.current.len()
+            )));
+        }
+        buf.copy_from_slice(&self.current[start..end]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        let start = offset as usize;
+        let end = start + data.len();
+        if end > self.current.len() {
+            self.current.resize(end, 0);
+        }
+        self.current[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.dead {
+            return Err(dead());
+        }
+        self.durable = self.current.clone();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.current.len() as u64
+    }
+
+    fn crash(&mut self) {
+        self.dead = true;
+    }
+
+    fn durable_contents(&self) -> Result<Vec<u8>> {
+        // Deliberately answers even when dead: this is the post-mortem view.
+        Ok(self.durable.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_round_trips_and_models_crash() {
+        let mut d = MemBlockDevice::new();
+        d.write_at(0, b"hello").unwrap();
+        d.write_at(8, b"world").unwrap();
+        assert_eq!(d.len(), 13);
+        let mut buf = [0u8; 5];
+        d.read_at(8, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+
+        // Nothing synced yet: a crash loses everything.
+        assert_eq!(d.durable_contents().unwrap().len(), 0);
+        d.sync().unwrap();
+        assert_eq!(d.durable_contents().unwrap().len(), 13);
+
+        d.write_at(0, b"HELLO").unwrap();
+        d.crash();
+        // The overwrite was unsynced: the durable image kept the old bytes.
+        let post = d.durable_contents().unwrap();
+        assert_eq!(&post[..5], b"hello");
+        // The dead device refuses further IO.
+        assert!(d.sync().is_err());
+        assert!(d.write_at(0, b"x").is_err());
+        let mut buf = [0u8; 1];
+        assert!(d.read_at(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn mem_device_reopens_from_contents() {
+        let mut d = MemBlockDevice::new();
+        d.write_at(0, b"pages").unwrap();
+        d.sync().unwrap();
+        let bytes = d.durable_contents().unwrap();
+        let mut reopened = MemBlockDevice::with_contents(bytes);
+        let mut buf = [0u8; 5];
+        reopened.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"pages");
+    }
+
+    #[test]
+    fn fs_device_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "relstore_blockdev_{}_{:?}.pages",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut d = FsBlockDevice::open(&path).unwrap();
+            assert!(d.is_empty());
+            d.write_at(4096, &[7u8; 16]).unwrap();
+            d.sync().unwrap();
+            assert_eq!(d.len(), 4096 + 16);
+        }
+        {
+            let mut d = FsBlockDevice::open(&path).unwrap();
+            assert_eq!(d.len(), 4096 + 16);
+            let mut buf = [0u8; 16];
+            d.read_at(4096, &mut buf).unwrap();
+            assert_eq!(buf, [7u8; 16]);
+            assert_eq!(d.durable_contents().unwrap().len(), 4096 + 16);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

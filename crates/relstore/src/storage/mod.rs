@@ -1,0 +1,131 @@
+//! Paged storage engine: on-disk page store, buffer pool, and paged table
+//! heaps.
+//!
+//! This subsystem makes the *data* durable the way PR 6 made the *log*
+//! durable, so a dataset can outgrow the buffer pool (and eventually RAM)
+//! without giving up the in-memory engine's query path. It is **opt-in**:
+//! [`Database::new`](crate::Database::new) remains purely in-memory;
+//! [`Database::open_paged`](crate::Database::open_paged) layers the page
+//! file on top of the WAL.
+//!
+//! # Page format
+//!
+//! The page file is an array of fixed-size pages (default 4 KiB). Page 0 is
+//! the meta page; the rest are table heaps, overflow chains, or freelist
+//! members:
+//!
+//! ```text
+//! ┌──────────────────────────── page (page_size bytes) ────────────────────────────┐
+//! │ crc32 │ magic │kind│rsv│slots│free_off│ next  │name_len│ name │ slot array → … │
+//! │  u32  │ "RPG1"│ u8 │u8 │ u16 │  u16   │  u64  │  u16   │      │ (off,len) u16² │
+//! │                                                          … ← cells grow down  │
+//! └────────────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Each heap cell is `[row_id u64][flag u8]` + the row payload inline, or an
+//! overflow stub (`head page u64`, `total len u32`) when the row is larger
+//! than a page. Every page carries a CRC over its full body, sealed at
+//! write-back: torn or bit-flipped pages are *detected* as
+//! [`Error::Corruption`], never silently read.
+//!
+//! # WAL-before-data, and torn-write safety
+//!
+//! Two rules keep the page file honest with respect to the log:
+//!
+//! 1. **WAL-before-data** — a dirty page may reach the page file only after
+//!    the WAL records that produced it are durable. The buffer pool flushes
+//!    the WAL before any page write-back (eviction or checkpoint).
+//! 2. **Journaled page writes** — every batch of page writes is first
+//!    staged in a doublewrite journal (atomic `replace`), then written,
+//!    then the journal is cleared. Reopen replays a surviving journal, so a
+//!    torn page write heals instead of corrupting the file.
+//!
+//! The heap coupling is **no-steal**: uncommitted changes are buffered per
+//! transaction and reach pages only at commit, so recovery never needs to
+//! undo page state — it only replays the committed WAL suffix past the last
+//! checkpoint.
+
+mod buffer;
+mod device;
+mod heap;
+mod page;
+mod pagestore;
+
+pub use buffer::BufferPool;
+pub use device::{BlockDevice, FsBlockDevice, MemBlockDevice};
+pub use pagestore::PageStore;
+
+pub(crate) use heap::PagedEngine;
+
+use crate::error::{Error, Result};
+
+/// Tuning knobs for a paged database ([`crate::Database::open_paged_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedConfig {
+    /// Page size in bytes. Must be a power of two in `512..=32768`.
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages (min 1). Memory ceiling for resident
+    /// page data is `page_size * pool_pages`.
+    pub pool_pages: usize,
+}
+
+impl Default for PagedConfig {
+    fn default() -> Self {
+        PagedConfig {
+            page_size: 4096,
+            pool_pages: 64,
+        }
+    }
+}
+
+impl PagedConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(512..=32768).contains(&self.page_size) || !self.page_size.is_power_of_two() {
+            return Err(Error::internal(format!(
+                "page_size must be a power of two in 512..=32768, got {}",
+                self.page_size
+            )));
+        }
+        if self.pool_pages == 0 {
+            return Err(Error::internal("pool_pages must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(PagedConfig::default().validate().is_ok());
+        assert!(PagedConfig {
+            page_size: 512,
+            pool_pages: 1
+        }
+        .validate()
+        .is_ok());
+        for bad in [
+            PagedConfig {
+                page_size: 100,
+                pool_pages: 4
+            },
+            PagedConfig {
+                page_size: 65536,
+                pool_pages: 4
+            },
+            PagedConfig {
+                page_size: 5000,
+                pool_pages: 4
+            },
+            PagedConfig {
+                page_size: 4096,
+                pool_pages: 0
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Fixed-size checksummed pages with a slotted record layout.
+//!
+//! Every page is `page_size` bytes with a 24-byte fixed header:
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  -----------------------------------------------------
+//!       0     4  crc32 over bytes [4, page_size)   (sealed at write time)
+//!       4     4  magic "RPG1"
+//!       8     1  kind: 0 Free, 1 Heap, 2 Overflow, 3 Meta
+//!       9     1  reserved (0)
+//!      10     2  slot_count            (heap)
+//!      12     2  free_off / chunk_len  (heap: start of the cell region;
+//!                                       overflow: payload chunk length)
+//!      14     8  next page number      (overflow chain link; 0 = none)
+//!      22     2  table-name length     (heap pages carry their table)
+//!      24     …  table name bytes, then the slot array (4 bytes per slot:
+//!                u16 cell offset + u16 cell length; 0,0 = dead slot),
+//!                growing up — while cells grow down from the page end
+//! ```
+//!
+//! A **heap cell** holds one row record:
+//! `[row_id u64][flag u8]` + either the row payload (flag 0, encoded with
+//! [`crate::io::codec::put_row`]) or, for rows larger than a page, an
+//! **overflow stub** (flag 1): `[head page u64][total length u32]` pointing
+//! at a chain of overflow pages each carrying one chunk of the payload.
+//!
+//! The CRC covers everything but itself, so a torn or bit-flipped page is
+//! *detected* at read time ([`verify`] fails with [`Error::Corruption`]) —
+//! never silently read.
+
+use crate::error::{Error, Result};
+use crate::io::codec::{put_row, put_u32, put_u64, put_u8, Reader};
+use crate::io::crc::crc32;
+use crate::tuple::{Row, RowId};
+
+/// Page magic: "RPG1".
+pub const PAGE_MAGIC: u32 = 0x5250_4731;
+
+/// Size of the fixed page header, bytes.
+pub const PAGE_HEADER: usize = 24;
+
+/// On-disk format version recorded in the meta page.
+pub const PAGE_FORMAT_VERSION: u16 = 1;
+
+const OFF_CRC: usize = 0;
+const OFF_MAGIC: usize = 4;
+const OFF_KIND: usize = 8;
+const OFF_SLOTS: usize = 10;
+const OFF_FREE: usize = 12;
+const OFF_NEXT: usize = 14;
+const OFF_NAME_LEN: usize = 22;
+
+/// What a page holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// On the freelist, reusable.
+    Free = 0,
+    /// Row records of one table.
+    Heap = 1,
+    /// One chunk of an oversized row payload.
+    Overflow = 2,
+    /// Page 0: file identity (magic, format version, page size).
+    Meta = 3,
+}
+
+impl PageKind {
+    fn from_u8(v: u8) -> Result<PageKind> {
+        match v {
+            0 => Ok(PageKind::Free),
+            1 => Ok(PageKind::Heap),
+            2 => Ok(PageKind::Overflow),
+            3 => Ok(PageKind::Meta),
+            other => Err(Error::corruption(format!("unknown page kind {other}"))),
+        }
+    }
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+fn set_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+fn set_u32_at(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64_at(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn set_u64_at(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Initialises `buf` as an empty page of `kind`; heap pages record their
+/// (lowercased) table name. The CRC is **not** computed here — [`seal`] runs
+/// at write-back time so in-pool mutations stay cheap.
+pub fn init(buf: &mut [u8], kind: PageKind, name: &str) {
+    let page_size = buf.len();
+    buf.fill(0);
+    set_u32_at(buf, OFF_MAGIC, PAGE_MAGIC);
+    buf[OFF_KIND] = kind as u8;
+    set_u16(buf, OFF_SLOTS, 0);
+    set_u16(buf, OFF_FREE, page_size as u16);
+    set_u64_at(buf, OFF_NEXT, 0);
+    set_u16(buf, OFF_NAME_LEN, name.len() as u16);
+    buf[PAGE_HEADER..PAGE_HEADER + name.len()].copy_from_slice(name.as_bytes());
+}
+
+/// Computes and stores the page CRC (over everything after the CRC field).
+pub fn seal(buf: &mut [u8]) {
+    let crc = crc32(&buf[OFF_MAGIC..]);
+    set_u32_at(buf, OFF_CRC, crc);
+}
+
+/// Verifies magic and CRC; a mismatch is typed [`Error::Corruption`].
+pub fn verify(buf: &[u8], page_no: u64) -> Result<()> {
+    if get_u32_at(buf, OFF_MAGIC) != PAGE_MAGIC {
+        return Err(Error::corruption(format!("page {page_no}: bad magic")));
+    }
+    let stored = get_u32_at(buf, OFF_CRC);
+    let actual = crc32(&buf[OFF_MAGIC..]);
+    if stored != actual {
+        return Err(Error::corruption(format!(
+            "page {page_no}: checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(())
+}
+
+/// The page's kind byte, decoded.
+pub fn kind(buf: &[u8]) -> Result<PageKind> {
+    PageKind::from_u8(buf[OFF_KIND])
+}
+
+/// The table name a heap page belongs to.
+pub fn table_name(buf: &[u8]) -> Result<&str> {
+    let len = get_u16(buf, OFF_NAME_LEN) as usize;
+    if PAGE_HEADER + len > buf.len() {
+        return Err(Error::corruption("page table name overruns the page"));
+    }
+    std::str::from_utf8(&buf[PAGE_HEADER..PAGE_HEADER + len])
+        .map_err(|_| Error::corruption("page table name is not UTF-8"))
+}
+
+/// The overflow-chain / freelist link.
+pub fn next(buf: &[u8]) -> u64 {
+    get_u64_at(buf, OFF_NEXT)
+}
+
+/// Number of slots (live and dead) in a heap page.
+pub fn slot_count(buf: &[u8]) -> u16 {
+    get_u16(buf, OFF_SLOTS)
+}
+
+fn slots_base(buf: &[u8]) -> usize {
+    PAGE_HEADER + get_u16(buf, OFF_NAME_LEN) as usize
+}
+
+/// The slot entry `(cell offset, cell length)`; `(0, 0)` is a dead slot.
+pub fn slot(buf: &[u8], i: u16) -> (u16, u16) {
+    let base = slots_base(buf) + 4 * i as usize;
+    (get_u16(buf, base), get_u16(buf, base + 2))
+}
+
+fn set_slot(buf: &mut [u8], i: u16, off: u16, len: u16) {
+    let base = slots_base(buf) + 4 * i as usize;
+    set_u16(buf, base, off);
+    set_u16(buf, base + 2, len);
+}
+
+/// The cell bytes behind a live slot.
+pub fn record(buf: &[u8], i: u16) -> Result<&[u8]> {
+    let (off, len) = slot(buf, i);
+    if len == 0 {
+        return Err(Error::corruption(format!("slot {i} is dead")));
+    }
+    let (off, len) = (off as usize, len as usize);
+    if off + len > buf.len() || off < slots_base(buf) {
+        return Err(Error::corruption(format!("slot {i} cell out of bounds")));
+    }
+    Ok(&buf[off..off + len])
+}
+
+/// Whether a cell of `len` bytes fits in this page, counting space that a
+/// compaction of dead cells would reclaim and the slot entry it may need.
+pub fn can_fit(buf: &[u8], len: usize) -> bool {
+    let n = slot_count(buf);
+    let mut live = 0usize;
+    let mut has_dead_slot = false;
+    for i in 0..n {
+        let (_, l) = slot(buf, i);
+        if l == 0 {
+            has_dead_slot = true;
+        } else {
+            live += l as usize;
+        }
+    }
+    let slots_end = slots_base(buf) + 4 * n as usize;
+    let total_free = buf.len().saturating_sub(slots_end + live);
+    let need = len + if has_dead_slot { 0 } else { 4 };
+    total_free >= need
+}
+
+/// Rewrites all live cells tightly against the page end, reclaiming the
+/// space of deleted cells. Slot indices are stable (the rows map points at
+/// them); only cell offsets move.
+fn compact(buf: &mut [u8]) {
+    let page_size = buf.len();
+    let n = slot_count(buf);
+    // Move cells highest-offset first so the in-place copies never overlap
+    // a cell that still needs moving.
+    let mut order: Vec<u16> = (0..n).filter(|&i| slot(buf, i).1 != 0).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(slot(buf, i).0));
+    let mut top = page_size;
+    for i in order {
+        let (off, len) = slot(buf, i);
+        let (off, len_us) = (off as usize, len as usize);
+        top -= len_us;
+        buf.copy_within(off..off + len_us, top);
+        set_slot(buf, i, top as u16, len);
+    }
+    set_u16(buf, OFF_FREE, top as u16);
+}
+
+/// Inserts a cell, returning its slot index, or `None` if the page cannot
+/// hold it even after compaction. Dead slots are reused before the slot
+/// array grows.
+pub fn insert(buf: &mut [u8], cell: &[u8]) -> Option<u16> {
+    if !can_fit(buf, cell.len()) {
+        return None;
+    }
+    let n = slot_count(buf);
+    let reuse = (0..n).find(|&i| slot(buf, i).1 == 0);
+    let slot_idx = reuse.unwrap_or(n);
+    let slots_end = slots_base(buf) + 4 * (n.max(slot_idx + 1)) as usize;
+    if (get_u16(buf, OFF_FREE) as usize).saturating_sub(slots_end) < cell.len() {
+        compact(buf);
+    }
+    if slot_idx == n {
+        set_u16(buf, OFF_SLOTS, n + 1);
+    }
+    let free = get_u16(buf, OFF_FREE) as usize;
+    let off = free - cell.len();
+    buf[off..free].copy_from_slice(cell);
+    set_u16(buf, OFF_FREE, off as u16);
+    set_slot(buf, slot_idx, off as u16, cell.len() as u16);
+    Some(slot_idx)
+}
+
+/// Marks a slot dead. The cell bytes are reclaimed by the next compaction.
+pub fn delete(buf: &mut [u8], i: u16) {
+    set_slot(buf, i, 0, 0);
+}
+
+// --- heap cell encoding -------------------------------------------------
+
+/// What a decoded heap cell holds.
+#[derive(Debug)]
+pub enum CellBody {
+    /// The full row payload, stored inline.
+    Inline(Row),
+    /// The row spilled to an overflow chain.
+    Overflow {
+        /// First page of the chain.
+        head: u64,
+        /// Total payload length across the chain.
+        total: u32,
+    },
+}
+
+/// Encodes an inline heap cell.
+pub fn encode_inline(row_id: RowId, row: &Row) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(16);
+    put_u64(&mut cell, row_id.0);
+    put_u8(&mut cell, 0);
+    put_row(&mut cell, row);
+    cell
+}
+
+/// Encodes an overflow-stub heap cell.
+pub fn encode_overflow_stub(row_id: RowId, head: u64, total: u32) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(21);
+    put_u64(&mut cell, row_id.0);
+    put_u8(&mut cell, 1);
+    put_u64(&mut cell, head);
+    put_u32(&mut cell, total);
+    cell
+}
+
+/// Decodes a heap cell. Damage surfaces as [`Error::Corruption`].
+pub fn decode_cell(cell: &[u8]) -> Result<(RowId, CellBody)> {
+    let mut r = Reader::new(cell);
+    let row_id = RowId(r.u64()?);
+    match r.u8()? {
+        0 => {
+            let row = r.row()?;
+            Ok((row_id, CellBody::Inline(row)))
+        }
+        1 => {
+            let head = r.u64()?;
+            let total = r.u32()?;
+            Ok((row_id, CellBody::Overflow { head, total }))
+        }
+        other => Err(Error::corruption(format!("bad heap cell flag {other}"))),
+    }
+}
+
+// --- overflow pages -----------------------------------------------------
+
+/// Payload bytes one overflow page can carry.
+pub fn overflow_capacity(page_size: usize) -> usize {
+    page_size - PAGE_HEADER
+}
+
+/// Initialises `buf` as an overflow page carrying `chunk`, linked to `next`.
+pub fn init_overflow(buf: &mut [u8], chunk: &[u8], next_page: u64) {
+    init(buf, PageKind::Overflow, "");
+    set_u16(buf, OFF_FREE, chunk.len() as u16);
+    set_u64_at(buf, OFF_NEXT, next_page);
+    buf[PAGE_HEADER..PAGE_HEADER + chunk.len()].copy_from_slice(chunk);
+}
+
+/// The payload chunk of an overflow page.
+pub fn overflow_chunk(buf: &[u8]) -> Result<&[u8]> {
+    let len = get_u16(buf, OFF_FREE) as usize;
+    if PAGE_HEADER + len > buf.len() {
+        return Err(Error::corruption("overflow chunk overruns the page"));
+    }
+    Ok(&buf[PAGE_HEADER..PAGE_HEADER + len])
+}
+
+// --- meta page ----------------------------------------------------------
+
+/// Initialises page 0: file identity the store validates at open.
+pub fn init_meta(buf: &mut [u8]) {
+    init(buf, PageKind::Meta, "");
+    let page_size = buf.len();
+    set_u16(buf, PAGE_HEADER, PAGE_FORMAT_VERSION);
+    set_u32_at(buf, PAGE_HEADER + 2, page_size as u32);
+}
+
+/// Validates the meta page against the configured page size.
+pub fn check_meta(buf: &[u8]) -> Result<()> {
+    if kind(buf)? != PageKind::Meta {
+        return Err(Error::corruption("page 0 is not a meta page"));
+    }
+    let version = get_u16(buf, PAGE_HEADER);
+    if version != PAGE_FORMAT_VERSION {
+        return Err(Error::corruption(format!(
+            "unsupported page format version {version}"
+        )));
+    }
+    let stored = get_u32_at(buf, PAGE_HEADER + 2) as usize;
+    if stored != buf.len() {
+        return Err(Error::corruption(format!(
+            "page file has page size {stored}, configured {}",
+            buf.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::Text(format!("job-{i}"))])
+    }
+
+    #[test]
+    fn insert_read_delete_round_trip() {
+        let mut page = vec![0u8; 512];
+        init(&mut page, PageKind::Heap, "jobs");
+        assert_eq!(table_name(&page).unwrap(), "jobs");
+
+        let s0 = insert(&mut page, &encode_inline(RowId(1), &row(1))).unwrap();
+        let s1 = insert(&mut page, &encode_inline(RowId(2), &row(2))).unwrap();
+        assert_ne!(s0, s1);
+
+        let (id, body) = decode_cell(record(&page, s0).unwrap()).unwrap();
+        assert_eq!(id, RowId(1));
+        match body {
+            CellBody::Inline(r) => assert_eq!(r.get(0), &Value::Int(1)),
+            other => panic!("expected inline, got {other:?}"),
+        }
+
+        delete(&mut page, s0);
+        assert!(record(&page, s0).is_err());
+        // The dead slot is reused.
+        let s2 = insert(&mut page, &encode_inline(RowId(3), &row(3))).unwrap();
+        assert_eq!(s2, s0);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_cells() {
+        let mut page = vec![0u8; 512];
+        init(&mut page, PageKind::Heap, "t");
+        let mut slots = Vec::new();
+        let mut i = 0i64;
+        while let Some(s) = insert(&mut page, &encode_inline(RowId(i as u64), &row(i))) {
+            slots.push(s);
+            i += 1;
+        }
+        assert!(slots.len() > 4, "page should hold several rows");
+        // Delete every other row; the free space is fragmented.
+        for &s in slots.iter().step_by(2) {
+            delete(&mut page, s);
+        }
+        // A fresh insert triggers compaction and succeeds.
+        let s = insert(&mut page, &encode_inline(RowId(999), &row(999)));
+        assert!(s.is_some(), "compaction should make room");
+        // Survivors are intact after the move.
+        for &s in slots.iter().skip(1).step_by(2) {
+            let (_, body) = decode_cell(record(&page, s).unwrap()).unwrap();
+            assert!(matches!(body, CellBody::Inline(_)));
+        }
+    }
+
+    #[test]
+    fn seal_verify_detects_damage() {
+        let mut page = vec![0u8; 512];
+        init(&mut page, PageKind::Heap, "jobs");
+        insert(&mut page, &encode_inline(RowId(1), &row(1))).unwrap();
+        seal(&mut page);
+        verify(&page, 7).unwrap();
+
+        let mut torn = page.clone();
+        torn[300] ^= 0x40;
+        let err = verify(&torn, 7).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err:?}");
+
+        let mut bad_magic = page.clone();
+        bad_magic[4] = 0;
+        assert!(matches!(verify(&bad_magic, 7), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn overflow_page_round_trip() {
+        let mut page = vec![0u8; 512];
+        let chunk: Vec<u8> = (0..200u8).collect();
+        init_overflow(&mut page, &chunk, 42);
+        assert_eq!(kind(&page).unwrap(), PageKind::Overflow);
+        assert_eq!(next(&page), 42);
+        assert_eq!(overflow_chunk(&page).unwrap(), &chunk[..]);
+        assert_eq!(overflow_capacity(512), 512 - PAGE_HEADER);
+    }
+
+    #[test]
+    fn meta_page_checks_identity() {
+        let mut page = vec![0u8; 4096];
+        init_meta(&mut page);
+        check_meta(&page).unwrap();
+        // A different configured page size is refused.
+        let mut small = vec![0u8; 512];
+        init_meta(&mut small);
+        let mut mismatched = small.clone();
+        mismatched.resize(4096, 0);
+        assert!(check_meta(&mismatched).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! The on-disk page file: allocation, checksummed reads, and journaled
+//! (doublewrite) batch writes.
+//!
+//! # Torn-write safety
+//!
+//! A page write is not atomic — power loss mid-write leaves a torn page the
+//! CRC will catch but nothing could repair. So every batch of page writes is
+//! **journaled first**: the sealed page images are written to a small side
+//! journal (via the atomic [`LogDevice::replace`] primitive), then written
+//! into the page file, then the journal is cleared. Reopen replays whatever
+//! complete journal it finds before reading any page, so a torn page under
+//! the journal's protection is *healed*, while damage outside the protocol
+//! (bit rot, manual corruption) surfaces as a typed
+//! [`Error::Corruption`](crate::Error::Corruption) — never a panic, never a
+//! silent read.
+//!
+//! The caller (the buffer pool) enforces the WAL-before-data rule — this
+//! module only promises that a batch it acknowledged is atomic.
+
+use super::device::BlockDevice;
+use super::page;
+use crate::error::{Error, Result};
+use crate::io::codec::{put_u32, put_u64};
+use crate::io::crc::crc32;
+use crate::io::{points, FailAction, Failpoints, LogDevice};
+use std::sync::Arc;
+
+/// Journal magic: "RPJ1".
+const JOURNAL_MAGIC: u32 = 0x5250_4A31;
+
+/// The page file plus its doublewrite journal.
+#[derive(Debug)]
+pub struct PageStore {
+    device: Box<dyn BlockDevice>,
+    journal: Box<dyn LogDevice>,
+    failpoints: Arc<Failpoints>,
+    page_size: usize,
+    /// Pages allocated, including page 0 (meta) and not-yet-flushed ones.
+    page_count: u64,
+    /// First device failure; every later call reports it instead of
+    /// touching the device again (same discipline as the WAL writer).
+    poisoned: Option<Error>,
+}
+
+fn encode_journal(page_size: usize, pages: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + pages.len() * (8 + page_size));
+    put_u32(&mut buf, JOURNAL_MAGIC);
+    put_u32(&mut buf, pages.len() as u32);
+    for (page_no, image) in pages {
+        put_u64(&mut buf, *page_no);
+        buf.extend_from_slice(image);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn decode_journal(bytes: &[u8], page_size: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if bytes.len() < 12 {
+        return Err(Error::corruption("page journal too short"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if stored != crc32(body) {
+        return Err(Error::corruption("page journal checksum mismatch"));
+    }
+    let magic = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    if magic != JOURNAL_MAGIC {
+        return Err(Error::corruption("page journal bad magic"));
+    }
+    let count = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+    let mut pages = Vec::with_capacity(count);
+    let mut pos = 8usize;
+    for _ in 0..count {
+        if body.len() - pos < 8 + page_size {
+            return Err(Error::corruption("page journal entry truncated"));
+        }
+        let page_no = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        pages.push((page_no, body[pos..pos + page_size].to_vec()));
+        pos += page_size;
+    }
+    if pos != body.len() {
+        return Err(Error::corruption("page journal has trailing bytes"));
+    }
+    Ok(pages)
+}
+
+impl PageStore {
+    /// Opens (or initialises) a page file: replays any pending doublewrite
+    /// journal, then validates the meta page against `page_size`.
+    pub fn open(
+        mut device: Box<dyn BlockDevice>,
+        mut journal: Box<dyn LogDevice>,
+        failpoints: Arc<Failpoints>,
+        page_size: usize,
+    ) -> Result<PageStore> {
+        // 1. Replay the doublewrite journal, if one survived a crash. The
+        //    journal is written with the atomic `replace`, so it is either
+        //    empty, or one complete batch; anything else is corruption.
+        let pending = decode_journal(&journal.durable_contents()?, page_size)?;
+        if !pending.is_empty() {
+            for (page_no, image) in &pending {
+                device.write_at(page_no * page_size as u64, image)?;
+            }
+            device.sync()?;
+            journal.replace(&[])?;
+        }
+
+        // 2. Fresh file: lay down the meta page.
+        if device.is_empty() {
+            let mut meta = vec![0u8; page_size];
+            page::init_meta(&mut meta);
+            page::seal(&mut meta);
+            device.write_at(0, &meta)?;
+            device.sync()?;
+        }
+
+        // 3. Validate identity. A page file from a different page size (or
+        //    something that is not a page file) is refused, not guessed at.
+        if device.len() < page_size as u64 {
+            return Err(Error::corruption(format!(
+                "page file holds {} byte(s), smaller than one {page_size}-byte page",
+                device.len()
+            )));
+        }
+        let mut meta = vec![0u8; page_size];
+        device.read_at(0, &mut meta)?;
+        page::verify(&meta, 0)?;
+        page::check_meta(&meta)?;
+
+        // A torn tail past the last full page can only be an extension that
+        // was never acknowledged (the journal heals acknowledged ones), so
+        // flooring the count drops nothing committed.
+        let page_count = (device.len() / page_size as u64).max(1);
+        Ok(PageStore {
+            device,
+            journal,
+            failpoints,
+            page_size,
+            page_count,
+            poisoned: None,
+        })
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(e) => Err(Error::io(format!(
+                "page store poisoned by earlier failure: {e}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn poison<T>(&mut self, e: Error) -> Result<T> {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(e.clone());
+        }
+        Err(e)
+    }
+
+    /// The configured page size, bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages allocated so far (including the meta page).
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// Allocates a fresh page number at the end of the file. The page exists
+    /// on disk only once a batch containing it is flushed.
+    pub fn allocate(&mut self) -> u64 {
+        let page_no = self.page_count;
+        self.page_count += 1;
+        page_no
+    }
+
+    /// Reads and checksum-verifies one page into `buf` (which must be
+    /// exactly one page long). A CRC or magic mismatch is
+    /// [`Error::Corruption`](crate::Error::Corruption).
+    pub fn read_page(&mut self, page_no: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_poisoned()?;
+        debug_assert_eq!(buf.len(), self.page_size);
+        self.device
+            .read_at(page_no * self.page_size as u64, buf)?;
+        page::verify(buf, page_no)
+    }
+
+    /// As [`PageStore::read_page`], but reports an all-zero page as
+    /// `Ok(false)` without verifying (leaving `buf` zeroed). The file can
+    /// legitimately hold such holes: a page is allocated, a *later* page's
+    /// write extends the file past it, and the crash comes before the
+    /// earlier page is ever flushed. Nothing durable references a hole, so
+    /// the open-time scan reclaims it instead of calling it corrupt.
+    pub fn read_page_if_written(&mut self, page_no: u64, buf: &mut [u8]) -> Result<bool> {
+        self.check_poisoned()?;
+        debug_assert_eq!(buf.len(), self.page_size);
+        self.device
+            .read_at(page_no * self.page_size as u64, buf)?;
+        if buf.iter().all(|b| *b == 0) {
+            return Ok(false);
+        }
+        page::verify(buf, page_no)?;
+        Ok(true)
+    }
+
+    /// Durably writes a batch of pages, atomically: journal first, then the
+    /// page file, then clear the journal. `pages` holds **unsealed** frame
+    /// images — the CRC is computed here on a copy, so pool frames stay
+    /// cheap to mutate.
+    ///
+    /// Any failure poisons the store: a half-applied batch is left for the
+    /// journal replay at next open, and no later write can run ahead of it.
+    pub fn write_batch(&mut self, pages: &[(u64, &[u8])]) -> Result<()> {
+        self.check_poisoned()?;
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let sealed: Vec<(u64, Vec<u8>)> = pages
+            .iter()
+            .map(|(page_no, image)| {
+                let mut copy = image.to_vec();
+                page::seal(&mut copy);
+                (*page_no, copy)
+            })
+            .collect();
+
+        // Journal the batch (atomic + durable via replace).
+        let journal_bytes = encode_journal(self.page_size, &sealed);
+        if let Err(e) = self.journal.replace(&journal_bytes) {
+            return self.poison(e);
+        }
+
+        // Write the pages, with fault injection on each write.
+        for (page_no, image) in &sealed {
+            if let Err(e) = self.injected_page_write(*page_no, image) {
+                return self.poison(e);
+            }
+        }
+
+        // Make them durable, then retire the journal.
+        if let Err(e) = self.injected_page_sync() {
+            return self.poison(e);
+        }
+        if let Err(e) = self.journal.replace(&[]) {
+            return self.poison(e);
+        }
+        Ok(())
+    }
+
+    fn injected_page_write(&mut self, page_no: u64, image: &[u8]) -> Result<()> {
+        let offset = page_no * self.page_size as u64;
+        match self.failpoints.check(points::PAGE_WRITE) {
+            None => self.device.write_at(offset, image),
+            Some(FailAction::Err) => Err(Error::io("injected page write failure")),
+            Some(FailAction::ShortWrite(k)) => {
+                let k = k.min(image.len());
+                self.device.write_at(offset, &image[..k])?;
+                Err(Error::io(format!(
+                    "injected short page write ({k} of {} bytes)",
+                    image.len()
+                )))
+            }
+            Some(FailAction::TornWrite(k)) => {
+                let k = k.min(image.len());
+                self.device.write_at(offset, &image[..k])?;
+                self.device.sync()?;
+                self.device.crash();
+                Err(Error::io(format!(
+                    "injected torn page write ({k} of {} bytes), device dead",
+                    image.len()
+                )))
+            }
+            Some(FailAction::Crash) => {
+                self.device.write_at(offset, image)?;
+                self.device.crash();
+                Err(Error::io("injected crash before page sync, device dead"))
+            }
+        }
+    }
+
+    fn injected_page_sync(&mut self) -> Result<()> {
+        match self.failpoints.check(points::PAGE_SYNC) {
+            None => self.device.sync(),
+            Some(FailAction::Crash) => {
+                self.device.crash();
+                Err(Error::io("injected crash at page sync, device dead"))
+            }
+            Some(_) => Err(Error::io("injected page sync failure")),
+        }
+    }
+
+    /// The bytes a crash right now would leave in the page file (post-mortem
+    /// view for crash tests; answers even after the device died).
+    pub fn durable_page_bytes(&self) -> Result<Vec<u8>> {
+        self.device.durable_contents()
+    }
+
+    /// The bytes a crash right now would leave in the doublewrite journal.
+    pub fn durable_journal_bytes(&self) -> Result<Vec<u8>> {
+        self.journal.durable_contents()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemDevice;
+    use crate::storage::device::MemBlockDevice;
+    use crate::storage::page::{self, PageKind};
+
+    fn fresh(page_size: usize) -> PageStore {
+        PageStore::open(
+            Box::new(MemBlockDevice::new()),
+            Box::new(MemDevice::new()),
+            Arc::new(Failpoints::new()),
+            page_size,
+        )
+        .unwrap()
+    }
+
+    fn heap_page(page_size: usize, name: &str) -> Vec<u8> {
+        let mut buf = vec![0u8; page_size];
+        page::init(&mut buf, PageKind::Heap, name);
+        buf
+    }
+
+    #[test]
+    fn open_initialises_and_reopens() {
+        let mut store = fresh(512);
+        assert_eq!(store.page_count(), 1, "meta page");
+        let p = store.allocate();
+        assert_eq!(p, 1);
+        let image = heap_page(512, "jobs");
+        store.write_batch(&[(p, &image)]).unwrap();
+
+        let pages = store.durable_page_bytes().unwrap();
+        let journal = store.durable_journal_bytes().unwrap();
+        assert!(journal.is_empty(), "journal cleared after a clean batch");
+
+        let mut reopened = PageStore::open(
+            Box::new(MemBlockDevice::with_contents(pages)),
+            Box::new(MemDevice::with_contents(journal)),
+            Arc::new(Failpoints::new()),
+            512,
+        )
+        .unwrap();
+        assert_eq!(reopened.page_count(), 2);
+        let mut buf = vec![0u8; 512];
+        reopened.read_page(1, &mut buf).unwrap();
+        assert_eq!(page::table_name(&buf).unwrap(), "jobs");
+    }
+
+    #[test]
+    fn journal_heals_torn_page_write() {
+        let mut store = fresh(512);
+        let p = store.allocate();
+        let good = heap_page(512, "jobs");
+        store.write_batch(&[(p, &good)]).unwrap();
+
+        // Second write to the same page tears mid-page: 100 of 512 bytes
+        // land durably, then the device dies.
+        let mut updated = good.clone();
+        page::insert(
+            &mut updated,
+            &page::encode_inline(crate::tuple::RowId(9), &crate::tuple::Row::new(vec![])),
+        )
+        .unwrap();
+        store
+            .failpoints
+            .arm(points::PAGE_WRITE, FailAction::TornWrite(100));
+        let err = store.write_batch(&[(p, &updated)]).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "got {err:?}");
+        // Poisoned: later writes refuse.
+        assert!(store.write_batch(&[(p, &good)]).is_err());
+
+        // Reopen from the post-mortem bytes: the journal still holds the
+        // batch, so the torn page is healed to the *new* image.
+        let mut reopened = PageStore::open(
+            Box::new(MemBlockDevice::with_contents(
+                store.durable_page_bytes().unwrap(),
+            )),
+            Box::new(MemDevice::with_contents(
+                store.durable_journal_bytes().unwrap(),
+            )),
+            Arc::new(Failpoints::new()),
+            512,
+        )
+        .unwrap();
+        let mut buf = vec![0u8; 512];
+        reopened.read_page(p, &mut buf).unwrap();
+        assert_eq!(page::slot_count(&buf), 1, "healed to the journaled image");
+    }
+
+    #[test]
+    fn unjournaled_damage_is_typed_corruption() {
+        let mut store = fresh(512);
+        let p = store.allocate();
+        let image = heap_page(512, "jobs");
+        store.write_batch(&[(p, &image)]).unwrap();
+        let mut bytes = store.durable_page_bytes().unwrap();
+        bytes[512 + 50] ^= 0xFF; // flip a byte inside page 1
+        let mut reopened = PageStore::open(
+            Box::new(MemBlockDevice::with_contents(bytes)),
+            Box::new(MemDevice::new()),
+            Arc::new(Failpoints::new()),
+            512,
+        )
+        .unwrap();
+        let mut buf = vec![0u8; 512];
+        let err = reopened.read_page(p, &mut buf).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn wrong_page_size_is_refused() {
+        let store = fresh(512);
+        let bytes = store.durable_page_bytes().unwrap();
+        let err = PageStore::open(
+            Box::new(MemBlockDevice::with_contents(bytes)),
+            Box::new(MemDevice::new()),
+            Arc::new(Failpoints::new()),
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn journal_round_trip_and_corruption() {
+        let image = heap_page(256, "t");
+        let encoded = encode_journal(256, &[(3, image.clone())]);
+        let decoded = decode_journal(&encoded, 256).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].0, 3);
+        assert_eq!(decoded[0].1, image);
+        assert!(decode_journal(&[], 256).unwrap().is_empty());
+        let mut bad = encoded.clone();
+        bad[10] ^= 1;
+        assert!(matches!(
+            decode_journal(&bad, 256),
+            Err(Error::Corruption(_))
+        ));
+    }
+}

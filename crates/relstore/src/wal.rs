@@ -151,6 +151,11 @@ struct DurableLog {
     poisoned: Option<Error>,
     /// Commits acknowledged since the last successful sync.
     unsynced_commits: usize,
+    /// True when record bytes have been appended since the last successful
+    /// sync or rotation — the paged engine's WAL-before-data gate
+    /// ([`Wal::is_synced`]) flushes before any page write-back while this
+    /// is set.
+    unsynced: bool,
 }
 
 impl DurableLog {
@@ -168,6 +173,7 @@ impl DurableLog {
             return;
         }
         let bytes = encode_record(record);
+        self.unsynced = true;
         let result = match self.failpoints.check(points::WAL_APPEND) {
             Some(action) => {
                 stats.failpoints_hit += 1;
@@ -235,6 +241,7 @@ impl DurableLog {
             Ok(()) => {
                 stats.wal_fsyncs += 1;
                 self.unsynced_commits = 0;
+                self.unsynced = false;
                 Ok(())
             }
             Err(e) => {
@@ -278,6 +285,7 @@ impl DurableLog {
                 stats.wal_fsyncs += 1;
                 stats.wal_segments_rotated += 1;
                 self.unsynced_commits = 0;
+                self.unsynced = false;
                 Ok(())
             }
             Err(e) => {
@@ -354,6 +362,7 @@ impl Wal {
                 failpoints,
                 poisoned: None,
                 unsynced_commits: 0,
+                unsynced: false,
             }),
         };
         // Replaying into the in-memory view is not new appended work; keep
@@ -438,6 +447,16 @@ impl Wal {
         match &mut self.durable {
             Some(d) => d.sync(stats),
             None => Ok(()),
+        }
+    }
+
+    /// True when every appended record is already durable (always true for
+    /// an in-memory log). The paged engine's WAL-before-data gate: page
+    /// write-back calls [`Wal::flush`] first whenever this is false.
+    pub fn is_synced(&self) -> bool {
+        match &self.durable {
+            Some(d) => !d.unsynced,
+            None => true,
         }
     }
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run the storage-engine benches and write their medians to a JSON file.
+#
+# Usage: scripts/bench_json.sh [OUT]
+#
+# Runs the relstore_ops and page_store criterion benches, pulls the median
+# time out of every "time: [lo med hi]" line, and writes OUT (default
+# BENCH_8.json in the repo root) with one entry per bench, all times
+# normalised to nanoseconds. The file is the durable record of a bench run
+# for the PR that introduced the paged storage engine; regenerate it on a
+# quiet machine when the numbers need refreshing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo_root/BENCH_8.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+cd "$repo_root"
+for bench in relstore_ops page_store; do
+    echo "== cargo bench -p bench --bench $bench ==" >&2
+    cargo bench -p bench --bench "$bench" 2>&1 | tee -a "$log" >&2
+done
+
+# Criterion prints, for each bench:
+#   <name>                 time:   [410.2 ns 440.0 ns 471.3 ns]
+# possibly with the name on its own line when it is long. Walk the log,
+# remember the last non-time line as the pending name, and emit
+# name + median (converted to ns) for every time line.
+awk '
+    function to_ns(v, unit) {
+        if (unit == "ps") return v / 1000.0
+        if (unit == "ns") return v
+        if (unit == "us" || unit == "\xc2\xb5s") return v * 1000.0
+        if (unit == "ms") return v * 1000000.0
+        if (unit == "s")  return v * 1000000000.0
+        return -1
+    }
+    /time:/ {
+        # The bench name is everything before "time:" if present on the
+        # same line, else the last line we saw.
+        name = $0
+        sub(/[[:space:]]*time:.*/, "", name)
+        gsub(/^[[:space:]]+|[[:space:]]+$/, "", name)
+        if (name == "") name = pending
+        # Extract "[lo u med u hi u]".
+        line = $0
+        sub(/.*\[/, "", line)
+        sub(/\].*/, "", line)
+        n = split(line, f, /[[:space:]]+/)
+        if (n >= 4 && name != "") {
+            ns = to_ns(f[3] + 0, f[4])
+            if (ns >= 0) printf "%s\t%.1f\n", name, ns
+        }
+        next
+    }
+    /^[A-Za-z_][A-Za-z0-9_\/.-]*([[:space:]]|$)/ {
+        pending = $1
+    }
+' "$log" > "$log.medians"
+
+if ! [ -s "$log.medians" ]; then
+    echo "error: no criterion time lines found in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "generated_by": "scripts/bench_json.sh",'
+    echo '  "benches": ["relstore_ops", "page_store"],'
+    echo '  "unit": "ns",'
+    echo '  "medians": {'
+    total=$(wc -l < "$log.medians")
+    i=0
+    while IFS=$'\t' read -r name median; do
+        i=$((i + 1))
+        comma=','
+        [ "$i" -eq "$total" ] && comma=''
+        printf '    "%s": %s%s\n' "$name" "$median" "$comma"
+    done < "$log.medians"
+    echo '  }'
+    echo '}'
+} > "$out"
+rm -f "$log.medians"
+
+echo "wrote $out" >&2
