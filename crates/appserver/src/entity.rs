@@ -265,7 +265,7 @@ mod tests {
                 &def,
                 &attrs(&[
                     ("machine_id", Value::Int(i)),
-                    ("name", Value::Text(format!("vm{i}@node"))),
+                    ("name", Value::Text(format!("vm{i}@node").into())),
                     ("state", Value::Text(state.into())),
                 ]),
             )

@@ -111,7 +111,7 @@ impl SoapResponse {
     /// A fault response with a message.
     pub fn fault(message: impl Into<String>) -> Self {
         let mut fields = BTreeMap::new();
-        fields.insert("message".to_string(), Value::Text(message.into()));
+        fields.insert("message".to_string(), Value::Text(message.into().into()));
         SoapResponse {
             status: SoapStatus::Fault,
             fields,

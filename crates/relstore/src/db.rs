@@ -53,6 +53,8 @@ use crate::exec::{execute_select_with, matching_row_ids_with, Catalog, QueryResu
 use crate::govern::{Governance, Governor};
 use crate::io::{DurabilityPolicy, Failpoints, FsDevice, LogDevice};
 use crate::mvcc::Snapshot;
+use crate::obs::clock::Stopwatch;
+use crate::obs::{self, systables, Observability, StmtKind, StmtProfile, StmtProfileSnapshot, WaitBreakdown};
 use crate::predicate::Expr;
 use crate::schema::{lower_name, IndexDef, Schema};
 use crate::sql::ast::{DeleteStmt, InsertStmt, SelectStmt, Statement, UpdateStmt};
@@ -118,6 +120,10 @@ impl ExecResult {
 pub struct Prepared {
     stmt: Arc<Statement>,
     params: usize,
+    /// The cumulative execution profile for this statement text, shared with
+    /// the statement-cache entry (and with every other `Prepared` handle for
+    /// the same text), so recording an execution is lock-free.
+    profile: Arc<StmtProfile>,
 }
 
 impl Prepared {
@@ -129,6 +135,12 @@ impl Prepared {
     /// Number of `?` parameter slots the statement expects.
     pub fn param_count(&self) -> usize {
         self.params
+    }
+
+    /// A snapshot of this statement's cumulative execution profile (the
+    /// `rel_statements` row it shares with the statement cache).
+    pub fn profile(&self) -> StmtProfileSnapshot {
+        self.profile.snapshot()
     }
 }
 
@@ -152,6 +164,10 @@ struct StmtCache {
 struct CacheEntry {
     stmt: Arc<Statement>,
     params: usize,
+    /// The statement's execution profile. Owned by the cache entry so the
+    /// profile table is bounded by the cache's LRU; shared with every
+    /// [`Prepared`] handle for this text.
+    profile: Arc<StmtProfile>,
     gen: u64,
 }
 
@@ -167,16 +183,16 @@ impl Default for StmtCache {
 
 impl StmtCache {
     /// Looks up `sql`, refreshing its recency on a hit.
-    fn get(&mut self, sql: &str) -> Option<(Arc<Statement>, usize)> {
+    fn get(&mut self, sql: &str) -> Option<(Arc<Statement>, usize, Arc<StmtProfile>)> {
         let entry = self.entries.get_mut(sql)?;
         entry.gen = self.next_gen;
         self.next_gen += 1;
-        Some((Arc::clone(&entry.stmt), entry.params))
+        Some((Arc::clone(&entry.stmt), entry.params, Arc::clone(&entry.profile)))
     }
 
     /// Inserts a parsed statement, evicting the least-recently-used entry
     /// when at capacity. A zero capacity disables caching.
-    fn insert(&mut self, sql: String, stmt: Arc<Statement>, params: usize) {
+    fn insert(&mut self, sql: String, stmt: Arc<Statement>, params: usize, profile: Arc<StmtProfile>) {
         if self.capacity == 0 {
             return;
         }
@@ -186,7 +202,13 @@ impl StmtCache {
         }
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.entries.insert(sql, CacheEntry { stmt, params, gen });
+        self.entries.insert(sql, CacheEntry { stmt, params, profile, gen });
+    }
+
+    /// Snapshots every live entry's execution profile — the rows of
+    /// `rel_statements`.
+    fn profiles(&self) -> Vec<StmtProfileSnapshot> {
+        self.entries.values().map(|e| e.profile.snapshot()).collect()
     }
 
     fn evict_lru(&mut self) {
@@ -245,6 +267,10 @@ pub struct Database {
     stmt_cache: Mutex<StmtCache>,
     /// Lock-free cumulative operation counters.
     stats: SharedStats,
+    /// Latency histograms, the slow-query ring and the event ring (see
+    /// [`crate::obs`]). Shared via `Arc` with the WAL so fsync spans are
+    /// recorded at the device seam.
+    obs: Arc<Observability>,
     /// Fault-injection registry consulted by the durable-log IO path. Free
     /// (one relaxed atomic load) when nothing is armed, which is always the
     /// case outside crash tests.
@@ -291,6 +317,7 @@ impl Database {
         device: Box<dyn LogDevice>,
         policy: DurabilityPolicy,
     ) -> Result<Self> {
+        let sw = Stopwatch::start();
         let failpoints = Arc::new(Failpoints::new());
         let mut local = OpStats::default();
         let wal = Wal::open_device(device, policy, Arc::clone(&failpoints), &mut local)?;
@@ -300,6 +327,7 @@ impl Database {
             ..Database::default()
         };
         *db.catalog.write() = catalog;
+        let wal_records = wal.len();
         {
             let mut ctl = db.ctl.lock();
             // New transactions must not reuse ids already in the log: a
@@ -307,7 +335,16 @@ impl Database {
             // run's uncommitted changes look committed at the next recovery.
             ctl.txns.advance_past(wal.max_txn_id());
             ctl.wal = wal;
+            ctl.wal.set_obs(Arc::clone(&db.obs));
         }
+        db.obs.events.record_span(
+            "recovery",
+            format!(
+                "replayed {wal_records} WAL record(s), truncated {} torn byte(s)",
+                local.recovery_truncated_bytes
+            ),
+            sw,
+        );
         db.stats.record(&local);
         Ok(db)
     }
@@ -373,6 +410,7 @@ impl Database {
         config: PagedConfig,
     ) -> Result<Self> {
         config.validate()?;
+        let sw = Stopwatch::start();
         let failpoints = Arc::new(Failpoints::new());
         let mut local = OpStats::default();
         let mut wal = Wal::open_device(wal_device, policy, Arc::clone(&failpoints), &mut local)?;
@@ -423,12 +461,22 @@ impl Database {
             ..Database::default()
         };
         *db.catalog.write() = catalog;
+        let wal_records = wal.len();
         {
             let mut ctl = db.ctl.lock();
             ctl.txns.advance_past(wal.max_txn_id());
             ctl.wal = wal;
+            ctl.wal.set_obs(Arc::clone(&db.obs));
             ctl.paged = Some(engine);
         }
+        db.obs.events.record_span(
+            "recovery",
+            format!(
+                "paged recovery: {wal_records} retained WAL record(s), {} page read(s)",
+                local.pages_read
+            ),
+            sw,
+        );
         db.stats.record(&local);
         Ok(db)
     }
@@ -573,10 +621,21 @@ impl Database {
 
     /// Reconstructs a database from a write-ahead log, as after a crash.
     pub fn recover_from(wal: Wal) -> Result<Self> {
+        let sw = Stopwatch::start();
         let catalog = wal.recover()?;
         let db = Database::new();
         *db.catalog.write() = catalog;
-        db.ctl.lock().wal = wal;
+        let wal_records = wal.len();
+        {
+            let mut ctl = db.ctl.lock();
+            ctl.wal = wal;
+            ctl.wal.set_obs(Arc::clone(&db.obs));
+        }
+        db.obs.events.record_span(
+            "recovery",
+            format!("replayed {wal_records} WAL record(s)"),
+            sw,
+        );
         Ok(db)
     }
 
@@ -696,16 +755,20 @@ impl Database {
     /// the `Begin` record is appended lazily with the transaction's first
     /// logged change, so read-only transactions never touch the log.
     pub fn begin(&self) -> TxnId {
-        let (id, lag) = {
-            let mut ctl = self.ctl.lock();
-            let id = ctl.txns.begin();
-            (id, Self::horizon_lag_of(&ctl))
-        };
-        self.stats.record(&OpStats {
-            snapshots_taken: 1,
-            horizon_lag: lag,
-            ..Default::default()
-        });
+        let mut local = OpStats::default();
+        let id = self.begin_local(&mut local);
+        self.stats.record(&local);
+        id
+    }
+
+    /// [`Database::begin`] counting into a caller-owned [`OpStats`] delta
+    /// instead of merging immediately — autocommit writes use this so one
+    /// delta (and one shared-stats merge) spans begin through commit.
+    fn begin_local(&self, local: &mut OpStats) -> TxnId {
+        let mut ctl = self.ctl.lock();
+        let id = ctl.txns.begin();
+        local.snapshots_taken += 1;
+        local.horizon_lag = local.horizon_lag.max(Self::horizon_lag_of(&ctl));
         id
     }
 
@@ -734,21 +797,33 @@ impl Database {
     /// reopened from disk.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         let mut local = OpStats::default();
+        let synced = self.commit_local(txn, &mut local);
+        self.stats.record(&local);
+        synced
+    }
+
+    /// [`Database::commit`] counting into a caller-owned [`OpStats`] delta.
+    /// Commits that logged changes record their WAL-append-to-fsync span in
+    /// the `txn.commit` latency histogram.
+    fn commit_local(&self, txn: TxnId, local: &mut OpStats) -> Result<()> {
         let synced;
         {
             let mut ctl = self.ctl.lock();
             let state = ctl.txns.finish_commit(txn)?;
             synced = if state.wal_begun {
+                let sw = Stopwatch::start();
                 // Split borrow: applying the commit to the page heaps may
                 // evict frames, whose write-back must flush this same WAL
                 // first (WAL-before-data).
                 let c = &mut *ctl;
-                c.wal.append(LogRecord::Commit { txn }, &mut local);
-                match c.paged.as_mut() {
-                    Some(p) => p.apply_commit(txn, &mut c.wal, &mut local),
+                c.wal.append(LogRecord::Commit { txn }, local);
+                let forced = match c.paged.as_mut() {
+                    Some(p) => p.apply_commit(txn, &mut c.wal, local),
                     None => Ok(()),
                 }
-                .and_then(|_| c.wal.commit_sync(&mut local))
+                .and_then(|_| c.wal.commit_sync(local));
+                self.obs.histograms.commit.record(sw.elapsed_nanos());
+                forced
             } else {
                 if let Some(p) = ctl.paged.as_mut() {
                     p.discard(txn);
@@ -759,10 +834,9 @@ impl Database {
             // Locks are released even when the sync failed — the engine
             // stays usable for reads and rollbacks.
             ctl.locks.release_all(txn);
-            local.horizon_lag = Self::horizon_lag_of(&ctl);
+            local.horizon_lag = local.horizon_lag.max(Self::horizon_lag_of(&ctl));
         }
-        local.commits = 1;
-        self.stats.record(&local);
+        local.commits += 1;
         synced
     }
 
@@ -773,7 +847,10 @@ impl Database {
     /// are re-opened, so aborted writes are never observable by any snapshot
     /// — visibility checks therefore never need a commit-status lookup.
     pub fn rollback(&self, txn: TxnId) -> Result<()> {
-        self.rollback_impl(txn, None).map(|_| ())
+        let mut local = OpStats::default();
+        let result = self.rollback_impl(txn, None, &mut local).map(|_| ());
+        self.stats.record(&local);
+        result
     }
 
     /// Aborts every transaction idle (no statement executed through it) for
@@ -789,21 +866,19 @@ impl Database {
     /// inactive-transaction error a double rollback would produce.
     pub fn reap_idle(&self, idle_for: Duration) -> usize {
         let victims = self.ctl.lock().txns.idle_txns(idle_for);
+        let mut local = OpStats::default();
         let mut reaped = 0usize;
         for txn in victims {
             // Ok(false)/Err: still active after re-validation, or finished.
-            if let Ok(true) = self.rollback_impl(txn, Some(idle_for)) {
+            if let Ok(true) = self.rollback_impl(txn, Some(idle_for), &mut local) {
                 reaped += 1;
             }
         }
         if reaped > 0 {
-            let lag = Self::horizon_lag_of(&self.ctl.lock());
-            self.stats.record(&OpStats {
-                txns_reaped: reaped as u64,
-                horizon_lag: lag,
-                ..Default::default()
-            });
+            local.txns_reaped = reaped as u64;
+            local.horizon_lag = Self::horizon_lag_of(&self.ctl.lock());
         }
+        self.stats.record(&local);
         reaped
     }
 
@@ -811,8 +886,12 @@ impl Database {
     /// only when the transaction is still active *and* has been idle that
     /// long, checked under the guards (the reaper path); returns whether the
     /// rollback was performed.
-    fn rollback_impl(&self, txn: TxnId, only_if_idle: Option<Duration>) -> Result<bool> {
-        let mut local = OpStats::default();
+    fn rollback_impl(
+        &self,
+        txn: TxnId,
+        only_if_idle: Option<Duration>,
+        local: &mut OpStats,
+    ) -> Result<bool> {
         {
             let mut catalog = self.catalog.write();
             let mut ctl = self.ctl.lock();
@@ -848,15 +927,14 @@ impl Database {
                 }
             }
             if state.wal_begun {
-                ctl.wal.append(LogRecord::Abort { txn }, &mut local);
+                ctl.wal.append(LogRecord::Abort { txn }, local);
             }
             if let Some(p) = ctl.paged.as_mut() {
                 p.discard(txn);
             }
             ctl.locks.release_all(txn);
         }
-        local.aborts = 1;
-        self.stats.record(&local);
+        local.aborts += 1;
         Ok(true)
     }
 
@@ -866,7 +944,7 @@ impl Database {
     /// parsed AST without re-lexing, a miss parses outside every lock and
     /// caches the result. Counted in `cache_hits` / `cache_misses`, and in
     /// `statements_parsed` only on a miss.
-    pub(crate) fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize)> {
+    pub(crate) fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize, Arc<StmtProfile>)> {
         if let Some(hit) = self.stmt_cache.lock().get(sql) {
             self.stats.record(&OpStats {
                 cache_hits: 1,
@@ -882,10 +960,14 @@ impl Database {
         // Parse outside the lock; concurrent sessions keep executing.
         let stmt = Arc::new(parse(sql)?);
         let params = stmt.param_count();
-        self.stmt_cache
-            .lock()
-            .insert(sql.to_string(), Arc::clone(&stmt), params);
-        Ok((stmt, params))
+        let profile = Arc::new(StmtProfile::new(Arc::from(sql), StmtKind::of(&stmt)));
+        self.stmt_cache.lock().insert(
+            sql.to_string(),
+            Arc::clone(&stmt),
+            params,
+            Arc::clone(&profile),
+        );
+        Ok((stmt, params, profile))
     }
 
     /// Prepares a statement for repeated execution. The SQL may contain `?`
@@ -893,8 +975,16 @@ impl Database {
     /// `query_prepared`. Preparation itself goes through the statement
     /// cache, so re-preparing the same text is cheap.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
-        let (stmt, params) = self.cached_parse(sql)?;
-        Ok(Prepared { stmt, params })
+        let (stmt, params, profile) = self.cached_parse(sql)?;
+        Ok(Prepared { stmt, params, profile })
+    }
+
+    /// Snapshots the execution profile of every statement currently in the
+    /// statement cache — the rows of the `rel_statements` system table,
+    /// unsorted. Bounded by the cache capacity; an evicted entry's profile
+    /// disappears with it (a re-prepare starts fresh).
+    pub fn statement_profiles(&self) -> Vec<StmtProfileSnapshot> {
+        self.stmt_cache.lock().profiles()
     }
 
     /// Changes the capacity of the statement cache (default 256 entries),
@@ -920,6 +1010,29 @@ impl Database {
         *self.lock_wait.lock()
     }
 
+    // --- observability --------------------------------------------------------
+
+    /// The engine's observability state: latency histograms, the slow-query
+    /// ring and the event ring. Readable at any time without pausing writers;
+    /// the same data is served as SQL through the `rel_*` system tables.
+    pub fn obs(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Arms the slow-query log: statements at or over `threshold` are
+    /// captured into the `rel_slow_queries` ring with a wait breakdown.
+    /// `Some(Duration::ZERO)` captures every statement; `None` (the initial
+    /// state) disarms the log, leaving already-captured entries in place.
+    /// While disarmed the per-statement cost is one relaxed load.
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        self.obs.slow_log.set_threshold(threshold);
+    }
+
+    /// The armed slow-query threshold, or `None` while disarmed.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.obs.slow_log.threshold()
+    }
+
     // --- statement execution -------------------------------------------------
 
     /// Parses and executes one statement in autocommit mode.
@@ -934,13 +1047,13 @@ impl Database {
     /// `gov` (deadline, cancellation token, row/byte budgets, lock-wait
     /// bound); see [`Governance`].
     pub fn execute_governed(&self, sql: &str, gov: &Governance) -> Result<ExecResult> {
-        let (stmt, params) = self.cached_parse(sql)?;
+        let (stmt, params, profile) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared()"
             )));
         }
-        self.execute_stmt_params_governed(&stmt, &[], gov)
+        self.execute_stmt_tracked(&stmt, &[], gov, Some(&profile))
     }
 
     /// Parses and executes one statement inside an explicit transaction.
@@ -955,13 +1068,13 @@ impl Database {
         sql: &str,
         gov: &Governance,
     ) -> Result<ExecResult> {
-        let (stmt, params) = self.cached_parse(sql)?;
+        let (stmt, params, profile) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared_in()"
             )));
         }
-        self.execute_stmt_in_params_governed(txn, &stmt, &[], gov)
+        self.execute_stmt_in_tracked(txn, &stmt, &[], gov, Some(&profile))
     }
 
     /// Executes a prepared statement in autocommit mode with the given
@@ -980,7 +1093,7 @@ impl Database {
         gov: &Governance,
     ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_params_governed(&prepared.stmt, params, gov)
+        self.execute_stmt_tracked(&prepared.stmt, params, gov, Some(&prepared.profile))
     }
 
     /// Executes a prepared statement inside an explicit transaction.
@@ -1003,7 +1116,7 @@ impl Database {
         gov: &Governance,
     ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_in_params_governed(txn, &prepared.stmt, params, gov)
+        self.execute_stmt_in_tracked(txn, &prepared.stmt, params, gov, Some(&prepared.profile))
     }
 
     fn check_arity(prepared: &Prepared, params: &[Value]) -> Result<()> {
@@ -1042,6 +1155,20 @@ impl Database {
         params: &[Value],
         gov: &Governance,
     ) -> Result<ExecResult> {
+        self.execute_stmt_tracked(stmt, params, gov, None)
+    }
+
+    /// The autocommit dispatcher: every statement is stopwatch-timed and
+    /// lands one sample in its kind's latency histogram (plus the statement's
+    /// profile, when it was prepared from SQL) via
+    /// [`Observability::record_statement`].
+    fn execute_stmt_tracked(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        gov: &Governance,
+        profile: Option<&Arc<StmtProfile>>,
+    ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "use begin()/commit()/rollback() or a Session for transaction control",
@@ -1051,6 +1178,7 @@ impl Database {
                 // the snapshot: a writer that committed after the guard was
                 // acquired is simply absent from the snapshot, and its
                 // versions are filtered out by visibility.
+                let sw = Stopwatch::start();
                 let mut governor = Governor::arm(gov);
                 let catalog = self.catalog.read();
                 let snapshot = self.ctl.lock().txns.read_snapshot();
@@ -1060,31 +1188,115 @@ impl Database {
                     ..Default::default()
                 };
                 let result =
-                    execute_select_with(&catalog, sel, params, &snapshot, &mut local, &mut governor);
+                    self.run_select(&catalog, sel, params, &snapshot, &mut local, &mut governor);
                 drop(catalog);
                 if let Err(e) = &result {
                     Self::attribute_failure(&mut local, e);
                 }
-                self.stats.record(&local);
+                let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
+                self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
                 Ok(ExecResult::Query(result?))
             }
             _ => {
-                let txn = self.begin();
-                match self.execute_stmt_in_params_governed(txn, stmt, params, gov) {
-                    Ok(result) => {
-                        self.commit(txn)?;
-                        Ok(result)
-                    }
+                // Autocommit write: one statement-local delta spans begin
+                // through commit, so the slow-query wait breakdown includes
+                // the commit fsync and the shared stats merge happens once.
+                let sw = Stopwatch::start();
+                let mut local = OpStats::default();
+                let txn = self.begin_local(&mut local);
+                let result = match self.write_stmt_in(txn, stmt, params, gov, &mut local) {
+                    Ok(result) => self.commit_local(txn, &mut local).map(|()| result),
                     Err(e) => {
                         // Roll back best-effort; surface the original error.
                         // A cancelled or over-budget autocommit write is
                         // therefore never partially applied.
-                        let _ = self.rollback(txn);
+                        let _ = self.rollback_impl(txn, None, &mut local);
                         Err(e)
                     }
+                };
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
                 }
+                let rows = result.as_ref().map_or(0, |r| r.affected() as u64);
+                self.finish_statement(StmtKind::of(stmt), sw, rows, profile, &mut local);
+                result
             }
         }
+    }
+
+    /// Finishes one timed statement: the histogram/profile/slow-log record,
+    /// then the shared-stats merge. Every path that counts
+    /// `statements_executed` funnels through exactly one call, so histogram
+    /// sample totals and the counter agree once writers quiesce.
+    #[inline]
+    fn finish_statement(
+        &self,
+        kind: StmtKind,
+        sw: Stopwatch,
+        rows: u64,
+        profile: Option<&Arc<StmtProfile>>,
+        local: &mut OpStats,
+    ) {
+        let nanos = sw.elapsed_nanos();
+        self.obs
+            .record_statement(kind, nanos, rows, profile, WaitBreakdown::of(local), local);
+        self.stats.record(local);
+    }
+
+    /// Runs one SELECT against the catalog, routing `rel_*` system-table
+    /// names that no real table shadows to the observability layer: the
+    /// current state is synthesized into throwaway tables and the ordinary
+    /// select executor runs against those, so filters, projections, joins
+    /// between system tables, ORDER BY, aggregates and LIMIT work unchanged.
+    fn run_select(
+        &self,
+        catalog: &Catalog,
+        sel: &SelectStmt,
+        params: &[Value],
+        snapshot: &Snapshot,
+        local: &mut OpStats,
+        governor: &mut Governor,
+    ) -> Result<QueryResult> {
+        let base = lower_name(&sel.table);
+        if obs::is_system_table(&base) && !catalog.contains_key(base.as_ref()) {
+            let virt = self.system_catalog(sel)?;
+            return execute_select_with(&virt, sel, params, snapshot, local, governor);
+        }
+        execute_select_with(catalog, sel, params, snapshot, local, governor)
+    }
+
+    /// Synthesizes the system tables a SELECT references into a throwaway
+    /// catalog. System tables join only with each other — a join against a
+    /// real table from a system-table SELECT is rejected, since the real
+    /// catalog is not copied into the virtual one.
+    fn system_catalog(&self, sel: &SelectStmt) -> Result<Catalog> {
+        let mut virt = Catalog::new();
+        self.add_system_table(&mut virt, lower_name(&sel.table).as_ref())?;
+        for join in &sel.joins {
+            self.add_system_table(&mut virt, lower_name(&join.table).as_ref())?;
+        }
+        Ok(virt)
+    }
+
+    /// Builds one named system table from the live observability state.
+    fn add_system_table(&self, virt: &mut Catalog, name: &str) -> Result<()> {
+        if virt.contains_key(name) {
+            return Ok(());
+        }
+        let table = match name {
+            "rel_stats" => systables::stats_table(&self.stats.snapshot()),
+            "rel_histograms" => systables::histograms_table(&self.obs.histograms),
+            "rel_statements" => systables::statements_table(self.statement_profiles()),
+            "rel_slow_queries" => systables::slow_queries_table(self.obs.slow_log.entries()),
+            "rel_events" => systables::events_table(self.obs.events.entries()),
+            other => {
+                return Err(Error::type_err(format!(
+                    "system tables join only with other system tables, not {other}"
+                )))
+            }
+        };
+        virt.insert(name.to_string(), table);
+        Ok(())
     }
 
     /// Executes an already-parsed statement inside an explicit transaction.
@@ -1105,16 +1317,32 @@ impl Database {
         params: &[Value],
         gov: &Governance,
     ) -> Result<ExecResult> {
+        self.execute_stmt_in_tracked(txn, stmt, params, gov, None)
+    }
+
+    /// The in-transaction dispatcher; see [`Database::execute_stmt_tracked`]
+    /// for what "tracked" adds.
+    fn execute_stmt_in_tracked(
+        &self,
+        txn: TxnId,
+        stmt: &Statement,
+        params: &[Value],
+        gov: &Governance,
+        profile: Option<&Arc<StmtProfile>>,
+    ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
                 "nested transaction control is not supported",
             )),
             Statement::Select(sel) => {
+                let sw = Stopwatch::start();
                 let mut governor = Governor::arm(gov);
                 let catalog = self.catalog.read();
                 let snapshot = {
                     let mut ctl = self.ctl.lock();
                     ctl.txns.touch(txn);
+                    // An inactive transaction fails here, before anything is
+                    // counted: the statement never executed.
                     ctl.txns.snapshot_of(txn)?
                 };
                 let mut local = OpStats {
@@ -1122,63 +1350,75 @@ impl Database {
                     ..Default::default()
                 };
                 let result =
-                    execute_select_with(&catalog, sel, params, &snapshot, &mut local, &mut governor);
+                    self.run_select(&catalog, sel, params, &snapshot, &mut local, &mut governor);
                 drop(catalog);
                 if let Err(e) = &result {
                     Self::attribute_failure(&mut local, e);
                 }
-                self.stats.record(&local);
+                let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
+                self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
                 Ok(ExecResult::Query(result?))
             }
             _ => {
-                let mut governor = Governor::arm(gov);
-                let mut local = OpStats {
-                    statements_executed: 1,
-                    ..Default::default()
-                };
-                // Bounded lock wait happens *before* the catalog write guard
-                // is taken, so a waiting writer never blocks readers or the
-                // holder's own commit/rollback.
-                if let Some(name) = Self::write_target(stmt) {
-                    let wait = gov.lock_wait.unwrap_or_else(|| self.lock_wait_timeout());
-                    if let Err(e) =
-                        self.wait_for_table_lock(txn, &name, wait, &mut governor, &mut local)
-                    {
-                        Self::attribute_failure(&mut local, &e);
-                        self.stats.record(&local);
-                        return Err(e);
-                    }
-                }
-                let mut catalog = self.catalog.write();
-                let mut ctl = self.ctl.lock();
-                ctl.txns.touch(txn);
-                let mut log = Vec::new();
-                let result = Self::run_write(
-                    &mut catalog,
-                    &mut ctl,
-                    txn,
-                    stmt,
-                    params,
-                    &mut local,
-                    &mut log,
-                    &mut governor,
-                );
-                // Changes that were applied before an error are still logged:
-                // their undo records exist and rollback discards them, so the
-                // WAL must carry them in case the transaction commits anyway.
-                let flushed = Self::append_changes(&mut ctl, txn, log, false, &mut local);
-                Self::vacuum_if_bloated(&mut catalog, &ctl, stmt, &mut local);
-                drop(ctl);
-                drop(catalog);
+                let sw = Stopwatch::start();
+                let mut local = OpStats::default();
+                let result = self.write_stmt_in(txn, stmt, params, gov, &mut local);
                 if let Err(e) = &result {
                     Self::attribute_failure(&mut local, e);
                 }
-                self.stats.record(&local);
-                let result = result?;
-                flushed?;
-                Ok(result)
+                let rows = result.as_ref().map_or(0, |r| r.affected() as u64);
+                self.finish_statement(StmtKind::of(stmt), sw, rows, profile, &mut local);
+                result
             }
         }
+    }
+
+    /// The body of the in-transaction write arm: bounded lock wait, the
+    /// write itself under both guards, the WAL append and the targeted
+    /// vacuum. Counts into `local` but neither attributes failures nor
+    /// merges stats — the caller owns the single
+    /// [`Database::finish_statement`] per statement.
+    fn write_stmt_in(
+        &self,
+        txn: TxnId,
+        stmt: &Statement,
+        params: &[Value],
+        gov: &Governance,
+        local: &mut OpStats,
+    ) -> Result<ExecResult> {
+        let mut governor = Governor::arm(gov);
+        local.statements_executed += 1;
+        // Bounded lock wait happens *before* the catalog write guard
+        // is taken, so a waiting writer never blocks readers or the
+        // holder's own commit/rollback.
+        if let Some(name) = Self::write_target(stmt) {
+            let wait = gov.lock_wait.unwrap_or_else(|| self.lock_wait_timeout());
+            self.wait_for_table_lock(txn, &name, wait, &mut governor, local)?;
+        }
+        let mut catalog = self.catalog.write();
+        let mut ctl = self.ctl.lock();
+        ctl.txns.touch(txn);
+        let mut log = Vec::new();
+        let result = Self::run_write(
+            &mut catalog,
+            &mut ctl,
+            txn,
+            stmt,
+            params,
+            local,
+            &mut log,
+            &mut governor,
+        );
+        // Changes that were applied before an error are still logged:
+        // their undo records exist and rollback discards them, so the
+        // WAL must carry them in case the transaction commits anyway.
+        let flushed = Self::append_changes(&mut ctl, txn, log, false, local);
+        self.vacuum_if_bloated(&mut catalog, &ctl, stmt, local);
+        drop(ctl);
+        drop(catalog);
+        let result = result?;
+        flushed?;
+        Ok(result)
     }
 
     /// Counts a governance failure in the right statement-level counter.
@@ -1226,10 +1466,19 @@ impl Database {
         stats: &mut OpStats,
     ) -> Result<()> {
         let mut first_conflict = true;
-        let deadline = Instant::now() + wait;
+        let start = Instant::now();
+        let deadline = start + wait;
         loop {
             let conflict = match self.ctl.lock().locks.acquire(txn, table, LockMode::Exclusive) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    // Only contended acquisitions reach a second clock read
+                    // and the lock-wait histogram; the uncontended path is
+                    // exactly as before.
+                    if !first_conflict {
+                        self.note_lock_wait(start, stats);
+                    }
+                    return Ok(());
+                }
                 Err(e @ Error::LockConflict(_)) => e,
                 Err(e) => return Err(e),
             };
@@ -1244,6 +1493,7 @@ impl Database {
             governor.check_now()?;
             if Instant::now() >= deadline {
                 stats.lock_wait_timeouts += 1;
+                self.note_lock_wait(start, stats);
                 return Err(Error::lock_wait_timeout(format!(
                     "table {table} still write-locked after {wait:?}"
                 )));
@@ -1252,11 +1502,19 @@ impl Database {
         }
     }
 
+    /// Accounts one finished (or timed-out) contended lock wait.
+    fn note_lock_wait(&self, start: Instant, stats: &mut OpStats) {
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.lock_wait_nanos += nanos;
+        self.obs.histograms.lock_wait.record(nanos);
+    }
+
     /// Targeted vacuum: when the table a write statement touched has
     /// accumulated more than [`VACUUM_DEAD_THRESHOLD`] dead versions, prune
     /// the ones no live snapshot can still observe. Runs under the already
     /// held catalog write guard; the horizon comes from the live snapshots.
     fn vacuum_if_bloated(
+        &self,
         catalog: &mut Catalog,
         ctl: &Control,
         stmt: &Statement,
@@ -1276,7 +1534,9 @@ impl Database {
             // when the horizon has advanced far enough to reclaim something.
             let horizon = ctl.txns.snapshot_horizon();
             if t.vacuum_would_prune(horizon) {
+                let sw = Stopwatch::start();
                 t.vacuum(horizon, stats);
+                self.obs.histograms.vacuum.record(sw.elapsed_nanos());
             }
         }
     }
@@ -1396,6 +1656,7 @@ impl Database {
                 return Err(e);
             }
         }
+        let kind = StmtKind::of(&prepared.stmt);
         let mut catalog = self.catalog.write();
         let mut ctl = self.ctl.lock();
         ctl.txns.touch(txn);
@@ -1403,23 +1664,37 @@ impl Database {
         let mut affected = 0usize;
         let mut failed = None;
         for binding in bindings {
+            let sw = Stopwatch::start();
             local.statements_executed += 1;
+            let before = WaitBreakdown::of(&local);
             // Deadline/cancellation boundary between bindings, in addition
             // to the per-row ticks inside run_write.
-            if let Err(e) = governor.check_now() {
-                failed = Some(e);
-                break;
-            }
-            match Self::run_write(
-                &mut catalog,
-                &mut ctl,
-                txn,
-                &prepared.stmt,
-                binding,
+            let result = governor.check_now().and_then(|()| {
+                Self::run_write(
+                    &mut catalog,
+                    &mut ctl,
+                    txn,
+                    &prepared.stmt,
+                    binding,
+                    &mut local,
+                    &mut log,
+                    &mut governor,
+                )
+            });
+            // Each binding counts as one statement, so each lands one
+            // histogram/profile sample. The binding sees only its own wait
+            // delta; the batch's single WAL append and the commit land in
+            // the wal.fsync / txn.commit histograms, not here.
+            let rows = result.as_ref().map_or(0, |r| r.affected() as u64);
+            self.obs.record_statement(
+                kind,
+                sw.elapsed_nanos(),
+                rows,
+                Some(&prepared.profile),
+                WaitBreakdown::of(&local).delta_since(&before),
                 &mut local,
-                &mut log,
-                &mut governor,
-            ) {
+            );
+            match result {
                 Ok(result) => affected += result.affected(),
                 Err(e) => {
                     failed = Some(e);
@@ -1428,7 +1703,7 @@ impl Database {
             }
         }
         let flushed = Self::append_changes(&mut ctl, txn, log, true, &mut local);
-        Self::vacuum_if_bloated(&mut catalog, &ctl, &prepared.stmt, &mut local);
+        self.vacuum_if_bloated(&mut catalog, &ctl, &prepared.stmt, &mut local);
         drop(ctl);
         drop(catalog);
         if let Some(e) = &failed {
@@ -1468,7 +1743,15 @@ impl Database {
         let mut governor = Governor::arm(gov);
         let catalog = self.catalog.read();
         let snapshot = self.ctl.lock().txns.read_snapshot();
-        self.run_query_batch(&catalog, sel, bindings, &snapshot, true, &mut governor)
+        self.run_query_batch(
+            &catalog,
+            sel,
+            bindings,
+            &snapshot,
+            true,
+            &mut governor,
+            &prepared.profile,
+        )
     }
 
     /// As [`Database::query_batch`], inside an explicit transaction: the
@@ -1498,7 +1781,15 @@ impl Database {
             ctl.txns.touch(txn);
             ctl.txns.snapshot_of(txn)?
         };
-        self.run_query_batch(&catalog, sel, bindings, &snapshot, false, &mut governor)
+        self.run_query_batch(
+            &catalog,
+            sel,
+            bindings,
+            &snapshot,
+            false,
+            &mut governor,
+            &prepared.profile,
+        )
     }
 
     /// Validates a batch SELECT's shape and arities.
@@ -1523,6 +1814,7 @@ impl Database {
         snapshot: &Snapshot,
         fresh_snapshot: bool,
         governor: &mut Governor,
+        profile: &Arc<StmtProfile>,
     ) -> Result<Vec<QueryResult>> {
         let mut local = OpStats {
             snapshots_taken: u64::from(fresh_snapshot),
@@ -1531,11 +1823,21 @@ impl Database {
         let mut out = Vec::with_capacity(bindings.len());
         let mut failed = None;
         for binding in bindings {
+            let sw = Stopwatch::start();
             local.statements_executed += 1;
-            match governor
+            let result = governor
                 .check_now()
-                .and_then(|()| execute_select_with(catalog, sel, binding, snapshot, &mut local, governor))
-            {
+                .and_then(|()| self.run_select(catalog, sel, binding, snapshot, &mut local, governor));
+            let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
+            self.obs.record_statement(
+                StmtKind::Select,
+                sw.elapsed_nanos(),
+                rows,
+                Some(profile),
+                WaitBreakdown::default(),
+                &mut local,
+            );
+            match result {
                 Ok(q) => out.push(q),
                 Err(e) => {
                     failed = Some(e);
@@ -1862,6 +2164,7 @@ impl Database {
     /// of an empty log (`Ok(bytes)`), so callers retry instead of misreading
     /// "nothing to checkpoint".
     pub fn checkpoint(&self) -> Result<u64> {
+        let sw = Stopwatch::start();
         let wal_bytes;
         {
             let catalog = self.catalog.read();
@@ -1913,7 +2216,14 @@ impl Database {
         // version no live snapshot can observe. This needs the write guard,
         // taken *after* the snapshot guard is released so readers were never
         // blocked while the snapshot was built.
-        self.vacuum_all();
+        let pruned = self.vacuum_all();
+        let nanos = sw.elapsed_nanos();
+        self.obs.histograms.checkpoint.record(nanos);
+        self.obs.events.record(
+            "checkpoint",
+            format!("wrote {wal_bytes} WAL byte(s), vacuum pruned {pruned} version(s)"),
+            nanos,
+        );
         Ok(wal_bytes)
     }
 
@@ -1922,15 +2232,25 @@ impl Database {
     /// row). Returns the number of versions pruned. Called from
     /// [`Database::checkpoint`]; exposed for tests and manual maintenance.
     pub fn vacuum_all(&self) -> usize {
+        let sw = Stopwatch::start();
         let mut catalog = self.catalog.write();
         let horizon = self.ctl.lock().txns.snapshot_horizon();
         let mut local = OpStats::default();
         let mut pruned = 0usize;
+        let mut tables = 0usize;
         for table in catalog.values_mut() {
             pruned += table.vacuum(horizon, &mut local);
+            tables += 1;
         }
         drop(catalog);
         self.stats.record(&local);
+        let nanos = sw.elapsed_nanos();
+        self.obs.histograms.vacuum.record(nanos);
+        self.obs.events.record(
+            "vacuum",
+            format!("full sweep over {tables} table(s) pruned {pruned} version(s)"),
+            nanos,
+        );
         pruned
     }
 

@@ -298,7 +298,7 @@ pub fn execute_aggregate<'a>(
     }
 
     Ok(QueryResult {
-        columns,
+        columns: columns.into(),
         rows: out_rows,
     })
 }

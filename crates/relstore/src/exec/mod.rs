@@ -24,9 +24,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct QueryResult {
     /// Output column names, in projection order. Names are `Arc<str>`s
-    /// interned from the table schema at definition time, so projecting a
-    /// column clones a pointer rather than the string.
-    pub columns: Vec<Arc<str>>,
+    /// interned from the table schema at definition time, and the list
+    /// itself is shared: a wildcard select clones the table's interned
+    /// header (one refcount bump), not a fresh vector of names.
+    pub columns: Arc<[Arc<str>]>,
     /// Result rows.
     pub rows: Vec<Row>,
 }
@@ -143,7 +144,7 @@ mod tests {
 
     fn result() -> QueryResult {
         QueryResult {
-            columns: vec!["jobs.job_id".into(), "state".into()],
+            columns: vec!["jobs.job_id".into(), "state".into()].into(),
             rows: vec![
                 Row::new(vec![Value::Int(1), Value::Text("idle".into())]),
                 Row::new(vec![Value::Int(2), Value::Text("running".into())]),
@@ -173,7 +174,7 @@ mod tests {
     #[test]
     fn scalar_int_for_single_cell() {
         let r = QueryResult {
-            columns: vec!["count".into()],
+            columns: vec!["count".into()].into(),
             rows: vec![Row::new(vec![Value::Int(42)])],
         };
         assert_eq!(r.scalar_int(), Some(42));

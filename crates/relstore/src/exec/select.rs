@@ -343,6 +343,41 @@ fn execute_single_table(
         None => None,
     };
 
+    // Streamed `SELECT *` fast path: with no ORDER BY and no aggregates,
+    // survivors are cloned straight off the access path — no borrowed
+    // staging vector, and the column header is the table's shared interned
+    // list. This is the shape of the service-call point select, so it stays
+    // allocation-minimal: the result rows and nothing else.
+    if matches!(stmt.items.as_slice(), [SelectItem::Wildcard])
+        && stmt.order_by.is_empty()
+        && !has_aggregates(stmt)
+    {
+        let limit = stmt.limit.unwrap_or(usize::MAX);
+        let mut rows: Vec<Row> = Vec::new();
+        if limit > 0 {
+            for StoredRowRef { row, .. } in
+                access_base_table(table, filter.as_deref(), params, vis, stats)
+            {
+                gov.tick()?;
+                let keep = match &filter {
+                    Some(f) => f.matches_with(schema, row, params)?,
+                    None => true,
+                };
+                if keep {
+                    gov.charge_row(|| approx_row_bytes(row))?;
+                    rows.push(row.clone());
+                    if rows.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        return Ok(QueryResult {
+            columns: table.wildcard_columns(),
+            rows,
+        });
+    }
+
     // Access path + predicate over borrowed rows; survivors stay borrowed.
     // Every scanned row is a cancellation point.
     let mut matched: Vec<&Row> = Vec::new();
@@ -370,18 +405,6 @@ fn execute_single_table(
         matched.truncate(limit);
     }
 
-    // Projection. A bare `SELECT *` clones exactly the surviving rows.
-    if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
-        let mut rows = Vec::with_capacity(matched.len());
-        for row in matched {
-            gov.charge_row(|| approx_row_bytes(row))?;
-            rows.push(row.clone());
-        }
-        return Ok(QueryResult {
-            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-            rows,
-        });
-    }
     let (columns, projections) = projection_spec(stmt, schema)?;
     let rows = project_rows(
         schema,
@@ -391,7 +414,10 @@ fn execute_single_table(
         params,
         gov,
     )?;
-    Ok(QueryResult { columns, rows })
+    Ok(QueryResult {
+        columns: columns.into(),
+        rows,
+    })
 }
 
 /// The join path: inner joins applied left to right with a hash join on the
@@ -496,7 +522,7 @@ fn execute_joined(
     let (columns, projections) = projection_spec(stmt, &schema)?;
     let out_rows = project_rows(&schema, rows.iter(), columns.len(), &projections, params, gov)?;
     Ok(QueryResult {
-        columns,
+        columns: columns.into(),
         rows: out_rows,
     })
 }

@@ -194,6 +194,10 @@ impl Governor {
         }
         self.rows += 1;
         if self.rows > self.max_rows {
+            // A statement that is over-budget and past its deadline reports
+            // the deadline — budget errors must not mask an expired clock
+            // just because a streaming path charges rows as it scans.
+            self.check_now()?;
             return Err(Error::resource_exhausted(format!(
                 "statement materialized more than {} rows",
                 self.max_rows
@@ -201,6 +205,7 @@ impl Governor {
         }
         self.bytes = self.bytes.saturating_add(size());
         if self.bytes > self.max_bytes {
+            self.check_now()?;
             return Err(Error::resource_exhausted(format!(
                 "statement result exceeds {} bytes",
                 self.max_bytes

@@ -94,13 +94,19 @@ impl Index {
 
     /// Returns the rows holding exactly `key`.
     pub fn lookup(&self, key: &Value) -> Vec<RowId> {
-        if key.is_null() {
-            return Vec::new();
-        }
-        self.entries
-            .get(key)
+        self.lookup_set(key)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Returns the entry set for exactly `key`, borrowed from the index —
+    /// the allocation-free form of [`Index::lookup`] the point-read access
+    /// path streams from.
+    pub fn lookup_set(&self, key: &Value) -> Option<&BTreeSet<RowId>> {
+        if key.is_null() {
+            return None;
+        }
+        self.entries.get(key)
     }
 
     /// Returns the rows with keys in `[lo, hi]` (either bound may be open),

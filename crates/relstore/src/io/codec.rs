@@ -15,6 +15,7 @@ use crate::schema::{Column, IndexDef, Schema};
 use crate::tuple::{Row, RowId};
 use crate::value::{DataType, Value};
 use crate::wal::{LogRecord, TableSnapshot, TxnId};
+use std::sync::Arc;
 
 /// Maximum nesting depth accepted when decoding [`LogRecord::Batch`]. The
 /// engine itself writes flat batches; the cap only bounds stack use against
@@ -293,7 +294,7 @@ impl<'a> Reader<'a> {
             0 => Ok(Value::Null),
             1 => Ok(Value::Int(self.i64()?)),
             2 => Ok(Value::Double(self.f64()?)),
-            3 => Ok(Value::Text(self.str()?.to_string())),
+            3 => Ok(Value::Text(Arc::from(self.str()?))),
             4 => match self.u8()? {
                 0 => Ok(Value::Bool(false)),
                 1 => Ok(Value::Bool(true)),

@@ -399,6 +399,51 @@
 //! # Ok::<(), relstore::Error>(())
 //! ```
 //!
+//! ## Observability
+//!
+//! The engine applies the paper's own argument to itself: if middleware
+//! state belongs in a relational engine because it can be *queried*, then
+//! the engine's internal state should be queryable too. The [`obs`] module
+//! keeps lock-free log-bucketed latency histograms (per statement kind,
+//! plus WAL fsync, lock wait, commit, checkpoint and vacuum), a
+//! per-statement profile on every cached/prepared statement (a
+//! `pg_stat_statements` analogue bounded by the statement-cache LRU), a
+//! fixed-capacity slow-query ring with a wait breakdown
+//! ([`Database::set_slow_query_threshold`](db::Database::set_slow_query_threshold);
+//! disarmed by default and then one relaxed load per statement), and an
+//! event ring of coarse spans (checkpoints, vacuum sweeps, recovery,
+//! eviction storms).
+//!
+//! All of it is served through the normal SELECT path as **virtual system
+//! tables** — `rel_stats`, `rel_histograms`, `rel_statements`,
+//! `rel_slow_queries`, `rel_events` — visible to the embedded API, every
+//! [`Session`], and wire clients alike, with zero new protocol messages. A
+//! real table of the same name shadows its system table. Raw access for
+//! in-process monitors: [`Database::obs`](db::Database::obs),
+//! [`Database::statement_profiles`](db::Database::statement_profiles).
+//!
+//! ```
+//! use relstore::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)")?;
+//! let ins = db.prepare("INSERT INTO jobs VALUES (?, 'idle')")?;
+//! for i in 0..10i64 {
+//!     db.execute_prepared(&ins, &[i.into()])?;
+//! }
+//!
+//! // The profile table is plain SQL: ask how often the insert ran.
+//! let q = db.prepare("SELECT calls, total_rows FROM rel_statements WHERE sql = ?")?;
+//! let r = db.query_prepared(&q, &["INSERT INTO jobs VALUES (?, 'idle')".into()])?;
+//! assert_eq!(r.first_value("calls"), Some(&Value::Int(10)));
+//! assert_eq!(r.first_value("total_rows"), Some(&Value::Int(10)));
+//!
+//! // Latency histograms are queryable the same way.
+//! let h = db.query("SELECT count FROM rel_histograms WHERE name = 'stmt.insert'")?;
+//! assert_eq!(h.first_value("count"), Some(&Value::Int(10)));
+//! # Ok::<(), relstore::Error>(())
+//! ```
+//!
 //! ## Errors
 //!
 //! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
@@ -428,6 +473,7 @@ pub mod govern;
 pub mod index;
 pub mod io;
 pub mod mvcc;
+pub mod obs;
 pub mod predicate;
 pub mod schema;
 pub mod session;
@@ -446,6 +492,9 @@ pub use error::{Error, ErrorClass, Result, TimeoutKind};
 pub use govern::{Governance, Governor};
 pub use io::{DurabilityPolicy, FailAction, Failpoints, FsDevice, LogDevice, MemDevice};
 pub use mvcc::{RowVersion, Snapshot};
+pub use obs::{
+    Event, HistogramSnapshot, Observability, SlowQueryEntry, StmtKind, StmtProfileSnapshot,
+};
 pub use exec::QueryResult;
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};

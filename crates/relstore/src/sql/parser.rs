@@ -611,7 +611,7 @@ impl Parser {
         match tok {
             Token::Int(i) => Ok(Expr::Literal(Value::Int(i))),
             Token::Float(x) => Ok(Expr::Literal(Value::Double(x))),
-            Token::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Text(s.into()))),
             Token::Param => {
                 let idx = self.params;
                 self.params += 1;

@@ -6,167 +6,227 @@
 //! that work, the storage engine counts every logical operation it performs.
 //! The [`appserver::cost`](../appserver) model converts these counts into
 //! simulated user/system/IO cycles.
+//!
+//! Every field is declared exactly once in the `define_stats!` table below,
+//! which generates [`OpStats`], [`SharedStats`], and the interval/merge/
+//! introspection operations. Two field kinds exist:
+//!
+//! - `counter`: monotonically non-decreasing totals. `merge` sums,
+//!   `delta_since` subtracts, [`SharedStats::record`] adds.
+//! - `gauge`: high-water marks. `merge` takes the max, `delta_since` reports
+//!   the current mark (a high-water mark has no meaningful difference), and
+//!   [`SharedStats::record`] takes the max.
+//!
+//! The kind of each field is queryable at runtime through
+//! [`OpStats::is_gauge`], and [`OpStats::fields`] enumerates `(name, value)`
+//! pairs — this is what backs the `rel_stats` virtual system table and the
+//! chaos-soak monotonicity invariant.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A snapshot of cumulative engine operation counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct OpStats {
-    /// Rows inserted into any table.
-    pub rows_inserted: u64,
-    /// Rows deleted from any table.
-    pub rows_deleted: u64,
-    /// Rows updated in place.
-    pub rows_updated: u64,
-    /// Rows read (returned or examined by scans and lookups).
-    pub rows_read: u64,
-    /// Rows examined by full-table scans specifically.
-    pub rows_scanned: u64,
-    /// Point/range lookups satisfied through an index.
-    pub index_lookups: u64,
-    /// Individual index maintenance operations (entry insert/remove).
-    pub index_maintenance: u64,
-    /// SQL statements parsed.
-    pub statements_parsed: u64,
-    /// Statement-cache hits: executions that reused a cached parse.
-    pub cache_hits: u64,
-    /// Statement-cache misses: SQL text that had to be parsed.
-    pub cache_misses: u64,
-    /// Statements executed (parsed or programmatic).
-    pub statements_executed: u64,
-    /// Transactions committed.
-    pub commits: u64,
-    /// Transactions aborted.
-    pub aborts: u64,
-    /// Records appended to the write-ahead log.
-    pub wal_records: u64,
-    /// Bytes appended to the write-ahead log.
-    pub wal_bytes: u64,
-    /// Checkpoints taken by the background maintenance task.
-    pub checkpoints: u64,
-    /// MVCC row versions created (one per INSERT row and one per UPDATE).
-    pub versions_created: u64,
-    /// MVCC row versions pruned by vacuum.
-    pub versions_vacuumed: u64,
-    /// MVCC snapshots taken (one per transaction begin and one per
-    /// autocommit read statement/batch).
-    pub snapshots_taken: u64,
-    /// High-water mark of the longest row version chain observed. Unlike
-    /// the other counters this is a gauge: `merge` takes the max and
-    /// `delta_since` reports the current mark, not a difference.
-    pub max_version_chain: u64,
-    /// Bytes received from network clients (wire-protocol frames, including
-    /// their length prefixes). Counted by the network server.
-    pub net_bytes_in: u64,
-    /// Bytes sent to network clients (response frames and handshakes).
-    pub net_bytes_out: u64,
-    /// Wire-protocol frames decoded successfully by the network server.
-    pub frames_decoded: u64,
-    /// High-water mark of concurrently open network connections. A gauge
-    /// like [`OpStats::max_version_chain`]: `merge` takes the max and
-    /// `delta_since` reports the current mark, not a difference.
-    pub active_connections: u64,
-    /// Fsyncs issued against the durable log device (commit syncs, explicit
-    /// flushes and checkpoint rotations). Always zero for in-memory logs.
-    pub wal_fsyncs: u64,
-    /// Log segments rotated: checkpoints that replaced the on-disk segment
-    /// with a fresh one via write-then-atomic-rename.
-    pub wal_segments_rotated: u64,
-    /// Bytes discarded from the tail of the log during recovery because a
-    /// crash left a partial (torn) record behind.
-    pub recovery_truncated_bytes: u64,
-    /// Checksum or decode failures detected in the non-tail region of a log
-    /// segment. Any non-zero value accompanied an [`crate::Error::Corruption`].
-    pub corruption_detected: u64,
-    /// Failpoints that fired in the durable-log IO path (test-only fault
-    /// injection; always zero in production use).
-    pub failpoints_hit: u64,
-    /// Statements cancelled because their deadline expired mid-execution
-    /// (surfaced as a statement-deadline [`crate::Error::Timeout`]).
-    pub statements_timed_out: u64,
-    /// Statements cancelled because a resource budget (max rows / max
-    /// result bytes) was exceeded ([`crate::Error::ResourceExhausted`]).
-    pub statements_over_budget: u64,
-    /// Write statements that found their table lock held and entered a
-    /// bounded wait (whether or not the wait eventually succeeded).
-    pub lock_waits: u64,
-    /// Bounded lock waits that expired without the lock freeing (surfaced
-    /// as a retryable lock-wait [`crate::Error::Timeout`]).
-    pub lock_wait_timeouts: u64,
-    /// Idle transactions aborted by the reaper (locks released, changes
-    /// undone, WAL Abort appended).
-    pub txns_reaped: u64,
-    /// High-water mark of the vacuum horizon lag: how many transaction ids
-    /// the oldest live snapshot trails the newest transaction. A gauge like
-    /// [`OpStats::max_version_chain`]: `merge` takes the max and
-    /// `delta_since` reports the current mark, not a difference.
-    pub horizon_lag: u64,
-    /// Pages read from the page store (buffer-pool misses and recovery
-    /// scans). Always zero for purely in-memory databases.
-    pub pages_read: u64,
-    /// Pages written to the page store (evictions and checkpoint flushes).
-    pub pages_written: u64,
-    /// Buffer-pool hits: page accesses satisfied without touching the store.
-    pub buffer_hits: u64,
-    /// Buffer-pool evictions: frames recycled to make room for another page.
-    pub buffer_evictions: u64,
-    /// High-water mark of live overflow pages (rows larger than a page). A
-    /// gauge like [`OpStats::max_version_chain`]: `merge` takes the max and
-    /// `delta_since` reports the current mark, not a difference.
-    pub overflow_pages: u64,
+/// Declares every engine counter once and expands the snapshot struct, the
+/// shared atomic struct, and all component-wise operations from that single
+/// table. Adding a counter is a one-line change; `delta_since`, `merge`,
+/// `record`, `snapshot`, `fields` and `is_gauge` can never drift out of sync
+/// with the struct again.
+macro_rules! define_stats {
+    ($( $kind:tt $name:ident: $doc:literal, )+) => {
+        /// A snapshot of cumulative engine operation counts.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct OpStats {
+            $( #[doc = $doc] pub $name: u64, )+
+        }
+
+        impl OpStats {
+            /// Component-wise difference `self - earlier`, for interval
+            /// accounting. Gauges report the current mark, not a difference.
+            pub fn delta_since(&self, earlier: &OpStats) -> OpStats {
+                OpStats {
+                    $( $name: define_stats!(@delta $kind, self.$name, earlier.$name), )+
+                }
+            }
+
+            /// Component-wise sum (counters) / max (gauges), used when
+            /// aggregating per-connection counters.
+            pub fn merge(&mut self, other: &OpStats) {
+                $( define_stats!(@merge $kind, self.$name, other.$name); )+
+            }
+
+            /// Every `(field name, value)` pair, in declaration order. Backs
+            /// the `rel_stats` virtual system table and generic invariant
+            /// checks that must not be rewritten per field.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
+
+            /// Whether the named field is a high-water-mark gauge (as opposed
+            /// to a monotone counter). Unknown names return `false`.
+            pub fn is_gauge(name: &str) -> bool {
+                match name {
+                    $( stringify!($name) => define_stats!(@isgauge $kind), )+
+                    _ => false,
+                }
+            }
+        }
+
+        /// Lock-free cumulative counters shared by every session of a database.
+        ///
+        /// Statement execution accumulates its work into a stack-local
+        /// [`OpStats`] and merges the delta here once at the end, so the read
+        /// path never needs `&mut` access to shared engine state just to count
+        /// rows. Counters use relaxed ordering: totals are exact (every delta
+        /// lands), but a concurrent [`snapshot`](SharedStats::snapshot) may
+        /// observe one statement's fields partially applied — fine for
+        /// monitoring and the simulation cost model, which both read between
+        /// statements.
+        #[derive(Debug, Default)]
+        pub struct SharedStats {
+            $( $name: AtomicU64, )+
+        }
+
+        impl SharedStats {
+            /// Merges a per-statement delta into the shared totals.
+            pub fn record(&self, delta: &OpStats) {
+                // Skip the RMW for fields the statement never touched (most
+                // deltas are sparse: a point select bumps four of forty).
+                $( define_stats!(@record $kind, self.$name, delta.$name); )+
+            }
+
+            /// Copies the current totals into a plain [`OpStats`] value.
+            pub fn snapshot(&self) -> OpStats {
+                OpStats {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+    };
+
+    (@delta counter, $a:expr, $b:expr) => { $a - $b };
+    (@delta gauge, $a:expr, $b:expr) => { $a };
+    (@merge counter, $a:expr, $b:expr) => { $a += $b };
+    (@merge gauge, $a:expr, $b:expr) => { $a = $a.max($b) };
+    (@isgauge counter) => { false };
+    (@isgauge gauge) => { true };
+    (@record counter, $c:expr, $v:expr) => {
+        if $v != 0 {
+            $c.fetch_add($v, Ordering::Relaxed);
+        }
+    };
+    (@record gauge, $c:expr, $v:expr) => {
+        if $v != 0 {
+            $c.fetch_max($v, Ordering::Relaxed);
+        }
+    };
+}
+
+define_stats! {
+    counter rows_inserted: "Rows inserted into any table.",
+    counter rows_deleted: "Rows deleted from any table.",
+    counter rows_updated: "Rows updated in place.",
+    counter rows_read: "Rows read (returned or examined by scans and lookups).",
+    counter rows_scanned: "Rows examined by full-table scans specifically.",
+    counter index_lookups: "Point/range lookups satisfied through an index.",
+    counter index_maintenance:
+        "Individual index maintenance operations (entry insert/remove).",
+    counter statements_parsed: "SQL statements parsed.",
+    counter cache_hits:
+        "Statement-cache hits: executions that reused a cached parse.",
+    counter cache_misses:
+        "Statement-cache misses: SQL text that had to be parsed.",
+    counter statements_executed: "Statements executed (parsed or programmatic).",
+    counter commits: "Transactions committed.",
+    counter aborts: "Transactions aborted.",
+    counter wal_records: "Records appended to the write-ahead log.",
+    counter wal_bytes: "Bytes appended to the write-ahead log.",
+    counter checkpoints: "Checkpoints taken by the background maintenance task.",
+    counter versions_created:
+        "MVCC row versions created (one per INSERT row and one per UPDATE).",
+    counter versions_vacuumed: "MVCC row versions pruned by vacuum.",
+    counter snapshots_taken:
+        "MVCC snapshots taken (one per transaction begin and one per \
+         autocommit read statement/batch).",
+    gauge max_version_chain:
+        "High-water mark of the longest row version chain observed. Unlike \
+         the other counters this is a gauge: `merge` takes the max and \
+         `delta_since` reports the current mark, not a difference.",
+    counter net_bytes_in:
+        "Bytes received from network clients (wire-protocol frames, including \
+         their length prefixes). Counted by the network server.",
+    counter net_bytes_out:
+        "Bytes sent to network clients (response frames and handshakes).",
+    counter frames_decoded:
+        "Wire-protocol frames decoded successfully by the network server.",
+    gauge active_connections:
+        "High-water mark of concurrently open network connections. A gauge \
+         like [`OpStats::max_version_chain`]: `merge` takes the max and \
+         `delta_since` reports the current mark, not a difference.",
+    counter wal_fsyncs:
+        "Fsyncs issued against the durable log device (commit syncs, explicit \
+         flushes and checkpoint rotations). Always zero for in-memory logs.",
+    counter wal_fsync_nanos:
+        "Cumulative nanoseconds spent inside durable-log fsyncs (the device \
+         sync during commit/flush and the atomic replace during checkpoint \
+         rotation). Always zero for in-memory logs.",
+    counter wal_segments_rotated:
+        "Log segments rotated: checkpoints that replaced the on-disk segment \
+         with a fresh one via write-then-atomic-rename.",
+    counter recovery_truncated_bytes:
+        "Bytes discarded from the tail of the log during recovery because a \
+         crash left a partial (torn) record behind.",
+    counter corruption_detected:
+        "Checksum or decode failures detected in the non-tail region of a log \
+         segment. Any non-zero value accompanied an [`crate::Error::Corruption`].",
+    counter failpoints_hit:
+        "Failpoints that fired in the durable-log IO path (test-only fault \
+         injection; always zero in production use).",
+    counter statements_timed_out:
+        "Statements cancelled because their deadline expired mid-execution \
+         (surfaced as a statement-deadline [`crate::Error::Timeout`]).",
+    counter statements_over_budget:
+        "Statements cancelled because a resource budget (max rows / max \
+         result bytes) was exceeded ([`crate::Error::ResourceExhausted`]).",
+    counter lock_waits:
+        "Write statements that found their table lock held and entered a \
+         bounded wait (whether or not the wait eventually succeeded).",
+    counter lock_wait_nanos:
+        "Cumulative nanoseconds write statements spent blocked in bounded \
+         table-lock waits. Zero-cost when no statement ever waits.",
+    counter lock_wait_timeouts:
+        "Bounded lock waits that expired without the lock freeing (surfaced \
+         as a retryable lock-wait [`crate::Error::Timeout`]).",
+    counter txns_reaped:
+        "Idle transactions aborted by the reaper (locks released, changes \
+         undone, WAL Abort appended).",
+    gauge horizon_lag:
+        "High-water mark of the vacuum horizon lag: how many transaction ids \
+         the oldest live snapshot trails the newest transaction. A gauge like \
+         [`OpStats::max_version_chain`]: `merge` takes the max and \
+         `delta_since` reports the current mark, not a difference.",
+    counter pages_read:
+        "Pages read from the page store (buffer-pool misses and recovery \
+         scans). Always zero for purely in-memory databases.",
+    counter pages_written:
+        "Pages written to the page store (evictions and checkpoint flushes).",
+    counter buffer_hits:
+        "Buffer-pool hits: page accesses satisfied without touching the store.",
+    counter buffer_evictions:
+        "Buffer-pool evictions: frames recycled to make room for another page.",
+    counter eviction_nanos:
+        "Cumulative nanoseconds spent recycling buffer-pool frames (including \
+         the write-back of dirty pages, whose WAL flush also lands in \
+         [`OpStats::wal_fsync_nanos`] — the two overlap by design).",
+    counter slow_queries:
+        "Statements whose total duration met the armed slow-query threshold \
+         and were captured in the slow-query ring (see `rel_slow_queries`). \
+         Always zero while the slow-query log is disarmed.",
+    gauge overflow_pages:
+        "High-water mark of live overflow pages (rows larger than a page). A \
+         gauge like [`OpStats::max_version_chain`]: `merge` takes the max and \
+         `delta_since` reports the current mark, not a difference.",
 }
 
 impl OpStats {
-    /// Component-wise difference `self - earlier`, for interval accounting.
-    pub fn delta_since(&self, earlier: &OpStats) -> OpStats {
-        OpStats {
-            rows_inserted: self.rows_inserted - earlier.rows_inserted,
-            rows_deleted: self.rows_deleted - earlier.rows_deleted,
-            rows_updated: self.rows_updated - earlier.rows_updated,
-            rows_read: self.rows_read - earlier.rows_read,
-            rows_scanned: self.rows_scanned - earlier.rows_scanned,
-            index_lookups: self.index_lookups - earlier.index_lookups,
-            index_maintenance: self.index_maintenance - earlier.index_maintenance,
-            statements_parsed: self.statements_parsed - earlier.statements_parsed,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
-            statements_executed: self.statements_executed - earlier.statements_executed,
-            commits: self.commits - earlier.commits,
-            aborts: self.aborts - earlier.aborts,
-            wal_records: self.wal_records - earlier.wal_records,
-            wal_bytes: self.wal_bytes - earlier.wal_bytes,
-            checkpoints: self.checkpoints - earlier.checkpoints,
-            versions_created: self.versions_created - earlier.versions_created,
-            versions_vacuumed: self.versions_vacuumed - earlier.versions_vacuumed,
-            snapshots_taken: self.snapshots_taken - earlier.snapshots_taken,
-            // A high-water mark has no meaningful difference; report the
-            // current mark.
-            max_version_chain: self.max_version_chain,
-            net_bytes_in: self.net_bytes_in - earlier.net_bytes_in,
-            net_bytes_out: self.net_bytes_out - earlier.net_bytes_out,
-            frames_decoded: self.frames_decoded - earlier.frames_decoded,
-            active_connections: self.active_connections,
-            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
-            wal_segments_rotated: self.wal_segments_rotated - earlier.wal_segments_rotated,
-            recovery_truncated_bytes: self.recovery_truncated_bytes
-                - earlier.recovery_truncated_bytes,
-            corruption_detected: self.corruption_detected - earlier.corruption_detected,
-            failpoints_hit: self.failpoints_hit - earlier.failpoints_hit,
-            statements_timed_out: self.statements_timed_out - earlier.statements_timed_out,
-            statements_over_budget: self.statements_over_budget - earlier.statements_over_budget,
-            lock_waits: self.lock_waits - earlier.lock_waits,
-            lock_wait_timeouts: self.lock_wait_timeouts - earlier.lock_wait_timeouts,
-            txns_reaped: self.txns_reaped - earlier.txns_reaped,
-            horizon_lag: self.horizon_lag,
-            pages_read: self.pages_read - earlier.pages_read,
-            pages_written: self.pages_written - earlier.pages_written,
-            buffer_hits: self.buffer_hits - earlier.buffer_hits,
-            buffer_evictions: self.buffer_evictions - earlier.buffer_evictions,
-            overflow_pages: self.overflow_pages,
-        }
-    }
-
     /// Total number of row mutations (insert + update + delete).
     pub fn total_mutations(&self) -> u64 {
         self.rows_inserted + self.rows_deleted + self.rows_updated
@@ -176,214 +236,6 @@ impl OpStats {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
-    }
-
-    /// Component-wise sum, used when aggregating per-connection counters.
-    pub fn merge(&mut self, other: &OpStats) {
-        self.rows_inserted += other.rows_inserted;
-        self.rows_deleted += other.rows_deleted;
-        self.rows_updated += other.rows_updated;
-        self.rows_read += other.rows_read;
-        self.rows_scanned += other.rows_scanned;
-        self.index_lookups += other.index_lookups;
-        self.index_maintenance += other.index_maintenance;
-        self.statements_parsed += other.statements_parsed;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.statements_executed += other.statements_executed;
-        self.commits += other.commits;
-        self.aborts += other.aborts;
-        self.wal_records += other.wal_records;
-        self.wal_bytes += other.wal_bytes;
-        self.checkpoints += other.checkpoints;
-        self.versions_created += other.versions_created;
-        self.versions_vacuumed += other.versions_vacuumed;
-        self.snapshots_taken += other.snapshots_taken;
-        self.max_version_chain = self.max_version_chain.max(other.max_version_chain);
-        self.net_bytes_in += other.net_bytes_in;
-        self.net_bytes_out += other.net_bytes_out;
-        self.frames_decoded += other.frames_decoded;
-        self.active_connections = self.active_connections.max(other.active_connections);
-        self.wal_fsyncs += other.wal_fsyncs;
-        self.wal_segments_rotated += other.wal_segments_rotated;
-        self.recovery_truncated_bytes += other.recovery_truncated_bytes;
-        self.corruption_detected += other.corruption_detected;
-        self.failpoints_hit += other.failpoints_hit;
-        self.statements_timed_out += other.statements_timed_out;
-        self.statements_over_budget += other.statements_over_budget;
-        self.lock_waits += other.lock_waits;
-        self.lock_wait_timeouts += other.lock_wait_timeouts;
-        self.txns_reaped += other.txns_reaped;
-        self.horizon_lag = self.horizon_lag.max(other.horizon_lag);
-        self.pages_read += other.pages_read;
-        self.pages_written += other.pages_written;
-        self.buffer_hits += other.buffer_hits;
-        self.buffer_evictions += other.buffer_evictions;
-        self.overflow_pages = self.overflow_pages.max(other.overflow_pages);
-    }
-}
-
-/// Lock-free cumulative counters shared by every session of a database.
-///
-/// Statement execution accumulates its work into a stack-local [`OpStats`]
-/// and merges the delta here once at the end, so the read path never needs
-/// `&mut` access to shared engine state just to count rows. Counters use
-/// relaxed ordering: totals are exact (every delta lands), but a concurrent
-/// [`snapshot`](SharedStats::snapshot) may observe one statement's fields
-/// partially applied — fine for monitoring and the simulation cost model,
-/// which both read between statements.
-#[derive(Debug, Default)]
-pub struct SharedStats {
-    rows_inserted: AtomicU64,
-    rows_deleted: AtomicU64,
-    rows_updated: AtomicU64,
-    rows_read: AtomicU64,
-    rows_scanned: AtomicU64,
-    index_lookups: AtomicU64,
-    index_maintenance: AtomicU64,
-    statements_parsed: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    statements_executed: AtomicU64,
-    commits: AtomicU64,
-    aborts: AtomicU64,
-    wal_records: AtomicU64,
-    wal_bytes: AtomicU64,
-    checkpoints: AtomicU64,
-    versions_created: AtomicU64,
-    versions_vacuumed: AtomicU64,
-    snapshots_taken: AtomicU64,
-    max_version_chain: AtomicU64,
-    net_bytes_in: AtomicU64,
-    net_bytes_out: AtomicU64,
-    frames_decoded: AtomicU64,
-    active_connections: AtomicU64,
-    wal_fsyncs: AtomicU64,
-    wal_segments_rotated: AtomicU64,
-    recovery_truncated_bytes: AtomicU64,
-    corruption_detected: AtomicU64,
-    failpoints_hit: AtomicU64,
-    statements_timed_out: AtomicU64,
-    statements_over_budget: AtomicU64,
-    lock_waits: AtomicU64,
-    lock_wait_timeouts: AtomicU64,
-    txns_reaped: AtomicU64,
-    horizon_lag: AtomicU64,
-    pages_read: AtomicU64,
-    pages_written: AtomicU64,
-    buffer_hits: AtomicU64,
-    buffer_evictions: AtomicU64,
-    overflow_pages: AtomicU64,
-}
-
-impl SharedStats {
-    /// Merges a per-statement delta into the shared totals.
-    pub fn record(&self, delta: &OpStats) {
-        // Skip the RMW for fields the statement never touched (most deltas
-        // are sparse: a point select bumps three or four of sixteen).
-        fn add(counter: &AtomicU64, v: u64) {
-            if v != 0 {
-                counter.fetch_add(v, Ordering::Relaxed);
-            }
-        }
-        add(&self.rows_inserted, delta.rows_inserted);
-        add(&self.rows_deleted, delta.rows_deleted);
-        add(&self.rows_updated, delta.rows_updated);
-        add(&self.rows_read, delta.rows_read);
-        add(&self.rows_scanned, delta.rows_scanned);
-        add(&self.index_lookups, delta.index_lookups);
-        add(&self.index_maintenance, delta.index_maintenance);
-        add(&self.statements_parsed, delta.statements_parsed);
-        add(&self.cache_hits, delta.cache_hits);
-        add(&self.cache_misses, delta.cache_misses);
-        add(&self.statements_executed, delta.statements_executed);
-        add(&self.commits, delta.commits);
-        add(&self.aborts, delta.aborts);
-        add(&self.wal_records, delta.wal_records);
-        add(&self.wal_bytes, delta.wal_bytes);
-        add(&self.checkpoints, delta.checkpoints);
-        add(&self.versions_created, delta.versions_created);
-        add(&self.versions_vacuumed, delta.versions_vacuumed);
-        add(&self.snapshots_taken, delta.snapshots_taken);
-        if delta.max_version_chain != 0 {
-            self.max_version_chain
-                .fetch_max(delta.max_version_chain, Ordering::Relaxed);
-        }
-        add(&self.net_bytes_in, delta.net_bytes_in);
-        add(&self.net_bytes_out, delta.net_bytes_out);
-        add(&self.frames_decoded, delta.frames_decoded);
-        if delta.active_connections != 0 {
-            self.active_connections
-                .fetch_max(delta.active_connections, Ordering::Relaxed);
-        }
-        add(&self.wal_fsyncs, delta.wal_fsyncs);
-        add(&self.wal_segments_rotated, delta.wal_segments_rotated);
-        add(&self.recovery_truncated_bytes, delta.recovery_truncated_bytes);
-        add(&self.corruption_detected, delta.corruption_detected);
-        add(&self.failpoints_hit, delta.failpoints_hit);
-        add(&self.statements_timed_out, delta.statements_timed_out);
-        add(&self.statements_over_budget, delta.statements_over_budget);
-        add(&self.lock_waits, delta.lock_waits);
-        add(&self.lock_wait_timeouts, delta.lock_wait_timeouts);
-        add(&self.txns_reaped, delta.txns_reaped);
-        if delta.horizon_lag != 0 {
-            self.horizon_lag
-                .fetch_max(delta.horizon_lag, Ordering::Relaxed);
-        }
-        add(&self.pages_read, delta.pages_read);
-        add(&self.pages_written, delta.pages_written);
-        add(&self.buffer_hits, delta.buffer_hits);
-        add(&self.buffer_evictions, delta.buffer_evictions);
-        if delta.overflow_pages != 0 {
-            self.overflow_pages
-                .fetch_max(delta.overflow_pages, Ordering::Relaxed);
-        }
-    }
-
-    /// Copies the current totals into a plain [`OpStats`] value.
-    pub fn snapshot(&self) -> OpStats {
-        OpStats {
-            rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
-            rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
-            rows_updated: self.rows_updated.load(Ordering::Relaxed),
-            rows_read: self.rows_read.load(Ordering::Relaxed),
-            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
-            index_lookups: self.index_lookups.load(Ordering::Relaxed),
-            index_maintenance: self.index_maintenance.load(Ordering::Relaxed),
-            statements_parsed: self.statements_parsed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            statements_executed: self.statements_executed.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            wal_records: self.wal_records.load(Ordering::Relaxed),
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            versions_created: self.versions_created.load(Ordering::Relaxed),
-            versions_vacuumed: self.versions_vacuumed.load(Ordering::Relaxed),
-            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
-            max_version_chain: self.max_version_chain.load(Ordering::Relaxed),
-            net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
-            net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
-            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
-            active_connections: self.active_connections.load(Ordering::Relaxed),
-            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
-            wal_segments_rotated: self.wal_segments_rotated.load(Ordering::Relaxed),
-            recovery_truncated_bytes: self.recovery_truncated_bytes.load(Ordering::Relaxed),
-            corruption_detected: self.corruption_detected.load(Ordering::Relaxed),
-            failpoints_hit: self.failpoints_hit.load(Ordering::Relaxed),
-            statements_timed_out: self.statements_timed_out.load(Ordering::Relaxed),
-            statements_over_budget: self.statements_over_budget.load(Ordering::Relaxed),
-            lock_waits: self.lock_waits.load(Ordering::Relaxed),
-            lock_wait_timeouts: self.lock_wait_timeouts.load(Ordering::Relaxed),
-            txns_reaped: self.txns_reaped.load(Ordering::Relaxed),
-            horizon_lag: self.horizon_lag.load(Ordering::Relaxed),
-            pages_read: self.pages_read.load(Ordering::Relaxed),
-            pages_written: self.pages_written.load(Ordering::Relaxed),
-            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
-            buffer_evictions: self.buffer_evictions.load(Ordering::Relaxed),
-            overflow_pages: self.overflow_pages.load(Ordering::Relaxed),
-        }
     }
 }
 
@@ -715,5 +567,76 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_mutations(), 9);
+    }
+
+    #[test]
+    fn fields_enumerates_every_counter_in_declaration_order() {
+        let s = OpStats {
+            rows_inserted: 7,
+            slow_queries: 2,
+            overflow_pages: 5,
+            ..Default::default()
+        };
+        let fields = s.fields();
+        assert_eq!(fields.first(), Some(&("rows_inserted", 7)));
+        assert_eq!(fields.last(), Some(&("overflow_pages", 5)));
+        assert!(fields.contains(&("slow_queries", 2)));
+        assert!(fields.contains(&("wal_fsync_nanos", 0)));
+        // One entry per struct field, no duplicates.
+        let names: std::collections::BTreeSet<_> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), fields.len());
+    }
+
+    #[test]
+    fn gauge_kind_is_introspectable() {
+        for gauge in [
+            "max_version_chain",
+            "active_connections",
+            "horizon_lag",
+            "overflow_pages",
+        ] {
+            assert!(OpStats::is_gauge(gauge), "{gauge} should be a gauge");
+        }
+        for counter in [
+            "rows_inserted",
+            "statements_executed",
+            "wal_fsync_nanos",
+            "lock_wait_nanos",
+            "eviction_nanos",
+            "slow_queries",
+        ] {
+            assert!(!OpStats::is_gauge(counter), "{counter} should be a counter");
+        }
+        assert!(!OpStats::is_gauge("no_such_field"));
+    }
+
+    #[test]
+    fn timing_counters_flow_through_delta_and_merge() {
+        let mut a = OpStats {
+            lock_wait_nanos: 1_000,
+            wal_fsync_nanos: 2_000,
+            ..Default::default()
+        };
+        let b = OpStats {
+            lock_wait_nanos: 500,
+            eviction_nanos: 300,
+            slow_queries: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lock_wait_nanos, 1_500);
+        assert_eq!(a.wal_fsync_nanos, 2_000);
+        assert_eq!(a.eviction_nanos, 300);
+        assert_eq!(a.slow_queries, 1);
+
+        let shared = SharedStats::default();
+        shared.record(&a);
+        let snap = shared.snapshot();
+        let d = snap.delta_since(&OpStats {
+            lock_wait_nanos: 1_000,
+            ..Default::default()
+        });
+        assert_eq!(d.lock_wait_nanos, 500);
+        assert_eq!(d.wal_fsync_nanos, 2_000);
     }
 }

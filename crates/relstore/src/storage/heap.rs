@@ -600,7 +600,7 @@ mod tests {
     }
 
     fn row(i: i64) -> Row {
-        Row::new(vec![Value::Int(i), Value::Text(format!("v{i}"))])
+        Row::new(vec![Value::Int(i), Value::Text(format!("v{i}").into())])
     }
 
     #[test]
@@ -630,7 +630,7 @@ mod tests {
         let (mut eng, mut wal) = engine(4);
         let mut stats = OpStats::default();
         eng.create_table("blobs");
-        let big = Row::new(vec![Value::Int(1), Value::Text("x".repeat(2000))]);
+        let big = Row::new(vec![Value::Int(1), Value::Text("x".repeat(2000).into())]);
         eng.upsert("blobs", RowId(1), &big, &mut wal, &mut stats)
             .unwrap();
         assert!(eng.overflow_pages() >= 4, "2000B over 488B chunks");
@@ -639,7 +639,7 @@ mod tests {
 
         let (mut eng2, loaded) = reopen(&mut eng);
         assert_eq!(loaded["blobs"].len(), 1);
-        assert_eq!(loaded["blobs"][0].1.get(1), &Value::Text("x".repeat(2000)));
+        assert_eq!(loaded["blobs"][0].1.get(1), &Value::Text("x".repeat(2000).into()));
         assert_eq!(eng2.overflow_pages(), eng.overflow_pages());
 
         // Deleting the row releases the chain — allocatable only after the

@@ -377,7 +377,7 @@ mod tests {
     use crate::value::Value;
 
     fn row(i: i64) -> Row {
-        Row::new(vec![Value::Int(i), Value::Text(format!("job-{i}"))])
+        Row::new(vec![Value::Int(i), Value::Text(format!("job-{i}").into())])
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::collections::btree_map;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A single table: schema, versioned row heap, primary-key index and
 /// secondary indexes.
@@ -60,6 +61,9 @@ pub struct Table {
     /// threshold sweep is fruitful only when the snapshot horizon exceeds
     /// this, so writers never rescan a table a long-lived snapshot pins.
     min_dead_end: u64,
+    /// The `SELECT *` output column list, shared so a wildcard query's
+    /// result header is one refcount bump instead of a fresh vector.
+    wildcard_columns: Arc<[Arc<str>]>,
 }
 
 impl Table {
@@ -74,6 +78,7 @@ impl Table {
             let col = schema.column_index(&def.column)?;
             secondary.push(Index::new(def.name.clone(), col, def.unique));
         }
+        let wildcard_columns = schema.columns.iter().map(|c| c.name.clone()).collect();
         Ok(Table {
             schema,
             rows: BTreeMap::new(),
@@ -84,7 +89,13 @@ impl Table {
             dead_versions: 0,
             dirty: BTreeSet::new(),
             min_dead_end: u64::MAX,
+            wildcard_columns,
         })
+    }
+
+    /// The interned `SELECT *` output column list (schema order, shared).
+    pub fn wildcard_columns(&self) -> Arc<[Arc<str>]> {
+        Arc::clone(&self.wildcard_columns)
     }
 
     /// Number of live rows (rows present in the latest state; old versions
@@ -522,11 +533,11 @@ impl Table {
         match &self.pk_index {
             Some(pk) => {
                 stats.index_lookups += 1;
-                let ids = pk.lookup(key);
-                stats.rows_read += ids.len() as u64;
+                let set = pk.lookup_set(key);
+                stats.rows_read += set.map_or(0, BTreeSet::len) as u64;
                 RowIter::Ids {
                     rows: &self.rows,
-                    ids: ids.into_iter(),
+                    ids: set.into(),
                     vis,
                 }
             }
@@ -546,11 +557,11 @@ impl Table {
     ) -> Option<RowIter<'a>> {
         let idx = self.index_on(column)?;
         stats.index_lookups += 1;
-        let ids = idx.lookup(key);
-        stats.rows_read += ids.len() as u64;
+        let set = idx.lookup_set(key);
+        stats.rows_read += set.map_or(0, BTreeSet::len) as u64;
         Some(RowIter::Ids {
             rows: &self.rows,
-            ids: ids.into_iter(),
+            ids: set.into(),
             vis,
         })
     }
@@ -572,7 +583,7 @@ impl Table {
         stats.rows_read += ids.len() as u64;
         Some(RowIter::Ids {
             rows: &self.rows,
-            ids: ids.into_iter(),
+            ids: IdSource::Vec(ids.into_iter()),
             vis,
         })
     }
@@ -765,11 +776,59 @@ pub enum RowIter<'a> {
         rows: &'a BTreeMap<RowId, VersionChain>,
         /// Ids produced by the index, in ascending row-id order and free of
         /// duplicates (see [`crate::index::Index::range`]).
-        ids: std::vec::IntoIter<RowId>,
+        ids: IdSource<'a>,
         /// The snapshot versions are resolved against.
         vis: &'a Snapshot,
     },
 }
+
+/// The ids feeding a [`RowIter::Ids`]: point lookups stream a borrowed
+/// index entry set so the per-statement hot path allocates nothing; range
+/// lookups own their (merged, de-duplicated) id vector.
+#[derive(Debug)]
+pub enum IdSource<'a> {
+    /// A borrowed index entry set (point lookup).
+    Set(std::iter::Copied<std::collections::btree_set::Iter<'a, RowId>>),
+    /// An owned id list (range lookup, or an empty point lookup).
+    Vec(std::vec::IntoIter<RowId>),
+}
+
+impl IdSource<'_> {
+    /// An empty source; `Vec::new()` does not allocate.
+    fn empty() -> Self {
+        IdSource::Vec(Vec::new().into_iter())
+    }
+}
+
+impl<'a> From<Option<&'a BTreeSet<RowId>>> for IdSource<'a> {
+    fn from(set: Option<&'a BTreeSet<RowId>>) -> Self {
+        match set {
+            Some(s) => IdSource::Set(s.iter().copied()),
+            None => IdSource::empty(),
+        }
+    }
+}
+
+impl Iterator for IdSource<'_> {
+    type Item = RowId;
+
+    #[inline]
+    fn next(&mut self) -> Option<RowId> {
+        match self {
+            IdSource::Set(it) => it.next(),
+            IdSource::Vec(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IdSource::Set(it) => it.size_hint(),
+            IdSource::Vec(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for IdSource<'_> {}
 
 impl<'a> Iterator for RowIter<'a> {
     type Item = StoredRowRef<'a>;

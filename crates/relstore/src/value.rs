@@ -3,6 +3,7 @@
 use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
+use std::sync::Arc;
 use std::fmt;
 
 /// The SQL data types supported by the engine.
@@ -52,8 +53,8 @@ pub enum Value {
     Int(i64),
     /// Double-precision value.
     Double(f64),
-    /// Text value.
-    Text(String),
+    /// Text value (shared: cloning a text value bumps a refcount).
+    Text(Arc<str>),
     /// Boolean value.
     Bool(bool),
     /// Timestamp value in whole milliseconds of simulated time.
@@ -296,12 +297,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::Text(Arc::from(v))
     }
 }
 impl From<bool> for Value {

@@ -11,6 +11,8 @@
 use crate::error::{Error, Result};
 use crate::io::record::{encode_record, encode_segment, segment_header};
 use crate::io::{decode_segment, points, DurabilityPolicy, FailAction, Failpoints, LogDevice};
+use crate::obs::clock::Stopwatch;
+use crate::obs::Observability;
 use crate::schema::Schema;
 use crate::stats::OpStats;
 use crate::table::Table;
@@ -156,6 +158,10 @@ struct DurableLog {
     /// ([`Wal::is_synced`]) flushes before any page write-back while this
     /// is set.
     unsynced: bool,
+    /// The owning database's observability state, attached after open so
+    /// every successful device sync lands one sample in the `wal.fsync`
+    /// latency histogram.
+    obs: Option<Arc<Observability>>,
 }
 
 impl DurableLog {
@@ -225,6 +231,7 @@ impl DurableLog {
     /// failure poisons the sink.
     fn sync(&mut self, stats: &mut OpStats) -> Result<()> {
         self.check_poisoned()?;
+        let sw = Stopwatch::start();
         let result = match self.failpoints.check(points::WAL_SYNC) {
             Some(FailAction::Crash) => {
                 stats.failpoints_hit += 1;
@@ -239,7 +246,7 @@ impl DurableLog {
         };
         match result {
             Ok(()) => {
-                stats.wal_fsyncs += 1;
+                self.note_fsync(sw, stats);
                 self.unsynced_commits = 0;
                 self.unsynced = false;
                 Ok(())
@@ -248,6 +255,17 @@ impl DurableLog {
                 self.poisoned = Some(e.clone());
                 Err(e)
             }
+        }
+    }
+
+    /// Accounts one successful durability barrier: the `wal_fsyncs` counter,
+    /// the time spent, and (once attached) the `wal.fsync` histogram.
+    fn note_fsync(&self, sw: Stopwatch, stats: &mut OpStats) {
+        let nanos = sw.elapsed_nanos();
+        stats.wal_fsyncs += 1;
+        stats.wal_fsync_nanos += nanos;
+        if let Some(obs) = &self.obs {
+            obs.histograms.wal_fsync.record(nanos);
         }
     }
 
@@ -267,6 +285,7 @@ impl DurableLog {
     fn rotate(&mut self, record: &LogRecord, stats: &mut OpStats) -> Result<()> {
         self.check_poisoned()?;
         let bytes = encode_segment(std::iter::once(record));
+        let sw = Stopwatch::start();
         let result = match self.failpoints.check(points::WAL_ROTATE) {
             Some(FailAction::Crash) | Some(FailAction::TornWrite(_)) => {
                 stats.failpoints_hit += 1;
@@ -282,7 +301,7 @@ impl DurableLog {
         match result {
             Ok(()) => {
                 // replace() is durable by contract (sync + rename + dir sync).
-                stats.wal_fsyncs += 1;
+                self.note_fsync(sw, stats);
                 stats.wal_segments_rotated += 1;
                 self.unsynced_commits = 0;
                 self.unsynced = false;
@@ -363,6 +382,7 @@ impl Wal {
                 poisoned: None,
                 unsynced_commits: 0,
                 unsynced: false,
+                obs: None,
             }),
         };
         // Replaying into the in-memory view is not new appended work; keep
@@ -377,6 +397,15 @@ impl Wal {
     /// True when this log mirrors appends onto a durable device.
     pub fn is_durable(&self) -> bool {
         self.durable.is_some()
+    }
+
+    /// Attaches the owning database's observability state so device syncs
+    /// record `wal.fsync` histogram samples. A no-op for in-memory logs,
+    /// which never fsync.
+    pub(crate) fn set_obs(&mut self, obs: Arc<Observability>) {
+        if let Some(d) = &mut self.durable {
+            d.obs = Some(obs);
+        }
     }
 
     /// The bytes a crash right now would leave on the durable device, or

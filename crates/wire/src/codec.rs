@@ -179,7 +179,7 @@ impl<'a> Reader<'a> {
             0 => Ok(Value::Null),
             1 => Ok(Value::Int(self.i64()?)),
             2 => Ok(Value::Double(self.f64()?)),
-            3 => Ok(Value::Text(self.str()?.to_string())),
+            3 => Ok(Value::Text(self.str()?.into())),
             4 => match self.u8()? {
                 0 => Ok(Value::Bool(false)),
                 1 => Ok(Value::Bool(true)),
@@ -257,7 +257,7 @@ mod tests {
             Value::Int(i64::MIN),
             Value::Double(f64::NAN),
             Value::Double(f64::NEG_INFINITY),
-            Value::Text(String::new()),
+            Value::Text("".into()),
             Value::Text("a\0b".into()),
             Value::Bool(true),
             Value::Timestamp(-1),

@@ -94,6 +94,12 @@ pub struct ServerConfig {
     pub idle_txn_timeout: Option<Duration>,
     /// How often the reaper thread scans for idle transactions.
     pub reap_interval: Duration,
+    /// Arms the engine's slow-query log: statements slower than this are
+    /// captured (with a wait breakdown) in the `rel_slow_queries` system
+    /// table, queryable by any client over plain SQL. `None` (the default)
+    /// leaves the log as the database had it — disarmed unless the embedder
+    /// already called `Database::set_slow_query_threshold`.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +118,7 @@ impl Default for ServerConfig {
             lock_wait_timeout: Duration::from_millis(100),
             idle_txn_timeout: Some(Duration::from_secs(300)),
             reap_interval: Duration::from_secs(1),
+            slow_query_threshold: None,
         }
     }
 }
@@ -171,6 +178,9 @@ pub fn serve_with(
         reap_interval: config.reap_interval.max(Duration::from_millis(1)),
         ..config
     };
+    if let Some(threshold) = config.slow_query_threshold {
+        db.set_slow_query_threshold(Some(threshold));
+    }
     let listener = TcpListener::bind(addr).map_err(protocol::io_err)?;
     let addr = listener.local_addr().map_err(protocol::io_err)?;
     let shared = Arc::new(Shared {

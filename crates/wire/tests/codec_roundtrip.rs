@@ -20,8 +20,8 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Double(f64::NAN)),
         Just(Value::Double(f64::NEG_INFINITY)),
         (-1e300..1e300).prop_map(Value::Double),
-        "\\PC{0,40}".prop_map(Value::Text),
-        Just(Value::Text(String::new())),
+        "\\PC{0,40}".prop_map(|s| Value::Text(s.into())),
+        Just(Value::Text("".into())),
         Just(Value::Text("embedded\0nul\0bytes".into())),
         (0..2u8).prop_map(|b| Value::Bool(b == 1)),
         (i64::MIN..=i64::MAX).prop_map(Value::Timestamp),
@@ -129,7 +129,7 @@ fn codec_large_text_blobs_round_trip() {
     // A megabyte-scale text value (the closest thing to a blob the engine
     // stores) survives the trip and stays within one frame.
     let blob: String = "x☃\0".repeat(400_000);
-    let value = Value::Text(blob);
+    let value = Value::Text(blob.into());
     let mut buf = Vec::new();
     put_value(&mut buf, &value);
     assert!(buf.len() < MAX_FRAME);

@@ -2,8 +2,9 @@
 //! with SQL — against an embedded simulation, or against a **remote**
 //! relstore server over the wire protocol.
 //!
-//! Embedded mode (default): run a pool for a while, then run the queries a
-//! Condor administrator would need custom tools (or log archaeology) for:
+//! Embedded mode (default): run a pool for a while, run the queries a
+//! Condor administrator would need custom tools (or log archaeology) for,
+//! then drop into a console reading SQL from stdin:
 //!
 //! ```text
 //! cargo run --release --example sql_console
@@ -16,11 +17,43 @@
 //! cargo run --release --example sql_console -- --connect 127.0.0.1:5433
 //! echo "SELECT COUNT(*) FROM jobs" | cargo run --example sql_console -- --connect HOST:PORT
 //! ```
+//!
+//! Both modes understand two meta-commands on top of plain SQL, backed
+//! entirely by the engine's virtual system tables (no special protocol):
+//!
+//! - `\stats` — engine counters, latency histograms, and the hottest
+//!   statements (`rel_stats`, `rel_histograms`, `rel_statements`)
+//! - `\slow` — the slow-query ring with per-query wait breakdowns
+//!   (`rel_slow_queries`; arm it with `ServerConfig::slow_query_threshold`
+//!   or `Database::set_slow_query_threshold`)
 
 use cluster_sim::{ClusterSpec, JobSpec, SimDuration, SimTime};
 use condorj2::{CondorJ2Config, CondorJ2Simulation};
 use relstore::ExecResult;
 use std::io::BufRead;
+use std::time::Duration;
+
+/// Expands a `\meta` command into the SQL statements that implement it.
+/// Returns `None` for anything that is not a meta-command.
+fn meta_sql(line: &str) -> Option<&'static [&'static str]> {
+    match line {
+        "\\stats" => Some(&[
+            "SELECT name, kind, value FROM rel_stats WHERE value > 0 ORDER BY name",
+            "SELECT name, count, p50_us, p95_us, p99_us, max_us FROM rel_histograms \
+             WHERE count > 0 ORDER BY name",
+            "SELECT kind, calls, total_rows, mean_us, max_us, sql FROM rel_statements \
+             ORDER BY total_us DESC LIMIT 10",
+        ]),
+        "\\slow" => Some(&[
+            "SELECT seq, kind, duration_us, rows, lock_wait_us, fsync_us, sql \
+             FROM rel_slow_queries ORDER BY seq",
+        ]),
+        _ => None,
+    }
+}
+
+const META_HELP: &str =
+    "meta-commands: \\stats (counters, histograms, hot statements), \\slow (slow-query ring)";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -37,10 +70,11 @@ fn main() {
     embedded_demo();
 }
 
-/// Drives a remote server: each stdin line is one SQL statement, results
-/// render as text tables. Transaction control (`BEGIN` / `COMMIT` /
-/// `ROLLBACK`) drives the connection's server-side transaction — and if the
-/// console dies mid-transaction, the server rolls it back on disconnect.
+/// Drives a remote server: each stdin line is one SQL statement (or a
+/// meta-command), results render as text tables. Transaction control
+/// (`BEGIN` / `COMMIT` / `ROLLBACK`) drives the connection's server-side
+/// transaction — and if the console dies mid-transaction, the server rolls
+/// it back on disconnect.
 fn remote_console(addr: &str) {
     let mut client = match wire::Client::connect(addr) {
         Ok(client) => client,
@@ -50,6 +84,7 @@ fn remote_console(addr: &str) {
         }
     };
     eprintln!("connected to {addr}; one SQL statement per line, Ctrl-D to quit");
+    eprintln!("{META_HELP}");
     for line in std::io::stdin().lock().lines() {
         let line = match line {
             Ok(line) => line,
@@ -57,6 +92,19 @@ fn remote_console(addr: &str) {
         };
         let sql = line.trim();
         if sql.is_empty() || sql.starts_with("--") {
+            continue;
+        }
+        if sql.starts_with('\\') {
+            let Some(statements) = meta_sql(sql) else {
+                println!("unknown meta-command {sql}; {META_HELP}\n");
+                continue;
+            };
+            for sql in statements {
+                match client.query(*sql, ()) {
+                    Ok(result) => println!("{}", result.to_text_table()),
+                    Err(e) => println!("error: {e}\n"),
+                }
+            }
             continue;
         }
         match client.execute(sql, ()) {
@@ -77,6 +125,12 @@ fn remote_console(addr: &str) {
 fn embedded_demo() {
     let spec = ClusterSpec::paper_testbed(10, 4);
     let mut pool = CondorJ2Simulation::new(CondorJ2Config::default(), &spec, 3);
+    // Arm the slow-query ring before the workload so `\slow` has material:
+    // at 100 µs the bulk heartbeat/match scans of the simulation qualify
+    // while point lookups stay below the bar.
+    pool.cas()
+        .database()
+        .set_slow_query_threshold(Some(Duration::from_micros(100)));
     for owner in ["astro", "bio", "chem"] {
         pool.submit(JobSpec::fixed_batch(30, SimDuration::from_secs(45), owner));
     }
@@ -90,7 +144,7 @@ fn embedded_demo() {
             .unwrap();
     }
 
-    let db = pool.cas().database();
+    let db = std::sync::Arc::clone(pool.cas().database());
     let queries = [
         "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state ORDER BY state",
         "SELECT owner, COUNT(*) AS finished, AVG(runtime_ms) AS avg_ms FROM job_history GROUP BY owner ORDER BY owner",
@@ -104,6 +158,48 @@ fn embedded_demo() {
         match db.query(sql) {
             Ok(result) => println!("{}", result.to_text_table()),
             Err(e) => println!("error: {e}\n"),
+        }
+    }
+
+    // The engine monitored itself while the simulation ran: show the same
+    // meta-commands the remote console offers, over the same system tables.
+    for meta in ["\\stats", "\\slow"] {
+        println!("condorj2> {meta}");
+        for sql in meta_sql(meta).unwrap() {
+            match db.query(sql) {
+                Ok(result) => println!("{}", result.to_text_table()),
+                Err(e) => println!("error: {e}\n"),
+            }
+        }
+    }
+
+    // Then hand the console over: SQL or meta-commands from stdin (EOF to
+    // quit), against the live post-simulation database.
+    eprintln!("one SQL statement per line, Ctrl-D to quit; {META_HELP}");
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let sql = line.trim();
+        if sql.is_empty() || sql.starts_with("--") {
+            continue;
+        }
+        let statements: Vec<&str> = match meta_sql(sql) {
+            Some(statements) => statements.to_vec(),
+            None if sql.starts_with('\\') => {
+                println!("unknown meta-command {sql}; {META_HELP}\n");
+                continue;
+            }
+            None => vec![sql],
+        };
+        for sql in statements {
+            match db.execute(sql) {
+                Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
+                Ok(ExecResult::Affected(n)) => println!("{n} row(s) affected\n"),
+                Ok(ExecResult::Ack) => println!("ok\n"),
+                Err(e) => println!("error: {e}\n"),
+            }
         }
     }
 }

@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
-# Run the storage-engine benches and write their medians to a JSON file.
+# Run every bench target and write their medians to a JSON file.
 #
 # Usage: scripts/bench_json.sh [OUT]
 #
-# Runs the relstore_ops and page_store criterion benches, pulls the median
+# Sweeps every [[bench]] target declared in crates/bench/Cargo.toml (so a
+# new bench is picked up without editing this script), pulls the median
 # time out of every "time: [lo med hi]" line, and writes OUT (default
-# BENCH_8.json in the repo root) with one entry per bench, all times
-# normalised to nanoseconds. The file is the durable record of a bench run
-# for the PR that introduced the paged storage engine; regenerate it on a
-# quiet machine when the numbers need refreshing.
+# BENCH_9.json in the repo root) with one entry per bench, all times
+# normalised to nanoseconds. The file is the durable record of a bench run;
+# regenerate it on a quiet machine when the numbers need refreshing.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_8.json}"
+out="${1:-$repo_root/BENCH_9.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
 cd "$repo_root"
-for bench in relstore_ops page_store; do
+benches="$(awk '/^\[\[bench\]\]/ { want = 1; next }
+                want && /^name = / { gsub(/"/, "", $3); print $3; want = 0 }' \
+           crates/bench/Cargo.toml)"
+for bench in $benches; do
     echo "== cargo bench -p bench --bench $bench ==" >&2
-    cargo bench -p bench --bench "$bench" 2>&1 | tee -a "$log" >&2
+    # Tag every output line with its bench target so the parser can
+    # namespace the medians: two targets may legitimately measure the
+    # same function name (relstore_ops and obs_overhead both time
+    # prepared_point_select), and JSON keys must be unique.
+    cargo bench -p bench --bench "$bench" 2>&1 | sed "s|^|$bench\t|" | tee -a "$log" >&2
 done
 
 # Criterion prints, for each bench:
@@ -27,7 +34,7 @@ done
 # possibly with the name on its own line when it is long. Walk the log,
 # remember the last non-time line as the pending name, and emit
 # name + median (converted to ns) for every time line.
-awk '
+awk -F'\t' '
     function to_ns(v, unit) {
         if (unit == "ps") return v / 1000.0
         if (unit == "ns") return v
@@ -36,26 +43,29 @@ awk '
         if (unit == "s")  return v * 1000000000.0
         return -1
     }
-    /time:/ {
+    NF >= 2 && $2 ~ /time:/ {
         # The bench name is everything before "time:" if present on the
-        # same line, else the last line we saw.
-        name = $0
+        # same line, else the last line we saw; prefixed with the bench
+        # target so medians are namespaced.
+        bench = $1
+        name = $2
         sub(/[[:space:]]*time:.*/, "", name)
         gsub(/^[[:space:]]+|[[:space:]]+$/, "", name)
         if (name == "") name = pending
         # Extract "[lo u med u hi u]".
-        line = $0
+        line = $2
         sub(/.*\[/, "", line)
         sub(/\].*/, "", line)
         n = split(line, f, /[[:space:]]+/)
         if (n >= 4 && name != "") {
             ns = to_ns(f[3] + 0, f[4])
-            if (ns >= 0) printf "%s\t%.1f\n", name, ns
+            if (ns >= 0) printf "%s/%s\t%.1f\n", bench, name, ns
         }
         next
     }
-    /^[A-Za-z_][A-Za-z0-9_\/.-]*([[:space:]]|$)/ {
-        pending = $1
+    NF >= 2 && $2 ~ /^[A-Za-z_][A-Za-z0-9_\/.-]*([[:space:]]|$)/ {
+        pending = $2
+        sub(/[[:space:]].*/, "", pending)
     }
 ' "$log" > "$log.medians"
 
@@ -67,7 +77,7 @@ fi
 {
     echo '{'
     echo '  "generated_by": "scripts/bench_json.sh",'
-    echo '  "benches": ["relstore_ops", "page_store"],'
+    printf '  "benches": [%s],\n' "$(printf '%s\n' $benches | sed 's/.*/"&"/' | paste -sd, -)"
     echo '  "unit": "ns",'
     echo '  "medians": {'
     total=$(wc -l < "$log.medians")

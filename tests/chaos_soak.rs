@@ -15,12 +15,16 @@
 //! * **Every error is typed**: clients may see timeouts, lock waits, budget
 //!   refusals, transport and IO failures — but never `Error::Internal` and
 //!   never `Error::Corruption`.
+//! * **Observability stays honest**: the system tables answer SQL mid-fault
+//!   (a monitor client polls them through the chaos), every counted
+//!   statement leaves exactly one histogram sample, and no counter moves
+//!   backwards within a round (gauges exempt).
 //!
 //! The default run is a short smoke (a few seconds). `CHAOS_SEED=<n>`
 //! reproduces a failing run exactly; `CHAOS_SECS=<n>` extends the soak.
 
 use relstore::io::points;
-use relstore::{Database, Error, FailAction};
+use relstore::{Database, Error, FailAction, OpStats};
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +71,64 @@ fn assert_typed(e: &Error, who: &str, seed: u64) {
         !matches!(e, Error::Internal(_) | Error::Corruption(_)),
         "{who} saw a forbidden error (seed {seed}): {e}"
     );
+}
+
+/// A monitoring client: polls the observability system tables over the wire
+/// while the chaos runs. The tables must stay queryable mid-fault — typed
+/// errors are expected weather, wrong shapes and forbidden errors are not.
+fn monitor(addr: std::net::SocketAddr, stop: &AtomicBool, seed: u64, good: &AtomicU64) {
+    let Ok(mut client) = Client::connect(addr) else { return };
+    let queries = [
+        "SELECT name, kind, value FROM rel_stats",
+        "SELECT name, count, p99_us FROM rel_histograms",
+        "SELECT seq, kind, duration_us, lock_wait_us FROM rel_slow_queries",
+    ];
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let sql = queries[i % queries.len()];
+        i += 1;
+        match client.query(sql, ()) {
+            Ok(r) => {
+                if sql.contains("rel_stats") {
+                    assert!(!r.rows.is_empty(), "rel_stats came back empty (seed {seed})");
+                }
+                good.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => assert_typed(&e, "monitor", seed),
+        }
+        if client.is_broken() {
+            match Client::connect(addr) {
+                Ok(c) => client = c,
+                Err(_) => return,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+/// Observability invariants at the round's quiesce point (traffic stopped,
+/// workers joined): every statement the engine counted left exactly one
+/// histogram sample, and no counter moved backwards since the post-recovery
+/// baseline — gauges (high-water marks) are exempt.
+fn assert_obs_invariants(db: &Database, baseline: &OpStats, rounds: u32, seed: u64) {
+    let now = db.stats();
+    assert_eq!(
+        db.obs().histograms.statement_total(),
+        now.statements_executed,
+        "round {rounds}: histogram samples diverged from statements_executed (seed {seed})"
+    );
+    for ((name, before), (after_name, after)) in
+        baseline.fields().into_iter().zip(now.fields())
+    {
+        assert_eq!(name, after_name, "OpStats field order is stable");
+        if OpStats::is_gauge(name) {
+            continue;
+        }
+        assert!(
+            after >= before,
+            "round {rounds}: counter {name} went backwards {before} -> {after} (seed {seed})"
+        );
+    }
 }
 
 fn bank_sum(db: &Database) -> i64 {
@@ -242,6 +304,7 @@ fn chaos_soak_conserves_money_through_faults_and_crashes() {
     let deadline = Instant::now() + soak;
     let total_commits = AtomicU64::new(0);
     let total_reads = AtomicU64::new(0);
+    let total_obs_reads = AtomicU64::new(0);
     let mut total_reaped = 0u64;
     let mut rounds = 0u32;
     loop {
@@ -276,11 +339,16 @@ fn chaos_soak_conserves_money_through_faults_and_crashes() {
                 lock_wait_timeout: Duration::from_millis(25),
                 idle_txn_timeout: Some(Duration::from_millis(40)),
                 reap_interval: Duration::from_millis(10),
+                // Arm the slow-query ring: under a 25 ms lock-wait budget
+                // plenty of statements cross 5 ms, so the monitor reads a
+                // live ring, not an empty one.
+                slow_query_threshold: Some(Duration::from_millis(5)),
                 ..ServerConfig::default()
             },
         )
         .unwrap();
         let addr = server.local_addr();
+        let obs_baseline = db.stats();
 
         let round_ms = 150 + rng.below(250);
         let fault_round = rng.chance(50);
@@ -294,11 +362,13 @@ fn chaos_soak_conserves_money_through_faults_and_crashes() {
             let stop = &stop;
             let commits = &total_commits;
             let reads = &total_reads;
+            let obs = &total_obs_reads;
             s.spawn(move || committer(addr, stop, Rng(seeds[0]), seed, commits));
             s.spawn(move || committer(addr, stop, Rng(seeds[1]), seed, commits));
             s.spawn(move || scanner(addr, stop, seed, reads));
             s.spawn(move || abandoner(addr, stop, Rng(seeds[2]), seed));
             s.spawn(move || disconnector(addr, stop, Rng(seeds[3])));
+            s.spawn(move || monitor(addr, stop, seed, obs));
             let dbref = &db;
             if fault_round {
                 s.spawn(move || saboteur(dbref, stop, Rng(seeds[4])));
@@ -310,6 +380,7 @@ fn chaos_soak_conserves_money_through_faults_and_crashes() {
             // invariant) propagates and fails the test.
         });
         server.shutdown();
+        assert_obs_invariants(&db, &obs_baseline, rounds, seed);
 
         // With traffic stopped and connections rolled back, nothing may pin
         // the vacuum horizon: reap whatever straggles and demand lag zero.
@@ -341,12 +412,18 @@ fn chaos_soak_conserves_money_through_faults_and_crashes() {
 
     let commits = total_commits.load(Ordering::Relaxed);
     let reads = total_reads.load(Ordering::Relaxed);
+    let obs_reads = total_obs_reads.load(Ordering::Relaxed);
     println!(
-        "chaos soak: {rounds} round(s), {commits} commit(s), {reads} invariant read(s), {total_reaped} txn(s) reaped"
+        "chaos soak: {rounds} round(s), {commits} commit(s), {reads} invariant read(s), \
+         {obs_reads} system-table read(s), {total_reaped} txn(s) reaped"
     );
     assert!(rounds >= 2, "the soak must complete at least one full round");
     assert!(commits > 0, "committers made no progress at all (seed {seed})");
     assert!(reads > 0, "scanners made no progress at all (seed {seed})");
+    assert!(
+        obs_reads > 0,
+        "the system-table monitor made no progress at all (seed {seed})"
+    );
     assert!(
         total_reaped > 0,
         "abandoners ran but the reaper never fired (seed {seed})"
@@ -412,6 +489,7 @@ fn paged_chaos_soak_conserves_money_through_faults_and_crashes() {
     let deadline = Instant::now() + soak;
     let total_commits = AtomicU64::new(0);
     let total_reads = AtomicU64::new(0);
+    let total_obs_reads = AtomicU64::new(0);
     let mut rounds = 0u32;
     loop {
         rounds += 1;
@@ -444,11 +522,13 @@ fn paged_chaos_soak_conserves_money_through_faults_and_crashes() {
                 lock_wait_timeout: Duration::from_millis(25),
                 idle_txn_timeout: Some(Duration::from_millis(40)),
                 reap_interval: Duration::from_millis(10),
+                slow_query_threshold: Some(Duration::from_millis(5)),
                 ..ServerConfig::default()
             },
         )
         .unwrap();
         let addr = server.local_addr();
+        let obs_baseline = db.stats();
 
         let round_ms = 150 + rng.below(200);
         let fault_round = rng.chance(50);
@@ -462,11 +542,13 @@ fn paged_chaos_soak_conserves_money_through_faults_and_crashes() {
             let stop = &stop;
             let commits = &total_commits;
             let reads = &total_reads;
+            let obs = &total_obs_reads;
             s.spawn(move || committer(addr, stop, Rng(seeds[0]), seed, commits));
             s.spawn(move || committer(addr, stop, Rng(seeds[1]), seed, commits));
             s.spawn(move || scanner(addr, stop, seed, reads));
             s.spawn(move || abandoner(addr, stop, Rng(seeds[2]), seed));
             s.spawn(move || disconnector(addr, stop, Rng(seeds[3])));
+            s.spawn(move || monitor(addr, stop, seed, obs));
             let dbref = &db;
             if fault_round {
                 s.spawn(move || paged_saboteur(dbref, stop, Rng(seeds[4])));
@@ -475,6 +557,7 @@ fn paged_chaos_soak_conserves_money_through_faults_and_crashes() {
             stop.store(true, Ordering::SeqCst);
         });
         server.shutdown();
+        assert_obs_invariants(&db, &obs_baseline, rounds, seed);
 
         db.reap_idle(Duration::ZERO);
         db.vacuum_all();
@@ -495,8 +578,16 @@ fn paged_chaos_soak_conserves_money_through_faults_and_crashes() {
 
     let commits = total_commits.load(Ordering::Relaxed);
     let reads = total_reads.load(Ordering::Relaxed);
-    println!("paged chaos soak: {rounds} round(s), {commits} commit(s), {reads} invariant read(s)");
+    let obs_reads = total_obs_reads.load(Ordering::Relaxed);
+    println!(
+        "paged chaos soak: {rounds} round(s), {commits} commit(s), {reads} invariant read(s), \
+         {obs_reads} system-table read(s)"
+    );
     assert!(rounds >= 2, "the paged soak must complete at least one full round");
     assert!(commits > 0, "committers made no progress at all (seed {seed})");
     assert!(reads > 0, "scanners made no progress at all (seed {seed})");
+    assert!(
+        obs_reads > 0,
+        "the system-table monitor made no progress at all (seed {seed})"
+    );
 }

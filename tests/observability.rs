@@ -1,0 +1,247 @@
+//! Integration tests of the observability subsystem: virtual system tables
+//! served through the ordinary SELECT path, the slow-query ring, the
+//! statement/histogram accounting invariant, and transport-equivalence —
+//! a wire client must see the same system-table data the embedded API does.
+
+use relstore::{Database, DurabilityPolicy, MemDevice, Value};
+use std::sync::Arc;
+use std::time::Duration;
+use wire::{serve_with, Client, ServerConfig};
+
+fn first_int(db: &Database, sql: &str, column: &str) -> i64 {
+    match db.query(sql).unwrap().first_value(column).unwrap() {
+        Value::Int(n) => *n,
+        other => panic!("{column} was {other:?}, not an Int"),
+    }
+}
+
+/// Every observability surface answers plain SQL on a live database, and
+/// every statement the engine counted has exactly one histogram sample.
+#[test]
+fn system_tables_return_live_data() {
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
+    let ins = db.prepare("INSERT INTO jobs VALUES (?, 'idle')").unwrap();
+    for i in 0..20i64 {
+        db.execute_prepared(&ins, &[i.into()]).unwrap();
+    }
+    for _ in 0..5 {
+        db.query("SELECT COUNT(*) AS n FROM jobs").unwrap();
+    }
+
+    // rel_stats mirrors OpStats one row per counter.
+    let commits = first_int(&db, "SELECT value FROM rel_stats WHERE name = 'commits'", "value");
+    assert_eq!(commits, 21, "20 inserts + 1 DDL");
+
+    // rel_histograms has the per-kind statement histograms.
+    let inserts =
+        first_int(&db, "SELECT count FROM rel_histograms WHERE name = 'stmt.insert'", "count");
+    assert_eq!(inserts, 20);
+
+    // rel_statements profiles the prepared insert across all 20 calls.
+    let profiles = db.query("SELECT sql, calls, total_rows FROM rel_statements").unwrap();
+    let idx = profiles.column_index("sql").unwrap();
+    let row = profiles
+        .rows
+        .iter()
+        .find(|r| *r.get(idx) == Value::Text("INSERT INTO jobs VALUES (?, 'idle')".into()))
+        .expect("prepared insert must be profiled");
+    assert_eq!(*row.get(profiles.column_index("calls").unwrap()), Value::Int(20));
+    assert_eq!(*row.get(profiles.column_index("total_rows").unwrap()), Value::Int(20));
+
+    // A checkpoint leaves a coarse span in rel_events.
+    db.checkpoint().unwrap();
+    let events = first_int(
+        &db,
+        "SELECT COUNT(*) AS n FROM rel_events WHERE kind = 'checkpoint'",
+        "n",
+    );
+    assert_eq!(events, 1);
+
+    // The accounting invariant: one histogram sample per counted statement.
+    // (The SELECTs over system tables above were themselves counted.)
+    let executed = db.stats().statements_executed;
+    assert_eq!(db.obs().histograms.statement_total(), executed);
+}
+
+/// System tables compose with the full SELECT surface: aggregates, ORDER
+/// BY, LIMIT, and joins *between* system tables — while a join that mixes a
+/// system table with a real table is rejected, not silently wrong.
+#[test]
+fn system_tables_support_full_select_and_join_each_other() {
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO jobs VALUES (1)").unwrap();
+
+    let n = first_int(&db, "SELECT COUNT(*) AS n FROM rel_stats", "n");
+    assert!(n > 20, "rel_stats has one row per OpStats field, got {n}");
+
+    db.query("SELECT name, value FROM rel_stats ORDER BY value DESC LIMIT 3").unwrap();
+
+    // System tables join with each other through the ordinary executor.
+    let joined = db
+        .query(
+            "SELECT rel_stats.name, rel_histograms.count FROM rel_stats \
+             JOIN rel_histograms ON rel_stats.name = rel_histograms.name",
+        )
+        .unwrap();
+    // Nothing shares names across the two tables today; the join must still
+    // plan and execute (zero rows is the correct answer).
+    assert_eq!(joined.rows.len(), 0);
+
+    // Mixing a system table with a real table is a type error.
+    let err = db
+        .query(
+            "SELECT rel_histograms.name FROM rel_histograms \
+             JOIN jobs ON rel_histograms.count = jobs.job_id",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("system tables"), "got: {err}");
+}
+
+/// A real table with a system table's name shadows it: user data wins, and
+/// dropping the table restores the virtual view.
+#[test]
+fn real_tables_shadow_system_tables() {
+    let db = Database::new();
+    db.execute("CREATE TABLE rel_stats (name TEXT PRIMARY KEY, value INT)").unwrap();
+    db.execute("INSERT INTO rel_stats VALUES ('mine', 7)").unwrap();
+    let r = db.query("SELECT name, value FROM rel_stats").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.first_value("name"), Some(&Value::Text("mine".into())));
+
+    db.execute("DROP TABLE rel_stats").unwrap();
+    let r = db.query("SELECT name FROM rel_stats WHERE name = 'commits'").unwrap();
+    assert_eq!(r.rows.len(), 1, "virtual table visible again after DROP");
+}
+
+/// The slow-query ring: disarmed by default, captures everything at a zero
+/// threshold with a wait breakdown, keeps a monotonic sequence across
+/// clear(), and disarms again on None.
+#[test]
+fn slow_query_log_arms_captures_and_disarms() {
+    let db = Database::new();
+    assert_eq!(db.slow_query_threshold(), None);
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY)").unwrap();
+    assert!(db.obs().slow_log.entries().is_empty(), "disarmed log captures nothing");
+
+    db.set_slow_query_threshold(Some(Duration::ZERO));
+    db.execute("INSERT INTO jobs VALUES (1)").unwrap();
+    db.query("SELECT * FROM jobs").unwrap();
+    let entries = db.obs().slow_log.entries();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].sql.as_deref(), Some("INSERT INTO jobs VALUES (1)"));
+    assert_eq!(entries[1].rows, 1);
+    assert!(entries[0].seq < entries[1].seq);
+    assert_eq!(db.stats().slow_queries, 2);
+
+    // The ring is queryable as SQL too, including the wait-breakdown columns.
+    let r = db
+        .query("SELECT seq, sql, duration_us, lock_wait_us, fsync_us FROM rel_slow_queries")
+        .unwrap();
+    // The SELECT over rel_slow_queries itself gets captured only *after* it
+    // snapshots the ring, so it sees the two prior entries.
+    assert_eq!(r.rows.len(), 2);
+
+    // seq survives clear(): later entries never reuse earlier numbers.
+    let last_seq = db.obs().slow_log.entries().last().unwrap().seq;
+    db.obs().slow_log.clear();
+    db.execute("INSERT INTO jobs VALUES (2)").unwrap();
+    let after = db.obs().slow_log.entries();
+    assert_eq!(after.len(), 1);
+    assert!(after[0].seq > last_seq);
+
+    db.set_slow_query_threshold(None);
+    db.obs().slow_log.clear();
+    db.execute("INSERT INTO jobs VALUES (3)").unwrap();
+    assert!(db.obs().slow_log.entries().is_empty(), "None disarms the log");
+}
+
+/// Failed statements are first-class: they are counted, histogrammed, and
+/// the invariant holds — with the one documented exception (a SELECT inside
+/// an already-dead transaction fails before anything is counted).
+#[test]
+fn failed_statements_keep_the_accounting_invariant() {
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO jobs VALUES (1)").unwrap();
+    db.execute("INSERT INTO jobs VALUES (1)").unwrap_err(); // duplicate key
+    db.query("SELECT * FROM missing").unwrap_err(); // no such table
+    db.execute("UPDATE jobs SET job_id = NULL WHERE job_id = 1").unwrap_err();
+    assert_eq!(db.obs().histograms.statement_total(), db.stats().statements_executed);
+}
+
+/// `ServerConfig::slow_query_threshold` arms the engine's ring at serve
+/// time, and a wire client reads identical system-table data to the
+/// embedded API — same SELECT path, no special protocol.
+#[test]
+fn wire_clients_see_the_same_system_tables() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, state TEXT)").unwrap();
+    let ins = db.prepare("INSERT INTO jobs VALUES (?, 'idle')").unwrap();
+    for i in 0..10i64 {
+        db.execute_prepared(&ins, &[i.into()]).unwrap();
+    }
+
+    let config = ServerConfig {
+        slow_query_threshold: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let server = serve_with(Arc::clone(&db), "127.0.0.1:0", config).unwrap();
+    assert_eq!(db.slow_query_threshold(), Some(Duration::ZERO));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Stable system-table slices must agree embedded vs remote. (Volatile
+    // counters like statements_executed move with every query, so compare
+    // data that the monitoring queries themselves do not perturb.)
+    let queries = [
+        "SELECT count FROM rel_histograms WHERE name = 'stmt.insert'",
+        "SELECT sql, kind, calls, total_rows FROM rel_statements \
+         WHERE sql = 'INSERT INTO jobs VALUES (?, ''idle'')'",
+        "SELECT name, kind FROM rel_stats ORDER BY name",
+    ];
+    for sql in queries {
+        let local = db.query(sql).unwrap();
+        let remote = client.query(sql, ()).unwrap();
+        assert_eq!(remote, local, "remote diverged for: {sql}");
+    }
+
+    // The client's own statements landed in the slow ring (threshold zero),
+    // and the ring is visible over the wire.
+    let r = client
+        .query("SELECT COUNT(*) AS n FROM rel_slow_queries", ())
+        .unwrap();
+    match r.first_value("n").unwrap() {
+        Value::Int(n) => assert!(*n >= 3, "client statements captured, got {n}"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+/// Recovery leaves a span in rel_events describing what was replayed.
+#[test]
+fn recovery_records_an_event() {
+    let db = Database::open_with_device(Box::new(MemDevice::new()), DurabilityPolicy::Always)
+        .unwrap();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO jobs VALUES (1)").unwrap();
+    db.flush_log().unwrap();
+    let bytes = db.durable_log_bytes().unwrap();
+
+    let reopened = Database::open_with_device(
+        Box::new(MemDevice::with_contents(bytes)),
+        DurabilityPolicy::Always,
+    )
+    .unwrap();
+    let r = reopened
+        .query("SELECT kind, detail FROM rel_events WHERE kind = 'recovery'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    match r.first_value("detail").unwrap() {
+        Value::Text(detail) => {
+            assert!(detail.contains("WAL record"), "got: {detail}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

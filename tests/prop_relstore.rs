@@ -34,7 +34,7 @@ fn state_name(state: u8) -> &'static str {
 fn body_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
-        "\\PC{0,20}".prop_map(Value::Text),
+        "\\PC{0,20}".prop_map(|s| Value::Text(s.into())),
     ]
 }
 
@@ -302,10 +302,10 @@ proptest! {
     fn text_values_round_trip_through_sql(text in "\\PC{0,40}") {
         let db = Database::new();
         db.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)").unwrap();
-        let literal = appserver::sql_literal(&Value::Text(text.clone()));
+        let literal = appserver::sql_literal(&Value::Text(text.clone().into()));
         db.execute(&format!("INSERT INTO notes VALUES (1, {literal})")).unwrap();
         let r = db.query("SELECT body FROM notes WHERE id = 1").unwrap();
-        prop_assert_eq!(r.rows[0].clone(), Row::new(vec![Value::Text(text)]));
+        prop_assert_eq!(r.rows[0].clone(), Row::new(vec![Value::Text(text.into())]));
         let _ = OpStats::default();
     }
 }
