@@ -1,0 +1,273 @@
+//! Cost-based join planning: what the planner buys, priced.
+//!
+//! `planned_3table_join` vs `naive_3table_join` is the headline number: the
+//! same skewed three-table join on identical data, once with the cost-based
+//! planner choosing the join order from ANALYZE statistics, once pinned to
+//! the syntactic left-to-right order (`set_join_reorder(false)`). The
+//! selective side (`tiny`, filtered to a handful of rows) should be joined
+//! first; left-to-right materializes the full big⋈mid intermediate instead.
+//! The planner must win by ≥2× on this shape.
+//!
+//! `prepared_join_reused` vs `prepared_join_rebuilt` prices the cached
+//! hash-join build side on a prepared statement: the rebuilt variant pays a
+//! one-row touch of the build table per iteration to invalidate the cache.
+//!
+//! `planned_point_select` vs `forced_scan_point_select` is the access-path
+//! choice in isolation, and the `app_side_join` / `sql_join` pair measures
+//! the application-side join loop the CAS used to run against the single
+//! JOIN statement that replaced it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::{Database, Value};
+use std::hint::black_box;
+
+const BIG_ROWS: i64 = 10_000;
+const MID_ROWS: i64 = 2_000;
+const MID_KEYS: i64 = 1_000;
+const TINY_ROWS: i64 = 20;
+
+/// Three tables with deliberately skewed sizes: the `mid` join fans out 2x
+/// (two `mid` rows per key), the `tiny` join — filtered to a single row —
+/// cuts the pipeline 20x. Joining `tiny` first keeps the intermediate
+/// result small; left-to-right materializes the doubled big⋈mid product
+/// before throwing 95% of it away.
+fn skewed_db() -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE big (id INT PRIMARY KEY, fk_mid INT, fk_tiny INT, pad TEXT)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX ON big (fk_mid)").unwrap();
+    db.execute("CREATE TABLE mid (id INT PRIMARY KEY, fk INT, label TEXT)").unwrap();
+    db.execute("CREATE INDEX ON mid (fk)").unwrap();
+    db.execute("CREATE TABLE tiny (id INT PRIMARY KEY, flag INT)").unwrap();
+
+    let ins = db
+        .prepare("INSERT INTO big VALUES (?, ?, ?, 'payload-padding-bytes')")
+        .unwrap();
+    db.session()
+        .execute_batch(&ins, (0..BIG_ROWS).map(|i| (i, i % MID_KEYS, i % TINY_ROWS)))
+        .unwrap();
+    let ins = db.prepare("INSERT INTO mid VALUES (?, ?, 'mid-label')").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..MID_ROWS).map(|i| (i, i % MID_KEYS)))
+        .unwrap();
+    // Exactly one tiny row carries flag = 1, so the filtered build side is
+    // a single entry and the early join cuts the pipeline 20x.
+    let ins = db.prepare("INSERT INTO tiny VALUES (?, ?)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..TINY_ROWS).map(|i| (i, i64::from(i == 7))))
+        .unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+const SKEWED_JOIN: &str = "SELECT COUNT(*) FROM big \
+     JOIN mid ON big.fk_mid = mid.fk \
+     JOIN tiny ON big.fk_tiny = tiny.id \
+     WHERE tiny.flag = 1";
+
+fn bench_join_order(c: &mut Criterion) {
+    let planned = skewed_db();
+    let naive = skewed_db();
+    naive.set_join_reorder(false);
+
+    // Both configurations must agree before either number means anything.
+    let expected = planned.query(SKEWED_JOIN).unwrap().scalar_int().unwrap();
+    assert_eq!(expected, 2 * BIG_ROWS / TINY_ROWS);
+    assert_eq!(naive.query(SKEWED_JOIN).unwrap().scalar_int().unwrap(), expected);
+
+    c.bench_function("planned_3table_join", |b| {
+        b.iter(|| {
+            let r = planned.query(black_box(SKEWED_JOIN)).unwrap();
+            assert_eq!(r.scalar_int().unwrap(), expected);
+            black_box(r)
+        })
+    });
+
+    c.bench_function("naive_3table_join", |b| {
+        b.iter(|| {
+            let r = naive.query(black_box(SKEWED_JOIN)).unwrap();
+            assert_eq!(r.scalar_int().unwrap(), expected);
+            black_box(r)
+        })
+    });
+}
+
+fn bench_build_reuse(c: &mut Criterion) {
+    let db = skewed_db();
+    let join = db
+        .prepare("SELECT COUNT(*) FROM big JOIN mid ON big.fk_mid = mid.id")
+        .unwrap();
+    let touch = db.prepare("UPDATE mid SET label = ? WHERE id = 0").unwrap();
+
+    // Steady state: no writes between executions, so the hash-join build
+    // side over `mid` is validated and reused, not rebuilt.
+    c.bench_function("prepared_join_reused", |b| {
+        b.iter(|| {
+            let r = db.query_prepared(black_box(&join), &[]).unwrap();
+            assert_eq!(r.scalar_int().unwrap(), BIG_ROWS);
+            black_box(r)
+        })
+    });
+
+    // A one-row touch of the build table per iteration bumps its version,
+    // invalidating the cached build: every execution rebuilds the map.
+    c.bench_function("prepared_join_rebuilt", |b| {
+        b.iter(|| {
+            db.execute_prepared(&touch, &[Value::Text("touched".into())]).unwrap();
+            let r = db.query_prepared(black_box(&join), &[]).unwrap();
+            assert_eq!(r.scalar_int().unwrap(), BIG_ROWS);
+            black_box(r)
+        })
+    });
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let planned = skewed_db();
+    let scan = skewed_db();
+    scan.set_force_scan(true);
+
+    let point_planned = planned.prepare("SELECT * FROM big WHERE id = ?").unwrap();
+    let point_scan = scan.prepare("SELECT * FROM big WHERE id = ?").unwrap();
+
+    c.bench_function("planned_point_select", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 79) % BIG_ROWS;
+            let r = planned.query_prepared(black_box(&point_planned), &[Value::Int(k)]).unwrap();
+            assert_eq!(r.len(), 1);
+            black_box(r)
+        })
+    });
+
+    c.bench_function("forced_scan_point_select", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 79) % BIG_ROWS;
+            let r = scan.query_prepared(black_box(&point_scan), &[Value::Int(k)]).unwrap();
+            assert_eq!(r.len(), 1);
+            black_box(r)
+        })
+    });
+}
+
+/// The CAS shape this PR rewrote: fetching a job and its run used to be two
+/// point queries glued together in application code; now it is one JOIN.
+/// `jobs` and `runs` here mirror the real schema closely enough for the
+/// delta to transfer.
+fn bench_app_side_vs_join(c: &mut Criterion) {
+    const JOBS: i64 = 512;
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT, runtime_ms INT)")
+        .unwrap();
+    db.execute("CREATE TABLE runs (run_id INT PRIMARY KEY, job_id INT, machine_id INT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON runs (job_id)").unwrap();
+    let ins = db.prepare("INSERT INTO jobs VALUES (?, ?, 60000)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..JOBS).map(|i| (i, format!("user{}", i % 16))))
+        .unwrap();
+    let ins = db.prepare("INSERT INTO runs VALUES (?, ?, ?)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..JOBS).map(|i| (i, i, i % 32)))
+        .unwrap();
+    db.execute("ANALYZE").unwrap();
+
+    let job_q = db.prepare("SELECT owner, runtime_ms FROM jobs WHERE job_id = ?").unwrap();
+    let run_q = db.prepare("SELECT machine_id FROM runs WHERE job_id = ?").unwrap();
+    let joined = db
+        .prepare(
+            "SELECT jobs.owner, jobs.runtime_ms, runs.machine_id \
+             FROM jobs JOIN runs ON jobs.job_id = runs.job_id WHERE jobs.job_id = ?",
+        )
+        .unwrap();
+
+    // Two round trips into the engine per job, results glued in app code.
+    c.bench_function("app_side_join_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 37) % JOBS;
+            let job = db.query_prepared(&job_q, &[Value::Int(k)]).unwrap();
+            let run = db.query_prepared(&run_q, &[Value::Int(k)]).unwrap();
+            assert_eq!(job.len() + run.len(), 2);
+            black_box((job, run))
+        })
+    });
+
+    // The rewrite: one statement, one pass through the engine.
+    c.bench_function("sql_join_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 37) % JOBS;
+            let r = db.query_prepared(black_box(&joined), &[Value::Int(k)]).unwrap();
+            assert_eq!(r.len(), 1);
+            black_box(r)
+        })
+    });
+
+    // The usage report, the other CAS rewrite: one aggregate query per
+    // owner glued in app code vs a single JOIN + GROUP BY.
+    const OWNERS: i64 = 16;
+    db.execute("CREATE TABLE users (name TEXT PRIMARY KEY, priority DOUBLE)").unwrap();
+    let ins = db.prepare("INSERT INTO users VALUES (?, 0.5)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..OWNERS).map(|i| (format!("user{i}"),)))
+        .unwrap();
+    db.execute("CREATE TABLE job_history (job_id INT PRIMARY KEY, owner TEXT, runtime_ms INT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON job_history (owner)").unwrap();
+    let ins = db.prepare("INSERT INTO job_history VALUES (?, ?, 60000)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..JOBS).map(|i| (i, format!("user{}", i % OWNERS))))
+        .unwrap();
+    db.execute("ANALYZE").unwrap();
+
+    let owners_q = db.prepare("SELECT name, priority FROM users ORDER BY name").unwrap();
+    let per_owner = db
+        .prepare("SELECT COUNT(*), SUM(runtime_ms) FROM job_history WHERE owner = ?")
+        .unwrap();
+    let report = db
+        .prepare(
+            "SELECT users.name, users.priority, COUNT(*), SUM(job_history.runtime_ms) \
+             FROM job_history JOIN users ON job_history.owner = users.name \
+             GROUP BY users.name, users.priority ORDER BY users.name",
+        )
+        .unwrap();
+
+    c.bench_function("app_side_usage_report", |b| {
+        b.iter(|| {
+            let owners = db.query_prepared(&owners_q, &[]).unwrap();
+            assert_eq!(owners.len(), OWNERS as usize);
+            let mut total = 0i64;
+            for row in &owners.rows {
+                let r = db
+                    .query_prepared(&per_owner, std::slice::from_ref(row.get(0)))
+                    .unwrap();
+                match r.rows[0].get(0) {
+                    Value::Int(n) => total += n,
+                    other => panic!("COUNT(*) must be an int, got {other:?}"),
+                }
+            }
+            assert_eq!(total, JOBS);
+            black_box(total)
+        })
+    });
+
+    c.bench_function("sql_usage_report", |b| {
+        b.iter(|| {
+            let r = db.query_prepared(black_box(&report), &[]).unwrap();
+            assert_eq!(r.len(), OWNERS as usize);
+            black_box(r)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_join_order,
+    bench_build_reuse,
+    bench_access_path,
+    bench_app_side_vs_join
+);
+criterion_main!(benches);

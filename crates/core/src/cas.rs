@@ -62,14 +62,18 @@ pub struct PoolStatus {
     pub completed_jobs: i64,
 }
 
-/// The columns `complete_job` reads back from a finishing job's tuple,
-/// decoded by name so a projection change cannot misassign fields.
+/// The columns `complete_job` reads back from a finishing job's tuple and
+/// its active run (one `jobs ⋈ runs` query), decoded by name so a
+/// projection change cannot misassign fields.
 #[derive(Debug, Clone, PartialEq)]
 struct FinishedJob {
     owner: String,
     runtime_ms: Option<i64>,
     submitted: Option<i64>,
     requeues: Option<i64>,
+    /// The machine the run tuple says the job executed on — the database's
+    /// answer, not the heartbeat sender's claim.
+    machine_id: i64,
 }
 
 impl FromRow for FinishedJob {
@@ -79,15 +83,19 @@ impl FromRow for FinishedJob {
             runtime_ms: row.get("runtime_ms")?,
             submitted: row.get("submitted")?,
             requeues: row.get("requeues")?,
+            machine_id: row.get("machine_id")?,
         })
     }
 }
 
-/// One line of the per-owner usage report drawn from `job_history`.
+/// One line of the per-owner usage report: completed-job usage from
+/// `job_history` joined with the owner's registration row in `users`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OwnerUsage {
     /// The job owner.
     pub owner: String,
+    /// The owner's fair-share priority from `users`.
+    pub priority: f64,
     /// Number of completed jobs.
     pub jobs: i64,
     /// Total machine time consumed, in minutes.
@@ -98,6 +106,7 @@ impl FromRow for OwnerUsage {
     fn from_row(row: &RowView<'_>) -> Result<Self> {
         Ok(OwnerUsage {
             owner: row.get("owner")?,
+            priority: row.get("priority")?,
             jobs: row.get("jobs")?,
             // SUM over rows whose runtime_ms are all NULL yields SQL NULL;
             // report that owner as zero time, not as a failed report.
@@ -204,8 +213,14 @@ impl CasPrepared {
             job_requeue: db.prepare(
                 "UPDATE jobs SET state = 'idle', requeues = requeues + 1, updated = ? WHERE job_id = ?",
             )?,
+            // One planned join instead of the old application-side pairing
+            // (fetch the job, then trust the caller for the machine): the
+            // run tuple is the authority on where the job executed.
             job_fetch: db.prepare(
-                "SELECT owner, runtime_ms, submitted, requeues FROM jobs WHERE job_id = ?",
+                "SELECT jobs.owner, jobs.runtime_ms, jobs.submitted, jobs.requeues, \
+                        runs.machine_id \
+                 FROM jobs JOIN runs ON jobs.job_id = runs.job_id \
+                 WHERE jobs.job_id = ?",
             )?,
             job_delete: db.prepare("DELETE FROM jobs WHERE job_id = ?")?,
             run_insert: db.prepare(
@@ -419,9 +434,12 @@ impl CasState {
 
     fn complete_job(&mut self, machine_id: i64, job_id: i64) -> Result<()> {
         let mut sql = self.db.session();
+        // A single `jobs ⋈ runs` query fetches the finishing job together
+        // with its run tuple; a completion report for a job that never
+        // started (no run) fails here instead of fabricating history.
         let job: FinishedJob = sql
             .query_one(&self.prepared.job_fetch, (job_id,))?
-            .ok_or_else(|| Error::not_found(format!("job {job_id}")))?;
+            .ok_or_else(|| Error::not_found(format!("running job {job_id}")))?;
         self.next_history_id += 1;
         sql.execute(
             &self.prepared.history_insert,
@@ -432,7 +450,9 @@ impl CasState {
                 job.runtime_ms,
                 job.submitted,
                 self.now_ms,
-                machine_id,
+                // Recorded from the run tuple, not the heartbeat sender's
+                // claim.
+                job.machine_id,
                 job.requeues.unwrap_or(0),
             ),
         )?;
@@ -551,12 +571,18 @@ impl CasState {
         })
     }
 
-    /// Per-owner usage report from the history table (an example of the
-    /// "expressive query language over the operational data" the paper touts).
+    /// Per-owner usage report (an example of the "expressive query language
+    /// over the operational data" the paper touts): one planned
+    /// `job_history ⋈ users` query, where the old report left the `users`
+    /// attributes to a follow-up lookup per owner. Inner join semantics:
+    /// history rows of unregistered owners are not reported (LEFT OUTER
+    /// JOIN is still future work — see ROADMAP).
     pub fn usage_by_owner(&self) -> Result<Vec<OwnerUsage>> {
         self.db.session().query_as(
-            "SELECT owner, COUNT(*) AS jobs, SUM(runtime_ms) AS total_ms \
-             FROM job_history GROUP BY owner ORDER BY owner",
+            "SELECT users.name AS owner, users.priority AS priority, \
+                    COUNT(*) AS jobs, SUM(job_history.runtime_ms) AS total_ms \
+             FROM job_history JOIN users ON job_history.owner = users.name \
+             GROUP BY users.name, users.priority ORDER BY owner",
             (),
         )
     }
@@ -952,8 +978,19 @@ mod tests {
         );
         assert_eq!(usage[1].owner, "bob");
 
+        // The report joins users, so every line carries the owner's
+        // fair-share priority (0.5 at registration).
+        assert!((usage[0].priority - 0.5).abs() < 1e-9);
+
         // An owner whose history rows carry NULL runtimes reports zero time
         // rather than poisoning the whole report (SUM over NULLs is NULL).
+        cas.database()
+            .session()
+            .execute(
+                "INSERT INTO users (name, priority, created) VALUES (?, 0.5, ?)",
+                ("carol", 0i64),
+            )
+            .unwrap();
         cas.database()
             .session()
             .execute(
@@ -965,6 +1002,17 @@ mod tests {
         assert_eq!(usage.len(), 3);
         assert_eq!(usage[2].owner, "carol");
         assert_eq!(usage[2].machine_minutes, 0.0);
+
+        // History rows whose owner never registered are not reported: the
+        // report is an inner join (LEFT OUTER JOIN remains future work).
+        cas.database()
+            .session()
+            .execute(
+                "INSERT INTO job_history (history_id, job_id, owner) VALUES (?, ?, ?)",
+                (1000i64, 1000i64, "ghost"),
+            )
+            .unwrap();
+        assert_eq!(cas.usage_by_owner().unwrap().len(), 3);
     }
 
     #[test]

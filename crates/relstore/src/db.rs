@@ -49,12 +49,16 @@
 //! governor whose per-row cost is a single branch.
 
 use crate::error::{Error, Result, TimeoutKind};
-use crate::exec::{execute_select_with, matching_row_ids_with, Catalog, QueryResult};
+use crate::exec::{
+    execute_select_opts, execute_select_with, matching_row_ids_with, Catalog, ExecOptions,
+    QueryResult,
+};
 use crate::govern::{Governance, Governor};
 use crate::io::{DurabilityPolicy, Failpoints, FsDevice, LogDevice};
 use crate::mvcc::Snapshot;
 use crate::obs::clock::Stopwatch;
 use crate::obs::{self, systables, Observability, StmtKind, StmtProfile, StmtProfileSnapshot, WaitBreakdown};
+use crate::plan::{self, plan_select, PlanCell, PlanProfile, PlanSlot};
 use crate::predicate::Expr;
 use crate::schema::{lower_name, IndexDef, Schema};
 use crate::sql::ast::{DeleteStmt, InsertStmt, SelectStmt, Statement, UpdateStmt};
@@ -70,6 +74,7 @@ use crate::value::Value;
 use crate::wal::{LogRecord, TableSnapshot, TxnId, Wal};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -124,6 +129,10 @@ pub struct Prepared {
     /// the statement-cache entry (and with every other `Prepared` handle for
     /// the same text), so recording an execution is lock-free.
     profile: Arc<StmtProfile>,
+    /// The plan cache cell for this statement text: the chosen [`plan`] plan
+    /// plus reusable hash-join build sides, shared with the cache entry and
+    /// invalidated when the database's plan generation moves (DDL, ANALYZE).
+    plan: Arc<PlanCell>,
 }
 
 impl Prepared {
@@ -147,6 +156,10 @@ impl Prepared {
 /// Default capacity of the per-database LRU statement cache.
 const STMT_CACHE_CAPACITY: usize = 256;
 
+/// What [`Database::cached_parse`] yields: the shared AST, its `?` count,
+/// the statement's execution profile and its plan cache cell.
+type ParsedStmt = (Arc<Statement>, usize, Arc<StmtProfile>, Arc<PlanCell>);
+
 /// An LRU cache of parsed statements keyed by their SQL text.
 ///
 /// Recency is a monotonically increasing generation stamped on each touch, so
@@ -168,6 +181,9 @@ struct CacheEntry {
     /// profile table is bounded by the cache's LRU; shared with every
     /// [`Prepared`] handle for this text.
     profile: Arc<StmtProfile>,
+    /// The statement's plan cache cell, shared with every [`Prepared`]
+    /// handle for this text.
+    plan: Arc<PlanCell>,
     gen: u64,
 }
 
@@ -183,16 +199,28 @@ impl Default for StmtCache {
 
 impl StmtCache {
     /// Looks up `sql`, refreshing its recency on a hit.
-    fn get(&mut self, sql: &str) -> Option<(Arc<Statement>, usize, Arc<StmtProfile>)> {
+    fn get(&mut self, sql: &str) -> Option<ParsedStmt> {
         let entry = self.entries.get_mut(sql)?;
         entry.gen = self.next_gen;
         self.next_gen += 1;
-        Some((Arc::clone(&entry.stmt), entry.params, Arc::clone(&entry.profile)))
+        Some((
+            Arc::clone(&entry.stmt),
+            entry.params,
+            Arc::clone(&entry.profile),
+            Arc::clone(&entry.plan),
+        ))
     }
 
     /// Inserts a parsed statement, evicting the least-recently-used entry
     /// when at capacity. A zero capacity disables caching.
-    fn insert(&mut self, sql: String, stmt: Arc<Statement>, params: usize, profile: Arc<StmtProfile>) {
+    fn insert(
+        &mut self,
+        sql: String,
+        stmt: Arc<Statement>,
+        params: usize,
+        profile: Arc<StmtProfile>,
+        plan: Arc<PlanCell>,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -202,7 +230,7 @@ impl StmtCache {
         }
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.entries.insert(sql, CacheEntry { stmt, params, profile, gen });
+        self.entries.insert(sql, CacheEntry { stmt, params, profile, plan, gen });
     }
 
     /// Snapshots every live entry's execution profile — the rows of
@@ -280,6 +308,16 @@ pub struct Database {
     /// fast with [`Error::LockConflict`], exactly the pre-governance
     /// behaviour; a per-statement [`Governance::lock_wait`] overrides it.
     lock_wait: Mutex<Duration>,
+    /// Plan-cache generation. Bumped by DDL and `ANALYZE`; a cached plan
+    /// whose slot generation falls behind is dropped and replanned on its
+    /// next execution.
+    plan_gen: AtomicU64,
+    /// Bench/test knob: keep joins in syntactic order instead of letting the
+    /// planner reorder by estimated build size.
+    planner_no_reorder: AtomicBool,
+    /// Bench/test knob: force full scans of the base table, ignoring the
+    /// cost-based access-path choice.
+    planner_force_scan: AtomicBool,
 }
 
 impl Database {
@@ -944,7 +982,7 @@ impl Database {
     /// parsed AST without re-lexing, a miss parses outside every lock and
     /// caches the result. Counted in `cache_hits` / `cache_misses`, and in
     /// `statements_parsed` only on a miss.
-    pub(crate) fn cached_parse(&self, sql: &str) -> Result<(Arc<Statement>, usize, Arc<StmtProfile>)> {
+    pub(crate) fn cached_parse(&self, sql: &str) -> Result<ParsedStmt> {
         if let Some(hit) = self.stmt_cache.lock().get(sql) {
             self.stats.record(&OpStats {
                 cache_hits: 1,
@@ -961,13 +999,15 @@ impl Database {
         let stmt = Arc::new(parse(sql)?);
         let params = stmt.param_count();
         let profile = Arc::new(StmtProfile::new(Arc::from(sql), StmtKind::of(&stmt)));
+        let plan = Arc::new(PlanCell::default());
         self.stmt_cache.lock().insert(
             sql.to_string(),
             Arc::clone(&stmt),
             params,
             Arc::clone(&profile),
+            Arc::clone(&plan),
         );
-        Ok((stmt, params, profile))
+        Ok((stmt, params, profile, plan))
     }
 
     /// Prepares a statement for repeated execution. The SQL may contain `?`
@@ -975,8 +1015,8 @@ impl Database {
     /// `query_prepared`. Preparation itself goes through the statement
     /// cache, so re-preparing the same text is cheap.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
-        let (stmt, params, profile) = self.cached_parse(sql)?;
-        Ok(Prepared { stmt, params, profile })
+        let (stmt, params, profile, plan) = self.cached_parse(sql)?;
+        Ok(Prepared { stmt, params, profile, plan })
     }
 
     /// Snapshots the execution profile of every statement currently in the
@@ -1047,13 +1087,13 @@ impl Database {
     /// `gov` (deadline, cancellation token, row/byte budgets, lock-wait
     /// bound); see [`Governance`].
     pub fn execute_governed(&self, sql: &str, gov: &Governance) -> Result<ExecResult> {
-        let (stmt, params, profile) = self.cached_parse(sql)?;
+        let (stmt, params, profile, plan) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared()"
             )));
         }
-        self.execute_stmt_tracked(&stmt, &[], gov, Some(&profile))
+        self.execute_stmt_tracked(&stmt, &[], gov, Some(&profile), Some(&plan))
     }
 
     /// Parses and executes one statement inside an explicit transaction.
@@ -1068,13 +1108,13 @@ impl Database {
         sql: &str,
         gov: &Governance,
     ) -> Result<ExecResult> {
-        let (stmt, params, profile) = self.cached_parse(sql)?;
+        let (stmt, params, profile, plan) = self.cached_parse(sql)?;
         if params > 0 {
             return Err(Error::type_err(format!(
                 "statement has {params} parameter(s); use prepare()/execute_prepared_in()"
             )));
         }
-        self.execute_stmt_in_tracked(txn, &stmt, &[], gov, Some(&profile))
+        self.execute_stmt_in_tracked(txn, &stmt, &[], gov, Some(&profile), Some(&plan))
     }
 
     /// Executes a prepared statement in autocommit mode with the given
@@ -1093,7 +1133,13 @@ impl Database {
         gov: &Governance,
     ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_tracked(&prepared.stmt, params, gov, Some(&prepared.profile))
+        self.execute_stmt_tracked(
+            &prepared.stmt,
+            params,
+            gov,
+            Some(&prepared.profile),
+            Some(&prepared.plan),
+        )
     }
 
     /// Executes a prepared statement inside an explicit transaction.
@@ -1116,7 +1162,14 @@ impl Database {
         gov: &Governance,
     ) -> Result<ExecResult> {
         Self::check_arity(prepared, params)?;
-        self.execute_stmt_in_tracked(txn, &prepared.stmt, params, gov, Some(&prepared.profile))
+        self.execute_stmt_in_tracked(
+            txn,
+            &prepared.stmt,
+            params,
+            gov,
+            Some(&prepared.profile),
+            Some(&prepared.plan),
+        )
     }
 
     fn check_arity(prepared: &Prepared, params: &[Value]) -> Result<()> {
@@ -1155,7 +1208,7 @@ impl Database {
         params: &[Value],
         gov: &Governance,
     ) -> Result<ExecResult> {
-        self.execute_stmt_tracked(stmt, params, gov, None)
+        self.execute_stmt_tracked(stmt, params, gov, None, None)
     }
 
     /// The autocommit dispatcher: every statement is stopwatch-timed and
@@ -1168,6 +1221,7 @@ impl Database {
         params: &[Value],
         gov: &Governance,
         profile: Option<&Arc<StmtProfile>>,
+        plan: Option<&PlanCell>,
     ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
@@ -1187,8 +1241,15 @@ impl Database {
                     snapshots_taken: 1,
                     ..Default::default()
                 };
-                let result =
-                    self.run_select(&catalog, sel, params, &snapshot, &mut local, &mut governor);
+                let result = self.run_select_planned(
+                    &catalog,
+                    sel,
+                    params,
+                    &snapshot,
+                    &mut local,
+                    &mut governor,
+                    plan,
+                );
                 drop(catalog);
                 if let Err(e) = &result {
                     Self::attribute_failure(&mut local, e);
@@ -1196,6 +1257,44 @@ impl Database {
                 let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
                 self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
                 Ok(ExecResult::Query(result?))
+            }
+            Statement::Explain { analyze, select } => {
+                let sw = Stopwatch::start();
+                let mut governor = Governor::arm(gov);
+                let catalog = self.catalog.read();
+                let snapshot = self.ctl.lock().txns.read_snapshot();
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    snapshots_taken: 1,
+                    ..Default::default()
+                };
+                let result = self.run_explain(
+                    &catalog,
+                    *analyze,
+                    select,
+                    params,
+                    &snapshot,
+                    &mut local,
+                    &mut governor,
+                );
+                drop(catalog);
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
+                }
+                let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
+                self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
+                Ok(ExecResult::Query(result?))
+            }
+            Statement::Analyze(target) => {
+                let sw = Stopwatch::start();
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result = self.run_analyze(target.as_deref(), &mut local);
+                let rows = result.as_ref().map_or(0, |n| *n as u64);
+                self.finish_statement(StmtKind::Ddl, sw, rows, profile, &mut local);
+                result.map(ExecResult::Affected)
             }
             _ => {
                 // Autocommit write: one statement-local delta spans begin
@@ -1259,27 +1358,199 @@ impl Database {
     ) -> Result<QueryResult> {
         let base = lower_name(&sel.table);
         if obs::is_system_table(&base) && !catalog.contains_key(base.as_ref()) {
-            let virt = self.system_catalog(sel)?;
+            let virt = self.system_catalog(catalog, sel)?;
             return execute_select_with(&virt, sel, params, snapshot, local, governor);
         }
         execute_select_with(catalog, sel, params, snapshot, local, governor)
+    }
+
+    /// As [`Database::run_select`], consulting the statement's plan cache
+    /// cell for joined selects: the cached plan (and any still-valid
+    /// hash-join build sides) is reused across executions of the same
+    /// prepared handle / SQL text, and refreshed builds are written back.
+    ///
+    /// Single-table selects never touch the cell — their access-path choice
+    /// is allocation-free, so caching would only add a lock to the
+    /// point-select hot path. A slot whose generation falls behind
+    /// [`Database::plan_gen`] (DDL, `ANALYZE`, planner-knob change) is
+    /// replanned from scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn run_select_planned(
+        &self,
+        catalog: &Catalog,
+        sel: &SelectStmt,
+        params: &[Value],
+        snapshot: &Snapshot,
+        local: &mut OpStats,
+        governor: &mut Governor,
+        plan: Option<&PlanCell>,
+    ) -> Result<QueryResult> {
+        let base = lower_name(&sel.table);
+        if obs::is_system_table(&base) && !catalog.contains_key(base.as_ref()) {
+            let virt = self.system_catalog(catalog, sel)?;
+            return execute_select_with(&virt, sel, params, snapshot, local, governor);
+        }
+        let no_reorder = self.planner_no_reorder.load(Ordering::Relaxed);
+        let force_scan = self.planner_force_scan.load(Ordering::Relaxed);
+        let cell = match plan {
+            Some(cell) if !sel.joins.is_empty() => cell,
+            _ => {
+                let opts = ExecOptions {
+                    no_reorder,
+                    force_scan,
+                    ..Default::default()
+                };
+                return execute_select_opts(catalog, sel, params, snapshot, local, governor, opts);
+            }
+        };
+        let gen = self.plan_gen.load(Ordering::Acquire);
+        let (shared, mut builds) = {
+            let mut slot = cell.lock();
+            if slot.gen != gen || slot.plan.is_none() {
+                let planned = plan_select(catalog, sel, !no_reorder)?;
+                local.plans_built += 1;
+                let steps = planned.steps.len();
+                *slot = PlanSlot {
+                    gen,
+                    plan: Some(Arc::new(planned)),
+                    builds: vec![None; steps],
+                };
+            } else {
+                local.plan_cache_hits += 1;
+            }
+            let plan = Arc::clone(slot.plan.as_ref().expect("slot was just filled"));
+            // Clone the build slots (refcount bumps) so the cell is not
+            // locked during execution; refreshed builds are merged back
+            // below unless the slot was invalidated meanwhile.
+            (plan, slot.builds.clone())
+        };
+        let opts = ExecOptions {
+            plan: Some(&shared),
+            builds: Some(&mut builds),
+            no_reorder,
+            force_scan,
+            ..Default::default()
+        };
+        let result = execute_select_opts(catalog, sel, params, snapshot, local, governor, opts)?;
+        let mut slot = cell.lock();
+        if slot.gen == gen && slot.plan.as_ref().is_some_and(|p| Arc::ptr_eq(p, &shared)) {
+            slot.builds = builds;
+        }
+        Ok(result)
+    }
+
+    /// Runs `EXPLAIN [ANALYZE] <select>`: plans the SELECT with the live
+    /// planner knobs and renders the plan tree as ordinary result rows.
+    /// With `analyze` the query is executed first and each operator is
+    /// annotated with its actual row count and wall time.
+    #[allow(clippy::too_many_arguments)]
+    fn run_explain(
+        &self,
+        catalog: &Catalog,
+        analyze: bool,
+        sel: &SelectStmt,
+        params: &[Value],
+        snapshot: &Snapshot,
+        local: &mut OpStats,
+        governor: &mut Governor,
+    ) -> Result<QueryResult> {
+        let base = lower_name(&sel.table);
+        let virt;
+        let cat = if obs::is_system_table(&base) && !catalog.contains_key(base.as_ref()) {
+            virt = self.system_catalog(catalog, sel)?;
+            &virt
+        } else {
+            catalog
+        };
+        let no_reorder = self.planner_no_reorder.load(Ordering::Relaxed);
+        let planned = plan_select(cat, sel, !no_reorder)?;
+        local.plans_built += 1;
+        if !analyze {
+            return Ok(plan::explain_result(&planned, sel, None));
+        }
+        let mut prof = PlanProfile::default();
+        let opts = ExecOptions {
+            plan: Some(&planned),
+            profile: Some(&mut prof),
+            no_reorder,
+            force_scan: self.planner_force_scan.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        execute_select_opts(cat, sel, params, snapshot, local, governor, opts)?;
+        Ok(plan::explain_result(&planned, sel, Some(&prof)))
+    }
+
+    /// Runs `ANALYZE [table]`: scans the named table (or every table) at the
+    /// latest committed state and installs fresh planner statistics on the
+    /// catalog entry. Statistics are planner advice, not data: they are
+    /// never WAL-logged (a reopened database starts unanalyzed), survive
+    /// transaction rollback, and go stale silently until the next `ANALYZE`.
+    /// Returns the number of tables analyzed.
+    fn run_analyze(&self, target: Option<&str>, local: &mut OpStats) -> Result<usize> {
+        let mut catalog = self.catalog.write();
+        let names: Vec<String> = match target {
+            Some(t) => {
+                let name = lower_name(t).into_owned();
+                if !catalog.contains_key(&name) {
+                    return Err(Error::not_found(format!("table {t}")));
+                }
+                vec![name]
+            }
+            None => catalog.keys().cloned().collect(),
+        };
+        for name in &names {
+            let table = catalog.get_mut(name).expect("existence checked above");
+            let fresh = plan::analyze_table(table);
+            table.set_table_stats(fresh);
+            local.tables_analyzed += 1;
+        }
+        drop(catalog);
+        // Cached plans were chosen against the old statistics; force a
+        // replan on next execution.
+        self.plan_gen.fetch_add(1, Ordering::Release);
+        Ok(names.len())
+    }
+
+    /// Collects planner statistics for `table`, or for every table when
+    /// `None` — the programmatic form of SQL `ANALYZE [table]`. Returns the
+    /// number of tables analyzed.
+    pub fn analyze(&self, table: Option<&str>) -> Result<usize> {
+        let stmt = Statement::Analyze(table.map(str::to_string));
+        Ok(self.execute_stmt(&stmt)?.affected())
+    }
+
+    /// Bench/test knob: enables or disables cost-based join reordering
+    /// (enabled by default). Disabling keeps joins in syntactic order —
+    /// the pre-planner behaviour — for baseline comparisons. Invalidates
+    /// cached plans.
+    pub fn set_join_reorder(&self, enabled: bool) {
+        self.planner_no_reorder.store(!enabled, Ordering::Relaxed);
+        self.plan_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Bench/test knob: forces full scans of the base table, ignoring the
+    /// cost-based access-path choice. Invalidates cached plans.
+    pub fn set_force_scan(&self, force: bool) {
+        self.planner_force_scan.store(force, Ordering::Relaxed);
+        self.plan_gen.fetch_add(1, Ordering::Release);
     }
 
     /// Synthesizes the system tables a SELECT references into a throwaway
     /// catalog. System tables join only with each other — a join against a
     /// real table from a system-table SELECT is rejected, since the real
     /// catalog is not copied into the virtual one.
-    fn system_catalog(&self, sel: &SelectStmt) -> Result<Catalog> {
+    fn system_catalog(&self, catalog: &Catalog, sel: &SelectStmt) -> Result<Catalog> {
         let mut virt = Catalog::new();
-        self.add_system_table(&mut virt, lower_name(&sel.table).as_ref())?;
+        self.add_system_table(catalog, &mut virt, lower_name(&sel.table).as_ref())?;
         for join in &sel.joins {
-            self.add_system_table(&mut virt, lower_name(&join.table).as_ref())?;
+            self.add_system_table(catalog, &mut virt, lower_name(&join.table).as_ref())?;
         }
         Ok(virt)
     }
 
-    /// Builds one named system table from the live observability state.
-    fn add_system_table(&self, virt: &mut Catalog, name: &str) -> Result<()> {
+    /// Builds one named system table from the live observability state (or,
+    /// for `rel_table_stats`, from the real catalog's planner statistics).
+    fn add_system_table(&self, catalog: &Catalog, virt: &mut Catalog, name: &str) -> Result<()> {
         if virt.contains_key(name) {
             return Ok(());
         }
@@ -1289,6 +1560,9 @@ impl Database {
             "rel_statements" => systables::statements_table(self.statement_profiles()),
             "rel_slow_queries" => systables::slow_queries_table(self.obs.slow_log.entries()),
             "rel_events" => systables::events_table(self.obs.events.entries()),
+            "rel_table_stats" => {
+                systables::table_stats_table(catalog.iter().map(|(n, t)| (n.as_str(), t)))
+            }
             other => {
                 return Err(Error::type_err(format!(
                     "system tables join only with other system tables, not {other}"
@@ -1317,7 +1591,7 @@ impl Database {
         params: &[Value],
         gov: &Governance,
     ) -> Result<ExecResult> {
-        self.execute_stmt_in_tracked(txn, stmt, params, gov, None)
+        self.execute_stmt_in_tracked(txn, stmt, params, gov, None, None)
     }
 
     /// The in-transaction dispatcher; see [`Database::execute_stmt_tracked`]
@@ -1329,6 +1603,7 @@ impl Database {
         params: &[Value],
         gov: &Governance,
         profile: Option<&Arc<StmtProfile>>,
+        plan: Option<&PlanCell>,
     ) -> Result<ExecResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::type_err(
@@ -1349,8 +1624,15 @@ impl Database {
                     statements_executed: 1,
                     ..Default::default()
                 };
-                let result =
-                    self.run_select(&catalog, sel, params, &snapshot, &mut local, &mut governor);
+                let result = self.run_select_planned(
+                    &catalog,
+                    sel,
+                    params,
+                    &snapshot,
+                    &mut local,
+                    &mut governor,
+                    plan,
+                );
                 drop(catalog);
                 if let Err(e) = &result {
                     Self::attribute_failure(&mut local, e);
@@ -1358,6 +1640,53 @@ impl Database {
                 let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
                 self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
                 Ok(ExecResult::Query(result?))
+            }
+            Statement::Explain { analyze, select } => {
+                let sw = Stopwatch::start();
+                let mut governor = Governor::arm(gov);
+                let catalog = self.catalog.read();
+                let snapshot = {
+                    let mut ctl = self.ctl.lock();
+                    ctl.txns.touch(txn);
+                    ctl.txns.snapshot_of(txn)?
+                };
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result = self.run_explain(
+                    &catalog,
+                    *analyze,
+                    select,
+                    params,
+                    &snapshot,
+                    &mut local,
+                    &mut governor,
+                );
+                drop(catalog);
+                if let Err(e) = &result {
+                    Self::attribute_failure(&mut local, e);
+                }
+                let rows = result.as_ref().map_or(0, |q| q.rows.len() as u64);
+                self.finish_statement(StmtKind::Select, sw, rows, profile, &mut local);
+                Ok(ExecResult::Query(result?))
+            }
+            Statement::Analyze(target) => {
+                // ANALYZE refreshes shared planner statistics in place; it is
+                // deliberately non-transactional (never WAL-logged, not
+                // undone by rollback) and ignores the transaction's snapshot,
+                // sampling the latest committed state like its autocommit
+                // form.
+                let sw = Stopwatch::start();
+                self.ctl.lock().txns.touch(txn);
+                let mut local = OpStats {
+                    statements_executed: 1,
+                    ..Default::default()
+                };
+                let result = self.run_analyze(target.as_deref(), &mut local);
+                let rows = result.as_ref().map_or(0, |n| *n as u64);
+                self.finish_statement(StmtKind::Ddl, sw, rows, profile, &mut local);
+                result.map(ExecResult::Affected)
             }
             _ => {
                 let sw = Stopwatch::start();
@@ -1418,6 +1747,15 @@ impl Database {
         drop(catalog);
         let result = result?;
         flushed?;
+        if matches!(
+            stmt,
+            Statement::CreateTable(_) | Statement::CreateIndex { .. } | Statement::DropTable(_)
+        ) {
+            // Schema changed under cached plans; force a replan on next
+            // execution. (A later rollback of this DDL leaves the bump in
+            // place — harmlessly conservative.)
+            self.plan_gen.fetch_add(1, Ordering::Release);
+        }
         Ok(result)
     }
 
@@ -1446,7 +1784,9 @@ impl Database {
             Statement::Begin
             | Statement::Commit
             | Statement::Rollback
-            | Statement::Select(_) => None,
+            | Statement::Select(_)
+            | Statement::Analyze(_)
+            | Statement::Explain { .. } => None,
         }
     }
 
@@ -1934,7 +2274,12 @@ impl Database {
             Statement::Delete(del) => {
                 Self::run_delete(catalog, ctl, txn, del, params, stats, log, gov)
             }
-            Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Select(_) => {
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Select(_)
+            | Statement::Analyze(_)
+            | Statement::Explain { .. } => {
                 unreachable!("handled by execute_stmt_in_params")
             }
         }

@@ -1,18 +1,32 @@
-//! SELECT execution: access-path selection, joins, filtering, sorting,
-//! projection; plus the shared row-matching helper used by UPDATE/DELETE.
+//! SELECT execution: plan-driven access paths and joins, subquery
+//! rewriting, filtering, sorting, projection; plus the shared row-matching
+//! helper used by UPDATE/DELETE.
+//!
+//! Execution is driven by the planner in [`crate::plan`]: joins run in the
+//! planned order (hash join for single-equality `ON` predicates, nested
+//! loop otherwise) with single-table WHERE conjuncts pushed down to each
+//! input, and the full filter re-applied afterwards as a correctness
+//! backstop. Subqueries in WHERE are executed first and spliced back in as
+//! literals / `IN` lists, so the rest of the pipeline never sees them.
 //!
 //! The single-table path (the vast majority of service-call queries) is
 //! allocation-light: access paths stream borrowed [`StoredRowRef`]s out of
 //! the heap, predicates are evaluated against the borrow, and only values
 //! that survive projection are cloned. Output column names are `Arc<str>`s
 //! interned from the schema, so a point select allocates the result rows and
-//! nothing else.
+//! nothing else — cost-based path choice borrows candidate columns from the
+//! schema and allocates nothing.
 
 use super::aggregate::execute_aggregate;
 use super::QueryResult;
 use crate::error::{Error, Result};
 use crate::govern::{approx_row_bytes, Governor};
 use crate::mvcc::Snapshot;
+use crate::obs::Stopwatch;
+use crate::plan::{
+    choose_access_ref, plan_select, AccessPath, AccessPlan, CachedBuild, JoinStrategy, PathChoice,
+    PlanProfile, SelectPlan, StepActuals,
+};
 use crate::predicate::Expr;
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{SelectItem, SelectStmt, SortOrder};
@@ -131,6 +145,14 @@ fn resolve_expr<'a>(expr: &'a Expr, schema: &Schema) -> Result<Cow<'a, Expr>> {
             Cow::Borrowed(_) => Cow::Borrowed(expr),
             Cow::Owned(inner) => Cow::Owned(Expr::InList(Box::new(inner), list.clone())),
         },
+        // Subqueries are rewritten into literals / IN lists before the
+        // WHERE clause is resolved; reaching one here means it sits in a
+        // position the engine does not support (projection, SET, ...).
+        Expr::InSubquery(..) | Expr::ScalarSubquery(_) => {
+            return Err(Error::type_err(
+                "subqueries are only supported in the WHERE clause of a SELECT",
+            ))
+        }
     })
 }
 
@@ -149,45 +171,172 @@ fn qualified_schema(table: &Table) -> Schema {
     Schema::new(table.schema.name.clone(), columns)
 }
 
-/// Chooses the cheapest access path into the base table that still yields a
-/// superset of the matching rows (the caller re-applies the filter):
-///
-/// 1. an index **point lookup** when the filter pins an indexed column to a
-///    literal with equality in a top-level conjunction,
-/// 2. an index **range scan** when the filter bounds an indexed column with
-///    `<`/`<=`/`>`/`>=`/`BETWEEN`,
-/// 3. a full table scan otherwise.
-///
-/// Candidate columns are iterated by reference and the returned [`RowIter`]
-/// streams borrowed rows — planning and row access allocate nothing beyond
-/// the id list of an index probe.
+/// Streams the base table through the cost-chosen access path (see
+/// [`choose_access_ref`]): the most selective of the point lookups and
+/// range scans the filter permits, or a full scan. Every path yields a
+/// *superset* of the matching rows — the caller re-applies the filter — and
+/// path choice borrows candidate columns from the schema, so planning and
+/// row access allocate nothing beyond the id list of an index probe.
+/// `force_scan` pins a full scan (bench baseline knob).
 fn access_base_table<'a>(
     table: &'a Table,
     filter: Option<&Expr>,
     params: &[Value],
     vis: &'a Snapshot,
     stats: &mut OpStats,
+    force_scan: bool,
 ) -> RowIter<'a> {
-    if let Some(filter) = filter {
+    if let (false, Some(filter)) = (force_scan, filter) {
         let name = &*table.schema.name;
-        // Equality point lookups first: tightest result set.
-        for col in table.indexed_columns() {
-            if let Some(key) = filter.equality_lookup_on(name, col, params) {
-                if let Some(rows) = table.lookup_indexed(col, &key, vis, stats) {
-                    return rows;
+        match choose_access_ref(table, Some(filter)).0 {
+            PathChoice::Point(col, _) => {
+                if let Some(key) = filter.equality_lookup_on(name, col, params) {
+                    if let Some(rows) = table.lookup_indexed(col, &key, vis, stats) {
+                        return rows;
+                    }
                 }
             }
-        }
-        // Then bounded range scans over an ordered index.
-        for col in table.indexed_columns() {
-            if let Some((lo, hi)) = filter.range_bounds_on(name, col, params) {
-                if let Some(rows) = table.lookup_range(col, lo.as_ref(), hi.as_ref(), vis, stats) {
-                    return rows;
+            PathChoice::Range(col) => {
+                if let Some((lo, hi)) = filter.range_bounds_on(name, col, params) {
+                    if let Some(rows) = table.lookup_range(col, lo.as_ref(), hi.as_ref(), vis, stats)
+                    {
+                        return rows;
+                    }
                 }
             }
+            PathChoice::Scan => {}
         }
     }
     table.scan(vis, stats)
+}
+
+/// Streams one join input through the access path its plan chose,
+/// extracting point/range keys from the pushed-down predicate at execution
+/// time (plans for prepared statements are built before `?` parameters are
+/// bound). Falls back to a scan when the key cannot be extracted — the
+/// pushdown predicate is still applied by the caller, so this is only a
+/// cost difference.
+fn access_planned<'a>(
+    table: &'a Table,
+    access: &AccessPlan,
+    pred: Option<&Expr>,
+    params: &[Value],
+    vis: &'a Snapshot,
+    stats: &mut OpStats,
+) -> RowIter<'a> {
+    let name = &*table.schema.name;
+    match (&access.path, pred) {
+        (AccessPath::Point { column, .. }, Some(pred)) => {
+            if let Some(key) = pred.equality_lookup_on(name, column, params) {
+                if let Some(rows) = table.lookup_indexed(column, &key, vis, stats) {
+                    return rows;
+                }
+            }
+            table.scan(vis, stats)
+        }
+        (AccessPath::Range { column }, Some(pred)) => {
+            if let Some((lo, hi)) = pred.range_bounds_on(name, column, params) {
+                if let Some(rows) = table.lookup_range(column, lo.as_ref(), hi.as_ref(), vis, stats)
+                {
+                    return rows;
+                }
+            }
+            table.scan(vis, stats)
+        }
+        _ => table.scan(vis, stats),
+    }
+}
+
+/// Executes every subquery in `expr` against the caller's snapshot and
+/// splices the result back in: a scalar subquery becomes a literal (NULL
+/// when it returns no row; more than one row is an error), `IN (SELECT …)`
+/// becomes an `IN` value list. The list keeps NULLs, so SQL's three-valued
+/// `IN` semantics fall out of [`Expr::InList`] evaluation: `x IN (…)` is
+/// NULL — not FALSE — when nothing matched but a NULL could have.
+///
+/// Subqueries are executed exactly once per statement execution (they are
+/// uncorrelated: a reference to an outer column surfaces as a
+/// column-not-found error from the inner query), which makes an
+/// `IN (SELECT …)` a degenerate semi-join: the inner side materializes
+/// once, then every outer row probes the list.
+fn rewrite_subqueries(
+    catalog: &Catalog,
+    expr: &Expr,
+    params: &[Value],
+    vis: &Snapshot,
+    stats: &mut OpStats,
+    gov: &mut Governor,
+) -> Result<Expr> {
+    fn subquery_values(
+        catalog: &Catalog,
+        sel: &SelectStmt,
+        params: &[Value],
+        vis: &Snapshot,
+        stats: &mut OpStats,
+        gov: &mut Governor,
+    ) -> Result<Vec<Value>> {
+        stats.subqueries_executed += 1;
+        let r = execute_select_opts(catalog, sel, params, vis, stats, gov, ExecOptions::default())?;
+        if r.columns.len() != 1 {
+            return Err(Error::type_err(format!(
+                "subquery must return exactly one column, got {}",
+                r.columns.len()
+            )));
+        }
+        Ok(r.rows
+            .into_iter()
+            .map(|mut row| row.values.pop().expect("one column"))
+            .collect())
+    }
+    let rw = |e: &Expr, stats: &mut OpStats, gov: &mut Governor| -> Result<Box<Expr>> {
+        Ok(Box::new(rewrite_subqueries(catalog, e, params, vis, stats, gov)?))
+    };
+    Ok(match expr {
+        Expr::ScalarSubquery(sel) => {
+            let mut vals = subquery_values(catalog, sel, params, vis, stats, gov)?;
+            if vals.len() > 1 {
+                return Err(Error::type_err(format!(
+                    "scalar subquery returned {} rows, expected at most one",
+                    vals.len()
+                )));
+            }
+            Expr::Literal(vals.pop().unwrap_or(Value::Null))
+        }
+        Expr::InSubquery(e, sel) => {
+            let lhs = rw(e, stats, gov)?;
+            let vals = subquery_values(catalog, sel, params, vis, stats, gov)?;
+            Expr::InList(lhs, vals)
+        }
+        Expr::Cmp(op, l, r) => Expr::Cmp(*op, rw(l, stats, gov)?, rw(r, stats, gov)?),
+        Expr::Arith(op, l, r) => Expr::Arith(*op, rw(l, stats, gov)?, rw(r, stats, gov)?),
+        Expr::And(l, r) => Expr::And(rw(l, stats, gov)?, rw(r, stats, gov)?),
+        Expr::Or(l, r) => Expr::Or(rw(l, stats, gov)?, rw(r, stats, gov)?),
+        Expr::Not(e) => Expr::Not(rw(e, stats, gov)?),
+        Expr::IsNull(e) => Expr::IsNull(rw(e, stats, gov)?),
+        Expr::IsNotNull(e) => Expr::IsNotNull(rw(e, stats, gov)?),
+        Expr::InList(e, list) => Expr::InList(rw(e, stats, gov)?, list.clone()),
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) => expr.clone(),
+    })
+}
+
+/// Planner/executor knobs threaded from the database layer. `Default` is
+/// the standalone behaviour: plan per execution, reorder joins, no build
+/// cache, no profiling.
+#[derive(Default)]
+pub struct ExecOptions<'a> {
+    /// Execute this pre-built plan instead of planning now (plan cache,
+    /// EXPLAIN ANALYZE).
+    pub plan: Option<&'a SelectPlan>,
+    /// Cached hash-join build sides, parallel to the plan's steps: valid
+    /// slots are reused, rebuilt ones are written back.
+    pub builds: Option<&'a mut Vec<Option<Arc<CachedBuild>>>>,
+    /// Collect per-operator actuals (EXPLAIN ANALYZE).
+    pub profile: Option<&'a mut PlanProfile>,
+    /// Keep joins in syntactic order (oracle / bench baseline). Only
+    /// consulted when `plan` is `None`.
+    pub no_reorder: bool,
+    /// Force a full scan of the base table (bench baseline).
+    pub force_scan: bool,
 }
 
 /// Executes a SELECT statement against the catalog with no bound parameters,
@@ -319,26 +468,96 @@ pub fn execute_select_with(
     stats: &mut OpStats,
     gov: &mut Governor,
 ) -> Result<QueryResult> {
-    let base = get_table(catalog, &stmt.table)?;
-    if stmt.joins.is_empty() {
-        execute_single_table(base, stmt, params, vis, stats, gov)
-    } else {
-        execute_joined(catalog, base, stmt, params, vis, stats, gov)
-    }
+    execute_select_opts(catalog, stmt, params, vis, stats, gov, ExecOptions::default())
 }
 
-/// The no-join fast path: streams borrowed rows from the access path through
-/// the filter, keeping references until projection decides what to clone.
-fn execute_single_table(
-    table: &Table,
+/// As [`execute_select_with`], with explicit planner/executor knobs — the
+/// entry point the database layer uses for cached plans, EXPLAIN ANALYZE
+/// profiling, and bench baselines.
+pub fn execute_select_opts(
+    catalog: &Catalog,
     stmt: &SelectStmt,
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
     gov: &mut Governor,
+    opts: ExecOptions<'_>,
+) -> Result<QueryResult> {
+    let base = get_table(catalog, &stmt.table)?;
+    // Execute subqueries first, against the same snapshot; downstream the
+    // filter is plain literals/lists. The `contains_subquery` probe keeps
+    // the common case borrow-only.
+    let filter: Option<Cow<'_, Expr>> = match &stmt.filter {
+        Some(f) if f.contains_subquery() => Some(Cow::Owned(rewrite_subqueries(
+            catalog, f, params, vis, stats, gov,
+        )?)),
+        Some(f) => Some(Cow::Borrowed(f)),
+        None => None,
+    };
+    if stmt.joins.is_empty() {
+        execute_single_table(
+            base,
+            stmt,
+            filter.as_deref(),
+            params,
+            vis,
+            stats,
+            gov,
+            opts.force_scan,
+            opts.profile,
+        )
+    } else {
+        let planned;
+        let plan = match opts.plan {
+            Some(p) => p,
+            None => {
+                planned = plan_select(catalog, stmt, !opts.no_reorder)?;
+                stats.plans_built += 1;
+                &planned
+            }
+        };
+        execute_joined(
+            catalog,
+            base,
+            stmt,
+            filter.as_deref(),
+            plan,
+            params,
+            vis,
+            stats,
+            gov,
+            opts.builds,
+            opts.profile,
+        )
+    }
+}
+
+/// Records the output-stage actuals for EXPLAIN ANALYZE.
+fn note_output(profile: &mut Option<&mut PlanProfile>, sw: &Stopwatch, rows: usize) {
+    if let Some(p) = profile.as_deref_mut() {
+        p.output = StepActuals {
+            rows: rows as u64,
+            nanos: sw.elapsed_nanos(),
+        };
+    }
+}
+
+/// The no-join fast path: streams borrowed rows from the access path through
+/// the filter, keeping references until projection decides what to clone.
+#[allow(clippy::too_many_arguments)]
+fn execute_single_table(
+    table: &Table,
+    stmt: &SelectStmt,
+    filter: Option<&Expr>,
+    params: &[Value],
+    vis: &Snapshot,
+    stats: &mut OpStats,
+    gov: &mut Governor,
+    force_scan: bool,
+    mut profile: Option<&mut PlanProfile>,
 ) -> Result<QueryResult> {
     let schema = &table.schema;
-    let filter = match &stmt.filter {
+    let filter = match filter {
         Some(f) => Some(resolve_expr(f, schema)?),
         None => None,
     };
@@ -347,16 +566,18 @@ fn execute_single_table(
     // survivors are cloned straight off the access path — no borrowed
     // staging vector, and the column header is the table's shared interned
     // list. This is the shape of the service-call point select, so it stays
-    // allocation-minimal: the result rows and nothing else.
+    // allocation-minimal: the result rows and nothing else. (EXPLAIN
+    // ANALYZE takes the staged path below so operators can be timed.)
     if matches!(stmt.items.as_slice(), [SelectItem::Wildcard])
         && stmt.order_by.is_empty()
         && !has_aggregates(stmt)
+        && profile.is_none()
     {
         let limit = stmt.limit.unwrap_or(usize::MAX);
         let mut rows: Vec<Row> = Vec::new();
         if limit > 0 {
             for StoredRowRef { row, .. } in
-                access_base_table(table, filter.as_deref(), params, vis, stats)
+                access_base_table(table, filter.as_deref(), params, vis, stats, force_scan)
             {
                 gov.tick()?;
                 let keep = match &filter {
@@ -380,9 +601,14 @@ fn execute_single_table(
 
     // Access path + predicate over borrowed rows; survivors stay borrowed.
     // Every scanned row is a cancellation point.
+    let sw = Stopwatch::start();
+    let mut yielded = 0u64;
     let mut matched: Vec<&Row> = Vec::new();
-    for StoredRowRef { row, .. } in access_base_table(table, filter.as_deref(), params, vis, stats) {
+    for StoredRowRef { row, .. } in
+        access_base_table(table, filter.as_deref(), params, vis, stats, force_scan)
+    {
         gov.tick()?;
+        yielded += 1;
         let keep = match &filter {
             Some(f) => f.matches_with(schema, row, params)?,
             None => true,
@@ -391,10 +617,21 @@ fn execute_single_table(
             matched.push(row);
         }
     }
+    if let Some(p) = profile.as_deref_mut() {
+        let nanos = sw.elapsed_nanos();
+        p.base = StepActuals { rows: yielded, nanos };
+        p.filter = StepActuals {
+            rows: matched.len() as u64,
+            nanos: 0,
+        };
+    }
 
+    let sw = Stopwatch::start();
     // Aggregation short-circuits the rest of the pipeline.
     if has_aggregates(stmt) {
-        return execute_aggregate(stmt, schema, matched.iter().copied(), stats, gov);
+        let result = execute_aggregate(stmt, schema, matched.iter().copied(), stats, gov)?;
+        note_output(&mut profile, &sw, result.len());
+        return Ok(result);
     }
 
     if !stmt.order_by.is_empty() {
@@ -414,76 +651,241 @@ fn execute_single_table(
         params,
         gov,
     )?;
+    note_output(&mut profile, &sw, rows.len());
     Ok(QueryResult {
         columns: columns.into(),
         rows,
     })
 }
 
-/// The join path: inner joins applied left to right with a hash join on the
-/// join key. Joined rows are owned (they are concatenations), but build sides
-/// are borrowed straight from the tables.
+/// The join path, driven by the plan: joins run in planned order — hash
+/// join on the single join equality, nested loop evaluating the full `ON`
+/// otherwise — with single-table WHERE conjuncts pushed down to each input
+/// and the full filter re-applied afterwards. Joined rows are owned
+/// concatenations; build sides are owned maps so a prepared statement can
+/// reuse them across executions. Every build, probe, and emitted row is a
+/// governance cancellation/budget point, so a pathological cross-product
+/// hits its deadline or budget *while* materializing, not after.
+#[allow(clippy::too_many_arguments)]
 fn execute_joined(
     catalog: &Catalog,
     base: &Table,
     stmt: &SelectStmt,
+    filter: Option<&Expr>,
+    plan: &SelectPlan,
     params: &[Value],
     vis: &Snapshot,
     stats: &mut OpStats,
     gov: &mut Governor,
+    mut builds: Option<&mut Vec<Option<Arc<CachedBuild>>>>,
+    mut profile: Option<&mut PlanProfile>,
 ) -> Result<QueryResult> {
     // Joins use an owned schema with qualified names to avoid collisions.
     let mut schema = qualified_schema(base);
+
+    // Base access: cost-chosen path plus pushed-down single-table conjuncts.
+    let sw = Stopwatch::start();
+    let base_pred = match &plan.base_pushdown {
+        Some(pd) => Some(resolve_expr(pd, &base.schema)?),
+        None => None,
+    };
     let mut rows: Vec<Row> = Vec::new();
-    for stored in base.scan(vis, stats) {
+    for stored in access_planned(base, &plan.base, plan.base_pushdown.as_ref(), params, vis, stats) {
         gov.tick()?;
-        rows.push(stored.row.clone());
+        let keep = match &base_pred {
+            Some(f) => f.matches_with(&base.schema, stored.row, params)?,
+            None => true,
+        };
+        if keep {
+            gov.charge_row(|| approx_row_bytes(stored.row))?;
+            rows.push(stored.row.clone());
+        }
+    }
+    if let Some(p) = profile.as_deref_mut() {
+        p.base = StepActuals {
+            rows: rows.len() as u64,
+            nanos: sw.elapsed_nanos(),
+        };
     }
 
-    for join in &stmt.joins {
-        let right = get_table(catalog, &join.table)?;
+    for (si, step) in plan.steps.iter().enumerate() {
+        let sw = Stopwatch::start();
+        let right = get_table(catalog, &step.table)?;
         let right_schema = qualified_schema(right);
+        let mut next_cols = schema.columns.clone();
+        next_cols.extend(right_schema.columns.iter().cloned());
+        let next_schema = Schema::new(schema.name.clone(), next_cols);
+        let right_pred = match &step.pushdown {
+            Some(pd) => Some(resolve_expr(pd, &right.schema)?),
+            None => None,
+        };
 
-        let left_col = resolve_column(&schema, &join.left_column)?;
-        let left_idx = schema.column_index(&left_col)?;
-        let right_col = resolve_column(&right_schema, &join.right_column)?;
-        let right_idx = right_schema.column_index(&right_col)?;
+        match &step.strategy {
+            JoinStrategy::Hash { probe, build } => {
+                let probe_col = resolve_column(&schema, probe)?;
+                let probe_idx = schema.column_index(&probe_col)?;
+                let build_col = resolve_column(&right_schema, build)?;
+                let build_idx = right_schema.column_index(&build_col)?;
 
-        // Build hash table over the right side, borrowing its heap rows.
-        let mut hash: HashMap<&Value, Vec<&Row>> = HashMap::new();
-        for stored in right.scan(vis, stats) {
-            gov.tick()?;
-            let key = stored.row.get(right_idx);
-            if !key.is_null() {
-                hash.entry(key).or_default().push(stored.row);
-            }
-        }
-
-        let mut joined = Vec::new();
-        for left_row in &rows {
-            gov.tick()?;
-            let key = left_row.get(left_idx);
-            if key.is_null() {
-                continue;
-            }
-            if let Some(matches) = hash.get(key) {
-                for right_row in matches {
-                    gov.tick()?;
-                    joined.push(left_row.concat(right_row));
-                    stats.rows_read += 1;
+                // Build side: reuse the prepared handle's cached build when
+                // it still describes exactly the rows this snapshot sees,
+                // else build an owned map (and cache it when the pushdown
+                // does not depend on `?` parameters).
+                let cached: Option<Arc<CachedBuild>> = builds
+                    .as_ref()
+                    .and_then(|b| b.get(si).cloned().flatten())
+                    .filter(|c| step.cacheable && c.valid_for(right, vis));
+                let reused = cached.is_some();
+                let built: Arc<CachedBuild> = match cached {
+                    Some(c) => c,
+                    None => {
+                        let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+                        for stored in
+                            access_planned(right, &step.access, step.pushdown.as_ref(), params, vis, stats)
+                        {
+                            gov.tick()?;
+                            if let Some(f) = &right_pred {
+                                if !f.matches_with(&right.schema, stored.row, params)? {
+                                    continue;
+                                }
+                            }
+                            let key = stored.row.get(build_idx);
+                            if key.is_null() {
+                                continue;
+                            }
+                            gov.charge_row(|| approx_row_bytes(stored.row))?;
+                            map.entry(key.clone()).or_default().push(stored.row.clone());
+                        }
+                        let built = Arc::new(CachedBuild {
+                            table_version: right.version(),
+                            snapshot: vis.clone(),
+                            map,
+                        });
+                        if step.cacheable {
+                            if let Some(b) = builds.as_deref_mut() {
+                                if let Some(slot) = b.get_mut(si) {
+                                    *slot = Some(Arc::clone(&built));
+                                }
+                            }
+                        }
+                        built
+                    }
+                };
+                if reused {
+                    stats.build_reuse_hits += 1;
                 }
+
+                let mut joined = Vec::new();
+                for left_row in &rows {
+                    gov.tick()?;
+                    let key = left_row.get(probe_idx);
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = built.map.get(key) {
+                        for right_row in matches {
+                            gov.tick()?;
+                            let out = left_row.concat(right_row);
+                            gov.charge_row(|| approx_row_bytes(&out))?;
+                            stats.rows_read += 1;
+                            joined.push(out);
+                        }
+                    }
+                }
+                rows = joined;
+            }
+            JoinStrategy::NestedLoop => {
+                // Materialize the (pushdown-filtered) right side once, then
+                // evaluate the ON predicate over every row pair.
+                let mut right_rows: Vec<Row> = Vec::new();
+                for stored in
+                    access_planned(right, &step.access, step.pushdown.as_ref(), params, vis, stats)
+                {
+                    gov.tick()?;
+                    if let Some(f) = &right_pred {
+                        if !f.matches_with(&right.schema, stored.row, params)? {
+                            continue;
+                        }
+                    }
+                    gov.charge_row(|| approx_row_bytes(stored.row))?;
+                    right_rows.push(stored.row.clone());
+                }
+                let on = &stmt.joins[step.clause].on;
+                let on_rewritten: Cow<'_, Expr> = if on.contains_subquery() {
+                    Cow::Owned(rewrite_subqueries(catalog, on, params, vis, stats, gov)?)
+                } else {
+                    Cow::Borrowed(on)
+                };
+                let on_resolved = resolve_expr(&on_rewritten, &next_schema)?;
+                let mut joined = Vec::new();
+                for left_row in &rows {
+                    gov.tick()?;
+                    for right_row in &right_rows {
+                        gov.tick()?;
+                        let cand = left_row.concat(right_row);
+                        if on_resolved.matches_with(&next_schema, &cand, params)? {
+                            gov.charge_row(|| approx_row_bytes(&cand))?;
+                            stats.rows_read += 1;
+                            joined.push(cand);
+                        }
+                    }
+                }
+                rows = joined;
             }
         }
-        rows = joined;
 
-        // Extend the schema with the right-hand columns.
-        let mut columns = schema.columns.clone();
-        columns.extend(right_schema.columns);
-        schema = Schema::new(schema.name.clone(), columns);
+        schema = next_schema;
+        if let Some(p) = profile.as_deref_mut() {
+            while p.joins.len() <= si {
+                p.joins.push(StepActuals::default());
+            }
+            p.joins[si] = StepActuals {
+                rows: rows.len() as u64,
+                nanos: sw.elapsed_nanos(),
+            };
+        }
     }
 
-    // Filter (now that the full joined schema is known).
-    if let Some(filter) = &stmt.filter {
+    // When the planner reordered the joins, restore the syntactic column
+    // layout `[base][join 0][join 1]…` so `SELECT *` and positional
+    // consumers are oblivious to the execution order.
+    if plan.reordered {
+        let mut offsets = Vec::with_capacity(plan.steps.len());
+        let mut off = base.schema.arity();
+        for step in &plan.steps {
+            offsets.push(off);
+            off += get_table(catalog, &step.table)?.schema.arity();
+        }
+        let mut perm: Vec<usize> = (0..base.schema.arity()).collect();
+        for clause_idx in 0..plan.steps.len() {
+            let pos = plan
+                .steps
+                .iter()
+                .position(|s| s.clause == clause_idx)
+                .expect("every join clause is planned exactly once");
+            let arity = get_table(catalog, &plan.steps[pos].table)?.schema.arity();
+            perm.extend(offsets[pos]..offsets[pos] + arity);
+        }
+        let columns: Vec<Column> = perm.iter().map(|&i| schema.columns[i].clone()).collect();
+        schema = Schema::new(schema.name.clone(), columns);
+        rows = rows
+            .into_iter()
+            .map(|r| {
+                let mut vals = r.values;
+                Row::new(
+                    perm.iter()
+                        .map(|&i| std::mem::replace(&mut vals[i], Value::Null))
+                        .collect(),
+                )
+            })
+            .collect();
+    }
+
+    // Residual filter: the full (subquery-rewritten) predicate over the
+    // joined schema. Pushed-down conjuncts are re-checked here — harmless
+    // for a conjunction, and it keeps pushdown a pure optimization.
+    let sw = Stopwatch::start();
+    if let Some(filter) = filter {
         let filter = resolve_expr(filter, &schema)?;
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
@@ -494,9 +896,18 @@ fn execute_joined(
         }
         rows = kept;
     }
+    if let Some(p) = profile.as_deref_mut() {
+        p.filter = StepActuals {
+            rows: rows.len() as u64,
+            nanos: sw.elapsed_nanos(),
+        };
+    }
 
+    let sw = Stopwatch::start();
     if has_aggregates(stmt) {
-        return execute_aggregate(stmt, &schema, rows.iter(), stats, gov);
+        let result = execute_aggregate(stmt, &schema, rows.iter(), stats, gov)?;
+        note_output(&mut profile, &sw, result.len());
+        return Ok(result);
     }
 
     if !stmt.order_by.is_empty() {
@@ -514,6 +925,7 @@ fn execute_joined(
                 gov.charge_row(|| approx_row_bytes(row))?;
             }
         }
+        note_output(&mut profile, &sw, rows.len());
         return Ok(QueryResult {
             columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
             rows,
@@ -521,6 +933,7 @@ fn execute_joined(
     }
     let (columns, projections) = projection_spec(stmt, &schema)?;
     let out_rows = project_rows(&schema, rows.iter(), columns.len(), &projections, params, gov)?;
+    note_output(&mut profile, &sw, out_rows.len());
     Ok(QueryResult {
         columns: columns.into(),
         rows: out_rows,
@@ -563,7 +976,7 @@ pub fn matching_row_ids_with(
         None => None,
     };
     let mut out = Vec::new();
-    for stored in access_base_table(table, resolved.as_deref(), params, vis, stats) {
+    for stored in access_base_table(table, resolved.as_deref(), params, vis, stats, false) {
         gov.tick()?;
         let keep = match &resolved {
             Some(f) => f.matches_with(&table.schema, stored.row, params)?,

@@ -444,6 +444,62 @@
 //! # Ok::<(), relstore::Error>(())
 //! ```
 //!
+//! ## Query planning
+//!
+//! SELECT statements run through a cost-based planner ([`plan`]). `ANALYZE
+//! [table]` scans each table once and stores per-column statistics — row
+//! count, distinct-value and NULL counts, min/max — in the catalog; the
+//! planner uses them to pick each table's **access path** (primary-key
+//! point lookup, secondary-index lookup, range scan, or full scan) and to
+//! **reorder inner equi-joins** so the smallest estimated hash-build side
+//! is joined first. Non-equi `ON` predicates fall back to a nested-loop
+//! join. Without statistics the planner still runs on schema-derived
+//! defaults; stale statistics can only mis-cost a plan, never change its
+//! results. Scalar and `IN (SELECT …)` subqueries in `WHERE` execute once
+//! per statement and splice in as literals, with SQL's three-valued `IN`
+//! semantics preserved.
+//!
+//! `EXPLAIN <select>` renders the chosen plan as an ordinary result set —
+//! embedded, via every [`Session`], and over the wire alike — and
+//! `EXPLAIN ANALYZE` additionally executes the statement and annotates
+//! each operator with actual row counts and wall time. Prepared statements
+//! cache their plan (and reusable hash-join build sides) alongside the
+//! parsed AST; DDL, `ANALYZE`, and planner-knob changes invalidate cached
+//! plans, and a write to a build-side table invalidates its cached build.
+//! Collected statistics are queryable as the `rel_table_stats` virtual
+//! table.
+//!
+//! ```
+//! use relstore::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT, state TEXT)")?;
+//! db.execute("CREATE TABLE runs (run_id INT PRIMARY KEY, job_id INT)")?;
+//! for i in 0..50i64 {
+//!     db.execute(&format!("INSERT INTO jobs VALUES ({i}, 'astro', 'running')"))?;
+//!     db.execute(&format!("INSERT INTO runs VALUES ({i}, {i})"))?;
+//! }
+//! db.execute("ANALYZE")?; // refresh planner statistics for every table
+//!
+//! // A point predicate on the primary key plans as a point lookup.
+//! let plan = db.query("EXPLAIN SELECT * FROM jobs WHERE job_id = 7")?;
+//! assert_eq!(plan.column_names(), vec!["step", "operator", "detail", "est_rows"]);
+//! assert_eq!(plan.first_value("operator"), Some(&Value::Text("Access(jobs)".into())));
+//!
+//! // EXPLAIN ANALYZE executes too: actual rows ride along the estimates.
+//! let plan = db.query(
+//!     "EXPLAIN ANALYZE SELECT * FROM jobs JOIN runs ON jobs.job_id = runs.job_id",
+//! )?;
+//! assert!(plan.column_names().contains(&"actual_rows"));
+//!
+//! // The statistics themselves are a virtual table.
+//! let stats = db.query(
+//!     "SELECT row_count FROM rel_table_stats WHERE table_name = 'jobs' AND column_name = 'job_id'",
+//! )?;
+//! assert_eq!(stats.first_value("row_count"), Some(&Value::Int(50)));
+//! # Ok::<(), relstore::Error>(())
+//! ```
+//!
 //! ## Errors
 //!
 //! [`Error`] carries a coarse taxonomy ([`Error::class`]): **retryable**
@@ -474,6 +530,7 @@ pub mod index;
 pub mod io;
 pub mod mvcc;
 pub mod obs;
+pub mod plan;
 pub mod predicate;
 pub mod schema;
 pub mod session;
@@ -496,6 +553,7 @@ pub use obs::{
     Event, HistogramSnapshot, Observability, SlowQueryEntry, StmtKind, StmtProfileSnapshot,
 };
 pub use exec::QueryResult;
+pub use plan::{AccessPath, AccessPlan, ColumnStats, SelectPlan, TableStats};
 pub use predicate::{CmpOp, Expr};
 pub use schema::{Column, Schema};
 pub use session::{retry_with_backoff, retry_with_backoff_deadline, Session, Transaction};

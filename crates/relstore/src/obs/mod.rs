@@ -61,7 +61,8 @@ impl StmtKind {
     /// is never executed through the statement path, so it records nothing.
     pub fn of(stmt: &Statement) -> StmtKind {
         match stmt {
-            Statement::Select(_) => StmtKind::Select,
+            // EXPLAIN is a read: even EXPLAIN ANALYZE only executes a SELECT.
+            Statement::Select(_) | Statement::Explain { .. } => StmtKind::Select,
             Statement::Insert(_) => StmtKind::Insert,
             Statement::Update(_) => StmtKind::Update,
             Statement::Delete(_) => StmtKind::Delete,
@@ -254,7 +255,12 @@ pub fn is_system_table(lower_name: &str) -> bool {
     lower_name.starts_with("rel_")
         && matches!(
             lower_name,
-            "rel_stats" | "rel_histograms" | "rel_statements" | "rel_slow_queries" | "rel_events"
+            "rel_stats"
+                | "rel_histograms"
+                | "rel_statements"
+                | "rel_slow_queries"
+                | "rel_events"
+                | "rel_table_stats"
         )
 }
 

@@ -112,6 +112,54 @@ pub fn histograms_table(histograms: &Histograms) -> Table {
     )
 }
 
+/// `rel_table_stats(table_name TEXT, column_name TEXT, row_count INT,
+/// distinct_count INT, null_count INT, min_value TEXT, max_value TEXT,
+/// analyzed_version INT, stale INT)` — one row per column of every
+/// `ANALYZE`d table, in catalog order. `stale` is 1 when the table has been
+/// physically modified since collection. Unanalyzed tables have no rows
+/// here.
+pub fn table_stats_table<'a>(
+    tables: impl Iterator<Item = (&'a str, &'a Table)>,
+) -> Table {
+    let mut rows = Vec::new();
+    for (name, table) in tables {
+        let Some(stats) = table.table_stats() else { continue };
+        let stale = stats.version != table.version();
+        for cs in &stats.columns {
+            let render = |v: &Value| match v {
+                Value::Null => Value::Null,
+                other => Value::Text(Arc::from(other.to_string())),
+            };
+            rows.push(vec![
+                Value::Text(Arc::from(name)),
+                Value::Text(Arc::from(cs.name.as_str())),
+                int(stats.rows as u64),
+                int(cs.distinct as u64),
+                int(cs.null_count as u64),
+                render(&cs.min),
+                render(&cs.max),
+                int(stats.version),
+                Value::Int(i64::from(stale)),
+            ]);
+        }
+    }
+    make_table(
+        "rel_table_stats",
+        vec![
+            Column::not_null("table_name", DataType::Text),
+            Column::not_null("column_name", DataType::Text),
+            Column::not_null("row_count", DataType::Int),
+            Column::not_null("distinct_count", DataType::Int),
+            Column::not_null("null_count", DataType::Int),
+            Column::new("min_value", DataType::Text),
+            Column::new("max_value", DataType::Text),
+            Column::not_null("analyzed_version", DataType::Int),
+            Column::not_null("stale", DataType::Int),
+        ],
+        rows,
+    )
+}
+
 /// `rel_statements(sql TEXT, kind TEXT, calls INT, total_rows INT, total_us,
 /// mean_us, max_us DOUBLE)` — one row per live statement-cache entry,
 /// slowest cumulative time first. Bounded by the statement-cache LRU.

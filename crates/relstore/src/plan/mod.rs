@@ -1,0 +1,1009 @@
+//! Query planning: `ANALYZE` statistics, cost-based access-path selection,
+//! join ordering with predicate pushdown, and `EXPLAIN` rendering.
+//!
+//! The planner sits between parse and execution. Given a [`SelectStmt`] and
+//! the catalog it produces a [`SelectPlan`]: an access path for the base
+//! table, one [`JoinStep`] per join clause in *execution* order (greedy
+//! smallest-estimated-build-side first when reordering is enabled), and the
+//! single-table predicates pushed down to each input. The executor in
+//! [`crate::exec`] drives row flow from the plan; the plan itself never
+//! touches rows, so it can be cached on a prepared statement and reused
+//! until DDL or an `ANALYZE` bumps the database's plan generation.
+//!
+//! Estimates come from two sources, both optional: `ANALYZE`-collected
+//! [`TableStats`] (exact at collection time, stale afterwards) and live
+//! index metadata ([`Table::index_stats_on`], never stale but
+//! version-inflated). Plans must therefore only ever be a *performance*
+//! hint: every access path yields a superset of the matching rows and the
+//! executor re-applies the full predicate, so stale stats can cost time but
+//! never correctness.
+
+use crate::error::{Error, Result};
+use crate::exec::{Catalog, QueryResult};
+use crate::mvcc::Snapshot;
+use crate::predicate::Expr;
+use crate::sql::ast::{SelectItem, SelectStmt};
+use crate::stats::OpStats;
+use crate::table::Table;
+use crate::tuple::Row;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-column statistics collected by `ANALYZE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (bare, lower-case).
+    pub name: String,
+    /// Number of distinct non-NULL values at collection time.
+    pub distinct: usize,
+    /// Number of NULLs at collection time.
+    pub null_count: usize,
+    /// Smallest non-NULL value, or [`Value::Null`] for an all-NULL column.
+    pub min: Value,
+    /// Largest non-NULL value, or [`Value::Null`] for an all-NULL column.
+    pub max: Value,
+}
+
+/// Per-table statistics collected by `ANALYZE`, held by the catalog's
+/// [`Table`] and consulted by the cost model. Statistics describe the table
+/// at collection time and are *not* maintained by writes; `version` records
+/// the table's physical version counter at collection so staleness is
+/// observable (`rel_table_stats` reports it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Live rows visible to the collecting snapshot.
+    pub rows: usize,
+    /// [`Table::version`] at collection time.
+    pub version: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Statistics for `column` (bare lower-case name), if collected.
+    pub fn column(&self, column: &str) -> Option<&ColumnStats> {
+        let lc = crate::schema::lower_name(column);
+        self.columns.iter().find(|c| c.name == lc.as_ref())
+    }
+}
+
+/// Scans `table` at the latest committed state and computes fresh
+/// [`TableStats`]: exact row count, per-column distinct/NULL counts and
+/// min/max. Cost is one full scan plus a hash set per column, which is why
+/// statistics are collected on demand (`ANALYZE`) rather than inline with
+/// writes.
+pub fn analyze_table(table: &Table) -> TableStats {
+    let mut scratch = OpStats::default();
+    let arity = table.schema.arity();
+    let mut rows = 0usize;
+    let mut distinct: Vec<HashSet<Value>> = (0..arity).map(|_| HashSet::new()).collect();
+    let mut nulls = vec![0usize; arity];
+    let mut mins: Vec<Value> = vec![Value::Null; arity];
+    let mut maxs: Vec<Value> = vec![Value::Null; arity];
+    let vis = Snapshot::latest();
+    for stored in table.scan(vis, &mut scratch) {
+        rows += 1;
+        for (i, v) in stored.row.values.iter().enumerate() {
+            if v.is_null() {
+                nulls[i] += 1;
+                continue;
+            }
+            if distinct[i].insert(v.clone()) {
+                if mins[i].is_null() || v.total_cmp(&mins[i]) == std::cmp::Ordering::Less {
+                    mins[i] = v.clone();
+                }
+                if maxs[i].is_null() || v.total_cmp(&maxs[i]) == std::cmp::Ordering::Greater {
+                    maxs[i] = v.clone();
+                }
+            }
+        }
+    }
+    let columns = table
+        .schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ColumnStats {
+            name: c.name.to_string(),
+            distinct: distinct[i].len(),
+            null_count: nulls[i],
+            min: std::mem::replace(&mut mins[i], Value::Null),
+            max: std::mem::replace(&mut maxs[i], Value::Null),
+        })
+        .collect();
+    TableStats {
+        rows,
+        version: table.version(),
+        columns,
+    }
+}
+
+/// Best available distinct-value estimate for `column`: `ANALYZE` stats
+/// when present (live-accurate at collection time), otherwise the covering
+/// index's distinct key count (an upper bound that needs no `ANALYZE`).
+fn distinct_estimate(table: &Table, column: &str) -> Option<usize> {
+    if let Some(stats) = table.table_stats() {
+        if let Some(cs) = stats.column(column) {
+            if cs.distinct > 0 {
+                return Some(cs.distinct);
+            }
+        }
+    }
+    table.index_stats_on(column).map(|(d, _)| d.max(1))
+}
+
+/// How the executor reads one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Index point lookup: a top-level conjunct pins `column` with equality.
+    Point {
+        /// The pinned indexed column (bare name).
+        column: String,
+        /// Whether the covering index is unique (est. one row).
+        unique: bool,
+    },
+    /// Ordered index range scan: a conjunct bounds `column`.
+    Range {
+        /// The bounded indexed column (bare name).
+        column: String,
+    },
+    /// Full heap scan.
+    Scan,
+}
+
+/// A chosen access path plus its estimated output cardinality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPlan {
+    /// The path the executor should take.
+    pub path: AccessPath,
+    /// Estimated rows produced (after the pushed-down predicate).
+    pub est_rows: f64,
+}
+
+impl AccessPlan {
+    /// Human-readable form for EXPLAIN, e.g. `point lookup on jobs.job_id
+    /// (unique)`.
+    pub fn describe(&self, table: &str) -> String {
+        match &self.path {
+            AccessPath::Point { column, unique } => {
+                let u = if *unique { " (unique)" } else { "" };
+                format!("point lookup on {table}.{column}{u}")
+            }
+            AccessPath::Range { column } => format!("range scan on {table}.{column}"),
+            AccessPath::Scan => format!("full scan of {table}"),
+        }
+    }
+}
+
+/// Borrowed form of [`AccessPath`] used on the single-table hot path, where
+/// the chosen column can stay a borrow of the table's schema (no
+/// allocation per query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PathChoice<'a> {
+    /// Point lookup on the named indexed column.
+    Point(&'a str, bool),
+    /// Range scan on the named indexed column.
+    Range(&'a str),
+    /// Full scan.
+    Scan,
+}
+
+impl PathChoice<'_> {
+    fn rank(&self) -> u8 {
+        match self {
+            PathChoice::Point(..) => 0,
+            PathChoice::Range(_) => 1,
+            PathChoice::Scan => 2,
+        }
+    }
+}
+
+/// Cost-based access-path selection: estimates the output of every index
+/// the filter can use and picks the cheapest, preferring point over range
+/// over scan on ties. Replaces the seed's first-match heuristic — with two
+/// usable indexes the planner now takes the more selective one, not the one
+/// that happens to come first in the index list.
+pub(crate) fn choose_access_ref<'t>(
+    table: &'t Table,
+    filter: Option<&Expr>,
+) -> (PathChoice<'t>, f64) {
+    let rows = table.len() as f64;
+    let name = &*table.schema.name;
+    let mut best = (PathChoice::Scan, rows);
+    let Some(filter) = filter else { return best };
+    for col in table.indexed_columns() {
+        let cand = if filter.pins_column(name, col) {
+            let unique = table
+                .index_stats_on(col)
+                .map(|(_, unique)| unique)
+                .unwrap_or(false);
+            let est = if unique {
+                rows.min(1.0)
+            } else {
+                let d = distinct_estimate(table, col).unwrap_or(1) as f64;
+                (rows / d).min(rows)
+            };
+            Some((PathChoice::Point(col, unique), est))
+        } else if filter.ranges_column(name, col) {
+            Some((PathChoice::Range(col), rows / 3.0))
+        } else {
+            None
+        };
+        if let Some((path, est)) = cand {
+            if est < best.1 || (est == best.1 && path.rank() < best.0.rank()) {
+                best = (path, est);
+            }
+        }
+    }
+    best
+}
+
+/// Owned [`choose_access_ref`] for plans that outlive the catalog borrow
+/// (cached plans, EXPLAIN output).
+pub fn choose_access(table: &Table, filter: Option<&Expr>) -> AccessPlan {
+    let (path, est_rows) = choose_access_ref(table, filter);
+    let path = match path {
+        PathChoice::Point(c, unique) => AccessPath::Point {
+            column: c.to_string(),
+            unique,
+        },
+        PathChoice::Range(c) => AccessPath::Range {
+            column: c.to_string(),
+        },
+        PathChoice::Scan => AccessPath::Scan,
+    };
+    AccessPlan { path, est_rows }
+}
+
+/// How one join step combines the accumulated left rows with its table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinStrategy {
+    /// Equi hash join: build a hash of the right table on `build`, probe
+    /// with the accumulated rows' `probe` column.
+    Hash {
+        /// Column reference (as written) resolved against the accumulated
+        /// left schema at execution time.
+        probe: String,
+        /// Column reference (as written) resolved against the right table.
+        build: String,
+    },
+    /// Nested loop evaluating the full `ON` predicate over each
+    /// concatenated row pair — the fallback that makes non-equi `ON`
+    /// predicates work.
+    NestedLoop,
+}
+
+/// One planned join: which clause, which table, how to read it, and how to
+/// combine it with the rows accumulated so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStep {
+    /// Index into `stmt.joins` (the syntactic position of this clause).
+    pub clause: usize,
+    /// Right-hand table (lower-case).
+    pub table: String,
+    /// How the right side is read while building.
+    pub access: AccessPlan,
+    /// Single-table conjuncts of the WHERE clause applied while building
+    /// the right side (strictly shrinks the build; the full filter is
+    /// re-applied after all joins, so this is a pure optimization).
+    pub pushdown: Option<Expr>,
+    /// Hash or nested-loop.
+    pub strategy: JoinStrategy,
+    /// Estimated rows after this join.
+    pub est_out_rows: f64,
+    /// Whether the built side is reusable across executions of the same
+    /// prepared statement (false when the pushdown references `?`
+    /// parameters, whose values change per execution).
+    pub cacheable: bool,
+}
+
+/// The full plan for a SELECT: base access + joins in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    /// Base table (lower-case).
+    pub base_table: String,
+    /// Base table access path.
+    pub base: AccessPlan,
+    /// Single-table conjuncts applied while reading the base table.
+    pub base_pushdown: Option<Expr>,
+    /// Joins in execution order (may differ from syntactic order).
+    pub steps: Vec<JoinStep>,
+    /// True when `steps` is not in syntactic order — the executor must then
+    /// restore syntactic column order for `SELECT *`.
+    pub reordered: bool,
+}
+
+fn get_table<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
+    catalog
+        .get(crate::schema::lower_name(name).as_ref())
+        .ok_or_else(|| Error::not_found(format!("table {name}")))
+}
+
+/// Resolves a column reference to the (lower-case) table in `scope` that
+/// owns it. Qualified names resolve against their table; bare names resolve
+/// when exactly one table in scope has the column. `None` means
+/// unresolvable or ambiguous — the planner then leaves the predicate for
+/// the executor, which reports the error with full context.
+fn owner_of<'a>(catalog: &Catalog, scope: &'a [String], col: &str) -> Option<&'a str> {
+    let lcol = crate::schema::lower_name(col);
+    if let Some((q, c)) = lcol.split_once('.') {
+        return scope
+            .iter()
+            .find(|t| {
+                t.as_str() == q
+                    && catalog
+                        .get(t.as_str())
+                        .is_some_and(|tab| tab.schema.column_index(c).is_ok())
+            })
+            .map(String::as_str);
+    }
+    let mut found: Option<&str> = None;
+    for t in scope {
+        if catalog
+            .get(t.as_str())
+            .is_some_and(|tab| tab.schema.column_index(lcol.as_ref()).is_ok())
+        {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(t);
+        }
+    }
+    found
+}
+
+/// Flattens a top-level `AND` tree into its conjuncts.
+fn split_conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::And(l, r) = expr {
+        split_conjuncts(l, out);
+        split_conjuncts(r, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Assigns each WHERE conjunct that references exactly one table (and no
+/// subquery) to that table, AND-combining per table. Everything else stays
+/// in the residual filter the executor applies after the joins.
+fn pushdown_map(catalog: &Catalog, scope: &[String], filter: Option<&Expr>) -> HashMap<String, Expr> {
+    let mut out: HashMap<String, Expr> = HashMap::new();
+    let Some(filter) = filter else { return out };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(filter, &mut conjuncts);
+    for conj in conjuncts {
+        if conj.contains_subquery() {
+            continue;
+        }
+        let mut refs = Vec::new();
+        conj.referenced_columns(&mut refs);
+        if refs.is_empty() {
+            continue;
+        }
+        let mut owner: Option<&str> = None;
+        let mut single = true;
+        for c in &refs {
+            match owner_of(catalog, scope, c) {
+                Some(t) if owner.is_none() || owner == Some(t) => owner = Some(t),
+                _ => {
+                    single = false;
+                    break;
+                }
+            }
+        }
+        if let (true, Some(t)) = (single, owner) {
+            let entry = out.remove(t);
+            let combined = match entry {
+                Some(prev) => prev.and(conj.clone()),
+                None => conj.clone(),
+            };
+            out.insert(t.to_string(), combined);
+        }
+    }
+    out
+}
+
+/// Plans a SELECT against the catalog. With `reorder` set, inner equi-joins
+/// are placed greedily smallest-estimated-build-side first (classic
+/// left-deep greedy ordering); otherwise joins keep their syntactic order
+/// (the pre-planner behaviour, kept as an oracle and a bench baseline).
+///
+/// Join reordering is safe for this engine's join semantics: all joins are
+/// inner, so the result set is order-independent — only intermediate sizes
+/// (and `SELECT *` column order, which the executor restores) change.
+pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt, reorder: bool) -> Result<SelectPlan> {
+    let base = get_table(catalog, &stmt.table)?;
+    let base_name = crate::schema::lower_name(&stmt.table).into_owned();
+
+    // Full FROM scope for pushdown assignment: a bare column ambiguous
+    // across *any* joined table stays residual, matching the executor's
+    // ambiguity errors.
+    let mut scope = vec![base_name.clone()];
+    for j in &stmt.joins {
+        scope.push(crate::schema::lower_name(&j.table).into_owned());
+    }
+    let mut pushdown = pushdown_map(catalog, &scope, stmt.filter.as_ref());
+
+    let base_pushdown = pushdown.remove(&base_name);
+    let base_access = choose_access(base, base_pushdown.as_ref());
+    let mut left_est = base_access.est_rows;
+
+    let mut placed = vec![base_name.clone()];
+    let mut remaining: Vec<usize> = (0..stmt.joins.len()).collect();
+    let mut steps: Vec<JoinStep> = Vec::with_capacity(stmt.joins.len());
+
+    while !remaining.is_empty() {
+        // Evaluate every remaining clause against the tables placed so far.
+        // Only clauses whose ON resolves entirely within the placed tables
+        // plus their own are candidates; when none qualifies (forward or
+        // unresolvable references), fall back to the first remaining clause
+        // in syntactic order and let the executor report the error.
+        let mut best: Option<(usize, JoinStep)> = None;
+        let evaluate = |pos: usize, ji: usize, require_placeable: bool, best: &mut Option<(usize, JoinStep)>| -> Result<()> {
+            let clause = &stmt.joins[ji];
+            let right_name = crate::schema::lower_name(&clause.table).into_owned();
+            let right = get_table(catalog, &clause.table)?;
+
+            let mut local = placed.clone();
+            local.push(right_name.clone());
+            let mut refs = Vec::new();
+            clause.on.referenced_columns(&mut refs);
+            let placeable = refs
+                .iter()
+                .all(|c| owner_of(catalog, &local, c).is_some());
+            if require_placeable && !placeable {
+                return Ok(());
+            }
+
+            let strategy = match clause.equi_columns() {
+                Some((a, b)) if placeable => {
+                    let oa = owner_of(catalog, &local, a);
+                    let ob = owner_of(catalog, &local, b);
+                    match (oa, ob) {
+                        (Some(ta), Some(tb)) if ta == right_name && tb != right_name => {
+                            JoinStrategy::Hash {
+                                probe: b.to_string(),
+                                build: a.to_string(),
+                            }
+                        }
+                        (Some(ta), Some(tb)) if tb == right_name && ta != right_name => {
+                            JoinStrategy::Hash {
+                                probe: a.to_string(),
+                                build: b.to_string(),
+                            }
+                        }
+                        _ => JoinStrategy::NestedLoop,
+                    }
+                }
+                _ => JoinStrategy::NestedLoop,
+            };
+
+            let pd = pushdown.get(&right_name).cloned();
+            let access = choose_access(right, pd.as_ref());
+            let est_out = match &strategy {
+                JoinStrategy::Hash { build, .. } => {
+                    let bare = build.rsplit('.').next().unwrap_or(build);
+                    let d = distinct_estimate(right, bare)
+                        .unwrap_or_else(|| (access.est_rows as usize).max(1));
+                    (left_est * access.est_rows / d.max(1) as f64).max(0.0)
+                }
+                JoinStrategy::NestedLoop => left_est * access.est_rows,
+            };
+            let cacheable = pd.as_ref().is_none_or(|e| e.param_count() == 0);
+            let step = JoinStep {
+                clause: ji,
+                table: right_name,
+                access,
+                pushdown: pd,
+                strategy,
+                est_out_rows: est_out,
+                cacheable,
+            };
+            let better = match best {
+                None => true,
+                Some((_, ref b)) => step.access.est_rows < b.access.est_rows,
+            };
+            if better {
+                *best = Some((pos, step));
+            }
+            Ok(())
+        };
+        if reorder {
+            for (pos, &ji) in remaining.iter().enumerate() {
+                evaluate(pos, ji, true, &mut best)?;
+            }
+            if best.is_none() {
+                evaluate(0, remaining[0], false, &mut best)?;
+            }
+        } else {
+            evaluate(0, remaining[0], false, &mut best)?;
+        }
+        let (pos, step) = best.expect("fallback evaluation always yields a step");
+        remaining.remove(pos);
+        placed.push(step.table.clone());
+        left_est = step.est_out_rows;
+        steps.push(step);
+    }
+
+    let reordered = steps
+        .iter()
+        .enumerate()
+        .any(|(i, s)| s.clause != i);
+    Ok(SelectPlan {
+        base_table: base_name,
+        base: base_access,
+        base_pushdown,
+        steps,
+        reordered,
+    })
+}
+
+/// Actual row count and wall time of one plan operator, filled in by the
+/// executor for `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepActuals {
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Wall time spent in the operator, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Per-operator actuals for a whole plan, parallel to the EXPLAIN rows:
+/// base access, one entry per join step (execution order), residual filter,
+/// output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// Base-table access.
+    pub base: StepActuals,
+    /// One entry per join step, in execution order.
+    pub joins: Vec<StepActuals>,
+    /// Residual filter evaluation (zero when there is no filter).
+    pub filter: StepActuals,
+    /// Sort/limit/projection.
+    pub output: StepActuals,
+}
+
+/// Renders a plan as rows through the normal query path. Columns are
+/// `[step, operator, detail, est_rows]`, plus `[actual_rows, time_us]` when
+/// `actuals` is present (`EXPLAIN ANALYZE`). Serving plans as a
+/// [`QueryResult`] means EXPLAIN is transport-agnostic for free: the wire
+/// protocol ships it like any other result set.
+pub fn explain_result(
+    plan: &SelectPlan,
+    stmt: &SelectStmt,
+    actuals: Option<&PlanProfile>,
+) -> QueryResult {
+    let mut names: Vec<Arc<str>> = vec![
+        Arc::from("step"),
+        Arc::from("operator"),
+        Arc::from("detail"),
+        Arc::from("est_rows"),
+    ];
+    if actuals.is_some() {
+        names.push(Arc::from("actual_rows"));
+        names.push(Arc::from("time_us"));
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let push = |rows: &mut Vec<Row>, op: String, detail: String, est: f64, act: Option<StepActuals>| {
+        let step = rows.len() as i64 + 1;
+        let mut values = vec![
+            Value::Int(step),
+            Value::Text(op.into()),
+            Value::Text(detail.into()),
+            Value::Int(est.round() as i64),
+        ];
+        if actuals.is_some() {
+            let act = act.unwrap_or_default();
+            values.push(Value::Int(act.rows as i64));
+            values.push(Value::Double(act.nanos as f64 / 1_000.0));
+        }
+        rows.push(Row::new(values));
+    };
+
+    let mut detail = plan.base.describe(&plan.base_table);
+    if let Some(pd) = &plan.base_pushdown {
+        detail.push_str(&format!(", pushdown {pd}"));
+    }
+    push(
+        &mut rows,
+        format!("Access({})", plan.base_table),
+        detail,
+        plan.base.est_rows,
+        actuals.map(|a| a.base),
+    );
+
+    let mut last_est = plan.base.est_rows;
+    for (i, step) in plan.steps.iter().enumerate() {
+        let (op, mut detail) = match &step.strategy {
+            JoinStrategy::Hash { probe, build } => (
+                format!("HashJoin({})", step.table),
+                format!(
+                    "build {} on {build} via {}, probe {probe}",
+                    step.table,
+                    step.access.describe(&step.table)
+                ),
+            ),
+            JoinStrategy::NestedLoop => (
+                format!("NestedLoopJoin({})", step.table),
+                format!(
+                    "on {} via {}",
+                    stmt.joins[step.clause].on,
+                    step.access.describe(&step.table)
+                ),
+            ),
+        };
+        if let Some(pd) = &step.pushdown {
+            detail.push_str(&format!(", pushdown {pd}"));
+        }
+        push(
+            &mut rows,
+            op,
+            detail,
+            step.est_out_rows,
+            actuals.map(|a| a.joins.get(i).copied().unwrap_or_default()),
+        );
+        last_est = step.est_out_rows;
+    }
+
+    if let Some(filter) = &stmt.filter {
+        push(
+            &mut rows,
+            "Filter".to_string(),
+            filter.to_string(),
+            last_est,
+            actuals.map(|a| a.filter),
+        );
+    }
+
+    let mut out_detail = if stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+        || !stmt.group_by.is_empty()
+    {
+        "aggregate".to_string()
+    } else if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        "project *".to_string()
+    } else {
+        format!("project {} columns", stmt.items.len())
+    };
+    if !stmt.order_by.is_empty() {
+        out_detail.push_str(", sort");
+    }
+    let est_out = match stmt.limit {
+        Some(l) => last_est.min(l as f64),
+        None => last_est,
+    };
+    if let Some(l) = stmt.limit {
+        out_detail.push_str(&format!(", limit {l}"));
+    }
+    push(
+        &mut rows,
+        "Output".to_string(),
+        out_detail,
+        est_out,
+        actuals.map(|a| a.output),
+    );
+
+    QueryResult {
+        columns: names.into(),
+        rows,
+    }
+}
+
+/// A hash-join build side cached on a prepared statement, reusable while
+/// the owning table is physically unchanged and the reader's snapshot is
+/// identical (same visible row set).
+#[derive(Debug)]
+pub struct CachedBuild {
+    /// [`Table::version`] when built.
+    pub table_version: u64,
+    /// The snapshot the build was made under.
+    pub snapshot: Snapshot,
+    /// Build-key value → owned right-table rows (post-pushdown).
+    pub map: HashMap<Value, Vec<Row>>,
+}
+
+impl CachedBuild {
+    /// True when the cached build still describes exactly the rows the
+    /// caller would see: the table has had no physical change and the
+    /// snapshot is the same visible set.
+    pub fn valid_for(&self, table: &Table, vis: &Snapshot) -> bool {
+        self.table_version == table.version() && self.snapshot == *vis
+    }
+}
+
+/// The cached plan state of one prepared statement: the plan itself plus
+/// any reusable hash-join build sides, all invalidated when `gen` falls
+/// behind the database's plan generation (bumped by DDL and `ANALYZE`).
+#[derive(Debug, Default)]
+pub struct PlanSlot {
+    /// Database plan generation this slot was filled under.
+    pub gen: u64,
+    /// The cached plan, if planned already.
+    pub plan: Option<Arc<SelectPlan>>,
+    /// Cached build sides, parallel to `plan.steps`.
+    pub builds: Vec<Option<Arc<CachedBuild>>>,
+}
+
+/// Shareable plan-cache cell attached to a prepared statement.
+pub type PlanCell = Mutex<PlanSlot>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvcc::COMMITTED_TXN;
+    use crate::schema::{Column, Schema};
+    use crate::sql::ast::Statement;
+    use crate::sql::parser::parse;
+    use crate::value::DataType;
+
+    fn table(schema: Schema, rows: Vec<Vec<Value>>) -> Table {
+        let mut t = Table::new(schema).unwrap();
+        let mut stats = OpStats::default();
+        for row in rows {
+            t.insert(row, COMMITTED_TXN, &mut stats).unwrap();
+        }
+        t
+    }
+
+    /// jobs: 100 rows; matches: 100 rows; machines: 4 rows.
+    fn catalog() -> Catalog {
+        let jobs = table(
+            Schema::new(
+                "jobs",
+                vec![
+                    Column::not_null("job_id", DataType::Int),
+                    Column::new("owner", DataType::Text),
+                    Column::new("state", DataType::Text),
+                ],
+            )
+            .with_primary_key("job_id")
+            .with_index("state"),
+            (0..100)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Text(format!("owner{}", i % 10).into()),
+                        Value::Text(if i % 2 == 0 { "idle" } else { "running" }.into()),
+                    ]
+                })
+                .collect(),
+        );
+        let matches = table(
+            Schema::new(
+                "matches",
+                vec![
+                    Column::not_null("job_id", DataType::Int),
+                    Column::not_null("machine_id", DataType::Int),
+                ],
+            )
+            .with_index("job_id"),
+            (0..100)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 4)])
+                .collect(),
+        );
+        let machines = table(
+            Schema::new(
+                "machines",
+                vec![
+                    Column::not_null("machine_id", DataType::Int),
+                    Column::new("arch", DataType::Text),
+                ],
+            )
+            .with_primary_key("machine_id"),
+            (0..4)
+                .map(|i| vec![Value::Int(i), Value::Text("x86".into())])
+                .collect(),
+        );
+        let mut cat = Catalog::new();
+        cat.insert("jobs".into(), jobs);
+        cat.insert("matches".into(), matches);
+        cat.insert("machines".into(), machines);
+        cat
+    }
+
+    fn select_stmt(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_collects_exact_stats() {
+        let cat = catalog();
+        let stats = analyze_table(cat.get("jobs").unwrap());
+        assert_eq!(stats.rows, 100);
+        let owner = stats.column("owner").unwrap();
+        assert_eq!(owner.distinct, 10);
+        assert_eq!(owner.null_count, 0);
+        let job_id = stats.column("job_id").unwrap();
+        assert_eq!(job_id.distinct, 100);
+        assert_eq!(job_id.min, Value::Int(0));
+        assert_eq!(job_id.max, Value::Int(99));
+        assert_eq!(stats.column("nope"), None);
+    }
+
+    #[test]
+    fn analyze_counts_nulls_and_handles_empty_tables() {
+        let t = table(
+            Schema::new("t", vec![Column::new("a", DataType::Int)]),
+            vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Null]],
+        );
+        let stats = analyze_table(&t);
+        assert_eq!(stats.rows, 3);
+        let a = stats.column("a").unwrap();
+        assert_eq!(a.null_count, 2);
+        assert_eq!(a.distinct, 1);
+        assert_eq!(a.min, Value::Int(1));
+
+        let empty = table(Schema::new("e", vec![Column::new("a", DataType::Int)]), vec![]);
+        let stats = analyze_table(&empty);
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.column("a").unwrap().min, Value::Null);
+    }
+
+    #[test]
+    fn choose_access_prefers_unique_point_over_scan() {
+        let cat = catalog();
+        let jobs = cat.get("jobs").unwrap();
+        let stmt = select_stmt("SELECT * FROM jobs WHERE job_id = 7");
+        let plan = choose_access(jobs, stmt.filter.as_ref());
+        assert_eq!(
+            plan.path,
+            AccessPath::Point {
+                column: "job_id".into(),
+                unique: true
+            }
+        );
+        assert_eq!(plan.est_rows, 1.0);
+    }
+
+    #[test]
+    fn choose_access_prefers_more_selective_index() {
+        let cat = catalog();
+        let jobs = cat.get("jobs").unwrap();
+        // Both state (2 distinct) and job_id (unique) are pinned: the unique
+        // index wins regardless of index declaration order.
+        let stmt = select_stmt("SELECT * FROM jobs WHERE state = 'idle' AND job_id = 3");
+        let plan = choose_access(jobs, stmt.filter.as_ref());
+        assert!(matches!(plan.path, AccessPath::Point { ref column, .. } if column == "job_id"));
+        // Range beats scan, loses to point.
+        let stmt = select_stmt("SELECT * FROM jobs WHERE job_id > 50");
+        let plan = choose_access(jobs, stmt.filter.as_ref());
+        assert!(matches!(plan.path, AccessPath::Range { ref column } if column == "job_id"));
+        // Unindexed predicate: full scan.
+        let stmt = select_stmt("SELECT * FROM jobs WHERE owner = 'owner1'");
+        let plan = choose_access(jobs, stmt.filter.as_ref());
+        assert_eq!(plan.path, AccessPath::Scan);
+        assert_eq!(plan.est_rows, 100.0);
+    }
+
+    #[test]
+    fn planner_orders_smallest_build_side_first() {
+        let cat = catalog();
+        // Syntactically matches (100 rows) joins before machines (4 rows);
+        // the planner flips them.
+        let stmt = select_stmt(
+            "SELECT * FROM jobs \
+             JOIN matches ON jobs.job_id = matches.job_id \
+             JOIN machines ON matches.machine_id = machines.machine_id",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        // machines cannot be placed first (its ON references matches), so
+        // ordering only kicks in when both are placeable — here the join
+        // graph forces matches first. Use a star-shaped query instead:
+        let stmt = select_stmt(
+            "SELECT * FROM matches \
+             JOIN jobs ON matches.job_id = jobs.job_id \
+             JOIN machines ON matches.machine_id = machines.machine_id",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert_eq!(plan.steps[0].table, "machines", "smallest build side first");
+        assert_eq!(plan.steps[1].table, "jobs");
+        assert!(plan.reordered);
+        // Without reordering the syntactic order is kept.
+        let plan = plan_select(&cat, &stmt, false).unwrap();
+        assert_eq!(plan.steps[0].table, "jobs");
+        assert!(!plan.reordered);
+    }
+
+    #[test]
+    fn pushdown_shrinks_build_estimates_and_marks_param_builds_uncacheable() {
+        let cat = catalog();
+        let stmt = select_stmt(
+            "SELECT * FROM matches JOIN jobs ON matches.job_id = jobs.job_id \
+             WHERE jobs.job_id = 3 AND matches.machine_id > 1",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert!(plan.base_pushdown.is_some(), "matches conjunct pushed to base");
+        let step = &plan.steps[0];
+        assert_eq!(step.table, "jobs");
+        assert!(step.pushdown.is_some());
+        assert!(
+            matches!(step.access.path, AccessPath::Point { .. }),
+            "pushed equality turns the build into a point lookup"
+        );
+        assert!(step.cacheable);
+
+        let stmt = select_stmt(
+            "SELECT * FROM matches JOIN jobs ON matches.job_id = jobs.job_id \
+             WHERE jobs.state = ?",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert!(!plan.steps[0].cacheable, "param-dependent build must rebuild");
+    }
+
+    #[test]
+    fn non_equi_on_plans_nested_loop() {
+        let cat = catalog();
+        let stmt = select_stmt(
+            "SELECT * FROM jobs JOIN matches ON jobs.job_id < matches.job_id",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert_eq!(plan.steps[0].strategy, JoinStrategy::NestedLoop);
+        // Compound ON predicates also fall back to nested loop.
+        let stmt = select_stmt(
+            "SELECT * FROM jobs JOIN matches \
+             ON jobs.job_id = matches.job_id AND matches.machine_id > 1",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        assert_eq!(plan.steps[0].strategy, JoinStrategy::NestedLoop);
+    }
+
+    #[test]
+    fn explain_renders_operators_and_estimates() {
+        let cat = catalog();
+        let stmt = select_stmt(
+            "SELECT jobs.owner FROM matches \
+             JOIN jobs ON matches.job_id = jobs.job_id \
+             JOIN machines ON matches.machine_id = machines.machine_id \
+             WHERE machines.arch = 'x86' ORDER BY jobs.owner LIMIT 5",
+        );
+        let plan = plan_select(&cat, &stmt, true).unwrap();
+        let r = explain_result(&plan, &stmt, None);
+        assert_eq!(r.column_names(), vec!["step", "operator", "detail", "est_rows"]);
+        let ops: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row.get(1).to_string())
+            .collect();
+        assert!(ops[0].contains("Access(matches)"), "{ops:?}");
+        assert!(ops.iter().any(|o| o.contains("HashJoin(machines)")));
+        assert!(ops.last().unwrap().contains("Output"));
+        // EXPLAIN ANALYZE adds actual columns.
+        let r = explain_result(&plan, &stmt, Some(&PlanProfile::default()));
+        assert_eq!(
+            r.column_names(),
+            vec!["step", "operator", "detail", "est_rows", "actual_rows", "time_us"]
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors_at_plan_time() {
+        let cat = catalog();
+        let stmt = select_stmt("SELECT * FROM nope");
+        assert!(plan_select(&cat, &stmt, true).is_err());
+    }
+
+    #[test]
+    fn cached_build_validity_tracks_version_and_snapshot() {
+        let cat = catalog();
+        let jobs = cat.get("jobs").unwrap();
+        let vis = Snapshot::latest();
+        let build = CachedBuild {
+            table_version: jobs.version(),
+            snapshot: vis.clone(),
+            map: HashMap::new(),
+        };
+        assert!(build.valid_for(jobs, vis));
+        let other = Snapshot {
+            high: vis.high.wrapping_sub(1),
+            ..vis.clone()
+        };
+        assert!(!build.valid_for(jobs, &other));
+    }
+}

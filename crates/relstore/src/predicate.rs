@@ -7,6 +7,7 @@
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
+use crate::sql::ast::SelectStmt;
 use crate::tuple::Row;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -108,6 +109,16 @@ pub enum Expr {
     IsNotNull(Box<Expr>),
     /// `expr IN (v1, v2, ...)` against literal values.
     InList(Box<Expr>, Vec<Value>),
+    /// `expr IN (SELECT ...)`. Uncorrelated subqueries are rewritten into an
+    /// [`Expr::InList`] over the subquery's result before row evaluation
+    /// begins (a hash semi-join over the materialized inner side), so this
+    /// variant never reaches `eval_with`.
+    InSubquery(Box<Expr>, Box<SelectStmt>),
+    /// `(SELECT ...)` used as a scalar value. The subquery must produce at
+    /// most one row of exactly one column; it is rewritten into an
+    /// [`Expr::Literal`] (NULL when it yields no row) before row evaluation
+    /// begins, so this variant never reaches `eval_with`.
+    ScalarSubquery(Box<SelectStmt>),
 }
 
 impl Expr {
@@ -206,6 +217,9 @@ impl Expr {
                 }
                 Ok(if saw_null { Value::Null } else { Value::Bool(false) })
             }
+            Expr::InSubquery(..) | Expr::ScalarSubquery(_) => Err(Error::type_err(
+                "subqueries are only supported in the WHERE clause of a SELECT",
+            )),
         }
     }
 
@@ -331,21 +345,87 @@ impl Expr {
             Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InList(e, _) => {
                 e.param_count()
             }
+            Expr::InSubquery(e, sel) => e.param_count().max(sel.param_count()),
+            Expr::ScalarSubquery(sel) => sel.param_count(),
         }
     }
 
     /// Collects the names of all columns referenced by the expression.
+    /// Subquery bodies are *not* descended into: their column references
+    /// resolve against the subquery's own tables, not the enclosing
+    /// relation.
     pub fn referenced_columns(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Literal(_) | Expr::Param(_) => {}
+            Expr::Literal(_) | Expr::Param(_) | Expr::ScalarSubquery(_) => {}
             Expr::Column(c) => out.push(c.clone()),
             Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
                 l.referenced_columns(out);
                 r.referenced_columns(out);
             }
-            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InList(e, _) => {
-                e.referenced_columns(out)
+            Expr::Not(e)
+            | Expr::IsNull(e)
+            | Expr::IsNotNull(e)
+            | Expr::InList(e, _)
+            | Expr::InSubquery(e, _) => e.referenced_columns(out),
+        }
+    }
+
+    /// True when the expression contains a subquery anywhere — the signal
+    /// that a filter needs the subquery-rewrite pass before evaluation.
+    pub fn contains_subquery(&self) -> bool {
+        match self {
+            Expr::InSubquery(..) | Expr::ScalarSubquery(_) => true,
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) => false,
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.contains_subquery() || r.contains_subquery()
             }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::InList(e, _) => {
+                e.contains_subquery()
+            }
+        }
+    }
+
+    /// Structural form of [`Expr::equality_lookup_on`]: true when a
+    /// top-level conjunct pins `column` of `table` with equality against a
+    /// literal *or an unbound `?` placeholder*. Plans for prepared
+    /// statements are built before parameters are bound, so the planner asks
+    /// whether a point lookup *will* be possible; the concrete key is
+    /// extracted at execution time via `equality_lookup_on`.
+    pub fn pins_column(&self, table: &str, column: &str) -> bool {
+        match self {
+            Expr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+                (Expr::Column(c), v) | (v, Expr::Column(c))
+                    if column_matches(c, table, column) =>
+                {
+                    matches!(v, Expr::Literal(_) | Expr::Param(_))
+                }
+                _ => false,
+            },
+            Expr::And(l, r) => l.pins_column(table, column) || r.pins_column(table, column),
+            _ => false,
+        }
+    }
+
+    /// Structural form of [`Expr::range_bounds_on`]: true when a top-level
+    /// conjunct constrains `column` of `table` with an ordering comparison
+    /// against a literal or an unbound `?` placeholder.
+    pub fn ranges_column(&self, table: &str, column: &str) -> bool {
+        match self {
+            Expr::And(l, r) => l.ranges_column(table, column) || r.ranges_column(table, column),
+            Expr::Cmp(op, l, r) => {
+                if matches!(op, CmpOp::Ne) {
+                    return false;
+                }
+                match (l.as_ref(), r.as_ref()) {
+                    (Expr::Column(c), v) | (v, Expr::Column(c))
+                        if column_matches(c, table, column) =>
+                    {
+                        matches!(v, Expr::Literal(_) | Expr::Param(_))
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
         }
     }
 }
@@ -373,6 +453,8 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
+            Expr::InSubquery(e, sel) => write!(f, "({e} IN (SELECT … FROM {}))", sel.table),
+            Expr::ScalarSubquery(sel) => write!(f, "(SELECT … FROM {})", sel.table),
         }
     }
 }
@@ -391,7 +473,7 @@ fn as_bound<'v>(e: &'v Expr, params: &'v [Value]) -> Option<&'v Value> {
 /// True when a column reference `cand` denotes `column` of `table`, accepting
 /// both the bare and the `table.column`-qualified spelling, without
 /// allocating.
-fn column_matches(cand: &str, table: &str, column: &str) -> bool {
+pub(crate) fn column_matches(cand: &str, table: &str, column: &str) -> bool {
     if cand.eq_ignore_ascii_case(column) {
         return true;
     }

@@ -1,6 +1,6 @@
 //! Abstract syntax tree for the supported SQL subset.
 
-use crate::predicate::Expr;
+use crate::predicate::{CmpOp, Expr};
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
 
@@ -73,15 +73,33 @@ pub enum SelectItem {
     },
 }
 
-/// An inner join clause: `JOIN <table> ON <left_col> = <right_col>`.
+/// An inner join clause: `JOIN <table> ON <predicate>`.
+///
+/// A predicate that is a single equality between two column references (the
+/// common `a.x = b.y` case) is executed as a hash join; any other predicate
+/// falls back to a nested-loop join evaluating `on` over the concatenated
+/// row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JoinClause {
     /// The right-hand table name.
     pub table: String,
-    /// Column from the accumulated left-hand relation.
-    pub left_column: String,
-    /// Column from the right-hand table.
-    pub right_column: String,
+    /// The `ON` predicate.
+    pub on: Expr,
+}
+
+impl JoinClause {
+    /// When the `ON` predicate is a single equality between two column
+    /// references, returns them as `(left, right)` in source order. Which
+    /// side belongs to which table is resolved by the planner against the
+    /// joined schemas.
+    pub fn equi_columns(&self) -> Option<(&str, &str)> {
+        if let Expr::Cmp(CmpOp::Eq, l, r) = &self.on {
+            if let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
 }
 
 /// A `SELECT` statement.
@@ -101,6 +119,34 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderKey>,
     /// `LIMIT`, if present.
     pub limit: Option<usize>,
+}
+
+impl SelectStmt {
+    /// Number of `?` bind-parameter slots referenced anywhere in the
+    /// statement (one past the highest index), including join predicates
+    /// and subqueries.
+    pub fn param_count(&self) -> usize {
+        let mut n = 0usize;
+        self.for_each_expr(&mut |e| n = n.max(e.param_count()));
+        n
+    }
+
+    /// Visits every expression directly embedded in the statement
+    /// (subquery bodies are reached through [`Expr::param_count`] and
+    /// friends, not this visitor).
+    pub(crate) fn for_each_expr(&self, f: &mut impl FnMut(&Expr)) {
+        if let Some(filter) = &self.filter {
+            f(filter);
+        }
+        for item in &self.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                f(expr);
+            }
+        }
+        for join in &self.joins {
+            f(&join.on);
+        }
+    }
 }
 
 /// An `INSERT` statement.
@@ -164,12 +210,26 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK`.
     Rollback,
+    /// `ANALYZE [table]` — collect planner statistics for one table or for
+    /// every table in the catalog.
+    Analyze(Option<String>),
+    /// `EXPLAIN [ANALYZE] <select>` — render the chosen plan as rows;
+    /// with ANALYZE, execute the query and annotate operators with actual
+    /// row counts and timings.
+    Explain {
+        /// Whether to execute and report actuals (`EXPLAIN ANALYZE`).
+        analyze: bool,
+        /// The SELECT being explained.
+        select: SelectStmt,
+    },
 }
 
 impl Statement {
-    /// True for statements that only read data.
+    /// True for statements that only read data. `EXPLAIN ANALYZE` executes
+    /// its SELECT, which is itself read-only; `ANALYZE` mutates catalog-held
+    /// statistics and is treated as a write.
     pub fn is_read_only(&self) -> bool {
-        matches!(self, Statement::Select(_))
+        matches!(self, Statement::Select(_) | Statement::Explain { .. })
     }
 
     /// Number of `?` bind-parameter slots in the statement (one past the
@@ -183,15 +243,8 @@ impl Statement {
     /// Visits every expression embedded in the statement.
     fn for_each_expr(&self, f: &mut impl FnMut(&Expr)) {
         match self {
-            Statement::Select(sel) => {
-                if let Some(filter) = &sel.filter {
-                    f(filter);
-                }
-                for item in &sel.items {
-                    if let SelectItem::Expr { expr, .. } = item {
-                        f(expr);
-                    }
-                }
+            Statement::Select(sel) | Statement::Explain { select: sel, .. } => {
+                sel.for_each_expr(f);
             }
             Statement::Insert(ins) => {
                 for row in &ins.rows {
@@ -218,7 +271,8 @@ impl Statement {
             | Statement::DropTable(_)
             | Statement::Begin
             | Statement::Commit
-            | Statement::Rollback => {}
+            | Statement::Rollback
+            | Statement::Analyze(_) => {}
         }
     }
 
@@ -232,6 +286,8 @@ impl Statement {
             Statement::Insert(s) => Some(&s.table),
             Statement::Update(s) => Some(&s.table),
             Statement::Delete(s) => Some(&s.table),
+            Statement::Analyze(t) => t.as_deref(),
+            Statement::Explain { select, .. } => Some(&select.table),
             Statement::Begin | Statement::Commit | Statement::Rollback => None,
         }
     }
@@ -264,6 +320,12 @@ mod tests {
         assert!(!ct.is_read_only());
         assert_eq!(ct.target_table(), Some("jobs"));
         assert_eq!(Statement::Begin.target_table(), None);
+
+        // ANALYZE mutates catalog-held statistics; EXPLAIN only reads.
+        let an = Statement::Analyze(Some("jobs".into()));
+        assert!(!an.is_read_only());
+        assert_eq!(an.target_table(), Some("jobs"));
+        assert_eq!(Statement::Analyze(None).target_table(), None);
     }
 
     #[test]
@@ -281,5 +343,22 @@ mod tests {
         assert_eq!(parse("SELECT job_id + ? FROM jobs WHERE owner = ?").unwrap().param_count(), 2);
         assert_eq!(parse("DELETE FROM jobs WHERE job_id = ?").unwrap().param_count(), 1);
         assert_eq!(parse("DROP TABLE jobs").unwrap().param_count(), 0);
+        // Parameters inside join predicates, subqueries and EXPLAIN count too.
+        assert_eq!(
+            parse("SELECT * FROM jobs JOIN runs ON jobs.job_id = runs.job_id WHERE owner = ?")
+                .unwrap()
+                .param_count(),
+            1
+        );
+        assert_eq!(
+            parse("SELECT * FROM jobs WHERE owner IN (SELECT name FROM users WHERE quota > ?)")
+                .unwrap()
+                .param_count(),
+            1
+        );
+        assert_eq!(
+            parse("EXPLAIN SELECT * FROM jobs WHERE job_id = ?").unwrap().param_count(),
+            1
+        );
     }
 }

@@ -5,19 +5,21 @@
 //! ```text
 //! statement  := create_table | create_index | drop_table | select | insert
 //!             | update | delete | BEGIN | COMMIT | ROLLBACK
+//!             | EXPLAIN [ANALYZE] select | ANALYZE [ident]
 //! select     := SELECT items FROM ident join* [WHERE expr] [GROUP BY cols]
 //!               [ORDER BY key (, key)*] [LIMIT int]
-//! join       := JOIN ident ON colref = colref
+//! join       := JOIN ident ON expr
 //! expr       := or_expr
 //! or_expr    := and_expr (OR and_expr)*
 //! and_expr   := not_expr (AND not_expr)*
 //! not_expr   := NOT not_expr | cmp_expr
 //! cmp_expr   := add_expr [(= | <> | < | <= | > | >=) add_expr
-//!             | IS [NOT] NULL | IN '(' literal (, literal)* ')']
+//!             | IS [NOT] NULL
+//!             | IN '(' (literal (, literal)* | select) ')']
 //! add_expr   := mul_expr ((+|-) mul_expr)*
 //! mul_expr   := unary ((*|/) unary)*
 //! unary      := - unary | primary
-//! primary    := literal | colref | '(' expr ')'
+//! primary    := literal | colref | '(' expr ')' | '(' select ')'
 //! ```
 
 use crate::error::{Error, Result};
@@ -180,6 +182,24 @@ impl Parser {
                 self.consume_keyword("WORK");
                 Ok(Statement::Rollback)
             }
+            "EXPLAIN" => {
+                self.next()?;
+                let analyze = self.consume_keyword("ANALYZE");
+                if !self.peek_keyword("SELECT") {
+                    return Err(Error::parse("EXPLAIN supports only SELECT statements"));
+                }
+                let select = self.parse_select()?;
+                Ok(Statement::Explain { analyze, select })
+            }
+            "ANALYZE" => {
+                self.next()?;
+                let table = if self.at_end() || self.peek() == Some(&Token::Semicolon) {
+                    None
+                } else {
+                    Some(self.expect_ident()?)
+                };
+                Ok(Statement::Analyze(table))
+            }
             _ => Err(Error::parse(format!("unsupported statement starting with {tok}"))),
         }
     }
@@ -293,13 +313,12 @@ impl Parser {
         } {
             let join_table = self.expect_ident()?;
             self.expect_keyword("ON")?;
-            let left = self.expect_column_ref()?;
-            self.expect(&Token::Eq)?;
-            let right = self.expect_column_ref()?;
+            // A general predicate: the common `a.x = b.y` equality becomes a
+            // hash join, anything else a nested-loop join.
+            let on = self.parse_expr()?;
             joins.push(JoinClause {
                 table: join_table,
-                left_column: left,
-                right_column: right,
+                on,
             });
         }
         let filter = if self.consume_keyword("WHERE") {
@@ -531,6 +550,11 @@ impl Parser {
         }
         if self.consume_keyword("IN") {
             self.expect(&Token::LParen)?;
+            if self.peek_keyword("SELECT") {
+                let sel = self.parse_select()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery(Box::new(left), Box::new(sel)));
+            }
             let mut list = Vec::new();
             loop {
                 list.push(self.parse_literal_value()?);
@@ -618,6 +642,11 @@ impl Parser {
                 Ok(Expr::Param(idx))
             }
             Token::LParen => {
+                if self.peek_keyword("SELECT") {
+                    let sel = self.parse_select()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sel)));
+                }
                 let inner = self.parse_expr()?;
                 self.expect(&Token::RParen)?;
                 Ok(inner)
@@ -719,7 +748,10 @@ mod tests {
         };
         assert_eq!(sel.joins.len(), 1);
         assert_eq!(sel.joins[0].table, "matches");
-        assert_eq!(sel.joins[0].left_column, "jobs.job_id");
+        assert_eq!(
+            sel.joins[0].equi_columns(),
+            Some(("jobs.job_id", "matches.job_id"))
+        );
         assert_eq!(sel.group_by, vec!["jobs.owner".to_string()]);
         assert!(matches!(
             sel.items[0],
@@ -823,6 +855,66 @@ mod tests {
             shown,
             "(((runtime >= 10) AND (runtime <= 20)) AND (state = 'idle'))"
         );
+    }
+
+    #[test]
+    fn parses_non_equi_and_compound_join_predicates() {
+        let stmt = parse(
+            "SELECT * FROM jobs JOIN machines ON jobs.req_mem <= machines.mem \
+             AND machines.state = 'idle'",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("expected Select");
+        };
+        assert_eq!(sel.joins.len(), 1);
+        // A compound predicate is not a single equality, so no hash-join key.
+        assert_eq!(sel.joins[0].equi_columns(), None);
+        assert!(sel.joins[0].on.to_string().contains("<="));
+        assert!(sel.filter.is_none());
+    }
+
+    #[test]
+    fn parses_explain_and_analyze() {
+        let stmt = parse("EXPLAIN SELECT * FROM jobs WHERE job_id = 1").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+        assert!(stmt.is_read_only());
+        let stmt = parse("EXPLAIN ANALYZE SELECT * FROM jobs").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
+
+        assert_eq!(parse("ANALYZE").unwrap(), Statement::Analyze(None));
+        assert_eq!(parse("ANALYZE jobs;").unwrap(), Statement::Analyze(Some("jobs".into())));
+        // Only SELECT can be explained.
+        assert!(parse("EXPLAIN DELETE FROM jobs").is_err());
+    }
+
+    #[test]
+    fn parses_subqueries_in_where() {
+        let stmt = parse(
+            "SELECT * FROM jobs WHERE owner IN (SELECT name FROM users WHERE quota > 0)",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("expected Select");
+        };
+        let filter = sel.filter.unwrap();
+        assert!(filter.contains_subquery());
+        let Expr::InSubquery(lhs, sub) = filter else {
+            panic!("expected InSubquery, got {filter:?}");
+        };
+        assert_eq!(*lhs, Expr::Column("owner".into()));
+        assert_eq!(sub.table, "users");
+
+        let stmt = parse(
+            "SELECT * FROM jobs WHERE priority > (SELECT AVG(priority) FROM jobs)",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("expected Select");
+        };
+        let filter = sel.filter.unwrap();
+        assert!(filter.contains_subquery());
+        assert!(filter.to_string().contains("SELECT"));
     }
 
     #[test]

@@ -224,6 +224,19 @@ define_stats! {
         "High-water mark of live overflow pages (rows larger than a page). A \
          gauge like [`OpStats::max_version_chain`]: `merge` takes the max and \
          `delta_since` reports the current mark, not a difference.",
+    counter tables_analyzed:
+        "Tables whose planner statistics were (re)collected by ANALYZE.",
+    counter plans_built:
+        "Select plans built by the cost-based planner (joined selects only; \
+         the single-table path chooses its access path inline).",
+    counter plan_cache_hits:
+        "Joined-select executions that reused a prepared statement's cached \
+         plan instead of replanning.",
+    counter build_reuse_hits:
+        "Hash-join build sides reused from a prepared statement's plan cache \
+         instead of being rebuilt.",
+    counter subqueries_executed:
+        "Scalar and IN subqueries executed while rewriting WHERE clauses.",
 }
 
 impl OpStats {
@@ -574,13 +587,14 @@ mod tests {
         let s = OpStats {
             rows_inserted: 7,
             slow_queries: 2,
-            overflow_pages: 5,
+            subqueries_executed: 5,
             ..Default::default()
         };
         let fields = s.fields();
         assert_eq!(fields.first(), Some(&("rows_inserted", 7)));
-        assert_eq!(fields.last(), Some(&("overflow_pages", 5)));
+        assert_eq!(fields.last(), Some(&("subqueries_executed", 5)));
         assert!(fields.contains(&("slow_queries", 2)));
+        assert!(fields.contains(&("overflow_pages", 0)));
         assert!(fields.contains(&("wal_fsync_nanos", 0)));
         // One entry per struct field, no duplicates.
         let names: std::collections::BTreeSet<_> = fields.iter().map(|(n, _)| *n).collect();

@@ -18,6 +18,7 @@
 use crate::error::{Error, Result};
 use crate::index::Index;
 use crate::mvcc::{RowVersion, Snapshot, VersionChain, COMMITTED_TXN};
+use crate::plan::TableStats;
 use crate::schema::{IndexDef, Schema};
 use crate::stats::OpStats;
 use crate::tuple::{Row, RowId, StoredRowRef};
@@ -64,6 +65,14 @@ pub struct Table {
     /// The `SELECT *` output column list, shared so a wildcard query's
     /// result header is one refcount bump instead of a fresh vector.
     wildcard_columns: Arc<[Arc<str>]>,
+    /// Planner statistics collected by `ANALYZE`, or `None` before the first
+    /// run. Shared so the planner and the `rel_table_stats` system table
+    /// read them without cloning.
+    stats: Option<Arc<TableStats>>,
+    /// Physical version counter, bumped by every mutation that can change
+    /// which rows any snapshot observes. Together with an equal [`Snapshot`]
+    /// it witnesses that a cached join build side is still exact.
+    version: u64,
 }
 
 impl Table {
@@ -90,7 +99,33 @@ impl Table {
             dirty: BTreeSet::new(),
             min_dead_end: u64::MAX,
             wildcard_columns,
+            stats: None,
+            version: 0,
         })
+    }
+
+    /// The physical version counter; see the field docs.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The planner statistics collected by the last `ANALYZE`, if any.
+    pub fn table_stats(&self) -> Option<&Arc<TableStats>> {
+        self.stats.as_ref()
+    }
+
+    /// Installs freshly collected planner statistics. Statistics describe a
+    /// moment in time, not the live table — they are not bumped by writes
+    /// and go stale until the next `ANALYZE`.
+    pub(crate) fn set_table_stats(&mut self, stats: TableStats) {
+        self.stats = Some(Arc::new(stats));
+    }
+
+    /// Planner probe: `(distinct keys, unique)` of the first index covering
+    /// `column`. Distinct keys count retained versions' keys, so this is an
+    /// upper-bound estimate of live-row distinctness that needs no ANALYZE.
+    pub fn index_stats_on(&self, column: &str) -> Option<(usize, bool)> {
+        self.index_on(column).map(|i| (i.distinct_keys(), i.unique))
     }
 
     /// The interned `SELECT *` output column list (schema order, shared).
@@ -200,6 +235,7 @@ impl Table {
         }
         self.rows.insert(id, VersionChain::new(txn, Row::new(values)));
         self.live += 1;
+        self.version += 1;
         stats.rows_inserted += 1;
         stats.versions_created += 1;
         Ok(id)
@@ -244,6 +280,7 @@ impl Table {
         self.next_row_id = self.next_row_id.max(id.0 + 1);
         self.rows.insert(id, VersionChain::new(COMMITTED_TXN, row));
         self.live += 1;
+        self.version += 1;
         stats.rows_inserted += 1;
         Ok(())
     }
@@ -268,6 +305,7 @@ impl Table {
         self.dead_versions += 1;
         self.dirty.insert(id);
         self.min_dead_end = self.min_dead_end.min(txn.0);
+        self.version += 1;
         stats.rows_deleted += 1;
         Ok(before)
     }
@@ -359,6 +397,7 @@ impl Table {
         self.dead_versions += 1;
         self.dirty.insert(id);
         self.min_dead_end = self.min_dead_end.min(txn.0);
+        self.version += 1;
         stats.rows_updated += 1;
         stats.versions_created += 1;
         stats.max_version_chain = stats.max_version_chain.max(chain.len() as u64);
@@ -382,6 +421,7 @@ impl Table {
         };
         let popped = chain.pop_version(txn);
         self.dead_versions -= 1;
+        self.version += 1;
         if !chain.has_dead() {
             self.dirty.remove(&id);
         }
@@ -394,6 +434,7 @@ impl Table {
             chain.unmark_deleted(txn);
             self.live += 1;
             self.dead_versions -= 1;
+            self.version += 1;
             if !chain.has_dead() {
                 self.dirty.remove(&id);
             }
@@ -418,6 +459,7 @@ impl Table {
         self.dead_versions -= versions.iter().filter(|v| v.end.is_some()).count();
         self.dirty.remove(&id);
         self.retire_chain_entries(id, &versions);
+        self.version += 1;
         stats.rows_deleted += 1;
         Ok(newest)
     }
@@ -508,6 +550,9 @@ impl Table {
             self.retire_version_entries(id, &pruned);
         }
         self.dead_versions -= pruned_total;
+        if pruned_total > 0 {
+            self.version += 1;
+        }
         stats.versions_vacuumed += pruned_total as u64;
         pruned_total
     }
@@ -641,6 +686,7 @@ impl Table {
         }
         self.schema.indexes.push(def);
         self.secondary.push(idx);
+        self.version += 1;
         Ok(())
     }
 

@@ -18,7 +18,7 @@
 //! echo "SELECT COUNT(*) FROM jobs" | cargo run --example sql_console -- --connect HOST:PORT
 //! ```
 //!
-//! Both modes understand two meta-commands on top of plain SQL, backed
+//! Both modes understand a few meta-commands on top of plain SQL, backed
 //! entirely by the engine's virtual system tables (no special protocol):
 //!
 //! - `\stats` — engine counters, latency histograms, and the hottest
@@ -26,6 +26,12 @@
 //! - `\slow` — the slow-query ring with per-query wait breakdowns
 //!   (`rel_slow_queries`; arm it with `ServerConfig::slow_query_threshold`
 //!   or `Database::set_slow_query_threshold`)
+//! - `\analyze [table]` — refresh planner statistics (`ANALYZE`), then show
+//!   the collected per-column stats from `rel_table_stats`
+//!
+//! `EXPLAIN <select>` and `EXPLAIN ANALYZE <select>` need no meta-command:
+//! they are ordinary SQL, so they work typed at either console — embedded
+//! or over the wire — and render as a text table like any other result.
 
 use cluster_sim::{ClusterSpec, JobSpec, SimDuration, SimTime};
 use condorj2::{CondorJ2Config, CondorJ2Simulation};
@@ -35,25 +41,50 @@ use std::time::Duration;
 
 /// Expands a `\meta` command into the SQL statements that implement it.
 /// Returns `None` for anything that is not a meta-command.
-fn meta_sql(line: &str) -> Option<&'static [&'static str]> {
-    match line {
-        "\\stats" => Some(&[
+fn meta_sql(line: &str) -> Option<Vec<String>> {
+    if let Some(rest) = line.strip_prefix("\\analyze") {
+        if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+            return None; // e.g. `\analyzer`: not our command
+        }
+        let target = rest.trim();
+        return Some(if target.is_empty() {
+            vec![
+                "ANALYZE".to_string(),
+                "SELECT table_name, column_name, row_count, distinct_count, null_count, \
+                 stale FROM rel_table_stats ORDER BY table_name, column_name"
+                    .to_string(),
+            ]
+        } else {
+            vec![
+                format!("ANALYZE {target}"),
+                format!(
+                    "SELECT column_name, row_count, distinct_count, null_count, \
+                     min_value, max_value FROM rel_table_stats \
+                     WHERE table_name = '{target}' ORDER BY column_name"
+                ),
+            ]
+        });
+    }
+    let fixed: &[&str] = match line {
+        "\\stats" => &[
             "SELECT name, kind, value FROM rel_stats WHERE value > 0 ORDER BY name",
             "SELECT name, count, p50_us, p95_us, p99_us, max_us FROM rel_histograms \
              WHERE count > 0 ORDER BY name",
             "SELECT kind, calls, total_rows, mean_us, max_us, sql FROM rel_statements \
              ORDER BY total_us DESC LIMIT 10",
-        ]),
-        "\\slow" => Some(&[
+        ],
+        "\\slow" => &[
             "SELECT seq, kind, duration_us, rows, lock_wait_us, fsync_us, sql \
              FROM rel_slow_queries ORDER BY seq",
-        ]),
-        _ => None,
-    }
+        ],
+        _ => return None,
+    };
+    Some(fixed.iter().map(|s| s.to_string()).collect())
 }
 
-const META_HELP: &str =
-    "meta-commands: \\stats (counters, histograms, hot statements), \\slow (slow-query ring)";
+const META_HELP: &str = "meta-commands: \\stats (counters, histograms, hot statements), \
+     \\slow (slow-query ring), \\analyze [table] (refresh planner statistics); \
+     EXPLAIN [ANALYZE] <select> is plain SQL";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -94,28 +125,27 @@ fn remote_console(addr: &str) {
         if sql.is_empty() || sql.starts_with("--") {
             continue;
         }
-        if sql.starts_with('\\') {
-            let Some(statements) = meta_sql(sql) else {
+        let statements: Vec<String> = match meta_sql(sql) {
+            Some(statements) => statements,
+            None if sql.starts_with('\\') => {
                 println!("unknown meta-command {sql}; {META_HELP}\n");
                 continue;
-            };
-            for sql in statements {
-                match client.query(*sql, ()) {
-                    Ok(result) => println!("{}", result.to_text_table()),
-                    Err(e) => println!("error: {e}\n"),
-                }
             }
-            continue;
-        }
-        match client.execute(sql, ()) {
-            Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
-            Ok(ExecResult::Affected(n)) => println!("{n} row(s) affected\n"),
-            Ok(ExecResult::Ack) => println!("ok\n"),
-            Err(e) => {
-                println!("error: {e}\n");
-                if client.is_broken() {
-                    eprintln!("sql_console: connection lost");
-                    std::process::exit(1);
+            None => vec![sql.to_string()],
+        };
+        // Meta-commands expand to plain SQL (`\analyze` includes a write
+        // statement), so everything funnels through the same execute path.
+        for sql in statements {
+            match client.execute(&*sql, ()) {
+                Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
+                Ok(ExecResult::Affected(n)) => println!("{n} row(s) affected\n"),
+                Ok(ExecResult::Ack) => println!("ok\n"),
+                Err(e) => {
+                    println!("error: {e}\n");
+                    if client.is_broken() {
+                        eprintln!("sql_console: connection lost");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
@@ -166,11 +196,32 @@ fn embedded_demo() {
     for meta in ["\\stats", "\\slow"] {
         println!("condorj2> {meta}");
         for sql in meta_sql(meta).unwrap() {
-            match db.query(sql) {
+            match db.query(&sql) {
                 Ok(result) => println!("{}", result.to_text_table()),
                 Err(e) => println!("error: {e}\n"),
             }
         }
+    }
+
+    // The planner is part of the operational surface too: collect
+    // statistics, then show what the cost-based planner does with the
+    // administrator's own join query.
+    println!("condorj2> \\analyze job_history");
+    for sql in meta_sql("\\analyze job_history").unwrap() {
+        match db.execute(&sql) {
+            Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
+            Ok(ExecResult::Affected(n)) => println!("{n} table(s) analyzed\n"),
+            Ok(ExecResult::Ack) => println!("ok\n"),
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+    let explain = "EXPLAIN SELECT users.name, COUNT(*) AS finished \
+                   FROM job_history JOIN users ON job_history.owner = users.name \
+                   GROUP BY users.name ORDER BY users.name";
+    println!("condorj2> {explain}");
+    match db.query(explain) {
+        Ok(result) => println!("{}", result.to_text_table()),
+        Err(e) => println!("error: {e}\n"),
     }
 
     // Then hand the console over: SQL or meta-commands from stdin (EOF to
@@ -185,16 +236,16 @@ fn embedded_demo() {
         if sql.is_empty() || sql.starts_with("--") {
             continue;
         }
-        let statements: Vec<&str> = match meta_sql(sql) {
-            Some(statements) => statements.to_vec(),
+        let statements: Vec<String> = match meta_sql(sql) {
+            Some(statements) => statements,
             None if sql.starts_with('\\') => {
                 println!("unknown meta-command {sql}; {META_HELP}\n");
                 continue;
             }
-            None => vec![sql],
+            None => vec![sql.to_string()],
         };
         for sql in statements {
-            match db.execute(sql) {
+            match db.execute(&sql) {
                 Ok(ExecResult::Query(result)) => println!("{}", result.to_text_table()),
                 Ok(ExecResult::Affected(n)) => println!("{n} row(s) affected\n"),
                 Ok(ExecResult::Ack) => println!("ok\n"),

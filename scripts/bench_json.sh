@@ -6,13 +6,13 @@
 # Sweeps every [[bench]] target declared in crates/bench/Cargo.toml (so a
 # new bench is picked up without editing this script), pulls the median
 # time out of every "time: [lo med hi]" line, and writes OUT (default
-# BENCH_9.json in the repo root) with one entry per bench, all times
+# BENCH_10.json in the repo root) with one entry per bench, all times
 # normalised to nanoseconds. The file is the durable record of a bench run;
 # regenerate it on a quiet machine when the numbers need refreshing.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_9.json}"
+out="${1:-$repo_root/BENCH_10.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 

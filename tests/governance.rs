@@ -374,3 +374,50 @@ fn client_drop_rolls_back_promptly() {
     drop(next);
     server.shutdown();
 }
+
+/// The join executor charges the governor for intermediate rows, so a
+/// runaway join — here a near-cross-product through a nested loop — trips
+/// the row budget and the deadline instead of materializing millions of
+/// pairs. An equi-join that stays small passes under the same governance.
+#[test]
+fn join_loops_are_governed() {
+    let db = db_with_rows(400);
+    db.execute("CREATE TABLE mirror (id INT PRIMARY KEY)").unwrap();
+    let ins = db.prepare("INSERT INTO mirror VALUES (?)").unwrap();
+    db.session()
+        .execute_batch(&ins, (0..400i64).map(|id| (id,)))
+        .unwrap();
+
+    let rows = Governance {
+        max_rows: Some(1_000),
+        ..Governance::default()
+    };
+    let err = db
+        .query_governed(
+            "SELECT COUNT(*) FROM jobs JOIN mirror ON jobs.job_id < mirror.id",
+            &rows,
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+
+    let deadline = Governance {
+        deadline: Some(Duration::ZERO),
+        ..Governance::default()
+    };
+    let err = db
+        .query_governed(
+            "SELECT COUNT(*) FROM jobs JOIN mirror ON jobs.job_id < mirror.id",
+            &deadline,
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Timeout { kind: TimeoutKind::Statement, .. }), "{err}");
+
+    // A selective equi-join fits the same row budget.
+    let r = db
+        .query_governed(
+            "SELECT COUNT(*) FROM jobs JOIN mirror ON jobs.job_id = mirror.id WHERE jobs.job_id = 3",
+            &rows,
+        )
+        .unwrap();
+    assert_eq!(r.scalar_int().unwrap(), 1);
+}

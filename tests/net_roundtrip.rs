@@ -441,3 +441,67 @@ fn stalled_mid_frame_client_cannot_pin_the_worker() {
     drop(stalled);
     server.shutdown();
 }
+
+/// EXPLAIN is served through the ordinary query path, so a plan rendered
+/// over TCP must be byte-identical to the embedded one — and ANALYZE issued
+/// by a remote client refreshes the same statistics the embedded planner
+/// reads.
+#[test]
+fn explain_and_analyze_are_transport_agnostic() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, fk INT)").unwrap();
+    db.execute("CREATE INDEX ON big (fk)").unwrap();
+    db.execute("CREATE TABLE tiny (id INT PRIMARY KEY, label TEXT)").unwrap();
+    for i in 0..120i64 {
+        db.execute(&format!("INSERT INTO big VALUES ({i}, {})", i % 6)).unwrap();
+    }
+    for i in 0..6i64 {
+        db.execute(&format!("INSERT INTO tiny VALUES ({i}, 'tag-{i}')")).unwrap();
+    }
+
+    let server = serve(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A remote ANALYZE populates the catalog statistics the embedded
+    // planner consults.
+    client.execute("ANALYZE", ()).unwrap();
+    let stats = db
+        .query("SELECT table_name, row_count FROM rel_table_stats WHERE column_name = 'id' ORDER BY table_name")
+        .unwrap();
+    assert_eq!(stats.len(), 2, "remote ANALYZE must cover both tables");
+
+    let plans = [
+        "EXPLAIN SELECT * FROM big WHERE id = 7",
+        "EXPLAIN SELECT * FROM big JOIN tiny ON big.fk = tiny.id WHERE tiny.label = 'tag-3'",
+        "EXPLAIN SELECT fk, COUNT(*) FROM big GROUP BY fk ORDER BY fk LIMIT 3",
+    ];
+    for sql in plans {
+        let local = db.query(sql).unwrap();
+        let remote = client.query(sql, ()).unwrap();
+        assert_eq!(remote, local, "plan diverged over the wire for: {sql}");
+    }
+
+    // EXPLAIN ANALYZE actually executes, so wall times differ run to run;
+    // everything else — shape, operators, estimates, actual row counts —
+    // must agree.
+    let sql = "EXPLAIN ANALYZE SELECT * FROM big JOIN tiny ON big.fk = tiny.id";
+    let local = db.query(sql).unwrap();
+    let remote = client.query(sql, ()).unwrap();
+    assert_eq!(remote.column_names(), local.column_names());
+    assert_eq!(
+        remote.column_names(),
+        vec!["step", "operator", "detail", "est_rows", "actual_rows", "time_us"]
+    );
+    assert_eq!(remote.len(), local.len());
+    for (r, l) in remote.rows.iter().zip(local.rows.iter()) {
+        for col in 0..5 {
+            assert_eq!(r.get(col), l.get(col), "EXPLAIN ANALYZE diverged at column {col}");
+        }
+    }
+
+    // The statistics table itself ships over the wire like any other.
+    let sql = "SELECT * FROM rel_table_stats ORDER BY table_name, column_name";
+    assert_eq!(client.query(sql, ()).unwrap(), db.query(sql).unwrap());
+
+    server.shutdown();
+}

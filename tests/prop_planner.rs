@@ -1,0 +1,574 @@
+//! Planner equivalence and semantics tests.
+//!
+//! The core property: whatever join order, access path, or cached build the
+//! cost-based planner picks, the result row-set must be identical to a naive
+//! nested-loop join computed directly over the generated data — across NULL
+//! join keys, duplicate keys, dangling foreign keys, empty tables, and stats
+//! that have gone stale since `ANALYZE`. Deterministic tests pin down the
+//! EXPLAIN output shape and the three-valued-logic corners of scalar and
+//! `IN (SELECT …)` subqueries.
+
+use proptest::prelude::*;
+use relstore::{Database, QueryResult, Value};
+
+const JOB_ARITY: usize = 4; // job_id, owner, state, runtime
+const RUN_ARITY: usize = 3; // run_id, job_id, machine_id
+const MACHINE_ARITY: usize = 2; // machine_id, state
+
+type Job = (i64, Option<String>, String, Option<i64>);
+type Run = (i64, Option<i64>, Option<i64>);
+type Machine = (i64, String);
+
+/// When the generated dataset runs `ANALYZE`: never (planner on defaults),
+/// mid-load (stats stale by the time queries run), or after loading (fresh).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AnalyzeMode {
+    Never,
+    MidLoad,
+    AfterLoad,
+}
+
+#[derive(Debug, Clone)]
+struct Dataset {
+    jobs: Vec<Job>,
+    runs: Vec<Run>,
+    machines: Vec<Machine>,
+    analyze: AnalyzeMode,
+}
+
+fn owner_strategy() -> impl Strategy<Value = Option<String>> {
+    (0u8..5).prop_map(|n| match n {
+        0 => None,
+        1 | 2 => Some("alice".to_string()),
+        3 => Some("bob".to_string()),
+        _ => Some("carol".to_string()),
+    })
+}
+
+fn state_strategy() -> impl Strategy<Value = String> {
+    (0u8..3).prop_map(|n| match n {
+        0 => "idle".to_string(),
+        1 => "running".to_string(),
+        _ => "done".to_string(),
+    })
+}
+
+/// `None` roughly one time in five, else a value below `max`.
+fn opt_int_strategy(max: i64) -> impl Strategy<Value = Option<i64>> {
+    (-(max / 4 + 1)..max).prop_map(|v| (v >= 0).then_some(v))
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    let jobs = prop::collection::vec(
+        (owner_strategy(), state_strategy(), opt_int_strategy(500)),
+        0..20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (owner, state, runtime))| (i as i64, owner, state, runtime))
+            .collect::<Vec<Job>>()
+    });
+    // Foreign keys range past the actual table sizes so some are dangling.
+    let runs = prop::collection::vec((opt_int_strategy(24), opt_int_strategy(10)), 0..24)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (job_id, machine_id))| (i as i64, job_id, machine_id))
+                .collect::<Vec<Run>>()
+        });
+    let machines = prop::collection::vec(state_strategy(), 0..8).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, state)| (i as i64, state))
+            .collect::<Vec<Machine>>()
+    });
+    let analyze = (0u8..3).prop_map(|n| match n {
+        0 => AnalyzeMode::Never,
+        1 => AnalyzeMode::MidLoad,
+        _ => AnalyzeMode::AfterLoad,
+    });
+    (jobs, runs, machines, analyze).prop_map(|(jobs, runs, machines, analyze)| Dataset {
+        jobs,
+        runs,
+        machines,
+        analyze,
+    })
+}
+
+fn opt_text(v: &Option<String>) -> Value {
+    match v {
+        Some(s) => Value::Text(s.as_str().into()),
+        None => Value::Null,
+    }
+}
+
+fn opt_int(v: &Option<i64>) -> Value {
+    match v {
+        Some(i) => Value::Int(*i),
+        None => Value::Null,
+    }
+}
+
+fn job_values(j: &Job) -> Vec<Value> {
+    vec![Value::Int(j.0), opt_text(&j.1), Value::Text(j.2.as_str().into()), opt_int(&j.3)]
+}
+
+fn run_values(r: &Run) -> Vec<Value> {
+    vec![Value::Int(r.0), opt_int(&r.1), opt_int(&r.2)]
+}
+
+fn machine_values(m: &Machine) -> Vec<Value> {
+    vec![Value::Int(m.0), Value::Text(m.1.as_str().into())]
+}
+
+/// Loads the dataset into a fresh database, honouring the ANALYZE mode.
+/// `MidLoad` analyzes after half the rows of each table, so the statistics
+/// the planner sees undercount (or miss columns of) the final data.
+fn load(d: &Dataset) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE jobs (job_id INT PRIMARY KEY, owner TEXT, state TEXT, runtime INT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON jobs (state)").unwrap();
+    db.execute("CREATE TABLE runs (run_id INT PRIMARY KEY, job_id INT, machine_id INT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON runs (job_id)").unwrap();
+    db.execute("CREATE TABLE machines (machine_id INT PRIMARY KEY, state TEXT)")
+        .unwrap();
+
+    let insert_jobs = db
+        .prepare("INSERT INTO jobs (job_id, owner, state, runtime) VALUES (?, ?, ?, ?)")
+        .unwrap();
+    let insert_runs = db
+        .prepare("INSERT INTO runs (run_id, job_id, machine_id) VALUES (?, ?, ?)")
+        .unwrap();
+    let insert_machines = db
+        .prepare("INSERT INTO machines (machine_id, state) VALUES (?, ?)")
+        .unwrap();
+
+    let split = |len: usize| match d.analyze {
+        AnalyzeMode::MidLoad => len / 2,
+        _ => len,
+    };
+    let (j_split, r_split, m_split) = (split(d.jobs.len()), split(d.runs.len()), split(d.machines.len()));
+
+    for j in &d.jobs[..j_split] {
+        db.execute_prepared(&insert_jobs, &job_values(j)).unwrap();
+    }
+    for r in &d.runs[..r_split] {
+        db.execute_prepared(&insert_runs, &run_values(r)).unwrap();
+    }
+    for m in &d.machines[..m_split] {
+        db.execute_prepared(&insert_machines, &machine_values(m)).unwrap();
+    }
+
+    if d.analyze != AnalyzeMode::Never {
+        db.execute("ANALYZE").unwrap();
+    }
+
+    for j in &d.jobs[j_split..] {
+        db.execute_prepared(&insert_jobs, &job_values(j)).unwrap();
+    }
+    for r in &d.runs[r_split..] {
+        db.execute_prepared(&insert_runs, &run_values(r)).unwrap();
+    }
+    for m in &d.machines[m_split..] {
+        db.execute_prepared(&insert_machines, &machine_values(m)).unwrap();
+    }
+    db
+}
+
+/// Canonical multiset form of a row-set: every row rendered to its debug
+/// string, sorted. Two queries are equivalent iff these are equal.
+fn multiset(rows: Vec<Vec<Value>>) -> Vec<String> {
+    let mut out: Vec<String> = rows.into_iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+fn result_multiset(result: &QueryResult, arity: usize) -> Vec<String> {
+    assert_eq!(result.columns.len(), arity, "unexpected output arity");
+    multiset(
+        result
+            .rows
+            .iter()
+            .map(|r| (0..arity).map(|i| r.get(i).clone()).collect())
+            .collect(),
+    )
+}
+
+/// One query under test: SQL, its output arity, and the nested-loop oracle
+/// computed straight from the generated vectors (SQL equality semantics:
+/// NULL joins nothing).
+struct Case {
+    sql: &'static str,
+    arity: usize,
+    expected: Vec<String>,
+}
+
+fn cases(d: &Dataset) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // jobs ⋈ runs on job_id.
+    let mut expected = Vec::new();
+    for j in &d.jobs {
+        for r in &d.runs {
+            if r.1 == Some(j.0) {
+                let mut row = job_values(j);
+                row.extend(run_values(r));
+                expected.push(row);
+            }
+        }
+    }
+    out.push(Case {
+        sql: "SELECT * FROM jobs JOIN runs ON jobs.job_id = runs.job_id",
+        arity: JOB_ARITY + RUN_ARITY,
+        expected: multiset(expected),
+    });
+
+    // Three tables with a filter on the last: join order is the planner's
+    // choice, output layout must stay syntactic.
+    let mut expected = Vec::new();
+    for j in &d.jobs {
+        for r in &d.runs {
+            if r.1 != Some(j.0) {
+                continue;
+            }
+            for m in &d.machines {
+                if r.2 == Some(m.0) && m.1 == "idle" {
+                    let mut row = job_values(j);
+                    row.extend(run_values(r));
+                    row.extend(machine_values(m));
+                    expected.push(row);
+                }
+            }
+        }
+    }
+    out.push(Case {
+        sql: "SELECT * FROM jobs JOIN runs ON jobs.job_id = runs.job_id \
+              JOIN machines ON runs.machine_id = machines.machine_id \
+              WHERE machines.state = 'idle'",
+        arity: JOB_ARITY + RUN_ARITY + MACHINE_ARITY,
+        expected: multiset(expected),
+    });
+
+    // Reversed base table plus an indexed predicate on the joined side.
+    let mut expected = Vec::new();
+    for r in &d.runs {
+        for j in &d.jobs {
+            if r.1 == Some(j.0) && j.2 == "running" {
+                let mut row = run_values(r);
+                row.extend(job_values(j));
+                expected.push(row);
+            }
+        }
+    }
+    out.push(Case {
+        sql: "SELECT * FROM runs JOIN jobs ON runs.job_id = jobs.job_id \
+              WHERE jobs.state = 'running'",
+        arity: RUN_ARITY + JOB_ARITY,
+        expected: multiset(expected),
+    });
+
+    // Non-equi ON predicate: must fall back to a nested loop and still agree.
+    let mut expected = Vec::new();
+    for j in &d.jobs {
+        for r in &d.runs {
+            if j.0 < r.0 {
+                let mut row = job_values(j);
+                row.extend(run_values(r));
+                expected.push(row);
+            }
+        }
+    }
+    out.push(Case {
+        sql: "SELECT * FROM jobs JOIN runs ON jobs.job_id < runs.run_id",
+        arity: JOB_ARITY + RUN_ARITY,
+        expected: multiset(expected),
+    });
+
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned execution — including the second run, which hits the plan
+    /// cache and reuses hash-join build sides — matches the nested-loop
+    /// oracle, as does the de-optimized configuration (syntactic join
+    /// order, forced base scans).
+    #[test]
+    fn planned_joins_match_nested_loop_oracle(d in dataset_strategy()) {
+        let db = load(&d);
+        for case in cases(&d) {
+            let first = db.query(case.sql).unwrap();
+            prop_assert_eq!(result_multiset(&first, case.arity), case.expected.clone(), "first run: {}", case.sql);
+
+            let second = db.query(case.sql).unwrap();
+            prop_assert_eq!(result_multiset(&second, case.arity), case.expected.clone(), "cached run: {}", case.sql);
+
+            db.set_join_reorder(false);
+            db.set_force_scan(true);
+            let naive = db.query(case.sql).unwrap();
+            db.set_join_reorder(true);
+            db.set_force_scan(false);
+            prop_assert_eq!(result_multiset(&naive, case.arity), case.expected.clone(), "de-optimized run: {}", case.sql);
+        }
+    }
+
+    /// A write between two executions of the same (cached) statement
+    /// invalidates any reused hash-join build side: the second result
+    /// reflects the new row.
+    #[test]
+    fn cached_builds_never_serve_stale_rows(d in dataset_strategy()) {
+        let db = load(&d);
+        let sql = "SELECT * FROM jobs JOIN runs ON jobs.job_id = runs.job_id";
+        db.query(sql).unwrap();
+
+        let new_job_id = d.jobs.len() as i64 + 100;
+        db.execute(&format!(
+            "INSERT INTO jobs (job_id, owner, state, runtime) VALUES ({new_job_id}, 'dave', 'idle', 7)"
+        )).unwrap();
+        db.execute(&format!(
+            "INSERT INTO runs (run_id, job_id, machine_id) VALUES ({}, {new_job_id}, NULL)",
+            d.runs.len() as i64 + 100
+        )).unwrap();
+
+        let after = db.query(sql).unwrap();
+        let wanted = Value::Int(new_job_id);
+        prop_assert!(
+            after.rows.iter().any(|r| r.get(0) == &wanted),
+            "freshly inserted join pair must be visible after the write"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN snapshots
+// ---------------------------------------------------------------------------
+
+fn text(v: &Value) -> String {
+    match v {
+        Value::Text(s) => s.to_string(),
+        other => panic!("expected a text value, got {other:?}"),
+    }
+}
+
+/// Renders EXPLAIN rows as "operator | detail" lines for snapshotting.
+fn explain_lines(db: &Database, sql: &str) -> Vec<String> {
+    let r = db.query(sql).unwrap();
+    assert_eq!(&r.column_names()[..4], &["step", "operator", "detail", "est_rows"]);
+    r.rows
+        .iter()
+        .map(|row| format!("{} | {}", text(row.get(1)), text(row.get(2))))
+        .collect()
+}
+
+/// A small fixed catalog with deliberately skewed table sizes, analyzed so
+/// the planner has real statistics to act on.
+fn skewed_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, fk INT, pad TEXT)").unwrap();
+    db.execute("CREATE INDEX ON big (fk)").unwrap();
+    db.execute("CREATE TABLE mid (id INT PRIMARY KEY, fk INT)").unwrap();
+    db.execute("CREATE TABLE tiny (id INT PRIMARY KEY, label TEXT)").unwrap();
+    let ins_big = db.prepare("INSERT INTO big (id, fk, pad) VALUES (?, ?, 'x')").unwrap();
+    for i in 0..200i64 {
+        db.execute_prepared(&ins_big, &[Value::Int(i), Value::Int(i % 40)]).unwrap();
+    }
+    let ins_mid = db.prepare("INSERT INTO mid (id, fk) VALUES (?, ?)").unwrap();
+    for i in 0..40i64 {
+        db.execute_prepared(&ins_mid, &[Value::Int(i), Value::Int(i % 4)]).unwrap();
+    }
+    let ins_tiny = db.prepare("INSERT INTO tiny (id, label) VALUES (?, 'tag')").unwrap();
+    for i in 0..4i64 {
+        db.execute_prepared(&ins_tiny, &[Value::Int(i)]).unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+#[test]
+fn explain_point_lookup_snapshot() {
+    let db = skewed_db();
+    let lines = explain_lines(&db, "EXPLAIN SELECT * FROM big WHERE id = 3");
+    assert_eq!(
+        lines,
+        vec![
+            "Access(big) | point lookup on big.id (unique), pushdown (id = 3)".to_string(),
+            "Filter | (id = 3)".to_string(),
+            "Output | project *".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn explain_reorders_skewed_join_smallest_build_first() {
+    let db = skewed_db();
+    // Both joins probe columns of `big`, so the planner is free to build
+    // either side first; with fresh stats it must pick the 4-row table
+    // before the 40-row one.
+    let lines = explain_lines(
+        &db,
+        "EXPLAIN SELECT * FROM big JOIN mid ON big.fk = mid.id JOIN tiny ON big.fk = tiny.id",
+    );
+    assert_eq!(lines.len(), 4, "access + two joins + output: {lines:?}");
+    assert!(lines[0].starts_with("Access(big) | "), "{lines:?}");
+    let tiny_pos = lines.iter().position(|l| l.starts_with("HashJoin(tiny)")).unwrap();
+    let mid_pos = lines.iter().position(|l| l.starts_with("HashJoin(mid)")).unwrap();
+    assert!(
+        tiny_pos < mid_pos,
+        "smallest build side should come first: {lines:?}"
+    );
+}
+
+#[test]
+fn explain_estimates_shrink_with_fresh_stats() {
+    let db = skewed_db();
+    let r = db.query("EXPLAIN SELECT * FROM big WHERE fk = 7").unwrap();
+    let est_idx = r.column_index("est_rows").unwrap();
+    let access_est = match r.rows[0].get(est_idx) {
+        Value::Int(i) => *i,
+        other => panic!("est_rows should be an int, got {other:?}"),
+    };
+    // 200 rows over 40 distinct fk values: the estimate must reflect the
+    // statistics, not the table size.
+    assert!(
+        (1..=20).contains(&access_est),
+        "selectivity estimate {access_est} should be near 200/40"
+    );
+}
+
+#[test]
+fn explain_analyze_reports_actual_rows() {
+    let db = skewed_db();
+    let r = db
+        .query("EXPLAIN ANALYZE SELECT * FROM big JOIN mid ON big.fk = mid.id")
+        .unwrap();
+    assert_eq!(
+        r.column_names(),
+        vec!["step", "operator", "detail", "est_rows", "actual_rows", "time_us"]
+    );
+    let actual_idx = r.column_index("actual_rows").unwrap();
+    let output_row = r.rows.last().unwrap();
+    assert_eq!(output_row.get(actual_idx), &Value::Int(200));
+
+    // EXPLAIN without ANALYZE must not have executed anything: same plan,
+    // no actuals columns.
+    let plain = db.query("EXPLAIN SELECT * FROM big JOIN mid ON big.fk = mid.id").unwrap();
+    assert_eq!(plain.columns.len(), 4);
+    assert_eq!(plain.rows.len(), r.rows.len());
+}
+
+#[test]
+fn explain_non_equi_join_uses_nested_loop() {
+    let db = skewed_db();
+    let lines = explain_lines(&db, "EXPLAIN SELECT * FROM tiny JOIN mid ON tiny.id < mid.fk");
+    assert!(
+        lines.iter().any(|l| l.starts_with("NestedLoopJoin(mid)")),
+        "non-equi ON predicate needs the nested-loop fallback: {lines:?}"
+    );
+}
+
+#[test]
+fn analyze_populates_rel_table_stats() {
+    let db = skewed_db();
+    let r = db
+        .query(
+            "SELECT table_name, row_count, stale FROM rel_table_stats \
+             WHERE column_name = 'id' ORDER BY table_name",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 3);
+    let names: Vec<String> = r.rows.iter().map(|row| text(row.get(0))).collect();
+    assert_eq!(names, vec!["big", "mid", "tiny"]);
+    assert_eq!(r.rows[0].get(1), &Value::Int(200));
+    // Nothing written since ANALYZE: stats are fresh.
+    assert_eq!(r.rows[0].get(2), &Value::Int(0));
+
+    db.execute("INSERT INTO big (id, fk, pad) VALUES (999, 0, 'y')").unwrap();
+    let r = db
+        .query("SELECT stale FROM rel_table_stats WHERE table_name = 'big' AND column_name = 'id'")
+        .unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(1), "write must mark stats stale");
+}
+
+// ---------------------------------------------------------------------------
+// Subquery semantics
+// ---------------------------------------------------------------------------
+
+fn subquery_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x INT, note TEXT)").unwrap();
+    db.execute("INSERT INTO t (x, note) VALUES (1, 'one')").unwrap();
+    db.execute("INSERT INTO t (x, note) VALUES (2, 'two')").unwrap();
+    db.execute("INSERT INTO t (x, note) VALUES (NULL, 'null')").unwrap();
+    db.execute("CREATE TABLE s (v INT)").unwrap();
+    db
+}
+
+#[test]
+fn in_empty_subquery_matches_nothing() {
+    let db = subquery_db();
+    let r = db.query("SELECT * FROM t WHERE x IN (SELECT v FROM s)").unwrap();
+    assert!(r.is_empty());
+    // NOT IN over an empty set is vacuously true for non-NULL x…
+    let r = db.query("SELECT * FROM t WHERE NOT x IN (SELECT v FROM s)").unwrap();
+    assert_eq!(r.len(), 2, "x = NULL stays filtered: NOT NULL is NULL");
+}
+
+#[test]
+fn in_subquery_with_null_keeps_three_valued_logic() {
+    let db = subquery_db();
+    db.execute("INSERT INTO s (v) VALUES (1)").unwrap();
+    db.execute("INSERT INTO s (v) VALUES (NULL)").unwrap();
+
+    // x = 1 matches; x = 2 compares (2 IN (1, NULL)) → NULL → filtered;
+    // x = NULL → NULL → filtered.
+    let r = db.query("SELECT note FROM t WHERE x IN (SELECT v FROM s)").unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0].get(0), &Value::Text("one".into()));
+
+    // NOT IN with a NULL in the set can never be TRUE: every row filtered.
+    let r = db.query("SELECT * FROM t WHERE NOT x IN (SELECT v FROM s)").unwrap();
+    assert!(r.is_empty(), "NULL in the IN-list poisons NOT IN");
+}
+
+#[test]
+fn scalar_subquery_empty_yields_null_comparison() {
+    let db = subquery_db();
+    let r = db.query("SELECT * FROM t WHERE x > (SELECT v FROM s)").unwrap();
+    assert!(r.is_empty(), "comparison against empty scalar subquery is NULL");
+}
+
+#[test]
+fn scalar_subquery_single_row_filters() {
+    let db = subquery_db();
+    db.execute("INSERT INTO s (v) VALUES (1)").unwrap();
+    let r = db.query("SELECT note FROM t WHERE x > (SELECT MAX(v) FROM s)").unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0].get(0), &Value::Text("two".into()));
+}
+
+#[test]
+fn scalar_subquery_with_multiple_rows_errors() {
+    let db = subquery_db();
+    db.execute("INSERT INTO s (v) VALUES (1)").unwrap();
+    db.execute("INSERT INTO s (v) VALUES (2)").unwrap();
+    let err = db.query("SELECT * FROM t WHERE x = (SELECT v FROM s)").unwrap_err();
+    assert!(err.to_string().contains("scalar subquery"), "{err}");
+}
+
+#[test]
+fn in_subquery_composes_with_joins() {
+    let db = skewed_db();
+    let r = db
+        .query(
+            "SELECT COUNT(*) FROM big JOIN mid ON big.fk = mid.id \
+             WHERE mid.fk IN (SELECT id FROM tiny WHERE id < 2)",
+        )
+        .unwrap();
+    // mid.fk = id % 4 ∈ {0, 1} keeps half of mid's 40 rows; each mid row
+    // matches 5 big rows.
+    assert_eq!(r.scalar_int().unwrap(), 100);
+}
